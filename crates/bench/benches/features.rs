@@ -1,0 +1,95 @@
+//! Feature-extraction micro-benchmarks: the cost of building the
+//! hierarchical numerical-structural stack, per feature family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ir_fusion::{FusionConfig, IrFusionPipeline};
+use irf_data::{synthesize, SynthSpec};
+use irf_features::{FeatureConfig, FeatureExtractor};
+use irf_pg::{PowerGrid, Rasterizer};
+use std::hint::black_box;
+
+fn grid() -> PowerGrid {
+    PowerGrid::from_netlist(&synthesize(&SynthSpec {
+        m1_stripes: 16,
+        m2_stripes: 16,
+        seed: 9,
+        ..SynthSpec::default()
+    }))
+    .expect("valid grid")
+}
+
+fn bench_feature_families(c: &mut Criterion) {
+    let g = grid();
+    let raster = Rasterizer::new(g.bounding_box(), 64, 64);
+    let mut group = c.benchmark_group("feature_family_64x64");
+    group.sample_size(10);
+    group.bench_function("current_total", |b| {
+        b.iter(|| black_box(irf_features::current::total_current_map(&g, &raster)));
+    });
+    group.bench_function("current_per_layer", |b| {
+        b.iter(|| black_box(irf_features::current::layer_current_maps(&g, &raster)));
+    });
+    group.bench_function("effective_distance", |b| {
+        b.iter(|| black_box(irf_features::distance::effective_distance_map(&g, &raster)));
+    });
+    group.bench_function("pdn_density", |b| {
+        b.iter(|| black_box(irf_features::density::pdn_density_map(&g, &raster)));
+    });
+    group.bench_function("resistance", |b| {
+        b.iter(|| black_box(irf_features::resistance::resistance_map(&g, &raster)));
+    });
+    group.bench_function("shortest_path_resistance", |b| {
+        b.iter(|| {
+            black_box(irf_features::shortest_path::shortest_path_resistance_map(
+                &g, &raster,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_full_stack(c: &mut Criterion) {
+    let g = grid();
+    let mut pipeline_cfg = FusionConfig::default();
+    pipeline_cfg.feature.width = 64;
+    pipeline_cfg.feature.height = 64;
+    let pipeline = IrFusionPipeline::new(pipeline_cfg);
+    let (drops, _) = pipeline.rough_solution(&g);
+    let extractor = FeatureExtractor::new(FeatureConfig {
+        width: 64,
+        height: 64,
+        ..FeatureConfig::default()
+    });
+    let mut group = c.benchmark_group("stack");
+    group.sample_size(10);
+    group.bench_function("full_feature_stack_64x64", |b| {
+        b.iter(|| black_box(extractor.extract(&g, &drops)));
+    });
+    group.finish();
+}
+
+fn bench_end_to_end_analysis(c: &mut Criterion) {
+    // The complete Table-I-runtime path: truncated solve + raster.
+    let g = grid();
+    let mut cfg = FusionConfig::default();
+    cfg.feature.width = 64;
+    cfg.feature.height = 64;
+    let pipeline = IrFusionPipeline::new(cfg);
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+    group.bench_function("rough_solve_plus_raster", |b| {
+        b.iter(|| black_box(pipeline.analyze_grid(&g, None)));
+    });
+    group.bench_function("golden_direct_solve", |b| {
+        b.iter(|| black_box(pipeline.golden_map(&g)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_feature_families,
+    bench_full_stack,
+    bench_end_to_end_analysis
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Model micro-benchmarks — inference cost of every Table I model and
+//! the training-step cost of IR-Fusion (the ML half of the runtime
+//! column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use irf_models::{build_model, ModelConfig, ModelKind};
+use irf_nn::{init, loss, optim::Adam, Tape, Tensor};
+use std::hint::black_box;
+
+const RES: usize = 32;
+const CHANNELS: usize = 9;
+
+fn config() -> ModelConfig {
+    ModelConfig {
+        in_channels: CHANNELS,
+        base_channels: 6,
+        seed: 7,
+        linear_head: false,
+    }
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_32x32");
+    group.sample_size(10);
+    let x = init::uniform([1, CHANNELS, RES, RES], -1.0, 1.0, 3);
+    for kind in ModelKind::TABLE1 {
+        let (model, store) = build_model(kind, config());
+        group.bench_function(model.name(), |b| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let xin = tape.input(x.clone());
+                let y = model.forward(&mut tape, &store, xin);
+                black_box(tape.value(y).mean())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step_32x32");
+    group.sample_size(10);
+    let x = init::uniform([1, CHANNELS, RES, RES], -1.0, 1.0, 3);
+    let target = Tensor::filled([1, 1, RES, RES], 0.3);
+    for kind in [ModelKind::IrEdge, ModelKind::IrFusion] {
+        let (model, mut store) = build_model(kind, config());
+        let mut opt = Adam::new(1e-3);
+        group.bench_function(model.name(), |b| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let xin = tape.input(x.clone());
+                let y = model.forward(&mut tape, &store, xin);
+                let (l, grad) = loss::mae(tape.value(y), &target);
+                tape.backward(y, grad, &mut store);
+                opt.step(&mut store);
+                black_box(l)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_resolution_scaling(c: &mut Criterion) {
+    // How IR-Fusion inference scales with map resolution (the paper
+    // runs 256x256; the reproduction's default is lower).
+    let mut group = c.benchmark_group("irfusion_resolution");
+    group.sample_size(10);
+    let (model, store) = build_model(ModelKind::IrFusion, config());
+    for res in [16usize, 32, 64] {
+        let x = init::uniform([1, CHANNELS, res, res], -1.0, 1.0, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(res), &x, |b, x| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let xin = tape.input(x.clone());
+                let y = model.forward(&mut tape, &store, xin);
+                black_box(tape.value(y).mean())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_inference,
+    bench_training_step,
+    bench_resolution_scaling
+);
+criterion_main!(benches);

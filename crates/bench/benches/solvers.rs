@@ -1,0 +1,86 @@
+//! Solver micro-benchmarks — the numerical cost model behind the
+//! runtime columns of Table I and the x-axis of Fig. 7.
+//!
+//! Benches AMG-PCG against plain CG, Jacobi-PCG and sparse Cholesky on
+//! synthesized power grids of growing size, plus the per-iteration
+//! cost of the truncated (k = 1, 2, 5, 10) solves IR-Fusion actually
+//! runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use irf_data::{synthesize, SynthSpec};
+use irf_pg::{PgSystem, PowerGrid};
+use irf_sparse::{Solver, SolverKind};
+use std::hint::black_box;
+
+fn grid_system(stripes: usize) -> PgSystem {
+    let spec = SynthSpec {
+        m1_stripes: stripes,
+        m2_stripes: stripes,
+        m4_stripes: (stripes / 4).max(2),
+        seed: 42,
+        ..SynthSpec::default()
+    };
+    PowerGrid::from_netlist(&synthesize(&spec))
+        .expect("valid grid")
+        .build_system()
+}
+
+fn bench_solver_kinds(c: &mut Criterion) {
+    let sys = grid_system(16);
+    let mut group = c.benchmark_group("solve_to_1e-8");
+    group.sample_size(10);
+    for kind in [
+        SolverKind::Cg,
+        SolverKind::JacobiPcg,
+        SolverKind::Ic0Pcg,
+        SolverKind::AmgPcg,
+        SolverKind::AmgPcgVCycle,
+        SolverKind::Cholesky,
+    ] {
+        group.bench_function(kind.label(), |b| {
+            let solver = Solver::new(kind)
+                .with_tolerance(1e-8)
+                .with_max_iterations(20_000);
+            b.iter(|| black_box(solver.solve(&sys.matrix, &sys.rhs)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_truncated_amg_pcg(c: &mut Criterion) {
+    // The k = 1..10 budget of Fig. 7: AMG setup + k PCG iterations.
+    let sys = grid_system(16);
+    let mut group = c.benchmark_group("amg_pcg_truncated");
+    group.sample_size(10);
+    for k in [1usize, 2, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let solver = Solver::new(SolverKind::AmgPcg)
+                .with_tolerance(1e-14)
+                .with_max_iterations(k);
+            b.iter(|| black_box(solver.solve(&sys.matrix, &sys.rhs)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // Grid-size scaling of the production solver.
+    let mut group = c.benchmark_group("amg_pcg_scaling");
+    group.sample_size(10);
+    for stripes in [8usize, 16, 24] {
+        let sys = grid_system(stripes);
+        group.bench_with_input(BenchmarkId::new("nodes", sys.dim()), &sys, |b, sys| {
+            let solver = Solver::new(SolverKind::AmgPcg).with_tolerance(1e-8);
+            b.iter(|| black_box(solver.solve(&sys.matrix, &sys.rhs)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_solver_kinds,
+    bench_truncated_amg_pcg,
+    bench_scaling
+);
+criterion_main!(benches);

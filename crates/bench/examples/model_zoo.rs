@@ -1,0 +1,45 @@
+//! Print the model zoo: per-model parameter counts and a forward
+//! shape check — a quick sanity tour of `irf-models`.
+//!
+//! ```bash
+//! cargo run -p irf-bench --release --example model_zoo
+//! ```
+
+use irf_models::{build_model, ModelConfig, ModelKind};
+use irf_nn::{init, Tape};
+use std::time::Instant;
+
+fn main() {
+    let config = ModelConfig {
+        in_channels: 11,
+        base_channels: 6,
+        seed: 1,
+        linear_head: false,
+    };
+    println!(
+        "{:<16} {:>12} {:>14} {:>12}",
+        "model", "parameters", "forward 32x32", "kirchhoff?"
+    );
+    println!("{}", "-".repeat(58));
+    for kind in ModelKind::TABLE1 {
+        let (model, store) = build_model(kind, config);
+        let x = init::uniform([1, config.in_channels, 32, 32], -1.0, 1.0, 2);
+        let t0 = Instant::now();
+        let mut tape = Tape::new();
+        let xin = tape.input(x);
+        let y = model.forward(&mut tape, &store, xin);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(tape.value(y).shape(), [1, 1, 32, 32]);
+        println!(
+            "{:<16} {:>12} {:>11.1} ms {:>12}",
+            model.name(),
+            store.num_scalars(),
+            ms,
+            if model.wants_kirchhoff_loss() { "yes" } else { "no" }
+        );
+    }
+    println!();
+    println!("All models map (1, C, H, W) feature stacks to a (1, 1, H, W)");
+    println!("drop map; the fusion pipeline switches IR-Fusion's head to a");
+    println!("linear (signed residual) output at training time.");
+}

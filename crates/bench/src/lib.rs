@@ -1,0 +1,81 @@
+//! Benchmark harness regenerating every table and figure of the
+//! IR-Fusion paper.
+//!
+//! Binaries (run with `--release`):
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `table1` | Table I — main results across all models |
+//! | `fig6`   | Fig. 6 — golden / MAUnet / IR-Fusion drop maps (PGM + ASCII) |
+//! | `fig7`   | Fig. 7 — accuracy-vs-iterations trade-off vs PowerRush |
+//! | `fig8`   | Fig. 8 — ablation study |
+//!
+//! Criterion benches (`cargo bench -p irf-bench`) cover the solver,
+//! feature-extraction, and model-inference micro-costs that the
+//! runtime columns of the paper's tables rest on.
+
+use irf_metrics::MetricReport;
+
+/// Formats one Table-I-style row.
+#[must_use]
+pub fn format_row(name: &str, r: &MetricReport) -> String {
+    format!(
+        "{name:<16} | {:>8.3} | {:>6.3} | {:>9.4} | {:>8.3}",
+        r.mae_e4(),
+        r.f1,
+        r.runtime_seconds,
+        r.mirde_e4()
+    )
+}
+
+/// Header matching [`format_row`].
+#[must_use]
+pub fn table_header() -> String {
+    format!(
+        "{:<16} | {:>8} | {:>6} | {:>9} | {:>8}\n{}",
+        "Method",
+        "MAE e-4",
+        "F1",
+        "Runtime s",
+        "MIRDE e-4",
+        "-".repeat(60)
+    )
+}
+
+/// Parses the experiment scale from CLI args: `--tiny` selects the
+/// smoke scale, anything else the paper-shaped scale.
+#[must_use]
+pub fn scale_from_args() -> ir_fusion::experiment::ExperimentScale {
+    if std::env::args().any(|a| a == "--tiny") {
+        ir_fusion::experiment::ExperimentScale::tiny()
+    } else {
+        ir_fusion::experiment::ExperimentScale::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_formatting_is_stable() {
+        let r = MetricReport {
+            mae_volts: 0.72e-4,
+            f1: 0.71,
+            mirde_volts: 3.05e-4,
+            cc: 0.9,
+            runtime_seconds: 6.98,
+        };
+        let row = format_row("IR-Fusion", &r);
+        assert!(row.contains("IR-Fusion"));
+        assert!(row.contains("0.720"));
+        assert!(row.contains("0.710"));
+    }
+
+    #[test]
+    fn header_aligns_with_rows() {
+        let header_cols = table_header().lines().next().unwrap().matches('|').count();
+        let r = MetricReport::default();
+        assert_eq!(header_cols, format_row("x", &r).matches('|').count());
+    }
+}

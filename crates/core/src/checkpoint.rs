@@ -1,0 +1,151 @@
+//! Whole-bundle checkpoints for a [`TrainedModel`]: architecture id,
+//! hyperparameters, fusion metadata, and the parameter blob.
+//!
+//! Format (little-endian): magic `IRFM`, version `u32`, model-kind id
+//! `u32`, in-channels `u32`, base-channels `u32`, seed `u64`, residual
+//! flag `u8`, label scale `f32`, followed by the [`irf_nn::serialize`]
+//! parameter stream.
+
+use crate::train::TrainedModel;
+use irf_models::{build_model, ModelConfig, ModelKind};
+use irf_nn::serialize::{self, CheckpointError};
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"IRFM";
+const VERSION: u32 = 1;
+
+/// Saves a trained bundle; load it back with [`load_model`].
+/// A `&mut` writer may be passed.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn save_model<W: Write>(
+    trained: &TrainedModel,
+    kind: ModelKind,
+    config: ModelConfig,
+    mut w: W,
+) -> Result<(), CheckpointError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&kind.id().to_le_bytes())?;
+    w.write_all(&u32::try_from(config.in_channels).expect("channels fit u32").to_le_bytes())?;
+    w.write_all(&u32::try_from(config.base_channels).expect("channels fit u32").to_le_bytes())?;
+    w.write_all(&config.seed.to_le_bytes())?;
+    w.write_all(&[u8::from(trained.residual)])?;
+    w.write_all(&trained.label_scale.to_le_bytes())?;
+    serialize::save(&trained.store, w)
+}
+
+/// Loads a bundle saved by [`save_model`], rebuilding the architecture
+/// and restoring the trained parameters. A `&mut` reader may be
+/// passed.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::BadMagic`] / [`CheckpointError::BadVersion`]
+/// for foreign streams, [`CheckpointError::Mismatch`] for unknown model
+/// ids, and propagates parameter-stream errors.
+pub fn load_model<R: Read>(mut r: R) -> Result<TrainedModel, CheckpointError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let kind_id = read_u32(&mut r)?;
+    let kind = ModelKind::from_id(kind_id)
+        .ok_or_else(|| CheckpointError::Mismatch(format!("unknown model kind id {kind_id}")))?;
+    let in_channels = read_u32(&mut r)? as usize;
+    let base_channels = read_u32(&mut r)? as usize;
+    let mut seed_bytes = [0u8; 8];
+    r.read_exact(&mut seed_bytes)?;
+    let seed = u64::from_le_bytes(seed_bytes);
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let residual = flag[0] != 0;
+    let mut scale_bytes = [0u8; 4];
+    r.read_exact(&mut scale_bytes)?;
+    let label_scale = f32::from_le_bytes(scale_bytes);
+    let (model, mut store) = build_model(
+        kind,
+        ModelConfig {
+            in_channels,
+            base_channels,
+            seed,
+            linear_head: residual,
+        },
+    );
+    serialize::load(&mut store, r)?;
+    Ok(TrainedModel {
+        model,
+        store,
+        label_scale,
+        residual,
+        loss_history: Vec::new(),
+    })
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, CheckpointError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FusionConfig;
+    use crate::evaluate::evaluate_model;
+    use crate::pipeline::IrFusionPipeline;
+    use crate::train::train;
+    use irf_data::Dataset;
+
+    #[test]
+    fn bundle_roundtrip_preserves_everything() {
+        let ds = Dataset::generate(2, 2, 1, 99);
+        let mut cfg = FusionConfig::tiny();
+        cfg.train.epochs = 1;
+        let trained = train(ModelKind::IrFusion, &ds, &cfg);
+        // The in_channels used by training are inferred from the data.
+        let mut model_cfg = cfg.model;
+        model_cfg.in_channels = 11;
+        model_cfg.linear_head = trained.residual;
+        let mut buf = Vec::new();
+        save_model(&trained, ModelKind::IrFusion, model_cfg, &mut buf).expect("save");
+        let loaded = load_model(buf.as_slice()).expect("load");
+        assert_eq!(loaded.residual, trained.residual);
+        assert_eq!(loaded.label_scale, trained.label_scale);
+        // Same predictions bit-for-bit on the evaluation path.
+        let pipeline = IrFusionPipeline::new(cfg);
+        let a = evaluate_model(&trained, &ds, &pipeline);
+        let b = evaluate_model(&loaded, &ds, &pipeline);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.mae_volts, y.mae_volts);
+        }
+    }
+
+    #[test]
+    fn foreign_streams_are_rejected() {
+        assert!(matches!(
+            load_model(&b"NOTAMODEL"[..]),
+            Err(CheckpointError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_is_reported() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"IRFM");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&999u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 32]);
+        assert!(matches!(
+            load_model(buf.as_slice()),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+}

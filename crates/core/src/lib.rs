@@ -1,0 +1,47 @@
+//! IR-Fusion: a fusion framework for static IR drop analysis combining
+//! numerical solution and machine learning.
+//!
+//! This crate is the top of the reproduction stack. It wires together:
+//!
+//! - the SPICE front door ([`irf_spice`]) and circuit model
+//!   ([`irf_pg`]);
+//! - the **AMG-PCG** numerical solver ([`irf_sparse`]) run for a small
+//!   number of iterations to obtain a *rough* solution;
+//! - hierarchical numerical-structural **feature fusion**
+//!   ([`irf_features`]);
+//! - the **Inception Attention U-Net** and the baseline zoo
+//!   ([`irf_models`]) on the in-house autograd framework
+//!   ([`irf_nn`]);
+//! - **augmented curriculum learning** ([`irf_data`]) for training;
+//! - contest metrics ([`irf_metrics`]) for evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ir_fusion::{FusionConfig, IrFusionPipeline};
+//! use irf_data::{synthesize, SynthSpec};
+//!
+//! // Synthesize a small design and analyze it end to end.
+//! let netlist = synthesize(&SynthSpec::default());
+//! let pipeline = IrFusionPipeline::new(FusionConfig::default());
+//! let analysis = pipeline.analyze_netlist(&netlist)?;
+//! assert!(analysis.rough_map.max() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod config;
+pub mod evaluate;
+pub mod experiment;
+pub mod pipeline;
+pub mod report;
+pub mod train;
+
+pub use checkpoint::{load_model, save_model};
+pub use config::{FusionConfig, TrainConfig};
+pub use evaluate::{evaluate_model, evaluate_numerical};
+pub use pipeline::{Analysis, IrFusionPipeline, PreparedSample};
+pub use report::SignoffReport;
+pub use train::{train, TrainedModel};

@@ -1,0 +1,331 @@
+//! The end-to-end analysis pipeline: parse -> rough solve -> feature
+//! fusion -> model inference.
+
+use crate::config::FusionConfig;
+use crate::train::TrainedModel;
+use irf_data::golden::golden_drops;
+use irf_data::Design;
+use irf_features::{FeatureExtractor, FeatureStack};
+use irf_metrics::Timer;
+use irf_nn::{Tape, Tensor};
+use irf_pg::{GridMap, ModelError, PowerGrid, Rasterizer};
+use irf_spice::Netlist;
+use irf_sparse::{SolveReport, Solver};
+
+/// A design prepared for training or inference: feature stack plus
+/// golden label map.
+#[derive(Debug, Clone)]
+pub struct PreparedSample {
+    /// Extracted feature maps.
+    pub features: FeatureStack,
+    /// Golden bottom-layer drop map (volts).
+    pub label: GridMap,
+    /// Rough bottom-layer drop map from the truncated solve (volts) —
+    /// the base the residual fusion corrects.
+    pub rough: GridMap,
+    /// Seconds spent in the truncated numerical solve.
+    pub solve_seconds: f64,
+    /// Seconds spent extracting features.
+    pub feature_seconds: f64,
+}
+
+impl PreparedSample {
+    /// Rotated copy (augmentation).
+    #[must_use]
+    pub fn rotated(&self, quarters: u32) -> PreparedSample {
+        PreparedSample {
+            features: self.features.rotated(quarters),
+            label: self.label.rotated(quarters),
+            rough: self.rough.rotated(quarters),
+            solve_seconds: self.solve_seconds,
+            feature_seconds: self.feature_seconds,
+        }
+    }
+
+    /// Features as a `(1, C, H, W)` tensor.
+    #[must_use]
+    pub fn feature_tensor(&self) -> Tensor {
+        let (c, h, w, data) = self.features.to_nchw();
+        Tensor::from_vec([1, c, h, w], data)
+    }
+
+    /// Label as a `(1, 1, H, W)` tensor, scaled by `scale`.
+    #[must_use]
+    pub fn label_tensor(&self, scale: f32) -> Tensor {
+        let data = self.label.data().iter().map(|v| v * scale).collect();
+        Tensor::from_vec([1, 1, self.label.height(), self.label.width()], data)
+    }
+
+    /// Residual target `(label - rough) * scale` as a `(1, 1, H, W)`
+    /// tensor — what the fusion model learns to predict.
+    #[must_use]
+    pub fn residual_tensor(&self, scale: f32) -> Tensor {
+        let data = self
+            .label
+            .data()
+            .iter()
+            .zip(self.rough.data())
+            .map(|(l, r)| (l - r) * scale)
+            .collect();
+        Tensor::from_vec([1, 1, self.label.height(), self.label.width()], data)
+    }
+}
+
+/// Result of one full analysis.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The rough numerical drop map (bottom layer) after the truncated
+    /// solve — what a pure numerical flow at the same budget reports.
+    pub rough_map: GridMap,
+    /// The model-refined prediction, if a trained model was supplied.
+    pub fused_map: Option<GridMap>,
+    /// Report of the truncated solve.
+    pub solve_report: SolveReport,
+    /// Total wall-clock seconds (solve + features + inference).
+    pub runtime_seconds: f64,
+}
+
+/// The IR-Fusion pipeline. See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct IrFusionPipeline {
+    config: FusionConfig,
+}
+
+impl IrFusionPipeline {
+    /// Creates a pipeline.
+    #[must_use]
+    pub fn new(config: FusionConfig) -> Self {
+        IrFusionPipeline { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &FusionConfig {
+        &self.config
+    }
+
+    /// Runs the truncated AMG-PCG solve, returning per-node drops.
+    #[must_use]
+    pub fn rough_solution(&self, grid: &PowerGrid) -> (Vec<f64>, SolveReport) {
+        let system = grid.build_system();
+        let report = Solver::new(self.config.solver_kind)
+            .with_amg_params(self.config.amg)
+            .with_tolerance(1e-12) // iteration budget is the only stop
+            .with_max_iterations(self.config.solver_iterations)
+            .solve(&system.matrix, &system.rhs);
+        let drops = system.expand_solution(&report.x);
+        (drops, report)
+    }
+
+    /// Prepares a labelled design (training path).
+    #[must_use]
+    pub fn prepare(&self, design: &Design) -> PreparedSample {
+        self.prepare_grid(&design.grid, &design.golden)
+    }
+
+    /// Prepares a grid with a supplied golden solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `golden.len() != grid.nodes.len()`.
+    #[must_use]
+    pub fn prepare_grid(&self, grid: &PowerGrid, golden: &[f64]) -> PreparedSample {
+        let extractor = FeatureExtractor::new(self.config.feature);
+        let ((drops, solve_report), solve_seconds) = Timer::time(|| self.rough_solution(grid));
+        let _ = solve_report;
+        let (features, feature_seconds) = Timer::time(|| {
+            // The "w/o Num. Solu." ablation zeroes the numerical
+            // channels by disabling them in the config instead.
+            extractor.extract(grid, &drops)
+        });
+        let raster = extractor.rasterizer(grid);
+        let label = irf_features::solution::bottom_layer_solution_map(grid, golden, &raster);
+        let rough = irf_features::solution::bottom_layer_solution_map(grid, &drops, &raster);
+        PreparedSample {
+            features,
+            label,
+            rough,
+            solve_seconds,
+            feature_seconds,
+        }
+    }
+
+    /// Analyzes a netlist end to end (inference path). Pass a trained
+    /// `model` to get the fused prediction; without one, only the
+    /// rough numerical map is produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when the netlist does not describe a
+    /// valid power grid.
+    pub fn analyze_netlist(&self, netlist: &Netlist) -> Result<Analysis, ModelError> {
+        let grid = PowerGrid::from_netlist(netlist)?;
+        Ok(self.analyze_grid(&grid, None))
+    }
+
+    /// Analyzes a grid, optionally refining with a trained model.
+    ///
+    /// In residual mode (the fusion default), the model's signed
+    /// correction is added to the rough numerical map and the result
+    /// clamped at zero; in absolute mode the model output *is* the
+    /// prediction.
+    #[must_use]
+    pub fn analyze_grid(&self, grid: &PowerGrid, model: Option<&TrainedModel>) -> Analysis {
+        let mut timer = Timer::new();
+        timer.start();
+        // Pure-ML baselines (absolute prediction, no numerical feature
+        // channels) never consume the solver output, so they do not
+        // pay for it — keeping the runtime column honest. Everything
+        // else runs the truncated solve.
+        let needs_solve = self.config.feature.numerical
+            || model.is_none_or(|t| t.residual);
+        let (drops, solve_report) = if needs_solve {
+            self.rough_solution(grid)
+        } else {
+            let n = grid.nodes.len();
+            let report = SolveReport {
+                x: Vec::new(),
+                converged: false,
+                iterations: 0,
+                residual: f64::INFINITY,
+                setup_seconds: 0.0,
+                solve_seconds: 0.0,
+                trace: irf_sparse::cg::ConvergenceTrace::default(),
+            };
+            (vec![0.0; n], report)
+        };
+        let extractor = FeatureExtractor::new(self.config.feature);
+        let raster = extractor.rasterizer(grid);
+        let rough_map =
+            irf_features::solution::bottom_layer_solution_map(grid, &drops, &raster);
+        let fused_map = model.map(|trained| {
+            let features = extractor.extract(grid, &drops);
+            let (c, h, w, data) = features.to_nchw();
+            let mut tape = Tape::new();
+            let x = tape.input(Tensor::from_vec([1, c, h, w], data));
+            let y = trained.model.forward(&mut tape, &trained.store, x);
+            let pred = tape.value(y);
+            let scale = trained.label_scale;
+            let inv = if scale > 0.0 { 1.0 / scale } else { 1.0 };
+            if trained.residual {
+                let data = pred
+                    .data()
+                    .iter()
+                    .zip(rough_map.data())
+                    .map(|(corr, rough)| (rough + corr * inv).max(0.0))
+                    .collect();
+                GridMap::from_vec(w, h, data)
+            } else {
+                GridMap::from_vec(w, h, pred.data().iter().map(|v| v * inv).collect())
+            }
+        });
+        timer.stop();
+        Analysis {
+            rough_map,
+            fused_map,
+            solve_report,
+            runtime_seconds: timer.seconds(),
+        }
+    }
+
+    /// Golden analysis via the exact direct solver (for labels and
+    /// verification).
+    #[must_use]
+    pub fn golden_map(&self, grid: &PowerGrid) -> GridMap {
+        let extractor = FeatureExtractor::new(self.config.feature);
+        let raster: Rasterizer = extractor.rasterizer(grid);
+        let drops = golden_drops(grid);
+        irf_features::solution::bottom_layer_solution_map(grid, &drops, &raster)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FusionConfig;
+use crate::train::TrainedModel;
+    use irf_data::{synthesize, SynthSpec};
+    use irf_metrics::mae;
+
+    fn pipeline() -> IrFusionPipeline {
+        IrFusionPipeline::new(FusionConfig::tiny())
+    }
+
+    fn grid() -> PowerGrid {
+        PowerGrid::from_netlist(&synthesize(&SynthSpec::default())).expect("valid grid")
+    }
+
+    #[test]
+    fn rough_solution_respects_iteration_budget() {
+        let p = pipeline();
+        let (drops, report) = p.rough_solution(&grid());
+        assert_eq!(report.iterations, 2);
+        assert_eq!(drops.len(), grid().nodes.len());
+    }
+
+    #[test]
+    fn more_iterations_approach_golden() {
+        let g = grid();
+        let golden = golden_drops(&g);
+        let mut cfg = FusionConfig::tiny();
+        let err_at = |k: usize, cfg: &mut FusionConfig| {
+            cfg.solver_iterations = k;
+            let p = IrFusionPipeline::new(*cfg);
+            let (drops, _) = p.rough_solution(&g);
+            drops
+                .iter()
+                .zip(&golden)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max)
+        };
+        let e2 = err_at(2, &mut cfg);
+        let e8 = err_at(8, &mut cfg);
+        assert!(e8 < e2, "k=8 ({e8:e}) should beat k=2 ({e2:e})");
+    }
+
+    #[test]
+    fn prepare_produces_consistent_shapes() {
+        let p = pipeline();
+        let design = irf_data::Design::fake(1);
+        let sample = p.prepare(&design);
+        let (c, h, w, _) = sample.features.to_nchw();
+        assert_eq!((h, w), (16, 16));
+        assert_eq!(c, p.config().feature_channels(3));
+        assert_eq!(sample.label.width(), 16);
+        assert!(sample.label.max() > 0.0);
+    }
+
+    #[test]
+    fn analyze_without_model_gives_rough_map_only() {
+        let p = pipeline();
+        let netlist = synthesize(&SynthSpec::default());
+        let a = p.analyze_netlist(&netlist).expect("valid");
+        assert!(a.fused_map.is_none());
+        assert!(a.rough_map.max() > 0.0);
+        assert!(a.runtime_seconds > 0.0);
+    }
+
+    #[test]
+    fn rough_map_is_a_reasonable_estimate() {
+        // Even at k=2 the rough map should correlate with golden.
+        let p = pipeline();
+        let g = grid();
+        let a = p.analyze_grid(&g, None);
+        let golden = p.golden_map(&g);
+        let err = mae(a.rough_map.data(), golden.data());
+        assert!(
+            err < f64::from(golden.max()),
+            "rough map error {err} should be below the peak drop"
+        );
+    }
+
+    #[test]
+    fn label_tensor_applies_scale() {
+        let p = pipeline();
+        let sample = p.prepare(&irf_data::Design::fake(2));
+        let t1 = sample.label_tensor(1.0);
+        let t100 = sample.label_tensor(100.0);
+        let r = t100.data()[0] / t1.data()[0].max(1e-30);
+        assert!(t1.data()[0] == 0.0 || (r - 100.0).abs() < 1e-3);
+    }
+}

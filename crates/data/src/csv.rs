@@ -1,0 +1,214 @@
+//! Loader for the ICCAD-2023 contest's image-based data.
+//!
+//! Alongside SPICE netlists, the contest distributes per-design CSV
+//! matrices — `current_map.csv`, `eff_dist_map.csv`,
+//! `pdn_density.csv`, and the golden `ir_drop_map.csv` — where each
+//! cell covers a 1 um x 1 um tile. This module parses that format so
+//! the *real* contest data can be dropped into the training pipeline
+//! in place of the synthetic corpus.
+
+use irf_pg::GridMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error parsing a contest CSV matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseCsvError {
+    /// A cell failed to parse as a number.
+    BadNumber {
+        /// 1-based row.
+        row: usize,
+        /// 1-based column.
+        col: usize,
+    },
+    /// Rows have inconsistent lengths.
+    RaggedRows {
+        /// Row with the unexpected length (1-based).
+        row: usize,
+        /// Cells found.
+        found: usize,
+        /// Cells expected (from the first row).
+        expected: usize,
+    },
+    /// The input had no rows.
+    Empty,
+}
+
+impl fmt::Display for ParseCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseCsvError::BadNumber { row, col } => {
+                write!(f, "cell ({row},{col}) is not a number")
+            }
+            ParseCsvError::RaggedRows {
+                row,
+                found,
+                expected,
+            } => write!(f, "row {row} has {found} cells, expected {expected}"),
+            ParseCsvError::Empty => write!(f, "csv contains no rows"),
+        }
+    }
+}
+
+impl Error for ParseCsvError {}
+
+/// Parses one contest CSV matrix into a [`GridMap`] (row-major; the
+/// first CSV row becomes pixel row `y = 0`).
+///
+/// # Errors
+///
+/// See [`ParseCsvError`].
+pub fn parse_map_csv(src: &str) -> Result<GridMap, ParseCsvError> {
+    let mut values: Vec<f32> = Vec::new();
+    let mut width: Option<usize> = None;
+    let mut height = 0usize;
+    for (r, line) in src.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut count = 0usize;
+        for (c, cell) in line.split(',').enumerate() {
+            let v: f32 = cell
+                .trim()
+                .parse()
+                .map_err(|_| ParseCsvError::BadNumber { row: r + 1, col: c + 1 })?;
+            values.push(v);
+            count += 1;
+        }
+        match width {
+            None => width = Some(count),
+            Some(w) if w != count => {
+                return Err(ParseCsvError::RaggedRows {
+                    row: r + 1,
+                    found: count,
+                    expected: w,
+                })
+            }
+            Some(_) => {}
+        }
+        height += 1;
+    }
+    let width = width.ok_or(ParseCsvError::Empty)?;
+    Ok(GridMap::from_vec(width, height, values))
+}
+
+/// The contest's per-design image bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContestImages {
+    /// Tile current map (amperes).
+    pub current: GridMap,
+    /// Effective distance to the pads.
+    pub eff_dist: GridMap,
+    /// PDN density map.
+    pub pdn_density: GridMap,
+    /// Golden IR-drop map (volts), present for training designs.
+    pub ir_drop: Option<GridMap>,
+}
+
+impl ContestImages {
+    /// Assembles a bundle from CSV strings, verifying that every map
+    /// shares one shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParseCsvError`], with a
+    /// [`ParseCsvError::RaggedRows`] against row 0 when map shapes
+    /// disagree.
+    pub fn from_csv_strings(
+        current: &str,
+        eff_dist: &str,
+        pdn_density: &str,
+        ir_drop: Option<&str>,
+    ) -> Result<Self, ParseCsvError> {
+        let current = parse_map_csv(current)?;
+        let eff_dist = parse_map_csv(eff_dist)?;
+        let pdn_density = parse_map_csv(pdn_density)?;
+        let ir_drop = ir_drop.map(parse_map_csv).transpose()?;
+        let shape = (current.width(), current.height());
+        for m in [&eff_dist, &pdn_density]
+            .into_iter()
+            .chain(ir_drop.as_ref())
+        {
+            if (m.width(), m.height()) != shape {
+                return Err(ParseCsvError::RaggedRows {
+                    row: 0,
+                    found: m.width(),
+                    expected: shape.0,
+                });
+            }
+        }
+        Ok(ContestImages {
+            current,
+            eff_dist,
+            pdn_density,
+            ir_drop,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_small_matrix() {
+        let m = parse_map_csv("1,2,3\n4,5,6\n").expect("valid");
+        assert_eq!((m.width(), m.height()), (3, 2));
+        assert_eq!(m.get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn scientific_notation_and_spaces() {
+        let m = parse_map_csv(" 1e-3 , 2.5E2 \n 0 , -4 \n").expect("valid");
+        assert!((m.get(0, 0) - 1e-3).abs() < 1e-9);
+        assert_eq!(m.get(1, 0), 250.0);
+        assert_eq!(m.get(1, 1), -4.0);
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let e = parse_map_csv("1,2\n3\n").unwrap_err();
+        assert_eq!(
+            e,
+            ParseCsvError::RaggedRows {
+                row: 2,
+                found: 1,
+                expected: 2
+            }
+        );
+    }
+
+    #[test]
+    fn bad_cells_carry_coordinates() {
+        let e = parse_map_csv("1,x\n").unwrap_err();
+        assert_eq!(e, ParseCsvError::BadNumber { row: 1, col: 2 });
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert_eq!(parse_map_csv("\n\n"), Err(ParseCsvError::Empty));
+    }
+
+    #[test]
+    fn bundle_checks_shapes() {
+        let ok = ContestImages::from_csv_strings("1,2\n3,4\n", "0,0\n0,0\n", "1,1\n1,1\n", None);
+        assert!(ok.is_ok());
+        let bad =
+            ContestImages::from_csv_strings("1,2\n3,4\n", "0,0,0\n0,0,0\n", "1,1\n1,1\n", None);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn golden_map_is_optional() {
+        let b = ContestImages::from_csv_strings("1\n", "2\n", "3\n", Some("4\n")).expect("valid");
+        assert_eq!(b.ir_drop.expect("present").get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn roundtrips_with_grid_map_csv_writer() {
+        let m = GridMap::from_vec(2, 2, vec![0.5, 1.5, -2.0, 3.25]);
+        let again = parse_map_csv(&m.to_csv()).expect("round-trips");
+        assert_eq!(m, again);
+    }
+}

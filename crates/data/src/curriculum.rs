@@ -1,0 +1,164 @@
+//! Predefined curriculum learning (paper Section III-E, Fig. 5).
+//!
+//! The *difficulty measurer* is predefined: fake designs are "easier",
+//! real designs are "harder". The *training scheduler* is a
+//! continuous (linear pacing) scheduler: training starts on the easy
+//! subset and the hard fraction grows every epoch until the full set
+//! is in play.
+
+use crate::augment::AugmentedSample;
+use crate::dataset::DesignClass;
+
+/// Continuous linear-pacing curriculum scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurriculumScheduler {
+    /// Fraction of the hard samples visible at epoch 0.
+    pub start_fraction: f64,
+    /// Additional hard fraction revealed per epoch.
+    pub fraction_per_epoch: f64,
+}
+
+impl Default for CurriculumScheduler {
+    fn default() -> Self {
+        CurriculumScheduler {
+            start_fraction: 0.0,
+            fraction_per_epoch: 0.25,
+        }
+    }
+}
+
+impl CurriculumScheduler {
+    /// Fraction of hard samples included at `epoch` (clamped to 1).
+    #[must_use]
+    pub fn hard_fraction(&self, epoch: usize) -> f64 {
+        (self.start_fraction + self.fraction_per_epoch * epoch as f64).min(1.0)
+    }
+
+    /// Selects the training subset for `epoch`: all easy samples plus
+    /// the first `hard_fraction` of the hard samples (stable order, so
+    /// the curriculum reveals the same designs progressively).
+    ///
+    /// `classes[i]` is the class of `plan[i]`'s design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` and `classes` lengths differ.
+    #[must_use]
+    pub fn subset(
+        &self,
+        plan: &[AugmentedSample],
+        classes: &[DesignClass],
+        epoch: usize,
+    ) -> Vec<AugmentedSample> {
+        assert_eq!(plan.len(), classes.len(), "plan/classes length mismatch");
+        let hard_total = classes
+            .iter()
+            .filter(|&&c| c == DesignClass::Real)
+            .count();
+        let hard_take = (self.hard_fraction(epoch) * hard_total as f64).round() as usize;
+        let mut out = Vec::with_capacity(plan.len());
+        let mut hard_seen = 0;
+        for (s, &c) in plan.iter().zip(classes) {
+            match c {
+                DesignClass::Fake => out.push(*s),
+                DesignClass::Real => {
+                    if hard_seen < hard_take {
+                        out.push(*s);
+                    }
+                    hard_seen += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// First epoch at which the whole training set is visible.
+    #[must_use]
+    pub fn epochs_to_full(&self) -> usize {
+        if self.fraction_per_epoch <= 0.0 {
+            return usize::MAX;
+        }
+        ((1.0 - self.start_fraction) / self.fraction_per_epoch).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_and_classes() -> (Vec<AugmentedSample>, Vec<DesignClass>) {
+        let plan: Vec<AugmentedSample> = (0..8)
+            .map(|i| AugmentedSample {
+                design: i,
+                quarters: 0,
+            })
+            .collect();
+        let classes = vec![
+            DesignClass::Fake,
+            DesignClass::Fake,
+            DesignClass::Fake,
+            DesignClass::Fake,
+            DesignClass::Real,
+            DesignClass::Real,
+            DesignClass::Real,
+            DesignClass::Real,
+        ];
+        (plan, classes)
+    }
+
+    #[test]
+    fn epoch_zero_is_easy_only_by_default() {
+        let (plan, classes) = plan_and_classes();
+        let sched = CurriculumScheduler::default();
+        let subset = sched.subset(&plan, &classes, 0);
+        assert_eq!(subset.len(), 4);
+        assert!(subset.iter().all(|s| s.design < 4));
+    }
+
+    #[test]
+    fn hard_fraction_grows_linearly() {
+        let sched = CurriculumScheduler::default();
+        assert_eq!(sched.hard_fraction(0), 0.0);
+        assert_eq!(sched.hard_fraction(2), 0.5);
+        assert_eq!(sched.hard_fraction(4), 1.0);
+        assert_eq!(sched.hard_fraction(100), 1.0);
+    }
+
+    #[test]
+    fn full_set_is_reached() {
+        let (plan, classes) = plan_and_classes();
+        let sched = CurriculumScheduler::default();
+        assert_eq!(sched.epochs_to_full(), 4);
+        let subset = sched.subset(&plan, &classes, sched.epochs_to_full());
+        assert_eq!(subset.len(), plan.len());
+    }
+
+    #[test]
+    fn progression_is_monotone_and_stable() {
+        let (plan, classes) = plan_and_classes();
+        let sched = CurriculumScheduler::default();
+        let mut prev: Vec<usize> = Vec::new();
+        for epoch in 0..5 {
+            let subset: Vec<usize> = sched
+                .subset(&plan, &classes, epoch)
+                .iter()
+                .map(|s| s.design)
+                .collect();
+            assert!(subset.len() >= prev.len());
+            // Previously revealed designs stay revealed.
+            for d in &prev {
+                assert!(subset.contains(d));
+            }
+            prev = subset;
+        }
+    }
+
+    #[test]
+    fn zero_pacing_never_reaches_full() {
+        let sched = CurriculumScheduler {
+            start_fraction: 0.5,
+            fraction_per_epoch: 0.0,
+        };
+        assert_eq!(sched.epochs_to_full(), usize::MAX);
+    }
+}

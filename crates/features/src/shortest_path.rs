@@ -1,0 +1,197 @@
+//! Shortest-path resistance to the voltage sources.
+
+use irf_pg::{GridMap, PowerGrid, Rasterizer};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// How many pads the *average* shortest-path computation visits
+/// individually before falling back to the single multi-source pass.
+const MAX_PADS_FOR_AVERAGE: usize = 32;
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra with edge weight = segment resistance from the given
+/// source set; returns per-node cumulative resistance
+/// (`f64::INFINITY` for unreachable nodes).
+#[must_use]
+pub fn resistance_distances(grid: &PowerGrid, sources: &[usize]) -> Vec<f64> {
+    let adj = grid.adjacency();
+    let mut dist = vec![f64::INFINITY; grid.nodes.len()];
+    let mut heap = BinaryHeap::new();
+    for &s in sources {
+        dist[s] = 0.0;
+        heap.push(HeapItem { dist: 0.0, node: s });
+    }
+    while let Some(HeapItem { dist: d, node }) = heap.pop() {
+        if d > dist[node] {
+            continue;
+        }
+        for &(next, conductance) in &adj[node] {
+            let nd = d + 1.0 / conductance;
+            if nd < dist[next] {
+                dist[next] = nd;
+                heap.push(HeapItem {
+                    dist: nd,
+                    node: next,
+                });
+            }
+        }
+    }
+    dist
+}
+
+/// The paper's shortest-path resistance map: "the average of the
+/// cumulative resistance from each node to voltage sources". For each
+/// pad we run a resistance-weighted Dijkstra and average the per-node
+/// results; grids with very many pads fall back to the single
+/// multi-source (minimum) pass to bound setup cost. Node values are
+/// rasterized with per-tile means; unreachable nodes are skipped.
+///
+/// # Panics
+///
+/// Panics if the grid has no pads.
+#[must_use]
+pub fn shortest_path_resistance_map(grid: &PowerGrid, raster: &Rasterizer) -> GridMap {
+    assert!(!grid.pads.is_empty(), "shortest-path resistance needs pads");
+    let values = shortest_path_resistance_per_node(grid);
+    raster.splat_mean(
+        grid.nodes
+            .iter()
+            .zip(&values)
+            .filter(|(_, v)| v.is_finite())
+            .map(|(n, &v)| (n.x, n.y, v)),
+    )
+}
+
+/// Per-node average shortest-path resistance (see
+/// [`shortest_path_resistance_map`]).
+///
+/// # Panics
+///
+/// Panics if the grid has no pads.
+#[must_use]
+pub fn shortest_path_resistance_per_node(grid: &PowerGrid) -> Vec<f64> {
+    assert!(!grid.pads.is_empty(), "shortest-path resistance needs pads");
+    let pad_nodes: Vec<usize> = grid.pads.iter().map(|p| p.node).collect();
+    if pad_nodes.len() > MAX_PADS_FOR_AVERAGE {
+        return resistance_distances(grid, &pad_nodes);
+    }
+    let mut acc = vec![0.0f64; grid.nodes.len()];
+    let mut reachable = vec![0usize; grid.nodes.len()];
+    for &pad in &pad_nodes {
+        let d = resistance_distances(grid, &[pad]);
+        for ((a, r), di) in acc.iter_mut().zip(reachable.iter_mut()).zip(&d) {
+            if di.is_finite() {
+                *a += di;
+                *r += 1;
+            }
+        }
+    }
+    acc.iter()
+        .zip(&reachable)
+        .map(|(&a, &r)| if r > 0 { a / r as f64 } else { f64::INFINITY })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irf_spice::parse;
+
+    /// pad --0.5-- a --0.5-- b, plus a second pad at b's far side.
+    fn chain() -> PowerGrid {
+        let src = "\
+V1 p 0 1.0
+R1 p a 0.5
+R2 a b 0.5
+I1 b 0 1m
+";
+        PowerGrid::from_netlist(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn distances_accumulate_resistance() {
+        let g = chain();
+        let pad = g.pads[0].node;
+        let d = resistance_distances(&g, &[pad]);
+        // node order: p, a, b
+        assert_eq!(d[pad], 0.0);
+        assert!((d[1] - 0.5).abs() < 1e-12);
+        assert!((d[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_nodes_are_infinite() {
+        let src = "V1 p 0 1.0\nR1 p a 1.0\nR2 x y 1.0\nI1 a 0 1m\n";
+        let g = PowerGrid::from_netlist(&parse(src).unwrap()).unwrap();
+        let d = resistance_distances(&g, &[g.pads[0].node]);
+        assert!(d.iter().filter(|v| !v.is_finite()).count() == 2);
+    }
+
+    #[test]
+    fn average_over_two_pads() {
+        let src = "\
+V1 p 0 1.0
+V2 q 0 1.0
+R1 p a 1.0
+R2 a q 3.0
+I1 a 0 1m
+";
+        let g = PowerGrid::from_netlist(&parse(src).unwrap()).unwrap();
+        let v = shortest_path_resistance_per_node(&g);
+        // node a: 1.0 from p, 3.0 from q -> average 2.0.
+        let a_idx = g
+            .nodes
+            .iter()
+            .position(|n| n.name == "a")
+            .expect("node a exists");
+        assert!((v[a_idx] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_rasterizes_reachable_nodes() {
+        let g = chain();
+        let raster = Rasterizer::new(g.bounding_box(), 1, 1);
+        let m = shortest_path_resistance_map(&g, &raster);
+        // Mean of 0.0, 0.5, 1.0.
+        assert!((f64::from(m.get(0, 0)) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shortest_path_prefers_low_resistance_route() {
+        // Two routes from pad to t: direct 5 ohm, detour 1+1 = 2 ohm.
+        let src = "\
+V1 p 0 1.0
+R1 p t 5.0
+R2 p m 1.0
+R3 m t 1.0
+I1 t 0 1m
+";
+        let g = PowerGrid::from_netlist(&parse(src).unwrap()).unwrap();
+        let d = resistance_distances(&g, &[g.pads[0].node]);
+        let t_idx = g.nodes.iter().position(|n| n.name == "t").unwrap();
+        assert!((d[t_idx] - 2.0).abs() < 1e-12);
+    }
+}

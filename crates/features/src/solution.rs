@@ -1,0 +1,148 @@
+//! Per-layer rasterization of the (rough) numerical solution.
+
+use irf_pg::{GridMap, PowerGrid, Rasterizer};
+
+/// Rasterizes a per-node IR-drop vector into one map per metal layer
+/// (ascending layer order) — the paper's *hierarchical numerical
+/// features*. Pixels with no node on that layer stay zero.
+///
+/// # Panics
+///
+/// Panics if `drops.len() != grid.nodes.len()`.
+#[must_use]
+pub fn layer_solution_maps(
+    grid: &PowerGrid,
+    drops: &[f64],
+    raster: &Rasterizer,
+) -> Vec<(u32, GridMap)> {
+    assert_eq!(
+        drops.len(),
+        grid.nodes.len(),
+        "solution length must match node count"
+    );
+    grid.layers()
+        .into_iter()
+        .map(|layer| {
+            let samples = grid
+                .nodes
+                .iter()
+                .zip(drops)
+                .filter(|(n, _)| n.layer == layer)
+                .map(|(n, &d)| (n.x, n.y, d));
+            (layer, raster.splat_mean(samples))
+        })
+        .collect()
+}
+
+/// Rasterizes the solution over *all* layers into one map (used for
+/// the golden label and for baselines that ignore layering). Tiles
+/// take the worst (maximum) drop among their nodes.
+///
+/// # Panics
+///
+/// Panics if `drops.len() != grid.nodes.len()`.
+#[must_use]
+pub fn full_solution_map(grid: &PowerGrid, drops: &[f64], raster: &Rasterizer) -> GridMap {
+    assert_eq!(
+        drops.len(),
+        grid.nodes.len(),
+        "solution length must match node count"
+    );
+    raster.splat_max(
+        grid.nodes
+            .iter()
+            .zip(drops)
+            .map(|(n, &d)| (n.x, n.y, d)),
+    )
+}
+
+/// Rasterizes the solution restricted to the bottom (cell) layer —
+/// the prediction target of the paper ("focusing on the IR drop of
+/// the cell at the bottom layer").
+///
+/// # Panics
+///
+/// Panics if `drops.len() != grid.nodes.len()`.
+#[must_use]
+pub fn bottom_layer_solution_map(grid: &PowerGrid, drops: &[f64], raster: &Rasterizer) -> GridMap {
+    assert_eq!(
+        drops.len(),
+        grid.nodes.len(),
+        "solution length must match node count"
+    );
+    let bottom = grid.layers().first().copied().unwrap_or(1);
+    raster.splat_max(
+        grid.nodes
+            .iter()
+            .zip(drops)
+            .filter(|(n, _)| n.layer == bottom)
+            .map(|(n, &d)| (n.x, n.y, d)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irf_spice::parse;
+
+    fn two_layer_grid() -> PowerGrid {
+        let src = "\
+V1 n1_m4_0_0 0 1.0
+R1 n1_m4_0_0 n1_m1_0_0 0.1
+R2 n1_m1_0_0 n1_m1_1000_0 0.5
+R3 n1_m4_0_0 n1_m4_1000_0 0.2
+R4 n1_m4_1000_0 n1_m1_1000_0 0.1
+I1 n1_m1_1000_0 0 1m
+";
+        PowerGrid::from_netlist(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn one_map_per_layer() {
+        let g = two_layer_grid();
+        let raster = Rasterizer::new(g.bounding_box(), 4, 4);
+        let drops = vec![0.0, 0.001, 0.002, 0.0005];
+        let maps = layer_solution_maps(&g, &drops, &raster);
+        assert_eq!(maps.len(), 2);
+        assert_eq!(maps[0].0, 1);
+        assert_eq!(maps[1].0, 4);
+        for (_, m) in &maps {
+            assert_eq!(m.width(), 4);
+        }
+    }
+
+    #[test]
+    fn layer_maps_separate_values() {
+        let g = two_layer_grid();
+        let raster = Rasterizer::new(g.bounding_box(), 2, 2);
+        // nodes order: m4_0_0(pad), m1_0_0, m1_1000_0, m4_1000_0
+        let drops = vec![0.0, 0.010, 0.020, 0.005];
+        let maps = layer_solution_maps(&g, &drops, &raster);
+        let m1 = &maps[0].1;
+        let m4 = &maps[1].1;
+        // Bottom-layer left tile holds node m1_0_0 = 0.010.
+        assert!((m1.get(0, 0) - 0.010).abs() < 1e-6);
+        // Top-layer left tile holds the pad, drop 0.
+        assert_eq!(m4.get(0, 0), 0.0);
+        assert!((m4.get(1, 0) - 0.005).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_map_takes_worst_per_tile() {
+        let g = two_layer_grid();
+        let raster = Rasterizer::new(g.bounding_box(), 1, 1);
+        let drops = vec![0.0, 0.010, 0.020, 0.005];
+        let m = full_solution_map(&g, &drops, &raster);
+        assert!((m.get(0, 0) - 0.020).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bottom_map_ignores_upper_layers() {
+        let g = two_layer_grid();
+        let raster = Rasterizer::new(g.bounding_box(), 1, 1);
+        // Give the top layer a larger fake drop; bottom map must not see it.
+        let drops = vec![0.9, 0.010, 0.020, 0.9];
+        let m = bottom_layer_solution_map(&g, &drops, &raster);
+        assert!((m.get(0, 0) - 0.020).abs() < 1e-6);
+    }
+}

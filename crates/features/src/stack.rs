@@ -1,0 +1,312 @@
+//! The assembled per-design feature stack.
+
+use crate::current::{layer_current_maps, total_current_map};
+use crate::density::pdn_density_map;
+use crate::distance::effective_distance_map;
+use crate::normalize::{normalize, Normalization};
+use crate::resistance::resistance_map;
+use crate::shortest_path::shortest_path_resistance_map;
+use crate::solution::layer_solution_maps;
+use irf_pg::{GridMap, PowerGrid, Rasterizer};
+
+/// Fixed scale applied to voltage-valued maps (the rough-solution
+/// channels): volts x 100, so millivolt-scale drops land near 0.1-1.
+/// Training labels use the same constant
+/// (see the `ir-fusion` crate), which is what lets the model exploit
+/// the numerical solution as a near-identity starting point.
+pub const VOLT_SCALE: f32 = 100.0;
+
+/// Fixed scale applied to current-valued maps (amperes x 100).
+pub const CURRENT_SCALE: f32 = 100.0;
+
+/// Fixed scale applied to resistance-valued path maps (ohms x 0.1).
+pub const PATH_RESISTANCE_SCALE: f32 = 0.1;
+
+/// Configuration of the feature extraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureConfig {
+    /// Output map width in pixels (the paper uses 256; the reproduction
+    /// defaults lower for CPU training).
+    pub width: usize,
+    /// Output map height in pixels.
+    pub height: usize,
+    /// Include per-layer rough-solution maps (the *numerical* half of
+    /// the fusion). Turning this off is the "w/o Num. Solu." ablation.
+    pub numerical: bool,
+    /// Include per-layer current maps (vs a single total map).
+    /// Turning this off is the "w/o hierarchical" ablation: only the
+    /// flat IREDGe-style inputs remain.
+    pub hierarchical: bool,
+    /// Normalization applied to the *structural shape* maps (density,
+    /// resistance mass). Physically valued maps (currents, solutions,
+    /// distances, path resistance) always use fixed scales so their
+    /// amplitude survives across designs.
+    pub normalization: Normalization,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            width: 64,
+            height: 64,
+            numerical: true,
+            hierarchical: true,
+            normalization: Normalization::MaxAbs,
+        }
+    }
+}
+
+/// A named stack of equally sized feature maps.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FeatureStack {
+    maps: Vec<GridMap>,
+    names: Vec<String>,
+}
+
+impl FeatureStack {
+    /// Number of channels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// `true` when the stack holds no maps.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.maps.is_empty()
+    }
+
+    /// The maps in channel order.
+    #[must_use]
+    pub fn maps(&self) -> &[GridMap] {
+        &self.maps
+    }
+
+    /// Channel names, parallel to [`FeatureStack::maps`].
+    #[must_use]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Appends a named map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map size differs from maps already present.
+    pub fn push(&mut self, name: impl Into<String>, map: GridMap) {
+        if let Some(first) = self.maps.first() {
+            assert_eq!(
+                (first.width(), first.height()),
+                (map.width(), map.height()),
+                "feature stack maps must share one size"
+            );
+        }
+        self.maps.push(map);
+        self.names.push(name.into());
+    }
+
+    /// Flattens into an NCHW buffer `(1, C, H, W)` for the models.
+    /// Returns `(channels, height, width, data)`.
+    #[must_use]
+    pub fn to_nchw(&self) -> (usize, usize, usize, Vec<f32>) {
+        let (h, w) = self
+            .maps
+            .first()
+            .map_or((0, 0), |m| (m.height(), m.width()));
+        let mut data = Vec::with_capacity(self.maps.len() * h * w);
+        for m in &self.maps {
+            data.extend_from_slice(m.data());
+        }
+        (self.maps.len(), h, w, data)
+    }
+
+    /// Rotates every map by `quarters x 90°` clockwise (augmentation).
+    #[must_use]
+    pub fn rotated(&self, quarters: u32) -> FeatureStack {
+        FeatureStack {
+            maps: self.maps.iter().map(|m| m.rotated(quarters)).collect(),
+            names: self.names.clone(),
+        }
+    }
+}
+
+/// Extracts the full hierarchical numerical-structural stack for one
+/// design.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FeatureExtractor {
+    /// Extraction settings.
+    pub config: FeatureConfig,
+}
+
+impl FeatureExtractor {
+    /// Creates an extractor.
+    #[must_use]
+    pub fn new(config: FeatureConfig) -> Self {
+        FeatureExtractor { config }
+    }
+
+    /// Builds the rasterizer this extractor uses for `grid`.
+    #[must_use]
+    pub fn rasterizer(&self, grid: &PowerGrid) -> Rasterizer {
+        Rasterizer::new(grid.bounding_box(), self.config.width, self.config.height)
+    }
+
+    /// Extracts the feature stack.
+    ///
+    /// `rough_drop` is the per-node IR-drop estimate from the truncated
+    /// AMG-PCG solve (pass all-zeros to emulate the "w/o Num. Solu."
+    /// ablation while keeping the channel count fixed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rough_drop.len() != grid.nodes.len()` or the grid has
+    /// no pads.
+    #[must_use]
+    pub fn extract(&self, grid: &PowerGrid, rough_drop: &[f64]) -> FeatureStack {
+        let raster = self.rasterizer(grid);
+        let norm = self.config.normalization;
+        let amps = Normalization::Fixed(CURRENT_SCALE);
+        let volts = Normalization::Fixed(VOLT_SCALE);
+        let dist = Normalization::Fixed(1.0 / self.config.width.max(self.config.height) as f32);
+        let path_r = Normalization::Fixed(PATH_RESISTANCE_SCALE);
+        let mut stack = FeatureStack::default();
+        // Structure features shared by every configuration.
+        stack.push(
+            "current/total",
+            normalize(&total_current_map(grid, &raster), amps),
+        );
+        stack.push(
+            "distance/effective",
+            normalize(&effective_distance_map(grid, &raster), dist),
+        );
+        stack.push(
+            "density/pdn",
+            normalize(&pdn_density_map(grid, &raster), norm),
+        );
+        stack.push(
+            "resistance/map",
+            normalize(&resistance_map(grid, &raster), norm),
+        );
+        stack.push(
+            "resistance/shortest_path",
+            normalize(&shortest_path_resistance_map(grid, &raster), path_r),
+        );
+        if self.config.hierarchical {
+            for (layer, m) in layer_current_maps(grid, &raster) {
+                stack.push(format!("current/m{layer}"), normalize(&m, amps));
+            }
+        }
+        if self.config.numerical {
+            for (layer, m) in layer_solution_maps(grid, rough_drop, &raster) {
+                stack.push(format!("solution/m{layer}"), normalize(&m, volts));
+            }
+        }
+        stack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irf_spice::parse;
+
+    fn grid() -> PowerGrid {
+        let src = "\
+V1 n1_m4_0_0 0 1.0
+R1 n1_m4_0_0 n1_m1_0_0 0.1
+R2 n1_m1_0_0 n1_m1_1000_0 0.5
+R3 n1_m4_0_0 n1_m4_1000_1000 0.2
+R4 n1_m4_1000_1000 n1_m1_1000_0 0.3
+I1 n1_m1_1000_0 0 1m
+";
+        PowerGrid::from_netlist(&parse(src).unwrap()).unwrap()
+    }
+
+    fn config() -> FeatureConfig {
+        FeatureConfig {
+            width: 8,
+            height: 8,
+            ..FeatureConfig::default()
+        }
+    }
+
+    #[test]
+    fn full_stack_has_expected_channels() {
+        let g = grid();
+        let ex = FeatureExtractor::new(config());
+        let drops = vec![0.0; g.nodes.len()];
+        let stack = ex.extract(&g, &drops);
+        // 5 shared + 2 layer-current + 2 layer-solution.
+        assert_eq!(stack.len(), 9);
+        assert!(stack.names().iter().any(|n| n == "solution/m4"));
+        assert!(stack.names().iter().any(|n| n == "current/m1"));
+    }
+
+    #[test]
+    fn ablations_drop_channel_groups() {
+        let g = grid();
+        let drops = vec![0.0; g.nodes.len()];
+        let no_num = FeatureExtractor::new(FeatureConfig {
+            numerical: false,
+            ..config()
+        })
+        .extract(&g, &drops);
+        assert_eq!(no_num.len(), 7);
+        let flat = FeatureExtractor::new(FeatureConfig {
+            numerical: false,
+            hierarchical: false,
+            ..config()
+        })
+        .extract(&g, &drops);
+        assert_eq!(flat.len(), 5);
+    }
+
+    #[test]
+    fn to_nchw_concatenates_channels() {
+        let g = grid();
+        let ex = FeatureExtractor::new(config());
+        let stack = ex.extract(&g, &vec![0.0; g.nodes.len()]);
+        let (c, h, w, data) = stack.to_nchw();
+        assert_eq!((c, h, w), (9, 8, 8));
+        assert_eq!(data.len(), 9 * 64);
+        assert_eq!(&data[..64], stack.maps()[0].data());
+    }
+
+    #[test]
+    fn maps_are_bounded_after_scaling() {
+        let g = grid();
+        let ex = FeatureExtractor::new(config());
+        let stack = ex.extract(&g, &vec![0.001; g.nodes.len()]);
+        for (m, name) in stack.maps().iter().zip(stack.names()) {
+            assert!(m.max().is_finite(), "{name} not finite");
+            assert!(m.max() < 100.0, "{name} badly scaled: {}", m.max());
+        }
+        // Solution channels keep their absolute scale: 1 mV -> 0.1.
+        let sol = stack
+            .names()
+            .iter()
+            .position(|n| n.starts_with("solution/"))
+            .expect("solution channel present");
+        assert!((stack.maps()[sol].max() - 0.1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rotation_rotates_every_map() {
+        let g = grid();
+        let ex = FeatureExtractor::new(config());
+        let stack = ex.extract(&g, &vec![0.0; g.nodes.len()]);
+        let rot = stack.rotated(2);
+        assert_eq!(rot.len(), stack.len());
+        let m0 = &stack.maps()[0];
+        let r0 = &rot.maps()[0];
+        assert_eq!(m0.get(0, 0), r0.get(7, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "share one size")]
+    fn mismatched_map_sizes_panic() {
+        let mut s = FeatureStack::default();
+        s.push("a", GridMap::new(4, 4));
+        s.push("b", GridMap::new(8, 8));
+    }
+}

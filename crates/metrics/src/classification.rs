@@ -1,0 +1,162 @@
+//! Hotspot classification metrics (the contest F1).
+
+/// Fraction of the golden maximum above which a pixel counts as a
+/// hotspot (the contest's 90 % rule).
+pub const HOTSPOT_THRESHOLD: f32 = 0.9;
+
+/// A binary confusion matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Precision `TP / (TP + FP)`; `0.0` when no positives are
+    /// predicted.
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        let d = self.tp + self.fp;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// Recall `TP / (TP + FN)`; `0.0` when no positives exist.
+    #[must_use]
+    pub fn recall(&self) -> f64 {
+        let d = self.tp + self.fn_;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// F1 score `2PR / (P + R)`; `0.0` when both are zero.
+    #[must_use]
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Builds the hotspot confusion matrix: a pixel is *positive* when its
+/// golden drop exceeds `HOTSPOT_THRESHOLD x max(golden)`, and
+/// *predicted positive* when its predicted drop exceeds the same
+/// absolute threshold (the contest definition).
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+#[must_use]
+pub fn confusion(pred: &[f32], golden: &[f32]) -> Confusion {
+    assert_eq!(pred.len(), golden.len(), "confusion: length mismatch");
+    assert!(!pred.is_empty(), "confusion: empty inputs");
+    let gmax = golden.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let thr = HOTSPOT_THRESHOLD * gmax;
+    let mut c = Confusion::default();
+    for (&p, &g) in pred.iter().zip(golden) {
+        match (p > thr, g > thr) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fp += 1,
+            (false, true) => c.fn_ += 1,
+            (false, false) => c.tn += 1,
+        }
+    }
+    c
+}
+
+/// F1 score of the hotspot classification. See [`confusion`].
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+#[must_use]
+pub fn f1_score(pred: &[f32], golden: &[f32]) -> f64 {
+    confusion(pred, golden).f1()
+}
+
+/// Overlap of the top-`k` pixels by value between prediction and
+/// golden (`|A ∩ B| / k`) — a rank-based hotspot agreement measure.
+///
+/// # Panics
+///
+/// Panics if lengths differ, the slices are empty, or `k == 0` or
+/// `k > len`.
+#[must_use]
+pub fn topk_overlap(pred: &[f32], golden: &[f32], k: usize) -> f64 {
+    assert_eq!(pred.len(), golden.len(), "topk: length mismatch");
+    assert!(k > 0 && k <= pred.len(), "topk: k out of range");
+    let top = |v: &[f32]| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&a, &b| v[b].partial_cmp(&v[a]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.truncate(k);
+        idx
+    };
+    let a = top(pred);
+    let b: std::collections::HashSet<usize> = top(golden).into_iter().collect();
+    a.iter().filter(|i| b.contains(i)).count() as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let g = [0.1, 0.2, 1.0, 0.95, 0.3];
+        assert!((f1_score(&g, &g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        // max = 1.0, threshold = 0.9. Golden positives: idx 2, 3.
+        let golden = [0.1, 0.2, 1.0, 0.95];
+        let pred = [0.95, 0.2, 1.0, 0.1];
+        let c = confusion(&pred, &golden);
+        assert_eq!(c.tp, 1); // idx 2
+        assert_eq!(c.fp, 1); // idx 0
+        assert_eq!(c.fn_, 1); // idx 3
+        assert_eq!(c.tn, 1); // idx 1
+        assert!((c.precision() - 0.5).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_negative_prediction_gives_zero_f1() {
+        let golden = [0.0, 0.0, 1.0];
+        let pred = [0.0, 0.0, 0.0];
+        assert_eq!(f1_score(&pred, &golden), 0.0);
+    }
+
+    #[test]
+    fn degenerate_confusion_is_safe() {
+        let c = Confusion::default();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn topk_overlap_counts_shared_peaks() {
+        let golden = [0.0, 1.0, 2.0, 3.0];
+        let same = topk_overlap(&golden, &golden, 2);
+        assert_eq!(same, 1.0);
+        let pred = [3.0, 2.0, 1.0, 0.0];
+        assert_eq!(topk_overlap(&pred, &golden, 2), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Regression metrics over flat prediction/golden buffers.
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+#[must_use]
+pub fn mae(pred: &[f32], golden: &[f32]) -> f64 {
+    assert_eq!(pred.len(), golden.len(), "mae: length mismatch");
+    assert!(!pred.is_empty(), "mae: empty inputs");
+    pred.iter()
+        .zip(golden)
+        .map(|(&p, &g)| f64::from((p - g).abs()))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Root mean squared error.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+#[must_use]
+pub fn rmse(pred: &[f32], golden: &[f32]) -> f64 {
+    assert_eq!(pred.len(), golden.len(), "rmse: length mismatch");
+    assert!(!pred.is_empty(), "rmse: empty inputs");
+    (pred
+        .iter()
+        .zip(golden)
+        .map(|(&p, &g)| {
+            let d = f64::from(p - g);
+            d * d
+        })
+        .sum::<f64>()
+        / pred.len() as f64)
+        .sqrt()
+}
+
+/// Maximum absolute error over all pixels.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[must_use]
+pub fn max_error(pred: &[f32], golden: &[f32]) -> f64 {
+    assert_eq!(pred.len(), golden.len(), "max_error: length mismatch");
+    pred.iter()
+        .zip(golden)
+        .map(|(&p, &g)| f64::from((p - g).abs()))
+        .fold(0.0, f64::max)
+}
+
+/// Maximum-IR-drop error (MIRDE): the absolute error at the pixel
+/// where the *golden* drop is largest — the worst-case region
+/// designers care most about.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+#[must_use]
+pub fn mirde(pred: &[f32], golden: &[f32]) -> f64 {
+    assert_eq!(pred.len(), golden.len(), "mirde: length mismatch");
+    assert!(!pred.is_empty(), "mirde: empty inputs");
+    let argmax = golden
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    f64::from((pred[argmax] - golden[argmax]).abs())
+}
+
+/// Pearson correlation coefficient; `0.0` when either side is
+/// constant.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+#[must_use]
+pub fn correlation(pred: &[f32], golden: &[f32]) -> f64 {
+    assert_eq!(pred.len(), golden.len(), "correlation: length mismatch");
+    assert!(!pred.is_empty(), "correlation: empty inputs");
+    let n = pred.len() as f64;
+    let mp = pred.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+    let mg = golden.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vp = 0.0;
+    let mut vg = 0.0;
+    for (&p, &g) in pred.iter().zip(golden) {
+        let dp = f64::from(p) - mp;
+        let dg = f64::from(g) - mg;
+        cov += dp * dg;
+        vp += dp * dp;
+        vg += dg * dg;
+    }
+    if vp == 0.0 || vg == 0.0 {
+        0.0
+    } else {
+        cov / (vp.sqrt() * vg.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_simple() {
+        assert!((mae(&[1.0, 2.0], &[0.0, 4.0]) - 1.5).abs() < 1e-12);
+        assert_eq!(mae(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_penalizes_outliers_more() {
+        let a = rmse(&[1.0, 1.0], &[0.0, 0.0]);
+        let b = rmse(&[2.0, 0.0], &[0.0, 0.0]);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn mirde_reads_error_at_golden_peak() {
+        // Golden peak at index 2; prediction error there is 0.5.
+        let golden = [1.0, 2.0, 5.0, 3.0];
+        let pred = [9.0, 9.0, 4.5, 9.0];
+        assert!((mirde(&pred, &golden) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_error_scans_all() {
+        assert_eq!(max_error(&[0.0, 5.0], &[0.0, 0.0]), 5.0);
+    }
+
+    #[test]
+    fn correlation_bounds() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((correlation(&x, &y) - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((correlation(&x, &z) + 1.0).abs() < 1e-12);
+        let c = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(correlation(&x, &c), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = mae(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Bundled per-design evaluation results.
+
+use crate::classification::f1_score;
+use crate::regression::{correlation, mae, mirde};
+use std::fmt;
+
+/// All headline metrics of one evaluation, in the paper's units
+/// (MAE and MIRDE are reported in units of `1e-4 V`, matching
+/// Table I's caption).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MetricReport {
+    /// Mean absolute error, volts.
+    pub mae_volts: f64,
+    /// Hotspot F1 score.
+    pub f1: f64,
+    /// Maximum-IR-drop error, volts.
+    pub mirde_volts: f64,
+    /// Pearson correlation.
+    pub cc: f64,
+    /// Evaluation runtime, seconds.
+    pub runtime_seconds: f64,
+}
+
+impl MetricReport {
+    /// Computes the report from flat buffers, attaching a runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or the buffers are empty.
+    #[must_use]
+    pub fn evaluate(pred: &[f32], golden: &[f32], runtime_seconds: f64) -> Self {
+        MetricReport {
+            mae_volts: mae(pred, golden),
+            f1: f1_score(pred, golden),
+            mirde_volts: mirde(pred, golden),
+            cc: correlation(pred, golden),
+            runtime_seconds,
+        }
+    }
+
+    /// MAE in the paper's `1e-4 V` units.
+    #[must_use]
+    pub fn mae_e4(&self) -> f64 {
+        self.mae_volts * 1e4
+    }
+
+    /// MIRDE in the paper's `1e-4 V` units.
+    #[must_use]
+    pub fn mirde_e4(&self) -> f64 {
+        self.mirde_volts * 1e4
+    }
+
+    /// Averages several reports (used across the test designs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty.
+    #[must_use]
+    pub fn mean(reports: &[MetricReport]) -> MetricReport {
+        assert!(!reports.is_empty(), "mean of no reports");
+        let n = reports.len() as f64;
+        MetricReport {
+            mae_volts: reports.iter().map(|r| r.mae_volts).sum::<f64>() / n,
+            f1: reports.iter().map(|r| r.f1).sum::<f64>() / n,
+            mirde_volts: reports.iter().map(|r| r.mirde_volts).sum::<f64>() / n,
+            cc: reports.iter().map(|r| r.cc).sum::<f64>() / n,
+            runtime_seconds: reports.iter().map(|r| r.runtime_seconds).sum::<f64>() / n,
+        }
+    }
+}
+
+impl fmt::Display for MetricReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MAE {:.3}e-4 V | F1 {:.3} | MIRDE {:.3}e-4 V | CC {:.3} | {:.3} s",
+            self.mae_e4(),
+            self.f1,
+            self.mirde_e4(),
+            self.cc,
+            self.runtime_seconds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_bundles_metrics() {
+        let golden = [1e-4f32, 2e-4, 10e-4, 9.5e-4];
+        let r = MetricReport::evaluate(&golden, &golden, 0.5);
+        assert_eq!(r.mae_volts, 0.0);
+        assert_eq!(r.f1, 1.0);
+        assert_eq!(r.mirde_volts, 0.0);
+        assert!((r.cc - 1.0).abs() < 1e-12);
+        assert_eq!(r.runtime_seconds, 0.5);
+    }
+
+    #[test]
+    fn paper_units_scale() {
+        let r = MetricReport {
+            mae_volts: 0.72e-4,
+            mirde_volts: 3.05e-4,
+            ..MetricReport::default()
+        };
+        assert!((r.mae_e4() - 0.72).abs() < 1e-9);
+        assert!((r.mirde_e4() - 3.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_averages_fields() {
+        let a = MetricReport {
+            mae_volts: 1.0,
+            f1: 0.2,
+            mirde_volts: 2.0,
+            cc: 0.4,
+            runtime_seconds: 1.0,
+        };
+        let b = MetricReport {
+            mae_volts: 3.0,
+            f1: 0.6,
+            mirde_volts: 4.0,
+            cc: 0.8,
+            runtime_seconds: 3.0,
+        };
+        let m = MetricReport::mean(&[a, b]);
+        assert_eq!(m.mae_volts, 2.0);
+        assert!((m.f1 - 0.4).abs() < 1e-12);
+        assert_eq!(m.runtime_seconds, 2.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = MetricReport::default();
+        let s = r.to_string();
+        assert!(s.contains("MAE") && s.contains("F1") && s.contains("MIRDE"));
+    }
+}

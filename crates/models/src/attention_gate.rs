@@ -1,0 +1,105 @@
+//! Attention gates on skip connections (Attention U-Net style, as
+//! used by PGAU and by the Inception Attention U-Net).
+
+use irf_nn::layers::Conv2d;
+use irf_nn::{NodeId, ParamStore, Tape};
+
+/// An additive attention gate: the decoder's gating signal decides
+/// which skip-connection regions pass through.
+///
+/// ```text
+/// att = sigmoid( psi( relu( theta_x(skip) + phi_g(gate) ) ) )
+/// out = skip * att
+/// ```
+///
+/// `gate` must already be at the skip's spatial resolution (the
+/// decoder upsamples before gating).
+#[derive(Debug, Clone, Copy)]
+pub struct AttentionGate {
+    theta_x: Conv2d,
+    phi_g: Conv2d,
+    psi: Conv2d,
+}
+
+impl AttentionGate {
+    /// Registers a gate with `cskip`/`cgate` input channels and an
+    /// internal width of `cmid`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        cskip: usize,
+        cgate: usize,
+        cmid: usize,
+        seed: u64,
+    ) -> Self {
+        AttentionGate {
+            theta_x: Conv2d::new(store, &format!("{name}.theta_x"), cskip, cmid, 1, 1, seed),
+            phi_g: Conv2d::new(store, &format!("{name}.phi_g"), cgate, cmid, 1, 1, seed ^ 0xA),
+            psi: Conv2d::new(store, &format!("{name}.psi"), cmid, 1, 1, 1, seed ^ 0xB),
+        }
+    }
+
+    /// Records the gate; returns the gated skip tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `skip` and `gate` have different spatial sizes.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        skip: NodeId,
+        gate: NodeId,
+    ) -> NodeId {
+        let tx = self.theta_x.forward(tape, store, skip);
+        let pg = self.phi_g.forward(tape, store, gate);
+        let sum = tape.add(tx, pg);
+        let act = tape.relu(sum);
+        let psi = self.psi.forward(tape, store, act);
+        let att = tape.sigmoid(psi);
+        tape.mul_spatial(skip, att)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irf_nn::{init, Tensor};
+
+    #[test]
+    fn gate_preserves_skip_shape() {
+        let mut store = ParamStore::new();
+        let ag = AttentionGate::new(&mut store, "ag", 8, 16, 4, 1);
+        let mut tape = Tape::new();
+        let skip = tape.input(init::uniform([1, 8, 8, 8], -1.0, 1.0, 2));
+        let gate = tape.input(init::uniform([1, 16, 8, 8], -1.0, 1.0, 3));
+        let y = ag.forward(&mut tape, &store, skip, gate);
+        assert_eq!(tape.value(y).shape(), [1, 8, 8, 8]);
+    }
+
+    #[test]
+    fn gate_attenuates_not_amplifies() {
+        let mut store = ParamStore::new();
+        let ag = AttentionGate::new(&mut store, "ag", 4, 4, 2, 7);
+        let mut tape = Tape::new();
+        let sv = init::uniform([1, 4, 4, 4], -2.0, 2.0, 5);
+        let skip = tape.input(sv.clone());
+        let gate = tape.input(init::uniform([1, 4, 4, 4], -1.0, 1.0, 6));
+        let y = ag.forward(&mut tape, &store, skip, gate);
+        for (o, i) in tape.value(y).data().iter().zip(sv.data()) {
+            assert!(o.abs() <= i.abs() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradients_reach_gate_parameters() {
+        let mut store = ParamStore::new();
+        let ag = AttentionGate::new(&mut store, "ag", 4, 4, 2, 7);
+        let mut tape = Tape::new();
+        let skip = tape.input(init::uniform([1, 4, 4, 4], -1.0, 1.0, 5));
+        let gate = tape.input(init::uniform([1, 4, 4, 4], -1.0, 1.0, 6));
+        let y = ag.forward(&mut tape, &store, skip, gate);
+        tape.backward(y, Tensor::filled([1, 4, 4, 4], 1.0), &mut store);
+        assert!(store.grad_norm() > 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Shared encoder/decoder building blocks.
+
+use irf_nn::layers::ConvBlock;
+use irf_nn::{NodeId, ParamStore, Tape};
+
+/// The classic U-Net "double conv": two Conv-Norm-ReLU blocks.
+#[derive(Debug, Clone, Copy)]
+pub struct DoubleConv {
+    first: ConvBlock,
+    second: ConvBlock,
+}
+
+impl DoubleConv {
+    /// Registers both blocks.
+    pub fn new(store: &mut ParamStore, name: &str, cin: usize, cout: usize, seed: u64) -> Self {
+        DoubleConv {
+            first: ConvBlock::new(store, &format!("{name}.0"), cin, cout, 3, seed),
+            second: ConvBlock::new(store, &format!("{name}.1"), cout, cout, 3, seed ^ 0x9E37),
+        }
+    }
+
+    /// Records both blocks.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
+        let y = self.first.forward(tape, store, x);
+        self.second.forward(tape, store, y)
+    }
+}
+
+/// Decoder stage: 2x upsample, concat the skip, double conv.
+#[derive(Debug, Clone, Copy)]
+pub struct UpBlock {
+    conv: DoubleConv,
+}
+
+impl UpBlock {
+    /// Registers the stage. `cin` is the channel count of the coarse
+    /// input, `cskip` of the skip tensor, `cout` of the output.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        cin: usize,
+        cskip: usize,
+        cout: usize,
+        seed: u64,
+    ) -> Self {
+        UpBlock {
+            conv: DoubleConv::new(store, &format!("{name}.conv"), cin + cskip, cout, seed),
+        }
+    }
+
+    /// Records upsample + concat + double conv.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x: NodeId,
+        skip: NodeId,
+    ) -> NodeId {
+        let up = tape.upsample2(x);
+        let cat = tape.concat_channels(up, skip);
+        self.conv.forward(tape, store, cat)
+    }
+}
+
+/// The regression head: a 1x1 convolution to one channel followed by
+/// ReLU (IR drops are non-negative). Borrowed from MAVIREC's
+/// "regression-like layer at the end of the decoder path".
+#[derive(Debug, Clone, Copy)]
+pub struct RegressionHead {
+    conv: irf_nn::layers::Conv2d,
+    relu: bool,
+}
+
+impl RegressionHead {
+    /// Registers the head. The bias starts slightly positive so the
+    /// output ReLU is born alive (an all-negative pre-activation would
+    /// block every gradient at step 0).
+    pub fn new(store: &mut ParamStore, name: &str, cin: usize, seed: u64) -> Self {
+        let conv = irf_nn::layers::Conv2d::new(store, name, cin, 1, 1, 1, seed);
+        store
+            .value_mut(conv.bias())
+            .data_mut()
+            .iter_mut()
+            .for_each(|b| *b = 0.05);
+        RegressionHead { conv, relu: true }
+    }
+
+    /// Switches the output ReLU off (linear head). Residual-fusion
+    /// training needs signed corrections, so the clamp moves to the
+    /// pipeline's final `rough + correction` combination instead.
+    pub fn set_relu(&mut self, relu: bool) {
+        self.relu = relu;
+    }
+
+    /// Records the head.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
+        let y = self.conv.forward(tape, store, x);
+        if self.relu {
+            tape.relu(y)
+        } else {
+            y
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irf_nn::Tensor;
+
+    #[test]
+    fn double_conv_keeps_spatial_size() {
+        let mut store = ParamStore::new();
+        let dc = DoubleConv::new(&mut store, "dc", 3, 8, 1);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::zeros([1, 3, 8, 8]));
+        let y = dc.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), [1, 8, 8, 8]);
+    }
+
+    #[test]
+    fn up_block_doubles_resolution_and_fuses_skip() {
+        let mut store = ParamStore::new();
+        let up = UpBlock::new(&mut store, "up", 16, 8, 8, 1);
+        let mut tape = Tape::new();
+        let coarse = tape.input(Tensor::zeros([1, 16, 4, 4]));
+        let skip = tape.input(Tensor::zeros([1, 8, 8, 8]));
+        let y = up.forward(&mut tape, &store, coarse, skip);
+        assert_eq!(tape.value(y).shape(), [1, 8, 8, 8]);
+    }
+
+    #[test]
+    fn regression_head_is_nonnegative_single_channel() {
+        let mut store = ParamStore::new();
+        let head = RegressionHead::new(&mut store, "head", 8, 1);
+        let mut tape = Tape::new();
+        let x = tape.input(irf_nn::init::uniform([2, 8, 4, 4], -1.0, 1.0, 2));
+        let y = head.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), [2, 1, 4, 4]);
+        assert!(tape.value(y).data().iter().all(|&v| v >= 0.0));
+    }
+}

@@ -1,0 +1,200 @@
+//! Inception modules A, B, and C (Szegedy et al., Inception-v3/v4).
+//!
+//! Multi-branch convolutions that see several kernel sizes at once.
+//! Following the paper (and Inception-v4 best practice), the encoder
+//! applies **A** at the earliest scale, **B** at moderate scale, and
+//! **C** — optimized for high-dimensional features — at the deepest
+//! scale.
+
+use irf_nn::layers::{Conv2d, ConvRect, Norm};
+use irf_nn::{NodeId, ParamStore, Tape};
+
+/// Which Inception variant a block applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InceptionKind {
+    /// 1x1 / 3x3 / double-3x3 branches (early layers).
+    A,
+    /// Factorized 1x7 + 7x1 branches (moderate-size features).
+    B,
+    /// Expanded 1x3 / 3x1 branches (high-dimensional features).
+    C,
+}
+
+/// One Inception block: multi-branch convolution + norm + ReLU with
+/// `cout` output channels split across three branches.
+#[derive(Debug, Clone)]
+pub struct Inception {
+    kind: InceptionKind,
+    // Branch 0: plain 1x1.
+    b0: Conv2d,
+    // Branch 1 and 2: chains whose composition depends on the kind.
+    b1: Vec<BranchConv>,
+    b2: Vec<BranchConv>,
+    norm: Norm,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BranchConv {
+    Square(Conv2d),
+    Rect(ConvRect),
+}
+
+impl BranchConv {
+    fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
+        match self {
+            BranchConv::Square(c) => c.forward(tape, store, x),
+            BranchConv::Rect(c) => c.forward(tape, store, x),
+        }
+    }
+}
+
+impl Inception {
+    /// Registers an Inception block mapping `cin` to `cout` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cout < 3` (each branch needs at least one channel).
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        kind: InceptionKind,
+        cin: usize,
+        cout: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(cout >= 3, "inception needs at least 3 output channels");
+        let c0 = cout - 2 * (cout / 3);
+        let c1 = cout / 3;
+        let c2 = cout / 3;
+        let b0 = Conv2d::new(store, &format!("{name}.b0"), cin, c0, 1, 1, seed);
+        let (b1, b2) = match kind {
+            InceptionKind::A => {
+                // b1: 1x1 -> 3x3 ; b2: 1x1 -> 3x3 -> 3x3.
+                let b1 = vec![
+                    BranchConv::Square(Conv2d::new(store, &format!("{name}.b1.0"), cin, c1, 1, 1, seed ^ 1)),
+                    BranchConv::Square(Conv2d::new(store, &format!("{name}.b1.1"), c1, c1, 3, 1, seed ^ 2)),
+                ];
+                let b2 = vec![
+                    BranchConv::Square(Conv2d::new(store, &format!("{name}.b2.0"), cin, c2, 1, 1, seed ^ 3)),
+                    BranchConv::Square(Conv2d::new(store, &format!("{name}.b2.1"), c2, c2, 3, 1, seed ^ 4)),
+                    BranchConv::Square(Conv2d::new(store, &format!("{name}.b2.2"), c2, c2, 3, 1, seed ^ 5)),
+                ];
+                (b1, b2)
+            }
+            InceptionKind::B => {
+                // Factorized 7x7: 1x1 -> 1x7 -> 7x1 (b1) and a longer
+                // 1x1 -> 7x1 -> 1x7 chain (b2).
+                let b1 = vec![
+                    BranchConv::Square(Conv2d::new(store, &format!("{name}.b1.0"), cin, c1, 1, 1, seed ^ 1)),
+                    BranchConv::Rect(ConvRect::new(store, &format!("{name}.b1.1"), c1, c1, 1, 7, seed ^ 2)),
+                    BranchConv::Rect(ConvRect::new(store, &format!("{name}.b1.2"), c1, c1, 7, 1, seed ^ 3)),
+                ];
+                let b2 = vec![
+                    BranchConv::Square(Conv2d::new(store, &format!("{name}.b2.0"), cin, c2, 1, 1, seed ^ 4)),
+                    BranchConv::Rect(ConvRect::new(store, &format!("{name}.b2.1"), c2, c2, 7, 1, seed ^ 5)),
+                    BranchConv::Rect(ConvRect::new(store, &format!("{name}.b2.2"), c2, c2, 1, 7, seed ^ 6)),
+                ];
+                (b1, b2)
+            }
+            InceptionKind::C => {
+                // Expanded small kernels: 1x1 -> 1x3 (b1) and
+                // 1x1 -> 3x1 -> 1x3 (b2).
+                let b1 = vec![
+                    BranchConv::Square(Conv2d::new(store, &format!("{name}.b1.0"), cin, c1, 1, 1, seed ^ 1)),
+                    BranchConv::Rect(ConvRect::new(store, &format!("{name}.b1.1"), c1, c1, 1, 3, seed ^ 2)),
+                ];
+                let b2 = vec![
+                    BranchConv::Square(Conv2d::new(store, &format!("{name}.b2.0"), cin, c2, 1, 1, seed ^ 3)),
+                    BranchConv::Rect(ConvRect::new(store, &format!("{name}.b2.1"), c2, c2, 3, 1, seed ^ 4)),
+                    BranchConv::Rect(ConvRect::new(store, &format!("{name}.b2.2"), c2, c2, 1, 3, seed ^ 5)),
+                ];
+                (b1, b2)
+            }
+        };
+        let norm = Norm::new(store, &format!("{name}.norm"), cout);
+        Inception {
+            kind,
+            b0,
+            b1,
+            b2,
+            norm,
+        }
+    }
+
+    /// The variant of this block.
+    #[must_use]
+    pub fn kind(&self) -> InceptionKind {
+        self.kind
+    }
+
+    /// Records the block: branch concat + norm + ReLU.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
+        let y0 = self.b0.forward(tape, store, x);
+        let mut y1 = x;
+        for c in &self.b1 {
+            y1 = c.forward(tape, store, y1);
+        }
+        let mut y2 = x;
+        for c in &self.b2 {
+            y2 = c.forward(tape, store, y2);
+        }
+        let cat = tape.concat_channels(y0, y1);
+        let cat = tape.concat_channels(cat, y2);
+        let normed = self.norm.forward(tape, store, cat);
+        tape.relu(normed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irf_nn::{init, Tensor};
+
+    #[test]
+    fn all_kinds_preserve_spatial_size_and_hit_cout() {
+        for kind in [InceptionKind::A, InceptionKind::B, InceptionKind::C] {
+            let mut store = ParamStore::new();
+            let inc = Inception::new(&mut store, "inc", kind, 5, 10, 42);
+            let mut tape = Tape::new();
+            let x = tape.input(Tensor::zeros([1, 5, 8, 8]));
+            let y = inc.forward(&mut tape, &store, x);
+            assert_eq!(tape.value(y).shape(), [1, 10, 8, 8], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn channel_split_covers_cout_exactly() {
+        // cout = 10 -> branches 4 + 3 + 3.
+        let mut store = ParamStore::new();
+        let inc = Inception::new(&mut store, "inc", InceptionKind::A, 4, 10, 1);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::zeros([1, 4, 4, 4]));
+        let y = inc.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape()[1], 10);
+    }
+
+    #[test]
+    fn gradients_flow_through_all_branches() {
+        let mut store = ParamStore::new();
+        let inc = Inception::new(&mut store, "inc", InceptionKind::B, 3, 6, 7);
+        let mut tape = Tape::new();
+        let x = tape.input(init::uniform([1, 3, 8, 8], -1.0, 1.0, 3));
+        let y = inc.forward(&mut tape, &store, x);
+        tape.backward(y, Tensor::filled([1, 6, 8, 8], 1.0), &mut store);
+        // Every conv branch parameter should have nonzero gradient norm.
+        let zero_grads = store
+            .iter()
+            .filter(|(id, name, _)| {
+                name.contains(".b") && store.grad(*id).data().iter().all(|&g| g == 0.0)
+            })
+            .count();
+        assert_eq!(zero_grads, 0, "some branches received no gradient");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 output channels")]
+    fn tiny_cout_is_rejected() {
+        let mut store = ParamStore::new();
+        let _ = Inception::new(&mut store, "inc", InceptionKind::A, 4, 2, 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! Uniform construction of every model in the zoo.
+
+use crate::contest::ContestWinner;
+use crate::ir_fusion_net::{IrFusionNet, IrFusionNetOptions};
+use crate::iredge::IrEdge;
+use crate::irpnet::IrpNet;
+use crate::maunet::MaUnet;
+use crate::mavirec::Mavirec;
+use crate::pgau::Pgau;
+use crate::Model;
+use irf_nn::ParamStore;
+
+/// Which model to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// IREDGe plain U-Net.
+    IrEdge,
+    /// MAVIREC folded 3-D U-Net.
+    Mavirec,
+    /// IRPnet pyramid + Kirchhoff loss.
+    IrpNet,
+    /// PGAU attention U-Net.
+    Pgau,
+    /// MAUnet multiscale attention U-Net.
+    MaUnet,
+    /// ICCAD-2023 contest-winner-style wide U-Net.
+    ContestWinner,
+    /// The paper's Inception Attention U-Net.
+    IrFusion,
+    /// IR-Fusion without Inception blocks (Fig. 8 "w/o Inception").
+    IrFusionNoInception,
+    /// IR-Fusion without CBAM (Fig. 8 "w/o CBAM").
+    IrFusionNoCbam,
+}
+
+impl ModelKind {
+    /// Stable numeric id for checkpoint headers.
+    #[must_use]
+    pub fn id(self) -> u32 {
+        match self {
+            ModelKind::IrEdge => 0,
+            ModelKind::Mavirec => 1,
+            ModelKind::IrpNet => 2,
+            ModelKind::Pgau => 3,
+            ModelKind::MaUnet => 4,
+            ModelKind::ContestWinner => 5,
+            ModelKind::IrFusion => 6,
+            ModelKind::IrFusionNoInception => 7,
+            ModelKind::IrFusionNoCbam => 8,
+        }
+    }
+
+    /// Inverse of [`ModelKind::id`].
+    #[must_use]
+    pub fn from_id(id: u32) -> Option<ModelKind> {
+        Some(match id {
+            0 => ModelKind::IrEdge,
+            1 => ModelKind::Mavirec,
+            2 => ModelKind::IrpNet,
+            3 => ModelKind::Pgau,
+            4 => ModelKind::MaUnet,
+            5 => ModelKind::ContestWinner,
+            6 => ModelKind::IrFusion,
+            7 => ModelKind::IrFusionNoInception,
+            8 => ModelKind::IrFusionNoCbam,
+            _ => return None,
+        })
+    }
+
+    /// Every paper-facing model (Table I rows), in table order.
+    pub const TABLE1: [ModelKind; 7] = [
+        ModelKind::IrEdge,
+        ModelKind::Mavirec,
+        ModelKind::IrpNet,
+        ModelKind::Pgau,
+        ModelKind::MaUnet,
+        ModelKind::ContestWinner,
+        ModelKind::IrFusion,
+    ];
+}
+
+/// Shared hyperparameters of a model instantiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Input feature channels.
+    pub in_channels: usize,
+    /// Base channel width (the paper trains at GPU scale; the CPU
+    /// reproduction defaults narrower).
+    pub base_channels: usize,
+    /// Weight-initialization seed.
+    pub seed: u64,
+    /// Build with a linear (signed) output head instead of ReLU —
+    /// used by the residual fusion pipeline.
+    pub linear_head: bool,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            in_channels: 9,
+            base_channels: 6,
+            seed: 0xC0FFEE,
+            linear_head: false,
+        }
+    }
+}
+
+/// Builds a model into a fresh parameter store.
+#[must_use]
+pub fn build_model(kind: ModelKind, config: ModelConfig) -> (Box<dyn Model>, ParamStore) {
+    let mut store = ParamStore::new();
+    let (cin, c, seed) = (config.in_channels, config.base_channels, config.seed);
+    let mut model: Box<dyn Model> = match kind {
+        ModelKind::IrEdge => Box::new(IrEdge::new(&mut store, cin, c, seed)),
+        ModelKind::Mavirec => Box::new(Mavirec::new(&mut store, cin, c, seed)),
+        ModelKind::IrpNet => Box::new(IrpNet::new(&mut store, cin, c, seed)),
+        ModelKind::Pgau => Box::new(Pgau::new(&mut store, cin, c, seed)),
+        ModelKind::MaUnet => Box::new(MaUnet::new(&mut store, cin, c, seed)),
+        ModelKind::ContestWinner => Box::new(ContestWinner::new(&mut store, cin, c, seed)),
+        ModelKind::IrFusion => Box::new(IrFusionNet::new(&mut store, cin, c, seed)),
+        ModelKind::IrFusionNoInception => Box::new(IrFusionNet::with_options(
+            &mut store,
+            cin,
+            c,
+            seed,
+            IrFusionNetOptions {
+                inception: false,
+                ..IrFusionNetOptions::default()
+            },
+        )),
+        ModelKind::IrFusionNoCbam => Box::new(IrFusionNet::with_options(
+            &mut store,
+            cin,
+            c,
+            seed,
+            IrFusionNetOptions {
+                cbam: false,
+                ..IrFusionNetOptions::default()
+            },
+        )),
+    };
+    model.set_linear_head(config.linear_head);
+    (model, store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irf_nn::{init, Tape};
+
+    #[test]
+    fn every_table1_model_builds_and_runs() {
+        for kind in ModelKind::TABLE1 {
+            let (model, store) = build_model(
+                kind,
+                ModelConfig {
+                    in_channels: 4,
+                    base_channels: 6,
+                    seed: 1,
+                    linear_head: false,
+                },
+            );
+            let mut tape = Tape::new();
+            let x = tape.input(init::uniform([1, 4, 16, 16], -1.0, 1.0, 2));
+            let y = model.forward(&mut tape, &store, x);
+            assert_eq!(tape.value(y).shape(), [1, 1, 16, 16], "{}", model.name());
+            assert!(store.num_scalars() > 0);
+        }
+    }
+
+    #[test]
+    fn names_match_paper_rows() {
+        let names: Vec<String> = ModelKind::TABLE1
+            .iter()
+            .map(|&k| {
+                build_model(
+                    k,
+                    ModelConfig {
+                        in_channels: 3,
+                        base_channels: 6,
+                        seed: 1,
+                        linear_head: false,
+                    },
+                )
+                .0
+                .name()
+                .to_string()
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "IREDGe",
+                "MAVIREC",
+                "IRPnet",
+                "PGAU",
+                "MAUnet",
+                "ContestWinner",
+                "IR-Fusion"
+            ]
+        );
+    }
+
+    #[test]
+    fn only_irpnet_wants_kirchhoff() {
+        for kind in ModelKind::TABLE1 {
+            let (model, _) = build_model(
+                kind,
+                ModelConfig {
+                    in_channels: 3,
+                    base_channels: 6,
+                    seed: 1,
+                    linear_head: false,
+                },
+            );
+            assert_eq!(model.wants_kirchhoff_loss(), kind == ModelKind::IrpNet);
+        }
+    }
+}

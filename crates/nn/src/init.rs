@@ -1,0 +1,66 @@
+//! Weight initialization (Kaiming / Xavier).
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Kaiming (He) uniform initialization for a conv/linear weight of
+/// shape `(out, in, kh, kw)`: `U(-b, b)` with `b = sqrt(6 / fan_in)`,
+/// the standard choice before ReLU activations.
+#[must_use]
+pub fn kaiming_uniform(shape: [usize; 4], seed: u64) -> Tensor {
+    let fan_in = (shape[1] * shape[2] * shape[3]).max(1) as f32;
+    let bound = (6.0 / fan_in).sqrt();
+    uniform(shape, -bound, bound, seed)
+}
+
+/// Xavier (Glorot) uniform initialization: `b = sqrt(6 / (fan_in +
+/// fan_out))`, preferred before sigmoid gates.
+#[must_use]
+pub fn xavier_uniform(shape: [usize; 4], seed: u64) -> Tensor {
+    let fan_in = (shape[1] * shape[2] * shape[3]).max(1) as f32;
+    let fan_out = (shape[0] * shape[2] * shape[3]).max(1) as f32;
+    let bound = (6.0 / (fan_in + fan_out)).sqrt();
+    uniform(shape, -bound, bound, seed)
+}
+
+/// Uniform initialization on `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+#[must_use]
+pub fn uniform(shape: [usize; 4], lo: f32, hi: f32, seed: u64) -> Tensor {
+    assert!(lo < hi, "uniform init: empty range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = shape.iter().product();
+    let data = (0..n).map(|_| rng.random_range(lo..hi)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaiming_respects_bound() {
+        let t = kaiming_uniform([8, 4, 3, 3], 1);
+        let bound = (6.0_f32 / 36.0).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= bound));
+        // Not degenerate.
+        assert!(t.max_abs() > bound * 0.5);
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        assert_eq!(kaiming_uniform([2, 2, 3, 3], 7), kaiming_uniform([2, 2, 3, 3], 7));
+        assert_ne!(kaiming_uniform([2, 2, 3, 3], 7), kaiming_uniform([2, 2, 3, 3], 8));
+    }
+
+    #[test]
+    fn xavier_bound_is_tighter_for_wide_layers() {
+        let k = kaiming_uniform([100, 4, 1, 1], 3).max_abs();
+        let x = xavier_uniform([100, 4, 1, 1], 3).max_abs();
+        assert!(x <= k + 1e-6);
+    }
+}

@@ -1,0 +1,1428 @@
+//! Define-by-run autograd tape.
+//!
+//! Every forward pass records operations onto a fresh [`Tape`]; calling
+//! [`Tape::backward`] with a seed gradient (normally `dL/d pred` from a
+//! [`crate::loss`] function) walks the tape in reverse and accumulates
+//! parameter gradients into the [`ParamStore`].
+
+use crate::param::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Handle to a node (an intermediate tensor) on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+/// Recorded operation, with enough information for the backward pass.
+#[derive(Debug, Clone)]
+enum Op {
+    /// External input; no gradient is propagated.
+    Input,
+    /// Parameter read from the store; gradient flows to `ParamId`.
+    Param(ParamId),
+    /// 2-D convolution with zero padding.
+    Conv2d {
+        x: NodeId,
+        w: NodeId,
+        b: NodeId,
+        stride: usize,
+        pad_h: usize,
+        pad_w: usize,
+    },
+    Relu {
+        x: NodeId,
+    },
+    LeakyRelu {
+        x: NodeId,
+        slope: f32,
+    },
+    Sigmoid {
+        x: NodeId,
+    },
+    Add {
+        a: NodeId,
+        b: NodeId,
+    },
+    Mul {
+        a: NodeId,
+        b: NodeId,
+    },
+    Scale {
+        x: NodeId,
+        c: f32,
+    },
+    /// Concatenate along the channel dimension.
+    ConcatChannels {
+        a: NodeId,
+        b: NodeId,
+    },
+    /// 2x2 max pooling with stride 2; argmax saved for backward.
+    MaxPool2 {
+        x: NodeId,
+        argmax: Vec<usize>,
+    },
+    /// 2x2 average pooling with stride 2.
+    AvgPool2 {
+        x: NodeId,
+    },
+    /// Nearest-neighbour 2x upsampling.
+    Upsample2 {
+        x: NodeId,
+    },
+    /// Global average pool to `(N, C, 1, 1)`.
+    GlobalAvgPool {
+        x: NodeId,
+    },
+    /// Global max pool to `(N, C, 1, 1)`; argmax saved.
+    GlobalMaxPool {
+        x: NodeId,
+        argmax: Vec<usize>,
+    },
+    /// Broadcast-multiply by per-channel scales `(N, C, 1, 1)`.
+    MulChannel {
+        x: NodeId,
+        s: NodeId,
+    },
+    /// Broadcast-multiply by a spatial mask `(N, 1, H, W)`.
+    MulSpatial {
+        x: NodeId,
+        s: NodeId,
+    },
+    /// Mean over channels to `(N, 1, H, W)`.
+    ChannelMean {
+        x: NodeId,
+    },
+    /// Max over channels to `(N, 1, H, W)`; arg channel saved.
+    ChannelMax {
+        x: NodeId,
+        argmax: Vec<usize>,
+    },
+    /// Fully connected on `(N, C, 1, 1)` inputs.
+    Linear {
+        x: NodeId,
+        w: NodeId,
+        b: NodeId,
+    },
+    /// Per-(n, c) normalization over H x W with affine parameters;
+    /// saved statistics for backward.
+    InstanceNorm {
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        mean: Vec<f32>,
+        inv_std: Vec<f32>,
+    },
+}
+
+/// The autograd tape. See the [module documentation](self).
+#[derive(Debug, Default)]
+pub struct Tape {
+    ops: Vec<Op>,
+    values: Vec<Tensor>,
+    grads: Vec<Option<Tensor>>,
+    needs_grad: Vec<bool>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    #[must_use]
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of recorded nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The value tensor of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this tape.
+    #[must_use]
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// The gradient of a node after [`Tape::backward`]; `None` if the
+    /// node did not require gradients or backward has not run.
+    #[must_use]
+    pub fn grad(&self, id: NodeId) -> Option<&Tensor> {
+        self.grads[id.0].as_ref()
+    }
+
+    fn push(&mut self, op: Op, value: Tensor, needs_grad: bool) -> NodeId {
+        let id = NodeId(self.ops.len());
+        self.ops.push(op);
+        self.values.push(value);
+        self.grads.push(None);
+        self.needs_grad.push(needs_grad);
+        id
+    }
+
+    fn ng(&self, id: NodeId) -> bool {
+        self.needs_grad[id.0]
+    }
+
+    /// Records an external input (no gradient).
+    pub fn input(&mut self, value: Tensor) -> NodeId {
+        self.push(Op::Input, value, false)
+    }
+
+    /// Records a differentiable leaf that is *not* a stored parameter
+    /// (used by tests and by losses that need input gradients).
+    pub fn leaf(&mut self, value: Tensor) -> NodeId {
+        self.push(Op::Input, value, true)
+    }
+
+    /// Reads a parameter from the store onto the tape.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
+        self.push(Op::Param(id), store.value(id).clone(), true)
+    }
+
+    /// 2-D convolution: `x (N,Ci,H,W) * w (Co,Ci,kh,kw) + b (1,Co,1,1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches or zero-sized outputs.
+    pub fn conv2d(&mut self, x: NodeId, w: NodeId, b: NodeId, stride: usize, pad: usize) -> NodeId {
+        self.conv2d_padded(x, w, b, stride, pad, pad)
+    }
+
+    /// 2-D convolution with stride 1 and independent vertical /
+    /// horizontal padding — used by Inception's factorized `1xN` /
+    /// `Nx1` kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches or zero-sized outputs.
+    pub fn conv2d_rect(
+        &mut self,
+        x: NodeId,
+        w: NodeId,
+        b: NodeId,
+        pad_h: usize,
+        pad_w: usize,
+    ) -> NodeId {
+        self.conv2d_padded(x, w, b, 1, pad_h, pad_w)
+    }
+
+    fn conv2d_padded(
+        &mut self,
+        x: NodeId,
+        w: NodeId,
+        b: NodeId,
+        stride: usize,
+        pad_h: usize,
+        pad_w: usize,
+    ) -> NodeId {
+        let value = conv2d_forward(self.value(x), self.value(w), self.value(b), stride, pad_h, pad_w);
+        let needs = self.ng(x) || self.ng(w) || self.ng(b);
+        self.push(
+            Op::Conv2d {
+                x,
+                w,
+                b,
+                stride,
+                pad_h,
+                pad_w,
+            },
+            value,
+            needs,
+        )
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, x: NodeId) -> NodeId {
+        let value = Tensor::from_vec(
+            self.value(x).shape(),
+            self.value(x).data().iter().map(|v| v.max(0.0)).collect(),
+        );
+        let needs = self.ng(x);
+        self.push(Op::Relu { x }, value, needs)
+    }
+
+    /// Leaky ReLU with the given negative slope.
+    pub fn leaky_relu(&mut self, x: NodeId, slope: f32) -> NodeId {
+        let value = Tensor::from_vec(
+            self.value(x).shape(),
+            self.value(x)
+                .data()
+                .iter()
+                .map(|&v| if v > 0.0 { v } else { slope * v })
+                .collect(),
+        );
+        let needs = self.ng(x);
+        self.push(Op::LeakyRelu { x, slope }, value, needs)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: NodeId) -> NodeId {
+        let value = Tensor::from_vec(
+            self.value(x).shape(),
+            self.value(x)
+                .data()
+                .iter()
+                .map(|v| 1.0 / (1.0 + (-v).exp()))
+                .collect(),
+        );
+        let needs = self.ng(x);
+        self.push(Op::Sigmoid { x }, value, needs)
+    }
+
+    /// Elementwise addition of equal-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        assert_eq!(
+            self.value(a).shape(),
+            self.value(b).shape(),
+            "add: shape mismatch"
+        );
+        let value = self.value(a).add(self.value(b));
+        let needs = self.ng(a) || self.ng(b);
+        self.push(Op::Add { a, b }, value, needs)
+    }
+
+    /// Elementwise product of equal-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        assert_eq!(
+            self.value(a).shape(),
+            self.value(b).shape(),
+            "mul: shape mismatch"
+        );
+        let value = Tensor::from_vec(
+            self.value(a).shape(),
+            self.value(a)
+                .data()
+                .iter()
+                .zip(self.value(b).data())
+                .map(|(p, q)| p * q)
+                .collect(),
+        );
+        let needs = self.ng(a) || self.ng(b);
+        self.push(Op::Mul { a, b }, value, needs)
+    }
+
+    /// Multiplies by a constant.
+    pub fn scale(&mut self, x: NodeId, c: f32) -> NodeId {
+        let value = self.value(x).scale(c);
+        let needs = self.ng(x);
+        self.push(Op::Scale { x, c }, value, needs)
+    }
+
+    /// Concatenates along channels: `(N, Ca+Cb, H, W)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if N/H/W differ.
+    pub fn concat_channels(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let [na, ca, ha, wa] = self.value(a).shape();
+        let [nb, cb, hb, wb] = self.value(b).shape();
+        assert_eq!((na, ha, wa), (nb, hb, wb), "concat: N/H/W mismatch");
+        let mut out = Tensor::zeros([na, ca + cb, ha, wa]);
+        for n in 0..na {
+            for c in 0..ca {
+                for h in 0..ha {
+                    for w in 0..wa {
+                        out.set(n, c, h, w, self.value(a).at(n, c, h, w));
+                    }
+                }
+            }
+            for c in 0..cb {
+                for h in 0..ha {
+                    for w in 0..wa {
+                        out.set(n, ca + c, h, w, self.value(b).at(n, c, h, w));
+                    }
+                }
+            }
+        }
+        let needs = self.ng(a) || self.ng(b);
+        self.push(Op::ConcatChannels { a, b }, out, needs)
+    }
+
+    /// 2x2 max pooling with stride 2 (requires even H and W).
+    ///
+    /// # Panics
+    ///
+    /// Panics on odd spatial dimensions.
+    pub fn max_pool2(&mut self, x: NodeId) -> NodeId {
+        let xv = self.value(x);
+        let [n, c, h, w] = xv.shape();
+        assert!(h % 2 == 0 && w % 2 == 0, "max_pool2 requires even H and W");
+        let (ho, wo) = (h / 2, w / 2);
+        let mut out = Tensor::zeros([n, c, ho, wo]);
+        let mut argmax = vec![0usize; n * c * ho * wo];
+        let mut k = 0;
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..ho {
+                    for wi in 0..wo {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_off = 0;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let off = xv.offset(ni, ci, 2 * hi + dy, 2 * wi + dx);
+                                let v = xv.data()[off];
+                                if v > best {
+                                    best = v;
+                                    best_off = off;
+                                }
+                            }
+                        }
+                        out.set(ni, ci, hi, wi, best);
+                        argmax[k] = best_off;
+                        k += 1;
+                    }
+                }
+            }
+        }
+        let needs = self.ng(x);
+        self.push(Op::MaxPool2 { x, argmax }, out, needs)
+    }
+
+    /// 2x2 average pooling with stride 2 (requires even H and W).
+    ///
+    /// # Panics
+    ///
+    /// Panics on odd spatial dimensions.
+    pub fn avg_pool2(&mut self, x: NodeId) -> NodeId {
+        let xv = self.value(x);
+        let [n, c, h, w] = xv.shape();
+        assert!(h % 2 == 0 && w % 2 == 0, "avg_pool2 requires even H and W");
+        let (ho, wo) = (h / 2, w / 2);
+        let mut out = Tensor::zeros([n, c, ho, wo]);
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..ho {
+                    for wi in 0..wo {
+                        let mut s = 0.0;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                s += xv.at(ni, ci, 2 * hi + dy, 2 * wi + dx);
+                            }
+                        }
+                        out.set(ni, ci, hi, wi, s / 4.0);
+                    }
+                }
+            }
+        }
+        let needs = self.ng(x);
+        self.push(Op::AvgPool2 { x }, out, needs)
+    }
+
+    /// Nearest-neighbour 2x upsampling.
+    pub fn upsample2(&mut self, x: NodeId) -> NodeId {
+        let xv = self.value(x);
+        let [n, c, h, w] = xv.shape();
+        let mut out = Tensor::zeros([n, c, 2 * h, 2 * w]);
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        let v = xv.at(ni, ci, hi, wi);
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                out.set(ni, ci, 2 * hi + dy, 2 * wi + dx, v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let needs = self.ng(x);
+        self.push(Op::Upsample2 { x }, out, needs)
+    }
+
+    /// Global average pooling to `(N, C, 1, 1)`.
+    pub fn global_avg_pool(&mut self, x: NodeId) -> NodeId {
+        let xv = self.value(x);
+        let [n, c, h, w] = xv.shape();
+        let mut out = Tensor::zeros([n, c, 1, 1]);
+        for ni in 0..n {
+            for ci in 0..c {
+                let mut s = 0.0;
+                for hi in 0..h {
+                    for wi in 0..w {
+                        s += xv.at(ni, ci, hi, wi);
+                    }
+                }
+                out.set(ni, ci, 0, 0, s / (h * w) as f32);
+            }
+        }
+        let needs = self.ng(x);
+        self.push(Op::GlobalAvgPool { x }, out, needs)
+    }
+
+    /// Global max pooling to `(N, C, 1, 1)`.
+    pub fn global_max_pool(&mut self, x: NodeId) -> NodeId {
+        let xv = self.value(x);
+        let [n, c, h, w] = xv.shape();
+        let mut out = Tensor::zeros([n, c, 1, 1]);
+        let mut argmax = vec![0usize; n * c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_off = 0;
+                for hi in 0..h {
+                    for wi in 0..w {
+                        let off = xv.offset(ni, ci, hi, wi);
+                        if xv.data()[off] > best {
+                            best = xv.data()[off];
+                            best_off = off;
+                        }
+                    }
+                }
+                out.set(ni, ci, 0, 0, best);
+                argmax[ni * c + ci] = best_off;
+            }
+        }
+        let needs = self.ng(x);
+        self.push(Op::GlobalMaxPool { x, argmax }, out, needs)
+    }
+
+    /// Multiplies `x (N,C,H,W)` by per-channel scales `s (N,C,1,1)` —
+    /// the channel-attention application of CBAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not `(N, C, 1, 1)` for `x`'s N and C.
+    pub fn mul_channel(&mut self, x: NodeId, s: NodeId) -> NodeId {
+        let [n, c, h, w] = self.value(x).shape();
+        assert_eq!(self.value(s).shape(), [n, c, 1, 1], "mul_channel scale shape");
+        let mut out = Tensor::zeros([n, c, h, w]);
+        for ni in 0..n {
+            for ci in 0..c {
+                let sc = self.value(s).at(ni, ci, 0, 0);
+                for hi in 0..h {
+                    for wi in 0..w {
+                        out.set(ni, ci, hi, wi, self.value(x).at(ni, ci, hi, wi) * sc);
+                    }
+                }
+            }
+        }
+        let needs = self.ng(x) || self.ng(s);
+        self.push(Op::MulChannel { x, s }, out, needs)
+    }
+
+    /// Multiplies `x (N,C,H,W)` by a spatial mask `s (N,1,H,W)` — the
+    /// spatial-attention application of CBAM and of attention gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not `(N, 1, H, W)` for `x`'s N, H, W.
+    pub fn mul_spatial(&mut self, x: NodeId, s: NodeId) -> NodeId {
+        let [n, c, h, w] = self.value(x).shape();
+        assert_eq!(self.value(s).shape(), [n, 1, h, w], "mul_spatial mask shape");
+        let mut out = Tensor::zeros([n, c, h, w]);
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        out.set(
+                            ni,
+                            ci,
+                            hi,
+                            wi,
+                            self.value(x).at(ni, ci, hi, wi) * self.value(s).at(ni, 0, hi, wi),
+                        );
+                    }
+                }
+            }
+        }
+        let needs = self.ng(x) || self.ng(s);
+        self.push(Op::MulSpatial { x, s }, out, needs)
+    }
+
+    /// Mean over channels to `(N, 1, H, W)`.
+    pub fn channel_mean(&mut self, x: NodeId) -> NodeId {
+        let xv = self.value(x);
+        let [n, c, h, w] = xv.shape();
+        let mut out = Tensor::zeros([n, 1, h, w]);
+        for ni in 0..n {
+            for hi in 0..h {
+                for wi in 0..w {
+                    let mut s = 0.0;
+                    for ci in 0..c {
+                        s += xv.at(ni, ci, hi, wi);
+                    }
+                    out.set(ni, 0, hi, wi, s / c as f32);
+                }
+            }
+        }
+        let needs = self.ng(x);
+        self.push(Op::ChannelMean { x }, out, needs)
+    }
+
+    /// Max over channels to `(N, 1, H, W)`.
+    pub fn channel_max(&mut self, x: NodeId) -> NodeId {
+        let xv = self.value(x);
+        let [n, c, h, w] = xv.shape();
+        let mut out = Tensor::zeros([n, 1, h, w]);
+        let mut argmax = vec![0usize; n * h * w];
+        for ni in 0..n {
+            for hi in 0..h {
+                for wi in 0..w {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_c = 0;
+                    for ci in 0..c {
+                        let v = xv.at(ni, ci, hi, wi);
+                        if v > best {
+                            best = v;
+                            best_c = ci;
+                        }
+                    }
+                    out.set(ni, 0, hi, wi, best);
+                    argmax[(ni * h + hi) * w + wi] = best_c;
+                }
+            }
+        }
+        let needs = self.ng(x);
+        self.push(Op::ChannelMax { x, argmax }, out, needs)
+    }
+
+    /// Fully connected layer on `(N, C, 1, 1)`: `y = W x + b` with
+    /// `w (O, C, 1, 1)` and `b (1, O, 1, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn linear(&mut self, x: NodeId, w: NodeId, b: NodeId) -> NodeId {
+        let [n, c, h, ww] = self.value(x).shape();
+        assert_eq!((h, ww), (1, 1), "linear expects (N, C, 1, 1) input");
+        let [o, ci, _, _] = self.value(w).shape();
+        assert_eq!(ci, c, "linear weight input-dim mismatch");
+        assert_eq!(self.value(b).shape(), [1, o, 1, 1], "linear bias shape");
+        let mut out = Tensor::zeros([n, o, 1, 1]);
+        for ni in 0..n {
+            for oi in 0..o {
+                let mut s = self.value(b).at(0, oi, 0, 0);
+                for cj in 0..c {
+                    s += self.value(w).at(oi, cj, 0, 0) * self.value(x).at(ni, cj, 0, 0);
+                }
+                out.set(ni, oi, 0, 0, s);
+            }
+        }
+        let needs = self.ng(x) || self.ng(w) || self.ng(b);
+        self.push(Op::Linear { x, w, b }, out, needs)
+    }
+
+    /// Instance normalization over H x W per `(n, c)`, with affine
+    /// scale `gamma (1, C, 1, 1)` and shift `beta (1, C, 1, 1)`.
+    ///
+    /// This plays the role of the batch norm in the paper's models;
+    /// with the small batches CPU training affords, per-instance
+    /// statistics are the standard stable substitute.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn instance_norm(&mut self, x: NodeId, gamma: NodeId, beta: NodeId, eps: f32) -> NodeId {
+        let xv = self.value(x);
+        let [n, c, h, w] = xv.shape();
+        assert_eq!(self.value(gamma).shape(), [1, c, 1, 1], "gamma shape");
+        assert_eq!(self.value(beta).shape(), [1, c, 1, 1], "beta shape");
+        let m = (h * w) as f32;
+        let mut out = Tensor::zeros([n, c, h, w]);
+        let mut means = vec![0.0f32; n * c];
+        let mut inv_stds = vec![0.0f32; n * c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let mut s = 0.0;
+                for hi in 0..h {
+                    for wi in 0..w {
+                        s += xv.at(ni, ci, hi, wi);
+                    }
+                }
+                let mean = s / m;
+                let mut var = 0.0;
+                for hi in 0..h {
+                    for wi in 0..w {
+                        let d = xv.at(ni, ci, hi, wi) - mean;
+                        var += d * d;
+                    }
+                }
+                var /= m;
+                let inv_std = 1.0 / (var + eps).sqrt();
+                means[ni * c + ci] = mean;
+                inv_stds[ni * c + ci] = inv_std;
+                let g = self.value(gamma).at(0, ci, 0, 0);
+                let bta = self.value(beta).at(0, ci, 0, 0);
+                for hi in 0..h {
+                    for wi in 0..w {
+                        let xhat = (xv.at(ni, ci, hi, wi) - mean) * inv_std;
+                        out.set(ni, ci, hi, wi, g * xhat + bta);
+                    }
+                }
+            }
+        }
+        let needs = self.ng(x) || self.ng(gamma) || self.ng(beta);
+        self.push(
+            Op::InstanceNorm {
+                x,
+                gamma,
+                beta,
+                mean: means,
+                inv_std: inv_stds,
+            },
+            out,
+            needs,
+        )
+    }
+
+    /// Runs reverse-mode differentiation from `output`, seeding its
+    /// gradient with `seed` (normally `dL/d output`), and accumulates
+    /// parameter gradients into `store`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed`'s shape differs from the output value's shape.
+    pub fn backward(&mut self, output: NodeId, seed: Tensor, store: &mut ParamStore) {
+        assert_eq!(
+            seed.shape(),
+            self.values[output.0].shape(),
+            "backward seed shape mismatch"
+        );
+        self.grads[output.0] = Some(seed);
+        for i in (0..self.ops.len()).rev() {
+            if !self.needs_grad[i] {
+                continue;
+            }
+            let Some(grad) = self.grads[i].take() else {
+                continue;
+            };
+            self.step_backward(i, &grad, store);
+            // Keep the gradient available for inspection.
+            self.grads[i] = Some(grad);
+        }
+    }
+
+    fn add_grad(&mut self, id: NodeId, delta: Tensor) {
+        if !self.needs_grad[id.0] {
+            return;
+        }
+        match &mut self.grads[id.0] {
+            Some(g) => {
+                for (gi, di) in g.data_mut().iter_mut().zip(delta.data()) {
+                    *gi += di;
+                }
+            }
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step_backward(&mut self, i: usize, grad: &Tensor, store: &mut ParamStore) {
+        let op = self.ops[i].clone();
+        match op {
+            Op::Input => {}
+            Op::Param(pid) => store.accumulate_grad(pid, grad),
+            Op::Conv2d {
+                x,
+                w,
+                b,
+                stride,
+                pad_h,
+                pad_w,
+            } => {
+                let (dx, dw, db) =
+                    conv2d_backward(self.value(x), self.value(w), grad, stride, pad_h, pad_w);
+                self.add_grad(x, dx);
+                self.add_grad(w, dw);
+                self.add_grad(b, db);
+            }
+            Op::Relu { x } => {
+                let dx = Tensor::from_vec(
+                    grad.shape(),
+                    self.value(x)
+                        .data()
+                        .iter()
+                        .zip(grad.data())
+                        .map(|(&xv, &g)| if xv > 0.0 { g } else { 0.0 })
+                        .collect(),
+                );
+                self.add_grad(x, dx);
+            }
+            Op::LeakyRelu { x, slope } => {
+                let dx = Tensor::from_vec(
+                    grad.shape(),
+                    self.value(x)
+                        .data()
+                        .iter()
+                        .zip(grad.data())
+                        .map(|(&xv, &g)| if xv > 0.0 { g } else { slope * g })
+                        .collect(),
+                );
+                self.add_grad(x, dx);
+            }
+            Op::Sigmoid { x } => {
+                let y = &self.values[i];
+                let dx = Tensor::from_vec(
+                    grad.shape(),
+                    y.data()
+                        .iter()
+                        .zip(grad.data())
+                        .map(|(&yv, &g)| g * yv * (1.0 - yv))
+                        .collect(),
+                );
+                self.add_grad(x, dx);
+            }
+            Op::Add { a, b } => {
+                self.add_grad(a, grad.clone());
+                self.add_grad(b, grad.clone());
+            }
+            Op::Mul { a, b } => {
+                let da = Tensor::from_vec(
+                    grad.shape(),
+                    grad.data()
+                        .iter()
+                        .zip(self.value(b).data())
+                        .map(|(g, bv)| g * bv)
+                        .collect(),
+                );
+                let db = Tensor::from_vec(
+                    grad.shape(),
+                    grad.data()
+                        .iter()
+                        .zip(self.value(a).data())
+                        .map(|(g, av)| g * av)
+                        .collect(),
+                );
+                self.add_grad(a, da);
+                self.add_grad(b, db);
+            }
+            Op::Scale { x, c } => {
+                self.add_grad(x, grad.scale(c));
+            }
+            Op::ConcatChannels { a, b } => {
+                let [n, ca, h, w] = self.value(a).shape();
+                let [_, cb, _, _] = self.value(b).shape();
+                let mut da = Tensor::zeros([n, ca, h, w]);
+                let mut db = Tensor::zeros([n, cb, h, w]);
+                for ni in 0..n {
+                    for c in 0..ca {
+                        for hi in 0..h {
+                            for wi in 0..w {
+                                da.set(ni, c, hi, wi, grad.at(ni, c, hi, wi));
+                            }
+                        }
+                    }
+                    for c in 0..cb {
+                        for hi in 0..h {
+                            for wi in 0..w {
+                                db.set(ni, c, hi, wi, grad.at(ni, ca + c, hi, wi));
+                            }
+                        }
+                    }
+                }
+                self.add_grad(a, da);
+                self.add_grad(b, db);
+            }
+            Op::MaxPool2 { x, argmax } => {
+                let mut dx = Tensor::zeros(self.value(x).shape());
+                for (k, &off) in argmax.iter().enumerate() {
+                    dx.data_mut()[off] += grad.data()[k];
+                }
+                self.add_grad(x, dx);
+            }
+            Op::AvgPool2 { x } => {
+                let [n, c, h, w] = self.value(x).shape();
+                let mut dx = Tensor::zeros([n, c, h, w]);
+                for ni in 0..n {
+                    for ci in 0..c {
+                        for hi in 0..h / 2 {
+                            for wi in 0..w / 2 {
+                                let g = grad.at(ni, ci, hi, wi) / 4.0;
+                                for dy in 0..2 {
+                                    for dx_ in 0..2 {
+                                        dx.add_at(ni, ci, 2 * hi + dy, 2 * wi + dx_, g);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                self.add_grad(x, dx);
+            }
+            Op::Upsample2 { x } => {
+                let [n, c, h, w] = self.value(x).shape();
+                let mut dx = Tensor::zeros([n, c, h, w]);
+                for ni in 0..n {
+                    for ci in 0..c {
+                        for hi in 0..h {
+                            for wi in 0..w {
+                                let mut s = 0.0;
+                                for dy in 0..2 {
+                                    for dx_ in 0..2 {
+                                        s += grad.at(ni, ci, 2 * hi + dy, 2 * wi + dx_);
+                                    }
+                                }
+                                dx.set(ni, ci, hi, wi, s);
+                            }
+                        }
+                    }
+                }
+                self.add_grad(x, dx);
+            }
+            Op::GlobalAvgPool { x } => {
+                let [n, c, h, w] = self.value(x).shape();
+                let inv = 1.0 / (h * w) as f32;
+                let mut dx = Tensor::zeros([n, c, h, w]);
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let g = grad.at(ni, ci, 0, 0) * inv;
+                        for hi in 0..h {
+                            for wi in 0..w {
+                                dx.set(ni, ci, hi, wi, g);
+                            }
+                        }
+                    }
+                }
+                self.add_grad(x, dx);
+            }
+            Op::GlobalMaxPool { x, argmax } => {
+                let mut dx = Tensor::zeros(self.value(x).shape());
+                let [_, c, _, _] = self.value(x).shape();
+                for (k, &off) in argmax.iter().enumerate() {
+                    let (ni, ci) = (k / c, k % c);
+                    dx.data_mut()[off] += grad.at(ni, ci, 0, 0);
+                }
+                self.add_grad(x, dx);
+            }
+            Op::MulChannel { x, s } => {
+                let [n, c, h, w] = self.value(x).shape();
+                let mut dx = Tensor::zeros([n, c, h, w]);
+                let mut ds = Tensor::zeros([n, c, 1, 1]);
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let sc = self.value(s).at(ni, ci, 0, 0);
+                        let mut acc = 0.0;
+                        for hi in 0..h {
+                            for wi in 0..w {
+                                let g = grad.at(ni, ci, hi, wi);
+                                dx.set(ni, ci, hi, wi, g * sc);
+                                acc += g * self.value(x).at(ni, ci, hi, wi);
+                            }
+                        }
+                        ds.set(ni, ci, 0, 0, acc);
+                    }
+                }
+                self.add_grad(x, dx);
+                self.add_grad(s, ds);
+            }
+            Op::MulSpatial { x, s } => {
+                let [n, c, h, w] = self.value(x).shape();
+                let mut dx = Tensor::zeros([n, c, h, w]);
+                let mut ds = Tensor::zeros([n, 1, h, w]);
+                for ni in 0..n {
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            let sc = self.value(s).at(ni, 0, hi, wi);
+                            let mut acc = 0.0;
+                            for ci in 0..c {
+                                let g = grad.at(ni, ci, hi, wi);
+                                dx.set(ni, ci, hi, wi, g * sc);
+                                acc += g * self.value(x).at(ni, ci, hi, wi);
+                            }
+                            ds.set(ni, 0, hi, wi, acc);
+                        }
+                    }
+                }
+                self.add_grad(x, dx);
+                self.add_grad(s, ds);
+            }
+            Op::ChannelMean { x } => {
+                let [n, c, h, w] = self.value(x).shape();
+                let inv = 1.0 / c as f32;
+                let mut dx = Tensor::zeros([n, c, h, w]);
+                for ni in 0..n {
+                    for ci in 0..c {
+                        for hi in 0..h {
+                            for wi in 0..w {
+                                dx.set(ni, ci, hi, wi, grad.at(ni, 0, hi, wi) * inv);
+                            }
+                        }
+                    }
+                }
+                self.add_grad(x, dx);
+            }
+            Op::ChannelMax { x, argmax } => {
+                let [n, _c, h, w] = self.value(x).shape();
+                let mut dx = Tensor::zeros(self.value(x).shape());
+                for ni in 0..n {
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            let ci = argmax[(ni * h + hi) * w + wi];
+                            dx.add_at(ni, ci, hi, wi, grad.at(ni, 0, hi, wi));
+                        }
+                    }
+                }
+                self.add_grad(x, dx);
+            }
+            Op::Linear { x, w, b } => {
+                let [n, c, _, _] = self.value(x).shape();
+                let [o, _, _, _] = self.value(w).shape();
+                let mut dx = Tensor::zeros([n, c, 1, 1]);
+                let mut dw = Tensor::zeros(self.value(w).shape());
+                let mut db = Tensor::zeros([1, o, 1, 1]);
+                for ni in 0..n {
+                    for oi in 0..o {
+                        let g = grad.at(ni, oi, 0, 0);
+                        db.add_at(0, oi, 0, 0, g);
+                        for cj in 0..c {
+                            dx.add_at(ni, cj, 0, 0, g * self.value(w).at(oi, cj, 0, 0));
+                            dw.add_at(oi, cj, 0, 0, g * self.value(x).at(ni, cj, 0, 0));
+                        }
+                    }
+                }
+                self.add_grad(x, dx);
+                self.add_grad(w, dw);
+                self.add_grad(b, db);
+            }
+            Op::InstanceNorm {
+                x,
+                gamma,
+                beta,
+                mean,
+                inv_std,
+            } => {
+                let xv = self.value(x);
+                let [n, c, h, w] = xv.shape();
+                let m = (h * w) as f32;
+                let mut dx = Tensor::zeros([n, c, h, w]);
+                let mut dgamma = Tensor::zeros([1, c, 1, 1]);
+                let mut dbeta = Tensor::zeros([1, c, 1, 1]);
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let mu = mean[ni * c + ci];
+                        let istd = inv_std[ni * c + ci];
+                        let g = self.value(gamma).at(0, ci, 0, 0);
+                        // Accumulate the two reductions the BN backward needs.
+                        let mut sum_dy = 0.0;
+                        let mut sum_dy_xhat = 0.0;
+                        for hi in 0..h {
+                            for wi in 0..w {
+                                let dy = grad.at(ni, ci, hi, wi);
+                                let xhat = (xv.at(ni, ci, hi, wi) - mu) * istd;
+                                sum_dy += dy;
+                                sum_dy_xhat += dy * xhat;
+                                dgamma.add_at(0, ci, 0, 0, dy * xhat);
+                                dbeta.add_at(0, ci, 0, 0, dy);
+                            }
+                        }
+                        for hi in 0..h {
+                            for wi in 0..w {
+                                let dy = grad.at(ni, ci, hi, wi);
+                                let xhat = (xv.at(ni, ci, hi, wi) - mu) * istd;
+                                let v = g * istd * (dy - sum_dy / m - xhat * sum_dy_xhat / m);
+                                dx.set(ni, ci, hi, wi, v);
+                            }
+                        }
+                    }
+                }
+                self.add_grad(x, dx);
+                self.add_grad(gamma, dgamma);
+                self.add_grad(beta, dbeta);
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// Adds `v` at an index (internal helper for backward kernels).
+    #[inline]
+    pub(crate) fn add_at(&mut self, n: usize, c: usize, h: usize, w: usize, v: f32) {
+        let o = self.offset(n, c, h, w);
+        self.data_mut()[o] += v;
+    }
+}
+
+/// Direct 2-D convolution forward pass.
+fn conv2d_forward(
+    x: &Tensor,
+    w: &Tensor,
+    b: &Tensor,
+    stride: usize,
+    pad_h: usize,
+    pad_w: usize,
+) -> Tensor {
+    let [n, ci, h, ww] = x.shape();
+    let [co, ci_w, kh, kw] = w.shape();
+    assert_eq!(ci, ci_w, "conv2d: input channel mismatch");
+    assert_eq!(b.shape(), [1, co, 1, 1], "conv2d: bias shape");
+    assert!(stride >= 1, "conv2d: stride must be >= 1");
+    let ho = (h + 2 * pad_h - kh) / stride + 1;
+    let wo = (ww + 2 * pad_w - kw) / stride + 1;
+    assert!(ho > 0 && wo > 0, "conv2d: empty output");
+    let mut out = Tensor::zeros([n, co, ho, wo]);
+    let xd = x.data();
+    let wd = w.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for oc in 0..co {
+            let obase = ((ni * co + oc) * ho) * wo;
+            let bias = bd[oc];
+            od[obase..obase + ho * wo].iter_mut().for_each(|v| *v = bias);
+            for ic in 0..ci {
+                let xbase = ((ni * ci + ic) * h) * ww;
+                let wbase = ((oc * ci + ic) * kh) * kw;
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let wv = wd[wbase + ky * kw + kx];
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        // Valid output rows: iy = oh*stride + ky - pad_h in [0, h).
+                        for oh in 0..ho {
+                            let iy = (oh * stride + ky) as isize - pad_h as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let xrow = xbase + iy as usize * ww;
+                            let orow = obase + oh * wo;
+                            for ow in 0..wo {
+                                let ix = (ow * stride + kx) as isize - pad_w as isize;
+                                if ix < 0 || ix >= ww as isize {
+                                    continue;
+                                }
+                                od[orow + ow] += wv * xd[xrow + ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Direct 2-D convolution backward pass: returns `(dx, dw, db)`.
+fn conv2d_backward(
+    x: &Tensor,
+    w: &Tensor,
+    dy: &Tensor,
+    stride: usize,
+    pad_h: usize,
+    pad_w: usize,
+) -> (Tensor, Tensor, Tensor) {
+    let [n, ci, h, ww] = x.shape();
+    let [co, _, kh, kw] = w.shape();
+    let [_, _, ho, wo] = dy.shape();
+    let mut dx = Tensor::zeros([n, ci, h, ww]);
+    let mut dw = Tensor::zeros(w.shape());
+    let mut db = Tensor::zeros([1, co, 1, 1]);
+    let xd = x.data();
+    let wd = w.data();
+    let dyd = dy.data();
+    let dxd = dx.data_mut();
+    let dwd = dw.data_mut();
+    let dbd = db.data_mut();
+    for ni in 0..n {
+        for oc in 0..co {
+            let dybase = ((ni * co + oc) * ho) * wo;
+            // db: plain reduction over the output map.
+            let mut bsum = 0.0;
+            for v in &dyd[dybase..dybase + ho * wo] {
+                bsum += v;
+            }
+            dbd[oc] += bsum;
+            for ic in 0..ci {
+                let xbase = ((ni * ci + ic) * h) * ww;
+                let wbase = ((oc * ci + ic) * kh) * kw;
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let wv = wd[wbase + ky * kw + kx];
+                        let mut wgrad = 0.0;
+                        for oh in 0..ho {
+                            let iy = (oh * stride + ky) as isize - pad_h as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let xrow = xbase + iy as usize * ww;
+                            let dyrow = dybase + oh * wo;
+                            for ow in 0..wo {
+                                let ix = (ow * stride + kx) as isize - pad_w as isize;
+                                if ix < 0 || ix >= ww as isize {
+                                    continue;
+                                }
+                                let g = dyd[dyrow + ow];
+                                let xi = xrow + ix as usize;
+                                dxd[xi] += g * wv;
+                                wgrad += g * xd[xi];
+                            }
+                        }
+                        dwd[wbase + ky * kw + kx] += wgrad;
+                    }
+                }
+            }
+        }
+    }
+    (dx, dw, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerically checks `d loss / d leaf` where `loss = sum(output)`.
+    fn numeric_grad_check<F>(input: Tensor, forward: F, tol: f32)
+    where
+        F: Fn(&mut Tape, NodeId) -> NodeId,
+    {
+        let mut store = ParamStore::new();
+        // Analytic gradient.
+        let mut tape = Tape::new();
+        let x = tape.leaf(input.clone());
+        let y = forward(&mut tape, x);
+        let seed = Tensor::filled(tape.value(y).shape(), 1.0);
+        tape.backward(y, seed, &mut store);
+        let analytic = tape.grad(x).expect("leaf grad").clone();
+        // Numeric gradient by central differences.
+        let eps = 1e-3;
+        for i in 0..input.numel() {
+            let mut plus = input.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[i] -= eps;
+            let fp: f32 = {
+                let mut t = Tape::new();
+                let xi = t.leaf(plus);
+                let y = forward(&mut t, xi);
+                t.value(y).data().iter().sum()
+            };
+            let fm: f32 = {
+                let mut t = Tape::new();
+                let xi = t.leaf(minus);
+                let y = forward(&mut t, xi);
+                t.value(y).data().iter().sum()
+            };
+            let numeric = (fp - fm) / (2.0 * eps);
+            let a = analytic.data()[i];
+            assert!(
+                (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                "grad mismatch at {i}: analytic {a}, numeric {numeric}"
+            );
+        }
+    }
+
+    fn seeded_input(shape: [usize; 4]) -> Tensor {
+        let n = shape.iter().product();
+        let data = (0..n)
+            .map(|i| ((i as f32 * 0.73).sin() * 0.9) + 0.05)
+            .collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        let mut tape = Tape::new();
+        let x = tape.input(seeded_input([1, 1, 4, 4]));
+        let mut w = Tensor::zeros([1, 1, 3, 3]);
+        w.set(0, 0, 1, 1, 1.0);
+        let w = tape.input(w);
+        let b = tape.input(Tensor::zeros([1, 1, 1, 1]));
+        let y = tape.conv2d(x, w, b, 1, 1);
+        assert_eq!(tape.value(y), tape.value(x));
+    }
+
+    #[test]
+    fn conv2d_shapes() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::zeros([2, 3, 8, 8]));
+        let w = tape.input(Tensor::zeros([5, 3, 3, 3]));
+        let b = tape.input(Tensor::zeros([1, 5, 1, 1]));
+        assert_eq!(tape.conv2d(x, w, b, 1, 1), NodeId(3));
+        assert_eq!(tape.value(NodeId(3)).shape(), [2, 5, 8, 8]);
+        let y2 = tape.conv2d(x, w, b, 2, 1);
+        assert_eq!(tape.value(y2).shape(), [2, 5, 4, 4]);
+    }
+
+    #[test]
+    fn conv2d_gradcheck_input() {
+        let input = seeded_input([1, 2, 5, 5]);
+        numeric_grad_check(
+            input,
+            |t, x| {
+                let w = t.input(seeded_input([3, 2, 3, 3]));
+                let b = t.input(seeded_input([1, 3, 1, 1]));
+                t.conv2d(x, w, b, 1, 1)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn conv2d_gradcheck_weights() {
+        // Check dL/dw by making the weight the leaf.
+        let winit = seeded_input([2, 1, 3, 3]);
+        numeric_grad_check(
+            winit,
+            |t, w| {
+                let x = t.input(seeded_input([1, 1, 4, 4]));
+                let b = t.input(Tensor::zeros([1, 2, 1, 1]));
+                t.conv2d(x, w, b, 1, 1)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn relu_and_sigmoid_gradcheck() {
+        numeric_grad_check(seeded_input([1, 1, 3, 3]), |t, x| t.relu(x), 1e-2);
+        numeric_grad_check(seeded_input([1, 1, 3, 3]), |t, x| t.sigmoid(x), 1e-2);
+        numeric_grad_check(
+            seeded_input([1, 1, 3, 3]),
+            |t, x| t.leaky_relu(x, 0.1),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn pooling_gradcheck() {
+        numeric_grad_check(seeded_input([1, 2, 4, 4]), |t, x| t.max_pool2(x), 1e-2);
+        numeric_grad_check(seeded_input([1, 2, 4, 4]), |t, x| t.avg_pool2(x), 1e-2);
+        numeric_grad_check(seeded_input([1, 2, 2, 2]), |t, x| t.upsample2(x), 1e-2);
+        numeric_grad_check(seeded_input([1, 3, 3, 3]), |t, x| t.global_avg_pool(x), 1e-2);
+        numeric_grad_check(seeded_input([1, 3, 3, 3]), |t, x| t.global_max_pool(x), 1e-2);
+    }
+
+    #[test]
+    fn attention_primitive_gradcheck() {
+        numeric_grad_check(seeded_input([1, 3, 3, 3]), |t, x| t.channel_mean(x), 1e-2);
+        numeric_grad_check(seeded_input([1, 3, 3, 3]), |t, x| t.channel_max(x), 1e-2);
+        numeric_grad_check(
+            seeded_input([1, 2, 3, 3]),
+            |t, x| {
+                let s = t.input(seeded_input([1, 2, 1, 1]));
+                t.mul_channel(x, s)
+            },
+            1e-2,
+        );
+        numeric_grad_check(
+            seeded_input([1, 2, 3, 3]),
+            |t, x| {
+                let s = t.input(seeded_input([1, 1, 3, 3]));
+                t.mul_spatial(x, s)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn elementwise_and_concat_gradcheck() {
+        numeric_grad_check(
+            seeded_input([1, 2, 2, 2]),
+            |t, x| {
+                let o = t.input(seeded_input([1, 2, 2, 2]));
+                let s = t.add(x, o);
+                t.mul(s, x)
+            },
+            1e-2,
+        );
+        numeric_grad_check(
+            seeded_input([1, 2, 2, 2]),
+            |t, x| {
+                let o = t.input(seeded_input([1, 3, 2, 2]));
+                t.concat_channels(x, o)
+            },
+            1e-2,
+        );
+        numeric_grad_check(seeded_input([1, 1, 2, 2]), |t, x| t.scale(x, -2.5), 1e-2);
+    }
+
+    #[test]
+    fn linear_gradcheck() {
+        numeric_grad_check(
+            seeded_input([2, 3, 1, 1]),
+            |t, x| {
+                let w = t.input(seeded_input([4, 3, 1, 1]));
+                let b = t.input(seeded_input([1, 4, 1, 1]));
+                t.linear(x, w, b)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn instance_norm_gradcheck() {
+        numeric_grad_check(
+            seeded_input([1, 2, 3, 3]),
+            |t, x| {
+                let g = t.input(Tensor::filled([1, 2, 1, 1], 1.3));
+                let b = t.input(Tensor::filled([1, 2, 1, 1], -0.2));
+                t.instance_norm(x, g, b, 1e-5)
+            },
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn instance_norm_output_is_normalized() {
+        let mut tape = Tape::new();
+        let x = tape.input(seeded_input([2, 3, 4, 4]));
+        let g = tape.input(Tensor::filled([1, 3, 1, 1], 1.0));
+        let b = tape.input(Tensor::zeros([1, 3, 1, 1]));
+        let y = tape.instance_norm(x, g, b, 1e-6);
+        let yv = tape.value(y);
+        // Per (n, c) mean ~ 0, variance ~ 1.
+        for n in 0..2 {
+            for c in 0..3 {
+                let mut mean = 0.0;
+                for h in 0..4 {
+                    for w in 0..4 {
+                        mean += yv.at(n, c, h, w);
+                    }
+                }
+                mean /= 16.0;
+                assert!(mean.abs() < 1e-4, "mean {mean}");
+            }
+        }
+    }
+
+    #[test]
+    fn param_gradients_reach_store() {
+        let mut store = ParamStore::new();
+        let pid = store.register("w", Tensor::filled([1, 1, 1, 1], 2.0));
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::filled([1, 1, 1, 1], 3.0));
+        let w = tape.param(&store, pid);
+        let y = tape.mul(x, w);
+        tape.backward(y, Tensor::filled([1, 1, 1, 1], 1.0), &mut store);
+        // d(x*w)/dw = x = 3
+        assert_eq!(store.grad(pid).data(), &[3.0]);
+    }
+
+    #[test]
+    fn inputs_do_not_collect_gradients() {
+        let mut store = ParamStore::new();
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::filled([1, 1, 1, 1], 3.0));
+        let y = tape.relu(x);
+        tape.backward(y, Tensor::filled([1, 1, 1, 1], 1.0), &mut store);
+        assert!(tape.grad(x).is_none());
+    }
+
+    #[test]
+    fn gradient_accumulates_across_fanout() {
+        let mut store = ParamStore::new();
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::filled([1, 1, 1, 1], 1.5));
+        let y = tape.add(x, x); // dy/dx = 2
+        tape.backward(y, Tensor::filled([1, 1, 1, 1], 1.0), &mut store);
+        assert_eq!(tape.grad(x).unwrap().data(), &[2.0]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Errors raised while building the circuit model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error building a [`crate::PowerGrid`] from a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A resistor had a non-positive resistance.
+    NonPositiveResistance {
+        /// Element name.
+        name: String,
+        /// The offending value.
+        ohms: f64,
+    },
+    /// The design has no voltage source, so the system is floating.
+    NoPads,
+    /// A voltage source was not referenced to ground.
+    UngroundedSource {
+        /// Element name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NonPositiveResistance { name, ohms } => {
+                write!(f, "resistor '{name}' has non-positive resistance {ohms}")
+            }
+            ModelError::NoPads => write!(f, "design has no voltage source (floating grid)"),
+            ModelError::UngroundedSource { name } => {
+                write!(f, "voltage source '{name}' is not referenced to ground")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ModelError::NoPads.to_string().contains("floating"));
+        let e = ModelError::NonPositiveResistance {
+            name: "R9".into(),
+            ohms: 0.0,
+        };
+        assert!(e.to_string().contains("R9"));
+    }
+}

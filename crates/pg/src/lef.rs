@@ -1,0 +1,181 @@
+//! Minimal LEF (Library Exchange Format) reader.
+//!
+//! The paper derives its image pitch from LEF: "Based on the row `w`
+//! and height `l` from LEF, a design's layer of size `Wc x Lc`
+//! translates to an image of `W (= Wc // w) x L (= Lc // l)` pixels."
+//! This module reads exactly the subset that computation needs — the
+//! `UNITS DATABASE MICRONS` factor and `SITE ... SIZE w BY h ;`
+//! definitions — and builds the matching [`Rasterizer`].
+
+use crate::raster::Rasterizer;
+use std::error::Error;
+use std::fmt;
+
+/// A placement site from a LEF file, in database units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Site {
+    /// Site name (e.g. `core`).
+    pub name: String,
+    /// Site width in database units.
+    pub width_dbu: i64,
+    /// Site (row) height in database units.
+    pub height_dbu: i64,
+}
+
+/// Error reading a LEF snippet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseLefError {
+    /// `SIZE w BY h` line malformed.
+    BadSize {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// No `SITE` definition found.
+    NoSite,
+}
+
+impl fmt::Display for ParseLefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseLefError::BadSize { line } => write!(f, "malformed SIZE at line {line}"),
+            ParseLefError::NoSite => write!(f, "no SITE definition found"),
+        }
+    }
+}
+
+impl Error for ParseLefError {}
+
+/// Parses the sites of a LEF source. Dimensions in the file are
+/// microns; they are converted with the `UNITS DATABASE MICRONS`
+/// factor (default 1000, LEF's own default).
+///
+/// # Errors
+///
+/// Returns [`ParseLefError::BadSize`] on malformed `SIZE` statements
+/// and [`ParseLefError::NoSite`] when the source has no site at all.
+pub fn parse_sites(src: &str) -> Result<Vec<Site>, ParseLefError> {
+    let mut dbu_per_micron = 1000.0f64;
+    let mut sites = Vec::new();
+    let mut current: Option<String> = None;
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        let upper = line.to_ascii_uppercase();
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if upper.starts_with("UNITS") {
+            continue;
+        }
+        if upper.starts_with("DATABASE") && fields.len() >= 3 {
+            if let Ok(v) = fields[2].trim_end_matches(';').parse::<f64>() {
+                dbu_per_micron = v;
+            }
+        } else if upper.starts_with("SITE") && fields.len() >= 2 && current.is_none() {
+            current = Some(fields[1].to_string());
+        } else if upper.starts_with("SIZE") {
+            if let Some(name) = current.clone() {
+                // SIZE <w> BY <h> ;
+                let w = fields.get(1).and_then(|s| s.parse::<f64>().ok());
+                let h = fields.get(3).and_then(|s| s.trim_end_matches(';').parse::<f64>().ok());
+                match (w, h) {
+                    (Some(w), Some(h)) => {
+                        sites.push(Site {
+                            name,
+                            width_dbu: (w * dbu_per_micron).round() as i64,
+                            height_dbu: (h * dbu_per_micron).round() as i64,
+                        });
+                        current = None;
+                    }
+                    _ => return Err(ParseLefError::BadSize { line: idx + 1 }),
+                }
+            }
+        } else if upper.starts_with("END") {
+            current = None;
+        }
+    }
+    if sites.is_empty() {
+        return Err(ParseLefError::NoSite);
+    }
+    Ok(sites)
+}
+
+/// Builds the paper's rasterizer from a die bounding box and a LEF
+/// site: `W = Wc / w` columns and `L = Lc / l` rows (at least 1 each).
+#[must_use]
+pub fn rasterizer_from_site(bbox: (i64, i64, i64, i64), site: &Site) -> Rasterizer {
+    let (x0, y0, x1, y1) = bbox;
+    let w = (((x1 - x0) / site.width_dbu.max(1)).max(1)) as usize;
+    let h = (((y1 - y0) / site.height_dbu.max(1)).max(1)) as usize;
+    Rasterizer::new(bbox, w, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEF: &str = "\
+UNITS
+  DATABASE MICRONS 2000 ;
+END UNITS
+SITE core
+  CLASS CORE ;
+  SIZE 0.2 BY 1.6 ;
+END core
+SITE io
+  SIZE 1.0 BY 8.0 ;
+END io
+";
+
+    #[test]
+    fn parses_sites_with_units() {
+        let sites = parse_sites(LEF).expect("valid LEF");
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].name, "core");
+        assert_eq!(sites[0].width_dbu, 400); // 0.2 um * 2000 dbu/um
+        assert_eq!(sites[0].height_dbu, 3200);
+    }
+
+    #[test]
+    fn default_units_are_1000() {
+        let src = "SITE s\n  SIZE 1.0 BY 2.0 ;\nEND s\n";
+        let sites = parse_sites(src).expect("valid");
+        assert_eq!(sites[0].width_dbu, 1000);
+        assert_eq!(sites[0].height_dbu, 2000);
+    }
+
+    #[test]
+    fn missing_site_is_an_error() {
+        assert_eq!(parse_sites("UNITS\nEND UNITS\n"), Err(ParseLefError::NoSite));
+    }
+
+    #[test]
+    fn malformed_size_is_reported_with_line() {
+        let src = "SITE s\n  SIZE nonsense ;\nEND s\n";
+        assert_eq!(
+            parse_sites(src),
+            Err(ParseLefError::BadSize { line: 2 })
+        );
+    }
+
+    #[test]
+    fn rasterizer_matches_paper_formula() {
+        let site = Site {
+            name: "core".into(),
+            width_dbu: 400,
+            height_dbu: 3200,
+        };
+        // Die of 102_400 x 102_400: W = 256 columns, L = 32 rows.
+        let r = rasterizer_from_site((0, 0, 102_400, 102_400), &site);
+        assert_eq!(r.width(), 256);
+        assert_eq!(r.height(), 32);
+    }
+
+    #[test]
+    fn degenerate_site_still_yields_a_grid() {
+        let site = Site {
+            name: "wide".into(),
+            width_dbu: 1_000_000,
+            height_dbu: 1_000_000,
+        };
+        let r = rasterizer_from_site((0, 0, 100, 100), &site);
+        assert_eq!((r.width(), r.height()), (1, 1));
+    }
+}

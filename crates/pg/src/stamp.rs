@@ -1,0 +1,177 @@
+//! MNA assembly of the reduced SPD system in IR-drop coordinates.
+
+use crate::grid::PowerGrid;
+use irf_sparse::{CsrMatrix, TripletMatrix};
+
+/// The reduced linear system `G d = I` of a power grid, expressed in
+/// IR-drop coordinates `d_i = Vdd - v_i`.
+///
+/// Pads are Dirichlet nodes with `d = 0`; their coupling conductances
+/// are folded into the diagonal of their neighbours, which keeps the
+/// system symmetric positive definite and strictly diagonally dominant
+/// at pad neighbours. Solving yields the per-node IR drop directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PgSystem {
+    /// Reduced conductance matrix over non-pad nodes.
+    pub matrix: CsrMatrix,
+    /// Load-current right-hand side (amperes).
+    pub rhs: Vec<f64>,
+    /// For each grid node index, its row in the reduced system
+    /// (`None` for pads).
+    pub index_of: Vec<Option<usize>>,
+    /// Reduced row -> grid node index.
+    pub node_of: Vec<usize>,
+}
+
+impl PgSystem {
+    /// Assembles the reduced system from a power grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a segment references an out-of-range node (cannot
+    /// happen for grids produced by
+    /// [`PowerGrid::from_netlist`](crate::PowerGrid::from_netlist)).
+    #[must_use]
+    pub fn build(grid: &PowerGrid) -> Self {
+        let n_nodes = grid.nodes.len();
+        let mut index_of = vec![None; n_nodes];
+        let mut node_of = Vec::new();
+        for (i, node) in grid.nodes.iter().enumerate() {
+            if !node.is_pad {
+                index_of[i] = Some(node_of.len());
+                node_of.push(i);
+            }
+        }
+        let n = node_of.len();
+        let mut t = TripletMatrix::with_capacity(n, n, 4 * grid.segments.len());
+        for s in &grid.segments {
+            let g = s.conductance();
+            match (index_of[s.a], index_of[s.b]) {
+                (Some(a), Some(b)) => t.stamp_conductance(a, b, g),
+                (Some(a), None) => t.stamp_grounded_conductance(a, g),
+                (None, Some(b)) => t.stamp_grounded_conductance(b, g),
+                (None, None) => {} // pad-to-pad segment carries no unknown
+            }
+        }
+        let mut rhs = vec![0.0; n];
+        for l in &grid.loads {
+            if let Some(row) = index_of[l.node] {
+                rhs[row] += l.amps;
+            }
+        }
+        PgSystem {
+            matrix: t.to_csr(),
+            rhs,
+            index_of,
+            node_of,
+        }
+    }
+
+    /// Dimension of the reduced system.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// Expands a reduced solution to per-grid-node IR drops (pads get
+    /// exactly `0.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reduced.len() != self.dim()`.
+    #[must_use]
+    pub fn expand_solution(&self, reduced: &[f64]) -> Vec<f64> {
+        assert_eq!(reduced.len(), self.dim(), "reduced solution length mismatch");
+        let mut full = vec![0.0; self.index_of.len()];
+        for (row, &node) in self.node_of.iter().enumerate() {
+            full[node] = reduced[row];
+        }
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::PowerGrid;
+    use irf_spice::parse;
+    use irf_sparse::{Solver, SolverKind};
+
+    /// Chain: pad --1R-- n1 --1R-- n2, with 1 mA drawn at n2.
+    /// Exact drops: d(n1) = 1 mV, d(n2) = 2 mV.
+    const CHAIN: &str = "\
+V1 p 0 1.0
+R1 p n1 1.0
+R2 n1 n2 1.0
+I1 n2 0 1m
+.end
+";
+
+    fn chain_system() -> PgSystem {
+        PowerGrid::from_netlist(&parse(CHAIN).unwrap())
+            .unwrap()
+            .build_system()
+    }
+
+    #[test]
+    fn reduced_dimension_excludes_pads() {
+        let s = chain_system();
+        assert_eq!(s.dim(), 2);
+        assert_eq!(s.matrix.rows(), 2);
+    }
+
+    #[test]
+    fn system_is_spd_and_symmetric() {
+        let s = chain_system();
+        assert!(s.matrix.is_symmetric(0.0));
+        for i in 0..s.dim() {
+            assert!(s.matrix.get(i, i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn hand_computed_drops_match() {
+        let s = chain_system();
+        let report = Solver::new(SolverKind::Cholesky).solve(&s.matrix, &s.rhs);
+        let drops = s.expand_solution(&report.x);
+        // Node order follows first appearance: p, n1, n2.
+        let by_name = |_name: &str, idx: usize| drops[idx];
+        assert!((by_name("p", 0) - 0.0).abs() < 1e-12);
+        assert!((by_name("n1", 1) - 1e-3).abs() < 1e-12);
+        assert!((by_name("n2", 2) - 2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pad_to_pad_segments_are_dropped() {
+        let src = "V1 p 0 1.0\nV2 q 0 1.0\nR1 p q 1.0\nR2 p a 1.0\nI1 a 0 1m\n";
+        let g = PowerGrid::from_netlist(&parse(src).unwrap()).unwrap();
+        let s = g.build_system();
+        assert_eq!(s.dim(), 1);
+        assert_eq!(s.matrix.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn rhs_collects_loads() {
+        let src = "V1 p 0 1.0\nR1 p a 1.0\nI1 a 0 1m\nI2 a 0 2m\n";
+        let g = PowerGrid::from_netlist(&parse(src).unwrap()).unwrap();
+        let s = g.build_system();
+        assert!((s.rhs[0] - 3e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn drop_solution_is_nonnegative() {
+        // Any passive grid with positive loads has non-negative drops.
+        let src = "\
+V1 n1_m4_0_0 0 1.0
+R1 n1_m4_0_0 n1_m1_0_0 0.2
+R2 n1_m1_0_0 n1_m1_1000_0 0.4
+R3 n1_m1_1000_0 n1_m1_2000_0 0.4
+I1 n1_m1_1000_0 0 2m
+I2 n1_m1_2000_0 0 1m
+";
+        let g = PowerGrid::from_netlist(&parse(src).unwrap()).unwrap();
+        let s = g.build_system();
+        let x = Solver::new(SolverKind::Cholesky).solve(&s.matrix, &s.rhs).x;
+        assert!(x.iter().all(|&d| d >= -1e-15));
+    }
+}

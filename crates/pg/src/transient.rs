@@ -1,0 +1,210 @@
+//! Transient power-grid simulation (backward Euler).
+//!
+//! The paper's scope is *static* analysis, but its solver taxonomy
+//! leads with the transient flow ("direct solvers such as KLU and
+//! Cholmod are usually employed for transient simulation with a
+//! constant time step"). This module provides that substrate: node
+//! capacitances added to the static model, backward-Euler stepping
+//! `(G + C/h) d_{t+1} = (C/h) d_t + I_{t+1}`, and a single sparse
+//! Cholesky factorization reused across every step — exactly why
+//! direct solvers win in the constant-step regime.
+
+use crate::grid::PowerGrid;
+use crate::stamp::PgSystem;
+use irf_sparse::cholesky::CholeskyFactor;
+use irf_sparse::{SolveError, TripletMatrix};
+
+/// A prepared transient simulator over a fixed grid and time step.
+#[derive(Debug)]
+pub struct TransientSim {
+    system: PgSystem,
+    factor: CholeskyFactor,
+    /// Per-unknown capacitance over time step (`C/h` diagonal).
+    c_over_h: Vec<f64>,
+    /// Current state in IR-drop coordinates (volts).
+    state: Vec<f64>,
+}
+
+impl TransientSim {
+    /// Builds the simulator.
+    ///
+    /// `cap_farads` is the capacitance attached from every non-pad
+    /// node to the supply (decap + parasitic), `dt_seconds` the fixed
+    /// step. The initial state is the DC steady state for zero load
+    /// (all drops zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError`] when the stepped system cannot be
+    /// factored (non-SPD; indicates a floating grid).
+    pub fn new(grid: &PowerGrid, cap_farads: f64, dt_seconds: f64) -> Result<Self, SolveError> {
+        assert!(cap_farads > 0.0, "transient: capacitance must be positive");
+        assert!(dt_seconds > 0.0, "transient: dt must be positive");
+        let system = grid.build_system();
+        let n = system.dim();
+        let c_over_h = vec![cap_farads / dt_seconds; n];
+        // A = G + C/h (diagonal lump).
+        let mut t = TripletMatrix::with_capacity(n, n, system.matrix.nnz() + n);
+        for (r, c, v) in system.matrix.iter() {
+            t.push(r, c, v);
+        }
+        for (i, &coh) in c_over_h.iter().enumerate() {
+            t.push(i, i, coh);
+        }
+        let factor = CholeskyFactor::factor(&t.to_csr())?;
+        Ok(TransientSim {
+            system,
+            factor,
+            c_over_h,
+            state: vec![0.0; n],
+        })
+    }
+
+    /// Number of unknowns.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.system.dim()
+    }
+
+    /// Current per-node drops (full grid indexing, pads = 0).
+    #[must_use]
+    pub fn drops(&self) -> Vec<f64> {
+        self.system.expand_solution(&self.state)
+    }
+
+    /// Advances one step under the given per-unknown load currents
+    /// (amperes; use [`PgSystem::index_of`] to map node indices).
+    /// Returns the worst drop after the step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads.len() != self.dim()`.
+    pub fn step(&mut self, loads: &[f64]) -> f64 {
+        assert_eq!(loads.len(), self.dim(), "transient: load length mismatch");
+        let rhs: Vec<f64> = self
+            .c_over_h
+            .iter()
+            .zip(&self.state)
+            .zip(loads)
+            .map(|((coh, d), i)| coh * d + i)
+            .collect();
+        self.state = self.factor.solve(&rhs);
+        self.state.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Runs `steps` steps with a constant load vector, returning the
+    /// worst drop after each step (the classic RC charge-up curve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads.len() != self.dim()`.
+    pub fn run_constant(&mut self, loads: &[f64], steps: usize) -> Vec<f64> {
+        (0..steps).map(|_| self.step(loads)).collect()
+    }
+
+    /// The underlying reduced system (for load-vector construction).
+    #[must_use]
+    pub fn system(&self) -> &PgSystem {
+        &self.system
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irf_spice::parse;
+    use irf_sparse::{Solver, SolverKind};
+
+    fn grid() -> PowerGrid {
+        let src = "\
+V1 p 0 1.0
+R1 p a 1.0
+R2 a b 1.0
+I1 b 0 1m
+";
+        PowerGrid::from_netlist(&parse(src).unwrap()).unwrap()
+    }
+
+    fn static_loads(sys: &PgSystem) -> Vec<f64> {
+        sys.rhs.clone()
+    }
+
+    #[test]
+    fn converges_to_the_static_solution() {
+        let g = grid();
+        let mut sim = TransientSim::new(&g, 1e-9, 1e-9).expect("SPD");
+        let loads = static_loads(sim.system());
+        // Many time constants later the drop settles at the DC value.
+        let curve = sim.run_constant(&loads, 200);
+        let sys = g.build_system();
+        let dc = Solver::new(SolverKind::Cholesky).solve(&sys.matrix, &sys.rhs);
+        let dc_worst = dc.x.iter().cloned().fold(0.0, f64::max);
+        let settled = *curve.last().unwrap();
+        assert!(
+            (settled - dc_worst).abs() < 1e-6 * dc_worst.max(1e-12),
+            "settled {settled:e} vs DC {dc_worst:e}"
+        );
+    }
+
+    #[test]
+    fn charge_up_is_monotone_under_constant_load() {
+        let g = grid();
+        let mut sim = TransientSim::new(&g, 1e-9, 1e-10).expect("SPD");
+        let loads = static_loads(sim.system());
+        let curve = sim.run_constant(&loads, 50);
+        for pair in curve.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-15, "drop must rise monotonically");
+        }
+        // Starts well below the settled value (capacitors hold it up).
+        assert!(curve[0] < *curve.last().unwrap());
+    }
+
+    #[test]
+    fn load_release_decays_back_to_zero() {
+        let g = grid();
+        let mut sim = TransientSim::new(&g, 1e-9, 1e-10).expect("SPD");
+        let loads = static_loads(sim.system());
+        sim.run_constant(&loads, 100);
+        let zero = vec![0.0; sim.dim()];
+        // Slowest mode decays as (C/h) / (C/h + lambda_min) per step;
+        // 800 steps cover many time constants of this RC chain.
+        let decay = sim.run_constant(&zero, 800);
+        assert!(*decay.last().unwrap() < 1e-9, "drops must decay to zero");
+        for pair in decay.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-15, "decay must be monotone");
+        }
+    }
+
+    #[test]
+    fn smaller_capacitance_responds_faster() {
+        let g = grid();
+        let reach = |cap: f64| {
+            let mut sim = TransientSim::new(&g, cap, 1e-10).expect("SPD");
+            let loads = static_loads(sim.system());
+            let curve = sim.run_constant(&loads, 10);
+            *curve.last().unwrap()
+        };
+        let fast = reach(1e-10);
+        let slow = reach(1e-8);
+        assert!(
+            fast > slow,
+            "less decap => drop develops faster ({fast:e} vs {slow:e})"
+        );
+    }
+
+    #[test]
+    fn transient_peak_never_exceeds_dc_for_step_loads() {
+        // With a pure step load, backward Euler charge-up approaches DC
+        // from below (no overshoot for an RC network).
+        let g = grid();
+        let mut sim = TransientSim::new(&g, 1e-9, 1e-10).expect("SPD");
+        let loads = static_loads(sim.system());
+        let curve = sim.run_constant(&loads, 500);
+        let sys = g.build_system();
+        let dc = Solver::new(SolverKind::Cholesky).solve(&sys.matrix, &sys.rhs);
+        let dc_worst = dc.x.iter().cloned().fold(0.0, f64::max);
+        for v in curve {
+            assert!(v <= dc_worst * (1.0 + 1e-9));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Strength-of-connection and greedy pairwise aggregation.
+//!
+//! Power-grid conductance matrices are symmetric M-matrices (positive
+//! diagonal, non-positive off-diagonals), so the classic negative-
+//! coupling strength measure applies: node `j` is strongly connected to
+//! `i` when `-a_ij >= theta * max_k(-a_ik)`.
+
+use crate::csr::CsrMatrix;
+
+/// A fine-to-coarse aggregate assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Aggregation {
+    /// `assign[i]` is the coarse aggregate index of fine node `i`.
+    pub assign: Vec<usize>,
+    /// Number of aggregates (coarse dimension).
+    pub n_coarse: usize,
+}
+
+impl Aggregation {
+    /// Sizes of each aggregate.
+    #[must_use]
+    pub fn aggregate_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.n_coarse];
+        for &a in &self.assign {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
+    /// Coarsening ratio `n_fine / n_coarse`.
+    #[must_use]
+    pub fn coarsening_ratio(&self) -> f64 {
+        self.assign.len() as f64 / self.n_coarse.max(1) as f64
+    }
+}
+
+/// Builds the strong-connection adjacency of `a`.
+///
+/// Returns, for each row, the strongly connected off-diagonal
+/// neighbours sorted by descending coupling strength `-a_ij`.
+///
+/// `theta` in `[0, 1]` is the strength threshold; `0.0` keeps every
+/// negative coupling, larger values keep only the strongest.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+#[must_use]
+pub fn strength_graph(a: &CsrMatrix, theta: f64) -> Vec<Vec<(usize, f64)>> {
+    assert_eq!(a.rows(), a.cols(), "strength graph needs a square matrix");
+    let n = a.rows();
+    let mut graph = Vec::with_capacity(n);
+    for i in 0..n {
+        let (cols, vals) = a.row(i);
+        let max_neg = cols
+            .iter()
+            .zip(vals)
+            .filter(|&(&c, _)| c != i)
+            .map(|(_, &v)| -v)
+            .fold(0.0_f64, f64::max);
+        let mut neigh: Vec<(usize, f64)> = cols
+            .iter()
+            .zip(vals)
+            .filter(|&(&c, &v)| c != i && -v >= theta * max_neg && v < 0.0)
+            .map(|(&c, &v)| (c, -v))
+            .collect();
+        neigh.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        graph.push(neigh);
+    }
+    graph
+}
+
+/// Greedy pairwise aggregation on the strength graph.
+///
+/// Visits unaggregated nodes in order of ascending degree and pairs
+/// each with its strongest unaggregated neighbour; leftover nodes form
+/// singletons. Applying this twice (see
+/// [`aggregate_double_pairwise`]) yields aggregates of up to 4 nodes —
+/// the setup used by aggregation-based AMG solvers such as AGMG and
+/// PowerRush.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+#[must_use]
+pub fn aggregate_pairwise(a: &CsrMatrix, theta: f64) -> Aggregation {
+    let n = a.rows();
+    let graph = strength_graph(a, theta);
+    const UNASSIGNED: usize = usize::MAX;
+    let mut assign = vec![UNASSIGNED; n];
+    // Visit low-degree nodes first: they have the fewest pairing options.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| graph[i].len());
+    let mut n_coarse = 0;
+    for &i in &order {
+        if assign[i] != UNASSIGNED {
+            continue;
+        }
+        // Strongest still-free neighbour, if any.
+        let partner = graph[i]
+            .iter()
+            .find(|&&(j, _)| assign[j] == UNASSIGNED)
+            .map(|&(j, _)| j);
+        assign[i] = n_coarse;
+        if let Some(j) = partner {
+            assign[j] = n_coarse;
+        }
+        n_coarse += 1;
+    }
+    Aggregation { assign, n_coarse }
+}
+
+/// Two rounds of pairwise aggregation composed, giving aggregates of up
+/// to four fine nodes (coarsening ratio approaching 4).
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+#[must_use]
+pub fn aggregate_double_pairwise(a: &CsrMatrix, theta: f64) -> Aggregation {
+    let first = aggregate_pairwise(a, theta);
+    let coarse = super::hierarchy::galerkin_coarse(a, &first);
+    let second = aggregate_pairwise(&coarse, theta);
+    let assign = first
+        .assign
+        .iter()
+        .map(|&mid| second.assign[mid])
+        .collect();
+    Aggregation {
+        assign,
+        n_coarse: second.n_coarse,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    #[test]
+    fn strength_graph_of_chain() {
+        let a = laplacian_1d(4);
+        let g = strength_graph(&a, 0.5);
+        assert_eq!(g[0].len(), 1);
+        assert_eq!(g[1].len(), 2);
+        assert_eq!(g[0][0].0, 1);
+    }
+
+    #[test]
+    fn pairwise_covers_every_node() {
+        let a = laplacian_1d(11);
+        let agg = aggregate_pairwise(&a, 0.25);
+        assert_eq!(agg.assign.len(), 11);
+        assert!(agg.assign.iter().all(|&x| x < agg.n_coarse));
+        // Every aggregate index is used.
+        let sizes = agg.aggregate_sizes();
+        assert!(sizes.iter().all(|&s| (1..=2).contains(&s)));
+    }
+
+    #[test]
+    fn pairwise_roughly_halves() {
+        let a = laplacian_1d(100);
+        let agg = aggregate_pairwise(&a, 0.25);
+        assert!(agg.n_coarse <= 60, "expected ~50 aggregates, got {}", agg.n_coarse);
+        assert!(agg.coarsening_ratio() >= 1.6);
+    }
+
+    #[test]
+    fn double_pairwise_coarsens_harder() {
+        let a = laplacian_1d(100);
+        let agg = aggregate_double_pairwise(&a, 0.25);
+        assert!(agg.n_coarse <= 35, "expected ~25 aggregates, got {}", agg.n_coarse);
+        let sizes = agg.aggregate_sizes();
+        assert!(sizes.iter().all(|&s| (1..=4).contains(&s)));
+    }
+
+    #[test]
+    fn singleton_matrix_aggregates_to_one() {
+        let a = CsrMatrix::from_triplets(1, 1, &[(0, 0, 1.0)]);
+        let agg = aggregate_pairwise(&a, 0.25);
+        assert_eq!(agg.n_coarse, 1);
+        assert_eq!(agg.assign, vec![0]);
+    }
+}

@@ -1,0 +1,22 @@
+//! Aggregation-based algebraic multigrid (AMG).
+//!
+//! This module implements the solver core of PowerRush as described in
+//! the IR-Fusion paper (Section III-B):
+//!
+//! 1. **Setup stage** — recursively group strongly connected nodes into
+//!    aggregates, producing progressively coarser Galerkin operators
+//!    `A_{l+1} = P^T A_l P` with piecewise-constant prolongation
+//!    ([`aggregation`], [`hierarchy`]).
+//! 2. **Preconditioning phase** — a multigrid cycle (V-cycle or Notay's
+//!    K-cycle) applied as the implicit preconditioner `M^{-1}`
+//!    ([`cycle`], [`AmgPreconditioner`]).
+//! 3. **CG method** — the cycle is plugged into flexible PCG
+//!    ([`crate::pcg::pcg`]) giving the **AMG-PCG** solver.
+
+pub mod aggregation;
+pub mod cycle;
+pub mod hierarchy;
+
+pub use aggregation::{aggregate_pairwise, strength_graph, Aggregation};
+pub use cycle::{AmgPreconditioner, CycleKind};
+pub use hierarchy::{AmgHierarchy, AmgParams};

@@ -1,0 +1,385 @@
+//! Compressed sparse row (CSR) matrix.
+
+/// An immutable sparse matrix in compressed sparse row format.
+///
+/// This is the workhorse storage for the conductance systems produced
+/// by modified nodal analysis. Column indices within each row are kept
+/// sorted and unique, which the solvers and the AMG setup rely on.
+///
+/// # Example
+///
+/// ```
+/// use irf_sparse::CsrMatrix;
+///
+/// let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (0, 1, -1.0), (1, 1, 2.0)]);
+/// let y = a.spmv(&[1.0, 1.0]);
+/// assert_eq!(y, vec![1.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointers, length `rows + 1`.
+    row_ptr: Vec<usize>,
+    /// Column indices, sorted within each row.
+    col_idx: Vec<usize>,
+    /// Non-zero values, parallel to `col_idx`.
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets, summing
+    /// duplicates and dropping entries whose sum is exactly zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any triplet is out of bounds.
+    #[must_use]
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        // Count entries per row (with duplicates) to size buckets.
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
+            counts[r + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        // Bucket sort triplets into rows.
+        let mut cursor = counts.clone();
+        let mut cidx = vec![0usize; triplets.len()];
+        let mut vals = vec![0f64; triplets.len()];
+        for &(r, c, v) in triplets {
+            let k = cursor[r];
+            cidx[k] = c;
+            vals[k] = v;
+            cursor[r] += 1;
+        }
+        // Sort each row by column and merge duplicates in place.
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut out_c: Vec<usize> = Vec::with_capacity(triplets.len());
+        let mut out_v: Vec<f64> = Vec::with_capacity(triplets.len());
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for r in 0..rows {
+            scratch.clear();
+            scratch.extend(
+                cidx[counts[r]..counts[r + 1]]
+                    .iter()
+                    .copied()
+                    .zip(vals[counts[r]..counts[r + 1]].iter().copied()),
+            );
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut v = 0.0;
+                while i < scratch.len() && scratch[i].0 == c {
+                    v += scratch[i].1;
+                    i += 1;
+                }
+                if v != 0.0 {
+                    out_c.push(c);
+                    out_v.push(v);
+                }
+            }
+            row_ptr[r + 1] = out_c.len();
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx: out_c,
+            values: out_v,
+        }
+    }
+
+    /// Builds an `n x n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row pointer array (`rows + 1` entries).
+    #[must_use]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column index array.
+    #[must_use]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Value array.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The `(cols, vals)` slice pair for one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[must_use]
+    pub fn row(&self, row: usize) -> (&[usize], &[f64]) {
+        let (s, e) = (self.row_ptr[row], self.row_ptr[row + 1]);
+        (&self.col_idx[s..e], &self.values[s..e])
+    }
+
+    /// Value at `(row, col)`, `0.0` if not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        let (cols, vals) = self.row(row);
+        match cols.binary_search(&col) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse matrix-vector product `y = A * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    #[must_use]
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.spmv_into(x, &mut y);
+        y
+    }
+
+    /// Sparse matrix-vector product into a caller-owned buffer
+    /// (`y = A * x`), avoiding an allocation in solver inner loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions do not match.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "spmv: x length mismatch");
+        assert_eq!(y.len(), self.rows, "spmv: y length mismatch");
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Residual `r = b - A*x` into a caller-owned buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions do not match.
+    pub fn residual_into(&self, b: &[f64], x: &[f64], r: &mut [f64]) {
+        self.spmv_into(x, r);
+        for (ri, bi) in r.iter_mut().zip(b) {
+            *ri = bi - *ri;
+        }
+    }
+
+    /// The diagonal of the matrix (zeros where no diagonal is stored).
+    #[must_use]
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
+    }
+
+    /// Transposed copy of the matrix.
+    #[must_use]
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            counts[c + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let mut row_ptr = counts.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0f64; self.nnz()];
+        let mut cursor = counts;
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k];
+                let dst = cursor[c];
+                col_idx[dst] = r;
+                values[dst] = self.values[k];
+                cursor[c] += 1;
+            }
+        }
+        row_ptr.rotate_right(1);
+        row_ptr[0] = 0;
+        // Rebuild the proper prefix array.
+        let mut rp = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            rp[c + 1] += 1;
+        }
+        for i in 0..self.cols {
+            rp[i + 1] += rp[i];
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr: rp,
+            col_idx,
+            values,
+        }
+    }
+
+    /// `true` if the matrix equals its transpose up to `tol`.
+    #[must_use]
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if (v - self.get(c, r)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Frobenius norm of the matrix.
+    #[must_use]
+    pub fn norm_frobenius(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Iterates over all stored entries as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            self.col_idx[s..e]
+                .iter()
+                .zip(&self.values[s..e])
+                .map(move |(&c, &v)| (r, c, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    #[test]
+    fn from_triplets_sorts_and_merges() {
+        let a = CsrMatrix::from_triplets(2, 3, &[(0, 2, 1.0), (0, 0, 3.0), (0, 2, 1.0)]);
+        assert_eq!(a.row(0), (&[0usize, 2][..], &[3.0, 2.0][..]));
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn identity_spmv_is_identity() {
+        let a = CsrMatrix::identity(4);
+        let x = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(a.spmv(&x), x);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = laplacian_1d(5);
+        let x: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let y = a.spmv(&x);
+        // dense check
+        for r in 0..5 {
+            let mut acc = 0.0;
+            for c in 0..5 {
+                acc += a.get(r, c) * x[c];
+            }
+            assert!((y[r] - acc).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = CsrMatrix::from_triplets(3, 2, &[(0, 1, 1.0), (2, 0, -2.0), (1, 1, 5.0)]);
+        let att = a.transpose().transpose();
+        assert_eq!(a, att);
+    }
+
+    #[test]
+    fn transpose_swaps_entries() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 1, 7.0)]);
+        let at = a.transpose();
+        assert_eq!(at.get(1, 0), 7.0);
+        assert_eq!(at.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn symmetric_detection() {
+        assert!(laplacian_1d(6).is_symmetric(0.0));
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]);
+        assert!(!a.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = laplacian_1d(3);
+        assert_eq!(a.diagonal(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn residual_is_zero_at_solution() {
+        let a = CsrMatrix::identity(3);
+        let b = vec![1.0, 2.0, 3.0];
+        let mut r = vec![0.0; 3];
+        a.residual_into(&b, &b, &mut r);
+        assert!(r.iter().all(|v| v.abs() < 1e-15));
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let a = laplacian_1d(3);
+        assert_eq!(a.iter().count(), a.nnz());
+        let sum: f64 = a.iter().map(|(_, _, v)| v).sum();
+        assert!((sum - 2.0).abs() < 1e-14); // 3*2 - 4*1
+    }
+}

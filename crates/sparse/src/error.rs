@@ -1,0 +1,85 @@
+//! Error types for the sparse solvers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by direct factorizations and solver entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The matrix is not square (`rows != cols`).
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// The right-hand side length does not match the matrix dimension.
+    DimensionMismatch {
+        /// Matrix dimension.
+        expected: usize,
+        /// Right-hand side length.
+        found: usize,
+    },
+    /// Cholesky hit a non-positive pivot: the matrix is not positive
+    /// definite (or is numerically singular).
+    NotPositiveDefinite {
+        /// Row at which the pivot failed.
+        row: usize,
+        /// The offending pivot value.
+        pivot: f64,
+    },
+    /// An iterative method exhausted its iteration budget without
+    /// reaching the requested tolerance.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final relative residual.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square ({rows}x{cols})")
+            }
+            SolveError::DimensionMismatch { expected, found } => {
+                write!(f, "rhs length {found} does not match dimension {expected}")
+            }
+            SolveError::NotPositiveDefinite { row, pivot } => {
+                write!(f, "non-positive pivot {pivot:e} at row {row}")
+            }
+            SolveError::NotConverged {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "no convergence after {iterations} iterations (relative residual {residual:e})"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = SolveError::NotSquare { rows: 3, cols: 4 };
+        assert_eq!(e.to_string(), "matrix is not square (3x4)");
+        let e = SolveError::NotPositiveDefinite { row: 7, pivot: -1.0 };
+        assert!(e.to_string().contains("row 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<SolveError>();
+    }
+}

@@ -1,0 +1,232 @@
+//! Matrix Market (`.mtx`) import/export.
+//!
+//! Power-grid conductance systems are a classic SuiteSparse benchmark
+//! family; this module lets matrices cross between this crate and the
+//! wider sparse-solver ecosystem (UMFPACK, CHOLMOD, AMGCL, ...) in the
+//! standard `MatrixMarket matrix coordinate real` format.
+
+use crate::csr::CsrMatrix;
+use crate::error::SolveError;
+use crate::triplet::TripletMatrix;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error reading a Matrix Market stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseMtxError {
+    /// Missing or foreign `%%MatrixMarket` banner.
+    BadBanner,
+    /// Unsupported qualifier (only `coordinate real
+    /// general|symmetric` is handled).
+    Unsupported(String),
+    /// Malformed size or entry line.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Entry out of the declared bounds.
+    OutOfBounds {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ParseMtxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseMtxError::BadBanner => write!(f, "missing %%MatrixMarket banner"),
+            ParseMtxError::Unsupported(q) => write!(f, "unsupported matrix market flavor '{q}'"),
+            ParseMtxError::BadLine { line } => write!(f, "malformed line {line}"),
+            ParseMtxError::OutOfBounds { line } => write!(f, "entry out of bounds at line {line}"),
+        }
+    }
+}
+
+impl Error for ParseMtxError {}
+
+/// Serializes a matrix as `coordinate real general` Matrix Market
+/// text (1-based indices, full precision).
+#[must_use]
+pub fn write_matrix_market(a: &CsrMatrix) -> String {
+    let mut out = String::from("%%MatrixMarket matrix coordinate real general\n");
+    let _ = writeln!(out, "% written by irf-sparse");
+    let _ = writeln!(out, "{} {} {}", a.rows(), a.cols(), a.nnz());
+    for (r, c, v) in a.iter() {
+        let _ = writeln!(out, "{} {} {v:e}", r + 1, c + 1);
+    }
+    out
+}
+
+/// Parses `coordinate real` Matrix Market text. `symmetric` storage is
+/// expanded to both triangles.
+///
+/// # Errors
+///
+/// See [`ParseMtxError`].
+pub fn parse_matrix_market(src: &str) -> Result<CsrMatrix, ParseMtxError> {
+    let mut lines = src.lines().enumerate();
+    // Banner.
+    let (_, banner) = lines.next().ok_or(ParseMtxError::BadBanner)?;
+    let banner_l = banner.to_ascii_lowercase();
+    if !banner_l.starts_with("%%matrixmarket") {
+        return Err(ParseMtxError::BadBanner);
+    }
+    if !banner_l.contains("coordinate") || !banner_l.contains("real") {
+        return Err(ParseMtxError::Unsupported(banner.to_string()));
+    }
+    let symmetric = banner_l.contains("symmetric");
+    if !symmetric && !banner_l.contains("general") {
+        return Err(ParseMtxError::Unsupported(banner.to_string()));
+    }
+    // Size line (skipping comments).
+    let mut size: Option<(usize, usize, usize)> = None;
+    let mut triplets = TripletMatrix::new(0, 0);
+    for (idx, line) in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match size {
+            None => {
+                if fields.len() != 3 {
+                    return Err(ParseMtxError::BadLine { line: idx + 1 });
+                }
+                let rows = fields[0].parse().map_err(|_| ParseMtxError::BadLine { line: idx + 1 })?;
+                let cols = fields[1].parse().map_err(|_| ParseMtxError::BadLine { line: idx + 1 })?;
+                let nnz: usize =
+                    fields[2].parse().map_err(|_| ParseMtxError::BadLine { line: idx + 1 })?;
+                size = Some((rows, cols, nnz));
+                triplets = TripletMatrix::with_capacity(rows, cols, nnz);
+            }
+            Some((rows, cols, _)) => {
+                if fields.len() != 3 {
+                    return Err(ParseMtxError::BadLine { line: idx + 1 });
+                }
+                let r: usize =
+                    fields[0].parse().map_err(|_| ParseMtxError::BadLine { line: idx + 1 })?;
+                let c: usize =
+                    fields[1].parse().map_err(|_| ParseMtxError::BadLine { line: idx + 1 })?;
+                let v: f64 =
+                    fields[2].parse().map_err(|_| ParseMtxError::BadLine { line: idx + 1 })?;
+                if r == 0 || c == 0 || r > rows || c > cols {
+                    return Err(ParseMtxError::OutOfBounds { line: idx + 1 });
+                }
+                triplets.push(r - 1, c - 1, v);
+                if symmetric && r != c {
+                    triplets.push(c - 1, r - 1, v);
+                }
+            }
+        }
+    }
+    if size.is_none() {
+        return Err(ParseMtxError::BadLine { line: 2 });
+    }
+    Ok(triplets.to_csr())
+}
+
+/// Convenience: exports the matrix and solves round-trip consistency
+/// in one call, returning the re-imported matrix. Mostly useful in
+/// tests and tooling.
+///
+/// # Errors
+///
+/// Returns [`SolveError::NotSquare`] only to share the crate's error
+/// type when the round-trip changes dimensions (which would indicate a
+/// serializer bug — covered by tests).
+pub fn roundtrip(a: &CsrMatrix) -> Result<CsrMatrix, SolveError> {
+    let b = parse_matrix_market(&write_matrix_market(a)).map_err(|_| SolveError::NotSquare {
+        rows: a.rows(),
+        cols: a.cols(),
+    })?;
+    Ok(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 2.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 2.5), (2, 2, 1e-6)],
+        )
+    }
+
+    #[test]
+    fn write_then_parse_roundtrip() {
+        let a = sample();
+        let b = parse_matrix_market(&write_matrix_market(&a)).expect("round-trips");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symmetric_storage_expands() {
+        let src = "\
+%%MatrixMarket matrix coordinate real symmetric
+2 2 2
+1 1 2.0
+2 1 -1.0
+";
+        let a = parse_matrix_market(src).expect("valid");
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let src = "\
+%%MatrixMarket matrix coordinate real general
+% a comment
+
+2 2 1
+1 2 3.5
+";
+        let a = parse_matrix_market(src).expect("valid");
+        assert_eq!(a.get(0, 1), 3.5);
+    }
+
+    #[test]
+    fn bad_banner_is_rejected() {
+        assert_eq!(
+            parse_matrix_market("hello\n1 1 0\n"),
+            Err(ParseMtxError::BadBanner)
+        );
+    }
+
+    #[test]
+    fn unsupported_flavors_are_rejected() {
+        let src = "%%MatrixMarket matrix coordinate complex general\n1 1 0\n";
+        assert!(matches!(
+            parse_matrix_market(src),
+            Err(ParseMtxError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_entries_are_rejected() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert_eq!(
+            parse_matrix_market(src),
+            Err(ParseMtxError::OutOfBounds { line: 3 })
+        );
+    }
+
+    #[test]
+    fn one_based_indexing_is_respected() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(matches!(
+            parse_matrix_market(src),
+            Err(ParseMtxError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn roundtrip_helper() {
+        let a = sample();
+        assert_eq!(roundtrip(&a).expect("ok"), a);
+    }
+}

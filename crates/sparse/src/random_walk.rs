@@ -1,0 +1,206 @@
+//! Monte-Carlo random-walk solver (Qian, Nassif & Sapatnekar, TCAD'05).
+//!
+//! For the reduced conductance system `G x = b` of a power grid, each
+//! row satisfies `x_i = sum_j p_ij x_j + b_i / g_ii` with transition
+//! probabilities `p_ij = -g_ij / g_ii`, and the slack
+//! `1 - sum_j p_ij` is the probability of absorption at a voltage pad
+//! (whose contribution was folded into the diagonal, i.e. potential 0
+//! in IR-drop coordinates). A walker started at node `i` therefore
+//! accumulates `b / g` rewards along its path until absorption, and
+//! the expected accumulated reward equals `x_i`.
+//!
+//! This is a *baseline* included because the paper cites it as one of
+//! the classic iterative alternatives; it shines when only a handful
+//! of node voltages are needed.
+
+use crate::csr::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of the random-walk estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWalkConfig {
+    /// Number of walks averaged per queried node.
+    pub walks_per_node: usize,
+    /// Hard cap on the length of a single walk (guards against grids
+    /// with very weak pad coupling).
+    pub max_steps: usize,
+    /// RNG seed, for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for RandomWalkConfig {
+    fn default() -> Self {
+        RandomWalkConfig {
+            walks_per_node: 2000,
+            max_steps: 100_000,
+            seed: 0x1337,
+        }
+    }
+}
+
+/// A prepared random-walk solver over a fixed matrix.
+#[derive(Debug, Clone)]
+pub struct RandomWalkSolver<'a> {
+    a: &'a CsrMatrix,
+    config: RandomWalkConfig,
+    /// Per-node reward `b_i / g_ii` is computed on the fly from the rhs.
+    inv_diag: Vec<f64>,
+    /// Cumulative transition probabilities per row, parallel to the
+    /// off-diagonal pattern, plus the absorption slack at the end.
+    cum_probs: Vec<Vec<(usize, f64)>>,
+}
+
+impl<'a> RandomWalkSolver<'a> {
+    /// Prepares the transition tables for `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square, has a non-positive diagonal entry,
+    /// or has a positive off-diagonal (not an M-matrix).
+    #[must_use]
+    pub fn new(a: &'a CsrMatrix, config: RandomWalkConfig) -> Self {
+        assert_eq!(a.rows(), a.cols(), "random walk: matrix must be square");
+        let n = a.rows();
+        let mut inv_diag = vec![0.0; n];
+        let mut cum_probs = Vec::with_capacity(n);
+        for i in 0..n {
+            let (cols, vals) = a.row(i);
+            let mut diag = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c == i {
+                    diag = v;
+                }
+            }
+            assert!(diag > 0.0, "random walk: non-positive diagonal at {i}");
+            inv_diag[i] = 1.0 / diag;
+            let mut cum = 0.0;
+            let mut row = Vec::new();
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c == i {
+                    continue;
+                }
+                assert!(v <= 0.0, "random walk: positive off-diagonal at ({i},{c})");
+                cum += -v / diag;
+                row.push((c, cum));
+            }
+            cum_probs.push(row);
+        }
+        RandomWalkSolver {
+            a,
+            config,
+            inv_diag,
+            cum_probs,
+        }
+    }
+
+    /// Estimates `x[node]` of `A x = b` by Monte-Carlo walks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds or `b.len()` mismatches.
+    #[must_use]
+    pub fn solve_node(&self, b: &[f64], node: usize) -> f64 {
+        assert_eq!(b.len(), self.a.rows(), "random walk: rhs mismatch");
+        assert!(node < self.a.rows(), "random walk: node out of bounds");
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut total = 0.0;
+        for _ in 0..self.config.walks_per_node {
+            total += self.one_walk(b, node, &mut rng);
+        }
+        total / self.config.walks_per_node as f64
+    }
+
+    /// Estimates the full solution vector (one set of walks per node).
+    ///
+    /// This is intentionally naive — the point of the baseline is its
+    /// per-node cost profile, not full-grid throughput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` mismatches the dimension.
+    #[must_use]
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        (0..self.a.rows()).map(|i| self.solve_node(b, i)).collect()
+    }
+
+    fn one_walk(&self, b: &[f64], start: usize, rng: &mut StdRng) -> f64 {
+        let mut node = start;
+        let mut reward = 0.0;
+        for _ in 0..self.config.max_steps {
+            reward += b[node] * self.inv_diag[node];
+            let u: f64 = rng.random();
+            let row = &self.cum_probs[node];
+            // Find the first neighbour whose cumulative probability
+            // exceeds u; beyond the last entry the walker is absorbed.
+            match row.iter().find(|&&(_, cum)| u < cum) {
+                Some(&(next, _)) => node = next,
+                None => return reward, // absorbed at a pad
+            }
+        }
+        reward
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplet::TripletMatrix;
+
+    /// 1-D chain of unit resistors with both ends tied to pads.
+    fn grounded_chain(n: usize) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            if i + 1 < n {
+                t.stamp_conductance(i, i + 1, 1.0);
+            }
+        }
+        t.stamp_grounded_conductance(0, 1.0);
+        t.stamp_grounded_conductance(n - 1, 1.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn walk_matches_direct_solution_on_chain() {
+        let a = grounded_chain(8);
+        let b = vec![0.1; 8];
+        let exact = crate::cholesky::CholeskyFactor::factor(&a).expect("SPD").solve(&b);
+        let solver = RandomWalkSolver::new(
+            &a,
+            RandomWalkConfig {
+                walks_per_node: 20_000,
+                ..RandomWalkConfig::default()
+            },
+        );
+        for node in [0, 3, 7] {
+            let est = solver.solve_node(&b, node);
+            assert!(
+                (est - exact[node]).abs() < 0.05 * exact[node].abs().max(0.01),
+                "node {node}: est {est} vs exact {}",
+                exact[node]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero() {
+        let a = grounded_chain(5);
+        let solver = RandomWalkSolver::new(&a, RandomWalkConfig::default());
+        assert_eq!(solver.solve_node(&vec![0.0; 5], 2), 0.0);
+    }
+
+    #[test]
+    fn estimates_are_reproducible() {
+        let a = grounded_chain(6);
+        let b = vec![0.2; 6];
+        let solver = RandomWalkSolver::new(&a, RandomWalkConfig::default());
+        assert_eq!(solver.solve_node(&b, 3), solver.solve_node(&b, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive off-diagonal")]
+    fn non_m_matrix_is_rejected() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 0.5), (1, 0, 0.5), (1, 1, 1.0)]);
+        let _ = RandomWalkSolver::new(&a, RandomWalkConfig::default());
+    }
+}

@@ -1,0 +1,172 @@
+//! Stationary smoothers used inside the AMG cycles.
+
+use crate::csr::CsrMatrix;
+
+/// Which stationary smoother an AMG level applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SmootherKind {
+    /// Damped (weighted) Jacobi; robust and cheap.
+    #[default]
+    Jacobi,
+    /// Forward Gauss-Seidel sweep.
+    GaussSeidel,
+    /// Symmetric Gauss-Seidel (forward then backward sweep) — keeps the
+    /// preconditioner symmetric, as PCG requires.
+    SymmetricGaussSeidel,
+}
+
+/// Performs `sweeps` damped-Jacobi iterations on `A x = b` in place.
+///
+/// `omega` is the damping factor; `2/3` is the classic choice for
+/// Laplacian-like operators.
+///
+/// # Panics
+///
+/// Panics if dimensions mismatch or a diagonal entry is zero.
+pub fn jacobi(a: &CsrMatrix, b: &[f64], x: &mut [f64], omega: f64, sweeps: usize) {
+    let n = a.rows();
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+    let diag = a.diagonal();
+    let mut r = vec![0.0; n];
+    for _ in 0..sweeps {
+        a.residual_into(b, x, &mut r);
+        for i in 0..n {
+            let d = diag[i];
+            assert!(d != 0.0, "jacobi: zero diagonal at row {i}");
+            x[i] += omega * r[i] / d;
+        }
+    }
+}
+
+/// Performs `sweeps` forward Gauss-Seidel iterations on `A x = b`.
+///
+/// # Panics
+///
+/// Panics if dimensions mismatch or a diagonal entry is zero.
+pub fn gauss_seidel(a: &CsrMatrix, b: &[f64], x: &mut [f64], sweeps: usize) {
+    gs_directed(a, b, x, sweeps, false);
+}
+
+/// Performs `sweeps` symmetric Gauss-Seidel iterations (forward then
+/// backward). The resulting error propagator is symmetric, so this is
+/// safe inside an SPD preconditioner.
+///
+/// # Panics
+///
+/// Panics if dimensions mismatch or a diagonal entry is zero.
+pub fn symmetric_gauss_seidel(a: &CsrMatrix, b: &[f64], x: &mut [f64], sweeps: usize) {
+    for _ in 0..sweeps {
+        gs_directed(a, b, x, 1, false);
+        gs_directed(a, b, x, 1, true);
+    }
+}
+
+fn gs_directed(a: &CsrMatrix, b: &[f64], x: &mut [f64], sweeps: usize, backward: bool) {
+    let n = a.rows();
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+    for _ in 0..sweeps {
+        let order: Box<dyn Iterator<Item = usize>> = if backward {
+            Box::new((0..n).rev())
+        } else {
+            Box::new(0..n)
+        };
+        for i in order {
+            let (cols, vals) = a.row(i);
+            let mut sigma = 0.0;
+            let mut diag = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c == i {
+                    diag = v;
+                } else {
+                    sigma += v * x[c];
+                }
+            }
+            assert!(diag != 0.0, "gauss-seidel: zero diagonal at row {i}");
+            x[i] = (b[i] - sigma) / diag;
+        }
+    }
+}
+
+/// Applies the chosen smoother for `sweeps` sweeps.
+pub fn smooth(kind: SmootherKind, a: &CsrMatrix, b: &[f64], x: &mut [f64], sweeps: usize) {
+    match kind {
+        SmootherKind::Jacobi => jacobi(a, b, x, 2.0 / 3.0, sweeps),
+        SmootherKind::GaussSeidel => gauss_seidel(a, b, x, sweeps),
+        SmootherKind::SymmetricGaussSeidel => symmetric_gauss_seidel(a, b, x, sweeps),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::norm2;
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    fn rel_residual(a: &CsrMatrix, b: &[f64], x: &[f64]) -> f64 {
+        let mut r = vec![0.0; b.len()];
+        a.residual_into(b, x, &mut r);
+        norm2(&r) / norm2(b)
+    }
+
+    #[test]
+    fn jacobi_reduces_residual() {
+        let a = laplacian_1d(20);
+        let b = vec![1.0; 20];
+        let mut x = vec![0.0; 20];
+        let before = rel_residual(&a, &b, &x);
+        jacobi(&a, &b, &mut x, 2.0 / 3.0, 10);
+        assert!(rel_residual(&a, &b, &x) < before);
+    }
+
+    #[test]
+    fn gauss_seidel_converges_on_small_system() {
+        let a = laplacian_1d(8);
+        let b = vec![1.0; 8];
+        let mut x = vec![0.0; 8];
+        gauss_seidel(&a, &b, &mut x, 500);
+        assert!(rel_residual(&a, &b, &x) < 1e-8);
+    }
+
+    #[test]
+    fn symmetric_gs_converges_faster_than_one_direction_sweepwise() {
+        let a = laplacian_1d(16);
+        let b = vec![1.0; 16];
+        let mut x_gs = vec![0.0; 16];
+        let mut x_sgs = vec![0.0; 16];
+        gauss_seidel(&a, &b, &mut x_gs, 10);
+        symmetric_gauss_seidel(&a, &b, &mut x_sgs, 10);
+        assert!(rel_residual(&a, &b, &x_sgs) <= rel_residual(&a, &b, &x_gs) + 1e-12);
+    }
+
+    #[test]
+    fn smoothers_fix_exact_solution() {
+        // If x already solves A x = b, one sweep must leave it unchanged.
+        let a = laplacian_1d(5);
+        let x_true = vec![1.0, 2.0, 3.0, 2.0, 1.0];
+        let b = a.spmv(&x_true);
+        for kind in [
+            SmootherKind::Jacobi,
+            SmootherKind::GaussSeidel,
+            SmootherKind::SymmetricGaussSeidel,
+        ] {
+            let mut x = x_true.clone();
+            smooth(kind, &a, &b, &mut x, 3);
+            for (xi, ti) in x.iter().zip(&x_true) {
+                assert!((xi - ti).abs() < 1e-12, "{kind:?} moved exact solution");
+            }
+        }
+    }
+}

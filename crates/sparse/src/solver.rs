@@ -1,0 +1,343 @@
+//! Unified solver facade with timing and convergence reporting.
+
+use crate::amg::{AmgHierarchy, AmgParams, AmgPreconditioner, CycleKind};
+use crate::cg::{conjugate_gradient, ConvergenceTrace};
+use crate::cholesky::CholeskyFactor;
+use crate::csr::CsrMatrix;
+use crate::ic0::Ic0Preconditioner;
+use crate::pcg::{pcg_with_guess, JacobiPreconditioner};
+use crate::vector::norm2;
+use std::time::Instant;
+
+/// Which algorithm [`Solver`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverKind {
+    /// Plain conjugate gradient.
+    Cg,
+    /// Jacobi-preconditioned CG.
+    JacobiPcg,
+    /// Incomplete-Cholesky IC(0)-preconditioned CG.
+    Ic0Pcg,
+    /// AMG(K-cycle)-preconditioned CG — the PowerRush solver the paper
+    /// builds on.
+    #[default]
+    AmgPcg,
+    /// AMG with a V-cycle preconditioner.
+    AmgPcgVCycle,
+    /// Sparse Cholesky direct solve (golden reference).
+    Cholesky,
+}
+
+impl SolverKind {
+    /// Human-readable label used by reports and benches.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SolverKind::Cg => "CG",
+            SolverKind::JacobiPcg => "Jacobi-PCG",
+            SolverKind::Ic0Pcg => "IC(0)-PCG",
+            SolverKind::AmgPcg => "AMG-PCG (K-cycle)",
+            SolverKind::AmgPcgVCycle => "AMG-PCG (V-cycle)",
+            SolverKind::Cholesky => "Cholesky",
+        }
+    }
+}
+
+impl std::fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// Approximate (or exact, for direct) solution vector.
+    pub x: Vec<f64>,
+    /// `true` if the requested tolerance was met (always true for a
+    /// successful direct solve).
+    pub converged: bool,
+    /// Iteration count (0 for direct solves).
+    pub iterations: usize,
+    /// Final relative residual `||b - A x|| / ||b||`.
+    pub residual: f64,
+    /// Wall-clock setup time (AMG hierarchy / factorization), seconds.
+    pub setup_seconds: f64,
+    /// Wall-clock solve time, seconds.
+    pub solve_seconds: f64,
+    /// Per-iteration residual history (empty for direct solves).
+    pub trace: ConvergenceTrace,
+}
+
+/// Configurable entry point over all solver kinds.
+///
+/// # Example
+///
+/// ```
+/// use irf_sparse::{TripletMatrix, Solver, SolverKind};
+///
+/// let mut t = TripletMatrix::new(3, 3);
+/// for i in 0..3 {
+///     t.push(i, i, 2.0);
+/// }
+/// let report = Solver::new(SolverKind::Cholesky).solve(&t.to_csr(), &[2.0, 4.0, 6.0]);
+/// assert!(report.converged);
+/// for (xi, want) in report.x.iter().zip([1.0, 2.0, 3.0]) {
+///     assert!((xi - want).abs() < 1e-12);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solver {
+    kind: SolverKind,
+    tol: f64,
+    max_iter: usize,
+    amg_params: AmgParams,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new(SolverKind::default())
+    }
+}
+
+impl Solver {
+    /// Creates a solver with default tolerance `1e-8` and a budget of
+    /// 1000 iterations.
+    #[must_use]
+    pub fn new(kind: SolverKind) -> Self {
+        Solver {
+            kind,
+            tol: 1e-8,
+            max_iter: 1000,
+            amg_params: AmgParams::default(),
+        }
+    }
+
+    /// Sets the relative-residual tolerance.
+    #[must_use]
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Sets the iteration budget. For the IR-Fusion rough-solution
+    /// phase this is the small `k` (1-10) of the paper's Fig. 7.
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter;
+        self
+    }
+
+    /// Overrides the AMG setup parameters.
+    #[must_use]
+    pub fn with_amg_params(mut self, params: AmgParams) -> Self {
+        self.amg_params = params;
+        self
+    }
+
+    /// The configured algorithm.
+    #[must_use]
+    pub fn kind(&self) -> SolverKind {
+        self.kind
+    }
+
+    /// Solves `A x = b` from a zero initial guess.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `A` is not square, `b` has the wrong length, or (for
+    /// the direct path) the matrix is not positive definite.
+    #[must_use]
+    pub fn solve(&self, a: &CsrMatrix, b: &[f64]) -> SolveReport {
+        self.solve_with_guess(a, b, vec![0.0; b.len()])
+    }
+
+    /// Solves `A x = b` starting from `x0` (iterative kinds only; the
+    /// direct kind ignores the guess).
+    ///
+    /// # Panics
+    ///
+    /// See [`Solver::solve`].
+    #[must_use]
+    pub fn solve_with_guess(&self, a: &CsrMatrix, b: &[f64], x0: Vec<f64>) -> SolveReport {
+        match self.kind {
+            SolverKind::Cg => {
+                let t0 = Instant::now();
+                let res = conjugate_gradient(a, b, self.tol, self.max_iter);
+                finish_iterative(res, 0.0, t0.elapsed().as_secs_f64())
+            }
+            SolverKind::JacobiPcg => {
+                let t0 = Instant::now();
+                let m = JacobiPreconditioner::new(a);
+                let setup = t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                let res = pcg_with_guess(a, b, &m, x0, self.tol, self.max_iter);
+                finish_iterative(res, setup, t1.elapsed().as_secs_f64())
+            }
+            SolverKind::Ic0Pcg => {
+                let t0 = Instant::now();
+                let m = Ic0Preconditioner::factor(a)
+                    .expect("matrix must be (near-)SPD for IC(0)");
+                let setup = t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                let res = pcg_with_guess(a, b, &m, x0, self.tol, self.max_iter);
+                finish_iterative(res, setup, t1.elapsed().as_secs_f64())
+            }
+            SolverKind::AmgPcg | SolverKind::AmgPcgVCycle => {
+                let cycle = if self.kind == SolverKind::AmgPcg {
+                    CycleKind::KCycle
+                } else {
+                    CycleKind::VCycle
+                };
+                let t0 = Instant::now();
+                let h = AmgHierarchy::build(a, self.amg_params);
+                let m = AmgPreconditioner::new(h, cycle);
+                let setup = t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                let res = pcg_with_guess(a, b, &m, x0, self.tol, self.max_iter);
+                finish_iterative(res, setup, t1.elapsed().as_secs_f64())
+            }
+            SolverKind::Cholesky => {
+                let t0 = Instant::now();
+                let f = CholeskyFactor::factor(a).expect("matrix must be SPD for Cholesky");
+                let setup = t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                let x = f.solve(b);
+                let solve_seconds = t1.elapsed().as_secs_f64();
+                let mut r = vec![0.0; b.len()];
+                a.residual_into(b, &x, &mut r);
+                let bn = norm2(b);
+                let residual = if bn == 0.0 { 0.0 } else { norm2(&r) / bn };
+                SolveReport {
+                    x,
+                    converged: true,
+                    iterations: 0,
+                    residual,
+                    setup_seconds: setup,
+                    solve_seconds,
+                    trace: ConvergenceTrace::default(),
+                }
+            }
+        }
+    }
+}
+
+fn finish_iterative(res: crate::cg::CgResult, setup: f64, solve: f64) -> SolveReport {
+    SolveReport {
+        converged: res.converged,
+        iterations: res.trace.iterations(),
+        residual: res.trace.final_residual(),
+        setup_seconds: setup,
+        solve_seconds: solve,
+        x: res.x,
+        trace: res.trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplet::TripletMatrix;
+
+    fn grid(nx: usize, ny: usize) -> CsrMatrix {
+        let n = nx * ny;
+        let idx = |i: usize, j: usize| i * ny + j;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..nx {
+            for j in 0..ny {
+                if i + 1 < nx {
+                    t.stamp_conductance(idx(i, j), idx(i + 1, j), 1.0);
+                }
+                if j + 1 < ny {
+                    t.stamp_conductance(idx(i, j), idx(i, j + 1), 1.0);
+                }
+            }
+        }
+        // Pads at the four corners keep the system SPD.
+        for &(i, j) in &[(0, 0), (0, ny - 1), (nx - 1, 0), (nx - 1, ny - 1)] {
+            t.stamp_grounded_conductance(idx(i, j), 10.0);
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn all_solvers_agree() {
+        let a = grid(10, 10);
+        let b = vec![0.01; 100];
+        let golden = Solver::new(SolverKind::Cholesky).solve(&a, &b);
+        for kind in [
+            SolverKind::Cg,
+            SolverKind::JacobiPcg,
+            SolverKind::Ic0Pcg,
+            SolverKind::AmgPcg,
+            SolverKind::AmgPcgVCycle,
+        ] {
+            let r = Solver::new(kind).with_tolerance(1e-10).solve(&a, &b);
+            assert!(r.converged, "{kind:?} did not converge");
+            for (p, q) in r.x.iter().zip(&golden.x) {
+                assert!((p - q).abs() < 1e-6, "{kind:?} disagrees with Cholesky");
+            }
+        }
+    }
+
+    #[test]
+    fn amg_pcg_uses_fewest_iterations() {
+        let a = grid(24, 24);
+        let b = vec![0.01; a.rows()];
+        let cg = Solver::new(SolverKind::Cg).solve(&a, &b);
+        let amg = Solver::new(SolverKind::AmgPcg).solve(&a, &b);
+        assert!(amg.iterations < cg.iterations);
+    }
+
+    #[test]
+    fn iteration_budget_caps_work() {
+        let a = grid(24, 24);
+        let b = vec![0.01; a.rows()];
+        let r = Solver::new(SolverKind::AmgPcg)
+            .with_tolerance(1e-14)
+            .with_max_iterations(2)
+            .solve(&a, &b);
+        assert_eq!(r.iterations, 2);
+        assert!(!r.converged);
+        // A rough solution is already below the initial residual (the
+        // 2-norm may transiently rise at k=1; PCG minimises the A-norm).
+        assert!(r.residual < 1.0);
+    }
+
+    #[test]
+    fn warm_start_is_accepted() {
+        let a = grid(8, 8);
+        let b = vec![0.02; 64];
+        let cold = Solver::new(SolverKind::AmgPcg).with_tolerance(1e-11).solve(&a, &b);
+        let warm = Solver::new(SolverKind::AmgPcg)
+            .with_tolerance(1e-10)
+            .solve_with_guess(&a, &b, cold.x.clone());
+        assert!(warm.iterations <= 1);
+    }
+
+    #[test]
+    fn report_carries_timings() {
+        let a = grid(8, 8);
+        let b = vec![0.02; 64];
+        let r = Solver::new(SolverKind::AmgPcg).solve(&a, &b);
+        assert!(r.setup_seconds >= 0.0 && r.solve_seconds >= 0.0);
+        assert!(!r.trace.history.is_empty());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        use std::collections::HashSet;
+        let labels: HashSet<_> = [
+            SolverKind::Cg,
+            SolverKind::JacobiPcg,
+            SolverKind::Ic0Pcg,
+            SolverKind::AmgPcg,
+            SolverKind::AmgPcgVCycle,
+            SolverKind::Cholesky,
+        ]
+        .iter()
+        .map(|k| k.label())
+        .collect();
+        assert_eq!(labels.len(), 6);
+    }
+}

@@ -1,0 +1,76 @@
+//! Parse errors with line provenance.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while parsing a SPICE netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// Classification of SPICE parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// An element card had fewer fields than its type requires.
+    MissingFields {
+        /// Element prefix (`R`, `I`, `V`).
+        element: char,
+        /// Fields found on the card.
+        found: usize,
+    },
+    /// A numeric value (possibly with an SI suffix) failed to parse.
+    InvalidValue(String),
+    /// The element prefix is not one the PG subset supports.
+    UnsupportedElement(char),
+    /// A `+` continuation appeared before any element card.
+    DanglingContinuation,
+    /// The same element name was defined twice.
+    DuplicateElement(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ParseErrorKind::MissingFields { element, found } => {
+                write!(f, "element '{element}' card has only {found} fields")
+            }
+            ParseErrorKind::InvalidValue(v) => write!(f, "invalid numeric value '{v}'"),
+            ParseErrorKind::UnsupportedElement(c) => {
+                write!(f, "unsupported element prefix '{c}'")
+            }
+            ParseErrorKind::DanglingContinuation => {
+                write!(f, "continuation line '+' with no preceding card")
+            }
+            ParseErrorKind::DuplicateElement(name) => {
+                write!(f, "duplicate element name '{name}'")
+            }
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = ParseError {
+            line: 42,
+            kind: ParseErrorKind::InvalidValue("1x".into()),
+        };
+        assert_eq!(e.to_string(), "line 42: invalid numeric value '1x'");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<ParseError>();
+    }
+}

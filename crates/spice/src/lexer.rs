@@ -1,0 +1,91 @@
+//! Logical-line lexer: comments, blank lines and `+` continuations.
+
+/// A logical netlist line after continuation merging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalLine {
+    /// 1-based number of the first physical line.
+    pub line: usize,
+    /// Whitespace-separated fields of the merged card.
+    pub fields: Vec<String>,
+}
+
+/// Splits SPICE source into logical lines.
+///
+/// - `*`-prefixed lines and inline `$`/`;` comments are dropped;
+/// - blank lines are skipped;
+/// - a line starting with `+` continues the previous card.
+///
+/// A leading `+` with no previous card is reported by the caller
+/// ([`crate::parser::parse`]) as
+/// [`DanglingContinuation`](crate::error::ParseErrorKind::DanglingContinuation);
+/// here it surfaces as a line whose first field is `"+"`.
+#[must_use]
+pub fn logical_lines(src: &str) -> Vec<LogicalLine> {
+    let mut out: Vec<LogicalLine> = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        // Strip inline comments.
+        let body = raw
+            .split(|c| c == '$' || c == ';')
+            .next()
+            .unwrap_or("")
+            .trim();
+        if body.is_empty() || body.starts_with('*') {
+            continue;
+        }
+        if let Some(rest) = body.strip_prefix('+') {
+            match out.last_mut() {
+                Some(prev) => {
+                    prev.fields.extend(rest.split_whitespace().map(String::from));
+                    continue;
+                }
+                None => {
+                    // Surface the dangling continuation to the parser.
+                    out.push(LogicalLine {
+                        line: line_no,
+                        fields: vec!["+".to_string()],
+                    });
+                    continue;
+                }
+            }
+        }
+        out.push(LogicalLine {
+            line: line_no,
+            fields: body.split_whitespace().map(String::from).collect(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let lines = logical_lines("* header\n\nR1 a b 1.0\n");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].fields, vec!["R1", "a", "b", "1.0"]);
+        assert_eq!(lines[0].line, 3);
+    }
+
+    #[test]
+    fn continuations_merge() {
+        let lines = logical_lines("R1 a\n+ b\n+ 1.0\n");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].fields, vec!["R1", "a", "b", "1.0"]);
+    }
+
+    #[test]
+    fn inline_comments_are_stripped()  {
+        let lines = logical_lines("R1 a b 1.0 $ segment 3\nI1 a 0 1m ; load\n");
+        assert_eq!(lines[0].fields.len(), 4);
+        assert_eq!(lines[1].fields.len(), 4);
+    }
+
+    #[test]
+    fn dangling_continuation_is_flagged() {
+        let lines = logical_lines("+ oops\n");
+        assert_eq!(lines[0].fields[0], "+");
+    }
+}

@@ -1,0 +1,186 @@
+//! The SPICE card parser for the PG subset (`R`, `I`, `V`).
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::lexer::logical_lines;
+use crate::netlist::{CurrentSource, Netlist, Resistor, VoltageSource};
+use crate::value::parse_spice_number;
+use std::collections::HashSet;
+
+/// Parses SPICE source into a [`Netlist`].
+///
+/// Supported cards:
+///
+/// - `R<name> <node> <node> <value>` — resistor;
+/// - `I<name> <node> <node> <value>` — DC current source;
+/// - `V<name> <node> <node> <value>` — DC voltage source;
+/// - `.end` / `.op` and other dot-cards are accepted and ignored;
+/// - `*` comments, `$`/`;` inline comments, and `+` continuations.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line number for
+/// malformed cards, unknown element prefixes, bad numeric values,
+/// duplicate element names, or dangling continuations.
+///
+/// # Example
+///
+/// ```
+/// let n = irf_spice::parse("R1 a b 2.0\nV1 p 0 1.05\n.end\n")?;
+/// assert_eq!(n.resistors()[0].ohms, 2.0);
+/// assert_eq!(n.voltage_sources()[0].volts, 1.05);
+/// # Ok::<(), irf_spice::ParseError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Netlist, ParseError> {
+    let mut netlist = Netlist::new();
+    let mut seen_names: HashSet<String> = HashSet::new();
+    for line in logical_lines(src) {
+        let fields = &line.fields;
+        let head = &fields[0];
+        if head == "+" {
+            return Err(ParseError {
+                line: line.line,
+                kind: ParseErrorKind::DanglingContinuation,
+            });
+        }
+        if head.starts_with('.') {
+            continue; // control cards (.end, .op, ...) are ignored
+        }
+        let prefix = head
+            .chars()
+            .next()
+            .expect("logical lines have non-empty fields")
+            .to_ascii_uppercase();
+        match prefix {
+            'R' | 'I' | 'V' => {
+                if fields.len() < 4 {
+                    return Err(ParseError {
+                        line: line.line,
+                        kind: ParseErrorKind::MissingFields {
+                            element: prefix,
+                            found: fields.len(),
+                        },
+                    });
+                }
+                let name = head.clone();
+                if !seen_names.insert(name.to_ascii_uppercase()) {
+                    return Err(ParseError {
+                        line: line.line,
+                        kind: ParseErrorKind::DuplicateElement(name),
+                    });
+                }
+                let a = netlist.intern(&fields[1]);
+                let b = netlist.intern(&fields[2]);
+                let value = parse_spice_number(&fields[3]).ok_or_else(|| ParseError {
+                    line: line.line,
+                    kind: ParseErrorKind::InvalidValue(fields[3].clone()),
+                })?;
+                match prefix {
+                    'R' => netlist.add_resistor(Resistor {
+                        name,
+                        a,
+                        b,
+                        ohms: value,
+                    }),
+                    'I' => netlist.add_current_source(CurrentSource {
+                        name,
+                        from: a,
+                        to: b,
+                        amps: value,
+                    }),
+                    'V' => netlist.add_voltage_source(VoltageSource {
+                        name,
+                        plus: a,
+                        minus: b,
+                        volts: value,
+                    }),
+                    _ => unreachable!(),
+                }
+            }
+            other => {
+                return Err(ParseError {
+                    line: line.line,
+                    kind: ParseErrorKind::UnsupportedElement(other),
+                });
+            }
+        }
+    }
+    Ok(netlist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NodeId;
+
+    const TINY: &str = "\
+* tiny PG
+R1 n1_m1_0_0 n1_m1_1000_0 0.5
+R2 n1_m4_0_0 n1_m1_0_0 0.1
+I1 n1_m1_1000_0 0 1m
+V1 n1_m4_0_0 0 1.1
+.end
+";
+
+    #[test]
+    fn parses_all_element_kinds() {
+        let n = parse(TINY).expect("parses");
+        assert_eq!(n.resistors().len(), 2);
+        assert_eq!(n.current_sources().len(), 1);
+        assert_eq!(n.voltage_sources().len(), 1);
+        assert_eq!(n.current_sources()[0].amps, 1e-3);
+        assert_eq!(n.current_sources()[0].to, NodeId::GROUND);
+    }
+
+    #[test]
+    fn lowercase_prefixes_are_accepted() {
+        let n = parse("r1 a b 1.0\ni1 a 0 1m\nv1 a 0 1.0\n").expect("parses");
+        assert_eq!(n.resistors().len(), 1);
+    }
+
+    #[test]
+    fn missing_fields_error_carries_line() {
+        let err = parse("R1 a b\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::MissingFields { element: 'R', found: 3 }
+        ));
+    }
+
+    #[test]
+    fn bad_value_is_reported() {
+        let err = parse("R1 a b zz\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::InvalidValue(_)));
+    }
+
+    #[test]
+    fn unsupported_element_is_reported() {
+        let err = parse("C1 a b 1p\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnsupportedElement('C')));
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let err = parse("R1 a b 1\nR1 c d 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, ParseErrorKind::DuplicateElement(_)));
+    }
+
+    #[test]
+    fn continuations_apply_to_cards() {
+        let n = parse("R1 a\n+ b 1.5\n").expect("parses");
+        assert_eq!(n.resistors()[0].ohms, 1.5);
+    }
+
+    #[test]
+    fn dangling_continuation_is_an_error() {
+        let err = parse("+ b 1.5\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::DanglingContinuation));
+    }
+
+    #[test]
+    fn dot_cards_are_ignored() {
+        let n = parse(".op\n.end\n").expect("parses");
+        assert_eq!(n.node_count(), 1); // only ground
+    }
+}

@@ -1,0 +1,98 @@
+//! Netlist serialization back to SPICE text.
+
+use crate::netlist::Netlist;
+use crate::value::format_spice_number;
+use std::fmt::Write as _;
+
+/// Serializes a netlist to SPICE source.
+///
+/// The output parses back to an equivalent netlist via
+/// [`crate::parse`] (same elements, values, and node names), which is
+/// how the synthetic dataset generator feeds designs through the same
+/// front door as real designs.
+///
+/// # Example
+///
+/// ```
+/// let n = irf_spice::parse("R1 a b 2.0\n.end\n")?;
+/// let text = irf_spice::write(&n);
+/// let again = irf_spice::parse(&text)?;
+/// assert_eq!(n.resistors(), again.resistors());
+/// # Ok::<(), irf_spice::ParseError>(())
+/// ```
+#[must_use]
+pub fn write(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str("* power-grid netlist written by irf-spice\n");
+    for r in netlist.resistors() {
+        let _ = writeln!(
+            out,
+            "{} {} {} {}",
+            r.name,
+            netlist.node(r.a).name,
+            netlist.node(r.b).name,
+            format_spice_number(r.ohms)
+        );
+    }
+    for i in netlist.current_sources() {
+        let _ = writeln!(
+            out,
+            "{} {} {} {}",
+            i.name,
+            netlist.node(i.from).name,
+            netlist.node(i.to).name,
+            format_spice_number(i.amps)
+        );
+    }
+    for v in netlist.voltage_sources() {
+        let _ = writeln!(
+            out,
+            "{} {} {} {}",
+            v.name,
+            netlist.node(v.plus).name,
+            netlist.node(v.minus).name,
+            format_spice_number(v.volts)
+        );
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SRC: &str = "\
+R1 n1_m1_0_0 n1_m1_1000_0 0.5
+R2 n1_m4_0_0 n1_m1_0_0 0.1
+Rvia n1_m4_500_0 n1_m1_1000_0 0.05
+I1 n1_m1_1000_0 0 1m
+V1 n1_m4_0_0 0 1.1
+.end
+";
+
+    #[test]
+    fn roundtrip_preserves_elements() {
+        let a = parse(SRC).expect("parses");
+        let text = write(&a);
+        let b = parse(&text).expect("reparses");
+        assert_eq!(a.resistors(), b.resistors());
+        assert_eq!(a.current_sources(), b.current_sources());
+        assert_eq!(a.voltage_sources(), b.voltage_sources());
+    }
+
+    #[test]
+    fn output_ends_with_end_card() {
+        let n = parse("R1 a b 1\n").expect("parses");
+        assert!(write(&n).ends_with(".end\n"));
+    }
+
+    #[test]
+    fn empty_netlist_writes_header_only() {
+        let n = Netlist::new();
+        let text = write(&n);
+        assert!(text.starts_with('*'));
+        assert!(text.contains(".end"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the SPICE front end.
+
+use irf_spice::{parse, write, Netlist};
+use proptest::prelude::*;
+
+/// Strategy: a syntactically valid node name.
+fn node_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // ICCAD-style coordinates.
+        (1u32..=9, 0i64..100_000, 0i64..100_000)
+            .prop_map(|(m, x, y)| format!("n1_m{m}_{x}_{y}")),
+        // Free-form identifiers.
+        "[a-z][a-z0-9]{0,8}".prop_map(|s| s),
+    ]
+}
+
+/// Strategy: a whole netlist as element tuples.
+#[allow(clippy::type_complexity)]
+fn elements() -> impl Strategy<Value = Vec<(u8, String, String, f64)>> {
+    proptest::collection::vec(
+        (
+            0u8..3,
+            node_name(),
+            node_name(),
+            prop_oneof![1e-6f64..1e6, Just(1.0)],
+        ),
+        1..40,
+    )
+}
+
+fn build_source(elems: &[(u8, String, String, f64)]) -> String {
+    let mut src = String::from("* generated\n");
+    for (i, (kind, a, b, v)) in elems.iter().enumerate() {
+        let prefix = match kind {
+            0 => 'R',
+            1 => 'I',
+            _ => 'V',
+        };
+        src.push_str(&format!("{prefix}{i} {a} {b} {v:e}\n"));
+    }
+    src.push_str(".end\n");
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_text(s in "\\PC{0,200}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn generated_netlists_parse(elems in elements()) {
+        let src = build_source(&elems);
+        let n = parse(&src).expect("generated netlists are valid");
+        let total = n.resistors().len() + n.current_sources().len() + n.voltage_sources().len();
+        prop_assert_eq!(total, elems.len());
+    }
+
+    #[test]
+    fn write_parse_roundtrip(elems in elements()) {
+        let src = build_source(&elems);
+        let a: Netlist = parse(&src).expect("valid");
+        let b = parse(&write(&a)).expect("round-trips");
+        prop_assert_eq!(a.resistors().len(), b.resistors().len());
+        // Values survive exactly (the writer prints full precision).
+        for (ra, rb) in a.resistors().iter().zip(b.resistors()) {
+            prop_assert_eq!(ra.ohms, rb.ohms);
+        }
+        for (ia, ib) in a.current_sources().iter().zip(b.current_sources()) {
+            prop_assert_eq!(ia.amps, ib.amps);
+        }
+    }
+
+    #[test]
+    fn interning_is_stable_across_duplicates(name in node_name()) {
+        let src = format!("R1 {name} other 1.0\nR2 {name} other2 2.0\n");
+        let n = parse(&src).expect("valid");
+        prop_assert_eq!(n.resistors()[0].a, n.resistors()[1].a);
+    }
+
+    #[test]
+    fn spice_numbers_roundtrip(v in -1e9f64..1e9) {
+        let s = irf_spice::value::format_spice_number(v);
+        let back = irf_spice::value::parse_spice_number(&s).expect("formatted parses");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn si_suffix_scaling_is_multiplicative(base in 0.001f64..999.0) {
+        let k = irf_spice::value::parse_spice_number(&format!("{base}k")).unwrap();
+        let m = irf_spice::value::parse_spice_number(&format!("{base}m")).unwrap();
+        prop_assert!((k / (base * 1e3) - 1.0).abs() < 1e-12);
+        prop_assert!((m / (base * 1e-3) - 1.0).abs() < 1e-12);
+    }
+}

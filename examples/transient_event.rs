@@ -1,0 +1,49 @@
+//! Transient di/dt event analysis: a macro switches on for a few
+//! nanoseconds and the decap network rides through it — the classic
+//! dynamic-IR companion to the paper's static flow.
+//!
+//! ```bash
+//! cargo run --example transient_event --release
+//! ```
+
+use irf_data::{synthesize, SynthSpec};
+use irf_pg::{PowerGrid, TransientSim};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = PowerGrid::from_netlist(&synthesize(&SynthSpec {
+        m1_stripes: 16,
+        m2_stripes: 16,
+        m4_stripes: 3,
+        seed: 31,
+        ..SynthSpec::default()
+    }))?;
+    let dt = 0.1e-9; // 0.1 ns step
+    for cap in [1e-12, 200e-12] {
+        let mut sim = TransientSim::new(&grid, cap, dt)?;
+        let base = sim.system().rhs.clone();
+        // Event: the first third of the grid draws 5x for 0.5 ns.
+        let mut event = base.clone();
+        for v in event.iter_mut().take(base.len() / 3) {
+            *v *= 5.0;
+        }
+        let mut worst = 0.0f64;
+        let mut settle = 0.0f64;
+        // 2 ns quiet, 0.5 ns event, 6 ns recovery.
+        for (phase, steps) in [(&base, 20usize), (&event, 5), (&base, 60)] {
+            for _ in 0..steps {
+                let w = sim.step(phase);
+                worst = worst.max(w);
+                settle = w;
+            }
+        }
+        println!(
+            "decap {:>5.1} pF/node: transient peak {:.3} mV, settles back to {:.3} mV",
+            cap * 1e12,
+            worst * 1e3,
+            settle * 1e3
+        );
+    }
+    println!("more decap flattens the di/dt spike — the transient substrate the");
+    println!("paper's related-work section attributes to KLU/CHOLMOD-style flows.");
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Cross-crate integration: the training loop improves over the raw
+//! numerical baseline's weaknesses and checkpoints round-trip.
+
+use ir_fusion::{evaluate_model, train, FusionConfig, IrFusionPipeline};
+use irf_data::Dataset;
+use irf_metrics::MetricReport;
+use irf_models::ModelKind;
+
+fn tiny_cfg(epochs: usize) -> FusionConfig {
+    let mut cfg = FusionConfig::tiny();
+    cfg.train.epochs = epochs;
+    cfg
+}
+
+#[test]
+fn training_beats_an_untrained_model() {
+    // Fitting capability: on a design the model *trained on*, the
+    // trained weights must beat the random initialization. (Held-out
+    // generalization at this smoke scale is too noisy to assert on;
+    // the bench harness measures it at the paper-shaped scale.)
+    let ds = Dataset::generate(3, 2, 1, 17);
+    let mut cfg = tiny_cfg(8);
+    cfg.train.curriculum = None;
+    let untrained = train(ModelKind::IrFusion, &ds, &tiny_cfg(0));
+    let trained = train(ModelKind::IrFusion, &ds, &cfg);
+    // Evaluate both on training design 0 by re-pointing the split.
+    let mut eval_ds = ds.clone();
+    eval_ds.test_indices = vec![0];
+    let pipeline = IrFusionPipeline::new(cfg);
+    let before = MetricReport::mean(&evaluate_model(&untrained, &eval_ds, &pipeline));
+    let after = MetricReport::mean(&evaluate_model(&trained, &eval_ds, &pipeline));
+    assert!(
+        after.mae_volts < before.mae_volts,
+        "training should reduce MAE on a training design: {:.3e} -> {:.3e}",
+        before.mae_volts,
+        after.mae_volts
+    );
+}
+
+#[test]
+fn checkpoint_roundtrip_preserves_predictions() {
+    let ds = Dataset::generate(2, 2, 1, 23);
+    let cfg = tiny_cfg(2);
+    let trained = train(ModelKind::IrEdge, &ds, &cfg);
+    let pipeline = IrFusionPipeline::new(cfg);
+    let before = evaluate_model(&trained, &ds, &pipeline);
+
+    // Save, then reload into a second bundle of the same architecture
+    // (trained for zero epochs, so its weights differ until loaded).
+    let mut buf = Vec::new();
+    irf_nn::serialize::save(&trained.store, &mut buf).expect("save");
+    let mut reloaded = train(ModelKind::IrEdge, &ds, &tiny_cfg(0));
+    irf_nn::serialize::load(&mut reloaded.store, buf.as_slice()).expect("load");
+    reloaded.label_scale = trained.label_scale;
+    let after = evaluate_model(&reloaded, &ds, &pipeline);
+    for (a, b) in before.iter().zip(&after) {
+        assert!((a.mae_volts - b.mae_volts).abs() < 1e-9, "prediction drift");
+    }
+}
+
+#[test]
+fn all_table1_models_survive_a_training_step() {
+    let ds = Dataset::generate(1, 1, 1, 31);
+    let cfg = tiny_cfg(1);
+    for kind in ModelKind::TABLE1 {
+        let trained = train(kind, &ds, &cfg);
+        assert!(
+            trained.loss_history[0].is_finite(),
+            "{:?} produced a non-finite loss",
+            kind
+        );
+        let reports = evaluate_model(&trained, &ds, &IrFusionPipeline::new(cfg));
+        assert!(reports[0].mae_volts.is_finite());
+    }
+}
+
+#[test]
+fn ablated_feature_configs_train_end_to_end() {
+    let ds = Dataset::generate(1, 1, 1, 37);
+    let mut cfg = tiny_cfg(1);
+    cfg.feature.numerical = false;
+    let t = train(ModelKind::IrFusion, &ds, &cfg);
+    assert!(t.loss_history[0].is_finite());
+    cfg.feature.hierarchical = false;
+    let t = train(ModelKind::IrFusion, &ds, &cfg);
+    assert!(t.loss_history[0].is_finite());
+}
