@@ -35,7 +35,11 @@ fn main() {
             model.name(),
             store.num_scalars(),
             ms,
-            if model.wants_kirchhoff_loss() { "yes" } else { "no" }
+            if model.wants_kirchhoff_loss() {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     println!();

@@ -36,8 +36,16 @@ fn main() {
         ("CG", SolverKind::Cg, AmgParams::default()),
         ("Jacobi-PCG", SolverKind::JacobiPcg, AmgParams::default()),
         ("AMG-PCG V-cycle/Jacobi", SolverKind::AmgPcgVCycle, light),
-        ("AMG-PCG V-cycle/SGS", SolverKind::AmgPcgVCycle, AmgParams::default()),
-        ("AMG-PCG K-cycle/SGS", SolverKind::AmgPcg, AmgParams::default()),
+        (
+            "AMG-PCG V-cycle/SGS",
+            SolverKind::AmgPcgVCycle,
+            AmgParams::default(),
+        ),
+        (
+            "AMG-PCG K-cycle/SGS",
+            SolverKind::AmgPcg,
+            AmgParams::default(),
+        ),
     ] {
         print!("{label:<26}");
         for k in [1usize, 2, 5, 10] {

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = scale.config();
     let pipeline = IrFusionPipeline::new(config);
 
-    println!("training MAUnet and IR-Fusion ({} epochs each)...", scale.epochs);
+    println!(
+        "training MAUnet and IR-Fusion ({} epochs each)...",
+        scale.epochs
+    );
     let maunet = train(ModelKind::MaUnet, &dataset, &config);
     let fusion = train(ModelKind::IrFusion, &dataset, &config);
 

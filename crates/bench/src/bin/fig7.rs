@@ -10,7 +10,11 @@ use irf_bench::scale_from_args;
 
 fn main() {
     let scale = scale_from_args();
-    let k_max = if std::env::args().any(|a| a == "--tiny") { 4 } else { 10 };
+    let k_max = if std::env::args().any(|a| a == "--tiny") {
+        4
+    } else {
+        10
+    };
     println!(
         "Fig. 7 reproduction: solver budget sweep k = 1..={k_max} on {} held-out designs",
         scale.n_test
@@ -27,11 +31,7 @@ fn main() {
     for p in &points {
         println!(
             "{:>3} | {:>14.4e} | {:>8.3} || {:>14.4e} | {:>8.3}",
-            p.iterations,
-            p.numerical.mae_volts,
-            p.numerical.f1,
-            p.fused.mae_volts,
-            p.fused.f1
+            p.iterations, p.numerical.mae_volts, p.numerical.f1, p.fused.mae_volts, p.fused.f1
         );
     }
     // Crossover analysis: the smallest k at which the fused MAE beats
@@ -47,8 +47,6 @@ fn main() {
         }
         let best_num_f1 = points.iter().map(|p| p.numerical.f1).fold(0.0, f64::max);
         let best_fused_f1 = points.iter().map(|p| p.fused.f1).fold(0.0, f64::max);
-        println!(
-            "best F1 — PowerRush {best_num_f1:.3} vs IR-Fusion {best_fused_f1:.3}"
-        );
+        println!("best F1 — PowerRush {best_num_f1:.3} vs IR-Fusion {best_fused_f1:.3}");
     }
 }

@@ -1,0 +1,218 @@
+//! Thread-scaling benchmark for the parallel hot paths: sparse
+//! matrix-vector products on a power-grid Laplacian and conv2d
+//! forward passes, each measured at 1, 2, 4, and 8 threads.
+//!
+//! ```bash
+//! cargo run -p irf-bench --bin scaling --release -- [--tiny] [--json PATH]
+//! ```
+//!
+//! Emits a human-readable table on stdout and, with `--json PATH`, a
+//! machine-readable report (suitable for `BENCH_scaling.json`). All
+//! kernels are bitwise deterministic, so the checksum column must be
+//! identical across thread counts — the benchmark fails otherwise.
+
+use irf_nn::{ParamStore, Tape, Tensor};
+use irf_runtime::Xoshiro256pp;
+use irf_sparse::{CsrMatrix, TripletMatrix};
+use std::time::Instant;
+
+struct Measurement {
+    kernel: &'static str,
+    threads: usize,
+    reps: usize,
+    seconds: f64,
+    throughput: f64, // kernel-specific unit per second
+    checksum: u64,
+}
+
+/// A `side x side` grid Laplacian with randomized conductances and two
+/// grounded corners — the same structure the IR solver sees.
+fn grid_laplacian(side: usize) -> CsrMatrix {
+    let n = side * side;
+    let mut rng = Xoshiro256pp::seed_from_u64(0xB3_4C);
+    let mut t = TripletMatrix::new(n, n);
+    for r in 0..side {
+        for c in 0..side {
+            let i = r * side + c;
+            if c + 1 < side {
+                t.stamp_conductance(i, i + 1, rng.random_range(0.5f64..2.0));
+            }
+            if r + 1 < side {
+                t.stamp_conductance(i, i + side, rng.random_range(0.5f64..2.0));
+            }
+        }
+    }
+    t.stamp_grounded_conductance(0, 1.0);
+    t.stamp_grounded_conductance(n - 1, 1.0);
+    t.to_csr()
+}
+
+fn bench_spmv(a: &CsrMatrix, threads: usize, reps: usize) -> Measurement {
+    irf_runtime::set_num_threads(threads);
+    let n = a.rows();
+    let mut rng = Xoshiro256pp::seed_from_u64(0xB3_01);
+    let x: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0f64..1.0)).collect();
+    let mut y = vec![0.0; n];
+    a.spmv_into(&x, &mut y); // warm up (spawns the worker threads)
+    let start = Instant::now();
+    for _ in 0..reps {
+        a.spmv_into(&x, &mut y);
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let checksum = y.iter().fold(0u64, |h, v| h.rotate_left(7) ^ v.to_bits());
+    Measurement {
+        kernel: "spmv",
+        threads,
+        reps,
+        seconds,
+        // nonzeros processed per second (2 flops each).
+        throughput: (a.nnz() * reps) as f64 / seconds,
+        checksum,
+    }
+}
+
+fn bench_conv2d(shape: [usize; 4], threads: usize, reps: usize) -> Measurement {
+    irf_runtime::set_num_threads(threads);
+    let mut rng = Xoshiro256pp::seed_from_u64(0xB3_02);
+    let mut tensor = |shape: [usize; 4]| {
+        let n: usize = shape.iter().product();
+        let data: Vec<f32> = (0..n).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+        Tensor::from_vec(shape, data)
+    };
+    let co = 16;
+    let x = tensor(shape);
+    let w = tensor([co, shape[1], 3, 3]);
+    let b = tensor([1, co, 1, 1]);
+    let mut store = ParamStore::new();
+    let run = |store: &mut ParamStore| {
+        let mut tape = Tape::new();
+        let xi = tape.leaf(x.clone());
+        let wi = tape.leaf(w.clone());
+        let bi = tape.leaf(b.clone());
+        let y = tape.conv2d(xi, wi, bi, 1, 1);
+        let seed = Tensor::filled(tape.value(y).shape(), 1.0);
+        tape.backward(y, seed, store);
+        tape.value(y)
+            .data()
+            .iter()
+            .fold(0u64, |h, v| h.rotate_left(7) ^ u64::from(v.to_bits()))
+    };
+    let mut checksum = run(&mut store); // warm up
+    let start = Instant::now();
+    for _ in 0..reps {
+        checksum = run(&mut store);
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let pixels = shape[0] * shape[2] * shape[3];
+    Measurement {
+        kernel: "conv2d",
+        threads,
+        reps,
+        seconds,
+        // output pixels (fwd+bwd) per second.
+        throughput: (pixels * reps) as f64 / seconds,
+        checksum,
+    }
+}
+
+fn json_report(rows: &[Measurement], nodes: usize) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"thread-scaling\",\n");
+    out.push_str(&format!("  \"grid_nodes\": {nodes},\n  \"results\": [\n"));
+    for (i, m) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"threads\": {}, \"reps\": {}, \
+             \"seconds\": {:.6}, \"throughput_per_s\": {:.1}, \"checksum\": \"{:016x}\"}}{}\n",
+            m.kernel,
+            m.threads,
+            m.reps,
+            m.seconds,
+            m.throughput,
+            m.checksum,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let json_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--json")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+
+    // >= 100k nodes at full scale so every kernel spans many chunks.
+    let side = if tiny { 64 } else { 320 };
+    let (spmv_reps, conv_reps) = if tiny { (20, 3) } else { (50, 5) };
+    let conv_shape = if tiny { [1, 8, 32, 32] } else { [4, 8, 64, 64] };
+    let a = grid_laplacian(side);
+    println!(
+        "thread-scaling: spmv on {} nodes ({} nnz), conv2d on {:?} (16 out channels)",
+        a.rows(),
+        a.nnz(),
+        conv_shape
+    );
+    println!(
+        "{:>8} | {:>7} | {:>9} | {:>14} | {:>8} | {:>16}",
+        "kernel", "threads", "seconds", "throughput/s", "speedup", "checksum"
+    );
+    println!("{}", "-".repeat(78));
+
+    let mut rows = Vec::new();
+    let mut base = 0.0;
+    for &threads in &[1usize, 2, 4, 8] {
+        let m = bench_spmv(&a, threads, spmv_reps);
+        if threads == 1 {
+            base = m.throughput;
+        }
+        println!(
+            "{:>8} | {:>7} | {:>9.4} | {:>14.1} | {:>7.2}x | {:016x}",
+            m.kernel,
+            m.threads,
+            m.seconds,
+            m.throughput,
+            m.throughput / base,
+            m.checksum
+        );
+        rows.push(m);
+    }
+    let spmv_checksums: Vec<u64> = rows.iter().map(|m| m.checksum).collect();
+    assert!(
+        spmv_checksums.windows(2).all(|w| w[0] == w[1]),
+        "spmv results are not deterministic across thread counts"
+    );
+
+    for &threads in &[1usize, 2, 4, 8] {
+        let m = bench_conv2d(conv_shape, threads, conv_reps);
+        if threads == 1 {
+            base = m.throughput;
+        }
+        println!(
+            "{:>8} | {:>7} | {:>9.4} | {:>14.1} | {:>7.2}x | {:016x}",
+            m.kernel,
+            m.threads,
+            m.seconds,
+            m.throughput,
+            m.throughput / base,
+            m.checksum
+        );
+        rows.push(m);
+    }
+    let conv_checksums: Vec<u64> = rows[4..].iter().map(|m| m.checksum).collect();
+    assert!(
+        conv_checksums.windows(2).all(|w| w[0] == w[1]),
+        "conv2d results are not deterministic across thread counts"
+    );
+
+    irf_runtime::set_num_threads(0);
+    let report = json_report(&rows, a.rows());
+    if let Some(path) = json_path {
+        std::fs::write(&path, &report).expect("write JSON report");
+        println!("\nwrote {path}");
+    } else {
+        println!("\n{report}");
+    }
+}

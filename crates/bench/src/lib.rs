@@ -9,10 +9,11 @@
 //! | `fig6`   | Fig. 6 — golden / MAUnet / IR-Fusion drop maps (PGM + ASCII) |
 //! | `fig7`   | Fig. 7 — accuracy-vs-iterations trade-off vs PowerRush |
 //! | `fig8`   | Fig. 8 — ablation study |
+//! | `scaling` | thread-scaling throughput of the parallel hot paths |
 //!
-//! Criterion benches (`cargo bench -p irf-bench`) cover the solver,
-//! feature-extraction, and model-inference micro-costs that the
-//! runtime columns of the paper's tables rest on.
+//! The `scaling` binary measures spmv and conv2d throughput at 1, 2,
+//! 4, and 8 threads and emits JSON, feeding the runtime columns of the
+//! paper's tables and the `BENCH_*.json` artifacts.
 
 use irf_metrics::MetricReport;
 

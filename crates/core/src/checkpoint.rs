@@ -29,8 +29,16 @@ pub fn save_model<W: Write>(
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     w.write_all(&kind.id().to_le_bytes())?;
-    w.write_all(&u32::try_from(config.in_channels).expect("channels fit u32").to_le_bytes())?;
-    w.write_all(&u32::try_from(config.base_channels).expect("channels fit u32").to_le_bytes())?;
+    w.write_all(
+        &u32::try_from(config.in_channels)
+            .expect("channels fit u32")
+            .to_le_bytes(),
+    )?;
+    w.write_all(
+        &u32::try_from(config.base_channels)
+            .expect("channels fit u32")
+            .to_le_bytes(),
+    )?;
     w.write_all(&config.seed.to_le_bytes())?;
     w.write_all(&[u8::from(trained.residual)])?;
     w.write_all(&trained.label_scale.to_le_bytes())?;

@@ -3,9 +3,9 @@
 use irf_data::curriculum::CurriculumScheduler;
 use irf_features::FeatureConfig;
 use irf_models::ModelConfig;
+use irf_nn::optim::LrSchedule;
 use irf_sparse::amg::AmgParams;
 use irf_sparse::smoother::SmootherKind;
-use irf_nn::optim::LrSchedule;
 use irf_sparse::SolverKind;
 
 /// Training hyperparameters.
@@ -68,6 +68,11 @@ pub struct FusionConfig {
     pub model: ModelConfig,
     /// Training settings.
     pub train: TrainConfig,
+    /// Worker threads for the parallel runtime. `0` means "auto":
+    /// `IRF_THREADS` when set, otherwise the machine's available
+    /// parallelism. `1` runs everything serially on the calling thread.
+    /// Results are bitwise identical at any setting.
+    pub num_threads: usize,
 }
 
 impl Default for FusionConfig {
@@ -83,6 +88,7 @@ impl Default for FusionConfig {
             feature,
             model: ModelConfig::default(),
             train: TrainConfig::default(),
+            num_threads: 0,
         }
     }
 }

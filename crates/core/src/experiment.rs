@@ -211,7 +211,10 @@ pub fn fig8(scale: &ExperimentScale) -> Vec<Fig8Bar> {
     push("w/o Hierarchical", run(ModelKind::IrFusion, &cfg));
 
     // w/o Inception: plain double-conv encoder.
-    push("w/o Inception", run(ModelKind::IrFusionNoInception, &base_cfg));
+    push(
+        "w/o Inception",
+        run(ModelKind::IrFusionNoInception, &base_cfg),
+    );
 
     // w/o CBAM.
     push("w/o CBAM", run(ModelKind::IrFusionNoCbam, &base_cfg));

@@ -9,8 +9,8 @@ use irf_features::{FeatureExtractor, FeatureStack};
 use irf_metrics::Timer;
 use irf_nn::{Tape, Tensor};
 use irf_pg::{GridMap, ModelError, PowerGrid, Rasterizer};
-use irf_spice::Netlist;
 use irf_sparse::{SolveReport, Solver};
+use irf_spice::Netlist;
 
 /// A design prepared for training or inference: feature stack plus
 /// golden label map.
@@ -92,9 +92,12 @@ pub struct IrFusionPipeline {
 }
 
 impl IrFusionPipeline {
-    /// Creates a pipeline.
+    /// Creates a pipeline. The configured `num_threads` is applied to
+    /// the global parallel runtime (`0` = auto; see
+    /// [`FusionConfig::num_threads`]).
     #[must_use]
     pub fn new(config: FusionConfig) -> Self {
+        irf_runtime::set_num_threads(config.num_threads);
         IrFusionPipeline { config }
     }
 
@@ -121,6 +124,16 @@ impl IrFusionPipeline {
     #[must_use]
     pub fn prepare(&self, design: &Design) -> PreparedSample {
         self.prepare_grid(&design.grid, &design.golden)
+    }
+
+    /// Prepares every design concurrently (one task per design; the
+    /// parallel kernels inside each run inline on the task's thread).
+    /// Output order matches input order, and each sample is bitwise
+    /// identical to what a serial [`IrFusionPipeline::prepare`] yields.
+    #[must_use]
+    pub fn prepare_all(&self, designs: &[Design]) -> Vec<PreparedSample> {
+        let tasks: Vec<_> = designs.iter().map(|d| move || self.prepare(d)).collect();
+        irf_runtime::par_map(tasks)
     }
 
     /// Prepares a grid with a supplied golden solution.
@@ -177,8 +190,7 @@ impl IrFusionPipeline {
         // channels) never consume the solver output, so they do not
         // pay for it — keeping the runtime column honest. Everything
         // else runs the truncated solve.
-        let needs_solve = self.config.feature.numerical
-            || model.is_none_or(|t| t.residual);
+        let needs_solve = self.config.feature.numerical || model.is_none_or(|t| t.residual);
         let (drops, solve_report) = if needs_solve {
             self.rough_solution(grid)
         } else {
@@ -196,8 +208,7 @@ impl IrFusionPipeline {
         };
         let extractor = FeatureExtractor::new(self.config.feature);
         let raster = extractor.rasterizer(grid);
-        let rough_map =
-            irf_features::solution::bottom_layer_solution_map(grid, &drops, &raster);
+        let rough_map = irf_features::solution::bottom_layer_solution_map(grid, &drops, &raster);
         let fused_map = model.map(|trained| {
             let features = extractor.extract(grid, &drops);
             let (c, h, w, data) = features.to_nchw();
@@ -243,7 +254,6 @@ impl IrFusionPipeline {
 mod tests {
     use super::*;
     use crate::config::FusionConfig;
-use crate::train::TrainedModel;
     use irf_data::{synthesize, SynthSpec};
     use irf_metrics::mae;
 

@@ -109,15 +109,13 @@ impl fmt::Display for SignoffReport {
             self.margin_volts() * 1e3
         )?;
         if !self.passes() {
-            writeln!(f, "  {} violating tiles; worst offenders:", self.violation_count)?;
+            writeln!(
+                f,
+                "  {} violating tiles; worst offenders:",
+                self.violation_count
+            )?;
             for v in self.violations.iter().take(5) {
-                writeln!(
-                    f,
-                    "    ({}, {}) {:.3} mV",
-                    v.x,
-                    v.y,
-                    v.drop_volts * 1e3
-                )?;
+                writeln!(f, "    ({}, {}) {:.3} mV", v.x, v.y, v.drop_volts * 1e3)?;
             }
         }
         Ok(())

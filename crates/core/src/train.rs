@@ -51,14 +51,18 @@ pub fn train(kind: ModelKind, dataset: &Dataset, config: &FusionConfig) -> Train
     let train_indices = dataset.train_indices();
     assert!(!train_indices.is_empty(), "dataset has no training designs");
 
-    // Prepare every training design once (features + label).
-    let samples: Vec<(PreparedSample, DesignClass)> = train_indices
-        .iter()
-        .map(|&i| {
-            let d = &dataset.designs[i];
-            (pipeline.prepare(d), d.class)
-        })
-        .collect();
+    // Prepare every training design once (features + label), one
+    // parallel task per design; order follows `train_indices`.
+    let samples: Vec<(PreparedSample, DesignClass)> = irf_runtime::par_map(
+        train_indices
+            .iter()
+            .map(|&i| {
+                let d = &dataset.designs[i];
+                let pipeline = &pipeline;
+                move || (pipeline.prepare(d), d.class)
+            })
+            .collect(),
+    );
 
     // Labels use the same fixed volt scale as the numerical-solution
     // feature channels, so the model's task is a near-identity
@@ -81,8 +85,11 @@ pub fn train(kind: ModelKind, dataset: &Dataset, config: &FusionConfig) -> Train
     let (model, mut store) = build_model(kind, model_config);
 
     // Augmentation plan over local sample indices.
-    let local: Vec<(usize, DesignClass)> =
-        samples.iter().enumerate().map(|(i, (_, c))| (i, *c)).collect();
+    let local: Vec<(usize, DesignClass)> = samples
+        .iter()
+        .enumerate()
+        .map(|(i, (_, c))| (i, *c))
+        .collect();
     let plan: Vec<AugmentedSample> = if config.train.rotations {
         augmentation_plan(&local, config.train.oversample)
     } else {
@@ -126,16 +133,8 @@ pub fn train(kind: ModelKind, dataset: &Dataset, config: &FusionConfig) -> Train
             let (loss_value, grad) = if use_kirchhoff {
                 // Channel 0 of the stack is the total current map.
                 let [_, _, h, w] = x_t.shape();
-                let current = irf_nn::Tensor::from_vec(
-                    [1, 1, h, w],
-                    x_t.data()[..h * w].to_vec(),
-                );
-                let k = loss::kirchhoff(
-                    tape.value(y),
-                    &current,
-                    1.0,
-                    config.train.kirchhoff_alpha,
-                );
+                let current = irf_nn::Tensor::from_vec([1, 1, h, w], x_t.data()[..h * w].to_vec());
+                let k = loss::kirchhoff(tape.value(y), &current, 1.0, config.train.kirchhoff_alpha);
                 loss::combine(data_term, k)
             } else {
                 data_term
@@ -146,7 +145,11 @@ pub fn train(kind: ModelKind, dataset: &Dataset, config: &FusionConfig) -> Train
             epoch_loss += loss_value;
             count += 1;
         }
-        loss_history.push(if count > 0 { epoch_loss / count as f32 } else { 0.0 });
+        loss_history.push(if count > 0 {
+            epoch_loss / count as f32
+        } else {
+            0.0
+        });
     }
 
     TrainedModel {

@@ -88,10 +88,7 @@ mod tests {
 
     #[test]
     fn oversampling_weights_classes() {
-        let plan = augmentation_plan(
-            &[(0, DesignClass::Fake), (1, DesignClass::Real)],
-            true,
-        );
+        let plan = augmentation_plan(&[(0, DesignClass::Fake), (1, DesignClass::Real)], true);
         let fake = plan.iter().filter(|s| s.design == 0).count();
         let real = plan.iter().filter(|s| s.design == 1).count();
         assert_eq!(fake, 2 * 4);

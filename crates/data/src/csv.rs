@@ -69,10 +69,10 @@ pub fn parse_map_csv(src: &str) -> Result<GridMap, ParseCsvError> {
         }
         let mut count = 0usize;
         for (c, cell) in line.split(',').enumerate() {
-            let v: f32 = cell
-                .trim()
-                .parse()
-                .map_err(|_| ParseCsvError::BadNumber { row: r + 1, col: c + 1 })?;
+            let v: f32 = cell.trim().parse().map_err(|_| ParseCsvError::BadNumber {
+                row: r + 1,
+                col: c + 1,
+            })?;
             values.push(v);
             count += 1;
         }

@@ -51,10 +51,7 @@ impl CurriculumScheduler {
         epoch: usize,
     ) -> Vec<AugmentedSample> {
         assert_eq!(plan.len(), classes.len(), "plan/classes length mismatch");
-        let hard_total = classes
-            .iter()
-            .filter(|&&c| c == DesignClass::Real)
-            .count();
+        let hard_total = classes.iter().filter(|&&c| c == DesignClass::Real).count();
         let hard_take = (self.hard_fraction(epoch) * hard_total as f64).round() as usize;
         let mut out = Vec::with_capacity(plan.len());
         let mut hard_seen = 0;

@@ -32,7 +32,8 @@ impl Design {
     /// Builds a labelled fake design from a seed.
     #[must_use]
     pub fn fake(seed: u64) -> Self {
-        let grid = PowerGrid::from_netlist(&fake::generate(seed)).expect("generator emits valid grids");
+        let grid =
+            PowerGrid::from_netlist(&fake::generate(seed)).expect("generator emits valid grids");
         let golden = golden_drops(&grid);
         Design {
             name: format!("fake_{seed:03}"),
@@ -45,8 +46,8 @@ impl Design {
     /// Builds a labelled real-like design from a seed.
     #[must_use]
     pub fn real_like(seed: u64) -> Self {
-        let grid =
-            PowerGrid::from_netlist(&real_like::generate(seed)).expect("generator emits valid grids");
+        let grid = PowerGrid::from_netlist(&real_like::generate(seed))
+            .expect("generator emits valid grids");
         let golden = golden_drops(&grid);
         Design {
             name: format!("real_{seed:03}"),
@@ -84,7 +85,10 @@ impl Dataset {
     /// Panics if `n_test > n_real`.
     #[must_use]
     pub fn generate(n_fake: usize, n_real: usize, n_test: usize, seed: u64) -> Self {
-        assert!(n_test <= n_real, "cannot hold out more real designs than exist");
+        assert!(
+            n_test <= n_real,
+            "cannot hold out more real designs than exist"
+        );
         let mut designs = Vec::with_capacity(n_fake + n_real);
         for i in 0..n_fake {
             designs.push(Design::fake(seed.wrapping_add(i as u64)));

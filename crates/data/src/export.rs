@@ -118,8 +118,8 @@ mod tests {
         }
         // The exported netlist parses and rebuilds the same grid shape.
         let text = fs::read_to_string(dir.join("netlist.sp")).expect("readable");
-        let grid = PowerGrid::from_netlist(&irf_spice::parse(&text).expect("parses"))
-            .expect("valid grid");
+        let grid =
+            PowerGrid::from_netlist(&irf_spice::parse(&text).expect("parses")).expect("valid grid");
         assert_eq!(grid.nodes.len(), design.grid.nodes.len());
         assert_eq!(grid.segments.len(), design.grid.segments.len());
         // The golden CSV parses back to a 16x16 map with the same peak.

@@ -2,16 +2,15 @@
 //! curriculum class.
 
 use crate::synth::{synthesize, SynthSpec};
+use irf_runtime::Xoshiro256pp;
 use irf_spice::Netlist;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Generates the spec of one fake design: perfectly regular stripes,
 /// smooth current, no blockages — mirroring the BeGAN generator's
 /// clean synthetic grids.
 #[must_use]
 pub fn fake_spec(seed: u64) -> SynthSpec {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA4E);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0xFA4E);
     SynthSpec {
         m1_stripes: rng.random_range(24..=36),
         m2_stripes: rng.random_range(24..=36),

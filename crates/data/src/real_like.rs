@@ -6,14 +6,13 @@
 //! concentrated in a few hot macros instead of spread smoothly.
 
 use crate::synth::{synthesize, SynthSpec};
+use irf_runtime::Xoshiro256pp;
 use irf_spice::Netlist;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Generates the spec of one real-like design.
 #[must_use]
 pub fn real_like_spec(seed: u64) -> SynthSpec {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x4EA1);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x4EA1);
     SynthSpec {
         m1_stripes: rng.random_range(24..=40),
         m2_stripes: rng.random_range(24..=40),

@@ -7,9 +7,8 @@
 //! — are what separate "fake" (regular) from "real-like" (irregular)
 //! designs.
 
+use irf_runtime::Xoshiro256pp;
 use irf_spice::Netlist;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use std::fmt::Write as _;
 
 /// Specification of one synthetic design.
@@ -91,7 +90,7 @@ pub fn synthesize(spec: &SynthSpec) -> Netlist {
         "spec needs at least 2x2 stripes and one m4 stripe"
     );
     assert!(spec.pads >= 1, "spec needs at least one pad");
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(spec.seed);
     let mut src = String::new();
     let _ = writeln!(src, "* synthetic PG design (seed {})", spec.seed);
 
@@ -110,8 +109,11 @@ pub fn synthesize(spec: &SynthSpec) -> Netlist {
             (x0, y0, x0 + bw, y0 + bh)
         })
         .collect();
-    let blocked =
-        |x: i64, y: i64| blocks.iter().any(|&(x0, y0, x1, y1)| x >= x0 && x <= x1 && y >= y0 && y <= y1);
+    let blocked = |x: i64, y: i64| {
+        blocks
+            .iter()
+            .any(|&(x0, y0, x1, y1)| x >= x0 && x <= x1 && y >= y0 && y <= y1)
+    };
 
     let name = |layer: u32, x: i64, y: i64| format!("n1_m{layer}_{x}_{y}");
     let mut r_id = 0usize;
@@ -219,7 +221,7 @@ pub fn synthesize(spec: &SynthSpec) -> Netlist {
         for _ in 0..spec.hotspot_clusters {
             let cx = rng.random_range(0..spec.die_w) as f64;
             let cy = rng.random_range(0..spec.die_h) as f64;
-            let sigma = spec.die_w as f64 / rng.random_range(8.0..16.0);
+            let sigma = spec.die_w as f64 / rng.random_range(8.0_f64..16.0);
             let mut blob: Vec<f64> = sites
                 .iter()
                 .map(|&(x, y)| {
@@ -248,7 +250,7 @@ pub fn synthesize(spec: &SynthSpec) -> Netlist {
 
 /// Evenly spaced stripe coordinates with optional relative jitter,
 /// strictly increasing and inside `[0, extent]`.
-fn stripe_positions(extent: i64, count: usize, jitter: f64, rng: &mut StdRng) -> Vec<i64> {
+fn stripe_positions(extent: i64, count: usize, jitter: f64, rng: &mut Xoshiro256pp) -> Vec<i64> {
     let pitch = extent as f64 / count as f64;
     let mut out: Vec<i64> = (0..count)
         .map(|i| {

@@ -1,92 +1,95 @@
-//! Property-based tests for the dataset substrate: every design the
-//! generators can emit must be physically well-formed.
+//! Randomized-but-deterministic property tests for the dataset
+//! substrate: every design the generators can emit must be physically
+//! well-formed (fixed seeds, exact reproduction on failure).
 
 use irf_data::golden::golden_drops;
 use irf_data::synth::{synthesize, SynthSpec};
 use irf_data::{fake, real_like};
 use irf_pg::PowerGrid;
-use proptest::prelude::*;
+use irf_runtime::Xoshiro256pp;
 
-fn small_spec() -> impl Strategy<Value = SynthSpec> {
-    (
-        6usize..=12,  // m1 stripes
-        6usize..=12,  // m2 stripes
-        2usize..=4,   // m4 stripes
-        1usize..=4,   // pads
-        0.01f64..0.1, // total current
-        0.0f64..0.3,  // jitter
-        0usize..=2,   // blockages
-        0usize..=3,   // hotspot clusters
-        0u64..1000,   // seed
-    )
-        .prop_map(
-            |(m1, m2, m4, pads, current, jitter, blockages, clusters, seed)| SynthSpec {
-                m1_stripes: m1,
-                m2_stripes: m2,
-                m4_stripes: m4,
-                pads,
-                total_current: current,
-                stripe_jitter: jitter,
-                blockages,
-                hotspot_clusters: clusters,
-                hotspot_fraction: if clusters > 0 { 0.5 } else { 0.0 },
-                seed,
-                ..SynthSpec::default()
-            },
-        )
+const CASES: u64 = 24;
+
+fn small_spec(rng: &mut Xoshiro256pp) -> SynthSpec {
+    let clusters = rng.random_range(0usize..=3);
+    SynthSpec {
+        m1_stripes: rng.random_range(6usize..=12),
+        m2_stripes: rng.random_range(6usize..=12),
+        m4_stripes: rng.random_range(2usize..=4),
+        pads: rng.random_range(1usize..=4),
+        total_current: rng.random_range(0.01f64..0.1),
+        stripe_jitter: rng.random_range(0.0f64..0.3),
+        blockages: rng.random_range(0usize..=2),
+        hotspot_clusters: clusters,
+        hotspot_fraction: if clusters > 0 { 0.5 } else { 0.0 },
+        seed: rng.random_range(0u64..1000),
+        ..SynthSpec::default()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn every_synthesized_design_is_well_formed(spec in small_spec()) {
+#[test]
+fn every_synthesized_design_is_well_formed() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xDA_01);
+    for _ in 0..CASES {
+        let spec = small_spec(&mut rng);
         let netlist = synthesize(&spec);
         let grid = PowerGrid::from_netlist(&netlist).expect("generator emits valid grids");
-        prop_assert!(grid.is_connected_to_pads(), "floating nodes");
-        prop_assert_eq!(grid.pads.len(), spec.pads);
-        prop_assert!(!grid.loads.is_empty());
+        assert!(grid.is_connected_to_pads(), "floating nodes");
+        assert_eq!(grid.pads.len(), spec.pads);
+        assert!(!grid.loads.is_empty());
         // Current conservation (netlist stores 7 significant digits).
-        prop_assert!(
+        assert!(
             (grid.total_load_current() - spec.total_current).abs()
                 < 1e-4 * spec.total_current.max(1e-6)
         );
     }
+}
 
-    #[test]
-    fn golden_solutions_are_physical(spec in small_spec()) {
+#[test]
+fn golden_solutions_are_physical() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xDA_02);
+    for _ in 0..CASES {
+        let spec = small_spec(&mut rng);
         let grid = PowerGrid::from_netlist(&synthesize(&spec)).expect("valid");
         let drops = golden_drops(&grid);
         // Drops are non-negative and below the supply.
-        prop_assert!(drops.iter().all(|&d| (-1e-12..grid.vdd()).contains(&d)));
+        assert!(drops.iter().all(|&d| (-1e-12..grid.vdd()).contains(&d)));
         // Pads sit at exactly zero drop.
         for p in &grid.pads {
-            prop_assert_eq!(drops[p.node], 0.0);
+            assert_eq!(drops[p.node], 0.0);
         }
         // Maximum principle: the worst drop is at a load-bearing or
         // interior node, never at a pad.
         let worst = drops.iter().cloned().fold(0.0, f64::max);
-        prop_assert!(worst > 0.0);
+        assert!(worst > 0.0);
     }
+}
 
-    #[test]
-    fn class_generators_are_deterministic(seed in 0u64..500) {
-        prop_assert_eq!(fake::generate(seed), fake::generate(seed));
-        prop_assert_eq!(real_like::generate(seed), real_like::generate(seed));
+#[test]
+fn class_generators_are_deterministic() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xDA_03);
+    for _ in 0..CASES {
+        let seed = rng.random_range(0u64..500);
+        assert_eq!(fake::generate(seed), fake::generate(seed));
+        assert_eq!(real_like::generate(seed), real_like::generate(seed));
     }
+}
 
-    #[test]
-    fn netlists_roundtrip_via_spice_text(spec in small_spec()) {
+#[test]
+fn netlists_roundtrip_via_spice_text() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xDA_04);
+    for _ in 0..CASES {
+        let spec = small_spec(&mut rng);
         let n = synthesize(&spec);
         let text = irf_spice::write(&n);
         let again = irf_spice::parse(&text).expect("round-trips");
-        prop_assert_eq!(n.resistors().len(), again.resistors().len());
-        prop_assert_eq!(n.current_sources().len(), again.current_sources().len());
-        prop_assert_eq!(n.voltage_sources().len(), again.voltage_sources().len());
+        assert_eq!(n.resistors().len(), again.resistors().len());
+        assert_eq!(n.current_sources().len(), again.current_sources().len());
+        assert_eq!(n.voltage_sources().len(), again.voltage_sources().len());
         // And the rebuilt grid is equivalent node-for-node.
         let ga = PowerGrid::from_netlist(&n).expect("valid");
         let gb = PowerGrid::from_netlist(&again).expect("valid");
-        prop_assert_eq!(ga.nodes.len(), gb.nodes.len());
-        prop_assert_eq!(ga.segments.len(), gb.segments.len());
+        assert_eq!(ga.nodes.len(), gb.nodes.len());
+        assert_eq!(ga.segments.len(), gb.segments.len());
     }
 }

@@ -96,10 +96,7 @@ I1 n1_m1_1000_0 0 2m
         let g = grid();
         let raster = Rasterizer::new(g.bounding_box(), 2, 2);
         let maps = layer_current_maps(&g, &raster);
-        let total: f32 = maps
-            .iter()
-            .flat_map(|(_, m)| m.data().iter())
-            .sum();
+        let total: f32 = maps.iter().flat_map(|(_, m)| m.data().iter()).sum();
         assert!((f64::from(total) - 2e-3).abs() < 1e-9, "total {total}");
     }
 

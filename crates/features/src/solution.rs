@@ -48,12 +48,7 @@ pub fn full_solution_map(grid: &PowerGrid, drops: &[f64], raster: &Rasterizer) -
         grid.nodes.len(),
         "solution length must match node count"
     );
-    raster.splat_max(
-        grid.nodes
-            .iter()
-            .zip(drops)
-            .map(|(n, &d)| (n.x, n.y, d)),
-    )
+    raster.splat_max(grid.nodes.iter().zip(drops).map(|(n, &d)| (n.x, n.y, d)))
 }
 
 /// Rasterizes the solution restricted to the bottom (cell) layer —

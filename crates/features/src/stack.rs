@@ -121,10 +121,16 @@ impl FeatureStack {
     }
 
     /// Rotates every map by `quarters x 90°` clockwise (augmentation).
+    /// Channels are rotated concurrently; output order is preserved.
     #[must_use]
     pub fn rotated(&self, quarters: u32) -> FeatureStack {
+        let tasks: Vec<_> = self
+            .maps
+            .iter()
+            .map(|m| move || m.rotated(quarters))
+            .collect();
         FeatureStack {
-            maps: self.maps.iter().map(|m| m.rotated(quarters)).collect(),
+            maps: irf_runtime::par_map(tasks),
             names: self.names.clone(),
         }
     }
@@ -169,36 +175,69 @@ impl FeatureExtractor {
         let volts = Normalization::Fixed(VOLT_SCALE);
         let dist = Normalization::Fixed(1.0 / self.config.width.max(self.config.height) as f32);
         let path_r = Normalization::Fixed(PATH_RESISTANCE_SCALE);
-        let mut stack = FeatureStack::default();
-        // Structure features shared by every configuration.
-        stack.push(
-            "current/total",
-            normalize(&total_current_map(grid, &raster), amps),
-        );
-        stack.push(
-            "distance/effective",
-            normalize(&effective_distance_map(grid, &raster), dist),
-        );
-        stack.push(
-            "density/pdn",
-            normalize(&pdn_density_map(grid, &raster), norm),
-        );
-        stack.push(
-            "resistance/map",
-            normalize(&resistance_map(grid, &raster), norm),
-        );
-        stack.push(
-            "resistance/shortest_path",
-            normalize(&shortest_path_resistance_map(grid, &raster), path_r),
-        );
+        // Every map group is independent of the others, so they are
+        // computed concurrently; channel order is fixed by how the
+        // results are assembled below, not by completion order.
+        enum Group {
+            One(&'static str, GridMap),
+            Layers(&'static str, Vec<(u32, GridMap)>),
+        }
+        let r = &raster;
+        let mut tasks: Vec<Box<dyn FnOnce() -> Group + Send>> = vec![
+            Box::new(move || {
+                Group::One(
+                    "current/total",
+                    normalize(&total_current_map(grid, r), amps),
+                )
+            }),
+            Box::new(move || {
+                Group::One(
+                    "distance/effective",
+                    normalize(&effective_distance_map(grid, r), dist),
+                )
+            }),
+            Box::new(move || Group::One("density/pdn", normalize(&pdn_density_map(grid, r), norm))),
+            Box::new(move || {
+                Group::One("resistance/map", normalize(&resistance_map(grid, r), norm))
+            }),
+            Box::new(move || {
+                Group::One(
+                    "resistance/shortest_path",
+                    normalize(&shortest_path_resistance_map(grid, r), path_r),
+                )
+            }),
+        ];
         if self.config.hierarchical {
-            for (layer, m) in layer_current_maps(grid, &raster) {
-                stack.push(format!("current/m{layer}"), normalize(&m, amps));
-            }
+            tasks.push(Box::new(move || {
+                Group::Layers(
+                    "current",
+                    layer_current_maps(grid, r)
+                        .into_iter()
+                        .map(|(layer, m)| (layer, normalize(&m, amps)))
+                        .collect(),
+                )
+            }));
         }
         if self.config.numerical {
-            for (layer, m) in layer_solution_maps(grid, rough_drop, &raster) {
-                stack.push(format!("solution/m{layer}"), normalize(&m, volts));
+            tasks.push(Box::new(move || {
+                Group::Layers(
+                    "solution",
+                    layer_solution_maps(grid, rough_drop, r)
+                        .into_iter()
+                        .map(|(layer, m)| (layer, normalize(&m, volts)))
+                        .collect(),
+                )
+            }));
+        }
+        let mut stack = FeatureStack::default();
+        for group in irf_runtime::par_map(tasks) {
+            match group {
+                Group::One(name, m) => stack.push(name, m),
+                Group::Layers(prefix, maps) => {
+                    for (layer, m) in maps {
+                        stack.push(format!("{prefix}/m{layer}"), m);
+                    }
+                }
             }
         }
         stack

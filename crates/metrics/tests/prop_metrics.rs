@@ -1,76 +1,107 @@
-//! Property-based tests for the evaluation metrics.
+//! Randomized-but-deterministic property tests for the evaluation
+//! metrics (fixed seeds, exact reproduction on failure).
 
 use irf_metrics::{confusion, correlation, f1_score, mae, mirde, rmse, topk_overlap};
-use proptest::prelude::*;
+use irf_runtime::Xoshiro256pp;
 
-fn maps() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
-    (1usize..64).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(0.0f32..1.0, n),
-            proptest::collection::vec(0.0f32..1.0, n),
-        )
-    })
+const CASES: u64 = 128;
+
+fn maps(rng: &mut Xoshiro256pp) -> (Vec<f32>, Vec<f32>) {
+    let n = rng.random_range(1usize..64);
+    let p = (0..n).map(|_| rng.random_range(0.0f32..1.0)).collect();
+    let g = (0..n).map(|_| rng.random_range(0.0f32..1.0)).collect();
+    (p, g)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn mae_is_a_metric((p, g) in maps()) {
+#[test]
+fn mae_is_a_metric() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x3E_01);
+    for _ in 0..CASES {
+        let (p, g) = maps(&mut rng);
         // Non-negativity, identity, symmetry.
-        prop_assert!(mae(&p, &g) >= 0.0);
-        prop_assert_eq!(mae(&p, &p), 0.0);
-        prop_assert!((mae(&p, &g) - mae(&g, &p)).abs() < 1e-12);
+        assert!(mae(&p, &g) >= 0.0);
+        assert_eq!(mae(&p, &p), 0.0);
+        assert!((mae(&p, &g) - mae(&g, &p)).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn rmse_dominates_mae((p, g) in maps()) {
+#[test]
+fn rmse_dominates_mae() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x3E_02);
+    for _ in 0..CASES {
+        let (p, g) = maps(&mut rng);
         // Quadratic mean >= arithmetic mean of |errors|.
-        prop_assert!(rmse(&p, &g) + 1e-12 >= mae(&p, &g));
+        assert!(rmse(&p, &g) + 1e-12 >= mae(&p, &g));
     }
+}
 
-    #[test]
-    fn f1_is_bounded_and_perfect_on_self((p, g) in maps()) {
+#[test]
+fn f1_is_bounded_and_perfect_on_self() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x3E_03);
+    for _ in 0..CASES {
+        let (p, g) = maps(&mut rng);
         let f = f1_score(&p, &g);
-        prop_assert!((0.0..=1.0).contains(&f));
-        prop_assert!((f1_score(&g, &g) - 1.0).abs() < 1e-12 || g.iter().all(|&v| v <= 0.0));
+        assert!((0.0..=1.0).contains(&f));
+        assert!((f1_score(&g, &g) - 1.0).abs() < 1e-12 || g.iter().all(|&v| v <= 0.0));
     }
+}
 
-    #[test]
-    fn confusion_partitions_all_pixels((p, g) in maps()) {
+#[test]
+fn confusion_partitions_all_pixels() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x3E_04);
+    for _ in 0..CASES {
+        let (p, g) = maps(&mut rng);
         let c = confusion(&p, &g);
-        prop_assert_eq!(c.tp + c.fp + c.tn + c.fn_, p.len());
+        assert_eq!(c.tp + c.fp + c.tn + c.fn_, p.len());
     }
+}
 
-    #[test]
-    fn mirde_bounded_by_max_error((p, g) in maps()) {
+#[test]
+fn mirde_bounded_by_max_error() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x3E_05);
+    for _ in 0..CASES {
+        let (p, g) = maps(&mut rng);
         let worst = p
             .iter()
             .zip(&g)
             .map(|(&a, &b)| f64::from((a - b).abs()))
             .fold(0.0, f64::max);
-        prop_assert!(mirde(&p, &g) <= worst + 1e-12);
+        assert!(mirde(&p, &g) <= worst + 1e-12);
     }
+}
 
-    #[test]
-    fn correlation_is_scale_invariant((p, g) in maps(), a in 0.1f32..5.0, b in -1.0f32..1.0) {
+#[test]
+fn correlation_is_scale_invariant() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x3E_06);
+    for _ in 0..CASES {
+        let (p, g) = maps(&mut rng);
+        let a = rng.random_range(0.1f32..5.0);
+        let b = rng.random_range(-1.0f32..1.0);
         let scaled: Vec<f32> = p.iter().map(|v| a * v + b).collect();
         let c1 = correlation(&p, &g);
         let c2 = correlation(&scaled, &g);
-        prop_assert!((c1 - c2).abs() < 1e-6, "{c1} vs {c2}");
+        assert!((c1 - c2).abs() < 1e-6, "{c1} vs {c2}");
     }
+}
 
-    #[test]
-    fn correlation_is_bounded((p, g) in maps()) {
+#[test]
+fn correlation_is_bounded() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x3E_07);
+    for _ in 0..CASES {
+        let (p, g) = maps(&mut rng);
         let c = correlation(&p, &g);
-        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c));
+        assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c));
     }
+}
 
-    #[test]
-    fn topk_overlap_is_bounded((p, g) in maps()) {
+#[test]
+fn topk_overlap_is_bounded() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x3E_08);
+    for _ in 0..CASES {
+        let (p, g) = maps(&mut rng);
         let k = (p.len() / 2).max(1);
         let o = topk_overlap(&p, &g, k);
-        prop_assert!((0.0..=1.0).contains(&o));
-        prop_assert_eq!(topk_overlap(&g, &g, k), 1.0);
+        assert!((0.0..=1.0).contains(&o));
+        assert_eq!(topk_overlap(&g, &g, k), 1.0);
     }
 }

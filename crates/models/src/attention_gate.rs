@@ -34,7 +34,15 @@ impl AttentionGate {
     ) -> Self {
         AttentionGate {
             theta_x: Conv2d::new(store, &format!("{name}.theta_x"), cskip, cmid, 1, 1, seed),
-            phi_g: Conv2d::new(store, &format!("{name}.phi_g"), cgate, cmid, 1, 1, seed ^ 0xA),
+            phi_g: Conv2d::new(
+                store,
+                &format!("{name}.phi_g"),
+                cgate,
+                cmid,
+                1,
+                1,
+                seed ^ 0xA,
+            ),
             psi: Conv2d::new(store, &format!("{name}.psi"), cmid, 1, 1, 1, seed ^ 0xB),
         }
     }

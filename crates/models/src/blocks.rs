@@ -49,13 +49,7 @@ impl UpBlock {
     }
 
     /// Records upsample + concat + double conv.
-    pub fn forward(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        x: NodeId,
-        skip: NodeId,
-    ) -> NodeId {
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId, skip: NodeId) -> NodeId {
         let up = tape.upsample2(x);
         let cat = tape.concat_channels(up, skip);
         self.conv.forward(tape, store, cat)

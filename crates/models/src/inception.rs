@@ -71,13 +71,53 @@ impl Inception {
             InceptionKind::A => {
                 // b1: 1x1 -> 3x3 ; b2: 1x1 -> 3x3 -> 3x3.
                 let b1 = vec![
-                    BranchConv::Square(Conv2d::new(store, &format!("{name}.b1.0"), cin, c1, 1, 1, seed ^ 1)),
-                    BranchConv::Square(Conv2d::new(store, &format!("{name}.b1.1"), c1, c1, 3, 1, seed ^ 2)),
+                    BranchConv::Square(Conv2d::new(
+                        store,
+                        &format!("{name}.b1.0"),
+                        cin,
+                        c1,
+                        1,
+                        1,
+                        seed ^ 1,
+                    )),
+                    BranchConv::Square(Conv2d::new(
+                        store,
+                        &format!("{name}.b1.1"),
+                        c1,
+                        c1,
+                        3,
+                        1,
+                        seed ^ 2,
+                    )),
                 ];
                 let b2 = vec![
-                    BranchConv::Square(Conv2d::new(store, &format!("{name}.b2.0"), cin, c2, 1, 1, seed ^ 3)),
-                    BranchConv::Square(Conv2d::new(store, &format!("{name}.b2.1"), c2, c2, 3, 1, seed ^ 4)),
-                    BranchConv::Square(Conv2d::new(store, &format!("{name}.b2.2"), c2, c2, 3, 1, seed ^ 5)),
+                    BranchConv::Square(Conv2d::new(
+                        store,
+                        &format!("{name}.b2.0"),
+                        cin,
+                        c2,
+                        1,
+                        1,
+                        seed ^ 3,
+                    )),
+                    BranchConv::Square(Conv2d::new(
+                        store,
+                        &format!("{name}.b2.1"),
+                        c2,
+                        c2,
+                        3,
+                        1,
+                        seed ^ 4,
+                    )),
+                    BranchConv::Square(Conv2d::new(
+                        store,
+                        &format!("{name}.b2.2"),
+                        c2,
+                        c2,
+                        3,
+                        1,
+                        seed ^ 5,
+                    )),
                 ];
                 (b1, b2)
             }
@@ -85,14 +125,62 @@ impl Inception {
                 // Factorized 7x7: 1x1 -> 1x7 -> 7x1 (b1) and a longer
                 // 1x1 -> 7x1 -> 1x7 chain (b2).
                 let b1 = vec![
-                    BranchConv::Square(Conv2d::new(store, &format!("{name}.b1.0"), cin, c1, 1, 1, seed ^ 1)),
-                    BranchConv::Rect(ConvRect::new(store, &format!("{name}.b1.1"), c1, c1, 1, 7, seed ^ 2)),
-                    BranchConv::Rect(ConvRect::new(store, &format!("{name}.b1.2"), c1, c1, 7, 1, seed ^ 3)),
+                    BranchConv::Square(Conv2d::new(
+                        store,
+                        &format!("{name}.b1.0"),
+                        cin,
+                        c1,
+                        1,
+                        1,
+                        seed ^ 1,
+                    )),
+                    BranchConv::Rect(ConvRect::new(
+                        store,
+                        &format!("{name}.b1.1"),
+                        c1,
+                        c1,
+                        1,
+                        7,
+                        seed ^ 2,
+                    )),
+                    BranchConv::Rect(ConvRect::new(
+                        store,
+                        &format!("{name}.b1.2"),
+                        c1,
+                        c1,
+                        7,
+                        1,
+                        seed ^ 3,
+                    )),
                 ];
                 let b2 = vec![
-                    BranchConv::Square(Conv2d::new(store, &format!("{name}.b2.0"), cin, c2, 1, 1, seed ^ 4)),
-                    BranchConv::Rect(ConvRect::new(store, &format!("{name}.b2.1"), c2, c2, 7, 1, seed ^ 5)),
-                    BranchConv::Rect(ConvRect::new(store, &format!("{name}.b2.2"), c2, c2, 1, 7, seed ^ 6)),
+                    BranchConv::Square(Conv2d::new(
+                        store,
+                        &format!("{name}.b2.0"),
+                        cin,
+                        c2,
+                        1,
+                        1,
+                        seed ^ 4,
+                    )),
+                    BranchConv::Rect(ConvRect::new(
+                        store,
+                        &format!("{name}.b2.1"),
+                        c2,
+                        c2,
+                        7,
+                        1,
+                        seed ^ 5,
+                    )),
+                    BranchConv::Rect(ConvRect::new(
+                        store,
+                        &format!("{name}.b2.2"),
+                        c2,
+                        c2,
+                        1,
+                        7,
+                        seed ^ 6,
+                    )),
                 ];
                 (b1, b2)
             }
@@ -100,13 +188,53 @@ impl Inception {
                 // Expanded small kernels: 1x1 -> 1x3 (b1) and
                 // 1x1 -> 3x1 -> 1x3 (b2).
                 let b1 = vec![
-                    BranchConv::Square(Conv2d::new(store, &format!("{name}.b1.0"), cin, c1, 1, 1, seed ^ 1)),
-                    BranchConv::Rect(ConvRect::new(store, &format!("{name}.b1.1"), c1, c1, 1, 3, seed ^ 2)),
+                    BranchConv::Square(Conv2d::new(
+                        store,
+                        &format!("{name}.b1.0"),
+                        cin,
+                        c1,
+                        1,
+                        1,
+                        seed ^ 1,
+                    )),
+                    BranchConv::Rect(ConvRect::new(
+                        store,
+                        &format!("{name}.b1.1"),
+                        c1,
+                        c1,
+                        1,
+                        3,
+                        seed ^ 2,
+                    )),
                 ];
                 let b2 = vec![
-                    BranchConv::Square(Conv2d::new(store, &format!("{name}.b2.0"), cin, c2, 1, 1, seed ^ 3)),
-                    BranchConv::Rect(ConvRect::new(store, &format!("{name}.b2.1"), c2, c2, 3, 1, seed ^ 4)),
-                    BranchConv::Rect(ConvRect::new(store, &format!("{name}.b2.2"), c2, c2, 1, 3, seed ^ 5)),
+                    BranchConv::Square(Conv2d::new(
+                        store,
+                        &format!("{name}.b2.0"),
+                        cin,
+                        c2,
+                        1,
+                        1,
+                        seed ^ 3,
+                    )),
+                    BranchConv::Rect(ConvRect::new(
+                        store,
+                        &format!("{name}.b2.1"),
+                        c2,
+                        c2,
+                        3,
+                        1,
+                        seed ^ 4,
+                    )),
+                    BranchConv::Rect(ConvRect::new(
+                        store,
+                        &format!("{name}.b2.2"),
+                        c2,
+                        c2,
+                        1,
+                        3,
+                        seed ^ 5,
+                    )),
                 ];
                 (b1, b2)
             }

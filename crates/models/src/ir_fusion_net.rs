@@ -97,7 +97,14 @@ impl IrFusionNet {
             options,
             enc1: enc(store, "irfusion.enc1", InceptionKind::A, cin, c, seed),
             enc2: enc(store, "irfusion.enc2", InceptionKind::B, c, 2 * c, seed ^ 2),
-            enc3: enc(store, "irfusion.enc3", InceptionKind::C, 2 * c, 4 * c, seed ^ 3),
+            enc3: enc(
+                store,
+                "irfusion.enc3",
+                InceptionKind::C,
+                2 * c,
+                4 * c,
+                seed ^ 3,
+            ),
             bottleneck: DoubleConv::new(store, "irfusion.bottleneck", 4 * c, 8 * c, seed ^ 4),
             ag3: AttentionGate::new(store, "irfusion.ag3", 4 * c, 8 * c, 2 * c, seed ^ 5),
             ag2: AttentionGate::new(store, "irfusion.ag2", 2 * c, 4 * c, c, seed ^ 6),

@@ -1,8 +1,7 @@
 //! Weight initialization (Kaiming / Xavier).
 
 use crate::tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use irf_runtime::Xoshiro256pp;
 
 /// Kaiming (He) uniform initialization for a conv/linear weight of
 /// shape `(out, in, kh, kw)`: `U(-b, b)` with `b = sqrt(6 / fan_in)`,
@@ -32,7 +31,7 @@ pub fn xavier_uniform(shape: [usize; 4], seed: u64) -> Tensor {
 #[must_use]
 pub fn uniform(shape: [usize; 4], lo: f32, hi: f32, seed: u64) -> Tensor {
     assert!(lo < hi, "uniform init: empty range");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let n = shape.iter().product();
     let data = (0..n).map(|_| rng.random_range(lo..hi)).collect();
     Tensor::from_vec(shape, data)
@@ -53,8 +52,14 @@ mod tests {
 
     #[test]
     fn init_is_deterministic_per_seed() {
-        assert_eq!(kaiming_uniform([2, 2, 3, 3], 7), kaiming_uniform([2, 2, 3, 3], 7));
-        assert_ne!(kaiming_uniform([2, 2, 3, 3], 7), kaiming_uniform([2, 2, 3, 3], 8));
+        assert_eq!(
+            kaiming_uniform([2, 2, 3, 3], 7),
+            kaiming_uniform([2, 2, 3, 3], 7)
+        );
+        assert_ne!(
+            kaiming_uniform([2, 2, 3, 3], 7),
+            kaiming_uniform([2, 2, 3, 3], 8)
+        );
     }
 
     #[test]

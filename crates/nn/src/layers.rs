@@ -33,6 +33,7 @@ impl Conv2d {
     }
 
     /// Registers a convolution with explicit padding.
+    #[allow(clippy::too_many_arguments)]
     pub fn with_padding(
         store: &mut ParamStore,
         name: &str,
@@ -43,7 +44,10 @@ impl Conv2d {
         pad: usize,
         seed: u64,
     ) -> Self {
-        let w = store.register(format!("{name}.w"), kaiming_uniform([cout, cin, k, k], seed));
+        let w = store.register(
+            format!("{name}.w"),
+            kaiming_uniform([cout, cin, k, k], seed),
+        );
         let b = store.register(format!("{name}.b"), Tensor::zeros([1, cout, 1, 1]));
         Conv2d { w, b, stride, pad }
     }
@@ -147,10 +151,7 @@ impl Linear {
     /// Registers a linear layer with Xavier init (it usually feeds a
     /// sigmoid gate in this codebase).
     pub fn new(store: &mut ParamStore, name: &str, cin: usize, cout: usize, seed: u64) -> Self {
-        let w = store.register(
-            format!("{name}.w"),
-            xavier_uniform([cout, cin, 1, 1], seed),
-        );
+        let w = store.register(format!("{name}.w"), xavier_uniform([cout, cin, 1, 1], seed));
         let b = store.register(format!("{name}.b"), Tensor::zeros([1, cout, 1, 1]));
         Linear { w, b }
     }

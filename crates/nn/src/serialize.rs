@@ -60,10 +60,18 @@ impl From<std::io::Error> for CheckpointError {
 pub fn save<W: Write>(store: &ParamStore, mut w: W) -> Result<(), CheckpointError> {
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
-    w.write_all(&u32::try_from(store.len()).expect("param count fits u32").to_le_bytes())?;
+    w.write_all(
+        &u32::try_from(store.len())
+            .expect("param count fits u32")
+            .to_le_bytes(),
+    )?;
     for (_, name, value) in store.iter() {
         let bytes = name.as_bytes();
-        w.write_all(&u32::try_from(bytes.len()).expect("name fits u32").to_le_bytes())?;
+        w.write_all(
+            &u32::try_from(bytes.len())
+                .expect("name fits u32")
+                .to_le_bytes(),
+        )?;
         w.write_all(bytes)?;
         for d in value.shape() {
             w.write_all(&u32::try_from(d).expect("dim fits u32").to_le_bytes())?;

@@ -223,7 +223,14 @@ impl Tape {
         pad_h: usize,
         pad_w: usize,
     ) -> NodeId {
-        let value = conv2d_forward(self.value(x), self.value(w), self.value(b), stride, pad_h, pad_w);
+        let value = conv2d_forward(
+            self.value(x),
+            self.value(w),
+            self.value(b),
+            stride,
+            pad_h,
+            pad_w,
+        );
         let needs = self.ng(x) || self.ng(w) || self.ng(b);
         self.push(
             Op::Conv2d {
@@ -502,7 +509,11 @@ impl Tape {
     /// Panics if `s` is not `(N, C, 1, 1)` for `x`'s N and C.
     pub fn mul_channel(&mut self, x: NodeId, s: NodeId) -> NodeId {
         let [n, c, h, w] = self.value(x).shape();
-        assert_eq!(self.value(s).shape(), [n, c, 1, 1], "mul_channel scale shape");
+        assert_eq!(
+            self.value(s).shape(),
+            [n, c, 1, 1],
+            "mul_channel scale shape"
+        );
         let mut out = Tensor::zeros([n, c, h, w]);
         for ni in 0..n {
             for ci in 0..c {
@@ -526,7 +537,11 @@ impl Tape {
     /// Panics if `s` is not `(N, 1, H, W)` for `x`'s N, H, W.
     pub fn mul_spatial(&mut self, x: NodeId, s: NodeId) -> NodeId {
         let [n, c, h, w] = self.value(x).shape();
-        assert_eq!(self.value(s).shape(), [n, 1, h, w], "mul_spatial mask shape");
+        assert_eq!(
+            self.value(s).shape(),
+            [n, 1, h, w],
+            "mul_spatial mask shape"
+        );
         let mut out = Tensor::zeros([n, c, h, w]);
         for ni in 0..n {
             for ci in 0..c {
@@ -607,14 +622,24 @@ impl Tape {
         assert_eq!(ci, c, "linear weight input-dim mismatch");
         assert_eq!(self.value(b).shape(), [1, o, 1, 1], "linear bias shape");
         let mut out = Tensor::zeros([n, o, 1, 1]);
-        for ni in 0..n {
-            for oi in 0..o {
-                let mut s = self.value(b).at(0, oi, 0, 0);
-                for cj in 0..c {
-                    s += self.value(w).at(oi, cj, 0, 0) * self.value(x).at(ni, cj, 0, 0);
+        {
+            let xd = self.value(x).data();
+            let wd = self.value(w).data();
+            let bd = self.value(b).data();
+            let od = out.data_mut();
+            // Row-parallel: one output row (all O units of one sample)
+            // per work unit, each produced by the same serial loop.
+            irf_runtime::par_chunks_mut(od, o, |ni, orow| {
+                let xrow = ni * c;
+                for (oi, s) in orow.iter_mut().enumerate() {
+                    let mut acc = bd[oi];
+                    let wrow = oi * c;
+                    for cj in 0..c {
+                        acc += wd[wrow + cj] * xd[xrow + cj];
+                    }
+                    *s = acc;
                 }
-                out.set(ni, oi, 0, 0, s);
-            }
+            });
         }
         let needs = self.ng(x) || self.ng(w) || self.ng(b);
         self.push(Op::Linear { x, w, b }, out, needs)
@@ -1072,41 +1097,43 @@ fn conv2d_forward(
     let wd = w.data();
     let bd = b.data();
     let od = out.data_mut();
-    for ni in 0..n {
-        for oc in 0..co {
-            let obase = ((ni * co + oc) * ho) * wo;
-            let bias = bd[oc];
-            od[obase..obase + ho * wo].iter_mut().for_each(|v| *v = bias);
-            for ic in 0..ci {
-                let xbase = ((ni * ci + ic) * h) * ww;
-                let wbase = ((oc * ci + ic) * kh) * kw;
-                for ky in 0..kh {
-                    for kx in 0..kw {
-                        let wv = wd[wbase + ky * kw + kx];
-                        if wv == 0.0 {
+    // Parallel over (sample, output channel) blocks: each `ho x wo`
+    // output map is written by exactly one task running the same serial
+    // inner loop, so results are bitwise identical at any thread count.
+    irf_runtime::par_chunks_mut(od, ho * wo, |blk, omap| {
+        let ni = blk / co;
+        let oc = blk % co;
+        let bias = bd[oc];
+        omap.iter_mut().for_each(|v| *v = bias);
+        for ic in 0..ci {
+            let xbase = ((ni * ci + ic) * h) * ww;
+            let wbase = ((oc * ci + ic) * kh) * kw;
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    let wv = wd[wbase + ky * kw + kx];
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    // Valid output rows: iy = oh*stride + ky - pad_h in [0, h).
+                    for oh in 0..ho {
+                        let iy = (oh * stride + ky) as isize - pad_h as isize;
+                        if iy < 0 || iy >= h as isize {
                             continue;
                         }
-                        // Valid output rows: iy = oh*stride + ky - pad_h in [0, h).
-                        for oh in 0..ho {
-                            let iy = (oh * stride + ky) as isize - pad_h as isize;
-                            if iy < 0 || iy >= h as isize {
+                        let xrow = xbase + iy as usize * ww;
+                        let orow = oh * wo;
+                        for ow in 0..wo {
+                            let ix = (ow * stride + kx) as isize - pad_w as isize;
+                            if ix < 0 || ix >= ww as isize {
                                 continue;
                             }
-                            let xrow = xbase + iy as usize * ww;
-                            let orow = obase + oh * wo;
-                            for ow in 0..wo {
-                                let ix = (ow * stride + kx) as isize - pad_w as isize;
-                                if ix < 0 || ix >= ww as isize {
-                                    continue;
-                                }
-                                od[orow + ow] += wv * xd[xrow + ix as usize];
-                            }
+                            omap[orow + ow] += wv * xd[xrow + ix as usize];
                         }
                     }
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -1128,24 +1155,35 @@ fn conv2d_backward(
     let xd = x.data();
     let wd = w.data();
     let dyd = dy.data();
-    let dxd = dx.data_mut();
-    let dwd = dw.data_mut();
+    // The three gradients are computed by separate "owner-computes"
+    // kernels: every output element is accumulated by exactly one task,
+    // visiting its contributions in the same order as the serial loop
+    // nest (samples ascending, then kernel taps, then output pixels) —
+    // so results are bitwise identical at any thread count.
+
+    // db[oc]: parallel over output channels.
     let dbd = db.data_mut();
-    for ni in 0..n {
-        for oc in 0..co {
+    irf_runtime::par_chunks_mut(dbd, 1, |oc, slot| {
+        for ni in 0..n {
             let dybase = ((ni * co + oc) * ho) * wo;
-            // db: plain reduction over the output map.
             let mut bsum = 0.0;
             for v in &dyd[dybase..dybase + ho * wo] {
                 bsum += v;
             }
-            dbd[oc] += bsum;
+            slot[0] += bsum;
+        }
+    });
+
+    // dw[oc, ic, ky, kx]: parallel over output channels (each owns a
+    // `ci x kh x kw` block of the weight gradient).
+    let dwd = dw.data_mut();
+    irf_runtime::par_chunks_mut(dwd, ci * kh * kw, |oc, dwoc| {
+        for ni in 0..n {
+            let dybase = ((ni * co + oc) * ho) * wo;
             for ic in 0..ci {
                 let xbase = ((ni * ci + ic) * h) * ww;
-                let wbase = ((oc * ci + ic) * kh) * kw;
                 for ky in 0..kh {
                     for kx in 0..kw {
-                        let wv = wd[wbase + ky * kw + kx];
                         let mut wgrad = 0.0;
                         for oh in 0..ho {
                             let iy = (oh * stride + ky) as isize - pad_h as isize;
@@ -1159,18 +1197,48 @@ fn conv2d_backward(
                                 if ix < 0 || ix >= ww as isize {
                                     continue;
                                 }
-                                let g = dyd[dyrow + ow];
-                                let xi = xrow + ix as usize;
-                                dxd[xi] += g * wv;
-                                wgrad += g * xd[xi];
+                                wgrad += dyd[dyrow + ow] * xd[xrow + ix as usize];
                             }
                         }
-                        dwd[wbase + ky * kw + kx] += wgrad;
+                        dwoc[(ic * kh + ky) * kw + kx] += wgrad;
                     }
                 }
             }
         }
-    }
+    });
+
+    // dx[ni, ic, :, :]: parallel over (sample, input channel) maps,
+    // with output channels as the inner loop so each dx element sees
+    // its contributions in the serial order.
+    let dxd = dx.data_mut();
+    irf_runtime::par_chunks_mut(dxd, h * ww, |blk, dxmap| {
+        let ni = blk / ci;
+        let ic = blk % ci;
+        for oc in 0..co {
+            let dybase = ((ni * co + oc) * ho) * wo;
+            let wbase = ((oc * ci + ic) * kh) * kw;
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    let wv = wd[wbase + ky * kw + kx];
+                    for oh in 0..ho {
+                        let iy = (oh * stride + ky) as isize - pad_h as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let xrow = iy as usize * ww;
+                        let dyrow = dybase + oh * wo;
+                        for ow in 0..wo {
+                            let ix = (ow * stride + kx) as isize - pad_w as isize;
+                            if ix < 0 || ix >= ww as isize {
+                                continue;
+                            }
+                            dxmap[xrow + ix as usize] += dyd[dyrow + ow] * wv;
+                        }
+                    }
+                }
+            }
+        }
+    });
     (dx, dw, db)
 }
 
@@ -1296,8 +1364,16 @@ mod tests {
         numeric_grad_check(seeded_input([1, 2, 4, 4]), |t, x| t.max_pool2(x), 1e-2);
         numeric_grad_check(seeded_input([1, 2, 4, 4]), |t, x| t.avg_pool2(x), 1e-2);
         numeric_grad_check(seeded_input([1, 2, 2, 2]), |t, x| t.upsample2(x), 1e-2);
-        numeric_grad_check(seeded_input([1, 3, 3, 3]), |t, x| t.global_avg_pool(x), 1e-2);
-        numeric_grad_check(seeded_input([1, 3, 3, 3]), |t, x| t.global_max_pool(x), 1e-2);
+        numeric_grad_check(
+            seeded_input([1, 3, 3, 3]),
+            |t, x| t.global_avg_pool(x),
+            1e-2,
+        );
+        numeric_grad_check(
+            seeded_input([1, 3, 3, 3]),
+            |t, x| t.global_max_pool(x),
+            1e-2,
+        );
     }
 
     #[test]

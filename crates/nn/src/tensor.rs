@@ -105,7 +105,10 @@ impl Tensor {
     #[must_use]
     pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
         let [ns, cs, hs, ws] = self.shape;
-        assert!(n < ns && c < cs && h < hs && w < ws, "tensor index out of bounds");
+        assert!(
+            n < ns && c < cs && h < hs && w < ws,
+            "tensor index out of bounds"
+        );
         self.data[self.offset(n, c, h, w)]
     }
 
@@ -117,7 +120,10 @@ impl Tensor {
     #[inline]
     pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, v: f32) {
         let [ns, cs, hs, ws] = self.shape;
-        assert!(n < ns && c < cs && h < hs && w < ws, "tensor index out of bounds");
+        assert!(
+            n < ns && c < cs && h < hs && w < ws,
+            "tensor index out of bounds"
+        );
         let o = self.offset(n, c, h, w);
         self.data[o] = v;
     }

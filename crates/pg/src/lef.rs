@@ -74,7 +74,9 @@ pub fn parse_sites(src: &str) -> Result<Vec<Site>, ParseLefError> {
             if let Some(name) = current.clone() {
                 // SIZE <w> BY <h> ;
                 let w = fields.get(1).and_then(|s| s.parse::<f64>().ok());
-                let h = fields.get(3).and_then(|s| s.trim_end_matches(';').parse::<f64>().ok());
+                let h = fields
+                    .get(3)
+                    .and_then(|s| s.trim_end_matches(';').parse::<f64>().ok());
                 match (w, h) {
                     (Some(w), Some(h)) => {
                         sites.push(Site {
@@ -143,16 +145,16 @@ END io
 
     #[test]
     fn missing_site_is_an_error() {
-        assert_eq!(parse_sites("UNITS\nEND UNITS\n"), Err(ParseLefError::NoSite));
+        assert_eq!(
+            parse_sites("UNITS\nEND UNITS\n"),
+            Err(ParseLefError::NoSite)
+        );
     }
 
     #[test]
     fn malformed_size_is_reported_with_line() {
         let src = "SITE s\n  SIZE nonsense ;\nEND s\n";
-        assert_eq!(
-            parse_sites(src),
-            Err(ParseLefError::BadSize { line: 2 })
-        );
+        assert_eq!(parse_sites(src), Err(ParseLefError::BadSize { line: 2 }));
     }
 
     #[test]

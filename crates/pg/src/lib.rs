@@ -47,5 +47,5 @@ pub use error::ModelError;
 pub use grid::{Load, Pad, PgNode, PowerGrid, Segment};
 pub use raster::{GridMap, Rasterizer};
 pub use stamp::PgSystem;
-pub use transient::TransientSim;
 pub use stats::DesignStats;
+pub use transient::TransientSim;

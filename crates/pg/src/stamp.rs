@@ -81,7 +81,11 @@ impl PgSystem {
     /// Panics if `reduced.len() != self.dim()`.
     #[must_use]
     pub fn expand_solution(&self, reduced: &[f64]) -> Vec<f64> {
-        assert_eq!(reduced.len(), self.dim(), "reduced solution length mismatch");
+        assert_eq!(
+            reduced.len(),
+            self.dim(),
+            "reduced solution length mismatch"
+        );
         let mut full = vec![0.0; self.index_of.len()];
         for (row, &node) in self.node_of.iter().enumerate() {
             full[node] = reduced[row];
@@ -94,8 +98,8 @@ impl PgSystem {
 mod tests {
     use super::*;
     use crate::grid::PowerGrid;
-    use irf_spice::parse;
     use irf_sparse::{Solver, SolverKind};
+    use irf_spice::parse;
 
     /// Chain: pad --1R-- n1 --1R-- n2, with 1 mA drawn at n2.
     /// Exact drops: d(n1) = 1 mV, d(n2) = 2 mV.

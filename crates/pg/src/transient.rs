@@ -112,8 +112,8 @@ impl TransientSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use irf_spice::parse;
     use irf_sparse::{Solver, SolverKind};
+    use irf_spice::parse;
 
     fn grid() -> PowerGrid {
         let src = "\

@@ -1,0 +1,532 @@
+//! A scoped thread pool on `std::thread` + channels, with
+//! deterministic data-parallel primitives.
+//!
+//! # Determinism contract
+//!
+//! Every primitive partitions its work by rules that depend only on
+//! the *problem size*, never on the thread count, and each unit of
+//! work is executed by exactly one task with the same serial inner
+//! loop. Reductions ([`par_reduce`]) fold fixed-size chunks and then
+//! combine the partials strictly in chunk order. Consequently the
+//! result of any primitive is bitwise identical whether it runs on 1
+//! thread or N.
+//!
+//! # Pool lifecycle
+//!
+//! Workers are spawned lazily on the first parallel call and parked on
+//! a shared channel afterwards; the calling thread always executes the
+//! first partition itself. A parallel call returns only after all of
+//! its partitions have finished, which is what makes it safe to lend
+//! non-`'static` borrows to the workers. Panics inside any partition
+//! are caught, the call still waits for the remaining partitions, and
+//! the first panic payload is then re-thrown on the calling thread.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+
+/// Work item shipped to a pool worker (lifetime-erased; see
+/// [`run_tasks`] for the safety argument).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// `true` on pool worker threads: nested parallel calls run inline.
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Configured thread count; `0` means "not set yet, resolve lazily".
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+struct Pool {
+    sender: Mutex<mpsc::Sender<Job>>,
+    receiver: Arc<Mutex<mpsc::Receiver<Job>>>,
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let (tx, rx) = mpsc::channel::<Job>();
+        Pool {
+            sender: Mutex::new(tx),
+            receiver: Arc::new(Mutex::new(rx)),
+            spawned: Mutex::new(0),
+        }
+    })
+}
+
+impl Pool {
+    /// Makes sure at least `target` workers exist.
+    fn ensure_workers(&'static self, target: usize) {
+        let mut spawned = self.spawned.lock().expect("pool spawn lock");
+        while *spawned < target {
+            let rx = Arc::clone(&self.receiver);
+            let idx = *spawned;
+            let spawn = std::thread::Builder::new()
+                .name(format!("irf-runtime-{idx}"))
+                .spawn(move || {
+                    IS_WORKER.with(|w| w.set(true));
+                    loop {
+                        let job = {
+                            let guard = rx.lock().expect("pool receiver lock");
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break,
+                        }
+                    }
+                });
+            if spawn.is_err() {
+                // Could not create a thread; callers fall back to the
+                // workers that do exist (possibly zero → serial).
+                break;
+            }
+            *spawned += 1;
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        self.sender
+            .lock()
+            .expect("pool sender lock")
+            .send(job)
+            .expect("pool channel closed");
+    }
+}
+
+/// Completion latch for one scoped parallel call.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Latch {
+    fn new(remaining: usize) -> Self {
+        Latch {
+            state: Mutex::new(LatchState {
+                remaining,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut st = self.state.lock().expect("latch lock");
+        st.remaining -= 1;
+        if st.panic.is_none() {
+            st.panic = panic;
+        }
+        if st.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        let mut st = self.state.lock().expect("latch lock");
+        while st.remaining > 0 {
+            st = self.done.wait(st).expect("latch wait");
+        }
+        st.panic.take()
+    }
+}
+
+/// Sets the global thread count used by subsequent parallel calls.
+/// `0` restores the default resolution (`IRF_THREADS`, then available
+/// parallelism). Threads already parked in the pool are reused; the
+/// count only controls how work is partitioned from now on.
+pub fn set_num_threads(n: usize) {
+    CONFIGURED.store(n, Ordering::Relaxed);
+}
+
+/// The thread count parallel primitives currently target.
+#[must_use]
+pub fn num_threads() -> usize {
+    match CONFIGURED.load(Ordering::Relaxed) {
+        0 => crate::default_threads(),
+        n => n,
+    }
+}
+
+/// How many partitions to actually use for `items` independent units.
+fn effective_threads(items: usize) -> usize {
+    if items <= 1 || IS_WORKER.with(Cell::get) {
+        return 1;
+    }
+    num_threads().min(items).max(1)
+}
+
+/// Runs the given closures to completion, the first one inline on the
+/// calling thread and the rest on pool workers. Does not return until
+/// every closure has finished (or panicked); the first panic is
+/// re-thrown here.
+fn run_tasks<'env>(tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+    let mut tasks = tasks;
+    if tasks.is_empty() {
+        return;
+    }
+    if tasks.len() == 1 || IS_WORKER.with(Cell::get) {
+        for t in tasks {
+            t();
+        }
+        return;
+    }
+    let inline = tasks.remove(0);
+    let p = pool();
+    p.ensure_workers(tasks.len());
+    let latch = Arc::new(Latch::new(tasks.len()));
+    for task in tasks {
+        // SAFETY: `run_tasks` blocks on the latch until every shipped
+        // job has completed, so the `'env` borrows captured by `task`
+        // outlive its execution. The lifetime erasure below is only a
+        // hand-off to a worker that finishes before we return.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        let latch = Arc::clone(&latch);
+        p.submit(Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(task));
+            latch.complete(result.err());
+        }));
+    }
+    let inline_result = catch_unwind(AssertUnwindSafe(inline));
+    let worker_panic = latch.wait();
+    if let Err(payload) = inline_result {
+        resume_unwind(payload);
+    }
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
+}
+
+/// Splits `0..n` into `k` contiguous blocks (first blocks one longer
+/// when `n % k != 0`).
+fn blocks(n: usize, k: usize) -> Vec<Range<usize>> {
+    let base = n / k;
+    let extra = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Calls `f(i)` for every `i in 0..n`, fanning contiguous index blocks
+/// out across the pool. `f` must be safe to call concurrently for
+/// distinct indices; each index is visited exactly once.
+pub fn par_for<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let k = effective_threads(n);
+    if k <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let f = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = blocks(n, k)
+        .into_iter()
+        .map(|range| {
+            Box::new(move || {
+                for i in range {
+                    f(i);
+                }
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    run_tasks(tasks);
+}
+
+/// Splits `data` into consecutive chunks of `chunk_size` (the last may
+/// be shorter) and calls `f(chunk_index, chunk)` for each, distributing
+/// contiguous runs of chunks across the pool. Chunk boundaries depend
+/// only on `data.len()` and `chunk_size`, never on the thread count.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_size: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_size > 0, "par_chunks_mut: zero chunk size");
+    let n_chunks = data.len().div_ceil(chunk_size);
+    let k = effective_threads(n_chunks);
+    if k <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_size).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    // Group whole chunks into k contiguous runs.
+    let chunks_per_run = n_chunks.div_ceil(k);
+    let run_len = chunks_per_run * chunk_size;
+    let f = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = data
+        .chunks_mut(run_len)
+        .enumerate()
+        .map(|(run_idx, run)| {
+            Box::new(move || {
+                for (j, chunk) in run.chunks_mut(chunk_size).enumerate() {
+                    f(run_idx * chunks_per_run + j, chunk);
+                }
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    run_tasks(tasks);
+}
+
+/// Deterministic parallel reduction over `0..n`.
+///
+/// The index range is cut into fixed chunks of `chunk_size` (the last
+/// may be shorter); `map` folds one chunk serially into a partial, and
+/// the partials are combined **in chunk order** as
+/// `fold(...fold(fold(init, p_0), p_1)..., p_last)`. Because the chunk
+/// boundaries and combination order are independent of the thread
+/// count, the result is bitwise identical at any parallelism — and for
+/// `n <= chunk_size` identical to a plain serial fold.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`.
+pub fn par_reduce<T, M, F>(n: usize, chunk_size: usize, init: T, map: M, fold: F) -> T
+where
+    T: Send,
+    M: Fn(Range<usize>) -> T + Sync,
+    F: Fn(T, T) -> T,
+{
+    assert!(chunk_size > 0, "par_reduce: zero chunk size");
+    let n_chunks = n.div_ceil(chunk_size);
+    if n_chunks == 0 {
+        return init;
+    }
+    let mut partials: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
+    let map = &map;
+    par_chunks_mut(&mut partials, 1, |chunk_idx, slot| {
+        let start = chunk_idx * chunk_size;
+        let end = (start + chunk_size).min(n);
+        slot[0] = Some(map(start..end));
+    });
+    partials
+        .into_iter()
+        .map(|p| p.expect("all chunks mapped"))
+        .fold(init, fold)
+}
+
+/// Runs every closure in `tasks`, in parallel across the pool, and
+/// returns their results in input order.
+pub fn par_map<T, F>(tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    let k = effective_threads(n);
+    if k <= 1 {
+        return tasks.into_iter().map(|t| t()).collect();
+    }
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    {
+        let mut paired: Vec<(&mut Option<T>, F)> = results.iter_mut().zip(tasks).collect();
+        let mut groups: Vec<Vec<(&mut Option<T>, F)>> = Vec::with_capacity(k);
+        for range in blocks(n, k).into_iter().rev() {
+            groups.push(paired.split_off(range.start));
+        }
+        groups.reverse();
+        let boxed: Vec<Box<dyn FnOnce() + Send + '_>> = groups
+            .into_iter()
+            .map(|group| {
+                Box::new(move || {
+                    for (slot, task) in group {
+                        *slot = Some(task());
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_tasks(boxed);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("all tasks ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Serializes tests that reconfigure the global thread count.
+    static THREAD_CONFIG: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = THREAD_CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+        set_num_threads(n);
+        let r = f();
+        set_num_threads(0);
+        r
+    }
+
+    #[test]
+    fn par_for_visits_every_index_once() {
+        for threads in [1, 2, 4, 8] {
+            with_threads(threads, || {
+                let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+                par_for(1000, |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            });
+        }
+    }
+
+    #[test]
+    fn par_for_empty_and_single() {
+        with_threads(4, || {
+            par_for(0, |_| panic!("must not be called"));
+            let hit = AtomicU64::new(0);
+            par_for(1, |i| {
+                assert_eq!(i, 0);
+                hit.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hit.load(Ordering::Relaxed), 1);
+        });
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_slice_with_correct_indices() {
+        for threads in [1, 3, 7] {
+            with_threads(threads, || {
+                let mut data = vec![0usize; 103];
+                par_chunks_mut(&mut data, 10, |ci, chunk| {
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = ci * 10 + j;
+                    }
+                });
+                for (i, v) in data.iter().enumerate() {
+                    assert_eq!(*v, i);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_empty_slice_is_noop() {
+        with_threads(4, || {
+            let mut data: Vec<u8> = Vec::new();
+            par_chunks_mut(&mut data, 4, |_, _| panic!("no chunks expected"));
+        });
+    }
+
+    #[test]
+    fn par_reduce_is_bitwise_stable_across_thread_counts() {
+        // An ill-conditioned sum where float association matters.
+        let xs: Vec<f64> = (0..100_000)
+            .map(|i| ((i * 2_654_435_761_usize) as f64).sin() * 1e8)
+            .collect();
+        let sum_at = |threads| {
+            with_threads(threads, || {
+                par_reduce(
+                    xs.len(),
+                    1024,
+                    0.0_f64,
+                    |r| xs[r].iter().sum::<f64>(),
+                    |a, b| a + b,
+                )
+            })
+        };
+        let s1 = sum_at(1);
+        for t in [2, 3, 4, 8] {
+            assert_eq!(s1.to_bits(), sum_at(t).to_bits(), "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn par_reduce_small_input_matches_serial_fold() {
+        let xs = [1.5_f64, -2.25, 3.125];
+        let serial: f64 = xs.iter().sum();
+        let par = par_reduce(3, 4096, 0.0, |r| xs[r].iter().sum::<f64>(), |a, b| a + b);
+        assert_eq!(serial.to_bits(), par.to_bits());
+        // Empty input returns the init value untouched.
+        let empty = par_reduce(0, 16, 42.0_f64, |_| unreachable!(), |a, b| a + b);
+        assert_eq!(empty, 42.0);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        for threads in [1, 4] {
+            with_threads(threads, || {
+                let tasks: Vec<_> = (0..37).map(|i| move || i * i).collect();
+                let out = par_map(tasks);
+                assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+            });
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_for(100, |i| {
+                    assert!(i != 63, "boom at 63");
+                });
+            });
+        });
+        assert!(result.is_err(), "panic must propagate");
+        // The pool must still be usable afterwards.
+        with_threads(4, || {
+            let total = par_reduce(100, 8, 0u64, |r| r.map(|i| i as u64).sum(), |a, b| a + b);
+            assert_eq!(total, 4950);
+        });
+    }
+
+    #[test]
+    fn inline_panic_still_waits_for_workers() {
+        // Index 0 lives in the partition the calling thread executes
+        // inline; its panic must not abandon in-flight workers.
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_for(64, |i| {
+                    assert!(i != 0, "inline boom");
+                });
+            });
+        });
+        assert!(result.is_err());
+        with_threads(2, || {
+            par_for(8, |_| {});
+        });
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_inline() {
+        with_threads(4, || {
+            let hits: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+            par_for(8, |outer| {
+                // Nested call: must complete (inline) without deadlock.
+                par_for(8, |inner| {
+                    hits[outer * 8 + inner].fetch_add(1, Ordering::Relaxed);
+                });
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        });
+    }
+
+    #[test]
+    fn num_threads_reflects_configuration() {
+        with_threads(3, || assert_eq!(num_threads(), 3));
+        assert!(num_threads() >= 1);
+    }
+}

@@ -121,11 +121,7 @@ pub fn aggregate_double_pairwise(a: &CsrMatrix, theta: f64) -> Aggregation {
     let first = aggregate_pairwise(a, theta);
     let coarse = super::hierarchy::galerkin_coarse(a, &first);
     let second = aggregate_pairwise(&coarse, theta);
-    let assign = first
-        .assign
-        .iter()
-        .map(|&mid| second.assign[mid])
-        .collect();
+    let assign = first.assign.iter().map(|&mid| second.assign[mid]).collect();
     Aggregation {
         assign,
         n_coarse: second.n_coarse,
@@ -172,7 +168,11 @@ mod tests {
     fn pairwise_roughly_halves() {
         let a = laplacian_1d(100);
         let agg = aggregate_pairwise(&a, 0.25);
-        assert!(agg.n_coarse <= 60, "expected ~50 aggregates, got {}", agg.n_coarse);
+        assert!(
+            agg.n_coarse <= 60,
+            "expected ~50 aggregates, got {}",
+            agg.n_coarse
+        );
         assert!(agg.coarsening_ratio() >= 1.6);
     }
 
@@ -180,7 +180,11 @@ mod tests {
     fn double_pairwise_coarsens_harder() {
         let a = laplacian_1d(100);
         let agg = aggregate_double_pairwise(&a, 0.25);
-        assert!(agg.n_coarse <= 35, "expected ~25 aggregates, got {}", agg.n_coarse);
+        assert!(
+            agg.n_coarse <= 35,
+            "expected ~25 aggregates, got {}",
+            agg.n_coarse
+        );
         let sizes = agg.aggregate_sizes();
         assert!(sizes.iter().all(|&s| (1..=4).contains(&s)));
     }

@@ -1,10 +1,11 @@
 //! Multigrid cycling: V-cycle and Notay's K-cycle, wrapped as a PCG
 //! preconditioner.
 
-use crate::amg::hierarchy::{prolongate_add, restrict, AmgHierarchy};
+use crate::amg::hierarchy::{prolongate_add, restrict_into, AmgHierarchy};
 use crate::pcg::Preconditioner;
-use crate::smoother::smooth;
+use crate::smoother::{l1_diagonal, scaled_sweeps, smooth, SmootherKind};
 use crate::vector::dot;
+use std::cell::RefCell;
 
 /// Which multigrid cycling strategy the preconditioner applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -47,13 +48,92 @@ pub enum CycleKind {
 pub struct AmgPreconditioner {
     hierarchy: AmgHierarchy,
     cycle: CycleKind,
+    /// Per-level smoothing diagonals, precomputed once for the
+    /// Jacobi-family smoothers (empty for Gauss-Seidel variants).
+    smoother_diag: Vec<Vec<f64>>,
+    /// Per-level scratch for [`run_cycle`](Self::run_cycle), taken and
+    /// restored around each level's work so repeated `apply` calls (one
+    /// per PCG iteration) allocate nothing after warm-up.
+    v_scratch: RefCell<Vec<VScratch>>,
+    /// Per-level scratch for the K-cycle inner Krylov iterations (kept
+    /// separate from `v_scratch` because the K-cycle holds its buffers
+    /// across a nested `run_cycle` at the same level).
+    k_scratch: RefCell<Vec<KScratch>>,
+}
+
+/// Scratch vectors for one level of a V-/K-cycle descent.
+#[derive(Debug, Clone, Default)]
+struct VScratch {
+    /// Fine-level residual.
+    r: Vec<f64>,
+    /// Restricted residual (next-coarser dimension).
+    rc: Vec<f64>,
+    /// Coarse correction (next-coarser dimension).
+    xc: Vec<f64>,
+    /// Residual buffer lent to Jacobi-family smoother sweeps.
+    smooth_r: Vec<f64>,
+}
+
+/// Scratch vectors for one level of the K-cycle inner CG.
+#[derive(Debug, Clone, Default)]
+struct KScratch {
+    z1: Vec<f64>,
+    az1: Vec<f64>,
+    r: Vec<f64>,
+    z2: Vec<f64>,
+    az2: Vec<f64>,
+    p2: Vec<f64>,
+    ap2: Vec<f64>,
 }
 
 impl AmgPreconditioner {
     /// Wraps a built hierarchy with the chosen cycle.
     #[must_use]
     pub fn new(hierarchy: AmgHierarchy, cycle: CycleKind) -> Self {
-        AmgPreconditioner { hierarchy, cycle }
+        let smoother_diag = match hierarchy.params().smoother {
+            SmootherKind::Jacobi => hierarchy.levels().iter().map(|l| l.a.diagonal()).collect(),
+            SmootherKind::L1Jacobi => hierarchy
+                .levels()
+                .iter()
+                .map(|l| l1_diagonal(&l.a))
+                .collect(),
+            _ => Vec::new(),
+        };
+        let n_levels = hierarchy.num_levels();
+        AmgPreconditioner {
+            hierarchy,
+            cycle,
+            smoother_diag,
+            v_scratch: RefCell::new(vec![VScratch::default(); n_levels]),
+            k_scratch: RefCell::new(vec![KScratch::default(); n_levels]),
+        }
+    }
+
+    /// Applies this level's smoother, reusing the precomputed diagonal
+    /// and the provided residual scratch for the Jacobi family.
+    fn smooth_level(&self, level: usize, b: &[f64], x: &mut [f64], smooth_r: &mut Vec<f64>) {
+        let lvl = &self.hierarchy.levels()[level];
+        let params = self.hierarchy.params();
+        match params.smoother {
+            SmootherKind::Jacobi | SmootherKind::L1Jacobi => {
+                let omega = if params.smoother == SmootherKind::Jacobi {
+                    2.0 / 3.0
+                } else {
+                    1.0
+                };
+                smooth_r.resize(b.len(), 0.0);
+                scaled_sweeps(
+                    &lvl.a,
+                    b,
+                    x,
+                    omega,
+                    params.smoothing_sweeps,
+                    &self.smoother_diag[level],
+                    smooth_r,
+                );
+            }
+            kind => smooth(kind, &lvl.a, b, x, params.smoothing_sweeps),
+        }
     }
 
     /// The wrapped hierarchy.
@@ -73,27 +153,35 @@ impl AmgPreconditioner {
     fn run_cycle(&self, level: usize, b: &[f64], x: &mut [f64]) {
         let levels = self.hierarchy.levels();
         let lvl = &levels[level];
-        let params = self.hierarchy.params();
         if lvl.agg.is_none() {
             // Coarsest level: exact solve.
             self.hierarchy.coarse_solve(b, x);
             return;
         }
-        let agg = lvl.agg.as_ref().expect("non-coarsest level has aggregation");
+        let agg = lvl
+            .agg
+            .as_ref()
+            .expect("non-coarsest level has aggregation");
+        // Borrow this level's scratch for the duration; the RefCell
+        // borrow is released before recursing to the next level.
+        let mut s = std::mem::take(&mut self.v_scratch.borrow_mut()[level]);
         // Pre-smoothing.
-        smooth(params.smoother, &lvl.a, b, x, params.smoothing_sweeps);
+        self.smooth_level(level, b, x, &mut s.smooth_r);
         // Coarse-grid correction on the residual.
-        let mut r = vec![0.0; b.len()];
-        lvl.a.residual_into(b, x, &mut r);
-        let rc = restrict(agg, &r);
-        let mut xc = vec![0.0; rc.len()];
+        s.r.resize(b.len(), 0.0);
+        lvl.a.residual_into(b, x, &mut s.r);
+        s.rc.resize(agg.n_coarse, 0.0);
+        restrict_into(agg, &s.r, &mut s.rc);
+        s.xc.clear();
+        s.xc.resize(agg.n_coarse, 0.0);
         match self.cycle {
-            CycleKind::VCycle => self.run_cycle(level + 1, &rc, &mut xc),
-            CycleKind::KCycle => self.kcycle_coarse_solve(level + 1, &rc, &mut xc),
+            CycleKind::VCycle => self.run_cycle(level + 1, &s.rc, &mut s.xc),
+            CycleKind::KCycle => self.kcycle_coarse_solve(level + 1, &s.rc, &mut s.xc),
         }
-        prolongate_add(agg, &xc, x);
+        prolongate_add(agg, &s.xc, x);
         // Post-smoothing.
-        smooth(params.smoother, &lvl.a, b, x, params.smoothing_sweeps);
+        self.smooth_level(level, b, x, &mut s.smooth_r);
+        self.v_scratch.borrow_mut()[level] = s;
     }
 
     /// Solves the coarse problem with at most two steps of flexible CG,
@@ -101,50 +189,69 @@ impl AmgPreconditioner {
     fn kcycle_coarse_solve(&self, level: usize, b: &[f64], x: &mut [f64]) {
         let a = &self.hierarchy.levels()[level].a;
         let n = b.len();
+        // This level's K-cycle scratch; held across the nested
+        // `run_cycle` calls, which use the separate `v_scratch` pool.
+        let mut s = std::mem::take(&mut self.k_scratch.borrow_mut()[level]);
         // --- First inner iteration ---
         // z1 = cycle(b); the Krylov step decides how far to go along it.
-        let mut z1 = vec![0.0; n];
-        self.run_cycle(level, b, &mut z1);
-        let az1 = a.spmv(&z1);
-        let d1 = dot(&z1, &az1);
+        s.z1.clear();
+        s.z1.resize(n, 0.0);
+        self.run_cycle(level, b, &mut s.z1);
+        s.az1.resize(n, 0.0);
+        a.spmv_into(&s.z1, &mut s.az1);
+        let d1 = dot(&s.z1, &s.az1);
         if d1 <= 0.0 || !d1.is_finite() {
-            x.copy_from_slice(&z1);
+            x.copy_from_slice(&s.z1);
+            self.k_scratch.borrow_mut()[level] = s;
             return;
         }
-        let rho1 = dot(&z1, b);
+        let rho1 = dot(&s.z1, b);
         let alpha1 = rho1 / d1;
         // Residual after the first step.
-        let mut r: Vec<f64> = b.iter().zip(&az1).map(|(bi, azi)| bi - alpha1 * azi).collect();
-        let rnorm2: f64 = dot(&r, &r);
+        s.r.resize(n, 0.0);
+        for ((ri, bi), azi) in s.r.iter_mut().zip(b).zip(&s.az1) {
+            *ri = bi - alpha1 * azi;
+        }
+        let rnorm2: f64 = dot(&s.r, &s.r);
         let bnorm2: f64 = dot(b, b);
         // Cheap skip: if the first step already reduced the residual a
         // lot, a second inner iteration buys little.
         if rnorm2 <= 0.04 * bnorm2 {
-            for i in 0..n {
-                x[i] = alpha1 * z1[i];
+            for (xi, z1i) in x.iter_mut().zip(&s.z1) {
+                *xi = alpha1 * z1i;
             }
+            self.k_scratch.borrow_mut()[level] = s;
             return;
         }
         // --- Second inner iteration (flexible CG step) ---
-        let mut z2 = vec![0.0; n];
-        self.run_cycle(level, &r, &mut z2);
-        let az2 = a.spmv(&z2);
+        s.z2.clear();
+        s.z2.resize(n, 0.0);
+        self.run_cycle(level, &s.r, &mut s.z2);
+        s.az2.resize(n, 0.0);
+        a.spmv_into(&s.z2, &mut s.az2);
         // Orthogonalise z2 against z1 in the A-inner product.
-        let beta = dot(&z2, &az1) / d1;
-        let p2: Vec<f64> = z2.iter().zip(&z1).map(|(z, z1i)| z - beta * z1i).collect();
-        let ap2: Vec<f64> = az2.iter().zip(&az1).map(|(a2, a1)| a2 - beta * a1).collect();
-        let d2 = dot(&p2, &ap2);
+        let beta = dot(&s.z2, &s.az1) / d1;
+        s.p2.resize(n, 0.0);
+        for ((pi, zi), z1i) in s.p2.iter_mut().zip(&s.z2).zip(&s.z1) {
+            *pi = zi - beta * z1i;
+        }
+        s.ap2.resize(n, 0.0);
+        for ((api, a2), a1) in s.ap2.iter_mut().zip(&s.az2).zip(&s.az1) {
+            *api = a2 - beta * a1;
+        }
+        let d2 = dot(&s.p2, &s.ap2);
         if d2 <= 0.0 || !d2.is_finite() {
-            for i in 0..n {
-                x[i] = alpha1 * z1[i];
+            for (xi, z1i) in x.iter_mut().zip(&s.z1) {
+                *xi = alpha1 * z1i;
             }
+            self.k_scratch.borrow_mut()[level] = s;
             return;
         }
-        let alpha2 = dot(&p2, &r) / d2;
-        for i in 0..n {
-            x[i] = alpha1 * z1[i] + alpha2 * p2[i];
+        let alpha2 = dot(&s.p2, &s.r) / d2;
+        for ((xi, z1i), p2i) in x.iter_mut().zip(&s.z1).zip(&s.p2) {
+            *xi = alpha1 * z1i + alpha2 * p2i;
         }
-        let _ = &mut r; // residual no longer needed
+        self.k_scratch.borrow_mut()[level] = s;
     }
 }
 

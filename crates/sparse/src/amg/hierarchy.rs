@@ -74,10 +74,26 @@ pub fn galerkin_coarse(a: &CsrMatrix, agg: &Aggregation) -> CsrMatrix {
 #[must_use]
 pub fn restrict(agg: &Aggregation, fine: &[f64]) -> Vec<f64> {
     let mut coarse = vec![0.0; agg.n_coarse];
+    restrict_into(agg, fine, &mut coarse);
+    coarse
+}
+
+/// [`restrict`] into a caller-owned buffer (overwritten), for cycle
+/// inner loops that reuse scratch instead of allocating.
+///
+/// # Panics
+///
+/// Panics if `coarse.len() != agg.n_coarse`.
+pub fn restrict_into(agg: &Aggregation, fine: &[f64], coarse: &mut [f64]) {
+    assert_eq!(
+        coarse.len(),
+        agg.n_coarse,
+        "restrict: coarse length mismatch"
+    );
+    coarse.iter_mut().for_each(|v| *v = 0.0);
     for (i, &v) in fine.iter().enumerate() {
         coarse[agg.assign[i]] += v;
     }
-    coarse
 }
 
 /// Prolongates a coarse correction and adds it to the fine vector:

@@ -141,7 +141,7 @@ mod tests {
     #[test]
     fn cg_zero_rhs_returns_zero() {
         let a = laplacian_2d(4, 4);
-        let res = conjugate_gradient(&a, &vec![0.0; 16], 1e-10, 100);
+        let res = conjugate_gradient(&a, &[0.0; 16], 1e-10, 100);
         assert!(res.converged);
         assert!(res.x.iter().all(|&v| v == 0.0));
     }

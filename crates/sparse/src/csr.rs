@@ -1,5 +1,10 @@
 //! Compressed sparse row (CSR) matrix.
 
+/// Rows per parallel work unit in `spmv_into`/`residual_into`. Fixed
+/// (thread-count independent) so partitioning never affects results;
+/// matrices smaller than one chunk stay on the serial path.
+const SPMV_ROW_CHUNK: usize = 2048;
+
 /// An immutable sparse matrix in compressed sparse row format.
 ///
 /// This is the workhorse storage for the conductance systems produced
@@ -187,13 +192,20 @@ impl CsrMatrix {
     pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "spmv: x length mismatch");
         assert_eq!(y.len(), self.rows, "spmv: y length mismatch");
-        for r in 0..self.rows {
-            let mut acc = 0.0;
-            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
-                acc += self.values[k] * x[self.col_idx[k]];
+        // Row-parallel: each output element is produced by exactly one
+        // serial inner loop, so the result is bitwise identical at any
+        // thread count. Matrices below one chunk run inline.
+        irf_runtime::par_chunks_mut(y, SPMV_ROW_CHUNK, |ci, yc| {
+            let base = ci * SPMV_ROW_CHUNK;
+            for (i, yr) in yc.iter_mut().enumerate() {
+                let r = base + i;
+                let mut acc = 0.0;
+                for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                    acc += self.values[k] * x[self.col_idx[k]];
+                }
+                *yr = acc;
             }
-            y[r] = acc;
-        }
+        });
     }
 
     /// Residual `r = b - A*x` into a caller-owned buffer.
@@ -202,10 +214,20 @@ impl CsrMatrix {
     ///
     /// Panics if dimensions do not match.
     pub fn residual_into(&self, b: &[f64], x: &[f64], r: &mut [f64]) {
-        self.spmv_into(x, r);
-        for (ri, bi) in r.iter_mut().zip(b) {
-            *ri = bi - *ri;
-        }
+        assert_eq!(x.len(), self.cols, "residual: x length mismatch");
+        assert_eq!(r.len(), self.rows, "residual: r length mismatch");
+        assert_eq!(b.len(), self.rows, "residual: b length mismatch");
+        irf_runtime::par_chunks_mut(r, SPMV_ROW_CHUNK, |ci, rc| {
+            let base = ci * SPMV_ROW_CHUNK;
+            for (i, rr) in rc.iter_mut().enumerate() {
+                let row = base + i;
+                let mut acc = 0.0;
+                for k in self.row_ptr[row]..self.row_ptr[row + 1] {
+                    acc += self.values[k] * x[self.col_idx[k]];
+                }
+                *rr = b[row] - acc;
+            }
+        });
     }
 
     /// The diagonal of the matrix (zeros where no diagonal is stored).
@@ -329,12 +351,12 @@ mod tests {
         let x: Vec<f64> = (0..5).map(|i| i as f64).collect();
         let y = a.spmv(&x);
         // dense check
-        for r in 0..5 {
+        for (r, yr) in y.iter().enumerate() {
             let mut acc = 0.0;
-            for c in 0..5 {
-                acc += a.get(r, c) * x[c];
+            for (c, xc) in x.iter().enumerate() {
+                acc += a.get(r, c) * xc;
             }
-            assert!((y[r] - acc).abs() < 1e-14);
+            assert!((yr - acc).abs() < 1e-14);
         }
     }
 

@@ -73,7 +73,10 @@ mod tests {
     fn display_is_lowercase_and_informative() {
         let e = SolveError::NotSquare { rows: 3, cols: 4 };
         assert_eq!(e.to_string(), "matrix is not square (3x4)");
-        let e = SolveError::NotPositiveDefinite { row: 7, pivot: -1.0 };
+        let e = SolveError::NotPositiveDefinite {
+            row: 7,
+            pivot: -1.0,
+        };
         assert!(e.to_string().contains("row 7"));
     }
 

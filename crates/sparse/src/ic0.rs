@@ -215,8 +215,7 @@ mod tests {
     }
 
     #[test]
-    fn ic0_pattern_never_exceeds_input(
-    ) {
+    fn ic0_pattern_never_exceeds_input() {
         let a = grid(8, 8);
         let f = Ic0Preconditioner::factor(&a).expect("SPD");
         // nnz(L) <= nnz(lower(A)) + n by construction.

@@ -93,10 +93,15 @@ pub fn parse_matrix_market(src: &str) -> Result<CsrMatrix, ParseMtxError> {
                 if fields.len() != 3 {
                     return Err(ParseMtxError::BadLine { line: idx + 1 });
                 }
-                let rows = fields[0].parse().map_err(|_| ParseMtxError::BadLine { line: idx + 1 })?;
-                let cols = fields[1].parse().map_err(|_| ParseMtxError::BadLine { line: idx + 1 })?;
-                let nnz: usize =
-                    fields[2].parse().map_err(|_| ParseMtxError::BadLine { line: idx + 1 })?;
+                let rows = fields[0]
+                    .parse()
+                    .map_err(|_| ParseMtxError::BadLine { line: idx + 1 })?;
+                let cols = fields[1]
+                    .parse()
+                    .map_err(|_| ParseMtxError::BadLine { line: idx + 1 })?;
+                let nnz: usize = fields[2]
+                    .parse()
+                    .map_err(|_| ParseMtxError::BadLine { line: idx + 1 })?;
                 size = Some((rows, cols, nnz));
                 triplets = TripletMatrix::with_capacity(rows, cols, nnz);
             }
@@ -104,12 +109,15 @@ pub fn parse_matrix_market(src: &str) -> Result<CsrMatrix, ParseMtxError> {
                 if fields.len() != 3 {
                     return Err(ParseMtxError::BadLine { line: idx + 1 });
                 }
-                let r: usize =
-                    fields[0].parse().map_err(|_| ParseMtxError::BadLine { line: idx + 1 })?;
-                let c: usize =
-                    fields[1].parse().map_err(|_| ParseMtxError::BadLine { line: idx + 1 })?;
-                let v: f64 =
-                    fields[2].parse().map_err(|_| ParseMtxError::BadLine { line: idx + 1 })?;
+                let r: usize = fields[0]
+                    .parse()
+                    .map_err(|_| ParseMtxError::BadLine { line: idx + 1 })?;
+                let c: usize = fields[1]
+                    .parse()
+                    .map_err(|_| ParseMtxError::BadLine { line: idx + 1 })?;
+                let v: f64 = fields[2]
+                    .parse()
+                    .map_err(|_| ParseMtxError::BadLine { line: idx + 1 })?;
                 if r == 0 || c == 0 || r > rows || c > cols {
                     return Err(ParseMtxError::OutOfBounds { line: idx + 1 });
                 }
@@ -151,7 +159,13 @@ mod tests {
         CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 0, 2.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 2.5), (2, 2, 1e-6)],
+            &[
+                (0, 0, 2.0),
+                (0, 1, -1.0),
+                (1, 0, -1.0),
+                (1, 1, 2.5),
+                (2, 2, 1e-6),
+            ],
         )
     }
 

@@ -6,7 +6,7 @@
 
 use crate::cg::{CgResult, ConvergenceTrace};
 use crate::csr::CsrMatrix;
-use crate::vector::{axpy, dot, norm2};
+use crate::vector::{axpy, dot, norm2, xpby};
 
 /// An SPD preconditioner `M^{-1}` applied as `z = M^{-1} r`.
 ///
@@ -123,6 +123,9 @@ pub fn pcg_with_guess<M: Preconditioner>(
     m.apply(&r, &mut z);
     let mut p = z.clone();
     let mut ap = vec![0.0; n];
+    // Scratch for the previous residual, reused across iterations so
+    // the inner loop allocates nothing.
+    let mut r_old = vec![0.0; n];
     let mut rz = dot(&r, &z);
     let mut history = vec![norm2(&r) / bnorm];
     let mut converged = history[0] < tol;
@@ -136,19 +139,29 @@ pub fn pcg_with_guess<M: Preconditioner>(
         let alpha = rz / pap;
         axpy(alpha, &p, &mut x);
         // Keep the previous residual for the flexible beta.
-        let r_old = r.clone();
+        r_old.copy_from_slice(&r);
         axpy(-alpha, &ap, &mut r);
         m.apply(&r, &mut z);
         // Polak-Ribiere: beta = z^T (r - r_old) / (z_old^T r_old).
-        let mut num = 0.0;
-        for i in 0..n {
-            num += z[i] * (r[i] - r_old[i]);
-        }
+        let num = {
+            let (z, r, r_old) = (&z, &r, &r_old);
+            irf_runtime::par_reduce(
+                n,
+                8192,
+                0.0,
+                |range| {
+                    let mut acc = 0.0;
+                    for i in range {
+                        acc += z[i] * (r[i] - r_old[i]);
+                    }
+                    acc
+                },
+                |a, b| a + b,
+            )
+        };
         let beta = (num / rz).max(0.0);
         rz = dot(&r, &z);
-        for i in 0..n {
-            p[i] = z[i] + beta * p[i];
-        }
+        xpby(&z, beta, &mut p);
         it += 1;
         let rel = norm2(&r) / bnorm;
         history.push(rel);
@@ -225,7 +238,7 @@ mod tests {
     #[test]
     fn pcg_zero_rhs() {
         let a = laplacian_2d(4, 4);
-        let res = pcg(&a, &vec![0.0; 16], &IdentityPreconditioner, 1e-10, 10);
+        let res = pcg(&a, &[0.0; 16], &IdentityPreconditioner, 1e-10, 10);
         assert!(res.converged && res.x.iter().all(|&v| v == 0.0));
     }
 }

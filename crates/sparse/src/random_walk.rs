@@ -14,8 +14,7 @@
 //! of node voltages are needed.
 
 use crate::csr::CsrMatrix;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use irf_runtime::Xoshiro256pp;
 
 /// Configuration of the random-walk estimator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,7 +63,7 @@ impl<'a> RandomWalkSolver<'a> {
         let n = a.rows();
         let mut inv_diag = vec![0.0; n];
         let mut cum_probs = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, inv_d) in inv_diag.iter_mut().enumerate() {
             let (cols, vals) = a.row(i);
             let mut diag = 0.0;
             for (&c, &v) in cols.iter().zip(vals) {
@@ -73,7 +72,7 @@ impl<'a> RandomWalkSolver<'a> {
                 }
             }
             assert!(diag > 0.0, "random walk: non-positive diagonal at {i}");
-            inv_diag[i] = 1.0 / diag;
+            *inv_d = 1.0 / diag;
             let mut cum = 0.0;
             let mut row = Vec::new();
             for (&c, &v) in cols.iter().zip(vals) {
@@ -103,7 +102,9 @@ impl<'a> RandomWalkSolver<'a> {
     pub fn solve_node(&self, b: &[f64], node: usize) -> f64 {
         assert_eq!(b.len(), self.a.rows(), "random walk: rhs mismatch");
         assert!(node < self.a.rows(), "random walk: node out of bounds");
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = Xoshiro256pp::seed_from_u64(
+            self.config.seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         let mut total = 0.0;
         for _ in 0..self.config.walks_per_node {
             total += self.one_walk(b, node, &mut rng);
@@ -124,7 +125,7 @@ impl<'a> RandomWalkSolver<'a> {
         (0..self.a.rows()).map(|i| self.solve_node(b, i)).collect()
     }
 
-    fn one_walk(&self, b: &[f64], start: usize, rng: &mut StdRng) -> f64 {
+    fn one_walk(&self, b: &[f64], start: usize, rng: &mut Xoshiro256pp) -> f64 {
         let mut node = start;
         let mut reward = 0.0;
         for _ in 0..self.config.max_steps {
@@ -164,7 +165,9 @@ mod tests {
     fn walk_matches_direct_solution_on_chain() {
         let a = grounded_chain(8);
         let b = vec![0.1; 8];
-        let exact = crate::cholesky::CholeskyFactor::factor(&a).expect("SPD").solve(&b);
+        let exact = crate::cholesky::CholeskyFactor::factor(&a)
+            .expect("SPD")
+            .solve(&b);
         let solver = RandomWalkSolver::new(
             &a,
             RandomWalkConfig {
@@ -186,7 +189,7 @@ mod tests {
     fn zero_rhs_gives_zero() {
         let a = grounded_chain(5);
         let solver = RandomWalkSolver::new(&a, RandomWalkConfig::default());
-        assert_eq!(solver.solve_node(&vec![0.0; 5], 2), 0.0);
+        assert_eq!(solver.solve_node(&[0.0; 5], 2), 0.0);
     }
 
     #[test]
@@ -200,7 +203,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive off-diagonal")]
     fn non_m_matrix_is_rejected() {
-        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 0.5), (1, 0, 0.5), (1, 1, 1.0)]);
+        let a =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 0.5), (1, 0, 0.5), (1, 1, 1.0)]);
         let _ = RandomWalkSolver::new(&a, RandomWalkConfig::default());
     }
 }

@@ -176,8 +176,7 @@ impl Solver {
             }
             SolverKind::Ic0Pcg => {
                 let t0 = Instant::now();
-                let m = Ic0Preconditioner::factor(a)
-                    .expect("matrix must be (near-)SPD for IC(0)");
+                let m = Ic0Preconditioner::factor(a).expect("matrix must be (near-)SPD for IC(0)");
                 let setup = t0.elapsed().as_secs_f64();
                 let t1 = Instant::now();
                 let res = pcg_with_guess(a, b, &m, x0, self.tol, self.max_iter);
@@ -308,7 +307,9 @@ mod tests {
     fn warm_start_is_accepted() {
         let a = grid(8, 8);
         let b = vec![0.02; 64];
-        let cold = Solver::new(SolverKind::AmgPcg).with_tolerance(1e-11).solve(&a, &b);
+        let cold = Solver::new(SolverKind::AmgPcg)
+            .with_tolerance(1e-11)
+            .solve(&a, &b);
         let warm = Solver::new(SolverKind::AmgPcg)
             .with_tolerance(1e-10)
             .solve_with_guess(&a, &b, cold.x.clone());

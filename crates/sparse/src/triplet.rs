@@ -107,7 +107,10 @@ impl TripletMatrix {
     /// Panics if `a` or `b` is out of bounds, or if the matrix is not
     /// square.
     pub fn stamp_conductance(&mut self, a: usize, b: usize, g: f64) {
-        assert_eq!(self.rows, self.cols, "conductance stamp needs a square matrix");
+        assert_eq!(
+            self.rows, self.cols,
+            "conductance stamp needs a square matrix"
+        );
         self.push(a, a, g);
         self.push(b, b, g);
         self.push(a, b, -g);

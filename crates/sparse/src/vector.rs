@@ -4,6 +4,17 @@
 //! loops want to operate on plain `&[f64]` buffers owned by the caller
 //! (C-CALLER-CONTROL), and a wrapper type would add nothing but noise.
 
+/// Elements per reduction chunk. Fixed so that chunk boundaries (and
+/// therefore the order of floating-point accumulation) never depend on
+/// the thread count: `dot`/`norm2` are bitwise identical at any
+/// parallelism, and for inputs up to one chunk identical to a plain
+/// serial fold.
+const REDUCE_CHUNK: usize = 8192;
+
+/// Elements per elementwise-update chunk (`axpy`/`xpby`). These kernels
+/// touch each element independently, so chunking only bounds task size.
+const UPDATE_CHUNK: usize = 16384;
+
 /// Dot product of two equally sized slices.
 ///
 /// # Panics
@@ -12,7 +23,19 @@
 #[must_use]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    x.iter().zip(y).map(|(a, b)| a * b).sum()
+    irf_runtime::par_reduce(
+        x.len(),
+        REDUCE_CHUNK,
+        0.0,
+        |r| {
+            x[r.clone()]
+                .iter()
+                .zip(&y[r])
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+        },
+        |a, b| a + b,
+    )
 }
 
 /// Euclidean (L2) norm.
@@ -28,9 +51,12 @@ pub fn norm2(x: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    irf_runtime::par_chunks_mut(y, UPDATE_CHUNK, |ci, yc| {
+        let base = ci * UPDATE_CHUNK;
+        for (yi, xi) in yc.iter_mut().zip(&x[base..]) {
+            *yi += alpha * xi;
+        }
+    });
 }
 
 /// `y = x + beta * y` (the update used for CG search directions).
@@ -40,9 +66,12 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 /// Panics if the slices have different lengths.
 pub fn xpby(x: &[f64], beta: f64, y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "xpby: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi = xi + beta * *yi;
-    }
+    irf_runtime::par_chunks_mut(y, UPDATE_CHUNK, |ci, yc| {
+        let base = ci * UPDATE_CHUNK;
+        for (yi, xi) in yc.iter_mut().zip(&x[base..]) {
+            *yi = xi + beta * *yi;
+        }
+    });
 }
 
 /// Copies `src` into `dst`.

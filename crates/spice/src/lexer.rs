@@ -25,18 +25,15 @@ pub fn logical_lines(src: &str) -> Vec<LogicalLine> {
     for (idx, raw) in src.lines().enumerate() {
         let line_no = idx + 1;
         // Strip inline comments.
-        let body = raw
-            .split(|c| c == '$' || c == ';')
-            .next()
-            .unwrap_or("")
-            .trim();
+        let body = raw.split(['$', ';']).next().unwrap_or("").trim();
         if body.is_empty() || body.starts_with('*') {
             continue;
         }
         if let Some(rest) = body.strip_prefix('+') {
             match out.last_mut() {
                 Some(prev) => {
-                    prev.fields.extend(rest.split_whitespace().map(String::from));
+                    prev.fields
+                        .extend(rest.split_whitespace().map(String::from));
                     continue;
                 }
                 None => {
@@ -77,7 +74,7 @@ mod tests {
     }
 
     #[test]
-    fn inline_comments_are_stripped()  {
+    fn inline_comments_are_stripped() {
         let lines = logical_lines("R1 a b 1.0 $ segment 3\nI1 a 0 1m ; load\n");
         assert_eq!(lines[0].fields.len(), 4);
         assert_eq!(lines[1].fields.len(), 4);

@@ -143,7 +143,10 @@ V1 n1_m4_0_0 0 1.1
         assert_eq!(err.line, 1);
         assert!(matches!(
             err.kind,
-            ParseErrorKind::MissingFields { element: 'R', found: 3 }
+            ParseErrorKind::MissingFields {
+                element: 'R',
+                found: 3
+            }
         ));
     }
 

@@ -1,31 +1,50 @@
-//! Property-based tests for the SPICE front end.
+//! Randomized-but-deterministic property tests for the SPICE front
+//! end (fixed seeds, exact reproduction on failure).
 
+use irf_runtime::Xoshiro256pp;
 use irf_spice::{parse, write, Netlist};
-use proptest::prelude::*;
 
-/// Strategy: a syntactically valid node name.
-fn node_name() -> impl Strategy<Value = String> {
-    prop_oneof![
-        // ICCAD-style coordinates.
-        (1u32..=9, 0i64..100_000, 0i64..100_000)
-            .prop_map(|(m, x, y)| format!("n1_m{m}_{x}_{y}")),
-        // Free-form identifiers.
-        "[a-z][a-z0-9]{0,8}".prop_map(|s| s),
-    ]
+const CASES: u64 = 64;
+
+/// A syntactically valid node name: ICCAD-style coordinates or a
+/// free-form lowercase identifier.
+fn node_name(rng: &mut Xoshiro256pp) -> String {
+    if rng.random::<bool>() {
+        let m = rng.random_range(1u32..=9);
+        let x = rng.random_range(0i64..100_000);
+        let y = rng.random_range(0i64..100_000);
+        format!("n1_m{m}_{x}_{y}")
+    } else {
+        let len = rng.random_range(1usize..=9);
+        (0..len)
+            .map(|i| {
+                let alphabet: &[u8] = if i == 0 {
+                    b"abcdefghijklmnopqrstuvwxyz"
+                } else {
+                    b"abcdefghijklmnopqrstuvwxyz0123456789"
+                };
+                alphabet[rng.random_range(0usize..alphabet.len())] as char
+            })
+            .collect()
+    }
 }
 
-/// Strategy: a whole netlist as element tuples.
-#[allow(clippy::type_complexity)]
-fn elements() -> impl Strategy<Value = Vec<(u8, String, String, f64)>> {
-    proptest::collection::vec(
-        (
-            0u8..3,
-            node_name(),
-            node_name(),
-            prop_oneof![1e-6f64..1e6, Just(1.0)],
-        ),
-        1..40,
-    )
+/// A whole netlist as element tuples `(kind, node_a, node_b, value)`.
+fn elements(rng: &mut Xoshiro256pp) -> Vec<(u8, String, String, f64)> {
+    let len = rng.random_range(1usize..40);
+    (0..len)
+        .map(|_| {
+            let kind = rng.random_range(0u32..3) as u8;
+            let a = node_name(rng);
+            let b = node_name(rng);
+            let v = if rng.random::<bool>() {
+                rng.random_range(1e-6f64..1e6)
+            } else {
+                1.0
+            };
+            (kind, a, b, v)
+        })
+        .collect()
 }
 
 fn build_source(elems: &[(u8, String, String, f64)]) -> String {
@@ -42,56 +61,87 @@ fn build_source(elems: &[(u8, String, String, f64)]) -> String {
     src
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn parse_never_panics_on_arbitrary_text(s in "\\PC{0,200}") {
+#[test]
+fn parse_never_panics_on_arbitrary_text() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5C_01);
+    for _ in 0..CASES {
+        // Printable-ish soup: ASCII printables, newlines, and the
+        // occasional multi-byte character.
+        let len = rng.random_range(0usize..200);
+        let s: String = (0..len)
+            .map(|_| match rng.random_range(0u32..20) {
+                0 => '\n',
+                1 => '\t',
+                2 => 'é',
+                3 => '→',
+                _ => (rng.random_range(0x20u32..0x7F) as u8) as char,
+            })
+            .collect();
         let _ = parse(&s);
     }
+}
 
-    #[test]
-    fn generated_netlists_parse(elems in elements()) {
+#[test]
+fn generated_netlists_parse() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5C_02);
+    for _ in 0..CASES {
+        let elems = elements(&mut rng);
         let src = build_source(&elems);
         let n = parse(&src).expect("generated netlists are valid");
         let total = n.resistors().len() + n.current_sources().len() + n.voltage_sources().len();
-        prop_assert_eq!(total, elems.len());
+        assert_eq!(total, elems.len());
     }
+}
 
-    #[test]
-    fn write_parse_roundtrip(elems in elements()) {
+#[test]
+fn write_parse_roundtrip() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5C_03);
+    for _ in 0..CASES {
+        let elems = elements(&mut rng);
         let src = build_source(&elems);
         let a: Netlist = parse(&src).expect("valid");
         let b = parse(&write(&a)).expect("round-trips");
-        prop_assert_eq!(a.resistors().len(), b.resistors().len());
+        assert_eq!(a.resistors().len(), b.resistors().len());
         // Values survive exactly (the writer prints full precision).
         for (ra, rb) in a.resistors().iter().zip(b.resistors()) {
-            prop_assert_eq!(ra.ohms, rb.ohms);
+            assert_eq!(ra.ohms, rb.ohms);
         }
         for (ia, ib) in a.current_sources().iter().zip(b.current_sources()) {
-            prop_assert_eq!(ia.amps, ib.amps);
+            assert_eq!(ia.amps, ib.amps);
         }
     }
+}
 
-    #[test]
-    fn interning_is_stable_across_duplicates(name in node_name()) {
+#[test]
+fn interning_is_stable_across_duplicates() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5C_04);
+    for _ in 0..CASES {
+        let name = node_name(&mut rng);
         let src = format!("R1 {name} other 1.0\nR2 {name} other2 2.0\n");
         let n = parse(&src).expect("valid");
-        prop_assert_eq!(n.resistors()[0].a, n.resistors()[1].a);
+        assert_eq!(n.resistors()[0].a, n.resistors()[1].a);
     }
+}
 
-    #[test]
-    fn spice_numbers_roundtrip(v in -1e9f64..1e9) {
+#[test]
+fn spice_numbers_roundtrip() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5C_05);
+    for _ in 0..CASES {
+        let v = rng.random_range(-1e9f64..1e9);
         let s = irf_spice::value::format_spice_number(v);
         let back = irf_spice::value::parse_spice_number(&s).expect("formatted parses");
-        prop_assert_eq!(back, v);
+        assert_eq!(back, v);
     }
+}
 
-    #[test]
-    fn si_suffix_scaling_is_multiplicative(base in 0.001f64..999.0) {
+#[test]
+fn si_suffix_scaling_is_multiplicative() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5C_06);
+    for _ in 0..CASES {
+        let base = rng.random_range(0.001f64..999.0);
         let k = irf_spice::value::parse_spice_number(&format!("{base}k")).unwrap();
         let m = irf_spice::value::parse_spice_number(&format!("{base}m")).unwrap();
-        prop_assert!((k / (base * 1e3) - 1.0).abs() < 1e-12);
-        prop_assert!((m / (base * 1e-3) - 1.0).abs() < 1e-12);
+        assert!((k / (base * 1e3) - 1.0).abs() < 1e-12);
+        assert!((m / (base * 1e-3) - 1.0).abs() < 1e-12);
     }
 }

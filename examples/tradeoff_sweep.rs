@@ -18,7 +18,10 @@ fn main() {
         design.grid.nodes.len(),
         design.worst_drop() * 1e3
     );
-    println!("{:>4} | {:>12} | {:>8} | {:>10}", "k", "MAE (V)", "F1", "time (ms)");
+    println!(
+        "{:>4} | {:>12} | {:>8} | {:>10}",
+        "k", "MAE (V)", "F1", "time (ms)"
+    );
     println!("{}", "-".repeat(46));
     for k in 1..=10 {
         let mut config = FusionConfig::default();

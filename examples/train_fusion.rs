@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fused = MetricReport::mean(&evaluate_model(&trained, &dataset, &pipeline));
     let numerical = MetricReport::mean(&evaluate_numerical(&dataset, &pipeline));
     println!("held-out evaluation (mean over test designs):");
-    println!("  numerical only (k={}): {numerical}", config.solver_iterations);
+    println!(
+        "  numerical only (k={}): {numerical}",
+        config.solver_iterations
+    );
     println!("  IR-Fusion:             {fused}");
 
     // Save the whole bundle (architecture + weights + fusion
@@ -52,7 +55,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut model_cfg = config.model;
     model_cfg.in_channels = 11; // 5 shared + 3 layer-current + 3 layer-solution
     model_cfg.linear_head = trained.residual;
-    ir_fusion::save_model(&trained, ModelKind::IrFusion, model_cfg, File::create(path)?)?;
+    ir_fusion::save_model(
+        &trained,
+        ModelKind::IrFusion,
+        model_cfg,
+        File::create(path)?,
+    )?;
     let restored = ir_fusion::load_model(File::open(path)?)?;
     println!(
         "checkpoint written to {path} and verified ({} params)",

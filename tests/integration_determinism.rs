@@ -1,0 +1,240 @@
+//! Bitwise determinism of the parallel hot paths: every result must be
+//! identical — bit for bit — whether the runtime uses one thread or
+//! many. The kernels in `irf-runtime` guarantee this by fixing the
+//! partition and reduction order independently of the thread count.
+
+use ir_fusion::config::FusionConfig;
+use ir_fusion::pipeline::{IrFusionPipeline, PreparedSample};
+use irf_data::synth::{synthesize, SynthSpec};
+use irf_data::Dataset;
+use irf_features::{FeatureConfig, FeatureExtractor};
+use irf_nn::{ParamStore, Tape, Tensor};
+use irf_pg::PowerGrid;
+use irf_runtime::Xoshiro256pp;
+use irf_sparse::{CsrMatrix, TripletMatrix};
+use std::sync::Mutex;
+
+/// The global thread count is process-wide state; tests in this binary
+/// run concurrently, so every comparison holds this lock while it
+/// flips between serial and parallel execution.
+static THREAD_CONFIG: Mutex<()> = Mutex::new(());
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = THREAD_CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+    irf_runtime::set_num_threads(n);
+    let result = f();
+    irf_runtime::set_num_threads(0);
+    result
+}
+
+fn bits64(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn bits32(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// A 2-D grid Laplacian with grounded corners — large enough that the
+/// parallel kernels split it across several chunks.
+fn grid_laplacian(side: usize) -> CsrMatrix {
+    let n = side * side;
+    let mut t = TripletMatrix::new(n, n);
+    let mut rng = Xoshiro256pp::seed_from_u64(0xDE_7E);
+    for r in 0..side {
+        for c in 0..side {
+            let i = r * side + c;
+            if c + 1 < side {
+                t.stamp_conductance(i, i + 1, rng.random_range(0.5f64..2.0));
+            }
+            if r + 1 < side {
+                t.stamp_conductance(i, i + side, rng.random_range(0.5f64..2.0));
+            }
+        }
+    }
+    t.stamp_grounded_conductance(0, 1.0);
+    t.stamp_grounded_conductance(n - 1, 1.0);
+    t.to_csr()
+}
+
+#[test]
+fn spmv_and_residual_are_bitwise_identical_across_thread_counts() {
+    let a = grid_laplacian(80); // 6400 rows -> several 2048-row chunks
+    let n = a.rows();
+    let mut rng = Xoshiro256pp::seed_from_u64(0xDE_01);
+    let x: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0f64..1.0)).collect();
+    let b: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0f64..1.0)).collect();
+
+    let (y1, r1) = with_threads(1, || {
+        let mut y = vec![0.0; n];
+        let mut r = vec![0.0; n];
+        a.spmv_into(&x, &mut y);
+        a.residual_into(&b, &x, &mut r);
+        (y, r)
+    });
+    for threads in [2, 4, 8] {
+        let (yn, rn) = with_threads(threads, || {
+            let mut y = vec![0.0; n];
+            let mut r = vec![0.0; n];
+            a.spmv_into(&x, &mut y);
+            a.residual_into(&b, &x, &mut r);
+            (y, r)
+        });
+        assert_eq!(
+            bits64(&y1),
+            bits64(&yn),
+            "spmv differs at {threads} threads"
+        );
+        assert_eq!(
+            bits64(&r1),
+            bits64(&rn),
+            "residual differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn dot_product_is_bitwise_identical_across_thread_counts() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xDE_02);
+    let n = 50_000; // spans several reduction chunks
+    let x: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0f64..1.0)).collect();
+    let y: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0f64..1.0)).collect();
+    let d1 = with_threads(1, || irf_sparse::vector::dot(&x, &y));
+    for threads in [2, 4, 8] {
+        let dn = with_threads(threads, || irf_sparse::vector::dot(&x, &y));
+        assert_eq!(
+            d1.to_bits(),
+            dn.to_bits(),
+            "dot differs at {threads} threads"
+        );
+    }
+}
+
+/// Runs one conv2d forward + backward pass and returns the output and
+/// all three gradients.
+fn conv_pass(x0: &Tensor, w0: &Tensor, b0: &Tensor) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+    let mut store = ParamStore::new();
+    let mut tape = Tape::new();
+    let x = tape.leaf(x0.clone());
+    let w = tape.leaf(w0.clone());
+    let b = tape.leaf(b0.clone());
+    let y = tape.conv2d(x, w, b, 1, 1);
+    let out = tape.value(y).data().to_vec();
+    let seed = Tensor::filled(tape.value(y).shape(), 1.0);
+    tape.backward(y, seed, &mut store);
+    let dx = tape.grad(x).expect("dx").data().to_vec();
+    let dw = tape.grad(w).expect("dw").data().to_vec();
+    let db = tape.grad(b).expect("db").data().to_vec();
+    (out, dx, dw, db)
+}
+
+#[test]
+fn conv2d_forward_and_backward_are_bitwise_identical_across_thread_counts() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xDE_03);
+    let mut tensor = |shape: [usize; 4]| {
+        let n: usize = shape.iter().product();
+        let data: Vec<f32> = (0..n).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+        Tensor::from_vec(shape, data)
+    };
+    let x = tensor([2, 3, 16, 16]);
+    let w = tensor([4, 3, 3, 3]);
+    let b = tensor([1, 4, 1, 1]);
+
+    let serial = with_threads(1, || conv_pass(&x, &w, &b));
+    for threads in [2, 4, 8] {
+        let par = with_threads(threads, || conv_pass(&x, &w, &b));
+        assert_eq!(
+            bits32(&serial.0),
+            bits32(&par.0),
+            "conv output at {threads}"
+        );
+        assert_eq!(bits32(&serial.1), bits32(&par.1), "conv dx at {threads}");
+        assert_eq!(bits32(&serial.2), bits32(&par.2), "conv dw at {threads}");
+        assert_eq!(bits32(&serial.3), bits32(&par.3), "conv db at {threads}");
+    }
+}
+
+#[test]
+fn feature_stack_is_bitwise_identical_across_thread_counts() {
+    let grid = PowerGrid::from_netlist(&synthesize(&SynthSpec::default())).expect("valid");
+    let mut rng = Xoshiro256pp::seed_from_u64(0xDE_04);
+    let drops: Vec<f64> = (0..grid.nodes.len())
+        .map(|_| rng.random_range(0.0f64..2e-3))
+        .collect();
+    let extractor = FeatureExtractor::new(FeatureConfig::default());
+
+    let serial = with_threads(1, || extractor.extract(&grid, &drops));
+    for threads in [2, 4, 8] {
+        let par = with_threads(threads, || extractor.extract(&grid, &drops));
+        assert_eq!(serial.names(), par.names(), "channel order at {threads}");
+        for ((a, b), name) in serial.maps().iter().zip(par.maps()).zip(serial.names()) {
+            assert_eq!(
+                bits32(a.data()),
+                bits32(b.data()),
+                "channel {name} differs at {threads} threads"
+            );
+        }
+    }
+}
+
+fn assert_samples_bitwise_equal(a: &PreparedSample, b: &PreparedSample, what: &str) {
+    assert_eq!(
+        a.features.names(),
+        b.features.names(),
+        "{what}: channel order"
+    );
+    for ((ma, mb), name) in a
+        .features
+        .maps()
+        .iter()
+        .zip(b.features.maps())
+        .zip(a.features.names())
+    {
+        assert_eq!(
+            bits32(ma.data()),
+            bits32(mb.data()),
+            "{what}: channel {name}"
+        );
+    }
+    assert_eq!(
+        bits32(a.label.data()),
+        bits32(b.label.data()),
+        "{what}: label"
+    );
+    assert_eq!(
+        bits32(a.rough.data()),
+        bits32(b.rough.data()),
+        "{what}: rough map"
+    );
+}
+
+#[test]
+fn pipeline_prepare_is_bitwise_identical_across_thread_counts() {
+    let dataset = Dataset::generate(1, 1, 0, 11);
+    let design = &dataset.designs[0];
+
+    let mut cfg = FusionConfig::tiny();
+    cfg.num_threads = 1;
+    let serial = {
+        let _guard = THREAD_CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+        let sample = IrFusionPipeline::new(cfg).prepare(design);
+        irf_runtime::set_num_threads(0);
+        sample
+    };
+    for threads in [4, 8] {
+        cfg.num_threads = threads;
+        let par = {
+            let _guard = THREAD_CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+            let sample = IrFusionPipeline::new(cfg).prepare(design);
+            irf_runtime::set_num_threads(0);
+            sample
+        };
+        assert_samples_bitwise_equal(&serial, &par, &format!("{threads} threads"));
+        // Rotation augmentation is parallel too and must agree.
+        let (r1, rn) = (
+            with_threads(1, || serial.rotated(1)),
+            with_threads(threads, || serial.rotated(1)),
+        );
+        assert_samples_bitwise_equal(&r1, &rn, &format!("rot90 at {threads} threads"));
+    }
+}

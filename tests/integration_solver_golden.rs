@@ -21,12 +21,11 @@ fn iterative_solvers_match_cholesky_on_a_real_grid() {
             .with_max_iterations(5000)
             .solve(&sys.matrix, &sys.rhs);
         assert!(r.converged, "{kind:?} failed to converge");
-        let worst = r
-            .x
-            .iter()
-            .zip(&golden.x)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max);
+        let worst =
+            r.x.iter()
+                .zip(&golden.x)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
         assert!(worst < 1e-8, "{kind:?} deviates by {worst:e}");
     }
 }
