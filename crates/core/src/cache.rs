@@ -1,0 +1,306 @@
+//! A bounded LRU cache of prepared feature stacks, shared by the CLI
+//! training path and the inference server.
+//!
+//! Preparing a design (truncated solve + feature rasterization)
+//! dominates request latency, and serving workloads frequently see the
+//! same design repeatedly (retries, sweeps over model variants, load
+//! tests). The cache keys on a content fingerprint of the power grid
+//! *and* every configuration field that influences preparation, so a
+//! hit is guaranteed to be bitwise identical to a fresh preparation.
+
+use crate::config::FusionConfig;
+use crate::pipeline::PreparedStack;
+use irf_pg::PowerGrid;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// 64-bit FNV-1a, the workhorse hash for cache fingerprints: stable
+/// across runs and platforms (unlike `DefaultHasher`, which is
+/// randomly seeded per process).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv1a {
+    /// Folds `bytes` into the running hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds an `f64` through its bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+
+    /// The accumulated hash.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Content fingerprint of a design plus the preparation-relevant
+/// configuration.
+///
+/// Two (grid, config) pairs with equal fingerprints produce bitwise
+/// identical [`PreparedStack`]s: the hash covers every node, segment,
+/// load and pad of the grid, and the solver / feature settings that
+/// feed preparation. Model, training and threading settings are
+/// deliberately excluded — they do not affect the stack (results are
+/// bitwise identical at any thread count).
+#[must_use]
+pub fn design_fingerprint(grid: &PowerGrid, config: &FusionConfig) -> u64 {
+    let mut h = Fnv1a::default();
+    h.write_u64(grid.nodes.len() as u64);
+    for n in &grid.nodes {
+        h.write(n.name.as_bytes());
+        h.write_u64(u64::from(n.layer));
+        h.write(&n.x.to_le_bytes());
+        h.write(&n.y.to_le_bytes());
+        h.write(&[u8::from(n.is_pad)]);
+    }
+    h.write_u64(grid.segments.len() as u64);
+    for s in &grid.segments {
+        h.write_u64(s.a as u64);
+        h.write_u64(s.b as u64);
+        h.write_f64(s.ohms);
+    }
+    h.write_u64(grid.loads.len() as u64);
+    for l in &grid.loads {
+        h.write_u64(l.node as u64);
+        h.write_f64(l.amps);
+    }
+    h.write_u64(grid.pads.len() as u64);
+    for p in &grid.pads {
+        h.write_u64(p.node as u64);
+        h.write_f64(p.volts);
+    }
+    // Preparation-relevant configuration. Debug formatting is stable
+    // and covers nested enums (solver kind, smoother, normalization)
+    // without a bespoke serialization.
+    h.write_u64(config.solver_iterations as u64);
+    h.write(format!("{:?}", config.solver_kind).as_bytes());
+    h.write(format!("{:?}", config.amg).as_bytes());
+    h.write(format!("{:?}", config.feature).as_bytes());
+    h.finish()
+}
+
+struct LruInner {
+    /// Fingerprint -> (last-use tick, stack).
+    map: HashMap<u64, (u64, Arc<PreparedStack>)>,
+    tick: u64,
+}
+
+/// Thread-safe bounded LRU cache of [`PreparedStack`]s keyed by
+/// [`design_fingerprint`].
+///
+/// Hit/miss counters are monotonically increasing across the cache's
+/// lifetime and feed the server's `/metrics` endpoint.
+pub struct FeatureCache {
+    inner: Mutex<LruInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl fmt::Debug for FeatureCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FeatureCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl FeatureCache {
+    /// Creates a cache holding at most `capacity` stacks (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        FeatureCache {
+            inner: Mutex::new(LruInner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a fingerprint, refreshing its recency on a hit.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<Arc<PreparedStack>> {
+        let mut inner = self.inner.lock().expect("feature cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some((last, stack)) => {
+                *last = tick;
+                let stack = Arc::clone(stack);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(stack)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a stack, evicting the least recently used entry when
+    /// full. Re-inserting an existing key refreshes its value and
+    /// recency.
+    pub fn insert(&self, key: u64, stack: Arc<PreparedStack>) {
+        let mut inner = self.inner.lock().expect("feature cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            // O(len) scan is fine: capacities are small (tens of
+            // designs), and eviction is off the request fast path.
+            if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, (last, _))| *last) {
+                inner.map.remove(&victim);
+            }
+        }
+        inner.map.insert(key, (tick, stack));
+    }
+
+    /// Number of cached stacks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("feature cache poisoned").map.len()
+    }
+
+    /// `true` when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of cached stacks.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total lookups that found an entry.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total lookups that missed.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hit fraction in `[0, 1]` (`0.0` before any lookup).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let total = h + self.misses() as f64;
+        if total > 0.0 {
+            h / total
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irf_data::Design;
+
+    fn stack() -> Arc<PreparedStack> {
+        Arc::new(PreparedStack {
+            features: irf_features::FeatureStack::default(),
+            rough: irf_pg::GridMap::new(1, 1),
+            solve_report: irf_sparse::SolveReport {
+                x: Vec::new(),
+                converged: false,
+                iterations: 0,
+                residual: 0.0,
+                setup_seconds: 0.0,
+                solve_seconds: 0.0,
+                trace: irf_sparse::cg::ConvergenceTrace::default(),
+            },
+            solve_seconds: 0.0,
+            feature_seconds: 0.0,
+        })
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let cfg = FusionConfig::tiny();
+        let a = Design::fake(1);
+        let b = Design::fake(2);
+        assert_eq!(
+            design_fingerprint(&a.grid, &cfg),
+            design_fingerprint(&a.grid, &cfg),
+            "same content must fingerprint identically"
+        );
+        assert_ne!(
+            design_fingerprint(&a.grid, &cfg),
+            design_fingerprint(&b.grid, &cfg),
+            "different designs must fingerprint differently"
+        );
+        let mut cfg2 = cfg;
+        cfg2.solver_iterations += 1;
+        assert_ne!(
+            design_fingerprint(&a.grid, &cfg),
+            design_fingerprint(&a.grid, &cfg2),
+            "solver budget is preparation-relevant"
+        );
+        let mut cfg3 = cfg;
+        cfg3.num_threads = 7;
+        assert_eq!(
+            design_fingerprint(&a.grid, &cfg),
+            design_fingerprint(&a.grid, &cfg3),
+            "thread count must not affect the fingerprint"
+        );
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = FeatureCache::new(2);
+        cache.insert(1, stack());
+        cache.insert(2, stack());
+        assert!(cache.get(1).is_some()); // refresh 1; 2 is now LRU
+        cache.insert(3, stack()); // evicts 2
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let cache = FeatureCache::new(4);
+        assert!(cache.get(9).is_none());
+        cache.insert(9, stack());
+        assert!(cache.get(9).is_some());
+        assert!(cache.get(9).is_some());
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
+        assert!((cache.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod checkpoint;
 pub mod config;
 pub mod evaluate;
@@ -39,9 +40,10 @@ pub mod pipeline;
 pub mod report;
 pub mod train;
 
+pub use cache::{design_fingerprint, FeatureCache};
 pub use checkpoint::{load_model, save_model};
 pub use config::{FusionConfig, TrainConfig};
 pub use evaluate::{evaluate_model, evaluate_numerical};
-pub use pipeline::{Analysis, IrFusionPipeline, PreparedSample};
+pub use pipeline::{Analysis, IrFusionPipeline, PreparedSample, PreparedStack};
 pub use report::SignoffReport;
 pub use train::{train, TrainedModel};

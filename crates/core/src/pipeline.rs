@@ -1,6 +1,7 @@
 //! The end-to-end analysis pipeline: parse -> rough solve -> feature
 //! fusion -> model inference.
 
+use crate::cache::{design_fingerprint, FeatureCache};
 use crate::config::FusionConfig;
 use crate::train::TrainedModel;
 use irf_data::golden::golden_drops;
@@ -11,6 +12,36 @@ use irf_nn::{Tape, Tensor};
 use irf_pg::{GridMap, ModelError, PowerGrid, Rasterizer};
 use irf_sparse::{SolveReport, Solver};
 use irf_spice::Netlist;
+use std::sync::Arc;
+
+/// A design prepared up to (but excluding) the golden label: feature
+/// stack, rough numerical map, and the solve report behind it.
+///
+/// This is the label-free unit of work the [`FeatureCache`] stores and
+/// the serving layer batches: everything needed for inference, nothing
+/// that requires the golden solution.
+#[derive(Debug, Clone)]
+pub struct PreparedStack {
+    /// Extracted feature maps.
+    pub features: FeatureStack,
+    /// Rough bottom-layer drop map from the truncated solve (volts).
+    pub rough: GridMap,
+    /// Report of the truncated solve.
+    pub solve_report: SolveReport,
+    /// Seconds spent in the truncated numerical solve.
+    pub solve_seconds: f64,
+    /// Seconds spent extracting features.
+    pub feature_seconds: f64,
+}
+
+impl PreparedStack {
+    /// Features as a `(1, C, H, W)` tensor.
+    #[must_use]
+    pub fn feature_tensor(&self) -> Tensor {
+        let (c, h, w, data) = self.features.to_nchw();
+        Tensor::from_vec([1, c, h, w], data)
+    }
+}
 
 /// A design prepared for training or inference: feature stack plus
 /// golden label map.
@@ -89,6 +120,7 @@ pub struct Analysis {
 #[derive(Debug, Clone)]
 pub struct IrFusionPipeline {
     config: FusionConfig,
+    cache: Option<Arc<FeatureCache>>,
 }
 
 impl IrFusionPipeline {
@@ -98,7 +130,26 @@ impl IrFusionPipeline {
     #[must_use]
     pub fn new(config: FusionConfig) -> Self {
         irf_runtime::set_num_threads(config.num_threads);
-        IrFusionPipeline { config }
+        IrFusionPipeline {
+            config,
+            cache: None,
+        }
+    }
+
+    /// Attaches a feature-stack cache: subsequent
+    /// [`IrFusionPipeline::prepare_stack_cached`] calls (and everything
+    /// built on them — `prepare`, `prepare_all`, `analyze_grid`) reuse
+    /// previously prepared stacks for identical designs.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<FeatureCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached feature-stack cache, if any.
+    #[must_use]
+    pub fn cache(&self) -> Option<&Arc<FeatureCache>> {
+        self.cache.as_ref()
     }
 
     /// The configuration in use.
@@ -136,6 +187,48 @@ impl IrFusionPipeline {
         irf_runtime::par_map(tasks)
     }
 
+    /// Prepares the label-free part of a design: truncated solve,
+    /// feature extraction, rough bottom-layer map.
+    #[must_use]
+    pub fn prepare_stack(&self, grid: &PowerGrid) -> PreparedStack {
+        let extractor = FeatureExtractor::new(self.config.feature);
+        let ((drops, solve_report), solve_seconds) = Timer::time(|| self.rough_solution(grid));
+        let (features, feature_seconds) = Timer::time(|| {
+            // The "w/o Num. Solu." ablation zeroes the numerical
+            // channels by disabling them in the config instead.
+            extractor.extract(grid, &drops)
+        });
+        let raster = extractor.rasterizer(grid);
+        let rough = irf_features::solution::bottom_layer_solution_map(grid, &drops, &raster);
+        PreparedStack {
+            features,
+            rough,
+            solve_report,
+            solve_seconds,
+            feature_seconds,
+        }
+    }
+
+    /// [`IrFusionPipeline::prepare_stack`] through the attached
+    /// [`FeatureCache`] (a plain uncached call when none is attached).
+    ///
+    /// The key is [`design_fingerprint`], which covers the grid content
+    /// and every preparation-relevant configuration field, so a hit is
+    /// bitwise identical to a fresh preparation.
+    #[must_use]
+    pub fn prepare_stack_cached(&self, grid: &PowerGrid) -> Arc<PreparedStack> {
+        let Some(cache) = &self.cache else {
+            return Arc::new(self.prepare_stack(grid));
+        };
+        let key = design_fingerprint(grid, &self.config);
+        if let Some(stack) = cache.get(key) {
+            return stack;
+        }
+        let stack = Arc::new(self.prepare_stack(grid));
+        cache.insert(key, Arc::clone(&stack));
+        stack
+    }
+
     /// Prepares a grid with a supplied golden solution.
     ///
     /// # Panics
@@ -143,23 +236,16 @@ impl IrFusionPipeline {
     /// Panics if `golden.len() != grid.nodes.len()`.
     #[must_use]
     pub fn prepare_grid(&self, grid: &PowerGrid, golden: &[f64]) -> PreparedSample {
+        let stack = self.prepare_stack_cached(grid);
         let extractor = FeatureExtractor::new(self.config.feature);
-        let ((drops, solve_report), solve_seconds) = Timer::time(|| self.rough_solution(grid));
-        let _ = solve_report;
-        let (features, feature_seconds) = Timer::time(|| {
-            // The "w/o Num. Solu." ablation zeroes the numerical
-            // channels by disabling them in the config instead.
-            extractor.extract(grid, &drops)
-        });
         let raster = extractor.rasterizer(grid);
         let label = irf_features::solution::bottom_layer_solution_map(grid, golden, &raster);
-        let rough = irf_features::solution::bottom_layer_solution_map(grid, &drops, &raster);
         PreparedSample {
-            features,
+            features: stack.features.clone(),
             label,
-            rough,
-            solve_seconds,
-            feature_seconds,
+            rough: stack.rough.clone(),
+            solve_seconds: stack.solve_seconds,
+            feature_seconds: stack.feature_seconds,
         }
     }
 
@@ -181,7 +267,8 @@ impl IrFusionPipeline {
     /// In residual mode (the fusion default), the model's signed
     /// correction is added to the rough numerical map and the result
     /// clamped at zero; in absolute mode the model output *is* the
-    /// prediction.
+    /// prediction. When a [`FeatureCache`] is attached, the solve +
+    /// feature stage is served from it for repeated designs.
     #[must_use]
     pub fn analyze_grid(&self, grid: &PowerGrid, model: Option<&TrainedModel>) -> Analysis {
         let mut timer = Timer::new();
@@ -189,54 +276,98 @@ impl IrFusionPipeline {
         // Pure-ML baselines (absolute prediction, no numerical feature
         // channels) never consume the solver output, so they do not
         // pay for it — keeping the runtime column honest. Everything
-        // else runs the truncated solve.
+        // else runs the truncated solve (through the cache, if any).
         let needs_solve = self.config.feature.numerical || model.is_none_or(|t| t.residual);
-        let (drops, solve_report) = if needs_solve {
-            self.rough_solution(grid)
+        let stack = if needs_solve {
+            self.prepare_stack_cached(grid)
         } else {
-            let n = grid.nodes.len();
-            let report = SolveReport {
-                x: Vec::new(),
-                converged: false,
-                iterations: 0,
-                residual: f64::INFINITY,
-                setup_seconds: 0.0,
-                solve_seconds: 0.0,
-                trace: irf_sparse::cg::ConvergenceTrace::default(),
-            };
-            (vec![0.0; n], report)
-        };
-        let extractor = FeatureExtractor::new(self.config.feature);
-        let raster = extractor.rasterizer(grid);
-        let rough_map = irf_features::solution::bottom_layer_solution_map(grid, &drops, &raster);
-        let fused_map = model.map(|trained| {
+            let extractor = FeatureExtractor::new(self.config.feature);
+            let drops = vec![0.0; grid.nodes.len()];
             let features = extractor.extract(grid, &drops);
-            let (c, h, w, data) = features.to_nchw();
-            let mut tape = Tape::new();
-            let x = tape.input(Tensor::from_vec([1, c, h, w], data));
-            let y = trained.model.forward(&mut tape, &trained.store, x);
-            let pred = tape.value(y);
-            let scale = trained.label_scale;
-            let inv = if scale > 0.0 { 1.0 / scale } else { 1.0 };
-            if trained.residual {
-                let data = pred
-                    .data()
-                    .iter()
-                    .zip(rough_map.data())
-                    .map(|(corr, rough)| (rough + corr * inv).max(0.0))
-                    .collect();
-                GridMap::from_vec(w, h, data)
-            } else {
-                GridMap::from_vec(w, h, pred.data().iter().map(|v| v * inv).collect())
-            }
-        });
+            let raster = extractor.rasterizer(grid);
+            let rough = irf_features::solution::bottom_layer_solution_map(grid, &drops, &raster);
+            Arc::new(PreparedStack {
+                features,
+                rough,
+                solve_report: SolveReport {
+                    x: Vec::new(),
+                    converged: false,
+                    iterations: 0,
+                    residual: f64::INFINITY,
+                    setup_seconds: 0.0,
+                    solve_seconds: 0.0,
+                    trace: irf_sparse::cg::ConvergenceTrace::default(),
+                },
+                solve_seconds: 0.0,
+                feature_seconds: 0.0,
+            })
+        };
+        let fused_map = model.map(|trained| self.predict(trained, &stack));
         timer.stop();
         Analysis {
-            rough_map,
+            rough_map: stack.rough.clone(),
             fused_map,
-            solve_report,
+            solve_report: stack.solve_report.clone(),
             runtime_seconds: timer.seconds(),
         }
+    }
+
+    /// Runs model inference on one prepared stack, applying the
+    /// residual (or absolute) postprocessing.
+    ///
+    /// Equivalent to `predict_batch(trained, &[stack])[0]`, bit for
+    /// bit.
+    #[must_use]
+    pub fn predict(&self, trained: &TrainedModel, stack: &PreparedStack) -> GridMap {
+        self.predict_batch(trained, &[stack])
+            .pop()
+            .expect("predict_batch returns one map per stack")
+    }
+
+    /// Runs ONE batched forward pass over `stacks` and postprocesses
+    /// each sample against its own rough map.
+    ///
+    /// The batched pass is bitwise identical to calling
+    /// [`IrFusionPipeline::predict`] on each stack sequentially, at any
+    /// thread count: every tape operation computes per-sample values
+    /// with the same serial inner loops regardless of batch size. This
+    /// is the contract the serving layer's micro-batching relies on
+    /// (and what `tests/integration_batch.rs` asserts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stacks disagree on feature shape.
+    #[must_use]
+    pub fn predict_batch(&self, trained: &TrainedModel, stacks: &[&PreparedStack]) -> Vec<GridMap> {
+        if stacks.is_empty() {
+            return Vec::new();
+        }
+        let inputs: Vec<Tensor> = stacks.iter().map(|s| s.feature_tensor()).collect();
+        let batched = Tensor::concat_batch(&inputs);
+        let [_, _, h, w] = batched.shape();
+        let mut tape = Tape::new();
+        let x = tape.input(batched);
+        let y = trained.model.forward(&mut tape, &trained.store, x);
+        let pred = tape.value(y);
+        let scale = trained.label_scale;
+        let inv = if scale > 0.0 { 1.0 / scale } else { 1.0 };
+        pred.split_batch()
+            .iter()
+            .zip(stacks)
+            .map(|(sample, stack)| {
+                if trained.residual {
+                    let data = sample
+                        .data()
+                        .iter()
+                        .zip(stack.rough.data())
+                        .map(|(corr, rough)| (rough + corr * inv).max(0.0))
+                        .collect();
+                    GridMap::from_vec(w, h, data)
+                } else {
+                    GridMap::from_vec(w, h, sample.data().iter().map(|v| v * inv).collect())
+                }
+            })
+            .collect()
     }
 
     /// Golden analysis via the exact direct solver (for labels and

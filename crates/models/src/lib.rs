@@ -36,7 +36,11 @@ use irf_nn::{NodeId, ParamStore, Tape};
 ///
 /// Input is `(N, C_in, H, W)` with `H`, `W` divisible by 8 (three
 /// pooling stages); output is `(N, 1, H, W)`, non-negative.
-pub trait Model {
+///
+/// `Send + Sync` so trained models can move into (and be shared by)
+/// serving threads; implementations are plain parameter-handle structs,
+/// which satisfy both automatically.
+pub trait Model: Send + Sync {
     /// Records the forward pass, returning the prediction node.
     fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId;
 

@@ -169,6 +169,46 @@ mod tests {
     }
 
     #[test]
+    fn batched_forward_is_bitwise_identical_to_single_samples() {
+        // The serving layer batches concurrent requests into one forward
+        // pass; every model must produce bit-for-bit the same output for
+        // sample `b` of a batch as for that sample alone.
+        use irf_nn::Tensor;
+        for kind in ModelKind::TABLE1 {
+            let (model, store) = build_model(
+                kind,
+                ModelConfig {
+                    in_channels: 4,
+                    base_channels: 6,
+                    seed: 1,
+                    linear_head: true,
+                },
+            );
+            let samples: Vec<Tensor> = (0..2)
+                .map(|s| init::uniform([1, 4, 16, 16], -1.0, 1.0, 100 + s))
+                .collect();
+            let batched = {
+                let mut tape = Tape::new();
+                let x = tape.input(Tensor::concat_batch(&samples));
+                let y = model.forward(&mut tape, &store, x);
+                tape.value(y).clone()
+            };
+            assert_eq!(batched.shape(), [2, 1, 16, 16], "{}", model.name());
+            for (s, part) in batched.split_batch().into_iter().enumerate() {
+                let single = {
+                    let mut tape = Tape::new();
+                    let x = tape.input(samples[s].clone());
+                    let y = model.forward(&mut tape, &store, x);
+                    tape.value(y).clone()
+                };
+                let pb: Vec<u32> = part.data().iter().map(|v| v.to_bits()).collect();
+                let sb: Vec<u32> = single.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(pb, sb, "{} sample {s} differs in batch", model.name());
+            }
+        }
+    }
+
+    #[test]
     fn names_match_paper_rows() {
         let names: Vec<String> = ModelKind::TABLE1
             .iter()

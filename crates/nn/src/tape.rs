@@ -1320,6 +1320,82 @@ mod tests {
     }
 
     #[test]
+    fn batched_conv2d_is_bitwise_identical_to_single_samples() {
+        // One batched forward over (B, C, H, W) must reproduce each
+        // single-sample forward bit for bit — the contract the serving
+        // layer's micro-batching relies on.
+        let samples: Vec<Tensor> = (0..4)
+            .map(|s| {
+                let data = (0..2 * 6 * 6)
+                    .map(|i| ((i as f32 + s as f32 * 17.0) * 0.37).sin())
+                    .collect();
+                Tensor::from_vec([1, 2, 6, 6], data)
+            })
+            .collect();
+        let w = seeded_input([3, 2, 3, 3]);
+        let b = seeded_input([1, 3, 1, 1]);
+        let batched = {
+            let mut tape = Tape::new();
+            let x = tape.input(Tensor::concat_batch(&samples));
+            let wn = tape.input(w.clone());
+            let bn = tape.input(b.clone());
+            let y = tape.conv2d(x, wn, bn, 1, 1);
+            tape.value(y).clone()
+        };
+        assert_eq!(batched.shape(), [4, 3, 6, 6]);
+        for (s, part) in batched.split_batch().into_iter().enumerate() {
+            let single = {
+                let mut tape = Tape::new();
+                let x = tape.input(samples[s].clone());
+                let wn = tape.input(w.clone());
+                let bn = tape.input(b.clone());
+                let y = tape.conv2d(x, wn, bn, 1, 1);
+                tape.value(y).clone()
+            };
+            let pb: Vec<u32> = part.data().iter().map(|v| v.to_bits()).collect();
+            let sb: Vec<u32> = single.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(pb, sb, "sample {s} differs in batch");
+        }
+    }
+
+    #[test]
+    fn batched_instance_norm_matches_single_samples() {
+        // Instance norm keeps per-sample statistics, so batching must
+        // not leak information across samples.
+        let samples: Vec<Tensor> = (0..3)
+            .map(|s| {
+                let data = (0..2 * 4 * 4)
+                    .map(|i| ((i as f32 * 0.61) + s as f32).cos() * 2.0)
+                    .collect();
+                Tensor::from_vec([1, 2, 4, 4], data)
+            })
+            .collect();
+        let g = Tensor::filled([1, 2, 1, 1], 1.4);
+        let bta = Tensor::filled([1, 2, 1, 1], -0.3);
+        let batched = {
+            let mut tape = Tape::new();
+            let x = tape.input(Tensor::concat_batch(&samples));
+            let gn = tape.input(g.clone());
+            let bn = tape.input(bta.clone());
+            let y = tape.instance_norm(x, gn, bn, 1e-5);
+            tape.value(y).clone()
+        };
+        for (s, part) in batched.split_batch().into_iter().enumerate() {
+            let single = {
+                let mut tape = Tape::new();
+                let x = tape.input(samples[s].clone());
+                let gn = tape.input(g.clone());
+                let bn = tape.input(bta.clone());
+                let y = tape.instance_norm(x, gn, bn, 1e-5);
+                tape.value(y).clone()
+            };
+            let pb: Vec<u32> = part.data().iter().map(|v| v.to_bits()).collect();
+            let sb: Vec<u32> = single.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(pb, sb, "sample {s} differs in batch");
+        }
+    }
+
+    #[test]
     fn conv2d_gradcheck_input() {
         let input = seeded_input([1, 2, 5, 5]);
         numeric_grad_check(

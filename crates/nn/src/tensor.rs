@@ -196,11 +196,81 @@ impl Tensor {
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
     }
+
+    /// Stacks tensors along the batch dimension: `k` inputs of shape
+    /// `(n_i, C, H, W)` become one `(sum n_i, C, H, W)` tensor. Sample
+    /// data is copied verbatim in input order, so element `b` of the
+    /// result is bit-for-bit the corresponding input sample — the
+    /// foundation of the batched-inference path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or the C/H/W dims disagree.
+    #[must_use]
+    pub fn concat_batch(parts: &[Tensor]) -> Tensor {
+        let first = parts.first().expect("concat_batch needs >= 1 tensor");
+        let [_, c, h, w] = first.shape;
+        let n_total: usize = parts
+            .iter()
+            .map(|t| {
+                assert_eq!(
+                    (t.shape[1], t.shape[2], t.shape[3]),
+                    (c, h, w),
+                    "concat_batch: C/H/W mismatch"
+                );
+                t.shape[0]
+            })
+            .sum();
+        let mut data = Vec::with_capacity(n_total * c * h * w);
+        for t in parts {
+            data.extend_from_slice(&t.data);
+        }
+        Tensor {
+            shape: [n_total, c, h, w],
+            data,
+        }
+    }
+
+    /// Splits a `(N, C, H, W)` tensor into `N` tensors of shape
+    /// `(1, C, H, W)` — the inverse of [`Tensor::concat_batch`] for
+    /// single-sample inputs.
+    #[must_use]
+    pub fn split_batch(&self) -> Vec<Tensor> {
+        let [n, c, h, w] = self.shape;
+        let stride = c * h * w;
+        (0..n)
+            .map(|b| Tensor {
+                shape: [1, c, h, w],
+                data: self.data[b * stride..(b + 1) * stride].to_vec(),
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn concat_split_batch_roundtrip() {
+        let a = Tensor::from_vec([1, 2, 2, 2], (0..8).map(|i| i as f32 * 0.5).collect());
+        let b = Tensor::from_vec([2, 2, 2, 2], (0..16).map(|i| -(i as f32)).collect());
+        let stacked = Tensor::concat_batch(&[a.clone(), b.clone()]);
+        assert_eq!(stacked.shape(), [3, 2, 2, 2]);
+        let parts = stacked.split_batch();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1].data(), &b.data()[..8]);
+        assert_eq!(parts[2].data(), &b.data()[8..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "concat_batch: C/H/W mismatch")]
+    fn concat_batch_rejects_mismatched_shapes() {
+        let a = Tensor::zeros([1, 2, 2, 2]);
+        let b = Tensor::zeros([1, 3, 2, 2]);
+        let _ = Tensor::concat_batch(&[a, b]);
+    }
 
     #[test]
     fn zeros_and_filled() {

@@ -30,7 +30,10 @@
 pub mod pool;
 pub mod rng;
 
-pub use pool::{num_threads, par_chunks_mut, par_for, par_map, par_reduce, set_num_threads};
+pub use pool::{
+    num_threads, par_chunks_mut, par_for, par_map, par_ragged_chunks_mut, par_reduce,
+    set_num_threads,
+};
 pub use rng::{SplitMix64, Xoshiro256pp};
 
 /// Resolves the default thread count: `IRF_THREADS` when set to a

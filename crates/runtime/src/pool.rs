@@ -289,6 +289,80 @@ where
     run_tasks(tasks);
 }
 
+/// Splits `data` into ragged consecutive pieces at the caller-supplied
+/// `offsets` (a `row_ptr`-style array: `offsets[0] == 0`,
+/// `offsets.last() == data.len()`, non-decreasing) and calls
+/// `f(piece_index, piece)` for each piece, distributing contiguous runs
+/// of pieces across the pool. Runs are balanced by total *element*
+/// count, so skewed piece sizes (e.g. nnz-heavy CSR rows) do not
+/// straggle one worker. Every piece is visited by exactly one task with
+/// the same bounds regardless of the thread count, so results are
+/// bitwise identical at any parallelism.
+///
+/// # Panics
+///
+/// Panics if `offsets` is not a valid partition of `data`.
+pub fn par_ragged_chunks_mut<T, F>(data: &mut [T], offsets: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(
+        offsets.first() == Some(&0) && offsets.last() == Some(&data.len()),
+        "par_ragged_chunks_mut: offsets must span the slice"
+    );
+    assert!(
+        offsets.windows(2).all(|w| w[0] <= w[1]),
+        "par_ragged_chunks_mut: offsets must be non-decreasing"
+    );
+    let n_pieces = offsets.len() - 1;
+    let k = effective_threads(n_pieces);
+    if k <= 1 {
+        let mut rest = data;
+        for p in 0..n_pieces {
+            let len = offsets[p + 1] - offsets[p];
+            let (piece, tail) = rest.split_at_mut(len);
+            rest = tail;
+            f(p, piece);
+        }
+        return;
+    }
+    // Cut the piece list into k runs balanced by element count: run r
+    // ends at the first piece boundary reaching `total * (r+1) / k`.
+    let total = data.len();
+    let mut run_bounds: Vec<usize> = Vec::with_capacity(k + 1);
+    run_bounds.push(0);
+    for r in 1..k {
+        let target = total * r / k;
+        let b = offsets.partition_point(|&o| o < target).min(n_pieces);
+        let b = b.max(*run_bounds.last().expect("non-empty"));
+        run_bounds.push(b);
+    }
+    run_bounds.push(n_pieces);
+    let f = &f;
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(k);
+    let mut rest = data;
+    for r in 0..k {
+        let (p0, p1) = (run_bounds[r], run_bounds[r + 1]);
+        if p0 == p1 {
+            continue;
+        }
+        let run_len = offsets[p1] - offsets[p0];
+        let (run, tail) = rest.split_at_mut(run_len);
+        rest = tail;
+        tasks.push(Box::new(move || {
+            let mut cur = run;
+            for p in p0..p1 {
+                let len = offsets[p + 1] - offsets[p];
+                let (piece, next) = cur.split_at_mut(len);
+                cur = next;
+                f(p, piece);
+            }
+        }) as Box<dyn FnOnce() + Send + '_>);
+    }
+    run_tasks(tasks);
+}
+
 /// Deterministic parallel reduction over `0..n`.
 ///
 /// The index range is cut into fixed chunks of `chunk_size` (the last
@@ -428,6 +502,42 @@ mod tests {
         with_threads(4, || {
             let mut data: Vec<u8> = Vec::new();
             par_chunks_mut(&mut data, 4, |_, _| panic!("no chunks expected"));
+        });
+    }
+
+    #[test]
+    fn par_ragged_chunks_mut_covers_all_pieces() {
+        // Skewed piece sizes: one huge piece, many tiny ones, empties.
+        let offsets = [0usize, 0, 500, 501, 502, 502, 640];
+        for threads in [1, 2, 4, 8] {
+            with_threads(threads, || {
+                let mut data = vec![usize::MAX; 640];
+                par_ragged_chunks_mut(&mut data, &offsets, |p, piece| {
+                    assert_eq!(piece.len(), offsets[p + 1] - offsets[p]);
+                    for v in piece.iter_mut() {
+                        *v = p;
+                    }
+                });
+                for (i, &v) in data.iter().enumerate() {
+                    let expect = offsets.windows(2).position(|w| w[0] <= i && i < w[1]);
+                    assert_eq!(Some(v), expect, "element {i}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn par_ragged_chunks_mut_empty_slice() {
+        with_threads(4, || {
+            let mut data: Vec<u8> = Vec::new();
+            par_ragged_chunks_mut(&mut data, &[0], |_, _| panic!("no pieces"));
+            // A single empty piece is still visited.
+            let hit = AtomicU64::new(0);
+            par_ragged_chunks_mut(&mut data, &[0, 0], |p, piece| {
+                assert_eq!((p, piece.len()), (0, 0));
+                hit.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hit.load(Ordering::Relaxed), 1);
         });
     }
 

@@ -1,0 +1,203 @@
+//! The micro-batching queue: concurrent predict requests are collected
+//! up to a batch size `B` or a deadline `T`, whichever comes first, and
+//! executed as ONE batched forward pass.
+//!
+//! Batching is free of accuracy consequences here: the batched forward
+//! is bitwise identical to running each sample alone (asserted by
+//! `tests/integration_batch.rs`), so the only observable effect is
+//! throughput — one tape walk amortizes scheduling and parameter
+//! traffic across all samples in flight.
+
+use crate::metrics::ServerMetrics;
+use ir_fusion::{IrFusionPipeline, PreparedStack, TrainedModel};
+use irf_metrics::Timer;
+use irf_pg::GridMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of the micro-batcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum requests fused into one forward pass.
+    pub max_batch: usize,
+    /// How long the collector waits for more requests after the first
+    /// one arrives.
+    pub deadline: Duration,
+    /// Bound on queued-but-unbatched requests; submissions beyond it
+    /// are rejected (the server answers 429).
+    pub queue_capacity: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 4,
+            deadline: Duration::from_millis(5),
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// One queued inference request: the prepared stack to run and the
+/// channel that receives the predicted map.
+pub struct PredictJob {
+    /// Prepared features + rough map (label-free).
+    pub stack: Arc<PreparedStack>,
+    /// Where the prediction is delivered.
+    pub reply: mpsc::Sender<GridMap>,
+}
+
+/// Why a submission was not queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — shed load (HTTP 429).
+    QueueFull,
+    /// The batcher has shut down (HTTP 503).
+    Closed,
+}
+
+/// Handle to the batcher thread.
+pub struct Batcher {
+    tx: mpsc::SyncSender<PredictJob>,
+    handle: JoinHandle<()>,
+}
+
+impl Batcher {
+    /// Spawns the batcher thread. It owns the trained model; request
+    /// handlers only prepare stacks and queue jobs.
+    #[must_use]
+    pub fn start(
+        pipeline: IrFusionPipeline,
+        model: TrainedModel,
+        config: BatchConfig,
+        metrics: Arc<ServerMetrics>,
+    ) -> Batcher {
+        let (tx, rx) = mpsc::sync_channel::<PredictJob>(config.queue_capacity.max(1));
+        let handle = std::thread::Builder::new()
+            .name("irf-batcher".into())
+            .spawn(move || run_batcher(&rx, &pipeline, &model, config, &metrics))
+            .expect("spawn batcher thread");
+        Batcher { tx, handle }
+    }
+
+    /// A cloneable submission endpoint.
+    #[must_use]
+    pub fn sender(&self) -> mpsc::SyncSender<PredictJob> {
+        self.tx.clone()
+    }
+
+    /// Drops the submission endpoint and joins the thread after it
+    /// drains every queued job (provided all cloned senders are gone).
+    pub fn shutdown(self) {
+        let Batcher { tx, handle } = self;
+        drop(tx);
+        let _ = handle.join();
+    }
+}
+
+/// Non-blocking submission helper shared by the server's handlers.
+///
+/// # Errors
+///
+/// [`SubmitError::QueueFull`] when the bounded queue is at capacity,
+/// [`SubmitError::Closed`] when the batcher is gone.
+pub fn try_submit(tx: &mpsc::SyncSender<PredictJob>, job: PredictJob) -> Result<(), SubmitError> {
+    match tx.try_send(job) {
+        Ok(()) => Ok(()),
+        Err(mpsc::TrySendError::Full(_)) => Err(SubmitError::QueueFull),
+        Err(mpsc::TrySendError::Disconnected(_)) => Err(SubmitError::Closed),
+    }
+}
+
+fn run_batcher(
+    rx: &mpsc::Receiver<PredictJob>,
+    pipeline: &IrFusionPipeline,
+    model: &TrainedModel,
+    config: BatchConfig,
+    metrics: &ServerMetrics,
+) {
+    let max_batch = config.max_batch.max(1);
+    loop {
+        // Block for the first job; every sender gone means shutdown
+        // (after the channel's remaining jobs have been drained).
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(mpsc::RecvError) => return,
+        };
+        let mut jobs = vec![first];
+        let deadline = Instant::now() + config.deadline;
+        while jobs.len() < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => jobs.push(job),
+                Err(mpsc::RecvTimeoutError::Timeout | mpsc::RecvTimeoutError::Disconnected) => {
+                    break
+                }
+            }
+        }
+        let stacks: Vec<&PreparedStack> = jobs.iter().map(|j| j.stack.as_ref()).collect();
+        let (maps, seconds) = Timer::time(|| pipeline.predict_batch(model, &stacks));
+        metrics.observe_batch(jobs.len());
+        metrics.observe_stage("forward", seconds);
+        for (job, map) in jobs.iter().zip(maps) {
+            // A handler that gave up (client disconnect) just drops
+            // its receiver; that is not the batcher's problem.
+            let _ = job.reply.send(map);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_fusion::FusionConfig;
+    use irf_data::Dataset;
+    use irf_models::ModelKind;
+
+    #[test]
+    fn batcher_serves_jobs_and_drains_on_shutdown() {
+        let config = FusionConfig::tiny();
+        let dataset = Dataset::generate(2, 2, 1, 7);
+        let trained = ir_fusion::train(ModelKind::IrEdge, &dataset, &config);
+        let pipeline = IrFusionPipeline::new(config);
+        let stack = Arc::new(pipeline.prepare_stack(&dataset.designs[0].grid));
+        let expected = pipeline.predict(&trained, &stack);
+
+        let metrics = Arc::new(ServerMetrics::new(4));
+        let batcher = Batcher::start(
+            pipeline,
+            trained,
+            BatchConfig {
+                max_batch: 4,
+                deadline: Duration::from_millis(1),
+                queue_capacity: 8,
+            },
+            Arc::clone(&metrics),
+        );
+        let tx = batcher.sender();
+        let mut replies = Vec::new();
+        for _ in 0..3 {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            try_submit(
+                &tx,
+                PredictJob {
+                    stack: Arc::clone(&stack),
+                    reply: reply_tx,
+                },
+            )
+            .expect("queue has room");
+            replies.push(reply_rx);
+        }
+        for rx in replies {
+            let map = rx.recv().expect("batcher replies");
+            assert_eq!(map, expected, "batched result must equal solo predict");
+        }
+        drop(tx);
+        batcher.shutdown();
+    }
+}

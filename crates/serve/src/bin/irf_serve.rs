@@ -1,0 +1,122 @@
+//! `irf-serve` — the IR-Fusion inference server binary.
+//!
+//! ```text
+//! irf-serve [--addr HOST:PORT] [--workers N] [--batch-size B]
+//!           [--batch-deadline-ms T] [--queue N] [--cache N]
+//!           [--model CKPT | --no-model] [--full] [--threads N]
+//! ```
+//!
+//! Without `--model`, a tiny IR-Fusion model is trained at startup on
+//! synthetic designs (deterministic, a few seconds) so the server is
+//! self-contained; `--no-model` skips the model entirely and serves
+//! rough numerical maps. `--full` uses the full-resolution pipeline
+//! configuration instead of the test-scale one.
+//!
+//! Stop the server with `POST /shutdown` (the dependency-free build
+//! cannot trap SIGTERM; see the crate docs).
+
+use ir_fusion::{load_model, train, FusionConfig, TrainedModel};
+use irf_data::Dataset;
+use irf_models::ModelKind;
+use irf_serve::{Server, ServerConfig};
+use std::time::Duration;
+
+struct Args {
+    server: ServerConfig,
+    model_path: Option<String>,
+    no_model: bool,
+    full: bool,
+    threads: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: irf-serve [--addr HOST:PORT] [--workers N] [--batch-size B]\n\
+         \x20                [--batch-deadline-ms T] [--queue N] [--cache N]\n\
+         \x20                [--model CKPT | --no-model] [--full] [--threads N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        server: ServerConfig::default(),
+        model_path: None,
+        no_model: false,
+        full: false,
+        threads: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.server.addr = value("--addr"),
+            "--workers" => args.server.workers = parse_num(&value("--workers")),
+            "--batch-size" => args.server.batch.max_batch = parse_num(&value("--batch-size")),
+            "--batch-deadline-ms" => {
+                args.server.batch.deadline =
+                    Duration::from_millis(parse_num(&value("--batch-deadline-ms")) as u64);
+            }
+            "--queue" => args.server.batch.queue_capacity = parse_num(&value("--queue")),
+            "--cache" => args.server.cache_capacity = parse_num(&value("--cache")),
+            "--model" => args.model_path = Some(value("--model")),
+            "--no-model" => args.no_model = true,
+            "--full" => args.full = true,
+            "--threads" => args.threads = parse_num(&value("--threads")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn parse_num(s: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("not a number: {s}");
+        usage();
+    })
+}
+
+fn startup_model(args: &Args, config: &FusionConfig) -> Option<TrainedModel> {
+    if args.no_model {
+        return None;
+    }
+    if let Some(path) = &args.model_path {
+        let file = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open {path}: {e}");
+            std::process::exit(1);
+        });
+        let trained = load_model(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+            eprintln!("cannot load checkpoint {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("loaded checkpoint {path}: {trained:?}");
+        return Some(trained);
+    }
+    eprintln!("training startup model (pass --model CKPT or --no-model to skip)...");
+    let dataset = Dataset::generate(2, 2, 1, 7);
+    let trained = train(ModelKind::IrFusion, &dataset, config);
+    eprintln!("startup model ready: {trained:?}");
+    Some(trained)
+}
+
+fn main() {
+    let args = parse_args();
+    let mut config = if args.full {
+        FusionConfig::default()
+    } else {
+        FusionConfig::tiny()
+    };
+    config.num_threads = args.threads;
+    let model = startup_model(&args, &config);
+    let server = Server::start(&args.server, config, model).unwrap_or_else(|e| {
+        eprintln!("cannot bind {}: {e}", args.server.addr);
+        std::process::exit(1);
+    });
+    println!("listening on http://{}", server.addr());
+    server.wait();
+    eprintln!("server drained, exiting");
+}

@@ -1,0 +1,46 @@
+//! `irf-serve`: a dependency-free inference server for IR-Fusion.
+//!
+//! The crate turns the [`ir_fusion`] pipeline into a long-running
+//! HTTP/1.1 service on `std::net::TcpListener` — no async runtime, no
+//! HTTP or JSON crates, in keeping with the repo's toolchain-only
+//! build. Three ideas carry the design:
+//!
+//! - **Micro-batching** ([`batch`]): concurrent predict requests are
+//!   collected up to a batch size or deadline and executed as one
+//!   batched forward pass. Because every tape operation computes
+//!   per-sample values with identical serial loops, the batched pass
+//!   is bitwise identical to running each request alone — batching is
+//!   purely a throughput optimization.
+//! - **Feature-stack caching** ([`ir_fusion::FeatureCache`]): prepared
+//!   solver/feature stacks are cached by a content fingerprint of the
+//!   design, so repeated requests skip the dominant preparation cost.
+//!   The same cache object backs the CLI training path.
+//! - **Bounded queues everywhere**: the predict queue rejects beyond
+//!   its capacity (HTTP 429) instead of building unbounded backlog.
+//!
+//! ```no_run
+//! use irf_serve::{Server, ServerConfig};
+//! use ir_fusion::FusionConfig;
+//!
+//! let server = Server::start(
+//!     &ServerConfig::default(),
+//!     FusionConfig::tiny(),
+//!     None, // or Some(trained_model)
+//! )?;
+//! println!("listening on http://{}", server.addr());
+//! server.wait();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+
+pub use batch::{BatchConfig, Batcher, PredictJob, SubmitError};
+pub use json::Json;
+pub use metrics::ServerMetrics;
+pub use server::{Server, ServerConfig};

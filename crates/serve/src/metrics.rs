@@ -1,0 +1,176 @@
+//! Server observability in Prometheus text exposition format: request
+//! counts by route and status, a batch-size histogram, per-stage
+//! latency accumulators, and the feature-cache hit rate.
+
+use ir_fusion::FeatureCache;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+struct Inner {
+    /// `(route, status) -> count`.
+    requests: BTreeMap<(String, u16), u64>,
+    /// `batch_hist[i]` counts batches of size `i + 1`.
+    batch_hist: Vec<u64>,
+    batch_count: u64,
+    batch_sum: u64,
+    /// `stage -> (count, total seconds)`.
+    stages: BTreeMap<&'static str, (u64, f64)>,
+}
+
+/// Aggregated server metrics. All methods are thread-safe; request
+/// rates are far below the contention regime where a single mutex
+/// would matter.
+pub struct ServerMetrics {
+    inner: Mutex<Inner>,
+    max_batch: usize,
+}
+
+impl std::fmt::Debug for ServerMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerMetrics")
+            .field("max_batch", &self.max_batch)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerMetrics {
+    /// Creates an empty registry; `max_batch` sizes the batch
+    /// histogram (one bucket per possible batch size).
+    #[must_use]
+    pub fn new(max_batch: usize) -> Self {
+        ServerMetrics {
+            inner: Mutex::new(Inner {
+                requests: BTreeMap::new(),
+                batch_hist: vec![0; max_batch.max(1)],
+                batch_count: 0,
+                batch_sum: 0,
+                stages: BTreeMap::new(),
+            }),
+            max_batch: max_batch.max(1),
+        }
+    }
+
+    /// Counts one finished request.
+    pub fn observe_request(&self, route: &str, status: u16) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        *inner
+            .requests
+            .entry((route.to_string(), status))
+            .or_insert(0) += 1;
+    }
+
+    /// Records one executed batch of `size` requests.
+    pub fn observe_batch(&self, size: usize) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        let bucket = size.clamp(1, self.max_batch) - 1;
+        inner.batch_hist[bucket] += 1;
+        inner.batch_count += 1;
+        inner.batch_sum += size as u64;
+    }
+
+    /// Accumulates `seconds` of latency under a stage label
+    /// (`parse`, `prepare`, `infer`, `forward`, ...).
+    pub fn observe_stage(&self, stage: &'static str, seconds: f64) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        let entry = inner.stages.entry(stage).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += seconds;
+    }
+
+    /// Renders the Prometheus text exposition, folding in the feature
+    /// cache's counters.
+    #[must_use]
+    pub fn render(&self, cache: &FeatureCache) -> String {
+        let inner = self.inner.lock().expect("metrics poisoned");
+        let mut out = String::new();
+        out.push_str("# HELP irf_requests_total Finished HTTP requests by route and status.\n");
+        out.push_str("# TYPE irf_requests_total counter\n");
+        for ((route, status), count) in &inner.requests {
+            let _ = writeln!(
+                out,
+                "irf_requests_total{{route=\"{route}\",status=\"{status}\"}} {count}"
+            );
+        }
+        out.push_str("# HELP irf_batch_size Requests per executed forward batch.\n");
+        out.push_str("# TYPE irf_batch_size histogram\n");
+        let mut cumulative = 0u64;
+        for (i, n) in inner.batch_hist.iter().enumerate() {
+            cumulative += n;
+            let _ = writeln!(
+                out,
+                "irf_batch_size_bucket{{le=\"{}\"}} {cumulative}",
+                i + 1
+            );
+        }
+        let _ = writeln!(
+            out,
+            "irf_batch_size_bucket{{le=\"+Inf\"}} {}",
+            inner.batch_count
+        );
+        let _ = writeln!(out, "irf_batch_size_sum {}", inner.batch_sum);
+        let _ = writeln!(out, "irf_batch_size_count {}", inner.batch_count);
+        out.push_str("# HELP irf_stage_seconds_total Cumulative latency per pipeline stage.\n");
+        out.push_str("# TYPE irf_stage_seconds_total counter\n");
+        for (stage, (count, seconds)) in &inner.stages {
+            let _ = writeln!(
+                out,
+                "irf_stage_seconds_total{{stage=\"{stage}\"}} {seconds:.6}"
+            );
+            let _ = writeln!(out, "irf_stage_requests_total{{stage=\"{stage}\"}} {count}");
+        }
+        out.push_str("# HELP irf_cache_hits_total Feature-stack cache hits.\n");
+        out.push_str("# TYPE irf_cache_hits_total counter\n");
+        let _ = writeln!(out, "irf_cache_hits_total {}", cache.hits());
+        out.push_str("# HELP irf_cache_misses_total Feature-stack cache misses.\n");
+        out.push_str("# TYPE irf_cache_misses_total counter\n");
+        let _ = writeln!(out, "irf_cache_misses_total {}", cache.misses());
+        out.push_str("# HELP irf_cache_hit_rate Feature-stack cache hit fraction.\n");
+        out.push_str("# TYPE irf_cache_hit_rate gauge\n");
+        let _ = writeln!(out, "irf_cache_hit_rate {:.6}", cache.hit_rate());
+        out.push_str("# HELP irf_cache_entries Cached feature stacks.\n");
+        out.push_str("# TYPE irf_cache_entries gauge\n");
+        let _ = writeln!(out, "irf_cache_entries {}", cache.len());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_deterministic_and_complete() {
+        let m = ServerMetrics::new(4);
+        m.observe_request("predict", 200);
+        m.observe_request("predict", 200);
+        m.observe_request("healthz", 200);
+        m.observe_request("predict", 429);
+        m.observe_batch(1);
+        m.observe_batch(3);
+        m.observe_stage("prepare", 0.5);
+        m.observe_stage("prepare", 0.25);
+        let cache = FeatureCache::new(4);
+        let text = m.render(&cache);
+        assert!(text.contains("irf_requests_total{route=\"predict\",status=\"200\"} 2"));
+        assert!(text.contains("irf_requests_total{route=\"predict\",status=\"429\"} 1"));
+        assert!(text.contains("irf_batch_size_bucket{le=\"1\"} 1"));
+        assert!(text.contains("irf_batch_size_bucket{le=\"3\"} 2"));
+        assert!(text.contains("irf_batch_size_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("irf_batch_size_sum 4"));
+        assert!(text.contains("irf_stage_seconds_total{stage=\"prepare\"} 0.750000"));
+        assert!(text.contains("irf_stage_requests_total{stage=\"prepare\"} 2"));
+        assert!(text.contains("irf_cache_hits_total 0"));
+        assert_eq!(text, m.render(&cache), "render must be stable");
+    }
+
+    #[test]
+    fn oversized_batches_clamp_into_the_last_bucket() {
+        let m = ServerMetrics::new(2);
+        m.observe_batch(9);
+        let cache = FeatureCache::new(1);
+        let text = m.render(&cache);
+        assert!(text.contains("irf_batch_size_bucket{le=\"2\"} 1"));
+        assert!(text.contains("irf_batch_size_sum 9"));
+    }
+}

@@ -1,0 +1,410 @@
+//! The HTTP server: a `std::net::TcpListener` accept loop, a small
+//! pool of connection handlers, and the micro-batcher behind them.
+//!
+//! Routes:
+//!
+//! - `GET /healthz` — liveness probe, plain `ok`.
+//! - `GET /metrics` — Prometheus text exposition.
+//! - `POST /predict` — run one design through the pipeline.
+//! - `POST /shutdown` — graceful drain (see below).
+//!
+//! Shutdown: the toolchain-only build has no way to trap SIGTERM /
+//! ctrl-c (that needs `libc`/`signal-hook`, and this repo is
+//! dependency-free by design), so graceful termination is exposed as
+//! an explicit `POST /shutdown` endpoint and the in-process
+//! [`Server::shutdown`] handle instead. Both stop accepting, drain
+//! queued batches, and join every thread.
+
+use crate::batch::{try_submit, BatchConfig, Batcher, PredictJob, SubmitError};
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::json::{obj, parse, Json};
+use crate::metrics::ServerMetrics;
+use ir_fusion::{design_fingerprint, FeatureCache, FusionConfig, IrFusionPipeline, TrainedModel};
+use irf_metrics::Timer;
+use irf_pg::{GridMap, PowerGrid};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` for an ephemeral
+    /// port).
+    pub addr: String,
+    /// Connection-handler threads.
+    pub workers: usize,
+    /// Micro-batcher settings.
+    pub batch: BatchConfig,
+    /// Feature-stack cache capacity (design count).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 4,
+            batch: BatchConfig::default(),
+            cache_capacity: 32,
+        }
+    }
+}
+
+struct State {
+    pipeline: IrFusionPipeline,
+    cache: Arc<FeatureCache>,
+    metrics: Arc<ServerMetrics>,
+    /// `None` once shutdown started (or when serving without a model
+    /// was requested and no batcher exists).
+    predict_tx: Mutex<Option<mpsc::SyncSender<PredictJob>>>,
+    has_model: bool,
+    shutting_down: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// A running server; dropping the handle does NOT stop it — call
+/// [`Server::shutdown`] (or POST `/shutdown`) then [`Server::wait`].
+pub struct Server {
+    state: Arc<State>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    batcher: Option<Batcher>,
+}
+
+impl Server {
+    /// Binds and starts serving. `model` is optional: without one,
+    /// `/predict` answers with the rough numerical map only
+    /// (`"source":"rough"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(
+        config: &ServerConfig,
+        fusion: FusionConfig,
+        model: Option<TrainedModel>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let cache = Arc::new(FeatureCache::new(config.cache_capacity));
+        let metrics = Arc::new(ServerMetrics::new(config.batch.max_batch));
+        let pipeline = IrFusionPipeline::new(fusion).with_cache(Arc::clone(&cache));
+        let has_model = model.is_some();
+        let batcher = model.map(|trained| {
+            Batcher::start(
+                pipeline.clone(),
+                trained,
+                config.batch,
+                Arc::clone(&metrics),
+            )
+        });
+        let state = Arc::new(State {
+            pipeline,
+            cache,
+            metrics,
+            predict_tx: Mutex::new(batcher.as_ref().map(Batcher::sender)),
+            has_model,
+            shutting_down: AtomicBool::new(false),
+            addr,
+        });
+
+        // Accepted connections flow to the handler pool over a channel;
+        // the accept thread owns the sender, so its exit hangs up the
+        // workers.
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&conn_rx);
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("irf-serve-{i}"))
+                    .spawn(move || worker_loop(&rx, &state))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::Builder::new()
+            .name("irf-serve-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_state.shutting_down.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if conn_tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                // conn_tx drops here: workers finish queued connections
+                // and exit.
+            })
+            .expect("spawn accept thread");
+        Ok(Server {
+            state,
+            accept: Some(accept),
+            workers,
+            batcher,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// The feature cache (shared with the pipeline).
+    #[must_use]
+    pub fn cache(&self) -> &Arc<FeatureCache> {
+        &self.state.cache
+    }
+
+    /// Starts a graceful shutdown: stop accepting, reject new predict
+    /// submissions, let queued batches finish. Idempotent.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.state);
+    }
+
+    /// Blocks until every thread has exited (after
+    /// [`Server::shutdown`] or a `POST /shutdown`).
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(batcher) = self.batcher.take() {
+            batcher.shutdown();
+        }
+    }
+}
+
+/// Flags shutdown, closes the predict queue, and pokes the listener so
+/// the accept loop observes the flag even while blocked in `accept`.
+fn initiate_shutdown(state: &State) {
+    if state.shutting_down.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    state
+        .predict_tx
+        .lock()
+        .expect("predict sender poisoned")
+        .take();
+    // Self-connect unblocks the accept loop; the errors don't matter.
+    let _ = TcpStream::connect(state.addr);
+}
+
+fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, state: &Arc<State>) {
+    loop {
+        let stream = {
+            let guard = rx.lock().expect("connection queue poisoned");
+            guard.recv()
+        };
+        match stream {
+            Ok(stream) => handle_connection(stream, state),
+            Err(mpsc::RecvError) => return,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<State>) {
+    let mut reader = BufReader::new(stream);
+    let request = match read_request(&mut reader) {
+        Ok(request) => request,
+        Err(error) => {
+            let status = match error {
+                HttpError::TooLarge => 413,
+                _ => 400,
+            };
+            let body = error_body(&error.to_string());
+            let _ = write_response(
+                reader.get_mut(),
+                status,
+                "application/json",
+                body.as_bytes(),
+            );
+            state.metrics.observe_request("other", status);
+            return;
+        }
+    };
+    let (route, status, content_type, body) = route_request(&request, state);
+    let _ = write_response(reader.get_mut(), status, content_type, body.as_bytes());
+    state.metrics.observe_request(route, status);
+}
+
+fn error_body(message: &str) -> String {
+    obj(vec![("error", Json::Str(message.to_string()))]).render()
+}
+
+fn route_request(
+    request: &Request,
+    state: &Arc<State>,
+) -> (&'static str, u16, &'static str, String) {
+    match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/healthz") => ("healthz", 200, "text/plain", "ok\n".to_string()),
+        ("GET", "/metrics") => (
+            "metrics",
+            200,
+            "text/plain; version=0.0.4",
+            state.metrics.render(&state.cache),
+        ),
+        ("POST", "/predict") => {
+            let (status, body) = handle_predict(request, state);
+            ("predict", status, "application/json", body)
+        }
+        ("POST", "/shutdown") => {
+            initiate_shutdown(state);
+            (
+                "shutdown",
+                200,
+                "application/json",
+                obj(vec![("shutting_down", Json::Bool(true))]).render(),
+            )
+        }
+        ("GET" | "POST", _) => (
+            "other",
+            404,
+            "application/json",
+            error_body("no such route"),
+        ),
+        _ => (
+            "other",
+            405,
+            "application/json",
+            error_body("method not allowed"),
+        ),
+    }
+}
+
+/// Resolves the request body into a power grid: an inline `netlist`
+/// (SPICE text), a `netlist_path` on the server's filesystem, or a
+/// synthetic `spec` (`{"class":"fake"|"real","seed":N}`).
+fn resolve_grid(body: &Json) -> Result<PowerGrid, String> {
+    let netlist = if let Some(text) = body.get("netlist").and_then(Json::as_str) {
+        irf_spice::parse(text).map_err(|e| format!("netlist parse error: {e}"))?
+    } else if let Some(path) = body.get("netlist_path").and_then(Json::as_str) {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        irf_spice::parse(&text).map_err(|e| format!("netlist parse error: {e}"))?
+    } else if let Some(spec) = body.get("spec") {
+        let class = spec.get("class").and_then(Json::as_str).unwrap_or("fake");
+        let seed = spec.get("seed").and_then(Json::as_u64).unwrap_or(0);
+        match class {
+            "fake" => irf_data::fake::generate(seed),
+            "real" => irf_data::real_like::generate(seed),
+            other => return Err(format!("unknown design class {other:?}")),
+        }
+    } else {
+        return Err("request needs one of: netlist, netlist_path, spec".to_string());
+    };
+    PowerGrid::from_netlist(&netlist).map_err(|e| format!("invalid power grid: {e}"))
+}
+
+fn handle_predict(request: &Request, state: &Arc<State>) -> (u16, String) {
+    if state.shutting_down.load(Ordering::SeqCst) {
+        return (503, error_body("shutting down"));
+    }
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return (400, error_body("body is not utf-8")),
+    };
+    let ((grid, body), parse_seconds) = match Timer::time(|| {
+        parse(text)
+            .map_err(|e| e.to_string())
+            .and_then(|body| resolve_grid(&body).map(|grid| (grid, body)))
+    }) {
+        (Ok(ok), seconds) => (ok, seconds),
+        (Err(message), _) => return (400, error_body(&message)),
+    };
+    state.metrics.observe_stage("parse", parse_seconds);
+
+    let (stack, prepare_seconds) = Timer::time(|| state.pipeline.prepare_stack_cached(&grid));
+    state.metrics.observe_stage("prepare", prepare_seconds);
+
+    // Queue for the batched forward pass (when a model is loaded).
+    let sender = state
+        .predict_tx
+        .lock()
+        .expect("predict sender poisoned")
+        .clone();
+    let (map, source) = match sender {
+        Some(tx) => {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let job = PredictJob {
+                stack: Arc::clone(&stack),
+                reply: reply_tx,
+            };
+            match try_submit(&tx, job) {
+                Ok(()) => {}
+                Err(SubmitError::QueueFull) => {
+                    return (429, error_body("predict queue is full, retry later"))
+                }
+                Err(SubmitError::Closed) => return (503, error_body("shutting down")),
+            }
+            let (received, infer_seconds) = Timer::time(|| reply_rx.recv());
+            state.metrics.observe_stage("infer", infer_seconds);
+            match received {
+                Ok(map) => (map, "fused"),
+                Err(mpsc::RecvError) => return (503, error_body("shutting down")),
+            }
+        }
+        None if state.has_model => return (503, error_body("shutting down")),
+        None => (stack.rough.clone(), "rough"),
+    };
+
+    let include_map = body
+        .get("include_map")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    let threshold = body
+        .get("hotspot_threshold")
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| f64::from(map.max()) * 0.9);
+    (
+        200,
+        render_prediction(&grid, state, &map, source, threshold, include_map),
+    )
+}
+
+fn render_prediction(
+    grid: &PowerGrid,
+    state: &Arc<State>,
+    map: &GridMap,
+    source: &str,
+    threshold: f64,
+    include_map: bool,
+) -> String {
+    let hotspot_count = map
+        .data()
+        .iter()
+        .filter(|&&v| f64::from(v) >= threshold && v > 0.0)
+        .count();
+    let fingerprint = design_fingerprint(grid, state.pipeline.config());
+    let mut members = vec![
+        ("design", Json::Str(format!("{fingerprint:016x}"))),
+        ("source", Json::Str(source.to_string())),
+        ("width", Json::Num(map.width() as f64)),
+        ("height", Json::Num(map.height() as f64)),
+        ("max_drop", Json::Num(f64::from(map.max()))),
+        ("mean_drop", Json::Num(f64::from(map.mean()))),
+        ("hotspot_threshold", Json::Num(threshold)),
+        ("hotspot_count", Json::Num(hotspot_count as f64)),
+        ("nodes", Json::Num(grid.nodes.len() as f64)),
+    ];
+    if include_map {
+        members.push((
+            "map",
+            Json::Arr(
+                map.data()
+                    .iter()
+                    .map(|&v| Json::Num(f64::from(v)))
+                    .collect(),
+            ),
+        ));
+    }
+    obj(members).render()
+}

@@ -1,0 +1,138 @@
+//! End-to-end test: boot the server on an ephemeral port, drive it
+//! with raw TCP requests, and check the JSON responses and metrics.
+
+use ir_fusion::FusionConfig;
+use irf_data::Dataset;
+use irf_models::ModelKind;
+use irf_serve::json::{parse, Json};
+use irf_serve::{BatchConfig, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Sends one HTTP/1.1 request and returns `(status, body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let payload = response
+        .split_once("\r\n\r\n")
+        .expect("header/body separator")
+        .1
+        .to_string();
+    (status, payload)
+}
+
+fn metric_value(metrics: &str, name: &str) -> f64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing in:\n{metrics}"))
+}
+
+#[test]
+fn server_answers_predicts_and_reuses_the_cache() {
+    let config = FusionConfig::tiny();
+    let dataset = Dataset::generate(2, 2, 1, 7);
+    let trained = ir_fusion::train(ModelKind::IrEdge, &dataset, &config);
+
+    let server = Server::start(
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            batch: BatchConfig {
+                max_batch: 2,
+                deadline: Duration::from_millis(5),
+                queue_capacity: 8,
+            },
+            cache_capacity: 8,
+        },
+        config,
+        Some(trained),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    // Two predicts of the SAME design: the second must hit the cache.
+    let predict_body = r#"{"spec":{"class":"fake","seed":11}}"#;
+    for _ in 0..2 {
+        let (status, body) = request(addr, "POST", "/predict", predict_body);
+        assert_eq!(status, 200, "predict failed: {body}");
+        let json = parse(&body).expect("valid json");
+        assert_eq!(json.get("source").and_then(Json::as_str), Some("fused"));
+        assert_eq!(json.get("width").and_then(Json::as_u64), Some(16));
+        assert_eq!(json.get("height").and_then(Json::as_u64), Some(16));
+        assert!(
+            json.get("max_drop")
+                .and_then(Json::as_f64)
+                .expect("max_drop")
+                > 0.0
+        );
+        assert!(json.get("hotspot_count").and_then(Json::as_u64).is_some());
+        assert_eq!(
+            json.get("design").and_then(Json::as_str).map(str::len),
+            Some(16),
+            "design fingerprint is 16 hex chars"
+        );
+        assert!(json.get("map").is_none(), "map only on request");
+    }
+
+    // include_map returns width*height values.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/predict",
+        r#"{"spec":{"class":"fake","seed":11},"include_map":true}"#,
+    );
+    assert_eq!(status, 200);
+    let json = parse(&body).expect("valid json");
+    match json.get("map") {
+        Some(Json::Arr(values)) => assert_eq!(values.len(), 16 * 16),
+        other => panic!("expected map array, got {other:?}"),
+    }
+
+    // Malformed and unknown requests are rejected, not crashed on.
+    let (status, _) = request(addr, "POST", "/predict", "{not json");
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "POST", "/predict", "{}");
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    // Three predicts of the same design: one miss, two hits.
+    assert_eq!(metric_value(&metrics, "irf_cache_misses_total"), 1.0);
+    assert_eq!(metric_value(&metrics, "irf_cache_hits_total"), 2.0);
+    assert!(metric_value(&metrics, "irf_cache_hit_rate") > 0.6);
+    assert_eq!(metric_value(&metrics, "irf_batch_size_count"), 3.0);
+    assert!(metrics.contains("irf_requests_total{route=\"predict\",status=\"200\"} 3"));
+    assert!(metrics.contains("irf_requests_total{route=\"predict\",status=\"400\"} 2"));
+    assert!(metrics.contains("irf_stage_seconds_total{stage=\"prepare\"}"));
+    assert!(metrics.contains("irf_stage_seconds_total{stage=\"forward\"}"));
+
+    // Graceful shutdown over HTTP; wait() must join every thread.
+    let (status, body) = request(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200, "{body}");
+    server.wait();
+}

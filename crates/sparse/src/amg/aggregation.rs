@@ -49,24 +49,31 @@ impl Aggregation {
 pub fn strength_graph(a: &CsrMatrix, theta: f64) -> Vec<Vec<(usize, f64)>> {
     assert_eq!(a.rows(), a.cols(), "strength graph needs a square matrix");
     let n = a.rows();
-    let mut graph = Vec::with_capacity(n);
-    for i in 0..n {
-        let (cols, vals) = a.row(i);
-        let max_neg = cols
-            .iter()
-            .zip(vals)
-            .filter(|&(&c, _)| c != i)
-            .map(|(_, &v)| -v)
-            .fold(0.0_f64, f64::max);
-        let mut neigh: Vec<(usize, f64)> = cols
-            .iter()
-            .zip(vals)
-            .filter(|&(&c, &v)| c != i && -v >= theta * max_neg && v < 0.0)
-            .map(|(&c, &v)| (c, -v))
-            .collect();
-        neigh.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        graph.push(neigh);
-    }
+    let mut graph: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    // Row-parallel over the matrix's nnz-balanced chunks: each row's
+    // neighbour list is built and sorted by one task with the same
+    // serial routine, so the graph is identical at any thread count.
+    irf_runtime::par_ragged_chunks_mut(&mut graph, a.row_chunks(), |ci, rows| {
+        let base = a.row_chunks()[ci];
+        for (j, slot) in rows.iter_mut().enumerate() {
+            let i = base + j;
+            let (cols, vals) = a.row(i);
+            let max_neg = cols
+                .iter()
+                .zip(vals)
+                .filter(|&(&c, _)| c != i)
+                .map(|(_, &v)| -v)
+                .fold(0.0_f64, f64::max);
+            let mut neigh: Vec<(usize, f64)> = cols
+                .iter()
+                .zip(vals)
+                .filter(|&(&c, &v)| c != i && -v >= theta * max_neg && v < 0.0)
+                .map(|(&c, &v)| (c, -v))
+                .collect();
+            neigh.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            *slot = neigh;
+        }
+    });
     graph
 }
 

@@ -62,10 +62,22 @@ pub struct AmgHierarchy {
 #[must_use]
 pub fn galerkin_coarse(a: &CsrMatrix, agg: &Aggregation) -> CsrMatrix {
     assert_eq!(agg.assign.len(), a.rows(), "aggregation size mismatch");
-    let mut triplets = Vec::with_capacity(a.nnz());
-    for (i, ci, v) in a.iter().map(|(r, c, v)| (agg.assign[r], agg.assign[c], v)) {
-        triplets.push((i, ci, v));
-    }
+    // Map every fine entry (r, c, v) -> (assign[r], assign[c], v) in
+    // parallel, one ragged piece per fine row (the entry order inside
+    // the triplet list is exactly the serial iteration order, so
+    // assembly — and its duplicate-sum order — is unchanged). The
+    // sort-heavy assembly itself parallelizes inside `from_triplets`.
+    let mut triplets: Vec<(usize, usize, f64)> = vec![(0, 0, 0.0); a.nnz()];
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let values = a.values();
+    irf_runtime::par_ragged_chunks_mut(&mut triplets, row_ptr, |r, row| {
+        let coarse_r = agg.assign[r];
+        let s = row_ptr[r];
+        for (k, t) in row.iter_mut().enumerate() {
+            *t = (coarse_r, agg.assign[col_idx[s + k]], values[s + k]);
+        }
+    });
     CsrMatrix::from_triplets(agg.n_coarse, agg.n_coarse, &triplets)
 }
 

@@ -1,9 +1,35 @@
 //! Compressed sparse row (CSR) matrix.
 
-/// Rows per parallel work unit in `spmv_into`/`residual_into`. Fixed
-/// (thread-count independent) so partitioning never affects results;
-/// matrices smaller than one chunk stay on the serial path.
-const SPMV_ROW_CHUNK: usize = 2048;
+/// Target cost (non-zeros, plus one per row for the row visit itself)
+/// per parallel work unit in `spmv_into`/`residual_into`. Chunk
+/// boundaries are derived from the matrix structure alone — never the
+/// thread count — so partitioning cannot affect results; matrices
+/// below one chunk stay on the serial path.
+const SPMV_CHUNK_COST: usize = 8192;
+
+/// Cuts `0..rows` into nnz-balanced chunks: each chunk accumulates at
+/// least [`SPMV_CHUNK_COST`] units of cost (one per stored non-zero
+/// plus one per row) before the next boundary. Returned in `row_ptr`
+/// style (`[0, ..., rows]`), ready for
+/// [`irf_runtime::par_ragged_chunks_mut`]. Skewed rows (a few dense
+/// pad rows among thousands of sparse ones) therefore no longer
+/// straggle one worker the way fixed row-count chunks did.
+fn nnz_balanced_chunks(rows: usize, row_ptr: &[usize]) -> Vec<usize> {
+    let mut bounds = Vec::with_capacity(rows / 64 + 2);
+    bounds.push(0);
+    let mut cost = 0usize;
+    for r in 0..rows {
+        cost += row_ptr[r + 1] - row_ptr[r] + 1;
+        if cost >= SPMV_CHUNK_COST {
+            bounds.push(r + 1);
+            cost = 0;
+        }
+    }
+    if *bounds.last().expect("non-empty") != rows {
+        bounds.push(rows);
+    }
+    bounds
+}
 
 /// An immutable sparse matrix in compressed sparse row format.
 ///
@@ -30,6 +56,10 @@ pub struct CsrMatrix {
     col_idx: Vec<usize>,
     /// Non-zero values, parallel to `col_idx`.
     values: Vec<f64>,
+    /// nnz-balanced row-chunk boundaries for the parallel kernels
+    /// (`row_ptr` style), precomputed from the structure at
+    /// construction.
+    row_chunks: Vec<usize>,
 }
 
 impl CsrMatrix {
@@ -52,34 +82,31 @@ impl CsrMatrix {
         }
         // Bucket sort triplets into rows.
         let mut cursor = counts.clone();
-        let mut cidx = vec![0usize; triplets.len()];
-        let mut vals = vec![0f64; triplets.len()];
+        let mut entries: Vec<(usize, f64)> = vec![(0, 0.0); triplets.len()];
         for &(r, c, v) in triplets {
-            let k = cursor[r];
-            cidx[k] = c;
-            vals[k] = v;
+            entries[cursor[r]] = (c, v);
             cursor[r] += 1;
         }
-        // Sort each row by column and merge duplicates in place.
+        // Sort each row by column in parallel — one ragged piece per
+        // row, each sorted by the same serial routine, so the result is
+        // identical at any thread count. This is the dominant cost of
+        // assembly (and of the AMG Galerkin triple product, which
+        // funnels through here).
+        irf_runtime::par_ragged_chunks_mut(&mut entries, &counts, |_r, row| {
+            row.sort_unstable_by_key(|&(c, _)| c);
+        });
+        // Merge duplicates row by row (cheap linear scan).
         let mut row_ptr = vec![0usize; rows + 1];
         let mut out_c: Vec<usize> = Vec::with_capacity(triplets.len());
         let mut out_v: Vec<f64> = Vec::with_capacity(triplets.len());
-        let mut scratch: Vec<(usize, f64)> = Vec::new();
         for r in 0..rows {
-            scratch.clear();
-            scratch.extend(
-                cidx[counts[r]..counts[r + 1]]
-                    .iter()
-                    .copied()
-                    .zip(vals[counts[r]..counts[r + 1]].iter().copied()),
-            );
-            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let row = &entries[counts[r]..counts[r + 1]];
             let mut i = 0;
-            while i < scratch.len() {
-                let c = scratch[i].0;
+            while i < row.len() {
+                let c = row[i].0;
                 let mut v = 0.0;
-                while i < scratch.len() && scratch[i].0 == c {
-                    v += scratch[i].1;
+                while i < row.len() && row[i].0 == c {
+                    v += row[i].1;
                     i += 1;
                 }
                 if v != 0.0 {
@@ -89,25 +116,38 @@ impl CsrMatrix {
             }
             row_ptr[r + 1] = out_c.len();
         }
+        let row_chunks = nnz_balanced_chunks(rows, &row_ptr);
         CsrMatrix {
             rows,
             cols,
             row_ptr,
             col_idx: out_c,
             values: out_v,
+            row_chunks,
         }
     }
 
     /// Builds an `n x n` identity matrix.
     #[must_use]
     pub fn identity(n: usize) -> Self {
+        let row_ptr: Vec<usize> = (0..=n).collect();
+        let row_chunks = nnz_balanced_chunks(n, &row_ptr);
         CsrMatrix {
             rows: n,
             cols: n,
-            row_ptr: (0..=n).collect(),
+            row_ptr,
             col_idx: (0..n).collect(),
             values: vec![1.0; n],
+            row_chunks,
         }
+    }
+
+    /// nnz-balanced row-chunk boundaries (`row_ptr` style) the parallel
+    /// kernels partition on; also useful for callers running their own
+    /// per-row parallel passes over this matrix.
+    #[must_use]
+    pub fn row_chunks(&self) -> &[usize] {
+        &self.row_chunks
     }
 
     /// Number of rows.
@@ -192,11 +232,13 @@ impl CsrMatrix {
     pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "spmv: x length mismatch");
         assert_eq!(y.len(), self.rows, "spmv: y length mismatch");
-        // Row-parallel: each output element is produced by exactly one
-        // serial inner loop, so the result is bitwise identical at any
-        // thread count. Matrices below one chunk run inline.
-        irf_runtime::par_chunks_mut(y, SPMV_ROW_CHUNK, |ci, yc| {
-            let base = ci * SPMV_ROW_CHUNK;
+        // Row-parallel over nnz-balanced ragged chunks: each output
+        // element is produced by exactly one serial inner loop and the
+        // chunk boundaries derive from the structure alone, so the
+        // result is bitwise identical at any thread count. Matrices
+        // below one chunk run inline.
+        irf_runtime::par_ragged_chunks_mut(y, &self.row_chunks, |ci, yc| {
+            let base = self.row_chunks[ci];
             for (i, yr) in yc.iter_mut().enumerate() {
                 let r = base + i;
                 let mut acc = 0.0;
@@ -217,8 +259,8 @@ impl CsrMatrix {
         assert_eq!(x.len(), self.cols, "residual: x length mismatch");
         assert_eq!(r.len(), self.rows, "residual: r length mismatch");
         assert_eq!(b.len(), self.rows, "residual: b length mismatch");
-        irf_runtime::par_chunks_mut(r, SPMV_ROW_CHUNK, |ci, rc| {
-            let base = ci * SPMV_ROW_CHUNK;
+        irf_runtime::par_ragged_chunks_mut(r, &self.row_chunks, |ci, rc| {
+            let base = self.row_chunks[ci];
             for (i, rr) in rc.iter_mut().enumerate() {
                 let row = base + i;
                 let mut acc = 0.0;
@@ -271,12 +313,14 @@ impl CsrMatrix {
         for i in 0..self.cols {
             rp[i + 1] += rp[i];
         }
+        let row_chunks = nnz_balanced_chunks(self.cols, &rp);
         CsrMatrix {
             rows: self.cols,
             cols: self.rows,
             row_ptr: rp,
             col_idx,
             values,
+            row_chunks,
         }
     }
 
@@ -395,6 +439,28 @@ mod tests {
         let mut r = vec![0.0; 3];
         a.residual_into(&b, &b, &mut r);
         assert!(r.iter().all(|v| v.abs() < 1e-15));
+    }
+
+    #[test]
+    fn row_chunks_partition_all_rows() {
+        // Skewed structure: one dense row among sparse ones.
+        let mut t: Vec<(usize, usize, f64)> = (0..5000).map(|i| (i, i, 1.0)).collect();
+        for c in 0..4000 {
+            t.push((17, c, 0.5));
+        }
+        let a = CsrMatrix::from_triplets(5000, 5000, &t);
+        let ch = a.row_chunks();
+        assert_eq!(*ch.first().unwrap(), 0);
+        assert_eq!(*ch.last().unwrap(), 5000);
+        assert!(ch.windows(2).all(|w| w[0] < w[1]));
+        assert!(ch.len() > 2, "skewed matrix should split into chunks");
+        // spmv still matches the dense reference on the skewed matrix.
+        let x: Vec<f64> = (0..5000).map(|i| f64::from(i as u32 % 13) - 6.0).collect();
+        let y = a.spmv(&x);
+        // Row 17: 0.5 on cols 0..4000 plus the 1.0 diagonal (merged).
+        let dense17: f64 = (0..4000).map(|c| 0.5 * x[c]).sum::<f64>() + x[17];
+        assert!((y[17] - dense17).abs() < 1e-9);
+        assert!((y[40] - x[40]).abs() < 1e-15);
     }
 
     #[test]
