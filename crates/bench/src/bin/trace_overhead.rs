@@ -1,0 +1,55 @@
+//! Measures the cost of leaving tracing instrumentation in the hot
+//! path: full feature preparation (truncated AMG-PCG solve + feature
+//! rasterization) with no collector installed versus with a collector
+//! recording every span.
+//!
+//! ```bash
+//! cargo run --release --bin trace_overhead [-- ITERS]
+//! ```
+//!
+//! Untraced and traced iterations are interleaved so clock drift and
+//! cache warmup hit both sides equally. The uninstalled path is the
+//! one that matters: it must stay within noise of free (a relaxed
+//! atomic load per span), which is what lets the spans ship enabled.
+
+use ir_fusion::{FusionConfig, IrFusionPipeline};
+use irf_data::synth::{synthesize, SynthSpec};
+use irf_pg::PowerGrid;
+use irf_trace::Collector;
+use std::time::Instant;
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let grid = PowerGrid::from_netlist(&synthesize(&SynthSpec::default())).expect("valid grid");
+    let pipeline = IrFusionPipeline::new(FusionConfig::tiny());
+
+    for _ in 0..5 {
+        std::hint::black_box(pipeline.prepare_stack(&grid));
+    }
+
+    let mut untraced_ns = 0u128;
+    let mut traced_ns = 0u128;
+    let mut events = 0usize;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(pipeline.prepare_stack(&grid));
+        untraced_ns += t0.elapsed().as_nanos();
+
+        let collector = Collector::install().expect("no competing collector");
+        let t0 = Instant::now();
+        std::hint::black_box(pipeline.prepare_stack(&grid));
+        traced_ns += t0.elapsed().as_nanos();
+        events = collector.finish().len();
+    }
+
+    let untraced_ms = untraced_ns as f64 / 1e6 / iters as f64;
+    let traced_ms = traced_ns as f64 / 1e6 / iters as f64;
+    let overhead = (traced_ms - untraced_ms) / untraced_ms * 100.0;
+    println!(
+        "{{\"iters\":{iters},\"untraced_ms\":{untraced_ms:.3},\"traced_ms\":{traced_ms:.3},\
+         \"overhead_pct\":{overhead:.2},\"events_per_run\":{events}}}"
+    );
+}

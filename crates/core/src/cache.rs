@@ -11,10 +11,10 @@
 use crate::config::FusionConfig;
 use crate::pipeline::PreparedStack;
 use irf_pg::PowerGrid;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// 64-bit FNV-1a, the workhorse hash for cache fingerprints: stable
 /// across runs and platforms (unlike `DefaultHasher`, which is
@@ -106,87 +106,219 @@ struct LruInner {
     tick: u64,
 }
 
-/// Thread-safe bounded LRU cache of [`PreparedStack`]s keyed by
-/// [`design_fingerprint`].
-///
-/// Hit/miss counters are monotonically increasing across the cache's
-/// lifetime and feed the server's `/metrics` endpoint.
-pub struct FeatureCache {
+/// One independently locked slice of the cache.
+struct Shard {
     inner: Mutex<LruInner>,
     capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
 }
 
-impl fmt::Debug for FeatureCache {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FeatureCache")
-            .field("capacity", &self.capacity)
-            .field("len", &self.len())
-            .field("hits", &self.hits())
-            .field("misses", &self.misses())
-            .finish()
-    }
-}
-
-impl FeatureCache {
-    /// Creates a cache holding at most `capacity` stacks (minimum 1).
-    #[must_use]
-    pub fn new(capacity: usize) -> Self {
-        FeatureCache {
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
             inner: Mutex::new(LruInner {
                 map: HashMap::new(),
                 tick: 0,
             }),
-            capacity: capacity.max(1),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            capacity,
         }
     }
 
-    /// Looks up a fingerprint, refreshing its recency on a hit.
-    #[must_use]
-    pub fn get(&self, key: u64) -> Option<Arc<PreparedStack>> {
+    fn get(&self, key: u64) -> Option<Arc<PreparedStack>> {
         let mut inner = self.inner.lock().expect("feature cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
-        match inner.map.get_mut(&key) {
-            Some((last, stack)) => {
-                *last = tick;
-                let stack = Arc::clone(stack);
-                drop(inner);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(stack)
-            }
-            None => {
-                drop(inner);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
+        inner.map.get_mut(&key).map(|(last, stack)| {
+            *last = tick;
+            Arc::clone(stack)
+        })
     }
 
-    /// Inserts a stack, evicting the least recently used entry when
-    /// full. Re-inserting an existing key refreshes its value and
-    /// recency.
-    pub fn insert(&self, key: u64, stack: Arc<PreparedStack>) {
+    fn insert(&self, key: u64, stack: Arc<PreparedStack>) {
         let mut inner = self.inner.lock().expect("feature cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
         if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
-            // O(len) scan is fine: capacities are small (tens of
-            // designs), and eviction is off the request fast path.
+            // O(len) scan is fine: shard capacities are small (tens of
+            // designs at most), and eviction is off the request fast
+            // path.
             if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, (last, _))| *last) {
                 inner.map.remove(&victim);
             }
         }
         inner.map.insert(key, (tick, stack));
     }
+}
+
+/// Keys currently being computed by [`FeatureCache::get_or_compute`].
+struct InFlight {
+    keys: Mutex<HashSet<u64>>,
+    done: Condvar,
+}
+
+/// Removes `key` from the in-flight set on drop (including panic
+/// unwinds of the compute closure) and wakes every waiter.
+struct InFlightGuard<'a> {
+    inflight: &'a InFlight,
+    key: u64,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut keys = self.inflight.keys.lock().unwrap_or_else(|e| e.into_inner());
+        keys.remove(&self.key);
+        self.inflight.done.notify_all();
+    }
+}
+
+/// Thread-safe bounded LRU cache of [`PreparedStack`]s keyed by
+/// [`design_fingerprint`].
+///
+/// The key space is split across independently locked shards
+/// (`shard = key % n_shards`), so concurrent lookups for different
+/// designs do not contend on one mutex; eviction is LRU *per shard*,
+/// which approximates global LRU for the well-mixed FNV fingerprints
+/// used as keys. [`FeatureCache::get_or_compute`] additionally
+/// single-flights misses: concurrent requests for the same key compute
+/// the stack once and share the result.
+///
+/// Hit/miss/coalesced counters are monotonically increasing across the
+/// cache's lifetime and feed the server's `/metrics` endpoint.
+pub struct FeatureCache {
+    shards: Vec<Shard>,
+    capacity: usize,
+    inflight: InFlight,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl fmt::Debug for FeatureCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FeatureCache")
+            .field("capacity", &self.capacity)
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("coalesced", &self.coalesced())
+            .finish()
+    }
+}
+
+impl FeatureCache {
+    /// Creates a cache holding at most `capacity` stacks (minimum 1),
+    /// sharded across up to 8 locks.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        FeatureCache::with_shards(capacity, capacity.clamp(1, 8))
+    }
+
+    /// Creates a cache with an explicit shard count (minimum 1 each
+    /// for capacity and shards). Total capacity is distributed evenly;
+    /// a single shard gives exact global LRU order.
+    #[must_use]
+    pub fn with_shards(capacity: usize, n_shards: usize) -> Self {
+        let capacity = capacity.max(1);
+        let n_shards = n_shards.clamp(1, capacity);
+        let per_shard = capacity.div_ceil(n_shards);
+        FeatureCache {
+            shards: (0..n_shards).map(|_| Shard::new(per_shard)).collect(),
+            capacity,
+            inflight: InFlight {
+                keys: Mutex::new(HashSet::new()),
+                done: Condvar::new(),
+            },
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Shard {
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up a fingerprint, refreshing its recency on a hit.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<Arc<PreparedStack>> {
+        match self.shard(key).get(key) {
+            Some(stack) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(stack)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a stack, evicting the least recently used entry of its
+    /// shard when that shard is full. Re-inserting an existing key
+    /// refreshes its value and recency.
+    pub fn insert(&self, key: u64, stack: Arc<PreparedStack>) {
+        self.shard(key).insert(key, stack);
+    }
+
+    /// Returns the cached stack for `key`, computing and inserting it
+    /// via `compute` on a miss. Concurrent misses on the *same* key are
+    /// single-flighted: one caller runs `compute`, the rest block until
+    /// the result lands in the cache and share it (counted by
+    /// [`FeatureCache::coalesced`]). Misses on different keys compute
+    /// concurrently.
+    ///
+    /// If `compute` panics, the panic propagates to its caller and
+    /// waiting threads fall back to computing for themselves.
+    pub fn get_or_compute(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Arc<PreparedStack>,
+    ) -> Arc<PreparedStack> {
+        if let Some(stack) = self.get(key) {
+            return stack;
+        }
+        // Claim the key, or wait for whoever holds it.
+        loop {
+            let mut keys = self.inflight.keys.lock().unwrap_or_else(|e| e.into_inner());
+            if keys.insert(key) {
+                break;
+            }
+            let mut waited = keys;
+            loop {
+                waited = self
+                    .inflight
+                    .done
+                    .wait(waited)
+                    .unwrap_or_else(|e| e.into_inner());
+                if !waited.contains(&key) {
+                    break;
+                }
+            }
+            drop(waited);
+            // The leader finished (or unwound). On success the stack
+            // is in the cache; otherwise loop back and claim the key
+            // ourselves.
+            if let Some(stack) = self.shard(key).get(key) {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                return stack;
+            }
+        }
+        let _guard = InFlightGuard {
+            inflight: &self.inflight,
+            key,
+        };
+        let stack = compute();
+        self.insert(key, Arc::clone(&stack));
+        stack
+    }
 
     /// Number of cached stacks.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("feature cache poisoned").map.len()
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().expect("feature cache poisoned").map.len())
+            .sum()
     }
 
     /// `true` when nothing is cached.
@@ -211,6 +343,14 @@ impl FeatureCache {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total computations saved by single-flighting: requests that
+    /// missed, waited on an in-flight computation of the same key, and
+    /// were served its result.
+    #[must_use]
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
     }
 
     /// Hit fraction in `[0, 1]` (`0.0` before any lookup).
@@ -282,7 +422,8 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let cache = FeatureCache::new(2);
+        // One shard pins exact global LRU order.
+        let cache = FeatureCache::with_shards(2, 1);
         cache.insert(1, stack());
         cache.insert(2, stack());
         assert!(cache.get(1).is_some()); // refresh 1; 2 is now LRU
@@ -291,6 +432,79 @@ mod tests {
         assert!(cache.get(2).is_none());
         assert!(cache.get(3).is_some());
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn sharded_cache_stores_and_retrieves_across_shards() {
+        let cache = FeatureCache::with_shards(16, 4);
+        for key in 0..12u64 {
+            cache.insert(key, stack());
+        }
+        assert_eq!(cache.len(), 12);
+        for key in 0..12u64 {
+            assert!(cache.get(key).is_some(), "key {key}");
+        }
+    }
+
+    #[test]
+    fn get_or_compute_single_flights_concurrent_misses() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+
+        let cache = Arc::new(FeatureCache::new(4));
+        let computes = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let computes = Arc::clone(&computes);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.get_or_compute(42, || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        // Hold the flight open long enough that the
+                        // other threads pile up behind it.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        stack()
+                    })
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(
+            computes.load(Ordering::SeqCst),
+            1,
+            "exactly one thread computes"
+        );
+        // Every other thread is served by the leader's work: normally
+        // all 7 coalesce onto the in-flight computation; a thread
+        // scheduled late enough can land an ordinary hit instead.
+        assert_eq!(
+            cache.coalesced() + cache.hits(),
+            7,
+            "everyone else shares the leader's result"
+        );
+        for r in &results[1..] {
+            assert!(Arc::ptr_eq(&results[0], r), "all callers share one stack");
+        }
+    }
+
+    #[test]
+    fn get_or_compute_recovers_from_a_panicking_leader() {
+        let cache = Arc::new(FeatureCache::new(4));
+        let c2 = Arc::clone(&cache);
+        let leader = std::thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                c2.get_or_compute(7, || panic!("compute failed"))
+            }));
+            assert!(result.is_err());
+        });
+        leader.join().unwrap();
+        // The key must not be stuck in-flight: a later caller computes.
+        let got = cache.get_or_compute(7, stack);
+        assert!(cache.get(7).is_some());
+        drop(got);
     }
 
     #[test]

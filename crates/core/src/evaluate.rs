@@ -17,6 +17,7 @@ pub fn evaluate_model(
     dataset: &Dataset,
     pipeline: &IrFusionPipeline,
 ) -> Vec<MetricReport> {
+    let mut span = irf_trace::span("evaluate_model");
     let mut reports = Vec::new();
     for design in dataset.test() {
         let analysis = pipeline.analyze_grid(&design.grid, Some(trained));
@@ -29,6 +30,7 @@ pub fn evaluate_model(
         ));
     }
     assert!(!reports.is_empty(), "dataset has no test designs");
+    span.attr("designs", reports.len() as u64);
     reports
 }
 
@@ -40,6 +42,7 @@ pub fn evaluate_model(
 /// Panics if the dataset has no test designs.
 #[must_use]
 pub fn evaluate_numerical(dataset: &Dataset, pipeline: &IrFusionPipeline) -> Vec<MetricReport> {
+    let _span = irf_trace::span("evaluate_numerical");
     let mut reports = Vec::new();
     for design in dataset.test() {
         let analysis = pipeline.analyze_grid(&design.grid, None);

@@ -161,6 +161,7 @@ impl IrFusionPipeline {
     /// Runs the truncated AMG-PCG solve, returning per-node drops.
     #[must_use]
     pub fn rough_solution(&self, grid: &PowerGrid) -> (Vec<f64>, SolveReport) {
+        let _span = irf_trace::span("rough_solve");
         let system = grid.build_system();
         let report = Solver::new(self.config.solver_kind)
             .with_amg_params(self.config.amg)
@@ -198,6 +199,17 @@ impl IrFusionPipeline {
             // channels by disabling them in the config instead.
             extractor.extract(grid, &drops)
         });
+        let registry = irf_trace::registry();
+        registry.counter_add(
+            "irf_stage_seconds_total",
+            &[("stage", "rough_solve")],
+            solve_seconds,
+        );
+        registry.counter_add(
+            "irf_stage_seconds_total",
+            &[("stage", "features")],
+            feature_seconds,
+        );
         let raster = extractor.rasterizer(grid);
         let rough = irf_features::solution::bottom_layer_solution_map(grid, &drops, &raster);
         PreparedStack {
@@ -215,18 +227,16 @@ impl IrFusionPipeline {
     /// The key is [`design_fingerprint`], which covers the grid content
     /// and every preparation-relevant configuration field, so a hit is
     /// bitwise identical to a fresh preparation.
+    /// Concurrent misses on the same design are single-flighted: one
+    /// caller prepares, the rest wait and share the result (see
+    /// [`FeatureCache::get_or_compute`]).
     #[must_use]
     pub fn prepare_stack_cached(&self, grid: &PowerGrid) -> Arc<PreparedStack> {
         let Some(cache) = &self.cache else {
             return Arc::new(self.prepare_stack(grid));
         };
         let key = design_fingerprint(grid, &self.config);
-        if let Some(stack) = cache.get(key) {
-            return stack;
-        }
-        let stack = Arc::new(self.prepare_stack(grid));
-        cache.insert(key, Arc::clone(&stack));
-        stack
+        cache.get_or_compute(key, || Arc::new(self.prepare_stack(grid)))
     }
 
     /// Prepares a grid with a supplied golden solution.
@@ -271,6 +281,7 @@ impl IrFusionPipeline {
     /// feature stage is served from it for repeated designs.
     #[must_use]
     pub fn analyze_grid(&self, grid: &PowerGrid, model: Option<&TrainedModel>) -> Analysis {
+        let _span = irf_trace::span("analyze_grid");
         let mut timer = Timer::new();
         timer.start();
         // Pure-ML baselines (absolute prediction, no numerical feature
@@ -342,6 +353,8 @@ impl IrFusionPipeline {
         if stacks.is_empty() {
             return Vec::new();
         }
+        let mut span = irf_trace::span("nn_forward");
+        span.attr("batch", stacks.len());
         let inputs: Vec<Tensor> = stacks.iter().map(|s| s.feature_tensor()).collect();
         let batched = Tensor::concat_batch(&inputs);
         let [_, _, h, w] = batched.shape();
@@ -349,6 +362,7 @@ impl IrFusionPipeline {
         let x = tape.input(batched);
         let y = trained.model.forward(&mut tape, &trained.store, x);
         let pred = tape.value(y);
+        drop(span);
         let scale = trained.label_scale;
         let inv = if scale > 0.0 { 1.0 / scale } else { 1.0 };
         pred.split_batch()

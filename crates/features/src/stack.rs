@@ -169,6 +169,7 @@ impl FeatureExtractor {
     /// no pads.
     #[must_use]
     pub fn extract(&self, grid: &PowerGrid, rough_drop: &[f64]) -> FeatureStack {
+        let mut span = irf_trace::span("feature_stack");
         let raster = self.rasterizer(grid);
         let norm = self.config.normalization;
         let amps = Normalization::Fixed(CURRENT_SCALE);
@@ -185,22 +186,29 @@ impl FeatureExtractor {
         let r = &raster;
         let mut tasks: Vec<Box<dyn FnOnce() -> Group + Send>> = vec![
             Box::new(move || {
+                let _s = irf_trace::span("feature/current_total");
                 Group::One(
                     "current/total",
                     normalize(&total_current_map(grid, r), amps),
                 )
             }),
             Box::new(move || {
+                let _s = irf_trace::span("feature/effective_distance");
                 Group::One(
                     "distance/effective",
                     normalize(&effective_distance_map(grid, r), dist),
                 )
             }),
-            Box::new(move || Group::One("density/pdn", normalize(&pdn_density_map(grid, r), norm))),
             Box::new(move || {
+                let _s = irf_trace::span("feature/pdn_density");
+                Group::One("density/pdn", normalize(&pdn_density_map(grid, r), norm))
+            }),
+            Box::new(move || {
+                let _s = irf_trace::span("feature/resistance_map");
                 Group::One("resistance/map", normalize(&resistance_map(grid, r), norm))
             }),
             Box::new(move || {
+                let _s = irf_trace::span("feature/shortest_path_resistance");
                 Group::One(
                     "resistance/shortest_path",
                     normalize(&shortest_path_resistance_map(grid, r), path_r),
@@ -209,6 +217,7 @@ impl FeatureExtractor {
         ];
         if self.config.hierarchical {
             tasks.push(Box::new(move || {
+                let _s = irf_trace::span("feature/layer_currents");
                 Group::Layers(
                     "current",
                     layer_current_maps(grid, r)
@@ -220,6 +229,7 @@ impl FeatureExtractor {
         }
         if self.config.numerical {
             tasks.push(Box::new(move || {
+                let _s = irf_trace::span("feature/layer_solutions");
                 Group::Layers(
                     "solution",
                     layer_solution_maps(grid, rough_drop, r)
@@ -239,6 +249,11 @@ impl FeatureExtractor {
                     }
                 }
             }
+        }
+        if span.is_recording() {
+            span.attr("channels", stack.len());
+            span.attr("width", self.config.width);
+            span.attr("height", self.config.height);
         }
         stack
     }

@@ -1,97 +1,23 @@
 //! Wall-clock timing for the runtime columns of Table I / Fig. 7.
+//!
+//! The implementation moved to [`irf_trace::Timer`] so timed segments
+//! share the tracing clock (a [`irf_trace::Timer::named`] timer also
+//! records its segments as trace events); this module re-exports it to
+//! keep `irf_metrics::Timer` working for existing callers.
 
-use std::time::{Duration, Instant};
-
-/// A simple accumulating stopwatch.
-///
-/// # Example
-///
-/// ```
-/// use irf_metrics::Timer;
-///
-/// let mut t = Timer::new();
-/// t.start();
-/// let _work: u64 = (0..1000).sum();
-/// t.stop();
-/// assert!(t.elapsed().as_nanos() > 0);
-/// ```
-#[derive(Debug, Clone, Default)]
-pub struct Timer {
-    accumulated: Duration,
-    running_since: Option<Instant>,
-}
-
-impl Timer {
-    /// Creates a stopped timer at zero.
-    #[must_use]
-    pub fn new() -> Self {
-        Timer::default()
-    }
-
-    /// Starts (or restarts) the running segment.
-    pub fn start(&mut self) {
-        self.running_since = Some(Instant::now());
-    }
-
-    /// Stops the running segment, folding it into the accumulated
-    /// total. Stopping a stopped timer is a no-op.
-    pub fn stop(&mut self) {
-        if let Some(since) = self.running_since.take() {
-            self.accumulated += since.elapsed();
-        }
-    }
-
-    /// Total accumulated time (including a still-running segment).
-    #[must_use]
-    pub fn elapsed(&self) -> Duration {
-        match self.running_since {
-            Some(since) => self.accumulated + since.elapsed(),
-            None => self.accumulated,
-        }
-    }
-
-    /// Accumulated seconds as `f64`.
-    #[must_use]
-    pub fn seconds(&self) -> f64 {
-        self.elapsed().as_secs_f64()
-    }
-
-    /// Times a closure and returns `(result, seconds)`.
-    pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
-        let start = Instant::now();
-        let out = f();
-        (out, start.elapsed().as_secs_f64())
-    }
-}
+pub use irf_trace::Timer;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
-    fn accumulates_across_segments() {
+    fn reexported_timer_accumulates() {
         let mut t = Timer::new();
         t.start();
-        std::thread::sleep(Duration::from_millis(2));
+        std::thread::sleep(Duration::from_millis(1));
         t.stop();
-        let first = t.elapsed();
-        t.start();
-        std::thread::sleep(Duration::from_millis(2));
-        t.stop();
-        assert!(t.elapsed() > first);
-    }
-
-    #[test]
-    fn stop_without_start_is_noop() {
-        let mut t = Timer::new();
-        t.stop();
-        assert_eq!(t.elapsed(), Duration::ZERO);
-    }
-
-    #[test]
-    fn time_closure_returns_result() {
-        let (v, secs) = Timer::time(|| 21 * 2);
-        assert_eq!(v, 42);
-        assert!(secs >= 0.0);
+        assert!(t.elapsed() > Duration::ZERO);
     }
 }

@@ -33,6 +33,7 @@ impl PgSystem {
     /// [`PowerGrid::from_netlist`](crate::PowerGrid::from_netlist)).
     #[must_use]
     pub fn build(grid: &PowerGrid) -> Self {
+        let mut span = irf_trace::span("mna_assembly");
         let n_nodes = grid.nodes.len();
         let mut index_of = vec![None; n_nodes];
         let mut node_of = Vec::new();
@@ -59,8 +60,15 @@ impl PgSystem {
                 rhs[row] += l.amps;
             }
         }
+        let matrix = t.to_csr();
+        if span.is_recording() {
+            span.attr("grid_nodes", n_nodes);
+            span.attr("unknowns", n);
+            span.attr("nnz", matrix.nnz());
+            span.attr("segments", grid.segments.len());
+        }
         PgSystem {
-            matrix: t.to_csr(),
+            matrix,
             rhs,
             index_of,
             node_of,

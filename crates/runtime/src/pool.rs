@@ -69,6 +69,7 @@ impl Pool {
                 .name(format!("irf-runtime-{idx}"))
                 .spawn(move || {
                     IS_WORKER.with(|w| w.set(true));
+                    irf_trace::set_thread_label(&format!("irf-runtime-{idx}"));
                     loop {
                         let job = {
                             let guard = rx.lock().expect("pool receiver lock");

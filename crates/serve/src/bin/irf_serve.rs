@@ -3,7 +3,8 @@
 //! ```text
 //! irf-serve [--addr HOST:PORT] [--workers N] [--batch-size B]
 //!           [--batch-deadline-ms T] [--queue N] [--cache N]
-//!           [--model CKPT | --no-model] [--full] [--threads N]
+//!           [--read-timeout-ms T] [--model CKPT | --no-model]
+//!           [--full] [--threads N]
 //! ```
 //!
 //! Without `--model`, a tiny IR-Fusion model is trained at startup on
@@ -33,7 +34,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: irf-serve [--addr HOST:PORT] [--workers N] [--batch-size B]\n\
          \x20                [--batch-deadline-ms T] [--queue N] [--cache N]\n\
-         \x20                [--model CKPT | --no-model] [--full] [--threads N]"
+         \x20                [--read-timeout-ms T] [--model CKPT | --no-model]\n\
+         \x20                [--full] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -58,6 +60,10 @@ fn parse_args() -> Args {
                     Duration::from_millis(parse_num(&value("--batch-deadline-ms")) as u64);
             }
             "--queue" => args.server.batch.queue_capacity = parse_num(&value("--queue")),
+            "--read-timeout-ms" => {
+                args.server.read_timeout =
+                    Duration::from_millis(parse_num(&value("--read-timeout-ms")) as u64);
+            }
             "--cache" => args.server.cache_capacity = parse_num(&value("--cache")),
             "--model" => args.model_path = Some(value("--model")),
             "--no-model" => args.no_model = true,

@@ -1,7 +1,12 @@
 //! A minimal HTTP/1.1 server-side implementation on plain `std::io`
-//! streams: enough protocol to parse one request and write one
-//! response. Every exchange is `Connection: close` — the server's unit
-//! of work is the request, and closing keeps the state machine trivial.
+//! streams: enough protocol to parse requests and write responses.
+//!
+//! Connections are persistent by default (HTTP/1.1 keep-alive): the
+//! connection handler reads requests in a loop until the client sends
+//! `Connection: close`, speaks HTTP/1.0 without `keep-alive`, closes
+//! the socket, or exceeds the per-request read timeout. An idle
+//! timeout (no request started) closes silently; a timeout *mid*
+//! request is answered with `408 Request Timeout`.
 
 use std::io::{self, Read, Write};
 
@@ -22,6 +27,10 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Request body (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// Whether the connection may serve another request afterwards:
+    /// HTTP/1.1 unless `Connection: close`, HTTP/1.0 only with
+    /// `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -41,6 +50,16 @@ impl Request {
 pub enum HttpError {
     /// Transport failure.
     Io(io::Error),
+    /// The peer closed the connection cleanly between requests — the
+    /// normal end of a keep-alive session, not an error to report.
+    Closed,
+    /// The read timeout expired. `mid_request` is `true` when part of
+    /// a request had already arrived (client gets a 408); `false` on
+    /// an idle connection (closed silently).
+    Timeout {
+        /// Whether request bytes had been received before the timeout.
+        mid_request: bool,
+    },
     /// Head or body exceeded the size caps.
     TooLarge,
     /// Protocol violation.
@@ -51,6 +70,9 @@ impl std::fmt::Display for HttpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Timeout { mid_request: true } => write!(f, "timed out mid-request"),
+            HttpError::Timeout { mid_request: false } => write!(f, "idle timeout"),
             HttpError::TooLarge => write!(f, "request too large"),
             HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
         }
@@ -65,13 +87,24 @@ impl From<io::Error> for HttpError {
     }
 }
 
+/// `true` for the error kinds a timed-out socket read produces
+/// (`WouldBlock` on unix `SO_RCVTIMEO`, `TimedOut` on windows).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 /// Reads one request from `stream`.
 ///
 /// # Errors
 ///
-/// [`HttpError::TooLarge`] when the head or body exceeds the caps,
-/// [`HttpError::Malformed`] on protocol violations, [`HttpError::Io`]
-/// on transport failures.
+/// [`HttpError::Closed`] when the peer hung up before sending anything
+/// (normal for keep-alive), [`HttpError::Timeout`] when a read timeout
+/// configured on the underlying socket expired, [`HttpError::TooLarge`]
+/// when the head or body exceeds the caps, [`HttpError::Malformed`] on
+/// protocol violations, [`HttpError::Io`] on transport failures.
 pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
     // Byte-at-a-time until the blank line; callers wrap the socket in
     // a BufReader so this costs one memcpy per byte, not one syscall.
@@ -81,9 +114,16 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
         if head.len() >= MAX_HEAD_BYTES {
             return Err(HttpError::TooLarge);
         }
-        match stream.read(&mut byte)? {
-            0 => return Err(HttpError::Malformed("connection closed mid-head")),
-            _ => head.push(byte[0]),
+        match stream.read(&mut byte) {
+            Ok(0) if head.is_empty() => return Err(HttpError::Closed),
+            Ok(0) => return Err(HttpError::Malformed("connection closed mid-head")),
+            Ok(_) => head.push(byte[0]),
+            Err(e) if is_timeout(&e) => {
+                return Err(HttpError::Timeout {
+                    mid_request: !head.is_empty(),
+                })
+            }
+            Err(e) => return Err(HttpError::Io(e)),
         }
     }
     let head = std::str::from_utf8(&head).map_err(|_| HttpError::Malformed("non-utf8 head"))?;
@@ -115,6 +155,16 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
             .ok_or(HttpError::Malformed("header without colon"))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
+    let connection = headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match connection.as_deref() {
+        Some("close") => false,
+        Some("keep-alive") => true,
+        // HTTP/1.1 defaults to persistent; HTTP/1.0 to close.
+        _ => version != "HTTP/1.0",
+    };
     let content_length = headers
         .iter()
         .find(|(k, _)| k == "content-length")
@@ -128,12 +178,18 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
         return Err(HttpError::TooLarge);
     }
     let mut body = vec![0u8; content_length];
-    stream.read_exact(&mut body)?;
+    if let Err(e) = stream.read_exact(&mut body) {
+        if is_timeout(&e) {
+            return Err(HttpError::Timeout { mid_request: true });
+        }
+        return Err(HttpError::Io(e));
+    }
     Ok(Request {
         method,
         target,
         headers,
         body,
+        keep_alive,
     })
 }
 
@@ -145,6 +201,7 @@ pub fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
@@ -153,7 +210,9 @@ pub fn status_reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes a complete `Connection: close` response.
+/// Writes a complete response. `keep_alive` selects the `Connection`
+/// header; the caller decides whether the connection actually
+/// persists.
 ///
 /// # Errors
 ///
@@ -163,13 +222,15 @@ pub fn write_response(
     status: u16,
     content_type: &str,
     body: &[u8],
+    keep_alive: bool,
 ) -> io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         status,
         status_reason(status),
         content_type,
-        body.len()
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
@@ -189,6 +250,7 @@ mod tests {
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.header("Content-Length"), Some("4"));
         assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -200,6 +262,68 @@ mod tests {
     }
 
     #[test]
+    fn connection_header_controls_keep_alive() {
+        let close = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        assert!(!read_request(&mut &close[..]).expect("valid").keep_alive);
+        let old = b"GET / HTTP/1.0\r\n\r\n";
+        assert!(!read_request(&mut &old[..]).expect("valid").keep_alive);
+        let old_ka = b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n";
+        assert!(read_request(&mut &old_ka[..]).expect("valid").keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_before_any_byte_is_closed_not_malformed() {
+        let raw: &[u8] = b"";
+        assert!(matches!(
+            read_request(&mut &raw[..]),
+            Err(HttpError::Closed)
+        ));
+        let partial: &[u8] = b"GET / HT";
+        assert!(matches!(
+            read_request(&mut &partial[..]),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn timeouts_distinguish_idle_from_mid_request() {
+        struct TimesOut {
+            prefix: &'static [u8],
+            at: usize,
+        }
+        impl Read for TimesOut {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.at < self.prefix.len() {
+                    buf[0] = self.prefix[self.at];
+                    self.at += 1;
+                    Ok(1)
+                } else {
+                    Err(io::Error::new(io::ErrorKind::WouldBlock, "timed out"))
+                }
+            }
+        }
+        let idle = read_request(&mut TimesOut { prefix: b"", at: 0 });
+        assert!(matches!(
+            idle,
+            Err(HttpError::Timeout { mid_request: false })
+        ));
+        let mid = read_request(&mut TimesOut {
+            prefix: b"GET / HTTP",
+            at: 0,
+        });
+        assert!(matches!(mid, Err(HttpError::Timeout { mid_request: true })));
+        // A timeout while the body is outstanding is also mid-request.
+        let body = read_request(&mut TimesOut {
+            prefix: b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab",
+            at: 0,
+        });
+        assert!(matches!(
+            body,
+            Err(HttpError::Timeout { mid_request: true })
+        ));
+    }
+
+    #[test]
     fn rejects_garbage() {
         let raw = b"NOT-HTTP\r\n\r\n";
         assert!(read_request(&mut &raw[..]).is_err());
@@ -208,13 +332,25 @@ mod tests {
     }
 
     #[test]
-    fn response_has_content_length_and_close() {
+    fn response_carries_requested_connection_header() {
         let mut out = Vec::new();
-        write_response(&mut out, 200, "application/json", b"{}").expect("write");
+        write_response(&mut out, 200, "application/json", b"{}", false).expect("write");
         let text = String::from_utf8(out).expect("utf8");
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "text/plain", b"ok", true).expect("write");
+        assert!(String::from_utf8(out)
+            .expect("utf8")
+            .contains("Connection: keep-alive\r\n"));
+    }
+
+    #[test]
+    fn reason_phrases_cover_served_codes() {
+        for code in [200, 400, 404, 405, 408, 413, 429, 500, 503] {
+            assert_ne!(status_reason(code), "Unknown", "{code}");
+        }
     }
 }

@@ -1,28 +1,33 @@
-//! Server observability in Prometheus text exposition format: request
-//! counts by route and status, a batch-size histogram, per-stage
-//! latency accumulators, and the feature-cache hit rate.
+//! Server observability: a facade over the unified
+//! [`irf_trace::MetricsRegistry`].
+//!
+//! The server publishes its request/batch/stage series into the same
+//! process-global registry the solver and pipeline publish into, so a
+//! single `GET /metrics` exposes the whole stack: request counts by
+//! route and status, a batch-size histogram, per-stage latency
+//! accumulators, the feature-cache counters, *and* pipeline internals
+//! (`irf_pcg_iterations`, `irf_amg_levels`,
+//! `irf_stage_seconds_total{stage="pcg_solve"}`, ...).
 
 use ir_fusion::FeatureCache;
-use std::collections::BTreeMap;
-use std::fmt::Write as _;
-use std::sync::Mutex;
+use irf_trace::{MetricKind, MetricsRegistry};
+use std::sync::Arc;
 
-struct Inner {
-    /// `(route, status) -> count`.
-    requests: BTreeMap<(String, u16), u64>,
-    /// `batch_hist[i]` counts batches of size `i + 1`.
-    batch_hist: Vec<u64>,
-    batch_count: u64,
-    batch_sum: u64,
-    /// `stage -> (count, total seconds)`.
-    stages: BTreeMap<&'static str, (u64, f64)>,
+/// Which registry a [`ServerMetrics`] publishes into.
+enum Registry {
+    /// The process-global registry (production): pipeline and solver
+    /// series appear alongside the server's own.
+    Global,
+    /// An isolated instance (tests): no cross-talk with other servers
+    /// in the same process.
+    Owned(Arc<MetricsRegistry>),
 }
 
-/// Aggregated server metrics. All methods are thread-safe; request
-/// rates are far below the contention regime where a single mutex
+/// Server metrics facade. All methods are thread-safe; request rates
+/// are far below the contention regime where the registry's mutex
 /// would matter.
 pub struct ServerMetrics {
-    inner: Mutex<Inner>,
+    registry: Registry,
     max_batch: usize,
 }
 
@@ -30,108 +35,162 @@ impl std::fmt::Debug for ServerMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerMetrics")
             .field("max_batch", &self.max_batch)
-            .finish_non_exhaustive()
+            .field(
+                "registry",
+                &match self.registry {
+                    Registry::Global => "global",
+                    Registry::Owned(_) => "owned",
+                },
+            )
+            .finish()
     }
 }
 
 impl ServerMetrics {
-    /// Creates an empty registry; `max_batch` sizes the batch
-    /// histogram (one bucket per possible batch size).
+    /// Creates a facade over the process-global registry; `max_batch`
+    /// sizes the batch histogram (one bucket per possible batch size).
     #[must_use]
     pub fn new(max_batch: usize) -> Self {
-        ServerMetrics {
-            inner: Mutex::new(Inner {
-                requests: BTreeMap::new(),
-                batch_hist: vec![0; max_batch.max(1)],
-                batch_count: 0,
-                batch_sum: 0,
-                stages: BTreeMap::new(),
-            }),
+        let m = ServerMetrics {
+            registry: Registry::Global,
             max_batch: max_batch.max(1),
+        };
+        m.describe_families();
+        m
+    }
+
+    /// Creates a facade over an isolated registry (for tests that must
+    /// not observe series published by other servers in the process).
+    #[must_use]
+    pub fn with_registry(registry: Arc<MetricsRegistry>, max_batch: usize) -> Self {
+        let m = ServerMetrics {
+            registry: Registry::Owned(registry),
+            max_batch: max_batch.max(1),
+        };
+        m.describe_families();
+        m
+    }
+
+    /// The registry this facade publishes into.
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        match &self.registry {
+            Registry::Global => irf_trace::registry(),
+            Registry::Owned(r) => r,
         }
+    }
+
+    fn describe_families(&self) {
+        let r = self.registry();
+        r.describe(
+            "irf_requests_total",
+            MetricKind::Counter,
+            "Finished HTTP requests by route and status.",
+        );
+        let buckets: Vec<f64> = (1..=self.max_batch).map(|i| i as f64).collect();
+        r.describe_histogram(
+            "irf_batch_size",
+            "Requests per executed forward batch.",
+            &buckets,
+        );
+        r.describe(
+            "irf_stage_seconds_total",
+            MetricKind::Counter,
+            "Cumulative latency per pipeline stage.",
+        );
+        r.describe(
+            "irf_stage_requests_total",
+            MetricKind::Counter,
+            "Observations per pipeline stage.",
+        );
+        r.describe(
+            "irf_cache_hits_total",
+            MetricKind::Counter,
+            "Feature-stack cache hits.",
+        );
+        r.describe(
+            "irf_cache_misses_total",
+            MetricKind::Counter,
+            "Feature-stack cache misses.",
+        );
+        r.describe(
+            "irf_cache_singleflight_total",
+            MetricKind::Counter,
+            "Feature preparations saved by single-flighting concurrent misses.",
+        );
+        r.describe(
+            "irf_cache_hit_rate",
+            MetricKind::Gauge,
+            "Feature-stack cache hit fraction.",
+        );
+        r.describe(
+            "irf_cache_entries",
+            MetricKind::Gauge,
+            "Cached feature stacks.",
+        );
+        r.describe(
+            "irf_pcg_iterations",
+            MetricKind::Gauge,
+            "PCG iterations of the most recent solve.",
+        );
+        r.describe(
+            "irf_pcg_iterations_total",
+            MetricKind::Counter,
+            "Total PCG iterations across all solves.",
+        );
+        r.describe(
+            "irf_amg_levels",
+            MetricKind::Gauge,
+            "AMG hierarchy levels of the most recent setup.",
+        );
+        r.describe(
+            "irf_amg_operator_complexity",
+            MetricKind::Gauge,
+            "AMG operator complexity of the most recent setup.",
+        );
     }
 
     /// Counts one finished request.
     pub fn observe_request(&self, route: &str, status: u16) {
-        let mut inner = self.inner.lock().expect("metrics poisoned");
-        *inner
-            .requests
-            .entry((route.to_string(), status))
-            .or_insert(0) += 1;
+        self.registry().counter_add(
+            "irf_requests_total",
+            &[("route", route), ("status", &status.to_string())],
+            1.0,
+        );
     }
 
     /// Records one executed batch of `size` requests.
     pub fn observe_batch(&self, size: usize) {
-        let mut inner = self.inner.lock().expect("metrics poisoned");
-        let bucket = size.clamp(1, self.max_batch) - 1;
-        inner.batch_hist[bucket] += 1;
-        inner.batch_count += 1;
-        inner.batch_sum += size as u64;
+        self.registry()
+            .observe("irf_batch_size", &[], size.clamp(1, self.max_batch) as f64);
     }
 
     /// Accumulates `seconds` of latency under a stage label
     /// (`parse`, `prepare`, `infer`, `forward`, ...).
     pub fn observe_stage(&self, stage: &'static str, seconds: f64) {
-        let mut inner = self.inner.lock().expect("metrics poisoned");
-        let entry = inner.stages.entry(stage).or_insert((0, 0.0));
-        entry.0 += 1;
-        entry.1 += seconds;
+        let r = self.registry();
+        r.counter_add("irf_stage_seconds_total", &[("stage", stage)], seconds);
+        r.counter_add("irf_stage_requests_total", &[("stage", stage)], 1.0);
     }
 
     /// Renders the Prometheus text exposition, folding in the feature
-    /// cache's counters.
+    /// cache's counters. Because every subsystem shares the registry,
+    /// the output also carries solver telemetry published outside the
+    /// server (PCG iterations, AMG hierarchy stats, per-stage solver
+    /// seconds).
     #[must_use]
     pub fn render(&self, cache: &FeatureCache) -> String {
-        let inner = self.inner.lock().expect("metrics poisoned");
-        let mut out = String::new();
-        out.push_str("# HELP irf_requests_total Finished HTTP requests by route and status.\n");
-        out.push_str("# TYPE irf_requests_total counter\n");
-        for ((route, status), count) in &inner.requests {
-            let _ = writeln!(
-                out,
-                "irf_requests_total{{route=\"{route}\",status=\"{status}\"}} {count}"
-            );
-        }
-        out.push_str("# HELP irf_batch_size Requests per executed forward batch.\n");
-        out.push_str("# TYPE irf_batch_size histogram\n");
-        let mut cumulative = 0u64;
-        for (i, n) in inner.batch_hist.iter().enumerate() {
-            cumulative += n;
-            let _ = writeln!(
-                out,
-                "irf_batch_size_bucket{{le=\"{}\"}} {cumulative}",
-                i + 1
-            );
-        }
-        let _ = writeln!(
-            out,
-            "irf_batch_size_bucket{{le=\"+Inf\"}} {}",
-            inner.batch_count
+        let r = self.registry();
+        r.counter_set("irf_cache_hits_total", &[], cache.hits() as f64);
+        r.counter_set("irf_cache_misses_total", &[], cache.misses() as f64);
+        r.counter_set(
+            "irf_cache_singleflight_total",
+            &[],
+            cache.coalesced() as f64,
         );
-        let _ = writeln!(out, "irf_batch_size_sum {}", inner.batch_sum);
-        let _ = writeln!(out, "irf_batch_size_count {}", inner.batch_count);
-        out.push_str("# HELP irf_stage_seconds_total Cumulative latency per pipeline stage.\n");
-        out.push_str("# TYPE irf_stage_seconds_total counter\n");
-        for (stage, (count, seconds)) in &inner.stages {
-            let _ = writeln!(
-                out,
-                "irf_stage_seconds_total{{stage=\"{stage}\"}} {seconds:.6}"
-            );
-            let _ = writeln!(out, "irf_stage_requests_total{{stage=\"{stage}\"}} {count}");
-        }
-        out.push_str("# HELP irf_cache_hits_total Feature-stack cache hits.\n");
-        out.push_str("# TYPE irf_cache_hits_total counter\n");
-        let _ = writeln!(out, "irf_cache_hits_total {}", cache.hits());
-        out.push_str("# HELP irf_cache_misses_total Feature-stack cache misses.\n");
-        out.push_str("# TYPE irf_cache_misses_total counter\n");
-        let _ = writeln!(out, "irf_cache_misses_total {}", cache.misses());
-        out.push_str("# HELP irf_cache_hit_rate Feature-stack cache hit fraction.\n");
-        out.push_str("# TYPE irf_cache_hit_rate gauge\n");
-        let _ = writeln!(out, "irf_cache_hit_rate {:.6}", cache.hit_rate());
-        out.push_str("# HELP irf_cache_entries Cached feature stacks.\n");
-        out.push_str("# TYPE irf_cache_entries gauge\n");
-        let _ = writeln!(out, "irf_cache_entries {}", cache.len());
-        out
+        r.gauge_set("irf_cache_hit_rate", &[], cache.hit_rate());
+        r.gauge_set("irf_cache_entries", &[], cache.len() as f64);
+        r.render()
     }
 }
 
@@ -139,9 +198,13 @@ impl ServerMetrics {
 mod tests {
     use super::*;
 
+    fn isolated(max_batch: usize) -> ServerMetrics {
+        ServerMetrics::with_registry(Arc::new(MetricsRegistry::new()), max_batch)
+    }
+
     #[test]
     fn render_is_deterministic_and_complete() {
-        let m = ServerMetrics::new(4);
+        let m = isolated(4);
         m.observe_request("predict", 200);
         m.observe_request("predict", 200);
         m.observe_request("healthz", 200);
@@ -158,19 +221,43 @@ mod tests {
         assert!(text.contains("irf_batch_size_bucket{le=\"3\"} 2"));
         assert!(text.contains("irf_batch_size_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("irf_batch_size_sum 4"));
-        assert!(text.contains("irf_stage_seconds_total{stage=\"prepare\"} 0.750000"));
+        assert!(text.contains("irf_stage_seconds_total{stage=\"prepare\"} 0.75"));
         assert!(text.contains("irf_stage_requests_total{stage=\"prepare\"} 2"));
         assert!(text.contains("irf_cache_hits_total 0"));
+        assert!(text.contains("irf_cache_singleflight_total 0"));
         assert_eq!(text, m.render(&cache), "render must be stable");
     }
 
     #[test]
     fn oversized_batches_clamp_into_the_last_bucket() {
-        let m = ServerMetrics::new(2);
+        let m = isolated(2);
         m.observe_batch(9);
         let cache = FeatureCache::new(1);
         let text = m.render(&cache);
         assert!(text.contains("irf_batch_size_bucket{le=\"2\"} 1"));
-        assert!(text.contains("irf_batch_size_sum 9"));
+        assert!(text.contains("irf_batch_size_sum 2"));
+    }
+
+    #[test]
+    fn instance_registries_are_isolated() {
+        let a = isolated(2);
+        let b = isolated(2);
+        a.observe_request("predict", 200);
+        let cache = FeatureCache::new(1);
+        assert!(a.render(&cache).contains("irf_requests_total"));
+        assert!(!b.render(&cache).contains("route=\"predict\""));
+    }
+
+    #[test]
+    fn global_facade_sees_solver_series() {
+        // ServerMetrics::new publishes into the process-global
+        // registry, which is where the sparse solver publishes its
+        // telemetry — the families must at least be describable
+        // side by side.
+        let m = ServerMetrics::new(2);
+        irf_trace::registry().gauge_set("irf_pcg_iterations", &[], 3.0);
+        let cache = FeatureCache::new(1);
+        let text = m.render(&cache);
+        assert!(text.contains("irf_pcg_iterations 3"));
     }
 }

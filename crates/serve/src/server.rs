@@ -5,8 +5,14 @@
 //!
 //! - `GET /healthz` — liveness probe, plain `ok`.
 //! - `GET /metrics` — Prometheus text exposition.
+//! - `GET /trace` — Chrome trace-event JSON of the most recent
+//!   `/predict` (load it in Perfetto / `chrome://tracing`).
 //! - `POST /predict` — run one design through the pipeline.
 //! - `POST /shutdown` — graceful drain (see below).
+//!
+//! Connections are persistent (HTTP/1.1 keep-alive) and carry a
+//! per-request read timeout: an idle connection is closed silently
+//! when it expires, a half-sent request is answered with 408.
 //!
 //! Shutdown: the toolchain-only build has no way to trap SIGTERM /
 //! ctrl-c (that needs `libc`/`signal-hook`, and this repo is
@@ -27,6 +33,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -40,6 +47,10 @@ pub struct ServerConfig {
     pub batch: BatchConfig,
     /// Feature-stack cache capacity (design count).
     pub cache_capacity: usize,
+    /// Per-request read timeout. An idle keep-alive connection is
+    /// closed silently when it expires; a connection that timed out
+    /// mid-request gets a 408 first.
+    pub read_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +60,7 @@ impl Default for ServerConfig {
             workers: 4,
             batch: BatchConfig::default(),
             cache_capacity: 32,
+            read_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -63,6 +75,12 @@ struct State {
     has_model: bool,
     shutting_down: AtomicBool,
     addr: SocketAddr,
+    read_timeout: Duration,
+    /// Chrome trace JSON of the most recent `/predict` (served by
+    /// `GET /trace`). Best-effort: the trace collector is a process
+    /// singleton, so under concurrent predicts only one request at a
+    /// time records.
+    last_trace: Mutex<Option<String>>,
 }
 
 /// A running server; dropping the handle does NOT stop it — call
@@ -109,6 +127,8 @@ impl Server {
             has_model,
             shutting_down: AtomicBool::new(false),
             addr,
+            read_timeout: config.read_timeout,
+            last_trace: Mutex::new(None),
         });
 
         // Accepted connections flow to the handler pool over a channel;
@@ -212,29 +232,51 @@ fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, state: &Arc<State>) {
     }
 }
 
+/// Serves one connection: requests are handled in a loop until the
+/// client asks for `Connection: close`, hangs up, errors, or stays
+/// idle past the read timeout.
 fn handle_connection(stream: TcpStream, state: &Arc<State>) {
+    let _ = stream.set_read_timeout(Some(state.read_timeout));
     let mut reader = BufReader::new(stream);
-    let request = match read_request(&mut reader) {
-        Ok(request) => request,
-        Err(error) => {
-            let status = match error {
-                HttpError::TooLarge => 413,
-                _ => 400,
-            };
-            let body = error_body(&error.to_string());
-            let _ = write_response(
-                reader.get_mut(),
-                status,
-                "application/json",
-                body.as_bytes(),
-            );
-            state.metrics.observe_request("other", status);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(request) => request,
+            // Clean close between requests / idle timeout: nothing to
+            // answer, nothing to count.
+            Err(HttpError::Closed | HttpError::Timeout { mid_request: false }) => return,
+            Err(error) => {
+                let status = match error {
+                    HttpError::TooLarge => 413,
+                    HttpError::Timeout { mid_request: true } => 408,
+                    _ => 400,
+                };
+                let body = error_body(&error.to_string());
+                let _ = write_response(
+                    reader.get_mut(),
+                    status,
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                );
+                state.metrics.observe_request("other", status);
+                return;
+            }
+        };
+        // Don't hold connections open across a shutdown.
+        let keep_alive = request.keep_alive && !state.shutting_down.load(Ordering::SeqCst);
+        let (route, status, content_type, body) = route_request(&request, state);
+        let written = write_response(
+            reader.get_mut(),
+            status,
+            content_type,
+            body.as_bytes(),
+            keep_alive,
+        );
+        state.metrics.observe_request(route, status);
+        if written.is_err() || !keep_alive {
             return;
         }
-    };
-    let (route, status, content_type, body) = route_request(&request, state);
-    let _ = write_response(reader.get_mut(), status, content_type, body.as_bytes());
-    state.metrics.observe_request(route, status);
+    }
 }
 
 fn error_body(message: &str) -> String {
@@ -253,6 +295,15 @@ fn route_request(
             "text/plain; version=0.0.4",
             state.metrics.render(&state.cache),
         ),
+        ("GET", "/trace") => match state.last_trace.lock().expect("trace poisoned").clone() {
+            Some(json) => ("trace", 200, "application/json", json),
+            None => (
+                "trace",
+                404,
+                "application/json",
+                error_body("no trace captured yet; POST /predict first"),
+            ),
+        },
         ("POST", "/predict") => {
             let (status, body) = handle_predict(request, state);
             ("predict", status, "application/json", body)
@@ -304,10 +355,35 @@ fn resolve_grid(body: &Json) -> Result<PowerGrid, String> {
     PowerGrid::from_netlist(&netlist).map_err(|e| format!("invalid power grid: {e}"))
 }
 
+/// Records the spans of one `/predict` into `state.last_trace` when it
+/// drops (even on early error returns). The collector is a process
+/// singleton, so `install` yields `None` while another request is
+/// already recording — that request's trace wins.
+struct TraceScope<'a> {
+    collector: Option<irf_trace::Collector>,
+    state: &'a State,
+}
+
+impl Drop for TraceScope<'_> {
+    fn drop(&mut self) {
+        if let Some(collector) = self.collector.take() {
+            let json = collector.finish().to_chrome_json();
+            *self.state.last_trace.lock().expect("trace poisoned") = Some(json);
+        }
+    }
+}
+
 fn handle_predict(request: &Request, state: &Arc<State>) -> (u16, String) {
     if state.shutting_down.load(Ordering::SeqCst) {
         return (503, error_body("shutting down"));
     }
+    let _trace = TraceScope {
+        collector: irf_trace::Collector::install(),
+        state,
+    };
+    // Dropped before `_trace` (reverse declaration order), so the
+    // request-level span is flushed into the collector it belongs to.
+    let _span = irf_trace::span("predict_request");
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => return (400, error_body("body is not utf-8")),

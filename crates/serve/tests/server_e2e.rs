@@ -6,18 +6,19 @@ use irf_data::Dataset;
 use irf_models::ModelKind;
 use irf_serve::json::{parse, Json};
 use irf_serve::{BatchConfig, Server, ServerConfig};
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-/// Sends one HTTP/1.1 request and returns `(status, body)`.
+/// Sends one HTTP/1.1 request with `Connection: close` and returns
+/// `(status, body)`.
 fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(120)))
         .expect("timeout");
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes()).expect("write head");
@@ -36,6 +37,43 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Stri
         .1
         .to_string();
     (status, payload)
+}
+
+/// Reads exactly one response (head + `Content-Length` body) off a
+/// persistent connection. Returns `(status, connection_header, body)`.
+fn read_one_response(reader: &mut BufReader<TcpStream>) -> (u16, String, String) {
+    let mut status = 0u16;
+    let mut connection = String::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if line.starts_with("HTTP/1.1 ") {
+            status = line
+                .split(' ')
+                .nth(1)
+                .expect("status")
+                .parse()
+                .expect("numeric");
+        } else if let Some((name, value)) = line.split_once(':') {
+            match name.to_ascii_lowercase().as_str() {
+                "connection" => connection = value.trim().to_string(),
+                "content-length" => content_length = value.trim().parse().expect("length"),
+                _ => {}
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("read body");
+    (
+        status,
+        connection,
+        String::from_utf8(body).expect("utf8 body"),
+    )
 }
 
 fn metric_value(metrics: &str, name: &str) -> f64 {
@@ -63,6 +101,7 @@ fn server_answers_predicts_and_reuses_the_cache() {
                 queue_capacity: 8,
             },
             cache_capacity: 8,
+            read_timeout: Duration::from_secs(120),
         },
         config,
         Some(trained),
@@ -72,6 +111,10 @@ fn server_answers_predicts_and_reuses_the_cache() {
 
     let (status, body) = request(addr, "GET", "/healthz", "");
     assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    // No predict has run yet: /trace has nothing to serve.
+    let (status, _) = request(addr, "GET", "/trace", "");
+    assert_eq!(status, 404, "trace before any predict");
 
     // Two predicts of the SAME design: the second must hit the cache.
     let predict_body = r#"{"spec":{"class":"fake","seed":11}}"#;
@@ -97,7 +140,16 @@ fn server_answers_predicts_and_reuses_the_cache() {
         assert!(json.get("map").is_none(), "map only on request");
     }
 
-    // include_map returns width*height values.
+    // Malformed and unknown requests are rejected, not crashed on.
+    let (status, _) = request(addr, "POST", "/predict", "{not json");
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "POST", "/predict", "{}");
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+
+    // include_map returns width*height values. This is also the most
+    // recent predict, so /trace below reflects it.
     let (status, body) = request(
         addr,
         "POST",
@@ -111,14 +163,6 @@ fn server_answers_predicts_and_reuses_the_cache() {
         other => panic!("expected map array, got {other:?}"),
     }
 
-    // Malformed and unknown requests are rejected, not crashed on.
-    let (status, _) = request(addr, "POST", "/predict", "{not json");
-    assert_eq!(status, 400);
-    let (status, _) = request(addr, "POST", "/predict", "{}");
-    assert_eq!(status, 400);
-    let (status, _) = request(addr, "GET", "/nope", "");
-    assert_eq!(status, 404);
-
     let (status, metrics) = request(addr, "GET", "/metrics", "");
     assert_eq!(status, 200);
     // Three predicts of the same design: one miss, two hits.
@@ -130,9 +174,111 @@ fn server_answers_predicts_and_reuses_the_cache() {
     assert!(metrics.contains("irf_requests_total{route=\"predict\",status=\"400\"} 2"));
     assert!(metrics.contains("irf_stage_seconds_total{stage=\"prepare\"}"));
     assert!(metrics.contains("irf_stage_seconds_total{stage=\"forward\"}"));
+    // Solver telemetry published deep in the pipeline surfaces on the
+    // same endpoint: the cache miss above ran a full rough solve.
+    assert!(metric_value(&metrics, "irf_pcg_iterations") >= 1.0);
+    assert!(metric_value(&metrics, "irf_pcg_iterations_total") >= 1.0);
+    assert!(metric_value(&metrics, "irf_amg_levels") >= 1.0);
+    assert!(metrics.contains("irf_stage_seconds_total{stage=\"amg_setup\"}"));
+    assert!(metrics.contains("irf_stage_seconds_total{stage=\"pcg_solve\"}"));
+    assert!(metrics.contains("irf_stage_seconds_total{stage=\"rough_solve\"}"));
+
+    // The last predict's trace is valid Chrome trace-event JSON (the
+    // top-level array format) with at least the request-level span.
+    let (status, trace) = request(addr, "GET", "/trace", "");
+    assert_eq!(status, 200, "{trace}");
+    match parse(&trace).expect("trace is valid json") {
+        Json::Arr(events) => {
+            assert!(!events.is_empty(), "trace has no events");
+            let names: Vec<_> = events
+                .iter()
+                .filter_map(|e| e.get("name").and_then(Json::as_str).map(str::to_string))
+                .collect();
+            assert!(
+                names.iter().any(|n| n == "predict_request"),
+                "missing request span in {names:?}"
+            );
+            assert!(
+                names.iter().any(|n| n == "nn_forward"),
+                "missing forward span in {names:?}"
+            );
+        }
+        other => panic!("expected a trace-event array, got {other:?}"),
+    }
+
+    // One keep-alive connection serves several requests.
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout");
+    let mut reader = BufReader::new(stream);
+    for _ in 0..3 {
+        reader
+            .get_mut()
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n")
+            .expect("write request");
+        let (status, connection, body) = read_one_response(&mut reader);
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        assert_eq!(connection, "keep-alive");
+    }
+    reader
+        .get_mut()
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+        .expect("write request");
+    let (status, connection, _) = read_one_response(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(connection, "close");
 
     // Graceful shutdown over HTTP; wait() must join every thread.
     let (status, body) = request(addr, "POST", "/shutdown", "");
     assert_eq!(status, 200, "{body}");
+    server.wait();
+}
+
+#[test]
+fn read_timeouts_close_idle_connections_and_408_half_requests() {
+    // Model-free server: these connections never reach the pipeline.
+    let server = Server::start(
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            batch: BatchConfig::default(),
+            cache_capacity: 2,
+            read_timeout: Duration::from_millis(200),
+        },
+        FusionConfig::tiny(),
+        None,
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // A connection that sends part of a request and stalls gets 408.
+    let mut stalled = TcpStream::connect(addr).expect("connect");
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    stalled
+        .write_all(b"POST /predict HTTP/1.1\r\nContent-Le")
+        .expect("write partial head");
+    let mut response = String::new();
+    stalled
+        .read_to_string(&mut response)
+        .expect("server answers before closing");
+    assert!(
+        response.starts_with("HTTP/1.1 408 Request Timeout\r\n"),
+        "expected 408, got: {response}"
+    );
+    assert!(response.contains("Connection: close\r\n"));
+
+    // An idle connection is closed silently: EOF, zero bytes.
+    let mut idle = TcpStream::connect(addr).expect("connect");
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut buf = Vec::new();
+    idle.read_to_end(&mut buf).expect("clean close");
+    assert!(buf.is_empty(), "idle close must not write a response");
+
+    let (status, _) = request(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
     server.wait();
 }

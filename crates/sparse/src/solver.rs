@@ -189,12 +189,29 @@ impl Solver {
                     CycleKind::VCycle
                 };
                 let t0 = Instant::now();
+                let mut setup_span = irf_trace::span("amg_setup");
                 let h = AmgHierarchy::build(a, self.amg_params);
+                record_amg_telemetry(&h, &mut setup_span);
                 let m = AmgPreconditioner::new(h, cycle);
+                drop(setup_span);
                 let setup = t0.elapsed().as_secs_f64();
+                irf_trace::registry().counter_add(
+                    "irf_stage_seconds_total",
+                    &[("stage", "amg_setup")],
+                    setup,
+                );
                 let t1 = Instant::now();
+                let mut solve_span = irf_trace::span("pcg_solve");
                 let res = pcg_with_guess(a, b, &m, x0, self.tol, self.max_iter);
-                finish_iterative(res, setup, t1.elapsed().as_secs_f64())
+                record_pcg_telemetry(&res, &mut solve_span);
+                drop(solve_span);
+                let solve = t1.elapsed().as_secs_f64();
+                irf_trace::registry().counter_add(
+                    "irf_stage_seconds_total",
+                    &[("stage", "pcg_solve")],
+                    solve,
+                );
+                finish_iterative(res, setup, solve)
             }
             SolverKind::Cholesky => {
                 let t0 = Instant::now();
@@ -218,6 +235,46 @@ impl Solver {
                 }
             }
         }
+    }
+}
+
+/// Publishes AMG hierarchy statistics as span attributes and registry
+/// gauges: level count, per-level nnz, and operator complexity.
+fn record_amg_telemetry(h: &AmgHierarchy, span: &mut irf_trace::Span) {
+    let levels = h.num_levels();
+    let complexity = h.operator_complexity();
+    if span.is_recording() {
+        span.attr("levels", levels);
+        span.attr(
+            "level_nnz",
+            h.levels()
+                .iter()
+                .map(|l| l.a.nnz() as f64)
+                .collect::<Vec<_>>(),
+        );
+        span.attr("operator_complexity", complexity);
+    }
+    let registry = irf_trace::registry();
+    registry.gauge_set("irf_amg_levels", &[], levels as f64);
+    registry.gauge_set("irf_amg_operator_complexity", &[], complexity);
+}
+
+/// Publishes PCG convergence telemetry: iteration count, convergence
+/// flag, and the per-iteration residual history.
+fn record_pcg_telemetry(res: &crate::cg::CgResult, span: &mut irf_trace::Span) {
+    let iterations = res.trace.iterations();
+    if span.is_recording() {
+        span.attr("iterations", iterations);
+        span.attr("converged", res.converged);
+        span.attr("final_residual", res.trace.final_residual());
+        span.attr("residual_history", res.trace.history.as_slice());
+    }
+    let registry = irf_trace::registry();
+    registry.gauge_set("irf_pcg_iterations", &[], iterations as f64);
+    registry.counter_add("irf_pcg_iterations_total", &[], iterations as f64);
+    registry.counter_add("irf_pcg_solves_total", &[], 1.0);
+    if res.converged {
+        registry.counter_add("irf_pcg_converged_total", &[], 1.0);
     }
 }
 
@@ -323,6 +380,46 @@ mod tests {
         let r = Solver::new(SolverKind::AmgPcg).solve(&a, &b);
         assert!(r.setup_seconds >= 0.0 && r.solve_seconds >= 0.0);
         assert!(!r.trace.history.is_empty());
+    }
+
+    #[test]
+    fn amg_pcg_publishes_solver_telemetry() {
+        let a = grid(10, 10);
+        let b = vec![0.01; 100];
+        let collector = irf_trace::Collector::install();
+        let r = Solver::new(SolverKind::AmgPcg).solve(&a, &b);
+        if let Some(collector) = collector {
+            // Other tests in this binary may run concurrently and add
+            // their own solver spans; look for one matching *this*
+            // solve's iteration count.
+            let trace = collector.finish();
+            let pcg = trace
+                .events
+                .iter()
+                .find(|e| {
+                    e.name == "pcg_solve"
+                        && e.args.contains(&(
+                            "iterations",
+                            irf_trace::AttrValue::U64(r.iterations as u64),
+                        ))
+                })
+                .expect("pcg_solve span with matching iteration count");
+            assert!(pcg.args.iter().any(|(k, v)| *k == "residual_history"
+                && matches!(v, irf_trace::AttrValue::F64List(h) if h.len() == r.iterations + 1)));
+            let setup = trace
+                .events
+                .iter()
+                .find(|e| e.name == "amg_setup")
+                .expect("amg_setup span");
+            assert!(setup.args.iter().any(|(k, _)| *k == "levels"));
+            assert!(setup.args.iter().any(|(k, _)| *k == "operator_complexity"));
+        }
+        let registry = irf_trace::registry();
+        assert!(registry.get("irf_pcg_iterations", &[]).is_some());
+        assert!(registry.get("irf_amg_levels", &[]).is_some());
+        assert!(
+            registry.get("irf_pcg_iterations_total", &[]).unwrap_or(0.0) >= r.iterations as f64
+        );
     }
 
     #[test]

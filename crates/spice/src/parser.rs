@@ -31,6 +31,7 @@ use std::collections::HashSet;
 /// # Ok::<(), irf_spice::ParseError>(())
 /// ```
 pub fn parse(src: &str) -> Result<Netlist, ParseError> {
+    let mut span = irf_trace::span("spice_parse");
     let mut netlist = Netlist::new();
     let mut seen_names: HashSet<String> = HashSet::new();
     for line in logical_lines(src) {
@@ -103,6 +104,11 @@ pub fn parse(src: &str) -> Result<Netlist, ParseError> {
                 });
             }
         }
+    }
+    if span.is_recording() {
+        span.attr("resistors", netlist.resistors().len());
+        span.attr("current_sources", netlist.current_sources().len());
+        span.attr("voltage_sources", netlist.voltage_sources().len());
     }
     Ok(netlist)
 }

@@ -1,0 +1,60 @@
+//! `irf-trace`: the observability substrate of the IR-Fusion stack —
+//! structured tracing, solver telemetry, and a unified metrics
+//! registry, all on `std` alone.
+//!
+//! Three pieces live here:
+//!
+//! * [`span`] — scoped spans recorded into a per-thread buffer. Spans
+//!   compile to a single relaxed atomic load when no [`Collector`] is
+//!   installed, so leaving the instrumentation in hot paths is free.
+//!   Buffers flush into a process-wide sink whenever a thread's span
+//!   stack unwinds to depth zero; pool worker threads (which never
+//!   exit) therefore deliver their events without any registration
+//!   protocol. A finished [`Trace`] exports Chrome trace-event JSON
+//!   (loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev))
+//!   and a human-readable self-profile tree ([`profile`]).
+//! * [`registry`] — a [`MetricsRegistry`] of counters, gauges, and
+//!   histograms with Prometheus text rendering. One process-global
+//!   instance ([`registry()`]) is shared by the solver, the pipeline,
+//!   the inference server, and the bench binaries, so `GET /metrics`
+//!   sees pipeline internals (`irf_pcg_iterations`,
+//!   `irf_stage_seconds_total{stage=...}`) next to server counters.
+//! * [`timer`] — the accumulating [`Timer`] behind the paper's
+//!   Table I / Fig. 7 runtime columns, re-exported by `irf-metrics`
+//!   for compatibility and backed by the same clock as the spans.
+//!
+//! # Tracing a region
+//!
+//! ```
+//! use irf_trace::{span, Collector};
+//!
+//! let collector = Collector::install().expect("no collector active");
+//! {
+//!     let mut s = span("solve");
+//!     s.attr("iterations", 2u64);
+//!     // ... work ...
+//! }
+//! let trace = collector.finish();
+//! assert_eq!(trace.events.len(), 1);
+//! assert!(trace.to_chrome_json().contains("\"name\":\"solve\""));
+//! ```
+//!
+//! # Determinism contract
+//!
+//! Tracing only *observes*: installing a collector never changes what
+//! the instrumented code computes. Pipeline outputs are bitwise
+//! identical with tracing enabled or disabled, at any thread count
+//! (asserted by `tests/integration_trace.rs` in the `ir-fusion`
+//! crate).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod profile;
+pub mod registry;
+pub mod span;
+pub mod timer;
+
+pub use registry::{registry, MetricKind, MetricsRegistry};
+pub use span::{set_thread_label, span, AttrValue, Collector, Event, Span, Trace};
+pub use timer::Timer;

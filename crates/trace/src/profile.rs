@@ -1,0 +1,150 @@
+//! The self-profile tree: spans aggregated by call path, with
+//! inclusive/exclusive time and call counts — the quick textual answer
+//! to "where did the pipeline spend its time" that the paper's Table I
+//! runtime split needs.
+
+use crate::span::Trace;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One aggregated node of the profile tree.
+#[derive(Debug, Default)]
+struct Node {
+    calls: u64,
+    inclusive_ns: u64,
+    children: BTreeMap<&'static str, Node>,
+}
+
+impl Node {
+    fn child_inclusive(&self) -> u64 {
+        self.children.values().map(|c| c.inclusive_ns).sum()
+    }
+}
+
+/// Builds the aggregated call tree from a trace.
+///
+/// Parenthood is reconstructed from each thread's event stream using
+/// the recorded nesting depth, then identical call paths are merged
+/// across threads — a span running on four pool workers shows up as
+/// one node with four calls.
+fn build(trace: &Trace) -> Node {
+    let mut root = Node::default();
+    let mut by_tid: BTreeMap<u64, Vec<&crate::span::Event>> = BTreeMap::new();
+    for event in &trace.events {
+        by_tid.entry(event.tid).or_default().push(event);
+    }
+    for events in by_tid.values_mut() {
+        events.sort_by_key(|e| (e.start_ns, e.depth));
+        let mut path: Vec<&'static str> = Vec::new();
+        for event in events.iter() {
+            path.truncate(event.depth as usize);
+            path.push(event.name);
+            let mut node = &mut root;
+            for name in &path {
+                node = node.children.entry(name).or_default();
+            }
+            node.calls += 1;
+            node.inclusive_ns += event.dur_ns;
+        }
+    }
+    root.inclusive_ns = root.child_inclusive();
+    root
+}
+
+fn render_node(out: &mut String, name: &str, node: &Node, depth: usize, total_ns: u64) {
+    let incl_ms = node.inclusive_ns as f64 / 1e6;
+    let excl_ms = node.inclusive_ns.saturating_sub(node.child_inclusive()) as f64 / 1e6;
+    let share = if total_ns > 0 {
+        node.inclusive_ns as f64 * 100.0 / total_ns as f64
+    } else {
+        0.0
+    };
+    let label = format!("{:indent$}{name}", "", indent = depth * 2);
+    let _ = writeln!(
+        out,
+        "{label:<40} {:>7} {:>12.3} {:>12.3} {share:>6.1}%",
+        node.calls, incl_ms, excl_ms
+    );
+    // Largest subtrees first; ties resolve alphabetically for a stable
+    // rendering.
+    let mut children: Vec<_> = node.children.iter().collect();
+    children.sort_by(|a, b| b.1.inclusive_ns.cmp(&a.1.inclusive_ns).then(a.0.cmp(b.0)));
+    for (child_name, child) in children {
+        render_node(out, child_name, child, depth + 1, total_ns);
+    }
+}
+
+/// Renders the profile tree as aligned text.
+#[must_use]
+pub fn profile_tree(trace: &Trace) -> String {
+    let root = build(trace);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<40} {:>7} {:>12} {:>12} {:>7}",
+        "span", "calls", "incl(ms)", "excl(ms)", "share"
+    );
+    let total_ns = root.inclusive_ns;
+    let mut roots: Vec<_> = root.children.iter().collect();
+    roots.sort_by(|a, b| b.1.inclusive_ns.cmp(&a.1.inclusive_ns).then(a.0.cmp(b.0)));
+    for (name, node) in roots {
+        render_node(&mut out, name, node, 0, total_ns);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Event;
+
+    fn event(name: &'static str, tid: u64, depth: u32, start_ns: u64, dur_ns: u64) -> Event {
+        Event {
+            name,
+            tid,
+            depth,
+            start_ns,
+            dur_ns,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn tree_aggregates_by_path_across_threads() {
+        let trace = Trace {
+            events: vec![
+                event("analyze", 0, 0, 0, 10_000_000),
+                event("solve", 0, 1, 100, 6_000_000),
+                event("features", 0, 1, 6_000_200, 3_000_000),
+                // A second thread runs the same path once more.
+                event("analyze", 1, 0, 50, 8_000_000),
+                event("solve", 1, 1, 150, 7_000_000),
+            ],
+            thread_labels: Vec::new(),
+        };
+        let text = profile_tree(&trace);
+        let analyze_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("analyze"))
+            .expect("analyze row");
+        assert!(analyze_line.contains(" 2 "), "{analyze_line}");
+        let solve_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("solve"))
+            .expect("solve row");
+        assert!(solve_line.contains(" 2 "), "{solve_line}");
+        // solve (13 ms inclusive) sorts above features (3 ms).
+        let solve_at = text.find("solve").expect("solve");
+        let features_at = text.find("features").expect("features");
+        assert!(solve_at < features_at);
+        // Exclusive time of analyze = 18 ms - 16 ms = 2 ms.
+        assert!(analyze_line.contains("2.000"), "{analyze_line}");
+    }
+
+    #[test]
+    fn empty_trace_renders_header_only() {
+        let text = profile_tree(&Trace::default());
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("span"));
+    }
+}

@@ -3,7 +3,14 @@
 //!
 //! ```bash
 //! cargo run --example analyze_design --release -- path/to/design.sp
+//! # with a Chrome/Perfetto trace of the whole analysis:
+//! cargo run --example analyze_design --release -- --trace trace.json
 //! ```
+//!
+//! `--trace OUT.json` records every pipeline span (SPICE parse, MNA
+//! assembly, AMG setup, PCG solve, feature rasterization) into a
+//! Chrome trace-event file loadable at <https://ui.perfetto.dev>, and
+//! prints the aggregated self-profile tree.
 
 use ir_fusion::{FusionConfig, IrFusionPipeline};
 use irf_data::{synthesize, SynthSpec};
@@ -11,19 +18,41 @@ use irf_pg::PowerGrid;
 use std::fs;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let netlist = match std::env::args().nth(1) {
+    let mut trace_out: Option<String> = None;
+    let mut netlist_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => {
+                trace_out = Some(args.next().ok_or("--trace needs an output path")?);
+            }
+            _ => netlist_path = Some(arg),
+        }
+    }
+    let collector = if trace_out.is_some() {
+        Some(
+            irf_trace::Collector::install()
+                .ok_or("another trace collector is already installed")?,
+        )
+    } else {
+        None
+    };
+    let netlist = match netlist_path {
         Some(path) => {
             println!("parsing {path}");
             irf_spice::parse(&fs::read_to_string(&path)?)?
         }
         None => {
             println!("no netlist given; using a synthesized demo design");
-            synthesize(&SynthSpec {
+            let netlist = synthesize(&SynthSpec {
                 seed: 7,
                 hotspot_clusters: 2,
                 hotspot_fraction: 0.5,
                 ..SynthSpec::default()
-            })
+            });
+            // Round-trip through the SPICE writer so the trace shows
+            // the parse stage even for the synthetic design.
+            irf_spice::parse(&irf_spice::write(&netlist))?
         }
     };
     let grid = PowerGrid::from_netlist(&netlist)?;
@@ -81,6 +110,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             });
         }
         println!("  {line}");
+    }
+
+    if let (Some(collector), Some(path)) = (collector, trace_out) {
+        let trace = collector.finish();
+        fs::write(&path, trace.to_chrome_json())?;
+        println!(
+            "wrote {path} ({} events) — open it at https://ui.perfetto.dev",
+            trace.len()
+        );
+        println!("self-profile:\n{}", trace.profile_tree());
     }
     Ok(())
 }

@@ -1,0 +1,129 @@
+//! The tracing determinism contract: installing a [`Collector`] only
+//! *observes* the pipeline — every output is bitwise identical with
+//! tracing enabled or disabled, at any thread count — and the captured
+//! trace covers every major stage (SPICE parse, MNA assembly, AMG
+//! setup, PCG solve, feature extraction, NN forward).
+
+use ir_fusion::config::FusionConfig;
+use ir_fusion::pipeline::IrFusionPipeline;
+use ir_fusion::TrainedModel;
+use irf_data::synth::{synthesize, SynthSpec};
+use irf_data::Dataset;
+use irf_models::ModelKind;
+use irf_pg::{GridMap, PowerGrid};
+use irf_trace::Collector;
+use std::sync::Mutex;
+
+/// The global thread count and the trace collector are both
+/// process-wide state; runs that touch either hold this lock.
+static PROCESS_STATE: Mutex<()> = Mutex::new(());
+
+fn bits32(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// One full end-to-end run: SPICE text -> grid -> rough solve +
+/// features -> NN forward. Returns everything float-valued.
+fn run_pipeline(
+    pipeline: &IrFusionPipeline,
+    trained: &TrainedModel,
+    spice_text: &str,
+) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let netlist = irf_spice::parse(spice_text).expect("valid netlist");
+    let grid = PowerGrid::from_netlist(&netlist).expect("valid grid");
+    let stack = pipeline.prepare_stack(&grid);
+    let fused: GridMap = pipeline.predict(trained, &stack);
+    let feature_bits: Vec<u32> = stack
+        .features
+        .maps()
+        .iter()
+        .flat_map(|m| m.data().iter().map(|x| x.to_bits()))
+        .collect();
+    (
+        feature_bits,
+        bits32(stack.rough.data()),
+        bits32(fused.data()),
+    )
+}
+
+#[test]
+fn tracing_is_zero_overhead_and_covers_every_stage() {
+    let config = FusionConfig::tiny();
+    let dataset = Dataset::generate(2, 2, 1, 7);
+    let trained = ir_fusion::train(ModelKind::IrEdge, &dataset, &config);
+    let pipeline = IrFusionPipeline::new(config);
+    let spice_text = irf_spice::write(&synthesize(&SynthSpec {
+        seed: 3,
+        ..SynthSpec::default()
+    }));
+
+    let guard = PROCESS_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    let baseline = {
+        irf_runtime::set_num_threads(1);
+        let out = run_pipeline(&pipeline, &trained, &spice_text);
+        irf_runtime::set_num_threads(0);
+        out
+    };
+
+    for threads in [1, 4, 8] {
+        irf_runtime::set_num_threads(threads);
+
+        // Without a collector: the relaxed-load fast path.
+        let silent = run_pipeline(&pipeline, &trained, &spice_text);
+
+        // With a collector: identical numbers, plus a trace.
+        let collector = Collector::install().expect("no competing collector");
+        let recorded = run_pipeline(&pipeline, &trained, &spice_text);
+        let trace = collector.finish();
+
+        irf_runtime::set_num_threads(0);
+
+        assert_eq!(
+            baseline, silent,
+            "untraced outputs differ at {threads} threads"
+        );
+        assert_eq!(
+            baseline, recorded,
+            "traced outputs differ at {threads} threads"
+        );
+
+        let names: Vec<&str> = trace.events.iter().map(|e| e.name).collect();
+        for stage in [
+            "spice_parse",
+            "mna_assembly",
+            "rough_solve",
+            "amg_setup",
+            "pcg_solve",
+            "feature_stack",
+            "nn_forward",
+        ] {
+            assert!(
+                names.contains(&stage),
+                "stage {stage} missing from trace at {threads} threads: {names:?}"
+            );
+        }
+
+        // The solver spans carry their telemetry as attributes.
+        let pcg = trace
+            .events
+            .iter()
+            .find(|e| e.name == "pcg_solve")
+            .expect("pcg span");
+        assert!(pcg.args.iter().any(|(k, _)| *k == "iterations"));
+        assert!(pcg.args.iter().any(|(k, _)| *k == "residual_history"));
+        let amg = trace
+            .events
+            .iter()
+            .find(|e| e.name == "amg_setup")
+            .expect("amg span");
+        assert!(amg.args.iter().any(|(k, _)| *k == "levels"));
+        assert!(amg.args.iter().any(|(k, _)| *k == "operator_complexity"));
+
+        // The export round-trips into non-empty Chrome JSON and a
+        // profile tree mentioning the solve.
+        let json = trace.to_chrome_json();
+        assert!(json.contains("\"name\":\"pcg_solve\""));
+        assert!(trace.profile_tree().contains("rough_solve"));
+    }
+    drop(guard);
+}
