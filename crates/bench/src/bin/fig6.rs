@@ -51,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let golden = pipeline.golden_map(&design.grid);
     let pred = |t: &ir_fusion::TrainedModel| {
         pipeline
-            .analyze_grid(&design.grid, Some(t))
+            .stack_builder()
+            .analyze(&design.grid, Some(t))
+            .expect("design grid has pads")
             .fused_map
             .expect("model supplied")
     };

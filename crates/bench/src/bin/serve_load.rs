@@ -73,7 +73,11 @@ fn bench_in_process(args: &Args) -> Vec<Row> {
     let trained: TrainedModel = train(ModelKind::IrFusion, &dataset, &config);
     let pipeline = IrFusionPipeline::new(config);
     let stacks: Vec<PreparedStack> = (0..args.designs)
-        .map(|i| pipeline.prepare_stack(&irf_data::Design::fake(100 + i as u64).grid))
+        .map(|i| {
+            pipeline
+                .prepare_stack(&irf_data::Design::fake(100 + i as u64).grid)
+                .expect("fake designs have pads")
+        })
         .collect();
 
     let mut rows = Vec::new();

@@ -27,7 +27,7 @@ fn main() {
     let pipeline = IrFusionPipeline::new(FusionConfig::tiny());
 
     for _ in 0..5 {
-        std::hint::black_box(pipeline.prepare_stack(&grid));
+        std::hint::black_box(pipeline.prepare_stack(&grid).expect("grid has pads"));
     }
 
     let mut untraced_ns = 0u128;
@@ -35,12 +35,12 @@ fn main() {
     let mut events = 0usize;
     for _ in 0..iters {
         let t0 = Instant::now();
-        std::hint::black_box(pipeline.prepare_stack(&grid));
+        std::hint::black_box(pipeline.prepare_stack(&grid).expect("grid has pads"));
         untraced_ns += t0.elapsed().as_nanos();
 
         let collector = Collector::install().expect("no competing collector");
         let t0 = Instant::now();
-        std::hint::black_box(pipeline.prepare_stack(&grid));
+        std::hint::black_box(pipeline.prepare_stack(&grid).expect("grid has pads"));
         traced_ns += t0.elapsed().as_nanos();
         events = collector.finish().len();
     }

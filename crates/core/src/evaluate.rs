@@ -20,7 +20,10 @@ pub fn evaluate_model(
     let mut span = irf_trace::span("evaluate_model");
     let mut reports = Vec::new();
     for design in dataset.test() {
-        let analysis = pipeline.analyze_grid(&design.grid, Some(trained));
+        let analysis = pipeline
+            .stack_builder()
+            .analyze(&design.grid, Some(trained))
+            .expect("test designs have pads");
         let golden = pipeline.golden_map(&design.grid);
         let pred = analysis.fused_map.expect("model supplied");
         reports.push(MetricReport::evaluate(
@@ -45,7 +48,10 @@ pub fn evaluate_numerical(dataset: &Dataset, pipeline: &IrFusionPipeline) -> Vec
     let _span = irf_trace::span("evaluate_numerical");
     let mut reports = Vec::new();
     for design in dataset.test() {
-        let analysis = pipeline.analyze_grid(&design.grid, None);
+        let analysis = pipeline
+            .stack_builder()
+            .analyze(&design.grid, None)
+            .expect("test designs have pads");
         let golden = pipeline.golden_map(&design.grid);
         reports.push(MetricReport::evaluate(
             analysis.rough_map.data(),

@@ -44,6 +44,9 @@ pub use cache::{design_fingerprint, FeatureCache};
 pub use checkpoint::{load_model, save_model};
 pub use config::{FusionConfig, TrainConfig};
 pub use evaluate::{evaluate_model, evaluate_numerical};
-pub use pipeline::{Analysis, IrFusionPipeline, PreparedSample, PreparedStack};
+pub use irf_features::FeatureError;
+pub use pipeline::{
+    Analysis, CachePolicy, FeatureStackBuilder, IrFusionPipeline, PreparedSample, PreparedStack,
+};
 pub use report::SignoffReport;
 pub use train::{train, TrainedModel};

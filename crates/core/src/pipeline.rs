@@ -6,7 +6,7 @@ use crate::config::FusionConfig;
 use crate::train::TrainedModel;
 use irf_data::golden::golden_drops;
 use irf_data::Design;
-use irf_features::{FeatureExtractor, FeatureStack};
+use irf_features::{FeatureError, FeatureExtractor, FeatureStack};
 use irf_metrics::Timer;
 use irf_nn::{Tape, Tensor};
 use irf_pg::{GridMap, ModelError, PowerGrid, Rasterizer};
@@ -116,6 +116,263 @@ pub struct Analysis {
     pub runtime_seconds: f64,
 }
 
+/// How a [`FeatureStackBuilder`] interacts with the pipeline's
+/// attached [`FeatureCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Use the attached cache (single-flighted); a plain uncached
+    /// preparation when none is attached.
+    #[default]
+    Shared,
+    /// Always prepare fresh, never reading or populating the cache.
+    Bypass,
+}
+
+/// Builder-style entry point for feature-stack preparation and
+/// analysis — the one front door that replaced the
+/// `prepare_grid` / `analyze_grid` / `prepare_stack_cached` sprawl.
+///
+/// Obtained from [`IrFusionPipeline::stack_builder`]; options select
+/// feature families, thread count and cache policy, and the terminal
+/// methods ([`FeatureStackBuilder::prepare`],
+/// [`FeatureStackBuilder::prepare_labelled`],
+/// [`FeatureStackBuilder::analyze`]) return `Result` instead of
+/// asserting — a padless grid surfaces as
+/// [`FeatureError::NoPads`].
+///
+/// ```
+/// use ir_fusion::{FusionConfig, IrFusionPipeline};
+/// use irf_data::{synthesize, SynthSpec};
+/// use irf_pg::PowerGrid;
+///
+/// let grid = PowerGrid::from_netlist(&synthesize(&SynthSpec::default()))?;
+/// let pipeline = IrFusionPipeline::new(FusionConfig::tiny());
+/// let analysis = pipeline.stack_builder().analyze(&grid, None)?;
+/// assert!(analysis.rough_map.max() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FeatureStackBuilder<'p> {
+    pipeline: &'p IrFusionPipeline,
+    numerical: Option<bool>,
+    hierarchical: Option<bool>,
+    threads: Option<usize>,
+    cache: CachePolicy,
+}
+
+impl<'p> FeatureStackBuilder<'p> {
+    fn new(pipeline: &'p IrFusionPipeline) -> Self {
+        FeatureStackBuilder {
+            pipeline,
+            numerical: None,
+            hierarchical: None,
+            threads: None,
+            cache: CachePolicy::Shared,
+        }
+    }
+
+    /// Overrides [`FeatureConfig::numerical`] (the per-layer
+    /// rough-solution channels; `false` is the "w/o Num. Solu."
+    /// ablation).
+    ///
+    /// [`FeatureConfig::numerical`]: irf_features::FeatureConfig::numerical
+    #[must_use]
+    pub fn numerical(mut self, on: bool) -> Self {
+        self.numerical = Some(on);
+        self
+    }
+
+    /// Overrides [`FeatureConfig::hierarchical`] (the per-layer
+    /// current channels; `false` is the "w/o hierarchical" ablation).
+    ///
+    /// [`FeatureConfig::hierarchical`]: irf_features::FeatureConfig::hierarchical
+    #[must_use]
+    pub fn hierarchical(mut self, on: bool) -> Self {
+        self.hierarchical = Some(on);
+        self
+    }
+
+    /// Runs this builder's terminal call at an explicit thread count
+    /// (`0` = automatic), restoring the ambient configuration
+    /// afterwards. Results are bitwise identical at any setting; this
+    /// only trades latency for core usage. The count is global for
+    /// the duration of the call, so it is meant for CLI / batch use,
+    /// not for mixing per-request inside one concurrent server.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Sets the cache policy (default [`CachePolicy::Shared`]).
+    #[must_use]
+    pub fn cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.cache = policy;
+        self
+    }
+
+    /// Shorthand for `cache_policy(CachePolicy::Bypass)`.
+    #[must_use]
+    pub fn bypass_cache(self) -> Self {
+        self.cache_policy(CachePolicy::Bypass)
+    }
+
+    /// The pipeline configuration with this builder's feature-family
+    /// overrides applied — also what the cache fingerprint covers, so
+    /// ablated and full stacks never collide in the cache.
+    #[must_use]
+    pub fn effective_config(&self) -> FusionConfig {
+        let mut config = *self.pipeline.config();
+        if let Some(numerical) = self.numerical {
+            config.feature.numerical = numerical;
+        }
+        if let Some(hierarchical) = self.hierarchical {
+            config.feature.hierarchical = hierarchical;
+        }
+        if let Some(threads) = self.threads {
+            config.num_threads = threads;
+        }
+        config
+    }
+
+    fn with_threads<R>(&self, f: impl FnOnce() -> R) -> R {
+        match self.threads {
+            None => f(),
+            Some(n) => {
+                let previous = irf_runtime::configured_threads();
+                irf_runtime::set_num_threads(n);
+                let result = f();
+                irf_runtime::set_num_threads(previous);
+                result
+            }
+        }
+    }
+
+    /// Prepares the label-free stack: truncated solve, feature
+    /// extraction, rough bottom-layer map — through the cache under
+    /// [`CachePolicy::Shared`] (keyed by [`design_fingerprint`] of
+    /// the grid and the *effective* config, single-flighting
+    /// concurrent misses).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::NoPads`] when the grid has no pads.
+    pub fn prepare(&self, grid: &PowerGrid) -> Result<Arc<PreparedStack>, FeatureError> {
+        if grid.pads.is_empty() {
+            return Err(FeatureError::NoPads);
+        }
+        let config = self.effective_config();
+        Ok(
+            self.with_threads(|| match (self.cache, self.pipeline.cache()) {
+                (CachePolicy::Shared, Some(cache)) => {
+                    let key = design_fingerprint(grid, &config);
+                    cache.get_or_compute(key, || {
+                        let stack = self
+                            .pipeline
+                            .prepare_stack_with(&config, grid)
+                            .expect("pads checked above");
+                        Arc::new(stack)
+                    })
+                }
+                _ => Arc::new(
+                    self.pipeline
+                        .prepare_stack_with(&config, grid)
+                        .expect("pads checked above"),
+                ),
+            }),
+        )
+    }
+
+    /// Prepares a labelled sample (training path): the cached stack
+    /// plus the rasterized golden solution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::NoPads`] when the grid has no pads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `golden.len() != grid.nodes.len()`.
+    pub fn prepare_labelled(
+        &self,
+        grid: &PowerGrid,
+        golden: &[f64],
+    ) -> Result<PreparedSample, FeatureError> {
+        let stack = self.prepare(grid)?;
+        let config = self.effective_config();
+        let extractor = FeatureExtractor::new(config.feature);
+        let raster = extractor.rasterizer(grid);
+        let label = irf_features::solution::bottom_layer_solution_map(grid, golden, &raster);
+        Ok(PreparedSample {
+            features: stack.features.clone(),
+            label,
+            rough: stack.rough.clone(),
+            solve_seconds: stack.solve_seconds,
+            feature_seconds: stack.feature_seconds,
+        })
+    }
+
+    /// Analyzes a grid, optionally refining with a trained model.
+    ///
+    /// In residual mode (the fusion default), the model's signed
+    /// correction is added to the rough numerical map and the result
+    /// clamped at zero; in absolute mode the model output *is* the
+    /// prediction. Pure-ML baselines (absolute prediction, numerical
+    /// channels off) skip the solve entirely, keeping the runtime
+    /// column honest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::NoPads`] when the grid has no pads.
+    pub fn analyze(
+        &self,
+        grid: &PowerGrid,
+        model: Option<&TrainedModel>,
+    ) -> Result<Analysis, FeatureError> {
+        let _span = irf_trace::span("analyze_grid");
+        let mut timer = Timer::new();
+        timer.start();
+        let config = self.effective_config();
+        let needs_solve = config.feature.numerical || model.is_none_or(|t| t.residual);
+        let stack = if needs_solve {
+            self.prepare(grid)?
+        } else {
+            self.with_threads(|| {
+                let extractor = FeatureExtractor::new(config.feature);
+                let drops = vec![0.0; grid.nodes.len()];
+                let features = extractor.extract(grid, &drops)?;
+                let raster = extractor.rasterizer(grid);
+                let rough =
+                    irf_features::solution::bottom_layer_solution_map(grid, &drops, &raster);
+                Ok(Arc::new(PreparedStack {
+                    features,
+                    rough,
+                    solve_report: SolveReport {
+                        x: Vec::new(),
+                        converged: false,
+                        iterations: 0,
+                        residual: f64::INFINITY,
+                        setup_seconds: 0.0,
+                        solve_seconds: 0.0,
+                        trace: irf_sparse::cg::ConvergenceTrace::default(),
+                    },
+                    solve_seconds: 0.0,
+                    feature_seconds: 0.0,
+                }))
+            })?
+        };
+        let fused_map =
+            model.map(|trained| self.with_threads(|| self.pipeline.predict(trained, &stack)));
+        timer.stop();
+        Ok(Analysis {
+            rough_map: stack.rough.clone(),
+            fused_map,
+            solve_report: stack.solve_report.clone(),
+            runtime_seconds: timer.seconds(),
+        })
+    }
+}
+
 /// The IR-Fusion pipeline. See the crate-level example.
 #[derive(Debug, Clone)]
 pub struct IrFusionPipeline {
@@ -137,9 +394,9 @@ impl IrFusionPipeline {
     }
 
     /// Attaches a feature-stack cache: subsequent
-    /// [`IrFusionPipeline::prepare_stack_cached`] calls (and everything
-    /// built on them — `prepare`, `prepare_all`, `analyze_grid`) reuse
-    /// previously prepared stacks for identical designs.
+    /// [`FeatureStackBuilder::prepare`] calls (and everything built on
+    /// them — `prepare`, `prepare_all`, `analyze`) reuse previously
+    /// prepared stacks for identical designs.
     #[must_use]
     pub fn with_cache(mut self, cache: Arc<FeatureCache>) -> Self {
         self.cache = Some(cache);
@@ -172,10 +429,28 @@ impl IrFusionPipeline {
         (drops, report)
     }
 
+    /// Starts a [`FeatureStackBuilder`] — the front door for stack
+    /// preparation and analysis. Options (feature families, thread
+    /// count, cache policy) are builder methods; terminals return
+    /// `Result` so padless grids surface as [`FeatureError::NoPads`]
+    /// instead of a panic deep in feature extraction.
+    #[must_use]
+    pub fn stack_builder(&self) -> FeatureStackBuilder<'_> {
+        FeatureStackBuilder::new(self)
+    }
+
     /// Prepares a labelled design (training path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design's grid has no pads; use
+    /// [`FeatureStackBuilder::prepare_labelled`] to handle that case
+    /// as a `Result`.
     #[must_use]
     pub fn prepare(&self, design: &Design) -> PreparedSample {
-        self.prepare_grid(&design.grid, &design.golden)
+        self.stack_builder()
+            .prepare_labelled(&design.grid, &design.golden)
+            .expect("design grid has pads")
     }
 
     /// Prepares every design concurrently (one task per design; the
@@ -189,16 +464,33 @@ impl IrFusionPipeline {
     }
 
     /// Prepares the label-free part of a design: truncated solve,
-    /// feature extraction, rough bottom-layer map.
-    #[must_use]
-    pub fn prepare_stack(&self, grid: &PowerGrid) -> PreparedStack {
-        let extractor = FeatureExtractor::new(self.config.feature);
+    /// feature extraction, rough bottom-layer map. Uncached; most
+    /// callers want [`FeatureStackBuilder::prepare`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::NoPads`] when the grid has no pads.
+    pub fn prepare_stack(&self, grid: &PowerGrid) -> Result<PreparedStack, FeatureError> {
+        self.prepare_stack_with(&self.config, grid)
+    }
+
+    /// [`IrFusionPipeline::prepare_stack`] under an explicit (builder
+    ///-effective) configuration. The solver fields always come from
+    /// `self.config` via [`IrFusionPipeline::rough_solution`]; `config`
+    /// governs feature extraction.
+    fn prepare_stack_with(
+        &self,
+        config: &FusionConfig,
+        grid: &PowerGrid,
+    ) -> Result<PreparedStack, FeatureError> {
+        let extractor = FeatureExtractor::new(config.feature);
         let ((drops, solve_report), solve_seconds) = Timer::time(|| self.rough_solution(grid));
         let (features, feature_seconds) = Timer::time(|| {
             // The "w/o Num. Solu." ablation zeroes the numerical
             // channels by disabling them in the config instead.
             extractor.extract(grid, &drops)
         });
+        let features = features?;
         let registry = irf_trace::registry();
         registry.counter_add(
             "irf_stage_seconds_total",
@@ -212,51 +504,46 @@ impl IrFusionPipeline {
         );
         let raster = extractor.rasterizer(grid);
         let rough = irf_features::solution::bottom_layer_solution_map(grid, &drops, &raster);
-        PreparedStack {
+        Ok(PreparedStack {
             features,
             rough,
             solve_report,
             solve_seconds,
             feature_seconds,
-        }
+        })
     }
 
-    /// [`IrFusionPipeline::prepare_stack`] through the attached
-    /// [`FeatureCache`] (a plain uncached call when none is attached).
-    ///
-    /// The key is [`design_fingerprint`], which covers the grid content
-    /// and every preparation-relevant configuration field, so a hit is
-    /// bitwise identical to a fresh preparation.
-    /// Concurrent misses on the same design are single-flighted: one
-    /// caller prepares, the rest wait and share the result (see
-    /// [`FeatureCache::get_or_compute`]).
-    #[must_use]
-    pub fn prepare_stack_cached(&self, grid: &PowerGrid) -> Arc<PreparedStack> {
-        let Some(cache) = &self.cache else {
-            return Arc::new(self.prepare_stack(grid));
-        };
-        let key = design_fingerprint(grid, &self.config);
-        cache.get_or_compute(key, || Arc::new(self.prepare_stack(grid)))
-    }
-
-    /// Prepares a grid with a supplied golden solution.
+    /// Deprecated shim over [`FeatureStackBuilder::prepare`].
     ///
     /// # Panics
     ///
-    /// Panics if `golden.len() != grid.nodes.len()`.
+    /// Panics if the grid has no pads.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `pipeline.stack_builder().prepare(grid)` instead"
+    )]
+    #[must_use]
+    pub fn prepare_stack_cached(&self, grid: &PowerGrid) -> Arc<PreparedStack> {
+        self.stack_builder()
+            .prepare(grid)
+            .expect("grid has pads; use stack_builder().prepare() to handle NoPads")
+    }
+
+    /// Deprecated shim over [`FeatureStackBuilder::prepare_labelled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid has no pads or if
+    /// `golden.len() != grid.nodes.len()`.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `pipeline.stack_builder().prepare_labelled(grid, golden)` instead"
+    )]
     #[must_use]
     pub fn prepare_grid(&self, grid: &PowerGrid, golden: &[f64]) -> PreparedSample {
-        let stack = self.prepare_stack_cached(grid);
-        let extractor = FeatureExtractor::new(self.config.feature);
-        let raster = extractor.rasterizer(grid);
-        let label = irf_features::solution::bottom_layer_solution_map(grid, golden, &raster);
-        PreparedSample {
-            features: stack.features.clone(),
-            label,
-            rough: stack.rough.clone(),
-            solve_seconds: stack.solve_seconds,
-            feature_seconds: stack.feature_seconds,
-        }
+        self.stack_builder()
+            .prepare_labelled(grid, golden)
+            .expect("grid has pads; use stack_builder().prepare_labelled() to handle NoPads")
     }
 
     /// Analyzes a netlist end to end (inference path). Pass a trained
@@ -266,61 +553,31 @@ impl IrFusionPipeline {
     /// # Errors
     ///
     /// Returns [`ModelError`] when the netlist does not describe a
-    /// valid power grid.
+    /// valid power grid (a padless grid surfaces as
+    /// [`ModelError::NoPads`]).
     pub fn analyze_netlist(&self, netlist: &Netlist) -> Result<Analysis, ModelError> {
         let grid = PowerGrid::from_netlist(netlist)?;
-        Ok(self.analyze_grid(&grid, None))
+        // The only feature error today is NoPads; `FeatureError` is
+        // non_exhaustive, so map conservatively.
+        self.stack_builder()
+            .analyze(&grid, None)
+            .map_err(|_| ModelError::NoPads)
     }
 
-    /// Analyzes a grid, optionally refining with a trained model.
+    /// Deprecated shim over [`FeatureStackBuilder::analyze`].
     ///
-    /// In residual mode (the fusion default), the model's signed
-    /// correction is added to the rough numerical map and the result
-    /// clamped at zero; in absolute mode the model output *is* the
-    /// prediction. When a [`FeatureCache`] is attached, the solve +
-    /// feature stage is served from it for repeated designs.
+    /// # Panics
+    ///
+    /// Panics if the grid has no pads.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `pipeline.stack_builder().analyze(grid, model)` instead"
+    )]
     #[must_use]
     pub fn analyze_grid(&self, grid: &PowerGrid, model: Option<&TrainedModel>) -> Analysis {
-        let _span = irf_trace::span("analyze_grid");
-        let mut timer = Timer::new();
-        timer.start();
-        // Pure-ML baselines (absolute prediction, no numerical feature
-        // channels) never consume the solver output, so they do not
-        // pay for it — keeping the runtime column honest. Everything
-        // else runs the truncated solve (through the cache, if any).
-        let needs_solve = self.config.feature.numerical || model.is_none_or(|t| t.residual);
-        let stack = if needs_solve {
-            self.prepare_stack_cached(grid)
-        } else {
-            let extractor = FeatureExtractor::new(self.config.feature);
-            let drops = vec![0.0; grid.nodes.len()];
-            let features = extractor.extract(grid, &drops);
-            let raster = extractor.rasterizer(grid);
-            let rough = irf_features::solution::bottom_layer_solution_map(grid, &drops, &raster);
-            Arc::new(PreparedStack {
-                features,
-                rough,
-                solve_report: SolveReport {
-                    x: Vec::new(),
-                    converged: false,
-                    iterations: 0,
-                    residual: f64::INFINITY,
-                    setup_seconds: 0.0,
-                    solve_seconds: 0.0,
-                    trace: irf_sparse::cg::ConvergenceTrace::default(),
-                },
-                solve_seconds: 0.0,
-                feature_seconds: 0.0,
-            })
-        };
-        let fused_map = model.map(|trained| self.predict(trained, &stack));
-        timer.stop();
-        Analysis {
-            rough_map: stack.rough.clone(),
-            fused_map,
-            solve_report: stack.solve_report.clone(),
-            runtime_seconds: timer.seconds(),
-        }
+        self.stack_builder()
+            .analyze(grid, model)
+            .expect("grid has pads; use stack_builder().analyze() to handle NoPads")
     }
 
     /// Runs model inference on one prepared stack, applying the
@@ -465,13 +722,74 @@ mod tests {
         // Even at k=2 the rough map should correlate with golden.
         let p = pipeline();
         let g = grid();
-        let a = p.analyze_grid(&g, None);
+        let a = p.stack_builder().analyze(&g, None).expect("grid has pads");
         let golden = p.golden_map(&g);
         let err = mae(a.rough_map.data(), golden.data());
         assert!(
             err < f64::from(golden.max()),
             "rough map error {err} should be below the peak drop"
         );
+    }
+
+    #[test]
+    fn builder_reports_padless_grids_as_errors() {
+        let p = pipeline();
+        let g = PowerGrid::default();
+        assert_eq!(
+            p.stack_builder().prepare(&g).unwrap_err(),
+            FeatureError::NoPads
+        );
+        assert_eq!(
+            p.stack_builder().analyze(&g, None).unwrap_err(),
+            FeatureError::NoPads
+        );
+    }
+
+    #[test]
+    fn builder_ablations_change_the_channel_count() {
+        let p = pipeline();
+        let g = grid();
+        let full = p.stack_builder().prepare(&g).expect("pads");
+        let ablated = p
+            .stack_builder()
+            .numerical(false)
+            .hierarchical(false)
+            .prepare(&g)
+            .expect("pads");
+        let (c_full, ..) = full.features.to_nchw();
+        let (c_ablated, ..) = ablated.features.to_nchw();
+        assert!(
+            c_ablated < c_full,
+            "ablated stack ({c_ablated} ch) should be thinner than full ({c_full} ch)"
+        );
+    }
+
+    #[test]
+    fn builder_thread_override_restores_ambient_configuration() {
+        let p = pipeline();
+        let g = grid();
+        let before = irf_runtime::configured_threads();
+        let at2 = p.stack_builder().threads(2).prepare(&g).expect("pads");
+        assert_eq!(irf_runtime::configured_threads(), before);
+        let ambient = p.stack_builder().bypass_cache().prepare(&g).expect("pads");
+        assert_eq!(at2.rough.data(), ambient.rough.data());
+        assert_eq!(
+            at2.features.to_nchw().3,
+            ambient.features.to_nchw().3,
+            "thread override must not change feature values"
+        );
+    }
+
+    #[test]
+    fn builder_shares_the_attached_cache() {
+        let cache = Arc::new(FeatureCache::new(4));
+        let p = pipeline().with_cache(Arc::clone(&cache));
+        let g = grid();
+        let a = p.stack_builder().prepare(&g).expect("pads");
+        let b = p.stack_builder().prepare(&g).expect("pads");
+        assert!(Arc::ptr_eq(&a, &b), "second prepare should be a cache hit");
+        let c = p.stack_builder().bypass_cache().prepare(&g).expect("pads");
+        assert!(!Arc::ptr_eq(&a, &c), "bypass must not read the cache");
     }
 
     #[test]

@@ -184,7 +184,7 @@ mod tests {
         )
         .expect("valid");
         let pipeline = IrFusionPipeline::new(FusionConfig::tiny());
-        let analysis = pipeline.analyze_grid(&grid, None);
+        let analysis = pipeline.stack_builder().analyze(&grid, None).expect("pads");
         let report = analysis.signoff(0.1);
         assert!(report.passes());
     }

@@ -241,7 +241,10 @@ mod tests {
         let trained = train(ModelKind::IrFusion, &ds, &cfg);
         let pipeline = IrFusionPipeline::new(cfg);
         let design = &ds.designs[0];
-        let analysis = pipeline.analyze_grid(&design.grid, Some(&trained));
+        let analysis = pipeline
+            .stack_builder()
+            .analyze(&design.grid, Some(&trained))
+            .expect("grid has pads");
         let fused = analysis.fused_map.expect("model supplied");
         assert!(fused.min() >= 0.0, "clamp must hold");
         // The correction actually changes the rough map somewhere.

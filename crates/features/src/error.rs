@@ -1,0 +1,42 @@
+//! Error type shared by the feature extractors.
+
+/// Why a feature could not be extracted.
+///
+/// The pad-derived features (shortest-path resistance, effective
+/// distance) are undefined on a grid without voltage sources; instead
+/// of `assert!`ing, the extractors surface that as a value the
+/// pipeline can propagate (`ir-fusion` maps it onto its own
+/// `ModelError::NoPads`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FeatureError {
+    /// The grid has no power pads (or the supplied source set is
+    /// empty), so pad-relative features are undefined.
+    NoPads,
+}
+
+impl std::fmt::Display for FeatureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeatureError::NoPads => {
+                write!(
+                    f,
+                    "grid has no power pads; pad-relative features are undefined"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FeatureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        let message = FeatureError::NoPads.to_string();
+        assert!(message.contains("no power pads"));
+    }
+}

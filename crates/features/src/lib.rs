@@ -20,10 +20,12 @@
 pub mod current;
 pub mod density;
 pub mod distance;
+pub mod error;
 pub mod normalize;
 pub mod resistance;
 pub mod shortest_path;
 pub mod solution;
 pub mod stack;
 
+pub use error::FeatureError;
 pub use stack::{FeatureConfig, FeatureExtractor, FeatureStack};

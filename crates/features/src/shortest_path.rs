@@ -1,6 +1,23 @@
 //! Shortest-path resistance to the voltage sources.
+//!
+//! This is the costliest structural feature (the
+//! `feature/shortest_path_resistance` span dominates `feature_stack`
+//! time in traces), so the module is built for parallel reuse:
+//!
+//! - the adjacency is precomputed once as a CSR [`ResistanceGraph`]
+//!   whose edge weights are *resistances* (no per-edge divide inside
+//!   the Dijkstra inner loop) and shared immutably by every pass;
+//! - each pad's pass borrows a per-thread scratch arena for its
+//!   `dist` vector and binary heap, so a fan-out allocates O(nodes)
+//!   once per worker thread instead of once per pad;
+//! - the per-pad passes run as independent tasks on the deterministic
+//!   pool, and the partial accumulators are folded in fixed chunk
+//!   order ([`irf_runtime::par_reduce`]), so the result is bitwise
+//!   identical at any thread count.
 
+use crate::error::FeatureError;
 use irf_pg::{GridMap, PowerGrid, Rasterizer};
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -8,10 +25,15 @@ use std::collections::BinaryHeap;
 /// individually before falling back to the single multi-source pass.
 const MAX_PADS_FOR_AVERAGE: usize = 32;
 
+/// Pads folded per reduction chunk. Fixed — never derived from the
+/// thread count — so the accumulation grouping, and therefore every
+/// floating-point sum, is identical at any parallelism.
+const PADS_PER_CHUNK: usize = 4;
+
 #[derive(PartialEq)]
 struct HeapItem {
     dist: f64,
-    node: usize,
+    node: u32,
 }
 
 impl Eq for HeapItem {}
@@ -32,34 +54,140 @@ impl PartialOrd for HeapItem {
     }
 }
 
+/// CSR-form bidirectional adjacency with precomputed edge
+/// resistances: built once per grid and shared by every concurrent
+/// Dijkstra pass. Edge weights come straight from [`Segment::ohms`],
+/// dropping the `1.0 / conductance` divide the naive adjacency paid
+/// on every edge visit.
+///
+/// [`Segment::ohms`]: irf_pg::Segment::ohms
+#[derive(Debug, Clone)]
+pub struct ResistanceGraph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    resistances: Vec<f64>,
+}
+
+impl ResistanceGraph {
+    /// Builds the adjacency from the grid's segments. Per node, edges
+    /// appear in segment order, matching the `Vec<Vec<_>>` adjacency
+    /// this replaces.
+    #[must_use]
+    pub fn new(grid: &PowerGrid) -> Self {
+        let n = grid.nodes.len();
+        let mut offsets = vec![0usize; n + 1];
+        for s in &grid.segments {
+            offsets[s.a + 1] += 1;
+            offsets[s.b + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        let mut targets = vec![0u32; offsets[n]];
+        let mut resistances = vec![0.0f64; offsets[n]];
+        for s in &grid.segments {
+            targets[cursor[s.a]] = s.b as u32;
+            resistances[cursor[s.a]] = s.ohms;
+            cursor[s.a] += 1;
+            targets[cursor[s.b]] = s.a as u32;
+            resistances[cursor[s.b]] = s.ohms;
+            cursor[s.b] += 1;
+        }
+        ResistanceGraph {
+            offsets,
+            targets,
+            resistances,
+        }
+    }
+
+    /// Node count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `true` when the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn neighbors(&self, node: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let range = self.offsets[node]..self.offsets[node + 1];
+        self.targets[range.clone()]
+            .iter()
+            .zip(&self.resistances[range])
+            .map(|(&t, &r)| (t as usize, r))
+    }
+}
+
+/// Per-thread scratch arena: the distance vector and heap are reused
+/// across passes on the same worker, so a 32-pad fan-out performs 1-2
+/// large allocations per thread instead of 32.
+struct Scratch {
+    dist: Vec<f64>,
+    heap: BinaryHeap<HeapItem>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = const {
+        RefCell::new(Scratch {
+            dist: Vec::new(),
+            heap: BinaryHeap::new(),
+        })
+    };
+}
+
+/// Runs one Dijkstra pass from `sources` in the calling thread's
+/// scratch arena and hands the finished distance slice to `f`
+/// (`f64::INFINITY` marks unreachable nodes).
+fn dijkstra_pass<R>(graph: &ResistanceGraph, sources: &[usize], f: impl FnOnce(&[f64]) -> R) -> R {
+    SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        scratch.dist.clear();
+        scratch.dist.resize(graph.len(), f64::INFINITY);
+        scratch.heap.clear();
+        for &s in sources {
+            scratch.dist[s] = 0.0;
+            scratch.heap.push(HeapItem {
+                dist: 0.0,
+                node: s as u32,
+            });
+        }
+        while let Some(HeapItem { dist: d, node }) = scratch.heap.pop() {
+            let node = node as usize;
+            if d > scratch.dist[node] {
+                continue;
+            }
+            for (next, resistance) in graph.neighbors(node) {
+                let nd = d + resistance;
+                if nd < scratch.dist[next] {
+                    scratch.dist[next] = nd;
+                    scratch.heap.push(HeapItem {
+                        dist: nd,
+                        node: next as u32,
+                    });
+                }
+            }
+        }
+        f(&scratch.dist)
+    })
+}
+
 /// Dijkstra with edge weight = segment resistance from the given
 /// source set; returns per-node cumulative resistance
 /// (`f64::INFINITY` for unreachable nodes).
-#[must_use]
-pub fn resistance_distances(grid: &PowerGrid, sources: &[usize]) -> Vec<f64> {
-    let adj = grid.adjacency();
-    let mut dist = vec![f64::INFINITY; grid.nodes.len()];
-    let mut heap = BinaryHeap::new();
-    for &s in sources {
-        dist[s] = 0.0;
-        heap.push(HeapItem { dist: 0.0, node: s });
+///
+/// # Errors
+///
+/// Returns [`FeatureError::NoPads`] when `sources` is empty.
+pub fn resistance_distances(grid: &PowerGrid, sources: &[usize]) -> Result<Vec<f64>, FeatureError> {
+    if sources.is_empty() {
+        return Err(FeatureError::NoPads);
     }
-    while let Some(HeapItem { dist: d, node }) = heap.pop() {
-        if d > dist[node] {
-            continue;
-        }
-        for &(next, conductance) in &adj[node] {
-            let nd = d + 1.0 / conductance;
-            if nd < dist[next] {
-                dist[next] = nd;
-                heap.push(HeapItem {
-                    dist: nd,
-                    node: next,
-                });
-            }
-        }
-    }
-    dist
+    let graph = ResistanceGraph::new(grid);
+    Ok(dijkstra_pass(&graph, sources, <[f64]>::to_vec))
 }
 
 /// The paper's shortest-path resistance map: "the average of the
@@ -69,50 +197,95 @@ pub fn resistance_distances(grid: &PowerGrid, sources: &[usize]) -> Vec<f64> {
 /// multi-source (minimum) pass to bound setup cost. Node values are
 /// rasterized with per-tile means; unreachable nodes are skipped.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the grid has no pads.
+/// Returns [`FeatureError::NoPads`] when the grid has no pads.
+pub fn shortest_path_resistance_map(
+    grid: &PowerGrid,
+    raster: &Rasterizer,
+) -> Result<GridMap, FeatureError> {
+    let values = shortest_path_resistance_per_node(grid)?;
+    Ok(rasterize_per_node(grid, &values, raster))
+}
+
+/// Rasterizes precomputed per-node shortest-path values with per-tile
+/// means, skipping unreachable (infinite) nodes. Split out so the
+/// feature extractor can fan the Dijkstra passes out at top level and
+/// rasterize later inside its own task.
 #[must_use]
-pub fn shortest_path_resistance_map(grid: &PowerGrid, raster: &Rasterizer) -> GridMap {
-    assert!(!grid.pads.is_empty(), "shortest-path resistance needs pads");
-    let values = shortest_path_resistance_per_node(grid);
+pub fn rasterize_per_node(grid: &PowerGrid, values: &[f64], raster: &Rasterizer) -> GridMap {
     raster.splat_mean(
         grid.nodes
             .iter()
-            .zip(&values)
+            .zip(values)
             .filter(|(_, v)| v.is_finite())
             .map(|(n, &v)| (n.x, n.y, v)),
     )
 }
 
 /// Per-node average shortest-path resistance (see
-/// [`shortest_path_resistance_map`]).
+/// [`shortest_path_resistance_map`]). The per-pad passes fan out
+/// across the deterministic pool; the partial accumulators are folded
+/// in fixed chunk order, so the result is bitwise identical at any
+/// thread count.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the grid has no pads.
-#[must_use]
-pub fn shortest_path_resistance_per_node(grid: &PowerGrid) -> Vec<f64> {
-    assert!(!grid.pads.is_empty(), "shortest-path resistance needs pads");
+/// Returns [`FeatureError::NoPads`] when the grid has no pads.
+pub fn shortest_path_resistance_per_node(grid: &PowerGrid) -> Result<Vec<f64>, FeatureError> {
+    if grid.pads.is_empty() {
+        return Err(FeatureError::NoPads);
+    }
     let pad_nodes: Vec<usize> = grid.pads.iter().map(|p| p.node).collect();
+    let graph = ResistanceGraph::new(grid);
+    irf_trace::registry().counter_add("irf_sp_pad_passes_total", &[], pad_nodes.len() as f64);
     if pad_nodes.len() > MAX_PADS_FOR_AVERAGE {
-        return resistance_distances(grid, &pad_nodes);
+        // One multi-source minimum pass — cheap enough to stay serial.
+        return Ok(dijkstra_pass(&graph, &pad_nodes, <[f64]>::to_vec));
     }
-    let mut acc = vec![0.0f64; grid.nodes.len()];
-    let mut reachable = vec![0usize; grid.nodes.len()];
-    for &pad in &pad_nodes {
-        let d = resistance_distances(grid, &[pad]);
-        for ((a, r), di) in acc.iter_mut().zip(reachable.iter_mut()).zip(&d) {
-            if di.is_finite() {
-                *a += di;
-                *r += 1;
+    let n = graph.len();
+    let (acc, reachable) = irf_runtime::par_reduce(
+        pad_nodes.len(),
+        PADS_PER_CHUNK,
+        (vec![0.0f64; n], vec![0u32; n]),
+        |pads| {
+            let mut acc = vec![0.0f64; n];
+            let mut reachable = vec![0u32; n];
+            for &pad in &pad_nodes[pads] {
+                dijkstra_pass(&graph, &[pad], |dist| {
+                    for ((a, r), &d) in acc.iter_mut().zip(reachable.iter_mut()).zip(dist) {
+                        if d.is_finite() {
+                            *a += d;
+                            *r += 1;
+                        }
+                    }
+                });
             }
-        }
-    }
-    acc.iter()
+            (acc, reachable)
+        },
+        |(mut acc, mut reachable), (acc_p, reachable_p)| {
+            // In-order elementwise merge; the sums stay nonnegative,
+            // so folding into the zero init is bit-exact.
+            for (a, b) in acc.iter_mut().zip(&acc_p) {
+                *a += b;
+            }
+            for (a, b) in reachable.iter_mut().zip(&reachable_p) {
+                *a += b;
+            }
+            (acc, reachable)
+        },
+    );
+    Ok(acc
+        .iter()
         .zip(&reachable)
-        .map(|(&a, &r)| if r > 0 { a / r as f64 } else { f64::INFINITY })
-        .collect()
+        .map(|(&a, &r)| {
+            if r > 0 {
+                a / f64::from(r)
+            } else {
+                f64::INFINITY
+            }
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -135,7 +308,7 @@ I1 b 0 1m
     fn distances_accumulate_resistance() {
         let g = chain();
         let pad = g.pads[0].node;
-        let d = resistance_distances(&g, &[pad]);
+        let d = resistance_distances(&g, &[pad]).unwrap();
         // node order: p, a, b
         assert_eq!(d[pad], 0.0);
         assert!((d[1] - 0.5).abs() < 1e-12);
@@ -146,7 +319,7 @@ I1 b 0 1m
     fn unreachable_nodes_are_infinite() {
         let src = "V1 p 0 1.0\nR1 p a 1.0\nR2 x y 1.0\nI1 a 0 1m\n";
         let g = PowerGrid::from_netlist(&parse(src).unwrap()).unwrap();
-        let d = resistance_distances(&g, &[g.pads[0].node]);
+        let d = resistance_distances(&g, &[g.pads[0].node]).unwrap();
         assert!(d.iter().filter(|v| !v.is_finite()).count() == 2);
     }
 
@@ -160,7 +333,7 @@ R2 a q 3.0
 I1 a 0 1m
 ";
         let g = PowerGrid::from_netlist(&parse(src).unwrap()).unwrap();
-        let v = shortest_path_resistance_per_node(&g);
+        let v = shortest_path_resistance_per_node(&g).unwrap();
         // node a: 1.0 from p, 3.0 from q -> average 2.0.
         let a_idx = g
             .nodes
@@ -174,7 +347,7 @@ I1 a 0 1m
     fn map_rasterizes_reachable_nodes() {
         let g = chain();
         let raster = Rasterizer::new(g.bounding_box(), 1, 1);
-        let m = shortest_path_resistance_map(&g, &raster);
+        let m = shortest_path_resistance_map(&g, &raster).unwrap();
         // Mean of 0.0, 0.5, 1.0.
         assert!((f64::from(m.get(0, 0)) - 0.5).abs() < 1e-6);
     }
@@ -190,8 +363,63 @@ R3 m t 1.0
 I1 t 0 1m
 ";
         let g = PowerGrid::from_netlist(&parse(src).unwrap()).unwrap();
-        let d = resistance_distances(&g, &[g.pads[0].node]);
+        let d = resistance_distances(&g, &[g.pads[0].node]).unwrap();
         let t_idx = g.nodes.iter().position(|n| n.name == "t").unwrap();
         assert!((d[t_idx] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn padless_grid_is_an_error_not_a_panic() {
+        let g = PowerGrid::default();
+        assert_eq!(
+            shortest_path_resistance_per_node(&g),
+            Err(FeatureError::NoPads)
+        );
+        assert_eq!(resistance_distances(&g, &[]), Err(FeatureError::NoPads));
+        let raster = Rasterizer::new((0, 0, 1, 1), 1, 1);
+        assert_eq!(
+            shortest_path_resistance_map(&g, &raster),
+            Err(FeatureError::NoPads)
+        );
+    }
+
+    #[test]
+    fn csr_graph_matches_the_naive_adjacency() {
+        let g = chain();
+        let graph = ResistanceGraph::new(&g);
+        let naive = g.adjacency();
+        assert_eq!(graph.len(), g.nodes.len());
+        for (node, edges) in naive.iter().enumerate() {
+            let got: Vec<usize> = graph.neighbors(node).map(|(t, _)| t).collect();
+            let want: Vec<usize> = edges.iter().map(|&(t, _)| t).collect();
+            assert_eq!(got, want, "edge order at node {node}");
+            for ((_, r), &(_, cond)) in graph.neighbors(node).zip(edges) {
+                assert!((r - 1.0 / cond).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_matches_serial_accumulation_for_many_pads() {
+        // 9 pads -> 3 reduction chunks; the averaged result must agree
+        // with a plain serial per-pad loop to strict tolerance.
+        let mut src = String::new();
+        for i in 0..9 {
+            src.push_str(&format!("V{i} p{i} 0 1.0\n"));
+            src.push_str(&format!("R{i} p{i} mid {}\n", 0.25 * (i + 1) as f64));
+        }
+        src.push_str("Rl mid t 0.5\nI1 t 0 1m\n");
+        let g = PowerGrid::from_netlist(&parse(&src).unwrap()).unwrap();
+        let fanned = shortest_path_resistance_per_node(&g).unwrap();
+        let mut acc = vec![0.0; g.nodes.len()];
+        for pad in &g.pads {
+            let d = resistance_distances(&g, &[pad.node]).unwrap();
+            for (a, di) in acc.iter_mut().zip(&d) {
+                *a += di;
+            }
+        }
+        for (f, a) in fanned.iter().zip(&acc) {
+            assert!((f - a / 9.0).abs() < 1e-12);
+        }
     }
 }

@@ -3,9 +3,10 @@
 use crate::current::{layer_current_maps, total_current_map};
 use crate::density::pdn_density_map;
 use crate::distance::effective_distance_map;
+use crate::error::FeatureError;
 use crate::normalize::{normalize, Normalization};
 use crate::resistance::resistance_map;
-use crate::shortest_path::shortest_path_resistance_map;
+use crate::shortest_path;
 use crate::solution::layer_solution_maps;
 use irf_pg::{GridMap, PowerGrid, Rasterizer};
 
@@ -163,14 +164,37 @@ impl FeatureExtractor {
     /// AMG-PCG solve (pass all-zeros to emulate the "w/o Num. Solu."
     /// ablation while keeping the channel count fixed).
     ///
+    /// The shortest-path resistance values — the costliest feature —
+    /// are computed first at top level, so their per-pad Dijkstra
+    /// passes fan out across the whole pool; the remaining map groups
+    /// then run as one task each (nested parallel calls inside a task
+    /// execute inline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::NoPads`] when the grid has no pads (the
+    /// pad-relative features are undefined).
+    ///
     /// # Panics
     ///
-    /// Panics if `rough_drop.len() != grid.nodes.len()` or the grid has
-    /// no pads.
-    #[must_use]
-    pub fn extract(&self, grid: &PowerGrid, rough_drop: &[f64]) -> FeatureStack {
+    /// Panics if `rough_drop.len() != grid.nodes.len()`.
+    pub fn extract(
+        &self,
+        grid: &PowerGrid,
+        rough_drop: &[f64],
+    ) -> Result<FeatureStack, FeatureError> {
+        if grid.pads.is_empty() {
+            return Err(FeatureError::NoPads);
+        }
         let mut span = irf_trace::span("feature_stack");
         let raster = self.rasterizer(grid);
+        let sp_values = {
+            let mut sp_span = irf_trace::span("feature/shortest_path_resistance");
+            if sp_span.is_recording() {
+                sp_span.attr("pads", grid.pads.len());
+            }
+            shortest_path::shortest_path_resistance_per_node(grid)?
+        };
         let norm = self.config.normalization;
         let amps = Normalization::Fixed(CURRENT_SCALE);
         let volts = Normalization::Fixed(VOLT_SCALE);
@@ -207,12 +231,18 @@ impl FeatureExtractor {
                 let _s = irf_trace::span("feature/resistance_map");
                 Group::One("resistance/map", normalize(&resistance_map(grid, r), norm))
             }),
-            Box::new(move || {
-                let _s = irf_trace::span("feature/shortest_path_resistance");
-                Group::One(
-                    "resistance/shortest_path",
-                    normalize(&shortest_path_resistance_map(grid, r), path_r),
-                )
+            Box::new({
+                let sp_values = &sp_values;
+                move || {
+                    let _s = irf_trace::span("feature/shortest_path_rasterize");
+                    Group::One(
+                        "resistance/shortest_path",
+                        normalize(
+                            &shortest_path::rasterize_per_node(grid, sp_values, r),
+                            path_r,
+                        ),
+                    )
+                }
             }),
         ];
         if self.config.hierarchical {
@@ -255,7 +285,7 @@ impl FeatureExtractor {
             span.attr("width", self.config.width);
             span.attr("height", self.config.height);
         }
-        stack
+        Ok(stack)
     }
 }
 
@@ -289,7 +319,7 @@ I1 n1_m1_1000_0 0 1m
         let g = grid();
         let ex = FeatureExtractor::new(config());
         let drops = vec![0.0; g.nodes.len()];
-        let stack = ex.extract(&g, &drops);
+        let stack = ex.extract(&g, &drops).unwrap();
         // 5 shared + 2 layer-current + 2 layer-solution.
         assert_eq!(stack.len(), 9);
         assert!(stack.names().iter().any(|n| n == "solution/m4"));
@@ -304,14 +334,16 @@ I1 n1_m1_1000_0 0 1m
             numerical: false,
             ..config()
         })
-        .extract(&g, &drops);
+        .extract(&g, &drops)
+        .unwrap();
         assert_eq!(no_num.len(), 7);
         let flat = FeatureExtractor::new(FeatureConfig {
             numerical: false,
             hierarchical: false,
             ..config()
         })
-        .extract(&g, &drops);
+        .extract(&g, &drops)
+        .unwrap();
         assert_eq!(flat.len(), 5);
     }
 
@@ -319,7 +351,7 @@ I1 n1_m1_1000_0 0 1m
     fn to_nchw_concatenates_channels() {
         let g = grid();
         let ex = FeatureExtractor::new(config());
-        let stack = ex.extract(&g, &vec![0.0; g.nodes.len()]);
+        let stack = ex.extract(&g, &vec![0.0; g.nodes.len()]).unwrap();
         let (c, h, w, data) = stack.to_nchw();
         assert_eq!((c, h, w), (9, 8, 8));
         assert_eq!(data.len(), 9 * 64);
@@ -330,7 +362,7 @@ I1 n1_m1_1000_0 0 1m
     fn maps_are_bounded_after_scaling() {
         let g = grid();
         let ex = FeatureExtractor::new(config());
-        let stack = ex.extract(&g, &vec![0.001; g.nodes.len()]);
+        let stack = ex.extract(&g, &vec![0.001; g.nodes.len()]).unwrap();
         for (m, name) in stack.maps().iter().zip(stack.names()) {
             assert!(m.max().is_finite(), "{name} not finite");
             assert!(m.max() < 100.0, "{name} badly scaled: {}", m.max());
@@ -348,7 +380,7 @@ I1 n1_m1_1000_0 0 1m
     fn rotation_rotates_every_map() {
         let g = grid();
         let ex = FeatureExtractor::new(config());
-        let stack = ex.extract(&g, &vec![0.0; g.nodes.len()]);
+        let stack = ex.extract(&g, &vec![0.0; g.nodes.len()]).unwrap();
         let rot = stack.rotated(2);
         assert_eq!(rot.len(), stack.len());
         let m0 = &stack.maps()[0];

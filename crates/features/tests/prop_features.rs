@@ -32,7 +32,7 @@ fn stack_is_finite_and_consistently_sized() {
             ..FeatureConfig::default()
         });
         let drops = vec![1e-3; grid.nodes.len()];
-        let stack = ex.extract(&grid, &drops);
+        let stack = ex.extract(&grid, &drops).expect("grid has pads");
         assert_eq!(stack.len(), 5 + 2 * grid.layers().len());
         for (m, name) in stack.maps().iter().zip(stack.names()) {
             assert_eq!(m.width(), res);
@@ -54,7 +54,7 @@ fn rotation_commutes_with_extraction_channel_count() {
             ..FeatureConfig::default()
         });
         let drops = vec![0.0; grid.nodes.len()];
-        let stack = ex.extract(&grid, &drops);
+        let stack = ex.extract(&grid, &drops).expect("grid has pads");
         let rot = stack.rotated(quarters);
         assert_eq!(rot.len(), stack.len());
         // Rotation preserves every channel's value distribution.
@@ -82,8 +82,8 @@ fn solution_channels_scale_linearly_with_drops() {
             .map(|i| 1e-3 * (1.0 + (i % 5) as f64))
             .collect();
         let scaled: Vec<f64> = drops.iter().map(|d| alpha * d).collect();
-        let a = ex.extract(&grid, &drops);
-        let b = ex.extract(&grid, &scaled);
+        let a = ex.extract(&grid, &drops).expect("grid has pads");
+        let b = ex.extract(&grid, &scaled).expect("grid has pads");
         for ((ma, mb), name) in a.maps().iter().zip(b.maps()).zip(a.names()) {
             if name.starts_with("solution/") {
                 for (va, vb) in ma.data().iter().zip(mb.data()) {

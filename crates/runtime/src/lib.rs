@@ -31,8 +31,8 @@ pub mod pool;
 pub mod rng;
 
 pub use pool::{
-    num_threads, par_chunks_mut, par_for, par_map, par_ragged_chunks_mut, par_reduce,
-    set_num_threads,
+    configured_threads, num_threads, par_chunks_mut, par_for, par_map, par_ragged_chunks_mut,
+    par_reduce, set_num_threads,
 };
 pub use rng::{SplitMix64, Xoshiro256pp};
 

@@ -149,6 +149,17 @@ pub fn set_num_threads(n: usize) {
     CONFIGURED.store(n, Ordering::Relaxed);
 }
 
+/// The raw configured thread count as last passed to
+/// [`set_num_threads`] (`0` = automatic resolution). Callers that
+/// override the count temporarily — e.g. a builder running one
+/// preparation at an explicit parallelism — save this value and
+/// restore it afterwards, preserving an ambient `0` instead of
+/// pinning the resolved count.
+#[must_use]
+pub fn configured_threads() -> usize {
+    CONFIGURED.load(Ordering::Relaxed)
+}
+
 /// The thread count parallel primitives currently target.
 #[must_use]
 pub fn num_threads() -> usize {

@@ -13,9 +13,43 @@ use ir_fusion::{IrFusionPipeline, PreparedStack, TrainedModel};
 use irf_metrics::Timer;
 use irf_pg::GridMap;
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// An atomically swappable trained model, shared between the batcher
+/// and the `POST /reload` endpoint.
+///
+/// The batcher reads the slot once per batch ([`ModelSlot::get`] clones
+/// the inner `Arc` under a short lock), so a [`ModelSlot::swap`] never
+/// disturbs a forward pass already in flight: batches collected before
+/// the swap finish on the model they started with, batches collected
+/// after it run on the new one. No request is dropped either way.
+#[derive(Debug)]
+pub struct ModelSlot {
+    model: Mutex<Arc<TrainedModel>>,
+}
+
+impl ModelSlot {
+    /// Wraps an initial model.
+    #[must_use]
+    pub fn new(model: TrainedModel) -> Self {
+        ModelSlot {
+            model: Mutex::new(Arc::new(model)),
+        }
+    }
+
+    /// The current model (cheap `Arc` clone).
+    #[must_use]
+    pub fn get(&self) -> Arc<TrainedModel> {
+        Arc::clone(&self.model.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Replaces the model. Takes effect from the next collected batch.
+    pub fn swap(&self, model: TrainedModel) {
+        *self.model.lock().unwrap_or_else(|e| e.into_inner()) = Arc::new(model);
+    }
+}
 
 /// Tunables of the micro-batcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,12 +99,13 @@ pub struct Batcher {
 }
 
 impl Batcher {
-    /// Spawns the batcher thread. It owns the trained model; request
-    /// handlers only prepare stacks and queue jobs.
+    /// Spawns the batcher thread. It reads the model from the shared
+    /// [`ModelSlot`] once per batch; request handlers only prepare
+    /// stacks and queue jobs, and `POST /reload` swaps the slot.
     #[must_use]
     pub fn start(
         pipeline: IrFusionPipeline,
-        model: TrainedModel,
+        model: Arc<ModelSlot>,
         config: BatchConfig,
         metrics: Arc<ServerMetrics>,
     ) -> Batcher {
@@ -114,7 +149,7 @@ pub fn try_submit(tx: &mpsc::SyncSender<PredictJob>, job: PredictJob) -> Result<
 fn run_batcher(
     rx: &mpsc::Receiver<PredictJob>,
     pipeline: &IrFusionPipeline,
-    model: &TrainedModel,
+    slot: &ModelSlot,
     config: BatchConfig,
     metrics: &ServerMetrics,
 ) {
@@ -141,7 +176,10 @@ fn run_batcher(
             }
         }
         let stacks: Vec<&PreparedStack> = jobs.iter().map(|j| j.stack.as_ref()).collect();
-        let (maps, seconds) = Timer::time(|| pipeline.predict_batch(model, &stacks));
+        // Resolve the model once per batch: a concurrent reload takes
+        // effect on the NEXT batch, never mid-forward.
+        let model = slot.get();
+        let (maps, seconds) = Timer::time(|| pipeline.predict_batch(&model, &stacks));
         metrics.observe_batch(jobs.len());
         metrics.observe_stage("forward", seconds);
         for (job, map) in jobs.iter().zip(maps) {
@@ -165,13 +203,17 @@ mod tests {
         let dataset = Dataset::generate(2, 2, 1, 7);
         let trained = ir_fusion::train(ModelKind::IrEdge, &dataset, &config);
         let pipeline = IrFusionPipeline::new(config);
-        let stack = Arc::new(pipeline.prepare_stack(&dataset.designs[0].grid));
+        let stack = Arc::new(
+            pipeline
+                .prepare_stack(&dataset.designs[0].grid)
+                .expect("grid has pads"),
+        );
         let expected = pipeline.predict(&trained, &stack);
 
         let metrics = Arc::new(ServerMetrics::new(4));
         let batcher = Batcher::start(
             pipeline,
-            trained,
+            Arc::new(ModelSlot::new(trained)),
             BatchConfig {
                 max_batch: 4,
                 deadline: Duration::from_millis(1),
@@ -197,6 +239,49 @@ mod tests {
             let map = rx.recv().expect("batcher replies");
             assert_eq!(map, expected, "batched result must equal solo predict");
         }
+        drop(tx);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn model_swap_takes_effect_on_the_next_batch() {
+        let config = FusionConfig::tiny();
+        let dataset = Dataset::generate(2, 2, 1, 7);
+        let first = ir_fusion::train(ModelKind::IrEdge, &dataset, &config);
+        let mut longer = config;
+        longer.train.epochs += 1;
+        let second = ir_fusion::train(ModelKind::IrEdge, &dataset, &longer);
+        let pipeline = IrFusionPipeline::new(config);
+        let stack = Arc::new(
+            pipeline
+                .prepare_stack(&dataset.designs[0].grid)
+                .expect("grid has pads"),
+        );
+        let from_first = pipeline.predict(&first, &stack);
+        let from_second = pipeline.predict(&second, &stack);
+        assert_ne!(from_first, from_second, "models must actually differ");
+
+        let slot = Arc::new(ModelSlot::new(first));
+        let metrics = Arc::new(ServerMetrics::new(4));
+        let batcher = Batcher::start(pipeline, Arc::clone(&slot), BatchConfig::default(), metrics);
+        let tx = batcher.sender();
+
+        let predict_once = |tx: &mpsc::SyncSender<PredictJob>| {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            try_submit(
+                tx,
+                PredictJob {
+                    stack: Arc::clone(&stack),
+                    reply: reply_tx,
+                },
+            )
+            .expect("queue has room");
+            reply_rx.recv().expect("batcher replies")
+        };
+
+        assert_eq!(predict_once(&tx), from_first);
+        slot.swap(second);
+        assert_eq!(predict_once(&tx), from_second, "swap must be visible");
         drop(tx);
         batcher.shutdown();
     }

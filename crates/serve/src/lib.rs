@@ -40,7 +40,7 @@ pub mod json;
 pub mod metrics;
 pub mod server;
 
-pub use batch::{BatchConfig, Batcher, PredictJob, SubmitError};
+pub use batch::{BatchConfig, Batcher, ModelSlot, PredictJob, SubmitError};
 pub use json::Json;
 pub use metrics::ServerMetrics;
 pub use server::{Server, ServerConfig};

@@ -129,6 +129,14 @@ impl ServerMetrics {
             "Cached feature stacks.",
         );
         r.describe(
+            "irf_model_reloads_total",
+            MetricKind::Counter,
+            "Successful checkpoint reloads via POST /reload.",
+        );
+        // Zero-initialize so the series is scrapeable before the first
+        // reload (and CI can grep for it unconditionally).
+        r.counter_add("irf_model_reloads_total", &[], 0.0);
+        r.describe(
             "irf_pcg_iterations",
             MetricKind::Gauge,
             "PCG iterations of the most recent solve.",
@@ -163,6 +171,11 @@ impl ServerMetrics {
     pub fn observe_batch(&self, size: usize) {
         self.registry()
             .observe("irf_batch_size", &[], size.clamp(1, self.max_batch) as f64);
+    }
+
+    /// Counts one successful model reload.
+    pub fn observe_reload(&self) {
+        self.registry().counter_inc("irf_model_reloads_total", &[]);
     }
 
     /// Accumulates `seconds` of latency under a stage label
@@ -226,6 +239,16 @@ mod tests {
         assert!(text.contains("irf_cache_hits_total 0"));
         assert!(text.contains("irf_cache_singleflight_total 0"));
         assert_eq!(text, m.render(&cache), "render must be stable");
+    }
+
+    #[test]
+    fn reload_counter_starts_at_zero_and_increments() {
+        let m = isolated(2);
+        let cache = FeatureCache::new(1);
+        assert!(m.render(&cache).contains("irf_model_reloads_total 0"));
+        m.observe_reload();
+        m.observe_reload();
+        assert!(m.render(&cache).contains("irf_model_reloads_total 2"));
     }
 
     #[test]

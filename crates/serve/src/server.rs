@@ -8,6 +8,10 @@
 //! - `GET /trace` — Chrome trace-event JSON of the most recent
 //!   `/predict` (load it in Perfetto / `chrome://tracing`).
 //! - `POST /predict` — run one design through the pipeline.
+//! - `POST /reload` — swap in a checkpoint (`{"model_path": ...}`)
+//!   without dropping in-flight requests: the batcher resolves the
+//!   model once per batch, so batches already collected finish on the
+//!   old weights and later ones use the new.
 //! - `POST /shutdown` — graceful drain (see below).
 //!
 //! Connections are persistent (HTTP/1.1 keep-alive) and carry a
@@ -21,7 +25,7 @@
 //! [`Server::shutdown`] handle instead. Both stop accepting, drain
 //! queued batches, and join every thread.
 
-use crate::batch::{try_submit, BatchConfig, Batcher, PredictJob, SubmitError};
+use crate::batch::{try_submit, BatchConfig, Batcher, ModelSlot, PredictJob, SubmitError};
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::json::{obj, parse, Json};
 use crate::metrics::ServerMetrics;
@@ -72,6 +76,9 @@ struct State {
     /// `None` once shutdown started (or when serving without a model
     /// was requested and no batcher exists).
     predict_tx: Mutex<Option<mpsc::SyncSender<PredictJob>>>,
+    /// The swappable model behind the batcher; `None` when serving
+    /// without a model (then `/reload` answers 409).
+    model_slot: Option<Arc<ModelSlot>>,
     has_model: bool,
     shutting_down: AtomicBool,
     addr: SocketAddr,
@@ -111,10 +118,11 @@ impl Server {
         let metrics = Arc::new(ServerMetrics::new(config.batch.max_batch));
         let pipeline = IrFusionPipeline::new(fusion).with_cache(Arc::clone(&cache));
         let has_model = model.is_some();
-        let batcher = model.map(|trained| {
+        let model_slot = model.map(|trained| Arc::new(ModelSlot::new(trained)));
+        let batcher = model_slot.as_ref().map(|slot| {
             Batcher::start(
                 pipeline.clone(),
-                trained,
+                Arc::clone(slot),
                 config.batch,
                 Arc::clone(&metrics),
             )
@@ -124,6 +132,7 @@ impl Server {
             cache,
             metrics,
             predict_tx: Mutex::new(batcher.as_ref().map(Batcher::sender)),
+            model_slot,
             has_model,
             shutting_down: AtomicBool::new(false),
             addr,
@@ -308,6 +317,10 @@ fn route_request(
             let (status, body) = handle_predict(request, state);
             ("predict", status, "application/json", body)
         }
+        ("POST", "/reload") => {
+            let (status, body) = handle_reload(request, state);
+            ("reload", status, "application/json", body)
+        }
         ("POST", "/shutdown") => {
             initiate_shutdown(state);
             (
@@ -373,6 +386,55 @@ impl Drop for TraceScope<'_> {
     }
 }
 
+/// `POST /reload` — loads a checkpoint from the server's filesystem
+/// (`{"model_path": ...}`) and swaps it behind the batcher. Batches
+/// already collected finish on the old model; no request is dropped.
+fn handle_reload(request: &Request, state: &Arc<State>) -> (u16, String) {
+    if state.shutting_down.load(Ordering::SeqCst) {
+        return (503, error_body("shutting down"));
+    }
+    let Some(slot) = &state.model_slot else {
+        return (
+            409,
+            error_body("server is running without a model; reload has nothing to swap"),
+        );
+    };
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return (400, error_body("body is not utf-8")),
+    };
+    let body = match parse(text) {
+        Ok(body) => body,
+        Err(error) => return (400, error_body(&error.to_string())),
+    };
+    let Some(path) = body.get("model_path").and_then(Json::as_str) else {
+        return (400, error_body("request needs model_path"));
+    };
+    let (loaded, seconds) = Timer::time(|| {
+        std::fs::File::open(path)
+            .map_err(|e| format!("cannot open {path}: {e}"))
+            .and_then(|file| {
+                ir_fusion::load_model(BufReader::new(file))
+                    .map_err(|e| format!("cannot load {path}: {e}"))
+            })
+    });
+    let model = match loaded {
+        Ok(model) => model,
+        Err(message) => return (422, error_body(&message)),
+    };
+    slot.swap(model);
+    state.metrics.observe_reload();
+    state.metrics.observe_stage("reload", seconds);
+    (
+        200,
+        obj(vec![
+            ("reloaded", Json::Bool(true)),
+            ("model_path", Json::Str(path.to_string())),
+        ])
+        .render(),
+    )
+}
+
 fn handle_predict(request: &Request, state: &Arc<State>) -> (u16, String) {
     if state.shutting_down.load(Ordering::SeqCst) {
         return (503, error_body("shutting down"));
@@ -398,7 +460,16 @@ fn handle_predict(request: &Request, state: &Arc<State>) -> (u16, String) {
     };
     state.metrics.observe_stage("parse", parse_seconds);
 
-    let (stack, prepare_seconds) = Timer::time(|| state.pipeline.prepare_stack_cached(&grid));
+    let (stack, prepare_seconds) = Timer::time(|| state.pipeline.stack_builder().prepare(&grid));
+    let stack = match stack {
+        Ok(stack) => stack,
+        Err(error) => {
+            return (
+                400,
+                error_body(&format!("cannot prepare features: {error}")),
+            )
+        }
+    };
     state.metrics.observe_stage("prepare", prepare_seconds);
 
     // Queue for the batched forward pass (when a model is loaded).

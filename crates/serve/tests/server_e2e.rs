@@ -278,6 +278,10 @@ fn read_timeouts_close_idle_connections_and_408_half_requests() {
     idle.read_to_end(&mut buf).expect("clean close");
     assert!(buf.is_empty(), "idle close must not write a response");
 
+    // A model-free server has nothing for /reload to swap.
+    let (status, body) = request(addr, "POST", "/reload", r#"{"model_path":"x"}"#);
+    assert_eq!(status, 409, "{body}");
+
     let (status, _) = request(addr, "POST", "/shutdown", "");
     assert_eq!(status, 200);
     server.wait();

@@ -43,5 +43,5 @@ pub mod writer;
 
 pub use error::ParseError;
 pub use netlist::{CurrentSource, Netlist, NodeId, NodeInfo, Resistor, VoltageSource};
-pub use parser::parse;
+pub use parser::{parse, parse_chunked};
 pub use writer::write;

@@ -1,10 +1,168 @@
 //! The SPICE card parser for the PG subset (`R`, `I`, `V`).
+//!
+//! Parsing is streaming and parallel: [`chunk_source`] splits the
+//! source at card boundaries, each chunk is lexed + parsed on the
+//! deterministic pool into raw cards with zero-copy `&str` fields,
+//! and a serial merge pass interns node names in source order and
+//! checks duplicate element names. Because the chunk boundaries
+//! depend only on the text (never on the thread count) and the merge
+//! walks chunks in order, the resulting [`Netlist`] — node-id
+//! assignment included — is identical to a fully serial parse, and
+//! error line numbers are preserved.
 
 use crate::error::{ParseError, ParseErrorKind};
-use crate::lexer::logical_lines;
+use crate::lexer::{chunk_source, logical_line_refs, SourceChunk};
 use crate::netlist::{CurrentSource, Netlist, Resistor, VoltageSource};
 use crate::value::parse_spice_number;
 use std::collections::HashSet;
+
+/// Cards per parallel parse chunk. Large enough that chunk overhead
+/// is negligible, small enough that contest-scale netlists (millions
+/// of cards) spread across every worker.
+const CARDS_PER_CHUNK: usize = 1024;
+
+/// What a raw card will become once merged.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CardKind {
+    Resistor,
+    Current,
+    Voltage,
+}
+
+/// One parsed card with fields still borrowing the source text. The
+/// value is pre-parsed in the parallel phase; `None` marks a bad
+/// number, surfaced from the merge pass so a duplicate-name error on
+/// the same line wins, exactly as in a serial parse.
+struct RawCard<'a> {
+    kind: CardKind,
+    name: &'a str,
+    a: &'a str,
+    b: &'a str,
+    value: Option<f64>,
+    value_text: &'a str,
+    line: usize,
+}
+
+/// Everything one chunk contributes: the cards parsed before the
+/// first chunk-local error (if any). Merge consumes the cards first,
+/// then the error, so an earlier-line error from a previous chunk
+/// still wins overall.
+struct ChunkParse<'a> {
+    cards: Vec<RawCard<'a>>,
+    error: Option<ParseError>,
+}
+
+fn parse_chunk<'a>(chunk: &SourceChunk<'a>) -> ChunkParse<'a> {
+    let mut cards = Vec::new();
+    for line in logical_line_refs(chunk.text, chunk.first_line) {
+        let fields = &line.fields;
+        let head = fields[0];
+        if head == "+" {
+            return ChunkParse {
+                cards,
+                error: Some(ParseError {
+                    line: line.line,
+                    kind: ParseErrorKind::DanglingContinuation,
+                }),
+            };
+        }
+        if head.starts_with('.') {
+            continue; // control cards (.end, .op, ...) are ignored
+        }
+        let prefix = head
+            .chars()
+            .next()
+            .expect("logical lines have non-empty fields")
+            .to_ascii_uppercase();
+        let kind = match prefix {
+            'R' => CardKind::Resistor,
+            'I' => CardKind::Current,
+            'V' => CardKind::Voltage,
+            other => {
+                return ChunkParse {
+                    cards,
+                    error: Some(ParseError {
+                        line: line.line,
+                        kind: ParseErrorKind::UnsupportedElement(other),
+                    }),
+                }
+            }
+        };
+        if fields.len() < 4 {
+            return ChunkParse {
+                cards,
+                error: Some(ParseError {
+                    line: line.line,
+                    kind: ParseErrorKind::MissingFields {
+                        element: prefix,
+                        found: fields.len(),
+                    },
+                }),
+            };
+        }
+        cards.push(RawCard {
+            kind,
+            name: head,
+            a: fields[1],
+            b: fields[2],
+            value: parse_spice_number(fields[3]),
+            value_text: fields[3],
+            line: line.line,
+        });
+    }
+    ChunkParse { cards, error: None }
+}
+
+/// Serial merge: walks chunks in source order, interning node names
+/// (identical id assignment to a serial parse) and enforcing unique
+/// element names across chunk boundaries.
+fn merge(chunks: Vec<ChunkParse<'_>>) -> Result<Netlist, ParseError> {
+    let mut netlist = Netlist::new();
+    let mut seen_names: HashSet<String> = HashSet::new();
+    for chunk in chunks {
+        for card in chunk.cards {
+            let name = card.name.to_string();
+            if !seen_names.insert(name.to_ascii_uppercase()) {
+                return Err(ParseError {
+                    line: card.line,
+                    kind: ParseErrorKind::DuplicateElement(name),
+                });
+            }
+            let Some(value) = card.value else {
+                return Err(ParseError {
+                    line: card.line,
+                    kind: ParseErrorKind::InvalidValue(card.value_text.to_string()),
+                });
+            };
+            let a = netlist.intern(card.a);
+            let b = netlist.intern(card.b);
+            match card.kind {
+                CardKind::Resistor => netlist.add_resistor(Resistor {
+                    name,
+                    a,
+                    b,
+                    ohms: value,
+                }),
+                CardKind::Current => netlist.add_current_source(CurrentSource {
+                    name,
+                    from: a,
+                    to: b,
+                    amps: value,
+                }),
+                CardKind::Voltage => netlist.add_voltage_source(VoltageSource {
+                    name,
+                    plus: a,
+                    minus: b,
+                    volts: value,
+                }),
+            }
+        }
+        if let Some(error) = chunk.error {
+            return Err(error);
+        }
+    }
+    Ok(netlist)
+}
 
 /// Parses SPICE source into a [`Netlist`].
 ///
@@ -15,6 +173,10 @@ use std::collections::HashSet;
 /// - `V<name> <node> <node> <value>` — DC voltage source;
 /// - `.end` / `.op` and other dot-cards are accepted and ignored;
 /// - `*` comments, `$`/`;` inline comments, and `+` continuations.
+///
+/// Large sources are parsed in parallel (see the module docs); the
+/// result and any error — line number included — are identical to a
+/// serial parse at any thread count.
 ///
 /// # Errors
 ///
@@ -31,81 +193,26 @@ use std::collections::HashSet;
 /// # Ok::<(), irf_spice::ParseError>(())
 /// ```
 pub fn parse(src: &str) -> Result<Netlist, ParseError> {
+    parse_chunked(src, CARDS_PER_CHUNK)
+}
+
+/// [`parse`] with an explicit chunk size — exposed so tests can force
+/// multi-chunk parses on small sources; results are identical for
+/// every `cards_per_chunk >= 1`.
+///
+/// # Errors
+///
+/// See [`parse`].
+pub fn parse_chunked(src: &str, cards_per_chunk: usize) -> Result<Netlist, ParseError> {
     let mut span = irf_trace::span("spice_parse");
-    let mut netlist = Netlist::new();
-    let mut seen_names: HashSet<String> = HashSet::new();
-    for line in logical_lines(src) {
-        let fields = &line.fields;
-        let head = &fields[0];
-        if head == "+" {
-            return Err(ParseError {
-                line: line.line,
-                kind: ParseErrorKind::DanglingContinuation,
-            });
-        }
-        if head.starts_with('.') {
-            continue; // control cards (.end, .op, ...) are ignored
-        }
-        let prefix = head
-            .chars()
-            .next()
-            .expect("logical lines have non-empty fields")
-            .to_ascii_uppercase();
-        match prefix {
-            'R' | 'I' | 'V' => {
-                if fields.len() < 4 {
-                    return Err(ParseError {
-                        line: line.line,
-                        kind: ParseErrorKind::MissingFields {
-                            element: prefix,
-                            found: fields.len(),
-                        },
-                    });
-                }
-                let name = head.clone();
-                if !seen_names.insert(name.to_ascii_uppercase()) {
-                    return Err(ParseError {
-                        line: line.line,
-                        kind: ParseErrorKind::DuplicateElement(name),
-                    });
-                }
-                let a = netlist.intern(&fields[1]);
-                let b = netlist.intern(&fields[2]);
-                let value = parse_spice_number(&fields[3]).ok_or_else(|| ParseError {
-                    line: line.line,
-                    kind: ParseErrorKind::InvalidValue(fields[3].clone()),
-                })?;
-                match prefix {
-                    'R' => netlist.add_resistor(Resistor {
-                        name,
-                        a,
-                        b,
-                        ohms: value,
-                    }),
-                    'I' => netlist.add_current_source(CurrentSource {
-                        name,
-                        from: a,
-                        to: b,
-                        amps: value,
-                    }),
-                    'V' => netlist.add_voltage_source(VoltageSource {
-                        name,
-                        plus: a,
-                        minus: b,
-                        volts: value,
-                    }),
-                    _ => unreachable!(),
-                }
-            }
-            other => {
-                return Err(ParseError {
-                    line: line.line,
-                    kind: ParseErrorKind::UnsupportedElement(other),
-                });
-            }
-        }
-    }
+    let chunks = chunk_source(src, cards_per_chunk);
+    let n_chunks = chunks.len();
+    let tasks: Vec<_> = chunks.iter().map(|c| move || parse_chunk(c)).collect();
+    let parsed = irf_runtime::par_map(tasks);
+    let netlist = merge(parsed)?;
+    irf_trace::registry().counter_add("irf_spice_chunks_total", &[], n_chunks as f64);
     if span.is_recording() {
+        span.attr("chunks", n_chunks);
         span.attr("resistors", netlist.resistors().len());
         span.attr("current_sources", netlist.current_sources().len());
         span.attr("voltage_sources", netlist.voltage_sources().len());
@@ -176,6 +283,16 @@ V1 n1_m4_0_0 0 1.1
     }
 
     #[test]
+    fn duplicate_beats_bad_value_on_the_same_line() {
+        // Serial parsing checked names before values; the parallel
+        // parse must keep that priority even though values are parsed
+        // eagerly in the chunk phase.
+        let err = parse("R1 a b 1\nR1 c d zz\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, ParseErrorKind::DuplicateElement(_)));
+    }
+
+    #[test]
     fn continuations_apply_to_cards() {
         let n = parse("R1 a\n+ b 1.5\n").expect("parses");
         assert_eq!(n.resistors()[0].ohms, 1.5);
@@ -191,5 +308,61 @@ V1 n1_m4_0_0 0 1.1
     fn dot_cards_are_ignored() {
         let n = parse(".op\n.end\n").expect("parses");
         assert_eq!(n.node_count(), 1); // only ground
+    }
+
+    /// Synthesizes a many-card source with a known structure.
+    fn big_source(cards: usize) -> String {
+        let mut src = String::from("* generated\nV1 n0 0 1.0\n");
+        for i in 0..cards {
+            src.push_str(&format!("R{i} n{i} n{} 0.5\n", i + 1));
+        }
+        src.push_str(".end\n");
+        src
+    }
+
+    #[test]
+    fn chunked_parse_matches_single_chunk_parse() {
+        let src = big_source(100);
+        let whole = parse_chunked(&src, usize::MAX).expect("parses");
+        for cards in [1, 7, 32] {
+            let chunked = parse_chunked(&src, cards).expect("parses");
+            assert_eq!(whole, chunked, "cards_per_chunk={cards}");
+        }
+    }
+
+    #[test]
+    fn error_line_numbers_survive_chunking() {
+        // Error deep in a later chunk: the reported line must be the
+        // absolute source line, not a chunk-relative one.
+        let mut src = big_source(100);
+        src.push_str("R_bad x y zz\n");
+        let expected_line = src.lines().count(); // the bad card is the last line
+        for cards in [3, 16, usize::MAX] {
+            let err = parse_chunked(&src, cards).unwrap_err();
+            assert_eq!(err.line, expected_line, "cards_per_chunk={cards}");
+            assert!(matches!(err.kind, ParseErrorKind::InvalidValue(_)));
+        }
+    }
+
+    #[test]
+    fn duplicates_across_chunks_are_detected() {
+        let mut src = big_source(50);
+        src.push_str("R7 dup dup2 1.0\n"); // duplicates a card from an earlier chunk
+        let expected_line = src.lines().count();
+        for cards in [4, 16] {
+            let err = parse_chunked(&src, cards).unwrap_err();
+            assert_eq!(err.line, expected_line, "cards_per_chunk={cards}");
+            assert!(matches!(err.kind, ParseErrorKind::DuplicateElement(_)));
+        }
+    }
+
+    #[test]
+    fn earliest_error_wins_across_chunks() {
+        // A missing-fields error in an early chunk must win over a
+        // bad value in a later one, as in a serial scan.
+        let src = "R1 a b 1\nR2 c\nR3 d e zz\nR4 f g 2\n";
+        let err = parse_chunked(src, 1).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, ParseErrorKind::MissingFields { .. }));
     }
 }

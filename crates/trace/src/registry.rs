@@ -155,6 +155,12 @@ impl MetricsRegistry {
         self.scalar_op(name, labels, MetricKind::Counter, |v| *v += delta);
     }
 
+    /// Increments a counter by one — sugar for the common
+    /// event-counting case (`irf_model_reloads_total`, ...).
+    pub fn counter_inc(&self, name: &str, labels: &[(&str, &str)]) {
+        self.counter_add(name, labels, 1.0);
+    }
+
     /// Sets a counter to an externally accumulated monotonic value
     /// (e.g. re-exporting an `AtomicU64` another subsystem owns).
     pub fn counter_set(&self, name: &str, labels: &[(&str, &str)], value: f64) {

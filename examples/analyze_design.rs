@@ -74,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.solver_iterations = 2;
     let pipeline = IrFusionPipeline::new(config);
 
-    let analysis = pipeline.analyze_grid(&grid, None);
+    let analysis = pipeline.stack_builder().analyze(&grid, None)?;
     let golden = pipeline.golden_map(&grid);
 
     fs::write("ir_drop_rough.pgm", analysis.rough_map.to_pgm())?;

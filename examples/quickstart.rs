@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.feature.width = 32;
     config.feature.height = 32;
     let pipeline = IrFusionPipeline::new(config);
-    let analysis = pipeline.analyze_grid(&grid, None);
+    let analysis = pipeline.stack_builder().analyze(&grid, None)?;
     println!(
         "rough solve: {} iterations, relative residual {:.3e}, {:.1} ms",
         analysis.solve_report.iterations,

@@ -29,7 +29,10 @@ fn main() {
         config.feature.height = 32;
         config.solver_iterations = k;
         let pipeline = IrFusionPipeline::new(config);
-        let analysis = pipeline.analyze_grid(&design.grid, None);
+        let analysis = pipeline
+            .stack_builder()
+            .analyze(&design.grid, None)
+            .expect("synthetic designs have pads");
         let golden = pipeline.golden_map(&design.grid);
         println!(
             "{k:>4} | {:>12.4e} | {:>8.3} | {:>10.2}",

@@ -35,7 +35,7 @@ fn predict_batch_is_bitwise_identical_to_sequential_predicts() {
     let stacks: Vec<PreparedStack> = dataset
         .designs
         .iter()
-        .map(|d| pipeline.prepare_stack(&d.grid))
+        .map(|d| pipeline.prepare_stack(&d.grid).expect("grid has pads"))
         .collect();
     let refs: Vec<&PreparedStack> = stacks.iter().collect();
 
@@ -75,8 +75,8 @@ fn predict_batch_is_bitwise_identical_to_sequential_predicts() {
 #[test]
 fn cached_stacks_feed_identical_predictions() {
     // A stack served from the cache must yield the same prediction as
-    // a freshly prepared one, and analyze_grid must hit the cache on
-    // repeated designs.
+    // a freshly prepared one, and the builder's analyze must hit the
+    // cache on repeated designs.
     let config = FusionConfig::tiny();
     let dataset = Dataset::generate(1, 1, 0, 13);
     let trained = train(ModelKind::IrEdge, &dataset, &config);
@@ -86,9 +86,14 @@ fn cached_stacks_feed_identical_predictions() {
     let cached_pipeline = IrFusionPipeline::new(config).with_cache(Arc::clone(&cache));
     let plain_pipeline = IrFusionPipeline::new(config);
 
-    let first = cached_pipeline.analyze_grid(grid, Some(&trained));
-    let second = cached_pipeline.analyze_grid(grid, Some(&trained));
-    let fresh = plain_pipeline.analyze_grid(grid, Some(&trained));
+    let analyze = |p: &IrFusionPipeline| {
+        p.stack_builder()
+            .analyze(grid, Some(&trained))
+            .expect("grid has pads")
+    };
+    let first = analyze(&cached_pipeline);
+    let second = analyze(&cached_pipeline);
+    let fresh = analyze(&plain_pipeline);
     assert_eq!(cache.misses(), 1, "first analyze fills the cache");
     assert_eq!(cache.hits(), 1, "second analyze hits the cache");
 

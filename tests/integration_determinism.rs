@@ -163,15 +163,68 @@ fn feature_stack_is_bitwise_identical_across_thread_counts() {
         .collect();
     let extractor = FeatureExtractor::new(FeatureConfig::default());
 
-    let serial = with_threads(1, || extractor.extract(&grid, &drops));
+    let serial = with_threads(1, || extractor.extract(&grid, &drops)).expect("grid has pads");
     for threads in [2, 4, 8] {
-        let par = with_threads(threads, || extractor.extract(&grid, &drops));
+        let par =
+            with_threads(threads, || extractor.extract(&grid, &drops)).expect("grid has pads");
         assert_eq!(serial.names(), par.names(), "channel order at {threads}");
         for ((a, b), name) in serial.maps().iter().zip(par.maps()).zip(serial.names()) {
             assert_eq!(
                 bits32(a.data()),
                 bits32(b.data()),
                 "channel {name} differs at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn shortest_path_fanout_is_bitwise_identical_across_thread_counts() {
+    // Many pads -> several per-pad Dijkstra chunks; the in-order fold
+    // must make the averaged resistances thread-count invariant.
+    let spec = SynthSpec {
+        pads: 9,
+        seed: 21,
+        ..SynthSpec::default()
+    };
+    let grid = PowerGrid::from_netlist(&synthesize(&spec)).expect("valid");
+    assert!(grid.pads.len() > 4, "need multiple Dijkstra chunks");
+
+    let serial = with_threads(1, || {
+        irf_features::shortest_path::shortest_path_resistance_per_node(&grid)
+    })
+    .expect("grid has pads");
+    for threads in [2, 4, 8] {
+        let par = with_threads(threads, || {
+            irf_features::shortest_path::shortest_path_resistance_per_node(&grid)
+        })
+        .expect("grid has pads");
+        assert_eq!(
+            bits64(&serial),
+            bits64(&par),
+            "per-node resistance differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn chunked_spice_parse_is_identical_across_thread_counts() {
+    // The parallel parser must produce the same netlist — same element
+    // order, same interned node ids — as a serial single-chunk parse,
+    // at any thread count and chunk granularity.
+    let text = irf_spice::write(&synthesize(&SynthSpec {
+        seed: 22,
+        ..SynthSpec::default()
+    }));
+    let reference = with_threads(1, || irf_spice::parse_chunked(&text, usize::MAX))
+        .expect("netlist round-trips");
+    for threads in [1, 2, 4, 8] {
+        for cards_per_chunk in [7, 64, 1024] {
+            let parsed = with_threads(threads, || irf_spice::parse_chunked(&text, cards_per_chunk))
+                .expect("netlist round-trips");
+            assert_eq!(
+                parsed, reference,
+                "parse differs at {threads} threads, {cards_per_chunk} cards/chunk"
             );
         }
     }

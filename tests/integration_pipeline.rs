@@ -33,7 +33,7 @@ fn rough_and_golden_maps_share_hotspot_structure() {
     };
     let grid = PowerGrid::from_netlist(&synthesize(&spec)).expect("valid");
     let pipeline = tiny_pipeline();
-    let analysis = pipeline.analyze_grid(&grid, None);
+    let analysis = pipeline.stack_builder().analyze(&grid, None).expect("pads");
     let golden = pipeline.golden_map(&grid);
     // Even the 2-iteration rough map must broadly agree in rank with
     // the golden map for the fusion premise to hold.
@@ -47,7 +47,7 @@ fn feature_channels_match_config_prediction() {
     let pipeline = tiny_pipeline();
     let (drops, _) = pipeline.rough_solution(&grid);
     let extractor = irf_features::FeatureExtractor::new(pipeline.config().feature);
-    let stack = extractor.extract(&grid, &drops);
+    let stack = extractor.extract(&grid, &drops).expect("grid has pads");
     assert_eq!(
         stack.len(),
         pipeline.config().feature_channels(grid.layers().len())
@@ -58,7 +58,7 @@ fn feature_channels_match_config_prediction() {
 fn analysis_runtime_accounts_for_work() {
     let grid = PowerGrid::from_netlist(&synthesize(&SynthSpec::default())).expect("valid");
     let pipeline = tiny_pipeline();
-    let analysis = pipeline.analyze_grid(&grid, None);
+    let analysis = pipeline.stack_builder().analyze(&grid, None).expect("pads");
     assert!(analysis.runtime_seconds > 0.0);
     assert_eq!(
         analysis.solve_report.iterations,

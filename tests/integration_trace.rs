@@ -31,7 +31,7 @@ fn run_pipeline(
 ) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
     let netlist = irf_spice::parse(spice_text).expect("valid netlist");
     let grid = PowerGrid::from_netlist(&netlist).expect("valid grid");
-    let stack = pipeline.prepare_stack(&grid);
+    let stack = pipeline.prepare_stack(&grid).expect("grid has pads");
     let fused: GridMap = pipeline.predict(trained, &stack);
     let feature_bits: Vec<u32> = stack
         .features
