@@ -1,0 +1,238 @@
+//! Incremental what-if benchmark: cold stage-graph analysis versus a
+//! warm current-delta re-analysis that reuses the assembled MNA system,
+//! the AMG solver setup and the structural feature maps from the
+//! [`ir_fusion::StageStore`].
+//!
+//! ```bash
+//! cargo run -p irf-bench --bin whatif --release -- [--tiny] [--json PATH]
+//! ```
+//!
+//! Three modes are measured:
+//!
+//! - `cold`: full pipeline walk with the store bypassed — parse-model,
+//!   MNA assembly, AMG setup, rough solve, features, every rep;
+//! - `warm_delta`: one cell current changes per rep, so only the rough
+//!   solve and the stack rebuild run (a different delta each rep keeps
+//!   the stack artifact itself cold);
+//! - `warm_identical`: the same design again — a pure stack hit.
+//!
+//! Correctness is asserted, not assumed: the warm-delta result must be
+//! bitwise identical to a cold bypass analysis of the same edited grid,
+//! and the benchmark fails otherwise. The headline number is the
+//! `warm_delta` speedup over `cold` — the stage graph's reason to
+//! exist.
+
+use ir_fusion::{CachePolicy, FusionConfig, IrFusionPipeline, StageStore};
+use irf_data::synth::{synthesize, SynthSpec};
+use irf_pg::PowerGrid;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Measurement {
+    mode: &'static str,
+    reps: usize,
+    seconds: f64,
+    per_analysis: f64,
+    checksum: u64,
+}
+
+fn checksum64(values: impl Iterator<Item = u64>) -> u64 {
+    values.fold(0u64, |h, v| h.rotate_left(7) ^ v)
+}
+
+fn stack_checksum(stack: &ir_fusion::PreparedStack) -> u64 {
+    let (_, _, _, features) = stack.features.to_nchw();
+    checksum64(
+        stack
+            .rough
+            .data()
+            .iter()
+            .map(|v| u64::from(v.to_bits()))
+            .chain(features.iter().map(|v| u64::from(v.to_bits()))),
+    )
+}
+
+/// A grid big enough that MNA assembly and AMG setup dominate the cold
+/// walk — the cost the warm path is supposed to skip.
+fn bench_spec(tiny: bool) -> SynthSpec {
+    SynthSpec {
+        m1_stripes: if tiny { 32 } else { 96 },
+        m2_stripes: if tiny { 32 } else { 96 },
+        m4_stripes: if tiny { 6 } else { 12 },
+        pads: if tiny { 9 } else { 24 },
+        stripe_jitter: 0.05,
+        seed: 0xF1,
+        ..SynthSpec::default()
+    }
+}
+
+fn json_report(rows: &[Measurement], nodes: usize, speedup: f64) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"whatif-incremental\",\n");
+    out.push_str(&format!(
+        "  \"grid_nodes\": {nodes},\n  \"warm_delta_speedup\": {speedup:.2},\n  \"results\": [\n"
+    ));
+    for (i, m) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"reps\": {}, \"seconds\": {:.6}, \
+             \"per_analysis_s\": {:.6}, \"checksum\": \"{:016x}\"}}{}\n",
+            m.mode,
+            m.reps,
+            m.seconds,
+            m.per_analysis,
+            m.checksum,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let json_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--json")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+
+    let spec = bench_spec(tiny);
+    let grid = Arc::new(PowerGrid::from_netlist(&synthesize(&spec)).expect("valid grid"));
+    let reps = if tiny { 3 } else { 5 };
+    let config = FusionConfig::tiny();
+    let store = Arc::new(StageStore::new(reps + 2));
+    let pipeline = IrFusionPipeline::new(config).with_cache(Arc::clone(&store));
+
+    // Per-rep deltas differ so each warm rep re-runs the rough solve
+    // and the stack rebuild instead of hitting the stack artifact.
+    let delta = |rep: usize| vec![(1usize, 1e-5 * (rep + 1) as f64)];
+
+    println!(
+        "incremental: {} nodes, {} reps per mode",
+        grid.nodes.len(),
+        reps
+    );
+
+    // Cold: bypass the store entirely, every rep pays the full walk.
+    let cold_session = pipeline
+        .session(Arc::clone(&grid))
+        .cache_policy(CachePolicy::Bypass);
+    let mut cold_stack = cold_session.prepare().expect("grid has pads"); // warm up allocator
+    let start = Instant::now();
+    for _ in 0..reps {
+        cold_stack = cold_session.prepare().expect("grid has pads");
+    }
+    let cold_seconds = start.elapsed().as_secs_f64();
+    let cold = Measurement {
+        mode: "cold",
+        reps,
+        seconds: cold_seconds,
+        per_analysis: cold_seconds / reps as f64,
+        checksum: stack_checksum(&cold_stack),
+    };
+
+    // Prime the store with the base design, then re-analyze current
+    // edits against the warm assembled system / AMG setup.
+    pipeline
+        .session(Arc::clone(&grid))
+        .prepare()
+        .expect("grid has pads");
+    let mut warm_stack = None;
+    let start = Instant::now();
+    for rep in 0..reps {
+        let stack = pipeline
+            .session(Arc::clone(&grid))
+            .with_current_deltas(&delta(rep))
+            .prepare()
+            .expect("grid has pads");
+        warm_stack = Some(stack);
+    }
+    let warm_seconds = start.elapsed().as_secs_f64();
+    let warm_stack = warm_stack.expect("at least one rep");
+    let warm = Measurement {
+        mode: "warm_delta",
+        reps,
+        seconds: warm_seconds,
+        per_analysis: warm_seconds / reps as f64,
+        checksum: stack_checksum(&warm_stack),
+    };
+
+    // Warm identical repeat: the stack artifact itself is served.
+    let start = Instant::now();
+    let mut hit_stack = None;
+    for _ in 0..reps {
+        hit_stack = Some(
+            pipeline
+                .session(Arc::clone(&grid))
+                .prepare()
+                .expect("grid has pads"),
+        );
+    }
+    let hit_seconds = start.elapsed().as_secs_f64();
+    let hit = Measurement {
+        mode: "warm_identical",
+        reps,
+        seconds: hit_seconds,
+        per_analysis: hit_seconds / reps as f64,
+        checksum: stack_checksum(&hit_stack.expect("at least one rep")),
+    };
+
+    // Bitwise correctness gate: the last warm-delta stack must equal a
+    // cold bypass analysis of the same edited grid.
+    let reference = pipeline
+        .session(Arc::clone(&grid))
+        .with_current_deltas(&delta(reps - 1))
+        .cache_policy(CachePolicy::Bypass)
+        .prepare()
+        .expect("grid has pads");
+    assert_eq!(
+        stack_checksum(&reference),
+        warm.checksum,
+        "warm current-delta analysis is not bitwise identical to cold"
+    );
+    // The identical repeat serves the base design's own artifact.
+    assert_eq!(
+        stack_checksum(
+            &pipeline
+                .session(Arc::clone(&grid))
+                .cache_policy(CachePolicy::Bypass)
+                .prepare()
+                .expect("grid has pads")
+        ),
+        hit.checksum,
+        "warm identical repeat is not bitwise identical to cold"
+    );
+
+    let speedup = cold.per_analysis / warm.per_analysis;
+    println!(
+        "{:>14} | {:>5} | {:>9} | {:>12} | {:>8} | {:>16}",
+        "mode", "reps", "seconds", "per-analysis", "speedup", "checksum"
+    );
+    println!("{}", "-".repeat(80));
+    let rows = vec![cold, warm, hit];
+    for m in &rows {
+        println!(
+            "{:>14} | {:>5} | {:>9.4} | {:>12.6} | {:>7.2}x | {:016x}",
+            m.mode,
+            m.reps,
+            m.seconds,
+            m.per_analysis,
+            rows[0].per_analysis / m.per_analysis,
+            m.checksum
+        );
+    }
+    println!(
+        "\nwarm current-delta re-analysis is {speedup:.2}x faster than cold \
+         (assembled system + AMG setup + structural maps reused; {} stage hits, {} misses)",
+        store.hits(),
+        store.misses()
+    );
+
+    let report = json_report(&rows, grid.nodes.len(), speedup);
+    if let Some(path) = json_path {
+        std::fs::write(&path, &report).expect("write JSON report");
+        println!("wrote {path}");
+    } else {
+        println!("\n{report}");
+    }
+}

@@ -31,22 +31,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod cache;
 pub mod checkpoint;
 pub mod config;
 pub mod evaluate;
 pub mod experiment;
 pub mod pipeline;
 pub mod report;
+pub mod stages;
+pub mod store;
 pub mod train;
 
-pub use cache::{design_fingerprint, FeatureCache};
 pub use checkpoint::{load_model, save_model};
 pub use config::{FusionConfig, TrainConfig};
 pub use evaluate::{evaluate_model, evaluate_numerical};
 pub use irf_features::FeatureError;
 pub use pipeline::{
-    Analysis, CachePolicy, FeatureStackBuilder, IrFusionPipeline, PreparedSample, PreparedStack,
+    Analysis, AnalysisSession, CachePolicy, FeatureStackBuilder, IrFusionPipeline, PreparedSample,
+    PreparedStack,
 };
 pub use report::SignoffReport;
+pub use stages::{
+    currents_fingerprint, design_fingerprint, topology_fingerprint, Prediction, RoughSolution,
+    Stage, StagePlan,
+};
+pub use store::{StageArtifact, StageCounters, StageStore};
 pub use train::{train, TrainedModel};

@@ -1,27 +1,33 @@
 //! The end-to-end analysis pipeline: parse -> rough solve -> feature
-//! fusion -> model inference.
+//! fusion -> model inference, decomposed into the stage graph of
+//! [`crate::stages`] and cached per stage in a [`StageStore`].
 
-use crate::cache::{design_fingerprint, FeatureCache};
 use crate::config::FusionConfig;
+use crate::stages::{design_fingerprint, Prediction, RoughSolution, StagePlan};
+use crate::store::StageStore;
 use crate::train::TrainedModel;
 use irf_data::golden::golden_drops;
 use irf_data::Design;
 use irf_features::{FeatureError, FeatureExtractor, FeatureStack};
 use irf_metrics::Timer;
 use irf_nn::{Tape, Tensor};
-use irf_pg::{GridMap, ModelError, PowerGrid, Rasterizer};
-use irf_sparse::{SolveReport, Solver};
+use irf_pg::{GridMap, Load, ModelError, PgStructure, PowerGrid, Rasterizer};
+use irf_sparse::{SolveReport, Solver, SolverSetup};
 use irf_spice::Netlist;
 use std::sync::Arc;
 
 /// A design prepared up to (but excluding) the golden label: feature
 /// stack, rough numerical map, and the solve report behind it.
 ///
-/// This is the label-free unit of work the [`FeatureCache`] stores and
-/// the serving layer batches: everything needed for inference, nothing
-/// that requires the golden solution.
+/// This is the label-free unit of work the [`StageStore`] stores under
+/// [`crate::stages::Stage::Stack`] and the serving layer batches:
+/// everything needed for inference, nothing that requires the golden
+/// solution.
 #[derive(Debug, Clone)]
 pub struct PreparedStack {
+    /// The [`design_fingerprint`] this stack was prepared under — the
+    /// key it lives under in the stage store.
+    pub fingerprint: u64,
     /// Extracted feature maps.
     pub features: FeatureStack,
     /// Rough bottom-layer drop map from the truncated solve (volts).
@@ -116,8 +122,8 @@ pub struct Analysis {
     pub runtime_seconds: f64,
 }
 
-/// How a [`FeatureStackBuilder`] interacts with the pipeline's
-/// attached [`FeatureCache`].
+/// How a [`FeatureStackBuilder`] or [`AnalysisSession`] interacts
+/// with the pipeline's attached [`StageStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CachePolicy {
     /// Use the attached cache (single-flighted); a plain uncached
@@ -129,8 +135,8 @@ pub enum CachePolicy {
 }
 
 /// Builder-style entry point for feature-stack preparation and
-/// analysis — the one front door that replaced the
-/// `prepare_grid` / `analyze_grid` / `prepare_stack_cached` sprawl.
+/// analysis — the one front door for one-shot work (for incremental
+/// what-if re-analysis, see [`IrFusionPipeline::session`]).
 ///
 /// Obtained from [`IrFusionPipeline::stack_builder`]; options select
 /// feature families, thread count and cache policy, and the terminal
@@ -249,38 +255,21 @@ impl<'p> FeatureStackBuilder<'p> {
     }
 
     /// Prepares the label-free stack: truncated solve, feature
-    /// extraction, rough bottom-layer map — through the cache under
-    /// [`CachePolicy::Shared`] (keyed by [`design_fingerprint`] of
-    /// the grid and the *effective* config, single-flighting
-    /// concurrent misses).
+    /// extraction, rough bottom-layer map — walking the stage graph
+    /// through the attached [`StageStore`] under
+    /// [`CachePolicy::Shared`] (each stage keyed by its own
+    /// fingerprint, single-flighting concurrent misses).
     ///
     /// # Errors
     ///
     /// Returns [`FeatureError::NoPads`] when the grid has no pads.
     pub fn prepare(&self, grid: &PowerGrid) -> Result<Arc<PreparedStack>, FeatureError> {
-        if grid.pads.is_empty() {
-            return Err(FeatureError::NoPads);
-        }
         let config = self.effective_config();
-        Ok(
-            self.with_threads(|| match (self.cache, self.pipeline.cache()) {
-                (CachePolicy::Shared, Some(cache)) => {
-                    let key = design_fingerprint(grid, &config);
-                    cache.get_or_compute(key, || {
-                        let stack = self
-                            .pipeline
-                            .prepare_stack_with(&config, grid)
-                            .expect("pads checked above");
-                        Arc::new(stack)
-                    })
-                }
-                _ => Arc::new(
-                    self.pipeline
-                        .prepare_stack_with(&config, grid)
-                        .expect("pads checked above"),
-                ),
-            }),
-        )
+        let store = match self.cache {
+            CachePolicy::Shared => self.pipeline.cache().map(Arc::as_ref),
+            CachePolicy::Bypass => None,
+        };
+        self.with_threads(|| self.pipeline.staged_prepare(&config, grid, store))
     }
 
     /// Prepares a labelled sample (training path): the cached stack
@@ -345,6 +334,7 @@ impl<'p> FeatureStackBuilder<'p> {
                 let rough =
                     irf_features::solution::bottom_layer_solution_map(grid, &drops, &raster);
                 Ok(Arc::new(PreparedStack {
+                    fingerprint: design_fingerprint(grid, &config),
                     features,
                     rough,
                     solve_report: SolveReport {
@@ -377,7 +367,7 @@ impl<'p> FeatureStackBuilder<'p> {
 #[derive(Debug, Clone)]
 pub struct IrFusionPipeline {
     config: FusionConfig,
-    cache: Option<Arc<FeatureCache>>,
+    cache: Option<Arc<StageStore>>,
 }
 
 impl IrFusionPipeline {
@@ -393,19 +383,20 @@ impl IrFusionPipeline {
         }
     }
 
-    /// Attaches a feature-stack cache: subsequent
-    /// [`FeatureStackBuilder::prepare`] calls (and everything built on
-    /// them — `prepare`, `prepare_all`, `analyze`) reuse previously
-    /// prepared stacks for identical designs.
+    /// Attaches a stage-artifact store: subsequent
+    /// [`FeatureStackBuilder::prepare`] and [`AnalysisSession`] calls
+    /// (and everything built on them — `prepare`, `prepare_all`,
+    /// `analyze`) reuse previously computed stage artifacts whose
+    /// fingerprints still match.
     #[must_use]
-    pub fn with_cache(mut self, cache: Arc<FeatureCache>) -> Self {
+    pub fn with_cache(mut self, cache: Arc<StageStore>) -> Self {
         self.cache = Some(cache);
         self
     }
 
-    /// The attached feature-stack cache, if any.
+    /// The attached stage-artifact store, if any.
     #[must_use]
-    pub fn cache(&self) -> Option<&Arc<FeatureCache>> {
+    pub fn cache(&self) -> Option<&Arc<StageStore>> {
         self.cache.as_ref()
     }
 
@@ -415,18 +406,157 @@ impl IrFusionPipeline {
         &self.config
     }
 
+    /// The configured solver, tolerance pinned below reach so the
+    /// iteration budget is the only stop.
+    fn solver(&self) -> Solver {
+        Solver::new(self.config.solver_kind)
+            .with_amg_params(self.config.amg)
+            .with_tolerance(1e-12)
+            .with_max_iterations(self.config.solver_iterations)
+    }
+
     /// Runs the truncated AMG-PCG solve, returning per-node drops.
     #[must_use]
     pub fn rough_solution(&self, grid: &PowerGrid) -> (Vec<f64>, SolveReport) {
         let _span = irf_trace::span("rough_solve");
-        let system = grid.build_system();
-        let report = Solver::new(self.config.solver_kind)
-            .with_amg_params(self.config.amg)
-            .with_tolerance(1e-12) // iteration budget is the only stop
-            .with_max_iterations(self.config.solver_iterations)
-            .solve(&system.matrix, &system.rhs);
-        let drops = system.expand_solution(&report.x);
+        let structure = PgStructure::build(grid);
+        let setup = self.solver().prepare(&structure.matrix);
+        let rhs = structure.rhs(&grid.loads);
+        let report = setup.solve(&structure.matrix, &rhs);
+        let drops = structure.expand_solution(&report.x);
         (drops, report)
+    }
+
+    /// One stage-graph walk: every artifact is fetched from `store`
+    /// under its own fingerprint (computing on miss, single-flighted)
+    /// or computed directly when `store` is `None`. Because each
+    /// stage's compute is the *same* code the cold path runs, a walk
+    /// over warm artifacts is bitwise identical to a cold analysis at
+    /// any thread count.
+    fn staged_prepare(
+        &self,
+        config: &FusionConfig,
+        grid: &PowerGrid,
+        store: Option<&StageStore>,
+    ) -> Result<Arc<PreparedStack>, FeatureError> {
+        if grid.pads.is_empty() {
+            return Err(FeatureError::NoPads);
+        }
+        let plan = StagePlan::for_design(grid, config);
+        let build = || self.build_stack(config, grid, &plan, store);
+        Ok(match store {
+            Some(s) => s.stack(plan.stack, build),
+            None => build(),
+        })
+    }
+
+    /// Computes the [`PreparedStack`] for one design, pulling every
+    /// upstream artifact through `store` when attached. Pads must have
+    /// been checked by the caller.
+    fn build_stack(
+        &self,
+        config: &FusionConfig,
+        grid: &PowerGrid,
+        plan: &StagePlan,
+        store: Option<&StageStore>,
+    ) -> Arc<PreparedStack> {
+        let extractor = FeatureExtractor::new(config.feature);
+        let (rough, solve_seconds) = Timer::time(|| {
+            let assemble = || Arc::new(PgStructure::build(grid));
+            let structure = match store {
+                Some(s) => s.assembled(plan.assembled, assemble),
+                None => assemble(),
+            };
+            let prepare = || Arc::new(self.solver().prepare(&structure.matrix));
+            let setup = match store {
+                Some(s) => s.solver_setup(plan.solver_setup, prepare),
+                None => prepare(),
+            };
+            let solve = || Arc::new(self.rough_stage(grid, &structure, &setup, plan.rough));
+            match store {
+                Some(s) => s.rough(plan.rough, solve),
+                None => solve(),
+            }
+        });
+        let (stack, feature_seconds) = Timer::time(|| {
+            let structural = || {
+                Arc::new(
+                    extractor
+                        .structural(grid)
+                        .expect("pads checked by staged_prepare"),
+                )
+            };
+            let structural = match store {
+                Some(s) => s.structural(plan.structural, structural),
+                None => structural(),
+            };
+            let features = extractor
+                .extract_with_structural(grid, &rough.drops, &structural)
+                .expect("pads checked by staged_prepare");
+            let raster = extractor.rasterizer(grid);
+            let rough_map =
+                irf_features::solution::bottom_layer_solution_map(grid, &rough.drops, &raster);
+            (features, rough_map)
+        });
+        let registry = irf_trace::registry();
+        registry.counter_add(
+            "irf_stage_seconds_total",
+            &[("stage", "rough_solve")],
+            solve_seconds,
+        );
+        registry.counter_add(
+            "irf_stage_seconds_total",
+            &[("stage", "features")],
+            feature_seconds,
+        );
+        let (features, rough_map) = stack;
+        Arc::new(PreparedStack {
+            fingerprint: plan.stack,
+            features,
+            rough: rough_map,
+            solve_report: rough.report.clone(),
+            solve_seconds,
+            feature_seconds,
+        })
+    }
+
+    /// The [`crate::stages::Stage::Rough`] compute: right-hand side
+    /// from the current loads, truncated solve on the prepared setup,
+    /// solution expanded back to full node space.
+    fn rough_stage(
+        &self,
+        grid: &PowerGrid,
+        structure: &PgStructure,
+        setup: &SolverSetup,
+        fingerprint: u64,
+    ) -> RoughSolution {
+        let _span = irf_trace::span("rough_solve");
+        let t0 = std::time::Instant::now();
+        let rhs = structure.rhs(&grid.loads);
+        let report = setup.solve(&structure.matrix, &rhs);
+        let drops = structure.expand_solution(&report.x);
+        RoughSolution {
+            fingerprint,
+            drops,
+            report,
+            solve_seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Opens an incremental what-if session on a design. The session
+    /// holds the base grid; [`AnalysisSession::with_currents`] /
+    /// [`AnalysisSession::with_current_deltas`] swap only the load
+    /// vector, so a re-analysis reuses the assembled system, the
+    /// prepared solver and the structural maps from the attached
+    /// store and recomputes just the rough solve, the stack assembly
+    /// and the model forward.
+    #[must_use]
+    pub fn session(&self, grid: Arc<PowerGrid>) -> AnalysisSession<'_> {
+        AnalysisSession {
+            pipeline: self,
+            grid,
+            cache: CachePolicy::Shared,
+        }
     }
 
     /// Starts a [`FeatureStackBuilder`] — the front door for stack
@@ -471,79 +601,8 @@ impl IrFusionPipeline {
     ///
     /// Returns [`FeatureError::NoPads`] when the grid has no pads.
     pub fn prepare_stack(&self, grid: &PowerGrid) -> Result<PreparedStack, FeatureError> {
-        self.prepare_stack_with(&self.config, grid)
-    }
-
-    /// [`IrFusionPipeline::prepare_stack`] under an explicit (builder
-    ///-effective) configuration. The solver fields always come from
-    /// `self.config` via [`IrFusionPipeline::rough_solution`]; `config`
-    /// governs feature extraction.
-    fn prepare_stack_with(
-        &self,
-        config: &FusionConfig,
-        grid: &PowerGrid,
-    ) -> Result<PreparedStack, FeatureError> {
-        let extractor = FeatureExtractor::new(config.feature);
-        let ((drops, solve_report), solve_seconds) = Timer::time(|| self.rough_solution(grid));
-        let (features, feature_seconds) = Timer::time(|| {
-            // The "w/o Num. Solu." ablation zeroes the numerical
-            // channels by disabling them in the config instead.
-            extractor.extract(grid, &drops)
-        });
-        let features = features?;
-        let registry = irf_trace::registry();
-        registry.counter_add(
-            "irf_stage_seconds_total",
-            &[("stage", "rough_solve")],
-            solve_seconds,
-        );
-        registry.counter_add(
-            "irf_stage_seconds_total",
-            &[("stage", "features")],
-            feature_seconds,
-        );
-        let raster = extractor.rasterizer(grid);
-        let rough = irf_features::solution::bottom_layer_solution_map(grid, &drops, &raster);
-        Ok(PreparedStack {
-            features,
-            rough,
-            solve_report,
-            solve_seconds,
-            feature_seconds,
-        })
-    }
-
-    /// Deprecated shim over [`FeatureStackBuilder::prepare`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the grid has no pads.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `pipeline.stack_builder().prepare(grid)` instead"
-    )]
-    #[must_use]
-    pub fn prepare_stack_cached(&self, grid: &PowerGrid) -> Arc<PreparedStack> {
-        self.stack_builder()
-            .prepare(grid)
-            .expect("grid has pads; use stack_builder().prepare() to handle NoPads")
-    }
-
-    /// Deprecated shim over [`FeatureStackBuilder::prepare_labelled`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the grid has no pads or if
-    /// `golden.len() != grid.nodes.len()`.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `pipeline.stack_builder().prepare_labelled(grid, golden)` instead"
-    )]
-    #[must_use]
-    pub fn prepare_grid(&self, grid: &PowerGrid, golden: &[f64]) -> PreparedSample {
-        self.stack_builder()
-            .prepare_labelled(grid, golden)
-            .expect("grid has pads; use stack_builder().prepare_labelled() to handle NoPads")
+        self.staged_prepare(&self.config, grid, None)
+            .map(|stack| (*stack).clone())
     }
 
     /// Analyzes a netlist end to end (inference path). Pass a trained
@@ -562,22 +621,6 @@ impl IrFusionPipeline {
         self.stack_builder()
             .analyze(&grid, None)
             .map_err(|_| ModelError::NoPads)
-    }
-
-    /// Deprecated shim over [`FeatureStackBuilder::analyze`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the grid has no pads.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `pipeline.stack_builder().analyze(grid, model)` instead"
-    )]
-    #[must_use]
-    pub fn analyze_grid(&self, grid: &PowerGrid, model: Option<&TrainedModel>) -> Analysis {
-        self.stack_builder()
-            .analyze(grid, model)
-            .expect("grid has pads; use stack_builder().analyze() to handle NoPads")
     }
 
     /// Runs model inference on one prepared stack, applying the
@@ -649,6 +692,140 @@ impl IrFusionPipeline {
         let raster: Rasterizer = extractor.rasterizer(grid);
         let drops = golden_drops(grid);
         irf_features::solution::bottom_layer_solution_map(grid, &drops, &raster)
+    }
+}
+
+/// An incremental what-if session: a base design plus load-vector
+/// edits, analyzed through the stage graph so unchanged artifacts are
+/// reused from the pipeline's attached [`StageStore`].
+///
+/// The session owns an `Arc` of the effective grid; every
+/// `with_currents` / `with_current_deltas` call clones the grid once
+/// and swaps only its load vector, leaving topology, vias and pads —
+/// and therefore the assembled MNA system, the prepared solver and
+/// the structural feature maps — fingerprint-identical to the base.
+///
+/// ```
+/// use ir_fusion::{FusionConfig, IrFusionPipeline, StageStore};
+/// use irf_data::{synthesize, SynthSpec};
+/// use irf_pg::PowerGrid;
+/// use std::sync::Arc;
+///
+/// let grid = Arc::new(PowerGrid::from_netlist(&synthesize(&SynthSpec::default()))?);
+/// let pipeline =
+///     IrFusionPipeline::new(FusionConfig::tiny()).with_cache(Arc::new(StageStore::new(4)));
+/// let cold = pipeline.session(Arc::clone(&grid)).prepare()?;
+/// // Bump one cell current: only the rough solve and stack rebuild.
+/// let warm = pipeline
+///     .session(grid)
+///     .with_current_deltas(&[(0, 1e-3)])
+///     .prepare()?;
+/// assert_ne!(cold.fingerprint, warm.fingerprint);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnalysisSession<'p> {
+    pipeline: &'p IrFusionPipeline,
+    grid: Arc<PowerGrid>,
+    cache: CachePolicy,
+}
+
+impl AnalysisSession<'_> {
+    /// The effective grid this session analyzes.
+    #[must_use]
+    pub fn grid(&self) -> &Arc<PowerGrid> {
+        &self.grid
+    }
+
+    /// The [`design_fingerprint`] of the effective grid under the
+    /// pipeline configuration — the key a prepared stack lives under.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        design_fingerprint(&self.grid, self.pipeline.config())
+    }
+
+    /// Sets the cache policy (default [`CachePolicy::Shared`]).
+    #[must_use]
+    pub fn cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.cache = policy;
+        self
+    }
+
+    /// Replaces the whole load vector.
+    #[must_use]
+    pub fn with_currents(mut self, loads: Vec<Load>) -> Self {
+        let mut grid = (*self.grid).clone();
+        grid.loads = loads;
+        self.grid = Arc::new(grid);
+        self
+    }
+
+    /// Applies per-cell current deltas: for each `(node, amps)` pair
+    /// the delta is added to that node's existing load, or a new load
+    /// is created when the node drew no current before.
+    #[must_use]
+    pub fn with_current_deltas(mut self, deltas: &[(usize, f64)]) -> Self {
+        let mut grid = (*self.grid).clone();
+        for &(node, amps) in deltas {
+            match grid.loads.iter_mut().find(|l| l.node == node) {
+                Some(load) => load.amps += amps,
+                None => grid.loads.push(Load { node, amps }),
+            }
+        }
+        self.grid = Arc::new(grid);
+        self
+    }
+
+    /// Prepares the stack for the effective grid through the stage
+    /// graph. With a warm store and a current-only edit this skips
+    /// SPICE parsing, MNA assembly and AMG setup entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::NoPads`] when the grid has no pads.
+    pub fn prepare(&self) -> Result<Arc<PreparedStack>, FeatureError> {
+        let store = match self.cache {
+            CachePolicy::Shared => self.pipeline.cache().map(Arc::as_ref),
+            CachePolicy::Bypass => None,
+        };
+        self.pipeline
+            .staged_prepare(self.pipeline.config(), &self.grid, store)
+    }
+
+    /// Analyzes the effective grid, optionally refining with a
+    /// trained model — the incremental counterpart of
+    /// [`FeatureStackBuilder::analyze`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::NoPads`] when the grid has no pads.
+    pub fn analyze(&self, model: Option<&TrainedModel>) -> Result<Analysis, FeatureError> {
+        let _span = irf_trace::span("analyze_grid");
+        let mut timer = Timer::new();
+        timer.start();
+        let stack = self.prepare()?;
+        let fused_map = model.map(|trained| self.pipeline.predict(trained, &stack));
+        timer.stop();
+        Ok(Analysis {
+            rough_map: stack.rough.clone(),
+            fused_map,
+            solve_report: stack.solve_report.clone(),
+            runtime_seconds: timer.seconds(),
+        })
+    }
+
+    /// Runs the model on the (possibly warm) stack, returning the
+    /// fused map tagged with the stack fingerprint it came from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::NoPads`] when the grid has no pads.
+    pub fn predict(&self, model: &TrainedModel) -> Result<Prediction, FeatureError> {
+        let stack = self.prepare()?;
+        Ok(Prediction {
+            fingerprint: stack.fingerprint,
+            map: self.pipeline.predict(model, &stack),
+        })
     }
 }
 
@@ -782,7 +959,7 @@ mod tests {
 
     #[test]
     fn builder_shares_the_attached_cache() {
-        let cache = Arc::new(FeatureCache::new(4));
+        let cache = Arc::new(StageStore::new(4));
         let p = pipeline().with_cache(Arc::clone(&cache));
         let g = grid();
         let a = p.stack_builder().prepare(&g).expect("pads");
@@ -790,6 +967,34 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "second prepare should be a cache hit");
         let c = p.stack_builder().bypass_cache().prepare(&g).expect("pads");
         assert!(!Arc::ptr_eq(&a, &c), "bypass must not read the cache");
+    }
+
+    #[test]
+    fn session_current_edit_reuses_structure_and_setup() {
+        use crate::stages::Stage;
+        let cache = Arc::new(StageStore::new(4));
+        let p = pipeline().with_cache(Arc::clone(&cache));
+        let g = Arc::new(grid());
+        let cold = p.session(Arc::clone(&g)).prepare().expect("pads");
+        let warm_session = p.session(Arc::clone(&g)).with_current_deltas(&[(1, 2e-3)]);
+        let warm = warm_session.prepare().expect("pads");
+        assert_ne!(cold.fingerprint, warm.fingerprint);
+        // The warm walk re-hit the topology-keyed artifacts...
+        assert!(cache.stage_counters(Stage::Assembled).hits >= 1);
+        assert!(cache.stage_counters(Stage::SolverSetup).hits >= 1);
+        assert!(cache.stage_counters(Stage::Structural).hits >= 1);
+        // ...but had to rerun the rough solve and stack assembly.
+        assert_eq!(cache.stage_counters(Stage::Rough).misses, 2);
+        assert_eq!(cache.stage_counters(Stage::Stack).misses, 2);
+        // And the warm result matches a cold analysis of the same
+        // edited design, bit for bit.
+        let fresh = p
+            .session(Arc::clone(warm_session.grid()))
+            .cache_policy(CachePolicy::Bypass)
+            .prepare()
+            .expect("pads");
+        assert_eq!(warm.rough.data(), fresh.rough.data());
+        assert_eq!(warm.features.to_nchw().3, fresh.features.to_nchw().3);
     }
 
     #[test]

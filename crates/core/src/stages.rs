@@ -1,0 +1,347 @@
+//! The stage graph: typed pipeline artifacts and the content
+//! fingerprints that key them.
+//!
+//! A full analysis decomposes into a chain of stage artifacts
+//!
+//! ```text
+//! ParsedDesign -> AssembledSystem -> SolverSetup -> RoughSolution
+//!                                 \-> StructuralMaps -/
+//!                                        -> FeatureStack -> Prediction
+//! ```
+//!
+//! where each artifact is determined by *exactly* the inputs its
+//! fingerprint covers:
+//!
+//! | stage                | fingerprint inputs                               |
+//! |----------------------|--------------------------------------------------|
+//! | `Parsed`             | raw netlist bytes ([`irf_spice::source_hash`])   |
+//! | `Assembled`          | topology (nodes, segments, pads)                 |
+//! | `SolverSetup`        | topology + solver configuration                  |
+//! | `Rough`              | topology + solver configuration + currents       |
+//! | `Structural`         | topology + feature configuration                 |
+//! | `Stack`              | all of the above                                 |
+//!
+//! Editing only the current vector therefore invalidates `Rough` and
+//! `Stack` while the assembled MNA matrix, the AMG hierarchy and the
+//! current-independent structural feature maps are reused verbatim —
+//! the incremental what-if path. Predictions are *not* cached: the
+//! model can be hot-swapped at any time, so they are recomputed from
+//! the (cached) stack.
+//!
+//! All fingerprints are 64-bit FNV-1a ([`irf_spice::Fnv1a`]): stable
+//! across processes and platforms, so a restarted server reproduces
+//! the same keys for the same designs.
+
+use crate::config::FusionConfig;
+use irf_pg::{GridMap, Load, PowerGrid};
+use irf_sparse::SolveReport;
+use irf_spice::Fnv1a;
+
+/// Identifies one stage of the analysis pipeline in the stage store
+/// and its metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Parsed design (power grid) keyed by netlist source or design
+    /// fingerprint.
+    Parsed,
+    /// Assembled MNA system (matrix + node index maps).
+    Assembled,
+    /// Prepared solver handle (AMG hierarchy, factorization, ...).
+    SolverSetup,
+    /// Truncated rough solve result.
+    Rough,
+    /// Current-independent structural feature maps.
+    Structural,
+    /// The fully assembled feature stack.
+    Stack,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Parsed,
+        Stage::Assembled,
+        Stage::SolverSetup,
+        Stage::Rough,
+        Stage::Structural,
+        Stage::Stack,
+    ];
+
+    /// Stable label for metrics and trace attributes.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Parsed => "parsed",
+            Stage::Assembled => "assembled",
+            Stage::SolverSetup => "solver_setup",
+            Stage::Rough => "rough",
+            Stage::Structural => "structural",
+            Stage::Stack => "stack",
+        }
+    }
+
+    /// Dense index for per-stage counter arrays.
+    #[must_use]
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Stage::Parsed => 0,
+            Stage::Assembled => 1,
+            Stage::SolverSetup => 2,
+            Stage::Rough => 3,
+            Stage::Structural => 4,
+            Stage::Stack => 5,
+        }
+    }
+}
+
+/// The truncated rough-solve artifact: per-node drops plus the solve
+/// report behind them.
+#[derive(Debug, Clone)]
+pub struct RoughSolution {
+    /// The [`Stage::Rough`] fingerprint this solution was computed
+    /// under (topology + solver configuration + currents).
+    pub fingerprint: u64,
+    /// Per-node voltage drops (full node space, pads at zero).
+    pub drops: Vec<f64>,
+    /// Report of the truncated solve.
+    pub report: SolveReport,
+    /// Seconds spent in the solve (excluding reused setup).
+    pub solve_seconds: f64,
+}
+
+/// A model prediction, tagged with the fingerprint of the stack it
+/// was computed from. Not cached — the model can be hot-swapped — but
+/// carrying the fingerprint lets callers correlate predictions with
+/// the warm artifacts that produced them.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// The [`Stage::Stack`] fingerprint of the input stack.
+    pub fingerprint: u64,
+    /// The fused bottom-layer drop map (volts).
+    pub map: GridMap,
+}
+
+/// Fingerprint of the grid *topology*: nodes, segments and pads —
+/// everything that shapes the MNA matrix and the structural feature
+/// maps, and nothing that doesn't. The load (current) vector is
+/// deliberately excluded: it only enters the right-hand side, so a
+/// current-only edit keeps this fingerprint (and every artifact keyed
+/// by it) valid.
+#[must_use]
+pub fn topology_fingerprint(grid: &PowerGrid) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(grid.nodes.len() as u64);
+    for n in &grid.nodes {
+        h.write(n.name.as_bytes());
+        h.write(&[0]);
+        h.write_u64(u64::from(n.layer));
+        h.write(&n.x.to_le_bytes());
+        h.write(&n.y.to_le_bytes());
+        h.write(&[u8::from(n.is_pad)]);
+    }
+    h.write_u64(grid.segments.len() as u64);
+    for s in &grid.segments {
+        h.write_u64(s.a as u64);
+        h.write_u64(s.b as u64);
+        h.write_f64(s.ohms);
+    }
+    h.write_u64(grid.pads.len() as u64);
+    for p in &grid.pads {
+        h.write_u64(p.node as u64);
+        h.write_f64(p.volts);
+    }
+    h.finish()
+}
+
+/// Fingerprint of the load (current) vector alone — the only input
+/// that changes under a what-if current edit.
+#[must_use]
+pub fn currents_fingerprint(loads: &[Load]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(loads.len() as u64);
+    for l in loads {
+        h.write_u64(l.node as u64);
+        h.write_f64(l.amps);
+    }
+    h.finish()
+}
+
+/// Fingerprint of the configuration fields that shape the prepared
+/// solver (kind, AMG parameters, iteration budget).
+#[must_use]
+pub fn solver_config_fingerprint(config: &FusionConfig) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(config.solver_iterations as u64);
+    // Debug formatting is stable and covers nested enums (solver
+    // kind, smoother, cycle) without a bespoke serialization.
+    h.write(format!("{:?}", config.solver_kind).as_bytes());
+    h.write(format!("{:?}", config.amg).as_bytes());
+    h.finish()
+}
+
+/// Fingerprint of the feature-extraction configuration (resolution,
+/// normalization, enabled families).
+#[must_use]
+pub fn feature_config_fingerprint(config: &FusionConfig) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(format!("{:?}", config.feature).as_bytes());
+    h.finish()
+}
+
+/// Folds already-computed fingerprints into one composite key.
+#[must_use]
+pub fn combine_fingerprints(parts: &[u64]) -> u64 {
+    let mut h = Fnv1a::new();
+    for &p in parts {
+        h.write_u64(p);
+    }
+    h.finish()
+}
+
+/// Content fingerprint of a design plus the preparation-relevant
+/// configuration — the [`Stage::Stack`] key.
+///
+/// Composed from [`topology_fingerprint`], [`currents_fingerprint`],
+/// [`solver_config_fingerprint`] and [`feature_config_fingerprint`],
+/// so two (grid, config) pairs with equal fingerprints produce
+/// bitwise identical stacks. Model, training and threading settings
+/// are deliberately excluded — they do not affect the stack (results
+/// are bitwise identical at any thread count).
+#[must_use]
+pub fn design_fingerprint(grid: &PowerGrid, config: &FusionConfig) -> u64 {
+    combine_fingerprints(&[
+        topology_fingerprint(grid),
+        currents_fingerprint(&grid.loads),
+        solver_config_fingerprint(config),
+        feature_config_fingerprint(config),
+    ])
+}
+
+/// The full key plan for one (grid, config) pair: every per-stage
+/// fingerprint the stage walk needs, computed once up front.
+#[derive(Debug, Clone, Copy)]
+pub struct StagePlan {
+    /// Topology fingerprint — the [`Stage::Assembled`] key.
+    pub assembled: u64,
+    /// Topology + solver config — the [`Stage::SolverSetup`] key.
+    pub solver_setup: u64,
+    /// Topology + solver config + currents — the [`Stage::Rough`] key.
+    pub rough: u64,
+    /// Topology + feature config — the [`Stage::Structural`] key.
+    pub structural: u64,
+    /// Everything — the [`Stage::Stack`] key, equal to
+    /// [`design_fingerprint`].
+    pub stack: u64,
+}
+
+impl StagePlan {
+    /// Computes all stage keys for a design under a configuration.
+    #[must_use]
+    pub fn for_design(grid: &PowerGrid, config: &FusionConfig) -> Self {
+        let topology = topology_fingerprint(grid);
+        let currents = currents_fingerprint(&grid.loads);
+        let solver_cfg = solver_config_fingerprint(config);
+        let feature_cfg = feature_config_fingerprint(config);
+        StagePlan {
+            assembled: topology,
+            solver_setup: combine_fingerprints(&[topology, solver_cfg]),
+            rough: combine_fingerprints(&[topology, solver_cfg, currents]),
+            structural: combine_fingerprints(&[topology, feature_cfg]),
+            stack: combine_fingerprints(&[topology, currents, solver_cfg, feature_cfg]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irf_data::Design;
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let cfg = FusionConfig::tiny();
+        let a = Design::fake(1);
+        let b = Design::fake(2);
+        assert_eq!(
+            design_fingerprint(&a.grid, &cfg),
+            design_fingerprint(&a.grid, &cfg),
+            "same content must fingerprint identically"
+        );
+        assert_ne!(
+            design_fingerprint(&a.grid, &cfg),
+            design_fingerprint(&b.grid, &cfg),
+            "different designs must fingerprint differently"
+        );
+        let mut cfg2 = cfg;
+        cfg2.solver_iterations += 1;
+        assert_ne!(
+            design_fingerprint(&a.grid, &cfg),
+            design_fingerprint(&a.grid, &cfg2),
+            "solver budget is preparation-relevant"
+        );
+        let mut cfg3 = cfg;
+        cfg3.num_threads = 7;
+        assert_eq!(
+            design_fingerprint(&a.grid, &cfg),
+            design_fingerprint(&a.grid, &cfg3),
+            "thread count must not affect the fingerprint"
+        );
+    }
+
+    #[test]
+    fn current_edits_keep_topology_and_setup_keys() {
+        let cfg = FusionConfig::tiny();
+        let base = Design::fake(1);
+        let mut edited = base.grid.clone();
+        edited.loads[0].amps *= 2.0;
+        let a = StagePlan::for_design(&base.grid, &cfg);
+        let b = StagePlan::for_design(&edited, &cfg);
+        assert_eq!(a.assembled, b.assembled, "topology unchanged");
+        assert_eq!(a.solver_setup, b.solver_setup, "solver setup reusable");
+        assert_eq!(a.structural, b.structural, "structural maps reusable");
+        assert_ne!(a.rough, b.rough, "rough solve must rerun");
+        assert_ne!(a.stack, b.stack, "stack must rebuild");
+    }
+
+    #[test]
+    fn topology_edits_invalidate_every_derived_key() {
+        let cfg = FusionConfig::tiny();
+        let base = Design::fake(1);
+        let mut rewired = base.grid.clone();
+        rewired.segments[0].ohms *= 2.0;
+        let a = StagePlan::for_design(&base.grid, &cfg);
+        let b = StagePlan::for_design(&rewired, &cfg);
+        assert_ne!(a.assembled, b.assembled);
+        assert_ne!(a.solver_setup, b.solver_setup);
+        assert_ne!(a.rough, b.rough);
+        assert_ne!(a.structural, b.structural);
+        assert_ne!(a.stack, b.stack);
+    }
+
+    #[test]
+    fn pad_set_is_part_of_the_topology() {
+        let cfg = FusionConfig::tiny();
+        let base = Design::fake(1);
+        let mut repinned = base.grid.clone();
+        repinned.pads[0].volts += 0.1;
+        let a = StagePlan::for_design(&base.grid, &cfg);
+        let b = StagePlan::for_design(&repinned, &cfg);
+        assert_ne!(a.assembled, b.assembled, "pad edits change the system");
+    }
+
+    #[test]
+    fn config_fingerprints_split_solver_from_features() {
+        let cfg = FusionConfig::tiny();
+        let mut more_iters = cfg;
+        more_iters.solver_iterations += 1;
+        assert_ne!(
+            solver_config_fingerprint(&cfg),
+            solver_config_fingerprint(&more_iters)
+        );
+        assert_eq!(
+            feature_config_fingerprint(&cfg),
+            feature_config_fingerprint(&more_iters),
+            "solver budget must not touch the feature key"
+        );
+    }
+}

@@ -28,4 +28,4 @@ pub mod solution;
 pub mod stack;
 
 pub use error::FeatureError;
-pub use stack::{FeatureConfig, FeatureExtractor, FeatureStack};
+pub use stack::{FeatureConfig, FeatureExtractor, FeatureStack, StructuralMaps};

@@ -137,6 +137,27 @@ impl FeatureStack {
     }
 }
 
+/// The current-independent feature channels of one design, normalized
+/// and ready for assembly: everything determined by the grid topology,
+/// geometry, and pad set alone — never by the load currents.
+///
+/// This is the `FeatureStack` stage's structural half in the
+/// incremental pipeline: when only the current vector of a design
+/// changes, these maps (including the costly per-pad shortest-path
+/// Dijkstra) are reused verbatim and only the current and solution
+/// channels are recomputed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructuralMaps {
+    /// The normalized `distance/effective` channel.
+    pub distance: GridMap,
+    /// The normalized `density/pdn` channel.
+    pub density: GridMap,
+    /// The normalized `resistance/map` channel.
+    pub resistance: GridMap,
+    /// The normalized `resistance/shortest_path` channel.
+    pub shortest_path: GridMap,
+}
+
 /// Extracts the full hierarchical numerical-structural stack for one
 /// design.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -183,10 +204,30 @@ impl FeatureExtractor {
         grid: &PowerGrid,
         rough_drop: &[f64],
     ) -> Result<FeatureStack, FeatureError> {
+        let structural = self.structural(grid)?;
+        self.extract_with_structural(grid, rough_drop, &structural)
+    }
+
+    /// Computes only the current-independent channels — the structural
+    /// half of the stack, including the costly per-pad shortest-path
+    /// Dijkstra. The result depends on the grid topology, geometry,
+    /// and pad set, but never on the load currents, so the incremental
+    /// pipeline caches it across current-only edits.
+    ///
+    /// The shortest-path resistance values — the costliest feature —
+    /// are computed first at top level, so their per-pad Dijkstra
+    /// passes fan out across the whole pool; the remaining maps then
+    /// run as one task each (nested parallel calls inside a task
+    /// execute inline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::NoPads`] when the grid has no pads (the
+    /// pad-relative features are undefined).
+    pub fn structural(&self, grid: &PowerGrid) -> Result<StructuralMaps, FeatureError> {
         if grid.pads.is_empty() {
             return Err(FeatureError::NoPads);
         }
-        let mut span = irf_trace::span("feature_stack");
         let raster = self.rasterizer(grid);
         let sp_values = {
             let mut sp_span = irf_trace::span("feature/shortest_path_resistance");
@@ -196,10 +237,69 @@ impl FeatureExtractor {
             shortest_path::shortest_path_resistance_per_node(grid)?
         };
         let norm = self.config.normalization;
-        let amps = Normalization::Fixed(CURRENT_SCALE);
-        let volts = Normalization::Fixed(VOLT_SCALE);
         let dist = Normalization::Fixed(1.0 / self.config.width.max(self.config.height) as f32);
         let path_r = Normalization::Fixed(PATH_RESISTANCE_SCALE);
+        let r = &raster;
+        let tasks: Vec<Box<dyn FnOnce() -> GridMap + Send>> = vec![
+            Box::new(move || {
+                let _s = irf_trace::span("feature/effective_distance");
+                normalize(&effective_distance_map(grid, r), dist)
+            }),
+            Box::new(move || {
+                let _s = irf_trace::span("feature/pdn_density");
+                normalize(&pdn_density_map(grid, r), norm)
+            }),
+            Box::new(move || {
+                let _s = irf_trace::span("feature/resistance_map");
+                normalize(&resistance_map(grid, r), norm)
+            }),
+            Box::new({
+                let sp_values = &sp_values;
+                move || {
+                    let _s = irf_trace::span("feature/shortest_path_rasterize");
+                    normalize(
+                        &shortest_path::rasterize_per_node(grid, sp_values, r),
+                        path_r,
+                    )
+                }
+            }),
+        ];
+        let mut maps = irf_runtime::par_map(tasks).into_iter();
+        Ok(StructuralMaps {
+            distance: maps.next().expect("distance map"),
+            density: maps.next().expect("density map"),
+            resistance: maps.next().expect("resistance map"),
+            shortest_path: maps.next().expect("shortest-path map"),
+        })
+    }
+
+    /// Assembles the full stack from precomputed structural channels,
+    /// recomputing only the current-dependent channels (total/per-layer
+    /// currents and per-layer rough-solution maps). Channel order and
+    /// values are bitwise identical to [`FeatureExtractor::extract`] —
+    /// that method routes through this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::NoPads`] when the grid has no pads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rough_drop.len() != grid.nodes.len()` or the
+    /// structural maps' size disagrees with the configured raster.
+    pub fn extract_with_structural(
+        &self,
+        grid: &PowerGrid,
+        rough_drop: &[f64],
+        structural: &StructuralMaps,
+    ) -> Result<FeatureStack, FeatureError> {
+        if grid.pads.is_empty() {
+            return Err(FeatureError::NoPads);
+        }
+        let mut span = irf_trace::span("feature_stack");
+        let raster = self.rasterizer(grid);
+        let amps = Normalization::Fixed(CURRENT_SCALE);
+        let volts = Normalization::Fixed(VOLT_SCALE);
         // Every map group is independent of the others, so they are
         // computed concurrently; channel order is fixed by how the
         // results are assembled below, not by completion order.
@@ -208,43 +308,13 @@ impl FeatureExtractor {
             Layers(&'static str, Vec<(u32, GridMap)>),
         }
         let r = &raster;
-        let mut tasks: Vec<Box<dyn FnOnce() -> Group + Send>> = vec![
-            Box::new(move || {
-                let _s = irf_trace::span("feature/current_total");
-                Group::One(
-                    "current/total",
-                    normalize(&total_current_map(grid, r), amps),
-                )
-            }),
-            Box::new(move || {
-                let _s = irf_trace::span("feature/effective_distance");
-                Group::One(
-                    "distance/effective",
-                    normalize(&effective_distance_map(grid, r), dist),
-                )
-            }),
-            Box::new(move || {
-                let _s = irf_trace::span("feature/pdn_density");
-                Group::One("density/pdn", normalize(&pdn_density_map(grid, r), norm))
-            }),
-            Box::new(move || {
-                let _s = irf_trace::span("feature/resistance_map");
-                Group::One("resistance/map", normalize(&resistance_map(grid, r), norm))
-            }),
-            Box::new({
-                let sp_values = &sp_values;
-                move || {
-                    let _s = irf_trace::span("feature/shortest_path_rasterize");
-                    Group::One(
-                        "resistance/shortest_path",
-                        normalize(
-                            &shortest_path::rasterize_per_node(grid, sp_values, r),
-                            path_r,
-                        ),
-                    )
-                }
-            }),
-        ];
+        let mut tasks: Vec<Box<dyn FnOnce() -> Group + Send>> = vec![Box::new(move || {
+            let _s = irf_trace::span("feature/current_total");
+            Group::One(
+                "current/total",
+                normalize(&total_current_map(grid, r), amps),
+            )
+        })];
         if self.config.hierarchical {
             tasks.push(Box::new(move || {
                 let _s = irf_trace::span("feature/layer_currents");
@@ -269,8 +339,18 @@ impl FeatureExtractor {
                 )
             }));
         }
+        let mut groups = irf_runtime::par_map(tasks).into_iter();
         let mut stack = FeatureStack::default();
-        for group in irf_runtime::par_map(tasks) {
+        let total = match groups.next().expect("current/total group") {
+            Group::One(name, m) => (name, m),
+            Group::Layers(..) => unreachable!("first group is current/total"),
+        };
+        stack.push(total.0, total.1);
+        stack.push("distance/effective", structural.distance.clone());
+        stack.push("density/pdn", structural.density.clone());
+        stack.push("resistance/map", structural.resistance.clone());
+        stack.push("resistance/shortest_path", structural.shortest_path.clone());
+        for group in groups {
             match group {
                 Group::One(name, m) => stack.push(name, m),
                 Group::Layers(prefix, maps) => {
@@ -386,6 +466,24 @@ I1 n1_m1_1000_0 0 1m
         let m0 = &stack.maps()[0];
         let r0 = &rot.maps()[0];
         assert_eq!(m0.get(0, 0), r0.get(7, 7));
+    }
+
+    #[test]
+    fn structural_reuse_is_bitwise_identical() {
+        let g = grid();
+        let ex = FeatureExtractor::new(config());
+        let drops = vec![0.0005; g.nodes.len()];
+        let cold = ex.extract(&g, &drops).unwrap();
+        let structural = ex.structural(&g).unwrap();
+        let warm = ex.extract_with_structural(&g, &drops, &structural).unwrap();
+        assert_eq!(cold, warm);
+        // The structural maps never depend on the loads: recomputing
+        // them after a current edit yields the exact same channels.
+        let mut edited = g.clone();
+        for l in &mut edited.loads {
+            l.amps *= 3.0;
+        }
+        assert_eq!(ex.structural(&edited).unwrap(), structural);
     }
 
     #[test]

@@ -3,7 +3,11 @@
 use std::error::Error;
 use std::fmt;
 
-/// Error building a [`crate::PowerGrid`] from a netlist.
+/// Error building or using a [`crate::PowerGrid`] model.
+///
+/// Also exported as [`PgError`](crate::PgError): malformed grids and
+/// bad simulation parameters surface as errors rather than panics,
+/// following the same convention as `FeatureError::NoPads` upstream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ModelError {
     /// A resistor had a non-positive resistance.
@@ -20,6 +24,38 @@ pub enum ModelError {
         /// Element name.
         name: String,
     },
+    /// A segment, load, or pad referenced a node index outside the
+    /// grid's node list.
+    InvalidNodeIndex {
+        /// Which element kind held the bad reference.
+        what: &'static str,
+        /// The out-of-range index.
+        index: usize,
+        /// Number of nodes in the grid.
+        nodes: usize,
+    },
+    /// A numeric parameter that must be strictly positive was not.
+    NonPositiveParameter {
+        /// Parameter name.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A vector length disagreed with the model dimension.
+    DimensionMismatch {
+        /// What was being checked.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// The assembled system could not be factored (not positive
+    /// definite; indicates a floating grid).
+    NotPositiveDefinite {
+        /// Underlying solver diagnostic.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -31,6 +67,25 @@ impl fmt::Display for ModelError {
             ModelError::NoPads => write!(f, "design has no voltage source (floating grid)"),
             ModelError::UngroundedSource { name } => {
                 write!(f, "voltage source '{name}' is not referenced to ground")
+            }
+            ModelError::InvalidNodeIndex { what, index, nodes } => {
+                write!(
+                    f,
+                    "{what} references node {index}, but grid has {nodes} nodes"
+                )
+            }
+            ModelError::NonPositiveParameter { what, value } => {
+                write!(f, "{what} must be positive, got {value}")
+            }
+            ModelError::DimensionMismatch {
+                what,
+                expected,
+                got,
+            } => {
+                write!(f, "{what}: expected length {expected}, got {got}")
+            }
+            ModelError::NotPositiveDefinite { detail } => {
+                write!(f, "system is not positive definite ({detail})")
             }
         }
     }

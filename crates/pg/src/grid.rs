@@ -163,16 +163,30 @@ impl PowerGrid {
 
     /// Supply voltage: the maximum pad voltage.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the grid has no pads (cannot happen for grids built
-    /// by [`PowerGrid::from_netlist`]).
-    #[must_use]
-    pub fn vdd(&self) -> f64 {
+    /// Returns [`ModelError::NoPads`] if the grid has no pads (cannot
+    /// happen for grids built by [`PowerGrid::from_netlist`]).
+    pub fn try_vdd(&self) -> Result<f64, ModelError> {
         self.pads
             .iter()
             .map(|p| p.volts)
-            .fold(f64::NEG_INFINITY, f64::max)
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+            .ok_or(ModelError::NoPads)
+    }
+
+    /// Supply voltage: the maximum pad voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid has no pads (cannot happen for grids built
+    /// by [`PowerGrid::from_netlist`]); use [`PowerGrid::try_vdd`] for
+    /// grids of unknown provenance.
+    #[must_use]
+    pub fn vdd(&self) -> f64 {
+        self.try_vdd().expect("grid has no pads")
     }
 
     /// Sorted list of metal layers present.
@@ -222,6 +236,22 @@ impl PowerGrid {
 
     /// Builds the reduced SPD system in IR-drop coordinates.
     /// See [`PgSystem`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidNodeIndex`] when a segment, load,
+    /// or pad references a node outside the grid's node list.
+    pub fn try_build_system(&self) -> Result<PgSystem, ModelError> {
+        PgSystem::try_build(self)
+    }
+
+    /// Builds the reduced SPD system in IR-drop coordinates.
+    /// See [`PgSystem`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed grids; use [`PowerGrid::try_build_system`]
+    /// for grids of unknown provenance.
     #[must_use]
     pub fn build_system(&self) -> PgSystem {
         PgSystem::build(self)

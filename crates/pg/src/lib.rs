@@ -46,6 +46,11 @@ pub mod transient;
 pub use error::ModelError;
 pub use grid::{Load, Pad, PgNode, PowerGrid, Segment};
 pub use raster::{GridMap, Rasterizer};
-pub use stamp::PgSystem;
+pub use stamp::{PgStructure, PgSystem};
+
+/// The power-grid model error type. Alias for [`ModelError`]: malformed
+/// grids and bad simulation parameters surface as `Err(PgError)` rather
+/// than panics.
+pub type PgError = ModelError;
 pub use stats::DesignStats;
 pub use transient::TransientSim;

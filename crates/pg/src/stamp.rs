@@ -1,21 +1,27 @@
 //! MNA assembly of the reduced SPD system in IR-drop coordinates.
+//!
+//! Assembly is split along the stage-graph boundary the incremental
+//! pipeline exploits: [`PgStructure`] is the *topology-only* artifact
+//! (conductance matrix + node/row maps, determined by nodes, segments,
+//! and the pad set — never by loads), while the right-hand side is a
+//! cheap function of the load currents ([`PgStructure::rhs`]). A
+//! current-only edit therefore reuses the assembled matrix verbatim.
 
-use crate::grid::PowerGrid;
+use crate::error::ModelError;
+use crate::grid::{Load, PowerGrid};
 use irf_sparse::{CsrMatrix, TripletMatrix};
 
-/// The reduced linear system `G d = I` of a power grid, expressed in
-/// IR-drop coordinates `d_i = Vdd - v_i`.
+/// The topology half of the reduced system `G d = I`: the conductance
+/// matrix over non-pad nodes and the grid-node ↔ reduced-row maps.
 ///
 /// Pads are Dirichlet nodes with `d = 0`; their coupling conductances
 /// are folded into the diagonal of their neighbours, which keeps the
 /// system symmetric positive definite and strictly diagonally dominant
-/// at pad neighbours. Solving yields the per-node IR drop directly.
+/// at pad neighbours. Nothing here depends on the load currents.
 #[derive(Debug, Clone, PartialEq)]
-pub struct PgSystem {
+pub struct PgStructure {
     /// Reduced conductance matrix over non-pad nodes.
     pub matrix: CsrMatrix,
-    /// Load-current right-hand side (amperes).
-    pub rhs: Vec<f64>,
     /// For each grid node index, its row in the reduced system
     /// (`None` for pads).
     pub index_of: Vec<Option<usize>>,
@@ -23,18 +29,40 @@ pub struct PgSystem {
     pub node_of: Vec<usize>,
 }
 
-impl PgSystem {
-    /// Assembles the reduced system from a power grid.
+impl PgStructure {
+    /// Assembles the conductance matrix and node maps from a grid.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a segment references an out-of-range node (cannot
+    /// Returns [`ModelError::InvalidNodeIndex`] when a segment, load,
+    /// or pad references a node outside the grid's node list (cannot
     /// happen for grids produced by
     /// [`PowerGrid::from_netlist`](crate::PowerGrid::from_netlist)).
-    #[must_use]
-    pub fn build(grid: &PowerGrid) -> Self {
-        let mut span = irf_trace::span("mna_assembly");
+    pub fn try_build(grid: &PowerGrid) -> Result<Self, ModelError> {
         let n_nodes = grid.nodes.len();
+        let bad_index = |what: &'static str, index: usize| ModelError::InvalidNodeIndex {
+            what,
+            index,
+            nodes: n_nodes,
+        };
+        for s in &grid.segments {
+            for idx in [s.a, s.b] {
+                if idx >= n_nodes {
+                    return Err(bad_index("segment", idx));
+                }
+            }
+        }
+        for l in &grid.loads {
+            if l.node >= n_nodes {
+                return Err(bad_index("load", l.node));
+            }
+        }
+        for p in &grid.pads {
+            if p.node >= n_nodes {
+                return Err(bad_index("pad", p.node));
+            }
+        }
+        let mut span = irf_trace::span("mna_assembly");
         let mut index_of = vec![None; n_nodes];
         let mut node_of = Vec::new();
         for (i, node) in grid.nodes.iter().enumerate() {
@@ -54,12 +82,6 @@ impl PgSystem {
                 (None, None) => {} // pad-to-pad segment carries no unknown
             }
         }
-        let mut rhs = vec![0.0; n];
-        for l in &grid.loads {
-            if let Some(row) = index_of[l.node] {
-                rhs[row] += l.amps;
-            }
-        }
         let matrix = t.to_csr();
         if span.is_recording() {
             span.attr("grid_nodes", n_nodes);
@@ -67,11 +89,113 @@ impl PgSystem {
             span.attr("nnz", matrix.nnz());
             span.attr("segments", grid.segments.len());
         }
-        PgSystem {
+        Ok(PgStructure {
             matrix,
-            rhs,
             index_of,
             node_of,
+        })
+    }
+
+    /// Assembles the structure, panicking on malformed grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`PgStructure::try_build`] would error.
+    #[must_use]
+    pub fn build(grid: &PowerGrid) -> Self {
+        Self::try_build(grid).expect("malformed power grid")
+    }
+
+    /// Dimension of the reduced system.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// Builds the load-current right-hand side for this structure —
+    /// the only part of the system that depends on the current vector.
+    /// Loads on pads (or out-of-range nodes) contribute nothing.
+    #[must_use]
+    pub fn rhs(&self, loads: &[Load]) -> Vec<f64> {
+        let mut rhs = vec![0.0; self.dim()];
+        for l in loads {
+            if let Some(Some(row)) = self.index_of.get(l.node) {
+                rhs[*row] += l.amps;
+            }
+        }
+        rhs
+    }
+
+    /// Expands a reduced solution to per-grid-node IR drops (pads get
+    /// exactly `0.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reduced.len() != self.dim()`.
+    #[must_use]
+    pub fn expand_solution(&self, reduced: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            reduced.len(),
+            self.dim(),
+            "reduced solution length mismatch"
+        );
+        let mut full = vec![0.0; self.index_of.len()];
+        for (row, &node) in self.node_of.iter().enumerate() {
+            full[node] = reduced[row];
+        }
+        full
+    }
+}
+
+/// The reduced linear system `G d = I` of a power grid, expressed in
+/// IR-drop coordinates `d_i = Vdd - v_i`: a [`PgStructure`] plus the
+/// load-current right-hand side. Solving yields per-node IR drops
+/// directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PgSystem {
+    /// Reduced conductance matrix over non-pad nodes.
+    pub matrix: CsrMatrix,
+    /// Load-current right-hand side (amperes).
+    pub rhs: Vec<f64>,
+    /// For each grid node index, its row in the reduced system
+    /// (`None` for pads).
+    pub index_of: Vec<Option<usize>>,
+    /// Reduced row -> grid node index.
+    pub node_of: Vec<usize>,
+}
+
+impl PgSystem {
+    /// Assembles the reduced system from a power grid.
+    ///
+    /// # Errors
+    ///
+    /// See [`PgStructure::try_build`].
+    pub fn try_build(grid: &PowerGrid) -> Result<Self, ModelError> {
+        let structure = PgStructure::try_build(grid)?;
+        Ok(Self::from_structure(structure, &grid.loads))
+    }
+
+    /// Assembles the reduced system from a power grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a segment references an out-of-range node (cannot
+    /// happen for grids produced by
+    /// [`PowerGrid::from_netlist`](crate::PowerGrid::from_netlist)).
+    #[must_use]
+    pub fn build(grid: &PowerGrid) -> Self {
+        Self::try_build(grid).expect("malformed power grid")
+    }
+
+    /// Combines an already-assembled structure with a load vector.
+    #[must_use]
+    pub fn from_structure(structure: PgStructure, loads: &[Load]) -> Self {
+        let rhs = structure.rhs(loads);
+        PgSystem {
+            matrix: structure.matrix,
+            rhs,
+            index_of: structure.index_of,
+            node_of: structure.node_of,
         }
     }
 

@@ -9,10 +9,11 @@
 //! Cholesky factorization reused across every step — exactly why
 //! direct solvers win in the constant-step regime.
 
+use crate::error::ModelError;
 use crate::grid::PowerGrid;
 use crate::stamp::PgSystem;
 use irf_sparse::cholesky::CholeskyFactor;
-use irf_sparse::{SolveError, TripletMatrix};
+use irf_sparse::TripletMatrix;
 
 /// A prepared transient simulator over a fixed grid and time step.
 #[derive(Debug)]
@@ -35,12 +36,27 @@ impl TransientSim {
     ///
     /// # Errors
     ///
-    /// Returns [`SolveError`] when the stepped system cannot be
-    /// factored (non-SPD; indicates a floating grid).
-    pub fn new(grid: &PowerGrid, cap_farads: f64, dt_seconds: f64) -> Result<Self, SolveError> {
-        assert!(cap_farads > 0.0, "transient: capacitance must be positive");
-        assert!(dt_seconds > 0.0, "transient: dt must be positive");
-        let system = grid.build_system();
+    /// Returns [`ModelError::NonPositiveParameter`] for non-positive
+    /// `cap_farads` / `dt_seconds`, [`ModelError::InvalidNodeIndex`]
+    /// for malformed grids, and [`ModelError::NotPositiveDefinite`]
+    /// when the stepped system cannot be factored (indicates a
+    /// floating grid).
+    pub fn new(grid: &PowerGrid, cap_farads: f64, dt_seconds: f64) -> Result<Self, ModelError> {
+        // `is_nan() ||` keeps NaN on the error path (NaN fails every
+        // ordered comparison).
+        if cap_farads.is_nan() || cap_farads <= 0.0 {
+            return Err(ModelError::NonPositiveParameter {
+                what: "transient capacitance",
+                value: cap_farads,
+            });
+        }
+        if dt_seconds.is_nan() || dt_seconds <= 0.0 {
+            return Err(ModelError::NonPositiveParameter {
+                what: "transient dt",
+                value: dt_seconds,
+            });
+        }
+        let system = grid.try_build_system()?;
         let n = system.dim();
         let c_over_h = vec![cap_farads / dt_seconds; n];
         // A = G + C/h (diagonal lump).
@@ -51,7 +67,10 @@ impl TransientSim {
         for (i, &coh) in c_over_h.iter().enumerate() {
             t.push(i, i, coh);
         }
-        let factor = CholeskyFactor::factor(&t.to_csr())?;
+        let factor =
+            CholeskyFactor::factor(&t.to_csr()).map_err(|e| ModelError::NotPositiveDefinite {
+                detail: e.to_string(),
+            })?;
         Ok(TransientSim {
             system,
             factor,
@@ -76,11 +95,18 @@ impl TransientSim {
     /// (amperes; use [`PgSystem::index_of`] to map node indices).
     /// Returns the worst drop after the step.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `loads.len() != self.dim()`.
-    pub fn step(&mut self, loads: &[f64]) -> f64 {
-        assert_eq!(loads.len(), self.dim(), "transient: load length mismatch");
+    /// Returns [`ModelError::DimensionMismatch`] if
+    /// `loads.len() != self.dim()`.
+    pub fn step(&mut self, loads: &[f64]) -> Result<f64, ModelError> {
+        if loads.len() != self.dim() {
+            return Err(ModelError::DimensionMismatch {
+                what: "transient load vector",
+                expected: self.dim(),
+                got: loads.len(),
+            });
+        }
         let rhs: Vec<f64> = self
             .c_over_h
             .iter()
@@ -89,16 +115,17 @@ impl TransientSim {
             .map(|((coh, d), i)| coh * d + i)
             .collect();
         self.state = self.factor.solve(&rhs);
-        self.state.iter().cloned().fold(0.0, f64::max)
+        Ok(self.state.iter().cloned().fold(0.0, f64::max))
     }
 
     /// Runs `steps` steps with a constant load vector, returning the
     /// worst drop after each step (the classic RC charge-up curve).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `loads.len() != self.dim()`.
-    pub fn run_constant(&mut self, loads: &[f64], steps: usize) -> Vec<f64> {
+    /// Returns [`ModelError::DimensionMismatch`] if
+    /// `loads.len() != self.dim()`.
+    pub fn run_constant(&mut self, loads: &[f64], steps: usize) -> Result<Vec<f64>, ModelError> {
         (0..steps).map(|_| self.step(loads)).collect()
     }
 
@@ -135,7 +162,7 @@ I1 b 0 1m
         let mut sim = TransientSim::new(&g, 1e-9, 1e-9).expect("SPD");
         let loads = static_loads(sim.system());
         // Many time constants later the drop settles at the DC value.
-        let curve = sim.run_constant(&loads, 200);
+        let curve = sim.run_constant(&loads, 200).expect("step");
         let sys = g.build_system();
         let dc = Solver::new(SolverKind::Cholesky).solve(&sys.matrix, &sys.rhs);
         let dc_worst = dc.x.iter().cloned().fold(0.0, f64::max);
@@ -151,7 +178,7 @@ I1 b 0 1m
         let g = grid();
         let mut sim = TransientSim::new(&g, 1e-9, 1e-10).expect("SPD");
         let loads = static_loads(sim.system());
-        let curve = sim.run_constant(&loads, 50);
+        let curve = sim.run_constant(&loads, 50).expect("step");
         for pair in curve.windows(2) {
             assert!(pair[1] >= pair[0] - 1e-15, "drop must rise monotonically");
         }
@@ -164,11 +191,11 @@ I1 b 0 1m
         let g = grid();
         let mut sim = TransientSim::new(&g, 1e-9, 1e-10).expect("SPD");
         let loads = static_loads(sim.system());
-        sim.run_constant(&loads, 100);
+        sim.run_constant(&loads, 100).expect("step");
         let zero = vec![0.0; sim.dim()];
         // Slowest mode decays as (C/h) / (C/h + lambda_min) per step;
         // 800 steps cover many time constants of this RC chain.
-        let decay = sim.run_constant(&zero, 800);
+        let decay = sim.run_constant(&zero, 800).expect("step");
         assert!(*decay.last().unwrap() < 1e-9, "drops must decay to zero");
         for pair in decay.windows(2) {
             assert!(pair[1] <= pair[0] + 1e-15, "decay must be monotone");
@@ -181,7 +208,7 @@ I1 b 0 1m
         let reach = |cap: f64| {
             let mut sim = TransientSim::new(&g, cap, 1e-10).expect("SPD");
             let loads = static_loads(sim.system());
-            let curve = sim.run_constant(&loads, 10);
+            let curve = sim.run_constant(&loads, 10).expect("step");
             *curve.last().unwrap()
         };
         let fast = reach(1e-10);
@@ -199,7 +226,7 @@ I1 b 0 1m
         let g = grid();
         let mut sim = TransientSim::new(&g, 1e-9, 1e-10).expect("SPD");
         let loads = static_loads(sim.system());
-        let curve = sim.run_constant(&loads, 500);
+        let curve = sim.run_constant(&loads, 500).expect("step");
         let sys = g.build_system();
         let dc = Solver::new(SolverKind::Cholesky).solve(&sys.matrix, &sys.rhs);
         let dc_worst = dc.x.iter().cloned().fold(0.0, f64::max);

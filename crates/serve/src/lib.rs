@@ -11,10 +11,13 @@
 //!   per-sample values with identical serial loops, the batched pass
 //!   is bitwise identical to running each request alone — batching is
 //!   purely a throughput optimization.
-//! - **Feature-stack caching** ([`ir_fusion::FeatureCache`]): prepared
-//!   solver/feature stacks are cached by a content fingerprint of the
-//!   design, so repeated requests skip the dominant preparation cost.
-//!   The same cache object backs the CLI training path.
+//! - **Stage-artifact caching** ([`ir_fusion::StageStore`]): every
+//!   pipeline stage (assembled MNA system, AMG solver setup, rough
+//!   solution, structural feature maps, prepared stack) is cached
+//!   under a content fingerprint of exactly the inputs that determine
+//!   it, so repeated requests skip the dominant preparation cost and
+//!   `POST /whatif` re-analyzes a current edit while reusing the
+//!   matrix and AMG hierarchy verbatim.
 //! - **Bounded queues everywhere**: the predict queue rejects beyond
 //!   its capacity (HTTP 429) instead of building unbounded backlog.
 //!

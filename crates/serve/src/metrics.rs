@@ -9,7 +9,7 @@
 //! (`irf_pcg_iterations`, `irf_amg_levels`,
 //! `irf_stage_seconds_total{stage="pcg_solve"}`, ...).
 
-use ir_fusion::FeatureCache;
+use ir_fusion::{Stage, StageStore};
 use irf_trace::{MetricKind, MetricsRegistry};
 use std::sync::Arc;
 
@@ -106,27 +106,32 @@ impl ServerMetrics {
         r.describe(
             "irf_cache_hits_total",
             MetricKind::Counter,
-            "Feature-stack cache hits.",
+            "Stage-store hits across all stages.",
         );
         r.describe(
             "irf_cache_misses_total",
             MetricKind::Counter,
-            "Feature-stack cache misses.",
+            "Stage-store misses across all stages.",
         );
         r.describe(
             "irf_cache_singleflight_total",
             MetricKind::Counter,
-            "Feature preparations saved by single-flighting concurrent misses.",
+            "Stage computations saved by single-flighting concurrent misses.",
         );
         r.describe(
             "irf_cache_hit_rate",
             MetricKind::Gauge,
-            "Feature-stack cache hit fraction.",
+            "Stage-store hit fraction across all stages.",
         );
         r.describe(
             "irf_cache_entries",
             MetricKind::Gauge,
-            "Cached feature stacks.",
+            "Cached stage artifacts.",
+        );
+        r.describe(
+            "irf_stage_cache_events_total",
+            MetricKind::Counter,
+            "Stage-store events (hit/miss/coalesced/eviction) by pipeline stage.",
         );
         r.describe(
             "irf_model_reloads_total",
@@ -186,13 +191,16 @@ impl ServerMetrics {
         r.counter_add("irf_stage_requests_total", &[("stage", stage)], 1.0);
     }
 
-    /// Renders the Prometheus text exposition, folding in the feature
-    /// cache's counters. Because every subsystem shares the registry,
-    /// the output also carries solver telemetry published outside the
-    /// server (PCG iterations, AMG hierarchy stats, per-stage solver
-    /// seconds).
+    /// Renders the Prometheus text exposition, folding in the stage
+    /// store's counters — both the aggregate `irf_cache_*` series and
+    /// the per-stage `irf_stage_cache_events_total` breakdown that
+    /// makes warm what-if reuse visible (assembled / solver-setup /
+    /// structural hits climbing while rough / stack miss). Because
+    /// every subsystem shares the registry, the output also carries
+    /// solver telemetry published outside the server (PCG iterations,
+    /// AMG hierarchy stats, per-stage solver seconds).
     #[must_use]
-    pub fn render(&self, cache: &FeatureCache) -> String {
+    pub fn render(&self, cache: &StageStore) -> String {
         let r = self.registry();
         r.counter_set("irf_cache_hits_total", &[], cache.hits() as f64);
         r.counter_set("irf_cache_misses_total", &[], cache.misses() as f64);
@@ -203,6 +211,21 @@ impl ServerMetrics {
         );
         r.gauge_set("irf_cache_hit_rate", &[], cache.hit_rate());
         r.gauge_set("irf_cache_entries", &[], cache.len() as f64);
+        for stage in Stage::ALL {
+            let c = cache.stage_counters(stage);
+            for (event, value) in [
+                ("hit", c.hits),
+                ("miss", c.misses),
+                ("coalesced", c.coalesced),
+                ("eviction", c.evictions),
+            ] {
+                r.counter_set(
+                    "irf_stage_cache_events_total",
+                    &[("stage", stage.label()), ("event", event)],
+                    value as f64,
+                );
+            }
+        }
         r.render()
     }
 }
@@ -226,9 +249,15 @@ mod tests {
         m.observe_batch(3);
         m.observe_stage("prepare", 0.5);
         m.observe_stage("prepare", 0.25);
-        let cache = FeatureCache::new(4);
+        let cache = StageStore::new(4);
+        assert!(cache.get(Stage::Stack, 1).is_none()); // one recorded miss
         let text = m.render(&cache);
         assert!(text.contains("irf_requests_total{route=\"predict\",status=\"200\"} 2"));
+        assert!(text.contains("irf_stage_cache_events_total{stage=\"stack\",event=\"miss\"} 1"));
+        assert!(
+            text.contains("irf_stage_cache_events_total{stage=\"solver_setup\",event=\"hit\"} 0")
+        );
+        assert!(text.contains("irf_cache_misses_total 1"));
         assert!(text.contains("irf_requests_total{route=\"predict\",status=\"429\"} 1"));
         assert!(text.contains("irf_batch_size_bucket{le=\"1\"} 1"));
         assert!(text.contains("irf_batch_size_bucket{le=\"3\"} 2"));
@@ -244,7 +273,7 @@ mod tests {
     #[test]
     fn reload_counter_starts_at_zero_and_increments() {
         let m = isolated(2);
-        let cache = FeatureCache::new(1);
+        let cache = StageStore::new(1);
         assert!(m.render(&cache).contains("irf_model_reloads_total 0"));
         m.observe_reload();
         m.observe_reload();
@@ -255,7 +284,7 @@ mod tests {
     fn oversized_batches_clamp_into_the_last_bucket() {
         let m = isolated(2);
         m.observe_batch(9);
-        let cache = FeatureCache::new(1);
+        let cache = StageStore::new(1);
         let text = m.render(&cache);
         assert!(text.contains("irf_batch_size_bucket{le=\"2\"} 1"));
         assert!(text.contains("irf_batch_size_sum 2"));
@@ -266,7 +295,7 @@ mod tests {
         let a = isolated(2);
         let b = isolated(2);
         a.observe_request("predict", 200);
-        let cache = FeatureCache::new(1);
+        let cache = StageStore::new(1);
         assert!(a.render(&cache).contains("irf_requests_total"));
         assert!(!b.render(&cache).contains("route=\"predict\""));
     }
@@ -279,7 +308,7 @@ mod tests {
         // side by side.
         let m = ServerMetrics::new(2);
         irf_trace::registry().gauge_set("irf_pcg_iterations", &[], 3.0);
-        let cache = FeatureCache::new(1);
+        let cache = StageStore::new(1);
         let text = m.render(&cache);
         assert!(text.contains("irf_pcg_iterations 3"));
     }

@@ -8,6 +8,11 @@
 //! - `GET /trace` — Chrome trace-event JSON of the most recent
 //!   `/predict` (load it in Perfetto / `chrome://tracing`).
 //! - `POST /predict` — run one design through the pipeline.
+//! - `POST /whatif` — incremental re-analysis: a base design
+//!   fingerprint (as reported by `/predict`) plus per-cell current
+//!   deltas. Rides the stage store's warm artifacts — the assembled
+//!   MNA system, AMG hierarchy and structural feature maps are reused
+//!   and only the rough solve, stack assembly and model forward run.
 //! - `POST /reload` — swap in a checkpoint (`{"model_path": ...}`)
 //!   without dropping in-flight requests: the batcher resolves the
 //!   model once per batch, so batches already collected finish on the
@@ -29,7 +34,7 @@ use crate::batch::{try_submit, BatchConfig, Batcher, ModelSlot, PredictJob, Subm
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::json::{obj, parse, Json};
 use crate::metrics::ServerMetrics;
-use ir_fusion::{design_fingerprint, FeatureCache, FusionConfig, IrFusionPipeline, TrainedModel};
+use ir_fusion::{design_fingerprint, FusionConfig, IrFusionPipeline, StageStore, TrainedModel};
 use irf_metrics::Timer;
 use irf_pg::{GridMap, PowerGrid};
 use std::io::BufReader;
@@ -49,7 +54,8 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Micro-batcher settings.
     pub batch: BatchConfig,
-    /// Feature-stack cache capacity (design count).
+    /// Stage-store capacity (artifacts per stage, roughly "designs
+    /// kept warm").
     pub cache_capacity: usize,
     /// Per-request read timeout. An idle keep-alive connection is
     /// closed silently when it expires; a connection that timed out
@@ -71,7 +77,7 @@ impl Default for ServerConfig {
 
 struct State {
     pipeline: IrFusionPipeline,
-    cache: Arc<FeatureCache>,
+    cache: Arc<StageStore>,
     metrics: Arc<ServerMetrics>,
     /// `None` once shutdown started (or when serving without a model
     /// was requested and no batcher exists).
@@ -114,7 +120,7 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let cache = Arc::new(FeatureCache::new(config.cache_capacity));
+        let cache = Arc::new(StageStore::new(config.cache_capacity));
         let metrics = Arc::new(ServerMetrics::new(config.batch.max_batch));
         let pipeline = IrFusionPipeline::new(fusion).with_cache(Arc::clone(&cache));
         let has_model = model.is_some();
@@ -186,9 +192,9 @@ impl Server {
         self.state.addr
     }
 
-    /// The feature cache (shared with the pipeline).
+    /// The stage-artifact store (shared with the pipeline).
     #[must_use]
-    pub fn cache(&self) -> &Arc<FeatureCache> {
+    pub fn cache(&self) -> &Arc<StageStore> {
         &self.state.cache
     }
 
@@ -316,6 +322,10 @@ fn route_request(
         ("POST", "/predict") => {
             let (status, body) = handle_predict(request, state);
             ("predict", status, "application/json", body)
+        }
+        ("POST", "/whatif") => {
+            let (status, body) = handle_whatif(request, state);
+            ("whatif", status, "application/json", body)
         }
         ("POST", "/reload") => {
             let (status, body) = handle_reload(request, state);
@@ -459,6 +469,7 @@ fn handle_predict(request: &Request, state: &Arc<State>) -> (u16, String) {
         (Err(message), _) => return (400, error_body(&message)),
     };
     state.metrics.observe_stage("parse", parse_seconds);
+    let grid = Arc::new(grid);
 
     let (stack, prepare_seconds) = Timer::time(|| state.pipeline.stack_builder().prepare(&grid));
     let stack = match stack {
@@ -471,38 +482,185 @@ fn handle_predict(request: &Request, state: &Arc<State>) -> (u16, String) {
         }
     };
     state.metrics.observe_stage("prepare", prepare_seconds);
+    // Register the parsed grid under its reported fingerprint so a
+    // later /whatif can start from it without re-sending the netlist.
+    state
+        .cache
+        .insert_parsed(stack.fingerprint, Arc::clone(&grid));
 
-    // Queue for the batched forward pass (when a model is loaded).
+    let (map, source) = match run_inference(state, &stack) {
+        Ok(ok) => ok,
+        Err(err) => return err,
+    };
+    (
+        200,
+        render_prediction(&grid, state, &map, source, &body, Vec::new()),
+    )
+}
+
+/// `POST /whatif` — incremental re-analysis of a previously predicted
+/// design under per-cell current deltas:
+///
+/// ```json
+/// {"base": "<16-hex design fingerprint>",
+///  "deltas": [{"node": 17, "amps": 0.002}, {"name": "n1_m1_0_0", "amps": -1e-3}]}
+/// ```
+///
+/// The base grid is looked up in the stage store's parsed stage (404
+/// when unknown — POST it to `/predict` first); the session walk then
+/// reuses every warm topology-keyed artifact and recomputes only the
+/// rough solve, the stack assembly and the model forward.
+fn handle_whatif(request: &Request, state: &Arc<State>) -> (u16, String) {
+    if state.shutting_down.load(Ordering::SeqCst) {
+        return (503, error_body("shutting down"));
+    }
+    let _trace = TraceScope {
+        collector: irf_trace::Collector::install(),
+        state,
+    };
+    let _span = irf_trace::span("whatif_request");
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return (400, error_body("body is not utf-8")),
+    };
+    let body = match parse(text) {
+        Ok(body) => body,
+        Err(error) => return (400, error_body(&error.to_string())),
+    };
+    let Some(base) = body.get("base").and_then(Json::as_str) else {
+        return (
+            400,
+            error_body("request needs base (a /predict design fingerprint)"),
+        );
+    };
+    let Ok(fingerprint) = u64::from_str_radix(base, 16) else {
+        return (400, error_body("base must be a hex fingerprint"));
+    };
+    let Some(grid) = state.cache.get_parsed(fingerprint) else {
+        return (
+            404,
+            error_body("unknown base design; POST it to /predict first"),
+        );
+    };
+    let deltas = match parse_deltas(&body, &grid) {
+        Ok(deltas) => deltas,
+        Err(message) => return (400, error_body(&message)),
+    };
+
+    let session = state
+        .pipeline
+        .session(Arc::clone(&grid))
+        .with_current_deltas(&deltas);
+    let (stack, prepare_seconds) = Timer::time(|| session.prepare());
+    let stack = match stack {
+        Ok(stack) => stack,
+        Err(error) => {
+            return (
+                400,
+                error_body(&format!("cannot prepare features: {error}")),
+            )
+        }
+    };
+    state
+        .metrics
+        .observe_stage("whatif_prepare", prepare_seconds);
+    // The edited design is itself a valid base for further what-ifs.
+    state
+        .cache
+        .insert_parsed(stack.fingerprint, Arc::clone(session.grid()));
+
+    let (map, source) = match run_inference(state, &stack) {
+        Ok(ok) => ok,
+        Err(err) => return err,
+    };
+    let extra = vec![
+        ("base", Json::Str(format!("{fingerprint:016x}"))),
+        ("deltas_applied", Json::Num(deltas.len() as f64)),
+    ];
+    (
+        200,
+        render_prediction(session.grid(), state, &map, source, &body, extra),
+    )
+}
+
+/// Parses the `deltas` array of a `/whatif` body into `(node, amps)`
+/// pairs, resolving node names against the base grid.
+fn parse_deltas(body: &Json, grid: &PowerGrid) -> Result<Vec<(usize, f64)>, String> {
+    let Some(Json::Arr(items)) = body.get("deltas") else {
+        return Err("request needs deltas (an array of {node|name, amps})".to_string());
+    };
+    let mut deltas = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let Some(amps) = item.get("amps").and_then(Json::as_f64) else {
+            return Err(format!("deltas[{i}] needs a numeric amps"));
+        };
+        let node = if let Some(node) = item.get("node").and_then(Json::as_u64) {
+            let node = node as usize;
+            if node >= grid.nodes.len() {
+                return Err(format!(
+                    "deltas[{i}]: node {node} out of range ({} nodes)",
+                    grid.nodes.len()
+                ));
+            }
+            node
+        } else if let Some(name) = item.get("name").and_then(Json::as_str) {
+            match grid.nodes.iter().position(|n| n.name == name) {
+                Some(node) => node,
+                None => return Err(format!("deltas[{i}]: no node named {name:?}")),
+            }
+        } else {
+            return Err(format!("deltas[{i}] needs node (index) or name"));
+        };
+        deltas.push((node, amps));
+    }
+    Ok(deltas)
+}
+
+/// Queues one prepared stack for the batched forward pass (when a
+/// model is loaded), or falls back to the rough map.
+fn run_inference(
+    state: &Arc<State>,
+    stack: &Arc<ir_fusion::PreparedStack>,
+) -> Result<(GridMap, &'static str), (u16, String)> {
     let sender = state
         .predict_tx
         .lock()
         .expect("predict sender poisoned")
         .clone();
-    let (map, source) = match sender {
+    match sender {
         Some(tx) => {
             let (reply_tx, reply_rx) = mpsc::channel();
             let job = PredictJob {
-                stack: Arc::clone(&stack),
+                stack: Arc::clone(stack),
                 reply: reply_tx,
             };
             match try_submit(&tx, job) {
                 Ok(()) => {}
                 Err(SubmitError::QueueFull) => {
-                    return (429, error_body("predict queue is full, retry later"))
+                    return Err((429, error_body("predict queue is full, retry later")))
                 }
-                Err(SubmitError::Closed) => return (503, error_body("shutting down")),
+                Err(SubmitError::Closed) => return Err((503, error_body("shutting down"))),
             }
             let (received, infer_seconds) = Timer::time(|| reply_rx.recv());
             state.metrics.observe_stage("infer", infer_seconds);
             match received {
-                Ok(map) => (map, "fused"),
-                Err(mpsc::RecvError) => return (503, error_body("shutting down")),
+                Ok(map) => Ok((map, "fused")),
+                Err(mpsc::RecvError) => Err((503, error_body("shutting down"))),
             }
         }
-        None if state.has_model => return (503, error_body("shutting down")),
-        None => (stack.rough.clone(), "rough"),
-    };
+        None if state.has_model => Err((503, error_body("shutting down"))),
+        None => Ok((stack.rough.clone(), "rough")),
+    }
+}
 
+fn render_prediction(
+    grid: &PowerGrid,
+    state: &Arc<State>,
+    map: &GridMap,
+    source: &str,
+    body: &Json,
+    extra: Vec<(&'static str, Json)>,
+) -> String {
     let include_map = body
         .get("include_map")
         .and_then(Json::as_bool)
@@ -511,27 +669,14 @@ fn handle_predict(request: &Request, state: &Arc<State>) -> (u16, String) {
         .get("hotspot_threshold")
         .and_then(Json::as_f64)
         .unwrap_or_else(|| f64::from(map.max()) * 0.9);
-    (
-        200,
-        render_prediction(&grid, state, &map, source, threshold, include_map),
-    )
-}
-
-fn render_prediction(
-    grid: &PowerGrid,
-    state: &Arc<State>,
-    map: &GridMap,
-    source: &str,
-    threshold: f64,
-    include_map: bool,
-) -> String {
     let hotspot_count = map
         .data()
         .iter()
         .filter(|&&v| f64::from(v) >= threshold && v > 0.0)
         .count();
     let fingerprint = design_fingerprint(grid, state.pipeline.config());
-    let mut members = vec![
+    let mut members = extra;
+    members.extend(vec![
         ("design", Json::Str(format!("{fingerprint:016x}"))),
         ("source", Json::Str(source.to_string())),
         ("width", Json::Num(map.width() as f64)),
@@ -541,7 +686,7 @@ fn render_prediction(
         ("hotspot_threshold", Json::Num(threshold)),
         ("hotspot_count", Json::Num(hotspot_count as f64)),
         ("nodes", Json::Num(grid.nodes.len() as f64)),
-    ];
+    ]);
     if include_map {
         members.push((
             "map",

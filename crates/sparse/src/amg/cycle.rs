@@ -6,6 +6,7 @@ use crate::pcg::Preconditioner;
 use crate::smoother::{l1_diagonal, scaled_sweeps, smooth, SmootherKind};
 use crate::vector::dot;
 use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Which multigrid cycling strategy the preconditioner applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -46,11 +47,7 @@ pub enum CycleKind {
 /// ```
 #[derive(Debug, Clone)]
 pub struct AmgPreconditioner {
-    hierarchy: AmgHierarchy,
-    cycle: CycleKind,
-    /// Per-level smoothing diagonals, precomputed once for the
-    /// Jacobi-family smoothers (empty for Gauss-Seidel variants).
-    smoother_diag: Vec<Vec<f64>>,
+    core: Arc<AmgCore>,
     /// Per-level scratch for [`run_cycle`](Self::run_cycle), taken and
     /// restored around each level's work so repeated `apply` calls (one
     /// per PCG iteration) allocate nothing after warm-up.
@@ -59,6 +56,54 @@ pub struct AmgPreconditioner {
     /// separate from `v_scratch` because the K-cycle holds its buffers
     /// across a nested `run_cycle` at the same level).
     k_scratch: RefCell<Vec<KScratch>>,
+}
+
+/// The immutable, thread-safe part of an [`AmgPreconditioner`]: the
+/// hierarchy, the cycle choice, and the precomputed per-level smoother
+/// diagonals. An `Arc<AmgCore>` can be cached across solves and
+/// rewrapped per solve with [`AmgPreconditioner::from_core`], which
+/// only allocates fresh (empty) scratch pools — the expensive setup is
+/// shared verbatim, so warm solves are bitwise identical to cold ones.
+#[derive(Debug, Clone)]
+pub struct AmgCore {
+    hierarchy: AmgHierarchy,
+    cycle: CycleKind,
+    /// Per-level smoothing diagonals, precomputed once for the
+    /// Jacobi-family smoothers (empty for Gauss-Seidel variants).
+    smoother_diag: Vec<Vec<f64>>,
+}
+
+impl AmgCore {
+    /// Precomputes the smoother diagonals for a built hierarchy.
+    #[must_use]
+    pub fn new(hierarchy: AmgHierarchy, cycle: CycleKind) -> Self {
+        let smoother_diag = match hierarchy.params().smoother {
+            SmootherKind::Jacobi => hierarchy.levels().iter().map(|l| l.a.diagonal()).collect(),
+            SmootherKind::L1Jacobi => hierarchy
+                .levels()
+                .iter()
+                .map(|l| l1_diagonal(&l.a))
+                .collect(),
+            _ => Vec::new(),
+        };
+        AmgCore {
+            hierarchy,
+            cycle,
+            smoother_diag,
+        }
+    }
+
+    /// The wrapped hierarchy.
+    #[must_use]
+    pub fn hierarchy(&self) -> &AmgHierarchy {
+        &self.hierarchy
+    }
+
+    /// The cycling strategy.
+    #[must_use]
+    pub fn cycle(&self) -> CycleKind {
+        self.cycle
+    }
 }
 
 /// Scratch vectors for one level of a V-/K-cycle descent.
@@ -90,20 +135,17 @@ impl AmgPreconditioner {
     /// Wraps a built hierarchy with the chosen cycle.
     #[must_use]
     pub fn new(hierarchy: AmgHierarchy, cycle: CycleKind) -> Self {
-        let smoother_diag = match hierarchy.params().smoother {
-            SmootherKind::Jacobi => hierarchy.levels().iter().map(|l| l.a.diagonal()).collect(),
-            SmootherKind::L1Jacobi => hierarchy
-                .levels()
-                .iter()
-                .map(|l| l1_diagonal(&l.a))
-                .collect(),
-            _ => Vec::new(),
-        };
-        let n_levels = hierarchy.num_levels();
+        Self::from_core(Arc::new(AmgCore::new(hierarchy, cycle)))
+    }
+
+    /// Wraps a shared, already-built core with fresh scratch pools.
+    /// This is the warm path: a cached `Arc<AmgCore>` turns into a
+    /// ready preconditioner without redoing any setup work.
+    #[must_use]
+    pub fn from_core(core: Arc<AmgCore>) -> Self {
+        let n_levels = core.hierarchy.num_levels();
         AmgPreconditioner {
-            hierarchy,
-            cycle,
-            smoother_diag,
+            core,
             v_scratch: RefCell::new(vec![VScratch::default(); n_levels]),
             k_scratch: RefCell::new(vec![KScratch::default(); n_levels]),
         }
@@ -112,8 +154,8 @@ impl AmgPreconditioner {
     /// Applies this level's smoother, reusing the precomputed diagonal
     /// and the provided residual scratch for the Jacobi family.
     fn smooth_level(&self, level: usize, b: &[f64], x: &mut [f64], smooth_r: &mut Vec<f64>) {
-        let lvl = &self.hierarchy.levels()[level];
-        let params = self.hierarchy.params();
+        let lvl = &self.core.hierarchy.levels()[level];
+        let params = self.core.hierarchy.params();
         match params.smoother {
             SmootherKind::Jacobi | SmootherKind::L1Jacobi => {
                 let omega = if params.smoother == SmootherKind::Jacobi {
@@ -128,7 +170,7 @@ impl AmgPreconditioner {
                     x,
                     omega,
                     params.smoothing_sweeps,
-                    &self.smoother_diag[level],
+                    &self.core.smoother_diag[level],
                     smooth_r,
                 );
             }
@@ -139,23 +181,29 @@ impl AmgPreconditioner {
     /// The wrapped hierarchy.
     #[must_use]
     pub fn hierarchy(&self) -> &AmgHierarchy {
-        &self.hierarchy
+        self.core.hierarchy()
     }
 
     /// The cycling strategy.
     #[must_use]
     pub fn cycle(&self) -> CycleKind {
-        self.cycle
+        self.core.cycle
+    }
+
+    /// The shared core (hierarchy + smoother diagonals).
+    #[must_use]
+    pub fn core(&self) -> &Arc<AmgCore> {
+        &self.core
     }
 
     /// Runs one cycle on `A_level x = b`, updating `x` (which must be
     /// zero-initialised by the caller at the top level).
     fn run_cycle(&self, level: usize, b: &[f64], x: &mut [f64]) {
-        let levels = self.hierarchy.levels();
+        let levels = self.core.hierarchy.levels();
         let lvl = &levels[level];
         if lvl.agg.is_none() {
             // Coarsest level: exact solve.
-            self.hierarchy.coarse_solve(b, x);
+            self.core.hierarchy.coarse_solve(b, x);
             return;
         }
         let agg = lvl
@@ -174,7 +222,7 @@ impl AmgPreconditioner {
         restrict_into(agg, &s.r, &mut s.rc);
         s.xc.clear();
         s.xc.resize(agg.n_coarse, 0.0);
-        match self.cycle {
+        match self.core.cycle {
             CycleKind::VCycle => self.run_cycle(level + 1, &s.rc, &mut s.xc),
             CycleKind::KCycle => self.kcycle_coarse_solve(level + 1, &s.rc, &mut s.xc),
         }
@@ -187,7 +235,7 @@ impl AmgPreconditioner {
     /// Solves the coarse problem with at most two steps of flexible CG,
     /// each preconditioned by the next level's cycle (Notay's K-cycle).
     fn kcycle_coarse_solve(&self, level: usize, b: &[f64], x: &mut [f64]) {
-        let a = &self.hierarchy.levels()[level].a;
+        let a = &self.core.hierarchy.levels()[level].a;
         let n = b.len();
         // This level's K-cycle scratch; held across the nested
         // `run_cycle` calls, which use the separate `v_scratch` pool.

@@ -59,5 +59,5 @@ pub use csr::CsrMatrix;
 pub use error::SolveError;
 pub use ic0::Ic0Preconditioner;
 pub use pcg::{IdentityPreconditioner, JacobiPreconditioner, Preconditioner};
-pub use solver::{SolveReport, Solver, SolverKind};
+pub use solver::{SolveReport, Solver, SolverKind, SolverSetup};
 pub use triplet::TripletMatrix;

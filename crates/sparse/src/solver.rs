@@ -1,12 +1,13 @@
 //! Unified solver facade with timing and convergence reporting.
 
-use crate::amg::{AmgHierarchy, AmgParams, AmgPreconditioner, CycleKind};
+use crate::amg::{AmgCore, AmgHierarchy, AmgParams, AmgPreconditioner, CycleKind};
 use crate::cg::{conjugate_gradient, ConvergenceTrace};
 use crate::cholesky::CholeskyFactor;
 use crate::csr::CsrMatrix;
 use crate::ic0::Ic0Preconditioner;
 use crate::pcg::{pcg_with_guess, JacobiPreconditioner};
 use crate::vector::norm2;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which algorithm [`Solver`] dispatches to.
@@ -155,51 +156,171 @@ impl Solver {
     /// Solves `A x = b` starting from `x0` (iterative kinds only; the
     /// direct kind ignores the guess).
     ///
+    /// Internally routes through [`Solver::prepare`] followed by
+    /// [`SolverSetup::solve_with_guess`], so a cold solve and a solve
+    /// against a cached [`SolverSetup`] execute the exact same code and
+    /// produce bitwise-identical solutions.
+    ///
     /// # Panics
     ///
     /// See [`Solver::solve`].
     #[must_use]
     pub fn solve_with_guess(&self, a: &CsrMatrix, b: &[f64], x0: Vec<f64>) -> SolveReport {
-        match self.kind {
-            SolverKind::Cg => {
-                let t0 = Instant::now();
-                let res = conjugate_gradient(a, b, self.tol, self.max_iter);
-                finish_iterative(res, 0.0, t0.elapsed().as_secs_f64())
-            }
-            SolverKind::JacobiPcg => {
-                let t0 = Instant::now();
-                let m = JacobiPreconditioner::new(a);
-                let setup = t0.elapsed().as_secs_f64();
-                let t1 = Instant::now();
-                let res = pcg_with_guess(a, b, &m, x0, self.tol, self.max_iter);
-                finish_iterative(res, setup, t1.elapsed().as_secs_f64())
-            }
-            SolverKind::Ic0Pcg => {
-                let t0 = Instant::now();
-                let m = Ic0Preconditioner::factor(a).expect("matrix must be (near-)SPD for IC(0)");
-                let setup = t0.elapsed().as_secs_f64();
-                let t1 = Instant::now();
-                let res = pcg_with_guess(a, b, &m, x0, self.tol, self.max_iter);
-                finish_iterative(res, setup, t1.elapsed().as_secs_f64())
-            }
+        self.prepare(a).solve_with_guess(a, b, x0)
+    }
+
+    /// Runs the setup phase only — AMG hierarchy construction (plus
+    /// smoother diagonals), IC(0)/Cholesky factorization, or the
+    /// Jacobi diagonal — and returns a reusable [`SolverSetup`] handle
+    /// that can serve any number of right-hand sides against the same
+    /// matrix. This is the stage-graph `SolverSetup` artifact: for
+    /// re-analyses where only the current vector changed, the handle is
+    /// cached and the hierarchy is reused verbatim.
+    ///
+    /// Emits the `amg_setup` trace span and solver telemetry for the
+    /// AMG kinds, exactly as the one-shot [`Solver::solve`] path does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `A` is not square or (for factorizing kinds) not
+    /// positive definite.
+    #[must_use]
+    pub fn prepare(&self, a: &CsrMatrix) -> SolverSetup {
+        let t0 = Instant::now();
+        let inner = match self.kind {
+            SolverKind::Cg => Prepared::Bare,
+            SolverKind::JacobiPcg => Prepared::Jacobi(JacobiPreconditioner::new(a)),
+            SolverKind::Ic0Pcg => Prepared::Ic0(
+                Ic0Preconditioner::factor(a).expect("matrix must be (near-)SPD for IC(0)"),
+            ),
             SolverKind::AmgPcg | SolverKind::AmgPcgVCycle => {
                 let cycle = if self.kind == SolverKind::AmgPcg {
                     CycleKind::KCycle
                 } else {
                     CycleKind::VCycle
                 };
-                let t0 = Instant::now();
                 let mut setup_span = irf_trace::span("amg_setup");
                 let h = AmgHierarchy::build(a, self.amg_params);
                 record_amg_telemetry(&h, &mut setup_span);
-                let m = AmgPreconditioner::new(h, cycle);
+                let core = Arc::new(AmgCore::new(h, cycle));
                 drop(setup_span);
-                let setup = t0.elapsed().as_secs_f64();
                 irf_trace::registry().counter_add(
                     "irf_stage_seconds_total",
                     &[("stage", "amg_setup")],
-                    setup,
+                    t0.elapsed().as_secs_f64(),
                 );
+                Prepared::Amg(core)
+            }
+            SolverKind::Cholesky => Prepared::Cholesky(Arc::new(
+                CholeskyFactor::factor(a).expect("matrix must be SPD for Cholesky"),
+            )),
+        };
+        SolverSetup {
+            kind: self.kind,
+            tol: self.tol,
+            max_iter: self.max_iter,
+            dim: a.rows(),
+            setup_seconds: t0.elapsed().as_secs_f64(),
+            inner,
+        }
+    }
+}
+
+/// The prepared state a [`SolverSetup`] carries per solver kind.
+#[derive(Debug, Clone)]
+enum Prepared {
+    /// Plain CG needs no setup.
+    Bare,
+    Jacobi(JacobiPreconditioner),
+    Ic0(Ic0Preconditioner),
+    Amg(Arc<AmgCore>),
+    Cholesky(Arc<CholeskyFactor>),
+}
+
+/// A reusable, thread-safe solver handle produced by
+/// [`Solver::prepare`]: the setup artifacts (AMG hierarchy + smoother
+/// diagonals, factorizations, diagonals) bound to one matrix, ready to
+/// solve any number of right-hand sides without repeating setup.
+///
+/// Cloning is cheap (the heavy state is behind `Arc`s), and the handle
+/// is `Send + Sync`, so it can live in a shared stage-artifact cache.
+/// Solutions are bitwise identical to one-shot [`Solver::solve`] calls
+/// because that path routes through this type.
+#[derive(Debug, Clone)]
+pub struct SolverSetup {
+    kind: SolverKind,
+    tol: f64,
+    max_iter: usize,
+    dim: usize,
+    setup_seconds: f64,
+    inner: Prepared,
+}
+
+impl SolverSetup {
+    /// The solver kind this setup was prepared for.
+    #[must_use]
+    pub fn kind(&self) -> SolverKind {
+        self.kind
+    }
+
+    /// Dimension of the matrix this setup was prepared against.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Wall-clock seconds the setup phase took when it originally ran.
+    #[must_use]
+    pub fn setup_seconds(&self) -> f64 {
+        self.setup_seconds
+    }
+
+    /// Solves `A x = b` from a zero initial guess. `a` must be the
+    /// same matrix this setup was prepared against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions of `a` or `b` disagree with the
+    /// prepared dimension.
+    #[must_use]
+    pub fn solve(&self, a: &CsrMatrix, b: &[f64]) -> SolveReport {
+        self.solve_with_guess(a, b, vec![0.0; b.len()])
+    }
+
+    /// Solves `A x = b` starting from `x0` (iterative kinds only; the
+    /// direct kind ignores the guess). The reported `setup_seconds` is
+    /// the original preparation time, not time spent in this call.
+    ///
+    /// # Panics
+    ///
+    /// See [`SolverSetup::solve`].
+    #[must_use]
+    pub fn solve_with_guess(&self, a: &CsrMatrix, b: &[f64], x0: Vec<f64>) -> SolveReport {
+        assert_eq!(
+            a.rows(),
+            self.dim,
+            "SolverSetup was prepared for a {}-dim system",
+            self.dim
+        );
+        assert_eq!(b.len(), self.dim, "rhs length mismatch");
+        match &self.inner {
+            Prepared::Bare => {
+                let t0 = Instant::now();
+                let res = conjugate_gradient(a, b, self.tol, self.max_iter);
+                finish_iterative(res, self.setup_seconds, t0.elapsed().as_secs_f64())
+            }
+            Prepared::Jacobi(m) => {
+                let t0 = Instant::now();
+                let res = pcg_with_guess(a, b, m, x0, self.tol, self.max_iter);
+                finish_iterative(res, self.setup_seconds, t0.elapsed().as_secs_f64())
+            }
+            Prepared::Ic0(m) => {
+                let t0 = Instant::now();
+                let res = pcg_with_guess(a, b, m, x0, self.tol, self.max_iter);
+                finish_iterative(res, self.setup_seconds, t0.elapsed().as_secs_f64())
+            }
+            Prepared::Amg(core) => {
+                let m = AmgPreconditioner::from_core(Arc::clone(core));
                 let t1 = Instant::now();
                 let mut solve_span = irf_trace::span("pcg_solve");
                 let res = pcg_with_guess(a, b, &m, x0, self.tol, self.max_iter);
@@ -211,12 +332,9 @@ impl Solver {
                     &[("stage", "pcg_solve")],
                     solve,
                 );
-                finish_iterative(res, setup, solve)
+                finish_iterative(res, self.setup_seconds, solve)
             }
-            SolverKind::Cholesky => {
-                let t0 = Instant::now();
-                let f = CholeskyFactor::factor(a).expect("matrix must be SPD for Cholesky");
-                let setup = t0.elapsed().as_secs_f64();
+            Prepared::Cholesky(f) => {
                 let t1 = Instant::now();
                 let x = f.solve(b);
                 let solve_seconds = t1.elapsed().as_secs_f64();
@@ -229,7 +347,7 @@ impl Solver {
                     converged: true,
                     iterations: 0,
                     residual,
-                    setup_seconds: setup,
+                    setup_seconds: self.setup_seconds,
                     solve_seconds,
                     trace: ConvergenceTrace::default(),
                 }
@@ -420,6 +538,38 @@ mod tests {
         assert!(
             registry.get("irf_pcg_iterations_total", &[]).unwrap_or(0.0) >= r.iterations as f64
         );
+    }
+
+    #[test]
+    fn prepared_setup_reused_across_rhs_is_bitwise_identical() {
+        let a = grid(16, 16);
+        let b1 = vec![0.01; a.rows()];
+        let b2: Vec<f64> = (0..a.rows())
+            .map(|i| 0.01 + (i % 7) as f64 * 1e-4)
+            .collect();
+        for kind in [
+            SolverKind::Cg,
+            SolverKind::JacobiPcg,
+            SolverKind::Ic0Pcg,
+            SolverKind::AmgPcg,
+            SolverKind::AmgPcgVCycle,
+            SolverKind::Cholesky,
+        ] {
+            let solver = Solver::new(kind)
+                .with_tolerance(1e-12)
+                .with_max_iterations(8);
+            let setup = solver.prepare(&a);
+            assert_eq!(setup.kind(), kind);
+            assert_eq!(setup.dim(), a.rows());
+            // Same prepared handle serves two different right-hand
+            // sides, each bitwise identical to a one-shot cold solve.
+            for b in [&b1, &b2] {
+                let warm = setup.solve(&a, b);
+                let cold = solver.solve(&a, b);
+                assert_eq!(warm.x, cold.x, "{kind:?} warm != cold");
+                assert_eq!(warm.iterations, cold.iterations);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Stable, dependency-free design hashing.
+//!
+//! FNV-1a (64-bit): deterministic across processes and platforms —
+//! unlike `std::collections::hash_map::DefaultHasher`, which is
+//! randomly seeded per process. The stage-graph pipeline uses these
+//! hashes as content-addressed cache keys, so stability is the whole
+//! point: the same design must fingerprint identically in a server
+//! that has been restarted.
+
+/// An incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    const SEED: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Starts a fresh hash at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv1a(Self::SEED)
+    }
+
+    /// Folds raw bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds an `i64` (little-endian bytes).
+    pub fn write_i64(&mut self, v: i64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds an `f64` via its exact bit pattern, so the fingerprint
+    /// distinguishes every representable value (including `-0.0` from
+    /// `0.0`).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The current hash value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Fingerprints raw netlist source text. Used to memoize parses: two
+/// byte-identical sources always collide (that is the feature), while
+/// any edit — whitespace included — yields a fresh key.
+#[must_use]
+pub fn source_hash(src: &str) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(src.as_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn empty_is_offset_basis() {
+        assert_eq!(Fnv1a::new().finish(), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn f64_sign_matters() {
+        let mut a = Fnv1a::new();
+        a.write_f64(0.0);
+        let mut b = Fnv1a::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn source_hash_is_stable_and_edit_sensitive() {
+        let s = "R1 a b 1.0\n";
+        assert_eq!(source_hash(s), source_hash(s));
+        assert_ne!(source_hash(s), source_hash("R1 a b 1.1\n"));
+    }
+}

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod hash;
 pub mod lexer;
 pub mod netlist;
 pub mod parser;
@@ -42,6 +43,7 @@ pub mod value;
 pub mod writer;
 
 pub use error::ParseError;
+pub use hash::{source_hash, Fnv1a};
 pub use netlist::{CurrentSource, Netlist, NodeId, NodeInfo, Resistor, VoltageSource};
 pub use parser::{parse, parse_chunked};
 pub use writer::write;

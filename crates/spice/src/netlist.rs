@@ -246,11 +246,72 @@ impl Netlist {
     pub fn total_load_current(&self) -> f64 {
         self.current_sources.iter().map(|i| i.amps).sum()
     }
+
+    /// Stable content fingerprint of the whole design (FNV-1a 64).
+    ///
+    /// Hashes every node (name and interned order) and every element
+    /// with its exact parameter bits, so any electrical or naming
+    /// change yields a different value, while re-parsing the same
+    /// source — in this or any other process — always reproduces it.
+    /// This is the root fingerprint the stage-graph pipeline derives
+    /// its per-stage cache keys from.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::hash::Fnv1a::new();
+        h.write_u64(self.nodes.len() as u64);
+        for n in &self.nodes {
+            h.write(n.name.as_bytes());
+            h.write(&[0]);
+        }
+        h.write_u64(self.resistors.len() as u64);
+        for r in &self.resistors {
+            h.write(r.name.as_bytes());
+            h.write(&[0]);
+            h.write_u64(u64::from(r.a.0));
+            h.write_u64(u64::from(r.b.0));
+            h.write_f64(r.ohms);
+        }
+        h.write_u64(self.current_sources.len() as u64);
+        for i in &self.current_sources {
+            h.write(i.name.as_bytes());
+            h.write(&[0]);
+            h.write_u64(u64::from(i.from.0));
+            h.write_u64(u64::from(i.to.0));
+            h.write_f64(i.amps);
+        }
+        h.write_u64(self.voltage_sources.len() as u64);
+        for v in &self.voltage_sources {
+            h.write(v.name.as_bytes());
+            h.write(&[0]);
+            h.write_u64(u64::from(v.plus.0));
+            h.write_u64(u64::from(v.minus.0));
+            h.write_f64(v.volts);
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn content_hash_tracks_electrical_edits() {
+        let src = "V1 p 0 1.0\nR1 p a 1.0\nI1 a 0 1m\n";
+        let base = crate::parse(src).unwrap().content_hash();
+        // Re-parsing the same source reproduces the hash exactly.
+        assert_eq!(base, crate::parse(src).unwrap().content_hash());
+        // A current-only edit changes it...
+        let edited = crate::parse("V1 p 0 1.0\nR1 p a 1.0\nI1 a 0 2m\n")
+            .unwrap()
+            .content_hash();
+        assert_ne!(base, edited);
+        // ...and so does a topology edit.
+        let rewired = crate::parse("V1 p 0 1.0\nR1 p a 0.5\nI1 a 0 1m\n")
+            .unwrap()
+            .content_hash();
+        assert_ne!(base, rewired);
+    }
 
     #[test]
     fn ground_is_node_zero() {

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // 2 ns quiet, 0.5 ns event, 6 ns recovery.
         for (phase, steps) in [(&base, 20usize), (&event, 5), (&base, 60)] {
             for _ in 0..steps {
-                let w = sim.step(phase);
+                let w = sim.step(phase)?;
                 worst = worst.max(w);
                 settle = w;
             }

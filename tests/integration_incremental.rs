@@ -1,0 +1,237 @@
+//! Incremental what-if contract: stage fingerprints invalidate exactly
+//! what an edit touches, warm artifacts never leak across designs, and
+//! the incremental path is bitwise identical to a cold analysis at any
+//! thread count.
+
+use ir_fusion::{
+    design_fingerprint, train, CachePolicy, FusionConfig, IrFusionPipeline, Stage, StagePlan,
+    StageStore,
+};
+use irf_data::{synthesize, Dataset, SynthSpec};
+use irf_models::ModelKind;
+use irf_pg::PowerGrid;
+use std::sync::{Arc, Mutex};
+
+/// The global thread count is process-wide state; hold this lock while
+/// flipping it (same pattern as `integration_determinism.rs`).
+static THREAD_CONFIG: Mutex<()> = Mutex::new(());
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = THREAD_CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+    irf_runtime::set_num_threads(n);
+    let result = f();
+    irf_runtime::set_num_threads(0);
+    result
+}
+
+fn grid(seed: u64) -> PowerGrid {
+    let spec = SynthSpec {
+        seed,
+        ..SynthSpec::default()
+    };
+    PowerGrid::from_netlist(&synthesize(&spec)).expect("valid grid")
+}
+
+/// A grid whose stripe count — and therefore topology — differs from
+/// [`grid`]'s, not just its load vector.
+fn restriped_grid(seed: u64) -> PowerGrid {
+    let spec = SynthSpec {
+        seed,
+        m1_stripes: SynthSpec::default().m1_stripes + 2,
+        ..SynthSpec::default()
+    };
+    PowerGrid::from_netlist(&synthesize(&spec)).expect("valid grid")
+}
+
+fn bits32(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn current_edits_invalidate_only_the_current_dependent_stages() {
+    let config = FusionConfig::tiny();
+    let base = grid(5);
+    let base_plan = StagePlan::for_design(&base, &config);
+
+    // A load edit keeps every current-independent key ...
+    let mut edited = base.clone();
+    edited.loads[0].amps += 1e-3;
+    let edited_plan = StagePlan::for_design(&edited, &config);
+    assert_eq!(edited_plan.assembled, base_plan.assembled);
+    assert_eq!(edited_plan.solver_setup, base_plan.solver_setup);
+    assert_eq!(edited_plan.structural, base_plan.structural);
+    // ... and changes every current-dependent one.
+    assert_ne!(edited_plan.rough, base_plan.rough);
+    assert_ne!(edited_plan.stack, base_plan.stack);
+    assert_ne!(
+        design_fingerprint(&edited, &config),
+        design_fingerprint(&base, &config)
+    );
+
+    // A topology edit (segment resistance) invalidates the assembled
+    // system and everything downstream of it.
+    let mut rewired = base.clone();
+    rewired.segments[0].ohms *= 1.5;
+    let rewired_plan = StagePlan::for_design(&rewired, &config);
+    assert_ne!(rewired_plan.assembled, base_plan.assembled);
+    assert_ne!(rewired_plan.solver_setup, base_plan.solver_setup);
+    assert_ne!(rewired_plan.rough, base_plan.rough);
+    assert_ne!(rewired_plan.structural, base_plan.structural);
+    assert_ne!(rewired_plan.stack, base_plan.stack);
+
+    // A pad-voltage edit is a topology edit too: it changes the
+    // boundary conditions baked into the assembled system.
+    let mut repadded = base.clone();
+    repadded.pads[0].volts += 0.05;
+    let repadded_plan = StagePlan::for_design(&repadded, &config);
+    assert_ne!(repadded_plan.assembled, base_plan.assembled);
+    assert_ne!(repadded_plan.stack, base_plan.stack);
+}
+
+#[test]
+fn warm_current_edit_skips_assembly_and_setup_in_the_store() {
+    let config = FusionConfig::tiny();
+    let store = Arc::new(StageStore::new(8));
+    let pipeline = IrFusionPipeline::new(config).with_cache(Arc::clone(&store));
+    let base = Arc::new(grid(5));
+
+    // Cold walk computes all five stage artifacts.
+    pipeline.session(Arc::clone(&base)).prepare().expect("pads");
+    assert_eq!(store.misses(), 5, "cold walk computes every stage");
+    assert_eq!(store.hits(), 0);
+
+    // Warm current edit: assembled / solver-setup / structural are
+    // served from the store; only rough + stack recompute.
+    pipeline
+        .session(Arc::clone(&base))
+        .with_current_deltas(&[(1, 2e-3)])
+        .prepare()
+        .expect("pads");
+    for stage in [Stage::Assembled, Stage::SolverSetup, Stage::Structural] {
+        let c = store.stage_counters(stage);
+        assert_eq!(
+            (c.hits, c.misses),
+            (1, 1),
+            "{} must be reused, not recomputed",
+            stage.label()
+        );
+    }
+    assert_eq!(store.stage_counters(Stage::Rough).misses, 2);
+    assert_eq!(store.stage_counters(Stage::Stack).misses, 2);
+
+    // A topology edit must NOT ride the warm assembled system.
+    let mut rewired = (*base).clone();
+    rewired.segments[0].ohms *= 2.0;
+    pipeline.session(Arc::new(rewired)).prepare().expect("pads");
+    assert_eq!(
+        store.stage_counters(Stage::Assembled).misses,
+        2,
+        "topology edit reassembles the system"
+    );
+    assert_eq!(store.stage_counters(Stage::SolverSetup).misses, 2);
+}
+
+#[test]
+fn distinct_designs_never_collide_on_warm_artifacts() {
+    let config = FusionConfig::tiny();
+    let store = Arc::new(StageStore::new(8));
+    let pipeline = IrFusionPipeline::new(config).with_cache(Arc::clone(&store));
+    let bypass = IrFusionPipeline::new(config);
+
+    for (label, g) in [("base", grid(3)), ("restriped", restriped_grid(9))] {
+        let g = Arc::new(g);
+        // Through the shared (now possibly warm) store ...
+        let cached = pipeline.session(Arc::clone(&g)).prepare().expect("pads");
+        // ... versus a guaranteed-cold preparation of the same grid.
+        let fresh = bypass
+            .session(Arc::clone(&g))
+            .cache_policy(CachePolicy::Bypass)
+            .prepare()
+            .expect("pads");
+        assert_eq!(cached.fingerprint, fresh.fingerprint, "{label}");
+        assert_eq!(
+            bits32(cached.rough.data()),
+            bits32(fresh.rough.data()),
+            "{label}: rough map must come from this design's own solve"
+        );
+    }
+    // Two designs were prepared; no artifact was shared between them.
+    assert_eq!(store.hits(), 0, "different designs share no artifacts");
+    assert_eq!(store.misses(), 10);
+}
+
+#[test]
+fn incremental_path_is_bitwise_deterministic_across_thread_counts() {
+    let config = FusionConfig::tiny();
+    let dataset = Dataset::generate(1, 1, 0, 11);
+    let trained = train(ModelKind::IrEdge, &dataset, &config);
+
+    // One full cold + warm-edit walk at a given thread count, through
+    // a fresh store each time so every run does the same work.
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let store = Arc::new(StageStore::new(8));
+            let pipeline = IrFusionPipeline::new(config).with_cache(Arc::clone(&store));
+            let base = Arc::new(grid(5));
+            pipeline.session(Arc::clone(&base)).prepare().expect("pads");
+            let session = pipeline
+                .session(base)
+                .with_current_deltas(&[(1, 2e-3), (4, -5e-4)]);
+            let stack = session.prepare().expect("pads");
+            let prediction = session.predict(&trained).expect("pads");
+            let (_, _, _, features) = stack.features.to_nchw();
+            (
+                stack.fingerprint,
+                bits32(stack.rough.data()),
+                bits32(&features),
+                bits32(prediction.map.data()),
+            )
+        })
+    };
+
+    let reference = run(1);
+    for threads in [2, 4, 8] {
+        let result = run(threads);
+        assert_eq!(
+            reference.0, result.0,
+            "fingerprint differs at {threads} threads"
+        );
+        assert_eq!(
+            reference.1, result.1,
+            "warm rough solve differs at {threads} threads"
+        );
+        assert_eq!(
+            reference.2, result.2,
+            "warm feature stack differs at {threads} threads"
+        );
+        assert_eq!(
+            reference.3, result.3,
+            "warm prediction differs at {threads} threads"
+        );
+    }
+
+    // And the warm path equals a cold bypass analysis of the edited
+    // grid, bit for bit.
+    let (fingerprint, rough, features, map) = run(1);
+    let cold = with_threads(1, || {
+        let pipeline = IrFusionPipeline::new(config);
+        let base = Arc::new(grid(5));
+        let session = pipeline
+            .session(base)
+            .with_current_deltas(&[(1, 2e-3), (4, -5e-4)])
+            .cache_policy(CachePolicy::Bypass);
+        let stack = session.prepare().expect("pads");
+        let prediction = session.predict(&trained).expect("pads");
+        let (_, _, _, feats) = stack.features.to_nchw();
+        (
+            stack.fingerprint,
+            bits32(stack.rough.data()),
+            bits32(&feats),
+            bits32(prediction.map.data()),
+        )
+    });
+    assert_eq!(fingerprint, cold.0);
+    assert_eq!(rough, cold.1, "warm rough != cold rough");
+    assert_eq!(features, cold.2, "warm features != cold features");
+    assert_eq!(map, cold.3, "warm prediction != cold prediction");
+}
