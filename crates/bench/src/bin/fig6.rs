@@ -60,13 +60,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let maunet_map = pred(&maunet);
     let fusion_map = pred(&fusion);
 
-    fs::write("fig6_golden.pgm", golden.to_pgm())?;
-    fs::write("fig6_maunet.pgm", maunet_map.to_pgm())?;
-    fs::write("fig6_irfusion.pgm", fusion_map.to_pgm())?;
-    fs::write("fig6_golden.csv", golden.to_csv())?;
-    fs::write("fig6_maunet.csv", maunet_map.to_csv())?;
-    fs::write("fig6_irfusion.csv", fusion_map.to_csv())?;
-    println!("wrote fig6_{{golden,maunet,irfusion}}.{{pgm,csv}}");
+    fs::write(irf_bench::bench_out("fig6_golden.pgm"), golden.to_pgm())?;
+    fs::write(irf_bench::bench_out("fig6_maunet.pgm"), maunet_map.to_pgm())?;
+    fs::write(
+        irf_bench::bench_out("fig6_irfusion.pgm"),
+        fusion_map.to_pgm(),
+    )?;
+    fs::write(irf_bench::bench_out("fig6_golden.csv"), golden.to_csv())?;
+    fs::write(irf_bench::bench_out("fig6_maunet.csv"), maunet_map.to_csv())?;
+    fs::write(
+        irf_bench::bench_out("fig6_irfusion.csv"),
+        fusion_map.to_csv(),
+    )?;
+    println!("wrote target/bench-out/fig6_{{golden,maunet,irfusion}}.{{pgm,csv}}");
     println!();
 
     sketch(&golden, "(a) Golden");

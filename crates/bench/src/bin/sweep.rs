@@ -1,0 +1,456 @@
+//! Topology what-if and candidate-sweep benchmark: cold stage-graph
+//! analysis versus warm current-delta and warm *topology*-delta
+//! re-analysis, plus a ranked sweep over candidate PDN edit plans —
+//! the serving story behind `POST /sweep`.
+//!
+//! ```bash
+//! cargo run -p irf-bench --bin sweep --release -- [--tiny] [--json PATH]
+//! ```
+//!
+//! Four modes are measured:
+//!
+//! - `cold`: what a cold `POST /predict` pays — SPICE netlist parse,
+//!   grid construction, then the full pipeline walk with the store
+//!   bypassed (MNA assembly, AMG setup, rough solve, features), every
+//!   rep;
+//! - `warm_current`: one cell current changes per rep — the parsed
+//!   design, assembled system, AMG hierarchy, geometry and resistance
+//!   maps are all reused;
+//! - `warm_topology`: one strap resistance scale changes per rep —
+//!   the parsed design and geometry maps are reused outright (no
+//!   netlist re-parse, no structural re-rasterization), and the MNA
+//!   system / AMG hierarchy are *re-stamped / rebuilt* from the warm
+//!   base artifacts instead of assembled from scratch;
+//! - `sweep`: eight candidate edit plans prepared against one warm
+//!   base and ranked by worst-drop delta, per-candidate.
+//!
+//! Correctness is asserted, not assumed: every warm or swept result
+//! must be bitwise identical to a cold bypass analysis of the same
+//! edited grid, and the benchmark fails otherwise. The JSON report is
+//! written to `target/bench-out/sweep.json` unless `--json PATH` says
+//! otherwise.
+
+use ir_fusion::{CachePolicy, FusionConfig, IrFusionPipeline, StageStore, TopologyDelta};
+use irf_data::synth::{synthesize, SynthSpec};
+use irf_pg::PowerGrid;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Measurement {
+    mode: &'static str,
+    reps: usize,
+    seconds: f64,
+    per_analysis: f64,
+    checksum: u64,
+}
+
+fn checksum64(values: impl Iterator<Item = u64>) -> u64 {
+    values.fold(0u64, |h, v| h.rotate_left(7) ^ v)
+}
+
+fn stack_checksum(stack: &ir_fusion::PreparedStack) -> u64 {
+    let (_, _, _, features) = stack.features.to_nchw();
+    checksum64(
+        stack
+            .rough
+            .data()
+            .iter()
+            .map(|v| u64::from(v.to_bits()))
+            .chain(features.iter().map(|v| u64::from(v.to_bits()))),
+    )
+}
+
+/// A grid big enough that MNA assembly and AMG setup dominate the cold
+/// walk — the cost the incremental topology path is supposed to cut.
+fn bench_spec(tiny: bool) -> SynthSpec {
+    SynthSpec {
+        m1_stripes: if tiny { 32 } else { 96 },
+        m2_stripes: if tiny { 32 } else { 96 },
+        m4_stripes: if tiny { 6 } else { 12 },
+        pads: if tiny { 9 } else { 24 },
+        stripe_jitter: 0.05,
+        seed: 0xF1,
+        ..SynthSpec::default()
+    }
+}
+
+/// Strap layers and via pairs present in the grid, in first-seen
+/// order — so candidate plans reference topology that actually exists.
+fn discover(grid: &PowerGrid) -> (Vec<u32>, Vec<(u32, u32)>) {
+    let mut straps = Vec::new();
+    let mut vias = Vec::new();
+    for s in &grid.segments {
+        let (a, b) = (grid.nodes[s.a].layer, grid.nodes[s.b].layer);
+        if a == b {
+            if !straps.contains(&a) {
+                straps.push(a);
+            }
+        } else {
+            let pair = (a.min(b), a.max(b));
+            if !vias.contains(&pair) {
+                vias.push(pair);
+            }
+        }
+    }
+    (straps, vias)
+}
+
+fn json_report(
+    rows: &[Measurement],
+    nodes: usize,
+    current_speedup: f64,
+    topology_speedup: f64,
+    sweep_candidates: usize,
+    cache: (u64, u64),
+) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"sweep-topology-whatif\",\n");
+    out.push_str(&format!(
+        "  \"grid_nodes\": {nodes},\n  \"warm_current_speedup\": {current_speedup:.2},\n  \
+         \"warm_topology_speedup\": {topology_speedup:.2},\n  \
+         \"sweep_candidates\": {sweep_candidates},\n  \
+         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"results\": [\n",
+        cache.0, cache.1
+    ));
+    for (i, m) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"reps\": {}, \"seconds\": {:.6}, \
+             \"per_analysis_s\": {:.6}, \"checksum\": \"{:016x}\"}}{}\n",
+            m.mode,
+            m.reps,
+            m.seconds,
+            m.per_analysis,
+            m.checksum,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let json_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--json")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+
+    let spec = bench_spec(tiny);
+    // Round-trip through SPICE text so the cold mode can pay the same
+    // parse a cold `/predict` request pays, on the exact same design.
+    let source = irf_spice::write(&synthesize(&spec));
+    let grid = Arc::new(
+        PowerGrid::from_netlist(&irf_spice::parse(&source).expect("round-trip parses"))
+            .expect("valid grid"),
+    );
+    let (straps, vias) = discover(&grid);
+    assert!(
+        straps.len() >= 2 && !vias.is_empty(),
+        "bench grid must offer strap layers and via pairs"
+    );
+    let reps = if tiny { 3 } else { 5 };
+    let config = FusionConfig::tiny();
+    // Roomy enough that base + every candidate stays warm per stage.
+    let store = Arc::new(StageStore::new(64));
+    let pipeline = IrFusionPipeline::new(config).with_cache(Arc::clone(&store));
+
+    // Per-rep edits differ so each warm rep re-runs its recompute set
+    // instead of hitting the stack artifact.
+    let current_delta = |rep: usize| vec![(1usize, 1e-5 * (rep + 1) as f64)];
+    let strap_delta = |rep: usize| {
+        vec![TopologyDelta::Strap {
+            layer: straps[0],
+            scale: 0.5 + 0.05 * rep as f64,
+        }]
+    };
+
+    println!(
+        "sweep: {} nodes, {} reps per mode, strap layers {straps:?}, via pairs {vias:?}",
+        grid.nodes.len(),
+        reps
+    );
+
+    // Cold: parse the netlist, build the grid, and bypass the store —
+    // every rep pays the full walk a cold `/predict` request pays.
+    let cold_once = || {
+        let parsed = Arc::new(
+            PowerGrid::from_netlist(&irf_spice::parse(&source).expect("round-trip parses"))
+                .expect("valid grid"),
+        );
+        pipeline
+            .session(parsed)
+            .cache_policy(CachePolicy::Bypass)
+            .prepare()
+            .expect("grid has pads")
+    };
+    let mut cold_stack = cold_once(); // warm up allocator
+    let start = Instant::now();
+    for _ in 0..reps {
+        cold_stack = cold_once();
+    }
+    let cold_seconds = start.elapsed().as_secs_f64();
+    let cold = Measurement {
+        mode: "cold",
+        reps,
+        seconds: cold_seconds,
+        per_analysis: cold_seconds / reps as f64,
+        checksum: stack_checksum(&cold_stack),
+    };
+
+    // Prime the store with the base design.
+    pipeline
+        .session(Arc::clone(&grid))
+        .prepare()
+        .expect("grid has pads");
+
+    // Warm current edits: topology-keyed artifacts all reused.
+    let mut warm_stack = None;
+    let start = Instant::now();
+    for rep in 0..reps {
+        warm_stack = Some(
+            pipeline
+                .session(Arc::clone(&grid))
+                .with_current_deltas(&current_delta(rep))
+                .prepare()
+                .expect("grid has pads"),
+        );
+    }
+    let warm_current_seconds = start.elapsed().as_secs_f64();
+    let warm_current = Measurement {
+        mode: "warm_current",
+        reps,
+        seconds: warm_current_seconds,
+        per_analysis: warm_current_seconds / reps as f64,
+        checksum: stack_checksum(&warm_stack.expect("at least one rep")),
+    };
+
+    // Warm topology edits: geometry maps reused, MNA re-stamped and
+    // AMG rebuilt from the warm base artifacts.
+    let mut topo_stack = None;
+    let start = Instant::now();
+    for rep in 0..reps {
+        topo_stack = Some(
+            pipeline
+                .session(Arc::clone(&grid))
+                .with_topology_deltas(&strap_delta(rep))
+                .expect("valid strap delta")
+                .prepare()
+                .expect("grid has pads"),
+        );
+    }
+    let warm_topology_seconds = start.elapsed().as_secs_f64();
+    let warm_topology = Measurement {
+        mode: "warm_topology",
+        reps,
+        seconds: warm_topology_seconds,
+        per_analysis: warm_topology_seconds / reps as f64,
+        checksum: stack_checksum(&topo_stack.expect("at least one rep")),
+    };
+
+    // The candidate sweep: eight plans against the same warm base,
+    // ranked by worst-drop delta — the `POST /sweep` hot loop.
+    type Candidate = (&'static str, Vec<(usize, f64)>, Vec<TopologyDelta>);
+    let candidates: Vec<Candidate> = vec![
+        (
+            "thicken-bottom",
+            vec![],
+            vec![TopologyDelta::Strap {
+                layer: straps[0],
+                scale: 0.5,
+            }],
+        ),
+        (
+            "thin-bottom",
+            vec![],
+            vec![TopologyDelta::Strap {
+                layer: straps[0],
+                scale: 1.5,
+            }],
+        ),
+        (
+            "thicken-mid",
+            vec![],
+            vec![TopologyDelta::Strap {
+                layer: straps[1],
+                scale: 0.7,
+            }],
+        ),
+        (
+            "better-vias",
+            vec![],
+            vec![TopologyDelta::Via {
+                lower: vias[0].0,
+                upper: vias[0].1,
+                scale: 0.6,
+            }],
+        ),
+        (
+            "worse-vias",
+            vec![],
+            vec![TopologyDelta::Via {
+                lower: vias[0].0,
+                upper: vias[0].1,
+                scale: 2.0,
+            }],
+        ),
+        ("more-load", vec![(1, 2e-3)], vec![]),
+        ("less-load", vec![(1, -2e-4)], vec![]),
+        (
+            "combo",
+            vec![(2, 5e-4)],
+            vec![
+                TopologyDelta::Strap {
+                    layer: straps[0],
+                    scale: 0.8,
+                },
+                TopologyDelta::Segment {
+                    segment: 0,
+                    ohms: grid.segments[0].ohms * 0.9,
+                },
+            ],
+        ),
+    ];
+    let base_stack = pipeline
+        .session(Arc::clone(&grid))
+        .prepare()
+        .expect("grid has pads");
+    let base_max = f64::from(base_stack.rough.max());
+    let start = Instant::now();
+    let swept: Vec<_> = candidates
+        .iter()
+        .map(|(label, currents, topology)| {
+            let before = (store.hits(), store.misses());
+            let mut session = pipeline.session(Arc::clone(&grid));
+            if !currents.is_empty() {
+                session = session.with_current_deltas(currents);
+            }
+            if !topology.is_empty() {
+                session = session
+                    .with_topology_deltas(topology)
+                    .expect("valid candidate plan");
+            }
+            let stack = session.prepare().expect("grid has pads");
+            let after = (store.hits(), store.misses());
+            (
+                *label,
+                session,
+                stack,
+                after.0 - before.0,
+                after.1 - before.1,
+            )
+        })
+        .collect();
+    let sweep_seconds = start.elapsed().as_secs_f64();
+    let sweep = Measurement {
+        mode: "sweep",
+        reps: swept.len(),
+        seconds: sweep_seconds,
+        per_analysis: sweep_seconds / swept.len() as f64,
+        checksum: checksum64(swept.iter().map(|(_, _, stack, ..)| stack_checksum(stack))),
+    };
+
+    // Bitwise correctness gates: every incremental result must equal a
+    // cold bypass analysis of the same edited grid.
+    let bypass = |session: &ir_fusion::AnalysisSession<'_>| {
+        session
+            .clone()
+            .cache_policy(CachePolicy::Bypass)
+            .prepare()
+            .expect("grid has pads")
+    };
+    let reference = pipeline
+        .session(Arc::clone(&grid))
+        .with_current_deltas(&current_delta(reps - 1))
+        .cache_policy(CachePolicy::Bypass)
+        .prepare()
+        .expect("grid has pads");
+    assert_eq!(
+        stack_checksum(&reference),
+        warm_current.checksum,
+        "warm current-delta analysis is not bitwise identical to cold"
+    );
+    let reference = pipeline
+        .session(Arc::clone(&grid))
+        .with_topology_deltas(&strap_delta(reps - 1))
+        .expect("valid strap delta")
+        .cache_policy(CachePolicy::Bypass)
+        .prepare()
+        .expect("grid has pads");
+    assert_eq!(
+        stack_checksum(&reference),
+        warm_topology.checksum,
+        "warm topology-delta analysis is not bitwise identical to cold"
+    );
+    for (label, session, stack, ..) in &swept {
+        assert_eq!(
+            stack_checksum(&bypass(session)),
+            stack_checksum(stack),
+            "sweep candidate {label} is not bitwise identical to cold"
+        );
+    }
+
+    // Ranked sweep table, best first (worst-drop delta, then order).
+    let mut ranking: Vec<_> = swept
+        .iter()
+        .enumerate()
+        .map(|(i, (label, _, stack, hits, misses))| {
+            let delta = f64::from(stack.rough.max()) - base_max;
+            (i, *label, delta, *hits, *misses)
+        })
+        .collect();
+    ranking.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
+    println!("\nranked candidates (worst-drop delta vs base, volts):");
+    for (rank, (_, label, delta, hits, misses)) in ranking.iter().enumerate() {
+        println!(
+            "  #{:<2} {label:<16} {delta:+.6e}  (cache {hits} hits / {misses} misses)",
+            rank + 1
+        );
+    }
+
+    let current_speedup = cold.per_analysis / warm_current.per_analysis;
+    let topology_speedup = cold.per_analysis / warm_topology.per_analysis;
+    assert!(
+        topology_speedup > 1.0,
+        "topology-delta re-analysis must beat cold ({topology_speedup:.2}x)"
+    );
+    println!(
+        "\n{:>14} | {:>5} | {:>9} | {:>12} | {:>8} | {:>16}",
+        "mode", "reps", "seconds", "per-analysis", "speedup", "checksum"
+    );
+    println!("{}", "-".repeat(80));
+    let rows = vec![cold, warm_current, warm_topology, sweep];
+    for m in &rows {
+        println!(
+            "{:>14} | {:>5} | {:>9.4} | {:>12.6} | {:>7.2}x | {:016x}",
+            m.mode,
+            m.reps,
+            m.seconds,
+            m.per_analysis,
+            rows[0].per_analysis / m.per_analysis,
+            m.checksum
+        );
+    }
+    println!(
+        "\nwarm topology-delta re-analysis is {topology_speedup:.2}x faster than cold \
+         (parsed design + geometry maps reused; MNA re-stamped, AMG rebuilt; \
+         {} stage hits, {} misses)",
+        store.hits(),
+        store.misses()
+    );
+
+    let report = json_report(
+        &rows,
+        grid.nodes.len(),
+        current_speedup,
+        topology_speedup,
+        swept.len(),
+        (store.hits(), store.misses()),
+    );
+    let path = json_path
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| irf_bench::bench_out("sweep.json"));
+    std::fs::write(&path, &report).expect("write JSON report");
+    println!("wrote {}", path.display());
+}

@@ -54,6 +54,20 @@ pub fn scale_from_args() -> ir_fusion::experiment::ExperimentScale {
     }
 }
 
+/// The directory benchmark binaries write their artifacts (PGM / CSV /
+/// JSON reports) into: `target/bench-out/`, created on first use so
+/// outputs never land in the repository root.
+///
+/// # Panics
+///
+/// Panics when the directory cannot be created.
+#[must_use]
+pub fn bench_out(file: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new("target").join("bench-out");
+    std::fs::create_dir_all(&dir).expect("create target/bench-out");
+    dir.join(file)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -46,13 +46,14 @@ pub use config::{FusionConfig, TrainConfig};
 pub use evaluate::{evaluate_model, evaluate_numerical};
 pub use irf_features::FeatureError;
 pub use pipeline::{
-    Analysis, AnalysisSession, CachePolicy, FeatureStackBuilder, IrFusionPipeline, PreparedSample,
-    PreparedStack,
+    Analysis, AnalysisSession, CachePolicy, EditPlan, FeatureStackBuilder, IrFusionPipeline,
+    PreparedSample, PreparedStack,
 };
 pub use report::SignoffReport;
 pub use stages::{
-    currents_fingerprint, design_fingerprint, topology_fingerprint, Prediction, RoughSolution,
-    Stage, StagePlan,
+    apply_topology_deltas, conductance_fingerprint, currents_fingerprint, design_fingerprint,
+    geometry_fingerprint, topology_fingerprint, EditError, Prediction, RoughSolution, Stage,
+    StagePlan, TopologyDelta,
 };
 pub use store::{StageArtifact, StageCounters, StageStore};
 pub use train::{train, TrainedModel};

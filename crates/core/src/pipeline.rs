@@ -3,7 +3,10 @@
 //! [`crate::stages`] and cached per stage in a [`StageStore`].
 
 use crate::config::FusionConfig;
-use crate::stages::{design_fingerprint, Prediction, RoughSolution, StagePlan};
+use crate::stages::{
+    apply_topology_deltas, design_fingerprint, EditError, Prediction, RoughSolution, StagePlan,
+    TopologyDelta,
+};
 use crate::store::StageStore;
 use crate::train::TrainedModel;
 use irf_data::golden::golden_drops;
@@ -132,6 +135,64 @@ pub enum CachePolicy {
     Shared,
     /// Always prepare fresh, never reading or populating the cache.
     Bypass,
+}
+
+/// The accumulated edits of an [`AnalysisSession`] relative to its
+/// base design, plus the stage keys of the base artifacts a
+/// topology-delta walk can rebuild from.
+///
+/// Current deltas leave every topology-keyed fingerprint intact, so
+/// they need no base hints — the warm artifacts are found under the
+/// *same* keys. Topology deltas (strap/via/segment resistance edits)
+/// change the assembled and solver-setup keys; the plan remembers the
+/// keys those artifacts lived under *before the first topology edit*
+/// so [`IrFusionPipeline`] can re-stamp the edited conductances into
+/// the base CSR ([`PgStructure::restamped`]) and rebuild the AMG
+/// hierarchy against the base setup
+/// ([`irf_sparse::Solver::rebuild_from`]) instead of assembling from
+/// scratch. Chained topology edits keep the original base hints: the
+/// base is the last design that went through a full (or cached)
+/// assembly.
+#[derive(Debug, Clone, Default)]
+pub struct EditPlan {
+    current_deltas: Vec<(usize, f64)>,
+    topology_deltas: Vec<TopologyDelta>,
+    base_assembled: Option<u64>,
+    base_solver_setup: Option<u64>,
+}
+
+impl EditPlan {
+    /// Per-cell current deltas recorded so far (`(node, amps)` pairs).
+    #[must_use]
+    pub fn current_deltas(&self) -> &[(usize, f64)] {
+        &self.current_deltas
+    }
+
+    /// Topology deltas recorded so far, in application order.
+    #[must_use]
+    pub fn topology_deltas(&self) -> &[TopologyDelta] {
+        &self.topology_deltas
+    }
+
+    /// The [`crate::stages::Stage::Assembled`] key of the pre-edit
+    /// base, once a topology delta has been recorded.
+    #[must_use]
+    pub fn base_assembled(&self) -> Option<u64> {
+        self.base_assembled
+    }
+
+    /// The [`crate::stages::Stage::SolverSetup`] key of the pre-edit
+    /// base, once a topology delta has been recorded.
+    #[must_use]
+    pub fn base_solver_setup(&self) -> Option<u64> {
+        self.base_solver_setup
+    }
+
+    /// `true` when no edits have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.current_deltas.is_empty() && self.topology_deltas.is_empty()
+    }
 }
 
 /// Builder-style entry point for feature-stack preparation and
@@ -269,7 +330,7 @@ impl<'p> FeatureStackBuilder<'p> {
             CachePolicy::Shared => self.pipeline.cache().map(Arc::as_ref),
             CachePolicy::Bypass => None,
         };
-        self.with_threads(|| self.pipeline.staged_prepare(&config, grid, store))
+        self.with_threads(|| self.pipeline.staged_prepare(&config, grid, store, None))
     }
 
     /// Prepares a labelled sample (training path): the cached stack
@@ -432,18 +493,20 @@ impl IrFusionPipeline {
     /// or computed directly when `store` is `None`. Because each
     /// stage's compute is the *same* code the cold path runs, a walk
     /// over warm artifacts is bitwise identical to a cold analysis at
-    /// any thread count.
+    /// any thread count. `edit` carries an [`AnalysisSession`]'s base
+    /// hints so topology-delta misses can rebuild incrementally.
     fn staged_prepare(
         &self,
         config: &FusionConfig,
         grid: &PowerGrid,
         store: Option<&StageStore>,
+        edit: Option<&EditPlan>,
     ) -> Result<Arc<PreparedStack>, FeatureError> {
         if grid.pads.is_empty() {
             return Err(FeatureError::NoPads);
         }
         let plan = StagePlan::for_design(grid, config);
-        let build = || self.build_stack(config, grid, &plan, store);
+        let build = || self.build_stack(config, grid, &plan, store, edit);
         Ok(match store {
             Some(s) => s.stack(plan.stack, build),
             None => build(),
@@ -453,21 +516,56 @@ impl IrFusionPipeline {
     /// Computes the [`PreparedStack`] for one design, pulling every
     /// upstream artifact through `store` when attached. Pads must have
     /// been checked by the caller.
+    ///
+    /// On an [`crate::stages::Stage::Assembled`] or
+    /// [`crate::stages::Stage::SolverSetup`] miss with base hints in
+    /// `edit`, the compute closure first tries the incremental route —
+    /// re-stamping the edited conductances into the warm base CSR
+    /// ([`PgStructure::restamped`]) and rebuilding the AMG hierarchy
+    /// against the warm base setup
+    /// ([`irf_sparse::Solver::rebuild_from`]) — and falls back to the
+    /// cold build when the base is gone or structurally incompatible.
+    /// Both incremental routes are bitwise identical to their cold
+    /// counterparts, so the determinism contract is unaffected.
     fn build_stack(
         &self,
         config: &FusionConfig,
         grid: &PowerGrid,
         plan: &StagePlan,
         store: Option<&StageStore>,
+        edit: Option<&EditPlan>,
     ) -> Arc<PreparedStack> {
         let extractor = FeatureExtractor::new(config.feature);
         let (rough, solve_seconds) = Timer::time(|| {
-            let assemble = || Arc::new(PgStructure::build(grid));
+            let assemble = || {
+                if let (Some(s), Some(base_key)) = (store, edit.and_then(EditPlan::base_assembled))
+                {
+                    if base_key != plan.assembled {
+                        if let Some(base) = s.peek_assembled(base_key) {
+                            if let Some(restamped) = base.restamped(grid) {
+                                return Arc::new(restamped);
+                            }
+                        }
+                    }
+                }
+                Arc::new(PgStructure::build(grid))
+            };
             let structure = match store {
                 Some(s) => s.assembled(plan.assembled, assemble),
                 None => assemble(),
             };
-            let prepare = || Arc::new(self.solver().prepare(&structure.matrix));
+            let prepare = || {
+                if let (Some(s), Some(base_key)) =
+                    (store, edit.and_then(EditPlan::base_solver_setup))
+                {
+                    if base_key != plan.solver_setup {
+                        if let Some(base) = s.peek_solver_setup(base_key) {
+                            return Arc::new(self.solver().rebuild_from(&base, &structure.matrix));
+                        }
+                    }
+                }
+                Arc::new(self.solver().prepare(&structure.matrix))
+            };
             let setup = match store {
                 Some(s) => s.solver_setup(plan.solver_setup, prepare),
                 None => prepare(),
@@ -479,19 +577,30 @@ impl IrFusionPipeline {
             }
         });
         let (stack, feature_seconds) = Timer::time(|| {
-            let structural = || {
+            let geometry = || {
                 Arc::new(
                     extractor
-                        .structural(grid)
+                        .geometry(grid)
                         .expect("pads checked by staged_prepare"),
                 )
             };
-            let structural = match store {
-                Some(s) => s.structural(plan.structural, structural),
-                None => structural(),
+            let geometry = match store {
+                Some(s) => s.structural(plan.structural, geometry),
+                None => geometry(),
+            };
+            let resistance = || {
+                Arc::new(
+                    extractor
+                        .resistance_maps(grid)
+                        .expect("pads checked by staged_prepare"),
+                )
+            };
+            let resistance = match store {
+                Some(s) => s.resistance(plan.resistance, resistance),
+                None => resistance(),
             };
             let features = extractor
-                .extract_with_structural(grid, &rough.drops, &structural)
+                .extract_with_parts(grid, &rough.drops, &geometry, &resistance)
                 .expect("pads checked by staged_prepare");
             let raster = extractor.rasterizer(grid);
             let rough_map =
@@ -544,18 +653,22 @@ impl IrFusionPipeline {
     }
 
     /// Opens an incremental what-if session on a design. The session
-    /// holds the base grid; [`AnalysisSession::with_currents`] /
+    /// holds the base grid and composes edits into one [`EditPlan`]:
+    /// [`AnalysisSession::with_currents`] /
     /// [`AnalysisSession::with_current_deltas`] swap only the load
     /// vector, so a re-analysis reuses the assembled system, the
     /// prepared solver and the structural maps from the attached
-    /// store and recomputes just the rough solve, the stack assembly
-    /// and the model forward.
+    /// store; [`AnalysisSession::with_topology_deltas`] edits strap /
+    /// via / segment resistances, reusing the parsed design and the
+    /// geometry maps outright and rebuilding the assembled system and
+    /// the solver setup incrementally from the warm base artifacts.
     #[must_use]
     pub fn session(&self, grid: Arc<PowerGrid>) -> AnalysisSession<'_> {
         AnalysisSession {
             pipeline: self,
             grid,
             cache: CachePolicy::Shared,
+            plan: EditPlan::default(),
         }
     }
 
@@ -601,7 +714,7 @@ impl IrFusionPipeline {
     ///
     /// Returns [`FeatureError::NoPads`] when the grid has no pads.
     pub fn prepare_stack(&self, grid: &PowerGrid) -> Result<PreparedStack, FeatureError> {
-        self.staged_prepare(&self.config, grid, None)
+        self.staged_prepare(&self.config, grid, None, None)
             .map(|stack| (*stack).clone())
     }
 
@@ -695,15 +808,21 @@ impl IrFusionPipeline {
     }
 }
 
-/// An incremental what-if session: a base design plus load-vector
-/// edits, analyzed through the stage graph so unchanged artifacts are
-/// reused from the pipeline's attached [`StageStore`].
+/// An incremental what-if session: a base design plus edits, analyzed
+/// through the stage graph so unchanged artifacts are reused from the
+/// pipeline's attached [`StageStore`].
 ///
-/// The session owns an `Arc` of the effective grid; every
-/// `with_currents` / `with_current_deltas` call clones the grid once
-/// and swaps only its load vector, leaving topology, vias and pads —
-/// and therefore the assembled MNA system, the prepared solver and
-/// the structural feature maps — fingerprint-identical to the base.
+/// The session owns an `Arc` of the effective grid and an [`EditPlan`]
+/// composing every recorded edit. `with_currents` /
+/// `with_current_deltas` clone the grid once and swap only its load
+/// vector, leaving topology, vias and pads — and therefore the
+/// assembled MNA system, the prepared solver and the structural
+/// feature maps — fingerprint-identical to the base.
+/// [`AnalysisSession::with_topology_deltas`] edits strap / via /
+/// segment resistances: the parsed design and the geometry maps stay
+/// warm (their fingerprints cover only node/segment *placement*), and
+/// the assembled system and solver setup are rebuilt incrementally
+/// from the recorded base artifacts instead of from scratch.
 ///
 /// ```
 /// use ir_fusion::{FusionConfig, IrFusionPipeline, StageStore};
@@ -728,6 +847,7 @@ pub struct AnalysisSession<'p> {
     pipeline: &'p IrFusionPipeline,
     grid: Arc<PowerGrid>,
     cache: CachePolicy,
+    plan: EditPlan,
 }
 
 impl AnalysisSession<'_> {
@@ -773,12 +893,52 @@ impl AnalysisSession<'_> {
             }
         }
         self.grid = Arc::new(grid);
+        self.plan.current_deltas.extend_from_slice(deltas);
         self
     }
 
+    /// Applies topology deltas — strap / via / segment resistance
+    /// edits — to the effective grid, recording the pre-edit stage
+    /// keys so the next [`AnalysisSession::prepare`] can rebuild the
+    /// assembled system and the solver setup incrementally from the
+    /// warm base artifacts. Validation is all-or-nothing: every delta
+    /// in the batch is checked against the base grid before any is
+    /// applied, so a failing batch applies none of them.
+    ///
+    /// Chained calls keep the *first* pre-edit base as the rebuild
+    /// anchor — the last design that actually went through a full (or
+    /// cached) assembly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EditError`] when a delta references a layer pair or
+    /// segment the base grid does not have, or carries a non-finite /
+    /// non-positive value.
+    pub fn with_topology_deltas(mut self, deltas: &[TopologyDelta]) -> Result<Self, EditError> {
+        if self.plan.base_assembled.is_none() {
+            let base = StagePlan::for_design(&self.grid, self.pipeline.config());
+            self.plan.base_assembled = Some(base.assembled);
+            self.plan.base_solver_setup = Some(base.solver_setup);
+        }
+        let mut grid = (*self.grid).clone();
+        apply_topology_deltas(&mut grid, deltas)?;
+        self.grid = Arc::new(grid);
+        self.plan.topology_deltas.extend_from_slice(deltas);
+        Ok(self)
+    }
+
+    /// The composed [`EditPlan`] recorded so far.
+    #[must_use]
+    pub fn edit_plan(&self) -> &EditPlan {
+        &self.plan
+    }
+
     /// Prepares the stack for the effective grid through the stage
-    /// graph. With a warm store and a current-only edit this skips
-    /// SPICE parsing, MNA assembly and AMG setup entirely.
+    /// graph. With a warm store, a current-only edit skips SPICE
+    /// parsing, MNA assembly and AMG setup entirely; a topology edit
+    /// reuses the parsed design and geometry maps and rebuilds the
+    /// assembled system / solver setup incrementally from the warm
+    /// base artifacts recorded in the [`EditPlan`].
     ///
     /// # Errors
     ///
@@ -789,7 +949,7 @@ impl AnalysisSession<'_> {
             CachePolicy::Bypass => None,
         };
         self.pipeline
-            .staged_prepare(self.pipeline.config(), &self.grid, store)
+            .staged_prepare(self.pipeline.config(), &self.grid, store, Some(&self.plan))
     }
 
     /// Analyzes the effective grid, optionally refining with a

@@ -15,18 +15,26 @@
 //! | stage                | fingerprint inputs                               |
 //! |----------------------|--------------------------------------------------|
 //! | `Parsed`             | raw netlist bytes ([`irf_spice::source_hash`])   |
-//! | `Assembled`          | topology (nodes, segments, pads)                 |
+//! | `Assembled`          | topology (geometry + conductances + pad volts)   |
 //! | `SolverSetup`        | topology + solver configuration                  |
 //! | `Rough`              | topology + solver configuration + currents       |
-//! | `Structural`         | topology + feature configuration                 |
+//! | `Structural`         | geometry + feature configuration                 |
+//! | `Resistance`         | geometry + conductances + feature configuration  |
 //! | `Stack`              | all of the above                                 |
 //!
-//! Editing only the current vector therefore invalidates `Rough` and
-//! `Stack` while the assembled MNA matrix, the AMG hierarchy and the
-//! current-independent structural feature maps are reused verbatim —
-//! the incremental what-if path. Predictions are *not* cached: the
-//! model can be hot-swapped at any time, so they are recomputed from
-//! the (cached) stack.
+//! The topology fingerprint is itself split: the *geometry* half
+//! (node positions, layers, segment endpoints, pad set) and the
+//! *conductance* half (segment resistances) are hashed separately and
+//! combined. Editing only the current vector invalidates `Rough` and
+//! `Stack` while the assembled MNA matrix, the AMG hierarchy and all
+//! structural feature maps are reused verbatim. A strap/via resistance
+//! edit ([`TopologyDelta`]) keeps the `Parsed` and geometry-keyed
+//! `Structural` artifacts warm and recomputes only the
+//! conductance-dependent chain (`Assembled → SolverSetup → Rough`,
+//! `Resistance`, `Stack`) — and those recomputations ride incremental
+//! fast paths (CSR re-stamping, AMG pattern reuse) where possible.
+//! Predictions are *not* cached: the model can be hot-swapped at any
+//! time, so they are recomputed from the (cached) stack.
 //!
 //! All fingerprints are 64-bit FNV-1a ([`irf_spice::Fnv1a`]): stable
 //! across processes and platforms, so a restarted server reproduces
@@ -50,20 +58,26 @@ pub enum Stage {
     SolverSetup,
     /// Truncated rough solve result.
     Rough,
-    /// Current-independent structural feature maps.
+    /// Geometry-only structural feature maps (distance, density) —
+    /// reusable across both current and strap/via resistance edits.
     Structural,
+    /// Resistance-dependent structural feature maps (resistance mass,
+    /// shortest-path resistance) — invalidated by strap/via edits but
+    /// not by current edits.
+    Resistance,
     /// The fully assembled feature stack.
     Stack,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 7] = [
         Stage::Parsed,
         Stage::Assembled,
         Stage::SolverSetup,
         Stage::Rough,
         Stage::Structural,
+        Stage::Resistance,
         Stage::Stack,
     ];
 
@@ -76,6 +90,7 @@ impl Stage {
             Stage::SolverSetup => "solver_setup",
             Stage::Rough => "rough",
             Stage::Structural => "structural",
+            Stage::Resistance => "resistance",
             Stage::Stack => "stack",
         }
     }
@@ -89,7 +104,8 @@ impl Stage {
             Stage::SolverSetup => 2,
             Stage::Rough => 3,
             Stage::Structural => 4,
-            Stage::Stack => 5,
+            Stage::Resistance => 5,
+            Stage::Stack => 6,
         }
     }
 }
@@ -121,14 +137,15 @@ pub struct Prediction {
     pub map: GridMap,
 }
 
-/// Fingerprint of the grid *topology*: nodes, segments and pads —
-/// everything that shapes the MNA matrix and the structural feature
-/// maps, and nothing that doesn't. The load (current) vector is
-/// deliberately excluded: it only enters the right-hand side, so a
-/// current-only edit keeps this fingerprint (and every artifact keyed
-/// by it) valid.
+/// Fingerprint of the grid *geometry*: node names, layers, positions
+/// and pad membership, segment endpoints, and the pad node set —
+/// everything that shapes the structural rasterization and the MNA
+/// sparsity pattern, but **not** the segment resistances, pad
+/// voltages, or load currents. A strap/via resistance edit keeps this
+/// fingerprint (and the geometry-keyed [`Stage::Structural`] maps)
+/// valid.
 #[must_use]
-pub fn topology_fingerprint(grid: &PowerGrid) -> u64 {
+pub fn geometry_fingerprint(grid: &PowerGrid) -> u64 {
     let mut h = Fnv1a::new();
     h.write_u64(grid.nodes.len() as u64);
     for n in &grid.nodes {
@@ -143,14 +160,49 @@ pub fn topology_fingerprint(grid: &PowerGrid) -> u64 {
     for s in &grid.segments {
         h.write_u64(s.a as u64);
         h.write_u64(s.b as u64);
-        h.write_f64(s.ohms);
     }
     h.write_u64(grid.pads.len() as u64);
     for p in &grid.pads {
         h.write_u64(p.node as u64);
-        h.write_f64(p.volts);
     }
     h.finish()
+}
+
+/// Fingerprint of the segment resistances alone — the half of the
+/// topology a strap/via edit changes. Segment endpoints are covered
+/// by [`geometry_fingerprint`]; this hash covers only the `ohms`
+/// values, positionally.
+#[must_use]
+pub fn conductance_fingerprint(grid: &PowerGrid) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(grid.segments.len() as u64);
+    for s in &grid.segments {
+        h.write_f64(s.ohms);
+    }
+    h.finish()
+}
+
+/// Fingerprint of the grid *topology*: nodes, segments and pads —
+/// everything that shapes the MNA matrix, and nothing that doesn't.
+/// The load (current) vector is deliberately excluded: it only enters
+/// the right-hand side, so a current-only edit keeps this fingerprint
+/// (and every artifact keyed by it) valid.
+///
+/// Composed from [`geometry_fingerprint`], [`conductance_fingerprint`]
+/// and the pad voltages, so artifacts keyed on the geometry half alone
+/// can be shared across resistance edits.
+#[must_use]
+pub fn topology_fingerprint(grid: &PowerGrid) -> u64 {
+    let mut volts = Fnv1a::new();
+    volts.write_u64(grid.pads.len() as u64);
+    for p in &grid.pads {
+        volts.write_f64(p.volts);
+    }
+    combine_fingerprints(&[
+        geometry_fingerprint(grid),
+        conductance_fingerprint(grid),
+        volts.finish(),
+    ])
 }
 
 /// Fingerprint of the load (current) vector alone — the only input
@@ -227,8 +279,12 @@ pub struct StagePlan {
     pub solver_setup: u64,
     /// Topology + solver config + currents — the [`Stage::Rough`] key.
     pub rough: u64,
-    /// Topology + feature config — the [`Stage::Structural`] key.
+    /// Geometry + feature config — the [`Stage::Structural`] key.
+    /// Survives strap/via resistance edits.
     pub structural: u64,
+    /// Geometry + conductances + feature config — the
+    /// [`Stage::Resistance`] key.
+    pub resistance: u64,
     /// Everything — the [`Stage::Stack`] key, equal to
     /// [`design_fingerprint`].
     pub stack: u64,
@@ -238,6 +294,8 @@ impl StagePlan {
     /// Computes all stage keys for a design under a configuration.
     #[must_use]
     pub fn for_design(grid: &PowerGrid, config: &FusionConfig) -> Self {
+        let geometry = geometry_fingerprint(grid);
+        let conductance = conductance_fingerprint(grid);
         let topology = topology_fingerprint(grid);
         let currents = currents_fingerprint(&grid.loads);
         let solver_cfg = solver_config_fingerprint(config);
@@ -246,9 +304,202 @@ impl StagePlan {
             assembled: topology,
             solver_setup: combine_fingerprints(&[topology, solver_cfg]),
             rough: combine_fingerprints(&[topology, solver_cfg, currents]),
-            structural: combine_fingerprints(&[topology, feature_cfg]),
+            structural: combine_fingerprints(&[geometry, feature_cfg]),
+            resistance: combine_fingerprints(&[geometry, conductance, feature_cfg]),
             stack: combine_fingerprints(&[topology, currents, solver_cfg, feature_cfg]),
         }
+    }
+}
+
+/// One topology edit of a what-if plan: a resistance change that keeps
+/// the grid's geometry (and therefore its sparsity pattern and
+/// geometry-keyed feature maps) intact.
+///
+/// Deltas are validated against the base grid before application; see
+/// [`apply_topology_deltas`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopologyDelta {
+    /// Scales the resistance of every *strap* segment on `layer` (both
+    /// endpoints on that layer) by `scale` — the "widen/narrow a power
+    /// strap" edit (resistance scales inversely with strap width).
+    Strap {
+        /// Metal layer the strap segments live on.
+        layer: u32,
+        /// Multiplier applied to each matched segment's ohms (> 0).
+        scale: f64,
+    },
+    /// Scales the resistance of every *via* segment between `lower`
+    /// and `upper` (one endpoint on each layer) by `scale` — the
+    /// "add/remove via cuts" edit (n parallel cuts divide resistance
+    /// by n).
+    Via {
+        /// One of the two layers the via connects (order-insensitive).
+        lower: u32,
+        /// The other layer.
+        upper: u32,
+        /// Multiplier applied to each matched segment's ohms (> 0).
+        scale: f64,
+    },
+    /// Sets one segment's resistance to an absolute value.
+    Segment {
+        /// Index into the grid's segment list.
+        segment: usize,
+        /// New resistance in ohms (> 0, finite).
+        ohms: f64,
+    },
+}
+
+/// Why a what-if edit plan was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EditError {
+    /// A strap delta matched no segment with both endpoints on the
+    /// named layer.
+    NoStrapSegments {
+        /// The layer that matched nothing.
+        layer: u32,
+    },
+    /// A via delta matched no segment connecting the two layers.
+    NoViaSegments {
+        /// One named layer.
+        lower: u32,
+        /// The other named layer.
+        upper: u32,
+    },
+    /// A via delta named the same layer twice.
+    DegenerateVia {
+        /// The repeated layer.
+        layer: u32,
+    },
+    /// A segment delta pointed outside the grid's segment list.
+    SegmentOutOfRange {
+        /// The offending index.
+        segment: usize,
+        /// Number of segments in the grid.
+        segments: usize,
+    },
+    /// A scale or resistance value was zero, negative, NaN or infinite.
+    InvalidValue {
+        /// Which field was invalid (`"scale"` or `"ohms"`).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for EditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EditError::NoStrapSegments { layer } => {
+                write!(f, "no strap segments on layer m{layer}")
+            }
+            EditError::NoViaSegments { lower, upper } => {
+                write!(f, "no via segments between layers m{lower} and m{upper}")
+            }
+            EditError::DegenerateVia { layer } => {
+                write!(f, "via delta names layer m{layer} twice")
+            }
+            EditError::SegmentOutOfRange { segment, segments } => {
+                write!(f, "segment {segment} out of range ({segments} segments)")
+            }
+            EditError::InvalidValue { what, value } => {
+                write!(f, "{what} must be positive and finite, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+/// Validates and applies a list of topology deltas to a grid in order.
+///
+/// Every delta must match at least one segment and carry a positive,
+/// finite value; the first violation aborts with an [`EditError`] and
+/// the grid is left untouched (application is all-or-nothing).
+///
+/// # Errors
+///
+/// See [`EditError`].
+pub fn apply_topology_deltas(
+    grid: &mut PowerGrid,
+    deltas: &[TopologyDelta],
+) -> Result<(), EditError> {
+    // Validate against the *base* grid first so a trailing bad delta
+    // cannot leave a half-edited grid behind.
+    for d in deltas {
+        match *d {
+            TopologyDelta::Strap { layer, scale } => {
+                check_positive("scale", scale)?;
+                if !grid
+                    .segments
+                    .iter()
+                    .any(|s| grid.nodes[s.a].layer == layer && grid.nodes[s.b].layer == layer)
+                {
+                    return Err(EditError::NoStrapSegments { layer });
+                }
+            }
+            TopologyDelta::Via {
+                lower,
+                upper,
+                scale,
+            } => {
+                check_positive("scale", scale)?;
+                if lower == upper {
+                    return Err(EditError::DegenerateVia { layer: lower });
+                }
+                if !grid.segments.iter().any(|s| {
+                    let (la, lb) = (grid.nodes[s.a].layer, grid.nodes[s.b].layer);
+                    (la, lb) == (lower, upper) || (la, lb) == (upper, lower)
+                }) {
+                    return Err(EditError::NoViaSegments { lower, upper });
+                }
+            }
+            TopologyDelta::Segment { segment, ohms } => {
+                check_positive("ohms", ohms)?;
+                if segment >= grid.segments.len() {
+                    return Err(EditError::SegmentOutOfRange {
+                        segment,
+                        segments: grid.segments.len(),
+                    });
+                }
+            }
+        }
+    }
+    for d in deltas {
+        match *d {
+            TopologyDelta::Strap { layer, scale } => {
+                for i in 0..grid.segments.len() {
+                    let s = &grid.segments[i];
+                    if grid.nodes[s.a].layer == layer && grid.nodes[s.b].layer == layer {
+                        grid.segments[i].ohms *= scale;
+                    }
+                }
+            }
+            TopologyDelta::Via {
+                lower,
+                upper,
+                scale,
+            } => {
+                for i in 0..grid.segments.len() {
+                    let s = &grid.segments[i];
+                    let (la, lb) = (grid.nodes[s.a].layer, grid.nodes[s.b].layer);
+                    if (la, lb) == (lower, upper) || (la, lb) == (upper, lower) {
+                        grid.segments[i].ohms *= scale;
+                    }
+                }
+            }
+            TopologyDelta::Segment { segment, ohms } => {
+                grid.segments[segment].ohms = ohms;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_positive(what: &'static str, value: f64) -> Result<(), EditError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(EditError::InvalidValue { what, value })
     }
 }
 
@@ -314,8 +565,176 @@ mod tests {
         assert_ne!(a.assembled, b.assembled);
         assert_ne!(a.solver_setup, b.solver_setup);
         assert_ne!(a.rough, b.rough);
-        assert_ne!(a.structural, b.structural);
+        assert_ne!(a.resistance, b.resistance, "resistance maps must rerun");
         assert_ne!(a.stack, b.stack);
+        // The geometry half is untouched by a resistance edit: the
+        // geometry-keyed structural maps stay warm.
+        assert_eq!(a.structural, b.structural, "geometry maps reusable");
+        assert_eq!(
+            geometry_fingerprint(&base.grid),
+            geometry_fingerprint(&rewired)
+        );
+        assert_ne!(
+            conductance_fingerprint(&base.grid),
+            conductance_fingerprint(&rewired)
+        );
+
+        // A *geometric* edit (rewiring a segment endpoint) invalidates
+        // the geometry half too.
+        let mut respanned = base.grid.clone();
+        respanned.segments[0].b = respanned.segments[1].b;
+        let c = StagePlan::for_design(&respanned, &cfg);
+        assert_ne!(a.structural, c.structural);
+        assert_ne!(a.assembled, c.assembled);
+    }
+
+    #[test]
+    fn strap_and_via_deltas_rescale_matched_segments() {
+        let base = Design::fake(1);
+        let layer_of = |g: &PowerGrid, i: usize| {
+            (
+                g.nodes[g.segments[i].a].layer,
+                g.nodes[g.segments[i].b].layer,
+            )
+        };
+        let (strap_layer, via_pair) = {
+            let mut strap = None;
+            let mut via = None;
+            for i in 0..base.grid.segments.len() {
+                let (la, lb) = layer_of(&base.grid, i);
+                if la == lb {
+                    strap.get_or_insert(la);
+                } else {
+                    via.get_or_insert((la.min(lb), la.max(lb)));
+                }
+            }
+            (strap.expect("strap segment"), via.expect("via segment"))
+        };
+
+        let mut edited = base.grid.clone();
+        apply_topology_deltas(
+            &mut edited,
+            &[
+                TopologyDelta::Strap {
+                    layer: strap_layer,
+                    scale: 0.5,
+                },
+                TopologyDelta::Via {
+                    lower: via_pair.1, // order-insensitive
+                    upper: via_pair.0,
+                    scale: 2.0,
+                },
+            ],
+        )
+        .expect("valid deltas");
+        for i in 0..base.grid.segments.len() {
+            let (la, lb) = layer_of(&base.grid, i);
+            let (old, new) = (base.grid.segments[i].ohms, edited.segments[i].ohms);
+            if la == strap_layer && lb == strap_layer {
+                assert_eq!(new, old * 0.5, "strap segment {i}");
+            } else if (la.min(lb), la.max(lb)) == via_pair {
+                assert_eq!(new, old * 2.0, "via segment {i}");
+            } else {
+                assert_eq!(new, old, "untouched segment {i}");
+            }
+        }
+        // Geometry is preserved; only conductances changed.
+        assert_eq!(
+            geometry_fingerprint(&base.grid),
+            geometry_fingerprint(&edited)
+        );
+        assert_ne!(
+            conductance_fingerprint(&base.grid),
+            conductance_fingerprint(&edited)
+        );
+    }
+
+    #[test]
+    fn bad_deltas_are_rejected_without_touching_the_grid() {
+        let base = Design::fake(1);
+        let mut g = base.grid.clone();
+        let cases: Vec<(TopologyDelta, EditError)> = vec![
+            (
+                TopologyDelta::Strap {
+                    layer: 99,
+                    scale: 0.5,
+                },
+                EditError::NoStrapSegments { layer: 99 },
+            ),
+            (
+                TopologyDelta::Via {
+                    lower: 1,
+                    upper: 1,
+                    scale: 0.5,
+                },
+                EditError::DegenerateVia { layer: 1 },
+            ),
+            (
+                TopologyDelta::Via {
+                    lower: 77,
+                    upper: 78,
+                    scale: 0.5,
+                },
+                EditError::NoViaSegments {
+                    lower: 77,
+                    upper: 78,
+                },
+            ),
+            (
+                TopologyDelta::Segment {
+                    segment: usize::MAX,
+                    ohms: 1.0,
+                },
+                EditError::SegmentOutOfRange {
+                    segment: usize::MAX,
+                    segments: base.grid.segments.len(),
+                },
+            ),
+            (
+                TopologyDelta::Strap {
+                    layer: 1,
+                    scale: -2.0,
+                },
+                EditError::InvalidValue {
+                    what: "scale",
+                    value: -2.0,
+                },
+            ),
+            (
+                TopologyDelta::Segment {
+                    segment: 0,
+                    ohms: f64::NAN,
+                },
+                EditError::InvalidValue {
+                    what: "ohms",
+                    value: f64::NAN,
+                },
+            ),
+        ];
+        for (delta, want) in cases {
+            // A valid leading delta must not be applied when a later
+            // one fails: application is all-or-nothing.
+            let got = apply_topology_deltas(
+                &mut g,
+                &[
+                    TopologyDelta::Segment {
+                        segment: 0,
+                        ohms: 123.0,
+                    },
+                    delta,
+                ],
+            )
+            .expect_err("delta must be rejected");
+            match (&got, &want) {
+                // NaN != NaN: compare the variant and field name only.
+                (
+                    EditError::InvalidValue { what: a, value: v },
+                    EditError::InvalidValue { what: b, .. },
+                ) if v.is_nan() => assert_eq!(a, b),
+                _ => assert_eq!(got, want),
+            }
+            assert_eq!(g, base.grid, "grid must be untouched after {want:?}");
+        }
     }
 
     #[test]

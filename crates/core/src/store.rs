@@ -23,7 +23,7 @@
 
 use crate::pipeline::PreparedStack;
 use crate::stages::{RoughSolution, Stage};
-use irf_features::StructuralMaps;
+use irf_features::{GeometryMaps, ResistanceMaps};
 use irf_pg::{PgStructure, PowerGrid};
 use irf_sparse::SolverSetup;
 use std::collections::{HashMap, HashSet};
@@ -43,8 +43,10 @@ pub enum StageArtifact {
     Setup(Arc<SolverSetup>),
     /// A truncated rough solve ([`Stage::Rough`]).
     Rough(Arc<RoughSolution>),
-    /// Current-independent structural maps ([`Stage::Structural`]).
-    Structural(Arc<StructuralMaps>),
+    /// Geometry-only structural maps ([`Stage::Structural`]).
+    Structural(Arc<GeometryMaps>),
+    /// Resistance-dependent structural maps ([`Stage::Resistance`]).
+    Resistance(Arc<ResistanceMaps>),
     /// A fully assembled feature stack ([`Stage::Stack`]).
     Stack(Arc<PreparedStack>),
 }
@@ -59,6 +61,7 @@ impl StageArtifact {
             StageArtifact::Setup(_) => Stage::SolverSetup,
             StageArtifact::Rough(_) => Stage::Rough,
             StageArtifact::Structural(_) => Stage::Structural,
+            StageArtifact::Resistance(_) => Stage::Resistance,
             StageArtifact::Stack(_) => Stage::Stack,
         }
     }
@@ -112,7 +115,11 @@ impl Shard {
     }
 
     fn get(&self, key: Key) -> Option<StageArtifact> {
-        let mut inner = self.inner.lock().expect("stage store poisoned");
+        // A poisoned lock means some leader panicked mid-operation;
+        // the map itself is still structurally sound (every mutation
+        // is a single HashMap call), so recover the guard rather than
+        // cascading the panic into every waiter.
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.tick += 1;
         let tick = inner.tick;
         inner.map.get_mut(&key).map(|(last, artifact)| {
@@ -124,7 +131,7 @@ impl Shard {
     /// Inserts an artifact; returns `true` when a same-stage entry
     /// was evicted to make room.
     fn insert(&self, key: Key, artifact: StageArtifact) -> bool {
-        let mut inner = self.inner.lock().expect("stage store poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.tick += 1;
         let tick = inner.tick;
         let mut evicted = false;
@@ -185,7 +192,7 @@ pub struct StageStore {
     shards: Vec<Shard>,
     capacity: usize,
     inflight: InFlight,
-    stats: [StageStats; 6],
+    stats: [StageStats; 7],
 }
 
 impl fmt::Debug for StageStore {
@@ -377,17 +384,61 @@ impl StageStore {
         }
     }
 
-    /// Typed [`Stage::Structural`] get-or-compute.
+    /// Typed [`Stage::Structural`] get-or-compute (geometry maps).
     pub fn structural(
         &self,
         key: u64,
-        compute: impl FnOnce() -> Arc<StructuralMaps>,
-    ) -> Arc<StructuralMaps> {
+        compute: impl FnOnce() -> Arc<GeometryMaps>,
+    ) -> Arc<GeometryMaps> {
         match self.get_or_compute(Stage::Structural, key, || {
             StageArtifact::Structural(compute())
         }) {
             StageArtifact::Structural(v) => v,
             other => unreachable!("stage key tagged Structural held {:?}", other.stage()),
+        }
+    }
+
+    /// Typed [`Stage::Resistance`] get-or-compute.
+    pub fn resistance(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Arc<ResistanceMaps>,
+    ) -> Arc<ResistanceMaps> {
+        match self.get_or_compute(Stage::Resistance, key, || {
+            StageArtifact::Resistance(compute())
+        }) {
+            StageArtifact::Resistance(v) => v,
+            other => unreachable!("stage key tagged Resistance held {:?}", other.stage()),
+        }
+    }
+
+    /// Non-counting probe for a warm [`Stage::Assembled`] artifact —
+    /// used by the topology-delta fast path to locate its *base*
+    /// system. Refreshes recency on success but records neither a hit
+    /// nor a miss: base-artifact probes are opportunistic and must not
+    /// distort the per-stage counters the incremental contract is
+    /// asserted against.
+    #[must_use]
+    pub fn peek_assembled(&self, key: u64) -> Option<Arc<PgStructure>> {
+        match self
+            .shard((Stage::Assembled, key))
+            .get((Stage::Assembled, key))
+        {
+            Some(StageArtifact::Assembled(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Non-counting probe for a warm [`Stage::SolverSetup`] artifact;
+    /// see [`StageStore::peek_assembled`].
+    #[must_use]
+    pub fn peek_solver_setup(&self, key: u64) -> Option<Arc<SolverSetup>> {
+        match self
+            .shard((Stage::SolverSetup, key))
+            .get((Stage::SolverSetup, key))
+        {
+            Some(StageArtifact::Setup(v)) => Some(v),
+            _ => None,
         }
     }
 
@@ -408,7 +459,7 @@ impl StageStore {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.inner.lock().expect("stage store poisoned").map.len())
+            .map(|s| s.inner.lock().unwrap_or_else(|e| e.into_inner()).map.len())
             .sum()
     }
 
@@ -426,7 +477,7 @@ impl StageStore {
             .map(|s| {
                 s.inner
                     .lock()
-                    .expect("stage store poisoned")
+                    .unwrap_or_else(|e| e.into_inner())
                     .map
                     .keys()
                     .filter(|(st, _)| *st == stage)
@@ -650,6 +701,24 @@ mod tests {
         let got = store.get_or_compute(Stage::Stack, 7, stack);
         assert!(store.get(Stage::Stack, 7).is_some());
         drop(got);
+    }
+
+    #[test]
+    fn peeks_find_artifacts_without_touching_the_counters() {
+        let store = StageStore::new(4);
+        assert!(store.peek_assembled(5).is_none());
+        assert!(store.peek_solver_setup(5).is_none());
+        let structure = Arc::new(irf_pg::PgStructure {
+            matrix: irf_sparse::CsrMatrix::from_triplets(1, 1, &[(0, 0, 1.0)]),
+            index_of: vec![Some(0)],
+            node_of: vec![0],
+        });
+        store.insert(Stage::Assembled, 5, StageArtifact::Assembled(structure));
+        assert!(store.peek_assembled(5).is_some());
+        // Wrong-stage key: a peek never cross-reads another stage.
+        assert!(store.peek_solver_setup(5).is_none());
+        assert_eq!(store.hits(), 0, "peeks must not count as hits");
+        assert_eq!(store.misses(), 0, "peeks must not count as misses");
     }
 
     #[test]

@@ -28,4 +28,6 @@ pub mod solution;
 pub mod stack;
 
 pub use error::FeatureError;
-pub use stack::{FeatureConfig, FeatureExtractor, FeatureStack, StructuralMaps};
+pub use stack::{
+    FeatureConfig, FeatureExtractor, FeatureStack, GeometryMaps, ResistanceMaps, StructuralMaps,
+};

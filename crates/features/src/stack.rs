@@ -158,6 +158,48 @@ pub struct StructuralMaps {
     pub shortest_path: GridMap,
 }
 
+impl StructuralMaps {
+    /// Reassembles the legacy combined artifact from the two split
+    /// halves (cheap map clones).
+    #[must_use]
+    pub fn from_parts(geometry: &GeometryMaps, resistance: &ResistanceMaps) -> Self {
+        StructuralMaps {
+            distance: geometry.distance.clone(),
+            density: geometry.density.clone(),
+            resistance: resistance.resistance.clone(),
+            shortest_path: resistance.shortest_path.clone(),
+        }
+    }
+}
+
+/// The *geometry-only* feature channels: determined by node positions,
+/// layers, segment endpoints, and the pad set — never by segment
+/// resistances or load currents.
+///
+/// This is the half of the old [`StructuralMaps`] artifact that a
+/// strap/via resistance edit can reuse verbatim: a topology delta that
+/// only rescales `ohms` leaves these maps untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeometryMaps {
+    /// The normalized `distance/effective` channel.
+    pub distance: GridMap,
+    /// The normalized `density/pdn` channel.
+    pub density: GridMap,
+}
+
+/// The *resistance-dependent* structural channels: functions of the
+/// segment resistances (but still never of the load currents). A
+/// strap/via edit invalidates these while [`GeometryMaps`] stays warm;
+/// a current-only edit reuses both halves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResistanceMaps {
+    /// The normalized `resistance/map` channel.
+    pub resistance: GridMap,
+    /// The normalized `resistance/shortest_path` channel (the costly
+    /// per-pad Dijkstra).
+    pub shortest_path: GridMap,
+}
+
 /// Extracts the full hierarchical numerical-structural stack for one
 /// design.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -225,6 +267,66 @@ impl FeatureExtractor {
     /// Returns [`FeatureError::NoPads`] when the grid has no pads (the
     /// pad-relative features are undefined).
     pub fn structural(&self, grid: &PowerGrid) -> Result<StructuralMaps, FeatureError> {
+        let geometry = self.geometry(grid)?;
+        let resistance = self.resistance_maps(grid)?;
+        Ok(StructuralMaps::from_parts(&geometry, &resistance))
+    }
+
+    /// Computes only the geometry-dependent channels (effective
+    /// distance, PDN density). These survive both current edits *and*
+    /// strap/via resistance edits, so the incremental pipeline keys
+    /// them on the geometry fingerprint alone.
+    ///
+    /// Each map's values are bitwise identical to the corresponding
+    /// channel of [`FeatureExtractor::structural`]: every individual
+    /// map is produced by the same serial code regardless of which
+    /// grouping computed it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::NoPads`] when the grid has no pads (the
+    /// distance channel is pad-relative).
+    pub fn geometry(&self, grid: &PowerGrid) -> Result<GeometryMaps, FeatureError> {
+        if grid.pads.is_empty() {
+            return Err(FeatureError::NoPads);
+        }
+        let raster = self.rasterizer(grid);
+        let norm = self.config.normalization;
+        let dist = Normalization::Fixed(1.0 / self.config.width.max(self.config.height) as f32);
+        let r = &raster;
+        let tasks: Vec<Box<dyn FnOnce() -> GridMap + Send>> = vec![
+            Box::new(move || {
+                let _s = irf_trace::span("feature/effective_distance");
+                normalize(&effective_distance_map(grid, r), dist)
+            }),
+            Box::new(move || {
+                let _s = irf_trace::span("feature/pdn_density");
+                normalize(&pdn_density_map(grid, r), norm)
+            }),
+        ];
+        let mut maps = irf_runtime::par_map(tasks).into_iter();
+        Ok(GeometryMaps {
+            distance: maps.next().expect("distance map"),
+            density: maps.next().expect("density map"),
+        })
+    }
+
+    /// Computes only the resistance-dependent structural channels
+    /// (resistance mass, per-pad shortest-path resistance). These are
+    /// recomputed on a strap/via edit while [`GeometryMaps`] stays
+    /// warm.
+    ///
+    /// The shortest-path resistance values — the costliest feature —
+    /// are computed first at top level, so their per-pad Dijkstra
+    /// passes fan out across the whole pool; the remaining maps then
+    /// run as one task each (nested parallel calls inside a task
+    /// execute inline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::NoPads`] when the grid has no pads (the
+    /// pad-relative features are undefined).
+    pub fn resistance_maps(&self, grid: &PowerGrid) -> Result<ResistanceMaps, FeatureError> {
         if grid.pads.is_empty() {
             return Err(FeatureError::NoPads);
         }
@@ -237,18 +339,9 @@ impl FeatureExtractor {
             shortest_path::shortest_path_resistance_per_node(grid)?
         };
         let norm = self.config.normalization;
-        let dist = Normalization::Fixed(1.0 / self.config.width.max(self.config.height) as f32);
         let path_r = Normalization::Fixed(PATH_RESISTANCE_SCALE);
         let r = &raster;
         let tasks: Vec<Box<dyn FnOnce() -> GridMap + Send>> = vec![
-            Box::new(move || {
-                let _s = irf_trace::span("feature/effective_distance");
-                normalize(&effective_distance_map(grid, r), dist)
-            }),
-            Box::new(move || {
-                let _s = irf_trace::span("feature/pdn_density");
-                normalize(&pdn_density_map(grid, r), norm)
-            }),
             Box::new(move || {
                 let _s = irf_trace::span("feature/resistance_map");
                 normalize(&resistance_map(grid, r), norm)
@@ -265,9 +358,7 @@ impl FeatureExtractor {
             }),
         ];
         let mut maps = irf_runtime::par_map(tasks).into_iter();
-        Ok(StructuralMaps {
-            distance: maps.next().expect("distance map"),
-            density: maps.next().expect("density map"),
+        Ok(ResistanceMaps {
             resistance: maps.next().expect("resistance map"),
             shortest_path: maps.next().expect("shortest-path map"),
         })
@@ -292,6 +383,63 @@ impl FeatureExtractor {
         grid: &PowerGrid,
         rough_drop: &[f64],
         structural: &StructuralMaps,
+    ) -> Result<FeatureStack, FeatureError> {
+        self.assemble_stack(
+            grid,
+            rough_drop,
+            &structural.distance,
+            &structural.density,
+            &structural.resistance,
+            &structural.shortest_path,
+        )
+    }
+
+    /// Assembles the full stack from the split structural halves —
+    /// the stage-graph entry point where [`GeometryMaps`] and
+    /// [`ResistanceMaps`] are cached under *different* fingerprints.
+    /// Channel order and values are bitwise identical to
+    /// [`FeatureExtractor::extract`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::NoPads`] when the grid has no pads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rough_drop.len() != grid.nodes.len()` or the map
+    /// sizes disagree with the configured raster.
+    pub fn extract_with_parts(
+        &self,
+        grid: &PowerGrid,
+        rough_drop: &[f64],
+        geometry: &GeometryMaps,
+        resistance: &ResistanceMaps,
+    ) -> Result<FeatureStack, FeatureError> {
+        self.assemble_stack(
+            grid,
+            rough_drop,
+            &geometry.distance,
+            &geometry.density,
+            &resistance.resistance,
+            &resistance.shortest_path,
+        )
+    }
+
+    /// The shared assembly path behind [`extract_with_structural`] and
+    /// [`extract_with_parts`]: recomputes only the current-dependent
+    /// channels and splices the precomputed structural maps into the
+    /// fixed channel order.
+    ///
+    /// [`extract_with_structural`]: FeatureExtractor::extract_with_structural
+    /// [`extract_with_parts`]: FeatureExtractor::extract_with_parts
+    fn assemble_stack(
+        &self,
+        grid: &PowerGrid,
+        rough_drop: &[f64],
+        distance: &GridMap,
+        density: &GridMap,
+        resistance: &GridMap,
+        shortest_path: &GridMap,
     ) -> Result<FeatureStack, FeatureError> {
         if grid.pads.is_empty() {
             return Err(FeatureError::NoPads);
@@ -346,10 +494,10 @@ impl FeatureExtractor {
             Group::Layers(..) => unreachable!("first group is current/total"),
         };
         stack.push(total.0, total.1);
-        stack.push("distance/effective", structural.distance.clone());
-        stack.push("density/pdn", structural.density.clone());
-        stack.push("resistance/map", structural.resistance.clone());
-        stack.push("resistance/shortest_path", structural.shortest_path.clone());
+        stack.push("distance/effective", distance.clone());
+        stack.push("density/pdn", density.clone());
+        stack.push("resistance/map", resistance.clone());
+        stack.push("resistance/shortest_path", shortest_path.clone());
         for group in groups {
             match group {
                 Group::One(name, m) => stack.push(name, m),
@@ -484,6 +632,35 @@ I1 n1_m1_1000_0 0 1m
             l.amps *= 3.0;
         }
         assert_eq!(ex.structural(&edited).unwrap(), structural);
+    }
+
+    #[test]
+    fn split_halves_match_the_combined_structural_maps_bitwise() {
+        let g = grid();
+        let ex = FeatureExtractor::new(config());
+        let drops = vec![0.0005; g.nodes.len()];
+        let combined = ex.structural(&g).unwrap();
+        let geometry = ex.geometry(&g).unwrap();
+        let resistance = ex.resistance_maps(&g).unwrap();
+        assert_eq!(geometry.distance, combined.distance);
+        assert_eq!(geometry.density, combined.density);
+        assert_eq!(resistance.resistance, combined.resistance);
+        assert_eq!(resistance.shortest_path, combined.shortest_path);
+        assert_eq!(StructuralMaps::from_parts(&geometry, &resistance), combined);
+
+        // Parts-based assembly equals the cold extract bit for bit.
+        let cold = ex.extract(&g, &drops).unwrap();
+        let parts = ex
+            .extract_with_parts(&g, &drops, &geometry, &resistance)
+            .unwrap();
+        assert_eq!(cold, parts);
+
+        // A pure resistance edit leaves the geometry half untouched
+        // but changes the resistance half.
+        let mut edited = g.clone();
+        edited.segments[1].ohms *= 2.0;
+        assert_eq!(ex.geometry(&edited).unwrap(), geometry);
+        assert_ne!(ex.resistance_maps(&edited).unwrap(), resistance);
     }
 
     #[test]

@@ -106,6 +106,57 @@ impl PgStructure {
         Self::try_build(grid).expect("malformed power grid")
     }
 
+    /// Re-stamps an edited grid's conductances into this structure's
+    /// sparsity pattern — the topology-delta fast path that skips the
+    /// full MNA re-assembly sort.
+    ///
+    /// `edited` must be the same grid with only segment resistances
+    /// changed: same node list, same pad set, same segment endpoints.
+    /// Anything else — a structural mismatch, a new connection falling
+    /// outside the base pattern, or a conductance sum landing on exact
+    /// zero — returns `None`, and the caller falls back to
+    /// [`PgStructure::build`]. On `Some`, the result is bitwise
+    /// identical to a cold build of `edited`: triplets are regenerated
+    /// in the exact [`PgStructure::try_build`] stamping order and
+    /// scatter-added in that same order.
+    #[must_use]
+    pub fn restamped(&self, edited: &PowerGrid) -> Option<PgStructure> {
+        if edited.nodes.len() != self.index_of.len() {
+            return None;
+        }
+        for (node, idx) in edited.nodes.iter().zip(&self.index_of) {
+            if node.is_pad != idx.is_none() {
+                return None;
+            }
+        }
+        let n = self.node_of.len();
+        let mut span = irf_trace::span("mna_restamp");
+        let mut t = TripletMatrix::with_capacity(n, n, 4 * edited.segments.len());
+        for s in &edited.segments {
+            if s.a >= self.index_of.len() || s.b >= self.index_of.len() {
+                return None;
+            }
+            let g = s.conductance();
+            match (self.index_of[s.a], self.index_of[s.b]) {
+                (Some(a), Some(b)) => t.stamp_conductance(a, b, g),
+                (Some(a), None) => t.stamp_grounded_conductance(a, g),
+                (None, Some(b)) => t.stamp_grounded_conductance(b, g),
+                (None, None) => {} // pad-to-pad segment carries no unknown
+            }
+        }
+        let matrix = t.to_csr_with_pattern(&self.matrix)?;
+        if span.is_recording() {
+            span.attr("unknowns", n);
+            span.attr("nnz", matrix.nnz());
+            span.attr("segments", edited.segments.len());
+        }
+        Some(PgStructure {
+            matrix,
+            index_of: self.index_of.clone(),
+            node_of: self.node_of.clone(),
+        })
+    }
+
     /// Dimension of the reduced system.
     #[must_use]
     pub fn dim(&self) -> usize {
@@ -292,6 +343,62 @@ I1 n2 0 1m
         let g = PowerGrid::from_netlist(&parse(src).unwrap()).unwrap();
         let s = g.build_system();
         assert!((s.rhs[0] - 3e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn restamped_resistance_edit_matches_cold_build_bitwise() {
+        let src = "\
+V1 p 0 1.0
+R1 p n1 1.0
+R2 n1 n2 1.0
+R3 n2 n3 2.0
+I1 n3 0 1m
+";
+        let base_grid = PowerGrid::from_netlist(&parse(src).unwrap()).unwrap();
+        let base = PgStructure::build(&base_grid);
+
+        let mut edited = base_grid.clone();
+        edited.segments[1].ohms *= 1.5;
+        edited.segments[2].ohms *= 0.25;
+        let fast = base.restamped(&edited).expect("same pattern");
+        let cold = PgStructure::build(&edited);
+        assert_eq!(fast, cold);
+
+        // Identical grid restamps to an identical structure.
+        assert_eq!(base.restamped(&base_grid).expect("identity"), base);
+    }
+
+    #[test]
+    fn restamped_declines_on_structural_changes() {
+        let src = "V1 p 0 1.0\nR1 p a 1.0\nR2 a b 1.0\nR3 b c 1.0\nI1 c 0 1m\n";
+        let grid = PowerGrid::from_netlist(&parse(src).unwrap()).unwrap();
+        let base = PgStructure::build(&grid);
+
+        // Different node count.
+        let smaller = PowerGrid::from_netlist(
+            &parse("V1 p 0 1.0\nR1 p a 1.0\nR2 a b 1.0\nI1 b 0 1m\n").unwrap(),
+        )
+        .unwrap();
+        assert!(base.restamped(&smaller).is_none());
+
+        // New connection a--c outside the base sparsity pattern (the
+        // base chain only couples a-b and b-c).
+        let mut rewired = grid.clone();
+        let (a, c) = (rewired.segments[0].b, rewired.segments[2].b);
+        rewired
+            .segments
+            .push(crate::grid::Segment { a, b: c, ohms: 1.0 });
+        assert!(base.restamped(&rewired).is_none());
+
+        // Pad set mismatch.
+        let mut repadded = grid.clone();
+        repadded.nodes[1].is_pad = true;
+        assert!(base.restamped(&repadded).is_none());
+
+        // Segment endpoint out of range.
+        let mut broken = grid.clone();
+        broken.segments[0].b = 99;
+        assert!(base.restamped(&broken).is_none());
     }
 
     #[test]

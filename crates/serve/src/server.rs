@@ -9,10 +9,20 @@
 //!   `/predict` (load it in Perfetto / `chrome://tracing`).
 //! - `POST /predict` — run one design through the pipeline.
 //! - `POST /whatif` — incremental re-analysis: a base design
-//!   fingerprint (as reported by `/predict`) plus per-cell current
-//!   deltas. Rides the stage store's warm artifacts — the assembled
-//!   MNA system, AMG hierarchy and structural feature maps are reused
-//!   and only the rough solve, stack assembly and model forward run.
+//!   fingerprint (as reported by `/predict`) plus a list of deltas.
+//!   Current deltas (`kind` omitted or `"current"`) ride the stage
+//!   store's warm artifacts — the assembled MNA system, AMG hierarchy
+//!   and feature maps are reused and only the rough solve, stack
+//!   assembly and model forward run. Topology deltas (`"strap"`,
+//!   `"via"`, `"segment"`) scale or set segment resistances; the
+//!   parsed design and geometry maps stay warm and the MNA system /
+//!   AMG hierarchy are rebuilt incrementally from the base artifacts.
+//! - `POST /sweep` — ranked candidate sweep: one base fingerprint
+//!   plus N candidate delta plans. Every candidate is prepared
+//!   through the warm stage graph, the model forwards are fanned
+//!   through the micro-batcher, and the response ranks candidates by
+//!   worst-drop improvement (then hotspot-count delta) against the
+//!   base analysis, with per-candidate stage-cache hit statistics.
 //! - `POST /reload` — swap in a checkpoint (`{"model_path": ...}`)
 //!   without dropping in-flight requests: the batcher resolves the
 //!   model once per batch, so batches already collected finish on the
@@ -34,7 +44,10 @@ use crate::batch::{try_submit, BatchConfig, Batcher, ModelSlot, PredictJob, Subm
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::json::{obj, parse, Json};
 use crate::metrics::ServerMetrics;
-use ir_fusion::{design_fingerprint, FusionConfig, IrFusionPipeline, StageStore, TrainedModel};
+use ir_fusion::{
+    design_fingerprint, EditError, FusionConfig, IrFusionPipeline, StageStore, TopologyDelta,
+    TrainedModel,
+};
 use irf_metrics::Timer;
 use irf_pg::{GridMap, PowerGrid};
 use std::io::BufReader;
@@ -327,6 +340,10 @@ fn route_request(
             let (status, body) = handle_whatif(request, state);
             ("whatif", status, "application/json", body)
         }
+        ("POST", "/sweep") => {
+            let (status, body) = handle_sweep(request, state);
+            ("sweep", status, "application/json", body)
+        }
         ("POST", "/reload") => {
             let (status, body) = handle_reload(request, state);
             ("reload", status, "application/json", body)
@@ -499,17 +516,25 @@ fn handle_predict(request: &Request, state: &Arc<State>) -> (u16, String) {
 }
 
 /// `POST /whatif` — incremental re-analysis of a previously predicted
-/// design under per-cell current deltas:
+/// design under a list of edits:
 ///
 /// ```json
 /// {"base": "<16-hex design fingerprint>",
-///  "deltas": [{"node": 17, "amps": 0.002}, {"name": "n1_m1_0_0", "amps": -1e-3}]}
+///  "deltas": [{"node": 17, "amps": 0.002},
+///             {"kind": "current", "name": "n1_m1_0_0", "amps": -1e-3},
+///             {"kind": "strap", "layer": 1, "scale": 0.8},
+///             {"kind": "via", "layers": [1, 2], "scale": 1.5},
+///             {"kind": "segment", "segment": 42, "ohms": 0.35}]}
 /// ```
 ///
 /// The base grid is looked up in the stage store's parsed stage (404
-/// when unknown — POST it to `/predict` first); the session walk then
-/// reuses every warm topology-keyed artifact and recomputes only the
-/// rough solve, the stack assembly and the model forward.
+/// when unknown — POST it to `/predict` first). Current deltas reuse
+/// every warm topology-keyed artifact; topology deltas reuse the
+/// parsed design and geometry maps and rebuild the MNA system / AMG
+/// hierarchy incrementally from the warm base artifacts. A delta that
+/// references a layer / layer pair / segment the base does not have is
+/// rejected with a structured 400 body (`{"error", "code", ...}`) and
+/// nothing is applied.
 fn handle_whatif(request: &Request, state: &Arc<State>) -> (u16, String) {
     if state.shutting_down.load(Ordering::SeqCst) {
         return (503, error_body("shutting down"));
@@ -527,30 +552,19 @@ fn handle_whatif(request: &Request, state: &Arc<State>) -> (u16, String) {
         Ok(body) => body,
         Err(error) => return (400, error_body(&error.to_string())),
     };
-    let Some(base) = body.get("base").and_then(Json::as_str) else {
-        return (
-            400,
-            error_body("request needs base (a /predict design fingerprint)"),
-        );
+    let (fingerprint, grid) = match resolve_base(&body, state) {
+        Ok(ok) => ok,
+        Err(err) => return err,
     };
-    let Ok(fingerprint) = u64::from_str_radix(base, 16) else {
-        return (400, error_body("base must be a hex fingerprint"));
-    };
-    let Some(grid) = state.cache.get_parsed(fingerprint) else {
-        return (
-            404,
-            error_body("unknown base design; POST it to /predict first"),
-        );
-    };
-    let deltas = match parse_deltas(&body, &grid) {
-        Ok(deltas) => deltas,
+    let edits = match parse_edits(body.get("deltas"), &grid) {
+        Ok(edits) => edits,
         Err(message) => return (400, error_body(&message)),
     };
 
-    let session = state
-        .pipeline
-        .session(Arc::clone(&grid))
-        .with_current_deltas(&deltas);
+    let session = match build_session(state, &grid, &edits) {
+        Ok(session) => session,
+        Err(error) => return (400, edit_error_body(&error)),
+    };
     let (stack, prepare_seconds) = Timer::time(|| session.prepare());
     let stack = match stack {
         Ok(stack) => stack,
@@ -575,7 +589,11 @@ fn handle_whatif(request: &Request, state: &Arc<State>) -> (u16, String) {
     };
     let extra = vec![
         ("base", Json::Str(format!("{fingerprint:016x}"))),
-        ("deltas_applied", Json::Num(deltas.len() as f64)),
+        ("deltas_applied", Json::Num(edits.len() as f64)),
+        (
+            "topology_deltas_applied",
+            Json::Num(edits.topology.len() as f64),
+        ),
     ];
     (
         200,
@@ -583,37 +601,435 @@ fn handle_whatif(request: &Request, state: &Arc<State>) -> (u16, String) {
     )
 }
 
-/// Parses the `deltas` array of a `/whatif` body into `(node, amps)`
-/// pairs, resolving node names against the base grid.
-fn parse_deltas(body: &Json, grid: &PowerGrid) -> Result<Vec<(usize, f64)>, String> {
-    let Some(Json::Arr(items)) = body.get("deltas") else {
-        return Err("request needs deltas (an array of {node|name, amps})".to_string());
-    };
-    let mut deltas = Vec::with_capacity(items.len());
-    for (i, item) in items.iter().enumerate() {
-        let Some(amps) = item.get("amps").and_then(Json::as_f64) else {
-            return Err(format!("deltas[{i}] needs a numeric amps"));
-        };
-        let node = if let Some(node) = item.get("node").and_then(Json::as_u64) {
-            let node = node as usize;
-            if node >= grid.nodes.len() {
-                return Err(format!(
-                    "deltas[{i}]: node {node} out of range ({} nodes)",
-                    grid.nodes.len()
-                ));
-            }
-            node
-        } else if let Some(name) = item.get("name").and_then(Json::as_str) {
-            match grid.nodes.iter().position(|n| n.name == name) {
-                Some(node) => node,
-                None => return Err(format!("deltas[{i}]: no node named {name:?}")),
-            }
-        } else {
-            return Err(format!("deltas[{i}] needs node (index) or name"));
-        };
-        deltas.push((node, amps));
+/// One parsed `deltas` array, split by kind.
+struct Edits {
+    /// `(node, amps)` pairs, applied to the load vector.
+    currents: Vec<(usize, f64)>,
+    /// Strap / via / segment resistance edits, applied in order.
+    topology: Vec<TopologyDelta>,
+}
+
+impl Edits {
+    fn len(&self) -> usize {
+        self.currents.len() + self.topology.len()
     }
-    Ok(deltas)
+}
+
+/// Looks up the request's `base` fingerprint in the parsed stage.
+fn resolve_base(body: &Json, state: &Arc<State>) -> Result<(u64, Arc<PowerGrid>), (u16, String)> {
+    let Some(base) = body.get("base").and_then(Json::as_str) else {
+        return Err((
+            400,
+            error_body("request needs base (a /predict design fingerprint)"),
+        ));
+    };
+    let Ok(fingerprint) = u64::from_str_radix(base, 16) else {
+        return Err((400, error_body("base must be a hex fingerprint")));
+    };
+    let Some(grid) = state.cache.get_parsed(fingerprint) else {
+        return Err((
+            404,
+            error_body("unknown base design; POST it to /predict first"),
+        ));
+    };
+    Ok((fingerprint, grid))
+}
+
+/// Opens a session on `grid` with `edits` applied: current deltas
+/// first (they never move fingerprints the topology path depends on),
+/// then topology deltas, which validate against the base grid
+/// all-or-nothing.
+fn build_session<'p>(
+    state: &'p Arc<State>,
+    grid: &Arc<PowerGrid>,
+    edits: &Edits,
+) -> Result<ir_fusion::AnalysisSession<'p>, EditError> {
+    let mut session = state.pipeline.session(Arc::clone(grid));
+    if !edits.currents.is_empty() {
+        session = session.with_current_deltas(&edits.currents);
+    }
+    if !edits.topology.is_empty() {
+        session = session.with_topology_deltas(&edits.topology)?;
+    }
+    Ok(session)
+}
+
+/// Parses a `deltas` array into [`Edits`], resolving node names
+/// against the base grid. Each item selects its flavour with `kind`
+/// (default `"current"`):
+///
+/// - `{"kind": "current", "node": 17 | "name": "...", "amps": 2e-3}`
+/// - `{"kind": "strap", "layer": 1, "scale": 0.8}`
+/// - `{"kind": "via", "layers": [1, 2], "scale": 1.5}`
+/// - `{"kind": "segment", "segment": 42, "ohms": 0.35}`
+fn parse_edits(deltas: Option<&Json>, grid: &PowerGrid) -> Result<Edits, String> {
+    let Some(Json::Arr(items)) = deltas else {
+        return Err(
+            "request needs deltas (an array of {kind?, node|name|layer|layers|segment, ...})"
+                .to_string(),
+        );
+    };
+    let mut edits = Edits {
+        currents: Vec::new(),
+        topology: Vec::new(),
+    };
+    for (i, item) in items.iter().enumerate() {
+        let kind = item.get("kind").and_then(Json::as_str).unwrap_or("current");
+        match kind {
+            "current" => {
+                let Some(amps) = item.get("amps").and_then(Json::as_f64) else {
+                    return Err(format!("deltas[{i}] needs a numeric amps"));
+                };
+                let node = if let Some(node) = item.get("node").and_then(Json::as_u64) {
+                    let node = node as usize;
+                    if node >= grid.nodes.len() {
+                        return Err(format!(
+                            "deltas[{i}]: node {node} out of range ({} nodes)",
+                            grid.nodes.len()
+                        ));
+                    }
+                    node
+                } else if let Some(name) = item.get("name").and_then(Json::as_str) {
+                    match grid.nodes.iter().position(|n| n.name == name) {
+                        Some(node) => node,
+                        None => return Err(format!("deltas[{i}]: no node named {name:?}")),
+                    }
+                } else {
+                    return Err(format!("deltas[{i}] needs node (index) or name"));
+                };
+                edits.currents.push((node, amps));
+            }
+            "strap" => {
+                let Some(layer) = item.get("layer").and_then(Json::as_u64) else {
+                    return Err(format!("deltas[{i}] needs a numeric layer"));
+                };
+                let Some(scale) = item.get("scale").and_then(Json::as_f64) else {
+                    return Err(format!("deltas[{i}] needs a numeric scale"));
+                };
+                edits.topology.push(TopologyDelta::Strap {
+                    layer: layer as u32,
+                    scale,
+                });
+            }
+            "via" => {
+                let Some(Json::Arr(layers)) = item.get("layers") else {
+                    return Err(format!("deltas[{i}] needs layers (an array of two layers)"));
+                };
+                let [a, b] = layers.as_slice() else {
+                    return Err(format!(
+                        "deltas[{i}]: layers must hold exactly two entries, got {}",
+                        layers.len()
+                    ));
+                };
+                let (Some(a), Some(b)) = (a.as_u64(), b.as_u64()) else {
+                    return Err(format!("deltas[{i}]: layers entries must be numeric"));
+                };
+                let Some(scale) = item.get("scale").and_then(Json::as_f64) else {
+                    return Err(format!("deltas[{i}] needs a numeric scale"));
+                };
+                edits.topology.push(TopologyDelta::Via {
+                    lower: a.min(b) as u32,
+                    upper: a.max(b) as u32,
+                    scale,
+                });
+            }
+            "segment" => {
+                let Some(segment) = item.get("segment").and_then(Json::as_u64) else {
+                    return Err(format!("deltas[{i}] needs a numeric segment index"));
+                };
+                let Some(ohms) = item.get("ohms").and_then(Json::as_f64) else {
+                    return Err(format!("deltas[{i}] needs a numeric ohms"));
+                };
+                edits.topology.push(TopologyDelta::Segment {
+                    segment: segment as usize,
+                    ohms,
+                });
+            }
+            other => {
+                return Err(format!(
+                    "deltas[{i}]: unknown kind {other:?} (expected current, strap, via or segment)"
+                ))
+            }
+        }
+    }
+    Ok(edits)
+}
+
+/// The structured members of an [`EditError`] body: the human
+/// message plus a machine-readable `code`.
+fn edit_error_members(error: &EditError) -> Vec<(&'static str, Json)> {
+    let code = match error {
+        EditError::NoStrapSegments { .. } => "no_strap_segments",
+        EditError::NoViaSegments { .. } => "no_via_segments",
+        EditError::DegenerateVia { .. } => "degenerate_via",
+        EditError::SegmentOutOfRange { .. } => "segment_out_of_range",
+        EditError::InvalidValue { .. } => "invalid_value",
+    };
+    vec![
+        ("error", Json::Str(error.to_string())),
+        ("code", Json::Str(code.to_string())),
+    ]
+}
+
+/// Renders an [`EditError`] as a structured 400 body:
+/// `{"error": <message>, "code": <machine-readable kind>}`.
+fn edit_error_body(error: &EditError) -> String {
+    obj(edit_error_members(error)).render()
+}
+
+/// `POST /sweep` — ranked what-if sweep over candidate edit plans:
+///
+/// ```json
+/// {"base": "<16-hex design fingerprint>",
+///  "hotspot_threshold": 0.0012,
+///  "candidates": [
+///    {"label": "thicken-m1", "deltas": [{"kind": "strap", "layer": 1, "scale": 0.8}]},
+///    {"label": "more-load", "deltas": [{"node": 17, "amps": 2e-3}]}]}
+/// ```
+///
+/// Every candidate is prepared serially through the warm stage graph
+/// (so per-candidate cache statistics are attributable), the model
+/// forwards are all submitted to the micro-batcher before any reply
+/// is awaited, and the response lists candidates ranked best-first by
+/// worst-drop delta against the base analysis (ties: hotspot-count
+/// delta, then submission order). Because every prepared map is
+/// bitwise deterministic and the ranking key is total, the ranking is
+/// identical at any thread count and any batch slicing.
+fn handle_sweep(request: &Request, state: &Arc<State>) -> (u16, String) {
+    if state.shutting_down.load(Ordering::SeqCst) {
+        return (503, error_body("shutting down"));
+    }
+    let _trace = TraceScope {
+        collector: irf_trace::Collector::install(),
+        state,
+    };
+    let _span = irf_trace::span("sweep_request");
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return (400, error_body("body is not utf-8")),
+    };
+    let body = match parse(text) {
+        Ok(body) => body,
+        Err(error) => return (400, error_body(&error.to_string())),
+    };
+    let (fingerprint, grid) = match resolve_base(&body, state) {
+        Ok(ok) => ok,
+        Err(err) => return err,
+    };
+    let Some(Json::Arr(items)) = body.get("candidates") else {
+        return (
+            400,
+            error_body("request needs candidates (an array of {label?, deltas})"),
+        );
+    };
+    if items.is_empty() {
+        return (400, error_body("candidates must not be empty"));
+    }
+    const MAX_CANDIDATES: usize = 64;
+    if items.len() > MAX_CANDIDATES {
+        return (
+            400,
+            error_body(&format!(
+                "too many candidates ({}, limit {MAX_CANDIDATES})",
+                items.len()
+            )),
+        );
+    }
+
+    // Parse and validate every candidate before solving anything, so a
+    // malformed plan rejects the whole sweep without wasted work.
+    let mut candidates = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let label = item
+            .get("label")
+            .and_then(Json::as_str)
+            .map_or_else(|| format!("candidate-{i}"), str::to_string);
+        let edits = match parse_edits(item.get("deltas"), &grid) {
+            Ok(edits) => edits,
+            Err(message) => {
+                return (
+                    400,
+                    error_body(&format!("candidates[{i}] ({label}): {message}")),
+                )
+            }
+        };
+        let session = match build_session(state, &grid, &edits) {
+            Ok(session) => session,
+            Err(error) => {
+                let mut members = edit_error_members(&error);
+                members.push(("candidate", Json::Num(i as f64)));
+                members.push(("label", Json::Str(label)));
+                return (400, obj(members).render());
+            }
+        };
+        candidates.push((label, session));
+    }
+
+    // The base analysis everything is ranked against (warm after the
+    // original /predict; computed through the same stage graph
+    // otherwise).
+    let base_session = state.pipeline.session(Arc::clone(&grid));
+    let ((prepared, base_stack), prepare_seconds) = Timer::time(|| {
+        let base_stack = base_session.prepare();
+        // Serial per-candidate prepares keep the store counters
+        // attributable to one candidate at a time.
+        let prepared: Vec<_> = candidates
+            .iter()
+            .map(|(label, session)| {
+                let before = (state.cache.hits(), state.cache.misses());
+                let stack = session.prepare();
+                let after = (state.cache.hits(), state.cache.misses());
+                (
+                    label,
+                    session,
+                    stack,
+                    after.0 - before.0,
+                    after.1 - before.1,
+                )
+            })
+            .collect();
+        (prepared, base_stack)
+    });
+    state
+        .metrics
+        .observe_stage("sweep_prepare", prepare_seconds);
+    let base_stack = match base_stack {
+        Ok(stack) => stack,
+        Err(error) => {
+            return (
+                400,
+                error_body(&format!("cannot prepare base features: {error}")),
+            )
+        }
+    };
+    let mut stacks = vec![Arc::clone(&base_stack)];
+    for (label, _, stack, ..) in &prepared {
+        match stack {
+            Ok(stack) => stacks.push(Arc::clone(stack)),
+            Err(error) => {
+                return (
+                    400,
+                    error_body(&format!("cannot prepare candidate {label}: {error}")),
+                )
+            }
+        }
+    }
+
+    let (maps, source) = match run_inference_batch(state, &stacks) {
+        Ok(ok) => ok,
+        Err(err) => return err,
+    };
+    let base_map = &maps[0];
+    let threshold = body
+        .get("hotspot_threshold")
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| f64::from(base_map.max()) * 0.9);
+    let hotspots = |map: &GridMap| {
+        map.data()
+            .iter()
+            .filter(|&&v| f64::from(v) >= threshold && v > 0.0)
+            .count()
+    };
+    let base_max = f64::from(base_map.max());
+    let base_hotspots = hotspots(base_map);
+
+    struct Row {
+        index: usize,
+        label: String,
+        design: u64,
+        max_drop: f64,
+        delta_max_drop: f64,
+        hotspot_count: usize,
+        delta_hotspots: i64,
+        deltas_applied: usize,
+        topology_deltas: usize,
+        cache_hits: u64,
+        cache_misses: u64,
+    }
+    let mut rows: Vec<Row> = prepared
+        .iter()
+        .zip(&maps[1..])
+        .enumerate()
+        .map(|(index, ((label, session, stack, hits, misses), map))| {
+            let stack = stack.as_ref().expect("prepare errors handled above");
+            // Edited designs are themselves valid bases for follow-up
+            // /whatif and /sweep calls.
+            state
+                .cache
+                .insert_parsed(stack.fingerprint, Arc::clone(session.grid()));
+            let max_drop = f64::from(map.max());
+            let hotspot_count = hotspots(map);
+            let plan = session.edit_plan();
+            Row {
+                index,
+                label: (*label).clone(),
+                design: stack.fingerprint,
+                max_drop,
+                delta_max_drop: max_drop - base_max,
+                hotspot_count,
+                delta_hotspots: hotspot_count as i64 - base_hotspots as i64,
+                deltas_applied: plan.current_deltas().len() + plan.topology_deltas().len(),
+                topology_deltas: plan.topology_deltas().len(),
+                cache_hits: *hits,
+                cache_misses: *misses,
+            }
+        })
+        .collect();
+    // Best first: the candidate that lowers the worst drop the most,
+    // ties broken by hotspot improvement, then submission order — a
+    // total order, so the ranking is deterministic.
+    rows.sort_by(|a, b| {
+        a.delta_max_drop
+            .total_cmp(&b.delta_max_drop)
+            .then(a.delta_hotspots.cmp(&b.delta_hotspots))
+            .then(a.index.cmp(&b.index))
+    });
+
+    let ranked: Vec<Json> = rows
+        .iter()
+        .enumerate()
+        .map(|(rank, row)| {
+            obj(vec![
+                ("rank", Json::Num((rank + 1) as f64)),
+                ("candidate", Json::Num(row.index as f64)),
+                ("label", Json::Str(row.label.clone())),
+                ("design", Json::Str(format!("{:016x}", row.design))),
+                ("max_drop", Json::Num(row.max_drop)),
+                ("delta_max_drop", Json::Num(row.delta_max_drop)),
+                ("hotspot_count", Json::Num(row.hotspot_count as f64)),
+                ("delta_hotspot_count", Json::Num(row.delta_hotspots as f64)),
+                ("deltas_applied", Json::Num(row.deltas_applied as f64)),
+                (
+                    "topology_deltas_applied",
+                    Json::Num(row.topology_deltas as f64),
+                ),
+                (
+                    "cache",
+                    obj(vec![
+                        ("hits", Json::Num(row.cache_hits as f64)),
+                        ("misses", Json::Num(row.cache_misses as f64)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    (
+        200,
+        obj(vec![
+            ("base", Json::Str(format!("{fingerprint:016x}"))),
+            ("source", Json::Str(source.to_string())),
+            ("hotspot_threshold", Json::Num(threshold)),
+            (
+                "baseline",
+                obj(vec![
+                    ("max_drop", Json::Num(base_max)),
+                    ("hotspot_count", Json::Num(base_hotspots as f64)),
+                ]),
+            ),
+            ("candidates", Json::Arr(ranked)),
+        ])
+        .render(),
+    )
 }
 
 /// Queues one prepared stack for the batched forward pass (when a
@@ -650,6 +1066,55 @@ fn run_inference(
         }
         None if state.has_model => Err((503, error_body("shutting down"))),
         None => Ok((stack.rough.clone(), "rough")),
+    }
+}
+
+/// Fans `stacks` through the micro-batcher: every job is submitted
+/// before any reply is awaited, so one sweep's forwards coalesce into
+/// as few batches as the batcher's window allows. Output order matches
+/// input order, and because the batched forward is bitwise identical
+/// to serial forwards, the maps do not depend on how the batcher
+/// slices the jobs. Without a model, falls back to the rough maps.
+fn run_inference_batch(
+    state: &Arc<State>,
+    stacks: &[Arc<ir_fusion::PreparedStack>],
+) -> Result<(Vec<GridMap>, &'static str), (u16, String)> {
+    let sender = state
+        .predict_tx
+        .lock()
+        .expect("predict sender poisoned")
+        .clone();
+    match sender {
+        Some(tx) => {
+            let mut replies = Vec::with_capacity(stacks.len());
+            for stack in stacks {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                let job = PredictJob {
+                    stack: Arc::clone(stack),
+                    reply: reply_tx,
+                };
+                match try_submit(&tx, job) {
+                    Ok(()) => replies.push(reply_rx),
+                    Err(SubmitError::QueueFull) => {
+                        return Err((429, error_body("predict queue is full, retry later")))
+                    }
+                    Err(SubmitError::Closed) => return Err((503, error_body("shutting down"))),
+                }
+            }
+            let (received, infer_seconds) = Timer::time(|| {
+                replies
+                    .iter()
+                    .map(mpsc::Receiver::recv)
+                    .collect::<Result<Vec<_>, _>>()
+            });
+            state.metrics.observe_stage("infer", infer_seconds);
+            match received {
+                Ok(maps) => Ok((maps, "fused")),
+                Err(mpsc::RecvError) => Err((503, error_body("shutting down"))),
+            }
+        }
+        None if state.has_model => Err((503, error_body("shutting down"))),
+        None => Ok((stacks.iter().map(|s| s.rough.clone()).collect(), "rough")),
     }
 }
 

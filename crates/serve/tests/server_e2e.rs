@@ -166,10 +166,11 @@ fn server_answers_predicts_and_reuses_the_cache() {
     let (status, metrics) = request(addr, "GET", "/metrics", "");
     assert_eq!(status, 200);
     // Three predicts of the same design: the cold walk computed each
-    // of the five stage artifacts (stack, assembled system, solver
-    // setup, rough solve, structural maps) exactly once; the two warm
-    // predicts short-circuited on the stack artifact.
-    assert_eq!(metric_value(&metrics, "irf_cache_misses_total"), 5.0);
+    // of the six stage artifacts (stack, assembled system, solver
+    // setup, rough solve, geometry maps, resistance maps) exactly
+    // once; the two warm predicts short-circuited on the stack
+    // artifact.
+    assert_eq!(metric_value(&metrics, "irf_cache_misses_total"), 6.0);
     assert_eq!(metric_value(&metrics, "irf_cache_hits_total"), 2.0);
     assert!(metrics.contains("irf_stage_cache_events_total{stage=\"stack\",event=\"miss\"} 1"));
     assert!(metrics.contains("irf_stage_cache_events_total{stage=\"stack\",event=\"hit\"} 2"));

@@ -81,6 +81,36 @@ pub fn galerkin_coarse(a: &CsrMatrix, agg: &Aggregation) -> CsrMatrix {
     CsrMatrix::from_triplets(agg.n_coarse, agg.n_coarse, &triplets)
 }
 
+/// [`galerkin_coarse`] variant that scatter-adds into a known coarse
+/// sparsity pattern instead of sorting a fresh one.
+///
+/// Returns `None` when the product's structure does not match
+/// `pattern` (the caller falls back to [`galerkin_coarse`]). On
+/// `Some`, the result is bitwise identical to [`galerkin_coarse`]:
+/// both sum the mapped fine entries in the same serial triplet order.
+fn galerkin_coarse_with_pattern(
+    a: &CsrMatrix,
+    agg: &Aggregation,
+    pattern: &CsrMatrix,
+) -> Option<CsrMatrix> {
+    assert_eq!(agg.assign.len(), a.rows(), "aggregation size mismatch");
+    if pattern.rows() != agg.n_coarse || pattern.cols() != agg.n_coarse {
+        return None;
+    }
+    let mut triplets: Vec<(usize, usize, f64)> = vec![(0, 0, 0.0); a.nnz()];
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let values = a.values();
+    irf_runtime::par_ragged_chunks_mut(&mut triplets, row_ptr, |r, row| {
+        let coarse_r = agg.assign[r];
+        let s = row_ptr[r];
+        for (k, t) in row.iter_mut().enumerate() {
+            *t = (coarse_r, agg.assign[col_idx[s + k]], values[s + k]);
+        }
+    });
+    CsrMatrix::from_triplets_with_pattern(pattern, &triplets)
+}
+
 /// Restricts a fine-level vector: `r_c[a] = sum_{i in a} r[i]`
 /// (`r_c = P^T r`).
 #[must_use]
@@ -138,6 +168,68 @@ impl AmgHierarchy {
                 break; // aggregation stalled; stop coarsening
             }
             let coarse = galerkin_coarse(&current, &agg);
+            levels.push(Level {
+                a: current,
+                agg: Some(agg),
+            });
+            current = coarse;
+        }
+        let coarse_n = current.rows();
+        let coarse_chol = dense_cholesky(&current);
+        levels.push(Level {
+            a: current,
+            agg: None,
+        });
+        AmgHierarchy {
+            levels,
+            params,
+            coarse_chol,
+            coarse_n,
+        }
+    }
+
+    /// Re-runs the setup for a matrix with the same sparsity pattern as
+    /// `base`'s finest operator, reusing base-level coarse *patterns*
+    /// where the hierarchy shape is provably unchanged.
+    ///
+    /// Aggregation is value-dependent, so it is always recomputed —
+    /// reusing a stale fine-to-coarse map would silently change the
+    /// hierarchy and break the bitwise warm-equals-cold contract. What
+    /// *can* be reused safely is the sorted sparsity pattern of each
+    /// Galerkin product: when the fresh aggregation equals the base
+    /// level's and the fine operators share a pattern, the coarse
+    /// operator is scatter-assembled into the base coarse pattern
+    /// (skipping the dominant sort) and is bitwise identical to what
+    /// [`AmgHierarchy::build`] would produce. Any mismatch falls back
+    /// to the full per-level build, so the result always equals
+    /// `AmgHierarchy::build(a, params)` bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square, or if the coarsest operator is not
+    /// positive definite.
+    #[must_use]
+    pub fn rebuild_from(a: &CsrMatrix, params: AmgParams, base: &AmgHierarchy) -> Self {
+        assert_eq!(a.rows(), a.cols(), "amg: matrix must be square");
+        let reuse = params == base.params;
+        let mut levels = Vec::new();
+        let mut current = a.clone();
+        while current.rows() > params.coarse_limit && levels.len() + 1 < params.max_levels {
+            let agg = aggregate_double_pairwise(&current, params.theta);
+            if agg.n_coarse >= current.rows() {
+                break; // aggregation stalled; stop coarsening
+            }
+            let li = levels.len();
+            let coarse = if reuse {
+                base.levels
+                    .get(li)
+                    .filter(|b| b.agg.as_ref() == Some(&agg) && b.a.same_pattern(&current))
+                    .and_then(|_| base.levels.get(li + 1))
+                    .and_then(|next| galerkin_coarse_with_pattern(&current, &agg, &next.a))
+                    .unwrap_or_else(|| galerkin_coarse(&current, &agg))
+            } else {
+                galerkin_coarse(&current, &agg)
+            };
             levels.push(Level {
                 a: current,
                 agg: Some(agg),
@@ -327,6 +419,41 @@ mod tests {
         h.coarse_solve(&b, &mut x);
         for (xi, ti) in x.iter().zip(&x_true) {
             assert!((xi - ti).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn rebuild_from_matches_a_cold_build_bitwise() {
+        let a = laplacian_2d(20, 20);
+        let params = AmgParams::default();
+        let base = AmgHierarchy::build(&a, params);
+
+        // Same-pattern symmetric value edit: weaken a subset of the
+        // couplings the way a strap-resistance edit does (the `r + c`
+        // predicate keeps the matrix symmetric, and shrinking negative
+        // off-diagonals preserves diagonal dominance / SPD-ness).
+        let mut t: Vec<(usize, usize, f64)> = a.iter().collect();
+        for e in t.iter_mut() {
+            if e.0 != e.1 && (e.0 + e.1) % 7 == 0 {
+                e.2 *= 0.5;
+            }
+        }
+        let edited = CsrMatrix::from_triplets(400, 400, &t);
+
+        let cold = AmgHierarchy::build(&edited, params);
+        let warm = AmgHierarchy::rebuild_from(&edited, params, &base);
+        assert_eq!(warm.num_levels(), cold.num_levels());
+        for (w, c) in warm.levels().iter().zip(cold.levels()) {
+            assert_eq!(w.a, c.a, "rebuilt level operator differs");
+            assert_eq!(w.agg, c.agg, "rebuilt aggregation differs");
+        }
+        assert_eq!(warm.coarse_chol, cold.coarse_chol);
+
+        // Rebuilding against an unrelated base still equals cold.
+        let other = AmgHierarchy::build(&laplacian_2d(15, 15), params);
+        let cross = AmgHierarchy::rebuild_from(&edited, params, &other);
+        for (w, c) in cross.levels().iter().zip(cold.levels()) {
+            assert_eq!(w.a, c.a);
         }
     }
 

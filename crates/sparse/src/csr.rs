@@ -91,9 +91,13 @@ impl CsrMatrix {
         // row, each sorted by the same serial routine, so the result is
         // identical at any thread count. This is the dominant cost of
         // assembly (and of the AMG Galerkin triple product, which
-        // funnels through here).
+        // funnels through here). The sort must be *stable*: duplicate
+        // (row, col) contributions then merge in triplet insertion
+        // order, which is exactly the order
+        // [`CsrMatrix::from_triplets_with_pattern`] scatter-adds them —
+        // the bitwise-identity contract of incremental re-assembly.
         irf_runtime::par_ragged_chunks_mut(&mut entries, &counts, |_r, row| {
-            row.sort_unstable_by_key(|&(c, _)| c);
+            row.sort_by_key(|&(c, _)| c);
         });
         // Merge duplicates row by row (cheap linear scan).
         let mut row_ptr = vec![0usize; rows + 1];
@@ -125,6 +129,65 @@ impl CsrMatrix {
             values: out_v,
             row_chunks,
         }
+    }
+
+    /// Builds a CSR matrix from triplets by scatter-adding into the
+    /// sparsity `pattern` of an existing matrix, skipping the per-row
+    /// sort that dominates [`CsrMatrix::from_triplets`].
+    ///
+    /// This is the incremental re-assembly fast path: when only values
+    /// changed (e.g. a strap/via resistance edit re-stamps the same
+    /// circuit topology), the result is **bitwise identical** to a
+    /// fresh `from_triplets` call — duplicates are accumulated in
+    /// triplet order, the same order the stable sort in `from_triplets`
+    /// preserves for equal columns.
+    ///
+    /// Returns `None` when the pattern cannot represent the triplets
+    /// exactly: a triplet lands outside the pattern, or an accumulated
+    /// value is exactly `0.0` (which `from_triplets` would have dropped,
+    /// changing the pattern). Callers fall back to a full assembly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any triplet is out of bounds for the pattern's shape.
+    #[must_use]
+    pub fn from_triplets_with_pattern(
+        pattern: &CsrMatrix,
+        triplets: &[(usize, usize, f64)],
+    ) -> Option<Self> {
+        let rows = pattern.rows;
+        let cols = pattern.cols;
+        let mut values = vec![0.0f64; pattern.nnz()];
+        for &(r, c, v) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
+            let (s, e) = (pattern.row_ptr[r], pattern.row_ptr[r + 1]);
+            let k = pattern.col_idx[s..e].binary_search(&c).ok()?;
+            values[s + k] += v;
+        }
+        // `from_triplets` drops exact-zero sums; a zero here means the
+        // true pattern differs from the reused one (including slots no
+        // triplet touched), so the fast path must decline.
+        if values.contains(&0.0) {
+            return None;
+        }
+        Some(CsrMatrix {
+            rows,
+            cols,
+            row_ptr: pattern.row_ptr.clone(),
+            col_idx: pattern.col_idx.clone(),
+            values,
+            row_chunks: pattern.row_chunks.clone(),
+        })
+    }
+
+    /// `true` when `other` has exactly this matrix's sparsity pattern
+    /// (shape, row pointers and column indices) regardless of values.
+    #[must_use]
+    pub fn same_pattern(&self, other: &CsrMatrix) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
     }
 
     /// Builds an `n x n` identity matrix.
@@ -380,6 +443,47 @@ mod tests {
         let a = CsrMatrix::from_triplets(2, 3, &[(0, 2, 1.0), (0, 0, 3.0), (0, 2, 1.0)]);
         assert_eq!(a.row(0), (&[0usize, 2][..], &[3.0, 2.0][..]));
         assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn pattern_reuse_is_bitwise_identical_to_full_assembly() {
+        // Duplicates with different magnitudes exercise the summation
+        // order: stable-sorted merge and pattern scatter must agree.
+        let t1 = [
+            (0, 2, 0.1),
+            (0, 0, 3.0),
+            (0, 2, 0.2),
+            (1, 1, 2.0),
+            (0, 2, 0.3),
+        ];
+        let base = CsrMatrix::from_triplets(2, 3, &t1);
+        let t2: Vec<_> = t1.iter().map(|&(r, c, v)| (r, c, v * 1.5)).collect();
+        let fresh = CsrMatrix::from_triplets(2, 3, &t2);
+        let reused = CsrMatrix::from_triplets_with_pattern(&base, &t2).expect("pattern matches");
+        assert_eq!(fresh, reused);
+        assert!(base.same_pattern(&reused));
+    }
+
+    #[test]
+    fn pattern_reuse_declines_on_mismatch() {
+        let base = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        // New entry outside the pattern.
+        assert!(CsrMatrix::from_triplets_with_pattern(&base, &[(0, 1, 1.0)]).is_none());
+        // Exact-zero sum: from_triplets would drop the entry.
+        assert!(
+            CsrMatrix::from_triplets_with_pattern(&base, &[(0, 0, 1.0), (0, 0, -1.0)]).is_none()
+        );
+        // Untouched pattern slot stays 0.0: also a pattern change.
+        assert!(CsrMatrix::from_triplets_with_pattern(&base, &[(0, 0, 2.0)]).is_none());
+    }
+
+    #[test]
+    fn same_pattern_detects_structural_differences() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let b = CsrMatrix::from_triplets(2, 2, &[(0, 0, 5.0), (1, 1, -2.0)]);
+        let c = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 1, 1.0)]);
+        assert!(a.same_pattern(&b));
+        assert!(!a.same_pattern(&c));
     }
 
     #[test]

@@ -224,6 +224,57 @@ impl Solver {
             inner,
         }
     }
+
+    /// [`Solver::prepare`] for a matrix whose sparsity pattern matches
+    /// an already-prepared `base` setup — the topology-delta fast path.
+    ///
+    /// For the AMG kinds this routes through
+    /// [`AmgHierarchy::rebuild_from`], which reuses the base coarse
+    /// sparsity patterns (skipping the dominant assembly sorts) wherever
+    /// the freshly recomputed aggregation proves the hierarchy shape is
+    /// unchanged. The returned setup is bitwise equivalent to a cold
+    /// [`Solver::prepare`] of the same matrix. Non-AMG kinds, or a
+    /// `base` prepared under a different kind, simply fall back to the
+    /// cold path.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Solver::prepare`].
+    #[must_use]
+    pub fn rebuild_from(&self, base: &SolverSetup, a: &CsrMatrix) -> SolverSetup {
+        let (Prepared::Amg(core), SolverKind::AmgPcg | SolverKind::AmgPcgVCycle) =
+            (&base.inner, self.kind)
+        else {
+            return self.prepare(a);
+        };
+        let t0 = Instant::now();
+        let cycle = if self.kind == SolverKind::AmgPcg {
+            CycleKind::KCycle
+        } else {
+            CycleKind::VCycle
+        };
+        let mut setup_span = irf_trace::span("amg_setup");
+        if setup_span.is_recording() {
+            setup_span.attr("rebuilt", true);
+        }
+        let h = AmgHierarchy::rebuild_from(a, self.amg_params, core.hierarchy());
+        record_amg_telemetry(&h, &mut setup_span);
+        let core = Arc::new(AmgCore::new(h, cycle));
+        drop(setup_span);
+        irf_trace::registry().counter_add(
+            "irf_stage_seconds_total",
+            &[("stage", "amg_setup")],
+            t0.elapsed().as_secs_f64(),
+        );
+        SolverSetup {
+            kind: self.kind,
+            tol: self.tol,
+            max_iter: self.max_iter,
+            dim: a.rows(),
+            setup_seconds: t0.elapsed().as_secs_f64(),
+            inner: Prepared::Amg(core),
+        }
+    }
 }
 
 /// The prepared state a [`SolverSetup`] carries per solver kind.
@@ -569,6 +620,43 @@ mod tests {
                 assert_eq!(warm.x, cold.x, "{kind:?} warm != cold");
                 assert_eq!(warm.iterations, cold.iterations);
             }
+        }
+    }
+
+    #[test]
+    fn rebuild_from_solves_bitwise_identical_to_cold_prepare() {
+        let a = grid(16, 16);
+        // Same-pattern conductance edit: re-stamp one interior strap at
+        // a different resistance.
+        let edited = {
+            let n = a.rows();
+            let mut t: Vec<(usize, usize, f64)> = a.iter().collect();
+            for e in t.iter_mut() {
+                if (e.0, e.1) == (5, 6) || (e.0, e.1) == (6, 5) {
+                    e.2 *= 0.5; // off-diagonals: weaker coupling
+                } else if e.0 == e.1 && (e.0 == 5 || e.0 == 6) {
+                    e.2 -= 0.5; // diagonals keep the zero-row-sum stamp
+                }
+            }
+            CsrMatrix::from_triplets(n, n, &t)
+        };
+        assert!(a.same_pattern(&edited));
+        let b = vec![0.01; a.rows()];
+        for kind in [
+            SolverKind::AmgPcg,
+            SolverKind::AmgPcgVCycle,
+            SolverKind::Cholesky,
+        ] {
+            let solver = Solver::new(kind)
+                .with_tolerance(1e-12)
+                .with_max_iterations(8);
+            let base = solver.prepare(&a);
+            let warm = solver.rebuild_from(&base, &edited);
+            let cold = solver.prepare(&edited);
+            let wx = warm.solve(&edited, &b);
+            let cx = cold.solve(&edited, &b);
+            assert_eq!(wx.x, cx.x, "{kind:?} rebuilt warm != cold");
+            assert_eq!(wx.iterations, cx.iterations);
         }
     }
 

@@ -94,9 +94,10 @@ fn cached_stacks_feed_identical_predictions() {
     let first = analyze(&cached_pipeline);
     let second = analyze(&cached_pipeline);
     let fresh = analyze(&plain_pipeline);
-    // Cold walk computes all five stage artifacts; the warm repeat
+    // Cold walk computes all six stage artifacts (assembled, setup,
+    // rough, structural, resistance, stack); the warm repeat
     // short-circuits on the stack.
-    assert_eq!(cache.misses(), 5, "first analyze fills every stage");
+    assert_eq!(cache.misses(), 6, "first analyze fills every stage");
     assert_eq!(cache.hits(), 1, "second analyze hits the stack artifact");
 
     let a = first.fused_map.expect("fused");

@@ -60,6 +60,7 @@ fn current_edits_invalidate_only_the_current_dependent_stages() {
     assert_eq!(edited_plan.assembled, base_plan.assembled);
     assert_eq!(edited_plan.solver_setup, base_plan.solver_setup);
     assert_eq!(edited_plan.structural, base_plan.structural);
+    assert_eq!(edited_plan.resistance, base_plan.resistance);
     // ... and changes every current-dependent one.
     assert_ne!(edited_plan.rough, base_plan.rough);
     assert_ne!(edited_plan.stack, base_plan.stack);
@@ -68,16 +69,31 @@ fn current_edits_invalidate_only_the_current_dependent_stages() {
         design_fingerprint(&base, &config)
     );
 
-    // A topology edit (segment resistance) invalidates the assembled
-    // system and everything downstream of it.
+    // A resistance edit invalidates the assembled system and the
+    // ohms-dependent feature maps, but the *geometry* maps (pad
+    // distance, PDN density) key only off node/segment placement and
+    // stay warm.
     let mut rewired = base.clone();
     rewired.segments[0].ohms *= 1.5;
     let rewired_plan = StagePlan::for_design(&rewired, &config);
     assert_ne!(rewired_plan.assembled, base_plan.assembled);
     assert_ne!(rewired_plan.solver_setup, base_plan.solver_setup);
     assert_ne!(rewired_plan.rough, base_plan.rough);
-    assert_ne!(rewired_plan.structural, base_plan.structural);
+    assert_eq!(
+        rewired_plan.structural, base_plan.structural,
+        "geometry maps survive a resistance-only edit"
+    );
+    assert_ne!(rewired_plan.resistance, base_plan.resistance);
     assert_ne!(rewired_plan.stack, base_plan.stack);
+
+    // Moving a segment endpoint is a geometry edit: *everything*
+    // structural goes, including the geometry maps.
+    let mut moved = base.clone();
+    moved.nodes[moved.segments[0].a].x += 1;
+    let moved_plan = StagePlan::for_design(&moved, &config);
+    assert_ne!(moved_plan.assembled, base_plan.assembled);
+    assert_ne!(moved_plan.structural, base_plan.structural);
+    assert_ne!(moved_plan.resistance, base_plan.resistance);
 
     // A pad-voltage edit is a topology edit too: it changes the
     // boundary conditions baked into the assembled system.
@@ -95,19 +111,25 @@ fn warm_current_edit_skips_assembly_and_setup_in_the_store() {
     let pipeline = IrFusionPipeline::new(config).with_cache(Arc::clone(&store));
     let base = Arc::new(grid(5));
 
-    // Cold walk computes all five stage artifacts.
+    // Cold walk computes all six stage artifacts.
     pipeline.session(Arc::clone(&base)).prepare().expect("pads");
-    assert_eq!(store.misses(), 5, "cold walk computes every stage");
+    assert_eq!(store.misses(), 6, "cold walk computes every stage");
     assert_eq!(store.hits(), 0);
 
-    // Warm current edit: assembled / solver-setup / structural are
-    // served from the store; only rough + stack recompute.
+    // Warm current edit: assembled / solver-setup / structural /
+    // resistance are served from the store; only rough + stack
+    // recompute.
     pipeline
         .session(Arc::clone(&base))
         .with_current_deltas(&[(1, 2e-3)])
         .prepare()
         .expect("pads");
-    for stage in [Stage::Assembled, Stage::SolverSetup, Stage::Structural] {
+    for stage in [
+        Stage::Assembled,
+        Stage::SolverSetup,
+        Stage::Structural,
+        Stage::Resistance,
+    ] {
         let c = store.stage_counters(stage);
         assert_eq!(
             (c.hits, c.misses),
@@ -119,16 +141,117 @@ fn warm_current_edit_skips_assembly_and_setup_in_the_store() {
     assert_eq!(store.stage_counters(Stage::Rough).misses, 2);
     assert_eq!(store.stage_counters(Stage::Stack).misses, 2);
 
-    // A topology edit must NOT ride the warm assembled system.
+    // A resistance edit must NOT ride the warm assembled system or the
+    // warm ohms-dependent feature maps — but the geometry maps stay.
     let mut rewired = (*base).clone();
     rewired.segments[0].ohms *= 2.0;
     pipeline.session(Arc::new(rewired)).prepare().expect("pads");
     assert_eq!(
         store.stage_counters(Stage::Assembled).misses,
         2,
-        "topology edit reassembles the system"
+        "resistance edit reassembles the system"
     );
     assert_eq!(store.stage_counters(Stage::SolverSetup).misses, 2);
+    assert_eq!(store.stage_counters(Stage::Resistance).misses, 2);
+    assert_eq!(
+        store.stage_counters(Stage::Structural).hits,
+        2,
+        "geometry maps are reused across a resistance edit"
+    );
+}
+
+#[test]
+fn warm_topology_edit_rebuilds_incrementally_and_stays_bitwise() {
+    use ir_fusion::TopologyDelta;
+    let config = FusionConfig::tiny();
+
+    // Discover an on-layer strap and a cross-layer via pair so the
+    // deltas are valid for the synthesized grid.
+    let probe = grid(5);
+    let strap_layer = probe
+        .segments
+        .iter()
+        .find_map(|s| {
+            let (a, b) = (probe.nodes[s.a].layer, probe.nodes[s.b].layer);
+            (a == b).then_some(a)
+        })
+        .expect("synth grid has straps");
+    let (lower, upper) = probe
+        .segments
+        .iter()
+        .find_map(|s| {
+            let (a, b) = (probe.nodes[s.a].layer, probe.nodes[s.b].layer);
+            (a != b).then_some((a.min(b), a.max(b)))
+        })
+        .expect("synth grid has vias");
+    let deltas = [
+        TopologyDelta::Strap {
+            layer: strap_layer,
+            scale: 0.8,
+        },
+        TopologyDelta::Via {
+            lower,
+            upper,
+            scale: 1.25,
+        },
+    ];
+
+    // One cold + topology-warm walk at a given thread count.
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let store = Arc::new(StageStore::new(8));
+            let pipeline = IrFusionPipeline::new(config).with_cache(Arc::clone(&store));
+            let base = Arc::new(grid(5));
+            pipeline.session(Arc::clone(&base)).prepare().expect("pads");
+            let session = pipeline
+                .session(base)
+                .with_topology_deltas(&deltas)
+                .expect("valid deltas");
+            let stack = session.prepare().expect("pads");
+
+            // The geometry maps were reused from the warm store; the
+            // assembled system and solver setup were rebuilt (as new
+            // keys) from the recorded base artifacts.
+            let structural = store.stage_counters(Stage::Structural);
+            assert_eq!(
+                (structural.hits, structural.misses),
+                (1, 1),
+                "geometry maps must be reused across a topology edit"
+            );
+            assert_eq!(store.stage_counters(Stage::Resistance).misses, 2);
+            assert_eq!(store.stage_counters(Stage::Assembled).misses, 2);
+            assert_eq!(store.stage_counters(Stage::SolverSetup).misses, 2);
+
+            // And the incremental result equals a cold bypass analysis
+            // of the same edited grid, bit for bit.
+            let cold = session
+                .clone()
+                .cache_policy(CachePolicy::Bypass)
+                .prepare()
+                .expect("pads");
+            assert_eq!(stack.fingerprint, cold.fingerprint);
+            assert_eq!(
+                bits32(stack.rough.data()),
+                bits32(cold.rough.data()),
+                "incremental rough solve != cold rough solve"
+            );
+            assert_eq!(
+                bits32(&stack.features.to_nchw().3),
+                bits32(&cold.features.to_nchw().3),
+                "incremental features != cold features"
+            );
+            (stack.fingerprint, bits32(stack.rough.data()))
+        })
+    };
+
+    let reference = run(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            reference,
+            run(threads),
+            "topology-delta path differs at {threads} threads"
+        );
+    }
 }
 
 #[test]
@@ -157,7 +280,7 @@ fn distinct_designs_never_collide_on_warm_artifacts() {
     }
     // Two designs were prepared; no artifact was shared between them.
     assert_eq!(store.hits(), 0, "different designs share no artifacts");
-    assert_eq!(store.misses(), 10);
+    assert_eq!(store.misses(), 12);
 }
 
 #[test]
