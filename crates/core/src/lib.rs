@@ -52,8 +52,8 @@ pub use pipeline::{
 pub use report::SignoffReport;
 pub use stages::{
     apply_topology_deltas, conductance_fingerprint, currents_fingerprint, design_fingerprint,
-    geometry_fingerprint, topology_fingerprint, EditError, Prediction, RoughSolution, Stage,
-    StagePlan, TopologyDelta,
+    geometry_fingerprint, topology_fingerprint, warm_stage_fingerprint, EditError, Prediction,
+    RoughSolution, Stage, StagePlan, TopologyDelta, WARM_ROUGH_TAG,
 };
 pub use store::{StageArtifact, StageCounters, StageStore};
 pub use train::{train, TrainedModel};

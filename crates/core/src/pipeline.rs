@@ -4,8 +4,8 @@
 
 use crate::config::FusionConfig;
 use crate::stages::{
-    apply_topology_deltas, design_fingerprint, EditError, Prediction, RoughSolution, StagePlan,
-    TopologyDelta,
+    apply_topology_deltas, design_fingerprint, warm_stage_fingerprint, EditError, Prediction,
+    RoughSolution, StagePlan, TopologyDelta,
 };
 use crate::store::StageStore;
 use crate::train::TrainedModel;
@@ -159,6 +159,7 @@ pub struct EditPlan {
     topology_deltas: Vec<TopologyDelta>,
     base_assembled: Option<u64>,
     base_solver_setup: Option<u64>,
+    rough_seed: Option<Arc<RoughSolution>>,
 }
 
 impl EditPlan {
@@ -186,6 +187,14 @@ impl EditPlan {
     #[must_use]
     pub fn base_solver_setup(&self) -> Option<u64> {
         self.base_solver_setup
+    }
+
+    /// The base [`RoughSolution`] the rough solve is seeded from, when
+    /// warm-starting was opted into via
+    /// [`AnalysisSession::with_rough_warm_start`].
+    #[must_use]
+    pub fn rough_seed(&self) -> Option<&Arc<RoughSolution>> {
+        self.rough_seed.as_ref()
     }
 
     /// `true` when no edits have been recorded.
@@ -505,12 +514,30 @@ impl IrFusionPipeline {
         if grid.pads.is_empty() {
             return Err(FeatureError::NoPads);
         }
-        let plan = StagePlan::for_design(grid, config);
+        let plan = Self::effective_plan(config, grid, edit);
         let build = || self.build_stack(config, grid, &plan, store, edit);
         Ok(match store {
             Some(s) => s.stack(plan.stack, build),
             None => build(),
         })
+    }
+
+    /// The stage keys an edit actually resolves under. Default plans
+    /// are exactly [`StagePlan::for_design`]; when the edit opted into
+    /// a warm-started rough solve, the rough and stack keys are tagged
+    /// with [`warm_stage_fingerprint`] so warm-started artifacts never
+    /// shadow (or get shadowed by) their bitwise-cold counterparts.
+    fn effective_plan(
+        config: &FusionConfig,
+        grid: &PowerGrid,
+        edit: Option<&EditPlan>,
+    ) -> StagePlan {
+        let mut plan = StagePlan::for_design(grid, config);
+        if let Some(seed) = edit.and_then(EditPlan::rough_seed) {
+            plan.rough = warm_stage_fingerprint(plan.rough, seed.fingerprint);
+            plan.stack = warm_stage_fingerprint(plan.stack, seed.fingerprint);
+        }
+        plan
     }
 
     /// Computes the [`PreparedStack`] for one design, pulling every
@@ -536,46 +563,7 @@ impl IrFusionPipeline {
         edit: Option<&EditPlan>,
     ) -> Arc<PreparedStack> {
         let extractor = FeatureExtractor::new(config.feature);
-        let (rough, solve_seconds) = Timer::time(|| {
-            let assemble = || {
-                if let (Some(s), Some(base_key)) = (store, edit.and_then(EditPlan::base_assembled))
-                {
-                    if base_key != plan.assembled {
-                        if let Some(base) = s.peek_assembled(base_key) {
-                            if let Some(restamped) = base.restamped(grid) {
-                                return Arc::new(restamped);
-                            }
-                        }
-                    }
-                }
-                Arc::new(PgStructure::build(grid))
-            };
-            let structure = match store {
-                Some(s) => s.assembled(plan.assembled, assemble),
-                None => assemble(),
-            };
-            let prepare = || {
-                if let (Some(s), Some(base_key)) =
-                    (store, edit.and_then(EditPlan::base_solver_setup))
-                {
-                    if base_key != plan.solver_setup {
-                        if let Some(base) = s.peek_solver_setup(base_key) {
-                            return Arc::new(self.solver().rebuild_from(&base, &structure.matrix));
-                        }
-                    }
-                }
-                Arc::new(self.solver().prepare(&structure.matrix))
-            };
-            let setup = match store {
-                Some(s) => s.solver_setup(plan.solver_setup, prepare),
-                None => prepare(),
-            };
-            let solve = || Arc::new(self.rough_stage(grid, &structure, &setup, plan.rough));
-            match store {
-                Some(s) => s.rough(plan.rough, solve),
-                None => solve(),
-            }
-        });
+        let (rough, solve_seconds) = Timer::time(|| self.rough_walk(grid, plan, store, edit));
         let (stack, feature_seconds) = Timer::time(|| {
             let geometry = || {
                 Arc::new(
@@ -626,6 +614,102 @@ impl IrFusionPipeline {
             solve_report: rough.report.clone(),
             solve_seconds,
             feature_seconds,
+        })
+    }
+
+    /// The stage walk up to (and including) the rough solve: assembled
+    /// system, prepared solver, rough solution — each fetched from
+    /// `store` under its key in `plan` or computed on miss. `plan` must
+    /// already carry the edit's effective keys
+    /// ([`IrFusionPipeline::effective_plan`]); when the edit carries a
+    /// rough seed, the solve is warm-started under the tagged key.
+    fn rough_walk(
+        &self,
+        grid: &PowerGrid,
+        plan: &StagePlan,
+        store: Option<&StageStore>,
+        edit: Option<&EditPlan>,
+    ) -> Arc<RoughSolution> {
+        let assemble = || {
+            if let (Some(s), Some(base_key)) = (store, edit.and_then(EditPlan::base_assembled)) {
+                if base_key != plan.assembled {
+                    if let Some(base) = s.peek_assembled(base_key) {
+                        if let Some(restamped) = base.restamped(grid) {
+                            return Arc::new(restamped);
+                        }
+                    }
+                }
+            }
+            Arc::new(PgStructure::build(grid))
+        };
+        let structure = match store {
+            Some(s) => s.assembled(plan.assembled, assemble),
+            None => assemble(),
+        };
+        let prepare = || {
+            if let (Some(s), Some(base_key)) = (store, edit.and_then(EditPlan::base_solver_setup)) {
+                if base_key != plan.solver_setup {
+                    if let Some(base) = s.peek_solver_setup(base_key) {
+                        return Arc::new(self.solver().rebuild_from(&base, &structure.matrix));
+                    }
+                }
+            }
+            Arc::new(self.solver().prepare(&structure.matrix))
+        };
+        let setup = match store {
+            Some(s) => s.solver_setup(plan.solver_setup, prepare),
+            None => prepare(),
+        };
+        let solve = || {
+            if let Some(seed) = edit.and_then(EditPlan::rough_seed) {
+                if let Some(warm) =
+                    self.warm_rough_stage(grid, &structure, &setup, plan.rough, seed)
+                {
+                    return Arc::new(warm);
+                }
+            }
+            Arc::new(self.rough_stage(grid, &structure, &setup, plan.rough))
+        };
+        match store {
+            Some(s) => s.rough(plan.rough, solve),
+            None => solve(),
+        }
+    }
+
+    /// The warm-started [`crate::stages::Stage::Rough`] compute: the
+    /// truncated solve starts from the seed's solution vector and stops
+    /// as soon as the relative residual matches the seed's final
+    /// residual (never looser than the configured tolerance, never more
+    /// iterations than the configured budget). Returns `None` when the
+    /// seed's reduced dimension disagrees with the assembled system —
+    /// a geometry change — so the caller falls back to the cold
+    /// compute under the same tagged key, keeping the result a pure
+    /// function of (grid, config, seed) regardless of cache state.
+    fn warm_rough_stage(
+        &self,
+        grid: &PowerGrid,
+        structure: &PgStructure,
+        setup: &SolverSetup,
+        fingerprint: u64,
+        seed: &RoughSolution,
+    ) -> Option<RoughSolution> {
+        if seed.report.x.len() != structure.matrix.rows() {
+            return None;
+        }
+        let _span = irf_trace::span("rough_solve_warm");
+        let t0 = std::time::Instant::now();
+        let rhs = structure.rhs(&grid.loads);
+        let relaxed = setup.with_stopping(
+            seed.report.residual.max(setup.tolerance()),
+            setup.max_iterations(),
+        );
+        let report = relaxed.solve_with_guess(&structure.matrix, &rhs, seed.report.x.clone());
+        let drops = structure.expand_solution(&report.x);
+        Some(RoughSolution {
+            fingerprint,
+            drops,
+            report,
+            solve_seconds: t0.elapsed().as_secs_f64(),
         })
     }
 
@@ -925,6 +1009,52 @@ impl AnalysisSession<'_> {
         self.grid = Arc::new(grid);
         self.plan.topology_deltas.extend_from_slice(deltas);
         Ok(self)
+    }
+
+    /// Opts this session into warm-starting the rough solve from a
+    /// prior [`RoughSolution`] — typically the base analysis a
+    /// sweep/optimize candidate was derived from. The solve starts at
+    /// the seed's solution vector and stops once the relative residual
+    /// matches the seed's final residual, so small conductance edits
+    /// converge in a fraction of the truncated iteration budget.
+    ///
+    /// Warm-started results are *not* bitwise identical to cold
+    /// analyses of the same design; they are therefore keyed under
+    /// separate, seed-tagged stage fingerprints
+    /// ([`crate::stages::warm_stage_fingerprint`]) and never observed
+    /// by default-path sessions. For a fixed seed the result is fully
+    /// deterministic — a pure function of (grid, config, seed)
+    /// independent of cache state and thread count. A seed whose
+    /// dimension disagrees with the edited design (a geometry change)
+    /// is ignored and the tagged artifact is computed cold.
+    #[must_use]
+    pub fn with_rough_warm_start(mut self, seed: Arc<RoughSolution>) -> Self {
+        self.plan.rough_seed = Some(seed);
+        self
+    }
+
+    /// Runs the stage walk up to the rough solve and returns the
+    /// (possibly warm-started) [`RoughSolution`] for the effective
+    /// grid: per-node voltage drops in full node space plus the solve
+    /// report. This is what a closed-loop optimizer needs to generate
+    /// candidates from and to seed child sessions with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::NoPads`] when the grid has no pads.
+    pub fn rough_solution(&self) -> Result<Arc<RoughSolution>, FeatureError> {
+        if self.grid.pads.is_empty() {
+            return Err(FeatureError::NoPads);
+        }
+        let store = match self.cache {
+            CachePolicy::Shared => self.pipeline.cache().map(Arc::as_ref),
+            CachePolicy::Bypass => None,
+        };
+        let config = self.pipeline.config();
+        let plan = IrFusionPipeline::effective_plan(config, &self.grid, Some(&self.plan));
+        Ok(self
+            .pipeline
+            .rough_walk(&self.grid, &plan, store, Some(&self.plan)))
     }
 
     /// The composed [`EditPlan`] recorded so far.

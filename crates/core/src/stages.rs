@@ -250,6 +250,22 @@ pub fn combine_fingerprints(parts: &[u64]) -> u64 {
     h.finish()
 }
 
+/// Domain-separation tag mixed into [`Stage::Rough`] and
+/// [`Stage::Stack`] keys when a rough solve is warm-started from a
+/// prior [`RoughSolution`] (FNV-1a of `"irf-warm-rough"`). Keeping
+/// warm-started artifacts under distinct keys preserves the bitwise
+/// cold contract for every default-path cache entry.
+pub const WARM_ROUGH_TAG: u64 = 0xd895_9991_8696_006a;
+
+/// Key for a stage artifact whose rough solve was warm-started from
+/// the seed with fingerprint `seed`: the plain stage key, the
+/// [`WARM_ROUGH_TAG`] domain separator and the seed identity folded
+/// together so warm and cold artifacts can never collide in the store.
+#[must_use]
+pub fn warm_stage_fingerprint(key: u64, seed: u64) -> u64 {
+    combine_fingerprints(&[key, WARM_ROUGH_TAG, seed])
+}
+
 /// Content fingerprint of a design plus the preparation-relevant
 /// configuration — the [`Stage::Stack`] key.
 ///

@@ -1,0 +1,163 @@
+//! Metal-area cost model for topology edits.
+//!
+//! Every candidate the optimizer considers carries a scalar *metal
+//! cost*: an estimate of the extra routing resource (track area, via
+//! cuts) the edit spends. Costs are what keep the closed loop honest —
+//! without them "widen everything" always wins.
+
+use ir_fusion::TopologyDelta;
+use irf_pg::PowerGrid;
+
+/// Configurable per-layer metal cost model.
+///
+/// The model prices a [`TopologyDelta`] by the extra conductance it
+/// buys: scaling a segment's resistance by `s < 1` means widening the
+/// wire (or adding parallel via cuts) by a factor `1/s`, i.e. spending
+/// `1/s - 1` extra units of metal per unit of wire already there.
+/// Strap and segment edits are weighted by Manhattan wire length and a
+/// per-layer weight (upper layers are usually scarcer); via edits by a
+/// flat per-cut weight. Narrowing (`s >= 1`) is free — the model
+/// prices resource *spent*, not saved.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    layer_weights: Vec<(u32, f64)>,
+    default_weight: f64,
+    via_weight: f64,
+    length_scale: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            layer_weights: Vec::new(),
+            default_weight: 1.0,
+            via_weight: 1.0,
+            length_scale: 1e-3,
+        }
+    }
+}
+
+impl CostModel {
+    /// Overrides the cost weight of one metal layer (higher = scarcer).
+    #[must_use]
+    pub fn with_layer_weight(mut self, layer: u32, weight: f64) -> Self {
+        match self.layer_weights.iter_mut().find(|(l, _)| *l == layer) {
+            Some(entry) => entry.1 = weight,
+            None => self.layer_weights.push((layer, weight)),
+        }
+        self
+    }
+
+    /// Sets the weight used for layers without an explicit override.
+    #[must_use]
+    pub fn with_default_weight(mut self, weight: f64) -> Self {
+        self.default_weight = weight;
+        self
+    }
+
+    /// Sets the flat per-via-cut weight.
+    #[must_use]
+    pub fn with_via_weight(mut self, weight: f64) -> Self {
+        self.via_weight = weight;
+        self
+    }
+
+    /// Sets the database-unit-to-cost length scale for wire edits.
+    #[must_use]
+    pub fn with_length_scale(mut self, scale: f64) -> Self {
+        self.length_scale = scale;
+        self
+    }
+
+    /// The effective weight of `layer`.
+    #[must_use]
+    pub fn layer_weight(&self, layer: u32) -> f64 {
+        self.layer_weights
+            .iter()
+            .find(|(l, _)| *l == layer)
+            .map_or(self.default_weight, |(_, w)| *w)
+    }
+
+    /// Manhattan length of segment `i` in cost units.
+    fn segment_length(&self, grid: &PowerGrid, i: usize) -> f64 {
+        let s = &grid.segments[i];
+        let (a, b) = (&grid.nodes[s.a], &grid.nodes[s.b]);
+        let len = (a.x - b.x).abs() + (a.y - b.y).abs();
+        #[allow(clippy::cast_precision_loss)]
+        let len = len as f64;
+        len * self.length_scale
+    }
+
+    /// Metal cost of applying one delta to `grid` (its current state —
+    /// chained edits should be priced against the progressively edited
+    /// grid). Deltas that match nothing cost zero.
+    #[must_use]
+    pub fn delta_cost(&self, grid: &PowerGrid, delta: &TopologyDelta) -> f64 {
+        match *delta {
+            TopologyDelta::Strap { layer, scale } => {
+                let extra = (1.0 / scale - 1.0).max(0.0);
+                let weight = self.layer_weight(layer);
+                (0..grid.segments.len())
+                    .filter(|&i| {
+                        let s = &grid.segments[i];
+                        grid.nodes[s.a].layer == layer && grid.nodes[s.b].layer == layer
+                    })
+                    .map(|i| weight * self.segment_length(grid, i) * extra)
+                    .sum()
+            }
+            TopologyDelta::Via {
+                lower,
+                upper,
+                scale,
+            } => {
+                let extra = (1.0 / scale - 1.0).max(0.0);
+                let matched = grid
+                    .segments
+                    .iter()
+                    .filter(|s| {
+                        let (la, lb) = (grid.nodes[s.a].layer, grid.nodes[s.b].layer);
+                        (la, lb) == (lower, upper) || (la, lb) == (upper, lower)
+                    })
+                    .count();
+                #[allow(clippy::cast_precision_loss)]
+                let matched = matched as f64;
+                matched * self.via_weight * extra
+            }
+            TopologyDelta::Segment { segment, ohms } => {
+                if segment >= grid.segments.len() || ohms <= 0.0 {
+                    return 0.0;
+                }
+                let s = &grid.segments[segment];
+                let old = s.ohms;
+                let extra = (old / ohms - 1.0).max(0.0);
+                let (la, lb) = (grid.nodes[s.a].layer, grid.nodes[s.b].layer);
+                if la == lb {
+                    // A wire: extra width over the segment's length,
+                    // never cheaper than one length unit so zero-length
+                    // stubs still carry a price.
+                    let len = self.segment_length(grid, segment).max(self.length_scale);
+                    self.layer_weight(la) * len * extra
+                } else {
+                    // A via: upsizing means extra parallel cuts.
+                    self.via_weight * extra
+                }
+            }
+        }
+    }
+
+    /// Total metal cost of a delta plan, priced progressively: each
+    /// delta is costed against the grid with all previous deltas
+    /// applied, matching how the optimizer accumulates cost along a
+    /// beam path. Deltas that fail to apply are priced against the
+    /// grid as-is and skipped.
+    #[must_use]
+    pub fn plan_cost(&self, grid: &PowerGrid, deltas: &[TopologyDelta]) -> f64 {
+        let mut work = grid.clone();
+        let mut total = 0.0;
+        for d in deltas {
+            total += self.delta_cost(&work, d);
+            let _ = ir_fusion::apply_topology_deltas(&mut work, std::slice::from_ref(d));
+        }
+        total
+    }
+}

@@ -142,6 +142,24 @@ impl ServerMetrics {
         // reload (and CI can grep for it unconditionally).
         r.counter_add("irf_model_reloads_total", &[], 0.0);
         r.describe(
+            "irf_sweep_candidates_total",
+            MetricKind::Counter,
+            "Candidate plans evaluated across all POST /sweep calls.",
+        );
+        r.counter_add("irf_sweep_candidates_total", &[], 0.0);
+        r.describe(
+            "irf_opt_iterations_total",
+            MetricKind::Counter,
+            "Optimizer loop iterations across all POST /optimize calls.",
+        );
+        r.counter_add("irf_opt_iterations_total", &[], 0.0);
+        r.describe(
+            "irf_opt_evaluations_total",
+            MetricKind::Counter,
+            "Candidate analyses evaluated across all POST /optimize calls.",
+        );
+        r.counter_add("irf_opt_evaluations_total", &[], 0.0);
+        r.describe(
             "irf_pcg_iterations",
             MetricKind::Gauge,
             "PCG iterations of the most recent solve.",
@@ -181,6 +199,19 @@ impl ServerMetrics {
     /// Counts one successful model reload.
     pub fn observe_reload(&self) {
         self.registry().counter_inc("irf_model_reloads_total", &[]);
+    }
+
+    /// Counts the candidate plans of one finished `/sweep`.
+    pub fn observe_sweep_candidates(&self, count: usize) {
+        self.registry()
+            .counter_add("irf_sweep_candidates_total", &[], count as f64);
+    }
+
+    /// Counts one finished `/optimize` run's loop work.
+    pub fn observe_optimize(&self, iterations: usize, evaluations: usize) {
+        let r = self.registry();
+        r.counter_add("irf_opt_iterations_total", &[], iterations as f64);
+        r.counter_add("irf_opt_evaluations_total", &[], evaluations as f64);
     }
 
     /// Accumulates `seconds` of latency under a stage label

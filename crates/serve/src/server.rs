@@ -23,6 +23,14 @@
 //!   through the micro-batcher, and the response ranks candidates by
 //!   worst-drop improvement (then hotspot-count delta) against the
 //!   base analysis, with per-candidate stage-cache hit statistics.
+//!   `"warm_start": true` opts candidates into seeding their rough
+//!   solves from the base solution.
+//! - `POST /optimize` — the closed-loop PDN optimizer: a base
+//!   fingerprint, a worst-drop target and a metal budget. Candidates
+//!   are generated from the base drop map, priced by the metal cost
+//!   model, beam-searched through the warm stage graph, and the
+//!   winning plan (registered for follow-up what-ifs) plus the full
+//!   per-iteration trajectory come back.
 //! - `POST /reload` — swap in a checkpoint (`{"model_path": ...}`)
 //!   without dropping in-flight requests: the batcher resolves the
 //!   model once per batch, so batches already collected finish on the
@@ -343,6 +351,10 @@ fn route_request(
         ("POST", "/sweep") => {
             let (status, body) = handle_sweep(request, state);
             ("sweep", status, "application/json", body)
+        }
+        ("POST", "/optimize") => {
+            let (status, body) = handle_optimize(request, state);
+            ("optimize", status, "application/json", body)
         }
         ("POST", "/reload") => {
             let (status, body) = handle_reload(request, state);
@@ -822,17 +834,38 @@ fn handle_sweep(request: &Request, state: &Arc<State>) -> (u16, String) {
             error_body("request needs candidates (an array of {label?, deltas})"),
         );
     };
-    if items.is_empty() {
-        return (400, error_body("candidates must not be empty"));
-    }
     const MAX_CANDIDATES: usize = 64;
+    if items.is_empty() {
+        return (
+            400,
+            obj(vec![
+                (
+                    "error",
+                    Json::Str("candidates must not be empty".to_string()),
+                ),
+                ("code", Json::Str("empty_candidates".to_string())),
+                ("count", Json::Num(0.0)),
+                ("limit", Json::Num(MAX_CANDIDATES as f64)),
+            ])
+            .render(),
+        );
+    }
     if items.len() > MAX_CANDIDATES {
         return (
             400,
-            error_body(&format!(
-                "too many candidates ({}, limit {MAX_CANDIDATES})",
-                items.len()
-            )),
+            obj(vec![
+                (
+                    "error",
+                    Json::Str(format!(
+                        "too many candidates ({}, limit {MAX_CANDIDATES})",
+                        items.len()
+                    )),
+                ),
+                ("code", Json::Str("too_many_candidates".to_string())),
+                ("count", Json::Num(items.len() as f64)),
+                ("limit", Json::Num(MAX_CANDIDATES as f64)),
+            ])
+            .render(),
         );
     }
 
@@ -869,6 +902,31 @@ fn handle_sweep(request: &Request, state: &Arc<State>) -> (u16, String) {
     // original /predict; computed through the same stage graph
     // otherwise).
     let base_session = state.pipeline.session(Arc::clone(&grid));
+
+    // `"warm_start": true` opts candidates into seeding their rough
+    // solves from the base solution. Faster, and still deterministic
+    // for a fixed base — but not bitwise identical to cold analyses,
+    // so it is never the default.
+    let warm_start = body
+        .get("warm_start")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    if warm_start {
+        let seed = match base_session.rough_solution() {
+            Ok(seed) => seed,
+            Err(error) => {
+                return (
+                    400,
+                    error_body(&format!("cannot prepare base features: {error}")),
+                )
+            }
+        };
+        candidates = candidates
+            .into_iter()
+            .map(|(label, session)| (label, session.with_rough_warm_start(Arc::clone(&seed))))
+            .collect();
+    }
+
     let ((prepared, base_stack), prepare_seconds) = Timer::time(|| {
         let base_stack = base_session.prepare();
         // Serial per-candidate prepares keep the store counters
@@ -953,17 +1011,25 @@ fn handle_sweep(request: &Request, state: &Arc<State>) -> (u16, String) {
         .map(|(index, ((label, session, stack, hits, misses), map))| {
             let stack = stack.as_ref().expect("prepare errors handled above");
             // Edited designs are themselves valid bases for follow-up
-            // /whatif and /sweep calls.
+            // /whatif and /sweep calls. A warm-started stack lives
+            // under a seed-tagged key, so also register the design's
+            // own (untagged) fingerprint — the identity reported back.
             state
                 .cache
                 .insert_parsed(stack.fingerprint, Arc::clone(session.grid()));
+            let design = session.fingerprint();
+            if design != stack.fingerprint {
+                state
+                    .cache
+                    .insert_parsed(design, Arc::clone(session.grid()));
+            }
             let max_drop = f64::from(map.max());
             let hotspot_count = hotspots(map);
             let plan = session.edit_plan();
             Row {
                 index,
                 label: (*label).clone(),
-                design: stack.fingerprint,
+                design,
                 max_drop,
                 delta_max_drop: max_drop - base_max,
                 hotspot_count,
@@ -1013,6 +1079,7 @@ fn handle_sweep(request: &Request, state: &Arc<State>) -> (u16, String) {
             ])
         })
         .collect();
+    state.metrics.observe_sweep_candidates(rows.len());
     (
         200,
         obj(vec![
@@ -1027,6 +1094,310 @@ fn handle_sweep(request: &Request, state: &Arc<State>) -> (u16, String) {
                 ]),
             ),
             ("candidates", Json::Arr(ranked)),
+        ])
+        .render(),
+    )
+}
+
+/// One bounded integer tunable of `/optimize`: absent → `default`,
+/// non-numeric or out of `[min, max]` → a rendered structured 400
+/// body naming the offending value and the accepted range.
+fn bounded_param(
+    body: &Json,
+    key: &'static str,
+    default: usize,
+    min: usize,
+    max: usize,
+) -> Result<usize, String> {
+    let Some(value) = body.get(key) else {
+        return Ok(default);
+    };
+    let invalid = |got: f64| {
+        obj(vec![
+            (
+                "error",
+                Json::Str(format!("{key} must be an integer in [{min}, {max}]")),
+            ),
+            ("code", Json::Str(format!("invalid_{key}"))),
+            ("value", Json::Num(got)),
+            ("min", Json::Num(min as f64)),
+            ("max", Json::Num(max as f64)),
+        ])
+        .render()
+    };
+    let Some(v) = value.as_u64() else {
+        return Err(invalid(value.as_f64().unwrap_or(f64::NAN)));
+    };
+    let v = v as usize;
+    if (min..=max).contains(&v) {
+        Ok(v)
+    } else {
+        Err(invalid(v as f64))
+    }
+}
+
+/// A [`TopologyDelta`] rendered in the same shape `/whatif` and
+/// `/sweep` accept as input, so an `/optimize` winner's plan can be
+/// replayed verbatim.
+fn render_topology_delta(delta: &TopologyDelta) -> Json {
+    match *delta {
+        TopologyDelta::Strap { layer, scale } => obj(vec![
+            ("kind", Json::Str("strap".to_string())),
+            ("layer", Json::Num(f64::from(layer))),
+            ("scale", Json::Num(scale)),
+        ]),
+        TopologyDelta::Via {
+            lower,
+            upper,
+            scale,
+        } => obj(vec![
+            ("kind", Json::Str("via".to_string())),
+            (
+                "layers",
+                Json::Arr(vec![
+                    Json::Num(f64::from(lower)),
+                    Json::Num(f64::from(upper)),
+                ]),
+            ),
+            ("scale", Json::Num(scale)),
+        ]),
+        TopologyDelta::Segment { segment, ohms } => obj(vec![
+            ("kind", Json::Str("segment".to_string())),
+            ("segment", Json::Num(segment as f64)),
+            ("ohms", Json::Num(ohms)),
+        ]),
+    }
+}
+
+/// `POST /optimize` — the closed-loop PDN optimizer:
+///
+/// ```json
+/// {"base": "<16-hex design fingerprint>",
+///  "target_max_drop": 0.0011,
+///  "metal_budget": 250.0,
+///  "beam": 2, "max_iterations": 8, "max_evaluations": 64,
+///  "warm_start": true}
+/// ```
+///
+/// Runs [`irf_opt::Optimizer`] from the registered base design:
+/// candidates are generated from the rough drop map, priced under the
+/// metal budget, batched through the warm stage graph (and the model
+/// micro-batcher when a model is loaded), and beam-pruned until the
+/// worst drop meets the target or a budget runs out. The winner is
+/// registered under its design fingerprint for follow-up `/whatif` /
+/// `/sweep` calls, and the full per-iteration trajectory is returned.
+/// Deterministic for a fixed base and tunables at any thread count.
+fn handle_optimize(request: &Request, state: &Arc<State>) -> (u16, String) {
+    if state.shutting_down.load(Ordering::SeqCst) {
+        return (503, error_body("shutting down"));
+    }
+    let _trace = TraceScope {
+        collector: irf_trace::Collector::install(),
+        state,
+    };
+    let _span = irf_trace::span("optimize_request");
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return (400, error_body("body is not utf-8")),
+    };
+    let body = match parse(text) {
+        Ok(body) => body,
+        Err(error) => return (400, error_body(&error.to_string())),
+    };
+    let (fingerprint, grid) = match resolve_base(&body, state) {
+        Ok(ok) => ok,
+        Err(err) => return err,
+    };
+    let Some(target) = body.get("target_max_drop").and_then(Json::as_f64) else {
+        return (
+            400,
+            obj(vec![
+                (
+                    "error",
+                    Json::Str("request needs a numeric target_max_drop (volts)".to_string()),
+                ),
+                ("code", Json::Str("missing_target".to_string())),
+            ])
+            .render(),
+        );
+    };
+    if !target.is_finite() || target < 0.0 {
+        return (
+            400,
+            obj(vec![
+                (
+                    "error",
+                    Json::Str("target_max_drop must be finite and non-negative".to_string()),
+                ),
+                ("code", Json::Str("invalid_target".to_string())),
+                ("value", Json::Num(target)),
+            ])
+            .render(),
+        );
+    }
+    let Some(budget) = body.get("metal_budget").and_then(Json::as_f64) else {
+        return (
+            400,
+            obj(vec![
+                (
+                    "error",
+                    Json::Str("request needs a numeric metal_budget".to_string()),
+                ),
+                ("code", Json::Str("missing_budget".to_string())),
+            ])
+            .render(),
+        );
+    };
+    if !budget.is_finite() || budget <= 0.0 {
+        return (
+            400,
+            obj(vec![
+                (
+                    "error",
+                    Json::Str("metal_budget must be finite and positive".to_string()),
+                ),
+                ("code", Json::Str("invalid_budget".to_string())),
+                ("value", Json::Num(budget)),
+            ])
+            .render(),
+        );
+    }
+    let beam = match bounded_param(&body, "beam", 2, 1, 8) {
+        Ok(v) => v,
+        Err(body) => return (400, body),
+    };
+    let max_iterations = match bounded_param(&body, "max_iterations", 8, 1, 32) {
+        Ok(v) => v,
+        Err(body) => return (400, body),
+    };
+    let max_evaluations = match bounded_param(&body, "max_evaluations", 64, 1, 256) {
+        Ok(v) => v,
+        Err(body) => return (400, body),
+    };
+    let candidates_per_state = match bounded_param(&body, "candidates_per_state", 6, 1, 16) {
+        Ok(v) => v,
+        Err(body) => return (400, body),
+    };
+    let warm_start = body
+        .get("warm_start")
+        .and_then(Json::as_bool)
+        .unwrap_or(true);
+
+    // The optimizer's batch hook rides the same micro-batcher as
+    // /sweep; structured HTTP failures (429 backpressure, 503 drain)
+    // are captured on the side so they surface with their real status
+    // instead of a generic 500.
+    let http_error: std::cell::RefCell<Option<(u16, String)>> = std::cell::RefCell::new(None);
+    let source: std::cell::Cell<&'static str> = std::cell::Cell::new("rough");
+    let predictor = |stacks: &[Arc<ir_fusion::PreparedStack>]| -> Result<Vec<GridMap>, String> {
+        match run_inference_batch(state, stacks) {
+            Ok((maps, src)) => {
+                source.set(src);
+                Ok(maps)
+            }
+            Err(err) => {
+                *http_error.borrow_mut() = Some(err);
+                Err("inference failed".to_string())
+            }
+        }
+    };
+    let optimizer = irf_opt::Optimizer::new(
+        &state.pipeline,
+        irf_opt::OptimizerConfig {
+            target_max_drop: target,
+            metal_budget: budget,
+            beam_width: beam,
+            max_iterations,
+            max_evaluations,
+            candidates_per_state,
+            warm_start,
+        },
+    )
+    .with_predictor(&predictor);
+    let (result, seconds) = Timer::time(|| optimizer.run(Arc::clone(&grid)));
+    state.metrics.observe_stage("optimize", seconds);
+    let report = match result {
+        Ok(report) => report,
+        Err(irf_opt::OptimizeError::Predict(_)) => {
+            return http_error
+                .borrow_mut()
+                .take()
+                .unwrap_or((500, error_body("prediction failed")))
+        }
+        Err(irf_opt::OptimizeError::Edit(error)) => return (400, edit_error_body(&error)),
+        Err(irf_opt::OptimizeError::Feature(error)) => {
+            return (
+                400,
+                error_body(&format!("cannot prepare features: {error}")),
+            )
+        }
+    };
+    state
+        .metrics
+        .observe_optimize(report.trajectory.len(), report.evaluations);
+    // The winner is itself a valid base for follow-up what-ifs.
+    state
+        .cache
+        .insert_parsed(report.winner.fingerprint, Arc::clone(&report.winner.grid));
+
+    let labels =
+        |labels: &[String]| Json::Arr(labels.iter().map(|l| Json::Str(l.clone())).collect());
+    let trajectory: Vec<Json> = report
+        .trajectory
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("iteration", Json::Num(r.iteration as f64)),
+                ("evaluated", Json::Num(r.evaluated as f64)),
+                ("max_drop", Json::Num(r.best_max_drop)),
+                ("metal_cost", Json::Num(r.best_cost)),
+                ("design", Json::Str(format!("{:016x}", r.best_fingerprint))),
+                ("labels", labels(&r.best_labels)),
+            ])
+        })
+        .collect();
+    (
+        200,
+        obj(vec![
+            ("base", Json::Str(format!("{fingerprint:016x}"))),
+            ("source", Json::Str(source.get().to_string())),
+            ("target_max_drop", Json::Num(report.target_max_drop)),
+            ("metal_budget", Json::Num(report.metal_budget)),
+            (
+                "stop_reason",
+                Json::Str(report.stop_reason.label().to_string()),
+            ),
+            ("target_met", Json::Bool(report.target_met)),
+            ("iterations", Json::Num(report.trajectory.len() as f64)),
+            ("evaluations", Json::Num(report.evaluations as f64)),
+            (
+                "baseline",
+                obj(vec![("max_drop", Json::Num(report.baseline_max_drop))]),
+            ),
+            (
+                "winner",
+                obj(vec![
+                    (
+                        "design",
+                        Json::Str(format!("{:016x}", report.winner.fingerprint)),
+                    ),
+                    ("max_drop", Json::Num(report.winner.max_drop)),
+                    ("metal_cost", Json::Num(report.winner.metal_cost)),
+                    ("labels", labels(&report.winner.labels)),
+                    (
+                        "deltas",
+                        Json::Arr(
+                            report
+                                .winner
+                                .deltas
+                                .iter()
+                                .map(render_topology_delta)
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            ("trajectory", Json::Arr(trajectory)),
         ])
         .render(),
     )

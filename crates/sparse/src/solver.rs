@@ -326,6 +326,31 @@ impl SolverSetup {
         self.setup_seconds
     }
 
+    /// Relative-residual tolerance this setup stops at.
+    #[must_use]
+    pub fn tolerance(&self) -> f64 {
+        self.tol
+    }
+
+    /// Iteration cap this setup stops at.
+    #[must_use]
+    pub fn max_iterations(&self) -> usize {
+        self.max_iter
+    }
+
+    /// Returns a copy of this setup with an overridden stopping rule
+    /// (tolerance + iteration cap). The prepared artifacts are shared,
+    /// so the copy is cheap and solves remain bitwise reproducible for
+    /// a given stopping rule.
+    #[must_use]
+    pub fn with_stopping(&self, tol: f64, max_iter: usize) -> SolverSetup {
+        SolverSetup {
+            tol,
+            max_iter,
+            ..self.clone()
+        }
+    }
+
     /// Solves `A x = b` from a zero initial guess. `a` must be the
     /// same matrix this setup was prepared against.
     ///
@@ -527,6 +552,27 @@ mod tests {
         // A rough solution is already below the initial residual (the
         // 2-norm may transiently rise at k=1; PCG minimises the A-norm).
         assert!(r.residual < 1.0);
+    }
+
+    #[test]
+    fn with_stopping_overrides_only_the_stopping_rule() {
+        let a = grid(10, 10);
+        let b = vec![0.01; 100];
+        let setup = Solver::new(SolverKind::AmgPcg)
+            .with_tolerance(1e-12)
+            .with_max_iterations(50)
+            .prepare(&a);
+        let loose = setup.with_stopping(1e-3, 7);
+        assert_eq!(loose.tolerance(), 1e-3);
+        assert_eq!(loose.max_iterations(), 7);
+        assert_eq!(loose.kind(), setup.kind());
+        assert_eq!(loose.dim(), setup.dim());
+        // Warm-started under the loose rule, a converged solution
+        // should exit immediately; the strict setup keeps iterating.
+        let cold = setup.solve(&a, &b);
+        let warm = loose.solve_with_guess(&a, &b, cold.x.clone());
+        assert!(warm.iterations <= 1);
+        assert!(warm.iterations < cold.iterations);
     }
 
     #[test]

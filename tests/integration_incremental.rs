@@ -358,3 +358,132 @@ fn incremental_path_is_bitwise_deterministic_across_thread_counts() {
     assert_eq!(features, cold.2, "warm features != cold features");
     assert_eq!(map, cold.3, "warm prediction != cold prediction");
 }
+
+/// Warm-starting the rough solve is an explicit opt-in: the seeded
+/// walk lives under seed-tagged stage keys, is a pure function of
+/// (grid, config, seed) regardless of cache state or thread count,
+/// converges in fewer iterations than the cold truncated solve, and
+/// never perturbs the default path's bitwise cold contract.
+#[test]
+fn warm_started_rough_solve_is_opt_in_tagged_and_deterministic() {
+    use ir_fusion::{warm_stage_fingerprint, TopologyDelta};
+    let config = FusionConfig::tiny();
+    let probe = grid(5);
+    let strap_layer = probe
+        .segments
+        .iter()
+        .find_map(|s| {
+            let (a, b) = (probe.nodes[s.a].layer, probe.nodes[s.b].layer);
+            (a == b).then_some(a)
+        })
+        .expect("synth grid has straps");
+    let deltas = [TopologyDelta::Strap {
+        layer: strap_layer,
+        scale: 0.98,
+    }];
+
+    // One base + warm-started-edit walk at a given thread count.
+    let run = |threads: usize, policy: CachePolicy| {
+        with_threads(threads, || {
+            let store = Arc::new(StageStore::new(8));
+            let pipeline = IrFusionPipeline::new(config).with_cache(Arc::clone(&store));
+            let base = Arc::new(grid(5));
+            let seed = pipeline
+                .session(Arc::clone(&base))
+                .rough_solution()
+                .expect("pads");
+            let warm = pipeline
+                .session(base)
+                .with_topology_deltas(&deltas)
+                .expect("valid deltas")
+                .with_rough_warm_start(Arc::clone(&seed))
+                .cache_policy(policy)
+                .prepare()
+                .expect("pads");
+            let (_, _, _, features) = warm.features.to_nchw();
+            (
+                seed.fingerprint,
+                warm.fingerprint,
+                warm.solve_report.iterations,
+                bits32(warm.rough.data()),
+                bits32(&features),
+            )
+        })
+    };
+
+    let reference = run(1, CachePolicy::Shared);
+
+    // Cache-state independence: bypassing the store entirely gives the
+    // same bits, so a warm-started result never depends on what
+    // happens to be cached.
+    assert_eq!(
+        reference,
+        run(1, CachePolicy::Bypass),
+        "warm-started walk depends on cache state"
+    );
+    // Thread-count invariance.
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            reference,
+            run(threads, CachePolicy::Shared),
+            "warm-started walk differs at {threads} threads"
+        );
+    }
+
+    // The cold analysis of the same edited design, for comparison.
+    let pipeline = IrFusionPipeline::new(config);
+    let cold_session = pipeline
+        .session(Arc::new(grid(5)))
+        .with_topology_deltas(&deltas)
+        .expect("valid deltas")
+        .cache_policy(CachePolicy::Bypass);
+    let cold = cold_session.prepare().expect("pads");
+
+    let (seed_fp, warm_fp, warm_iters, _, _) = (
+        reference.0,
+        reference.1,
+        reference.2,
+        &reference.3,
+        &reference.4,
+    );
+    // The warm stack lives under the seed-tagged key, never the cold
+    // one, and the session's design fingerprint stays untagged.
+    assert_eq!(warm_fp, warm_stage_fingerprint(cold.fingerprint, seed_fp));
+    assert_ne!(warm_fp, cold.fingerprint);
+    assert_eq!(cold_session.fingerprint(), cold.fingerprint);
+    // The seeded solve exits early: the cold truncated solve spends
+    // its whole iteration budget, the warm one at most one sweep.
+    assert!(
+        warm_iters < cold.solve_report.iterations,
+        "warm solve ({warm_iters} iters) not faster than cold ({})",
+        cold.solve_report.iterations
+    );
+    assert!(warm_iters <= 1);
+}
+
+/// A seed from a different geometry (mismatched reduced dimension) is
+/// ignored: the tagged artifact is computed cold, bit-for-bit equal to
+/// the untagged cold walk of the same design.
+#[test]
+fn warm_start_falls_back_to_cold_on_geometry_mismatch() {
+    let config = FusionConfig::tiny();
+    let pipeline = IrFusionPipeline::new(config);
+    let foreign_seed = pipeline
+        .session(Arc::new(restriped_grid(5)))
+        .rough_solution()
+        .expect("pads");
+    let base = Arc::new(grid(5));
+    let warm = pipeline
+        .session(Arc::clone(&base))
+        .with_rough_warm_start(foreign_seed)
+        .prepare()
+        .expect("pads");
+    let cold = pipeline.session(base).prepare().expect("pads");
+    assert_ne!(warm.fingerprint, cold.fingerprint, "keys must stay tagged");
+    assert_eq!(
+        bits32(warm.rough.data()),
+        bits32(cold.rough.data()),
+        "mismatched seed must be ignored, not applied"
+    );
+    assert_eq!(warm.solve_report.iterations, cold.solve_report.iterations);
+}
