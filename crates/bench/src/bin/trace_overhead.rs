@@ -14,6 +14,8 @@
 
 use ir_fusion::{FusionConfig, IrFusionPipeline};
 use irf_data::synth::{synthesize, SynthSpec};
+use irf_obs::log::{Format, Level};
+use irf_obs::{FlightRecorder, RequestRecord};
 use irf_pg::PowerGrid;
 use irf_trace::Collector;
 use std::time::Instant;
@@ -30,10 +32,12 @@ fn main() {
         std::hint::black_box(pipeline.prepare_stack(&grid).expect("grid has pads"));
     }
 
+    let recorder = FlightRecorder::new(256);
     let mut untraced_ns = 0u128;
     let mut traced_ns = 0u128;
+    let mut observed_ns = 0u128;
     let mut events = 0usize;
-    for _ in 0..iters {
+    for iter in 0..iters {
         let t0 = Instant::now();
         std::hint::black_box(pipeline.prepare_stack(&grid).expect("grid has pads"));
         untraced_ns += t0.elapsed().as_nanos();
@@ -43,13 +47,59 @@ fn main() {
         std::hint::black_box(pipeline.prepare_stack(&grid).expect("grid has pads"));
         traced_ns += t0.elapsed().as_nanos();
         events = collector.finish().len();
+
+        // The "observed" leg prices the full request-scoped layer the
+        // server adds on top of tracing: a request scope around the
+        // work, trace finalization, the span-tree snapshot, the flight
+        // recorder write, and rendering (not writing) the access-log
+        // line.
+        let id = 0x9e3779b97f4a7c15u64 ^ iter as u64;
+        let collector = Collector::install().expect("no competing collector");
+        let t0 = Instant::now();
+        let scope = irf_trace::request::scope(id);
+        std::hint::black_box(pipeline.prepare_stack(&grid).expect("grid has pads"));
+        let stats = scope.finish();
+        let trace = collector.finish();
+        let spans = irf_obs::recorder::span_tree(&trace, id);
+        recorder.record(RequestRecord {
+            id,
+            seq: 0,
+            endpoint: "bench",
+            status: 200,
+            start_unix_ms: 0,
+            duration_seconds: 0.0,
+            queue_seconds: 0.0,
+            batch_size: 1,
+            stats,
+            slo_objective_seconds: 0.5,
+            slo_breached: false,
+            spans: Some(spans),
+        });
+        let line = irf_obs::log::render(
+            Format::Json,
+            Level::Info,
+            "access",
+            &[
+                ("request", format!("{id:016x}").as_str().into()),
+                ("endpoint", "bench".into()),
+                ("status", 200u64.into()),
+                ("cache_hits", stats.cache_hits.into()),
+                ("cache_misses", stats.cache_misses.into()),
+                ("pcg_iterations", stats.pcg_iterations.into()),
+            ],
+        );
+        std::hint::black_box(line);
+        observed_ns += t0.elapsed().as_nanos();
     }
 
     let untraced_ms = untraced_ns as f64 / 1e6 / iters as f64;
     let traced_ms = traced_ns as f64 / 1e6 / iters as f64;
+    let observed_ms = observed_ns as f64 / 1e6 / iters as f64;
     let overhead = (traced_ms - untraced_ms) / untraced_ms * 100.0;
+    let obs_overhead = (observed_ms - untraced_ms) / untraced_ms * 100.0;
     println!(
         "{{\"iters\":{iters},\"untraced_ms\":{untraced_ms:.3},\"traced_ms\":{traced_ms:.3},\
-         \"overhead_pct\":{overhead:.2},\"events_per_run\":{events}}}"
+         \"overhead_pct\":{overhead:.2},\"obs_ms\":{observed_ms:.3},\
+         \"obs_overhead_pct\":{obs_overhead:.2},\"events_per_run\":{events}}}"
     );
 }

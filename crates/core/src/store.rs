@@ -254,11 +254,13 @@ impl StageStore {
         match self.shard((stage, key)).get((stage, key)) {
             Some(artifact) => {
                 self.stats(stage).hits.fetch_add(1, Ordering::Relaxed);
+                irf_trace::request::note_cache(true);
                 span.attr("outcome", "hit");
                 Some(artifact)
             }
             None => {
                 self.stats(stage).misses.fetch_add(1, Ordering::Relaxed);
+                irf_trace::request::note_cache(false);
                 span.attr("outcome", "miss");
                 None
             }
@@ -316,6 +318,9 @@ impl StageStore {
             // the pair ourselves.
             if let Some(artifact) = self.shard(pair).get(pair) {
                 self.stats(stage).coalesced.fetch_add(1, Ordering::Relaxed);
+                // The request got the artifact without computing it —
+                // a hit from its point of view.
+                irf_trace::request::note_cache(true);
                 return artifact;
             }
         }

@@ -1,0 +1,116 @@
+//! Request-id minting.
+//!
+//! A request id is the FNV-1a hash of `(connection id, per-connection
+//! sequence)` — cheap, collision-resistant at serving scale, and
+//! stable enough to grep for across the access log, the flight
+//! recorder, and exported trace span `request` args. Ids are never
+//! zero (`0` is `irf-trace`'s "no request" sentinel), and render as 16
+//! lowercase hex digits everywhere a human sees them.
+
+use std::fmt;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A minted request id. Never zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// Mints the id for request `seq` on connection `conn`.
+    #[must_use]
+    pub fn mint(conn: u64, seq: u64) -> RequestId {
+        let mut h = FNV_OFFSET;
+        for b in conn.to_le_bytes().into_iter().chain(seq.to_le_bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        // 0 means "no request" to irf-trace; remap the (astronomically
+        // unlikely) zero hash instead of ever emitting it.
+        RequestId(if h == 0 { FNV_OFFSET } else { h })
+    }
+
+    /// The raw id, as threaded through `irf_trace::request::scope`.
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Parses the 16-hex-digit form produced by `Display` (what
+    /// clients read back from `X-Irf-Request-Id`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<RequestId> {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16)
+            .ok()
+            .filter(|&v| v != 0)
+            .map(RequestId)
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Per-connection id source: each accepted connection constructs one
+/// and mints an id per request it carries.
+#[derive(Debug)]
+pub struct RequestIdMinter {
+    conn: u64,
+    seq: u64,
+}
+
+impl RequestIdMinter {
+    /// A minter for connection `conn` (the server's accept counter).
+    #[must_use]
+    pub fn new(conn: u64) -> RequestIdMinter {
+        RequestIdMinter { conn, seq: 0 }
+    }
+
+    /// Mints the next request id on this connection.
+    pub fn mint(&mut self) -> RequestId {
+        let id = RequestId::mint(self.conn, self.seq);
+        self.seq += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_across_conn_and_seq() {
+        let mut seen = std::collections::HashSet::new();
+        for conn in 0..64 {
+            let mut minter = RequestIdMinter::new(conn);
+            for _ in 0..64 {
+                assert!(seen.insert(minter.mint().as_u64()));
+            }
+        }
+        assert_eq!(seen.len(), 64 * 64);
+        assert!(!seen.contains(&0));
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let id = RequestId::mint(7, 3);
+        let s = id.to_string();
+        assert_eq!(s.len(), 16);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(RequestId::parse(&s), Some(id));
+        assert_eq!(RequestId::parse("xyz"), None);
+        assert_eq!(RequestId::parse("0000000000000000"), None);
+        assert_eq!(RequestId::parse(""), None);
+    }
+
+    #[test]
+    fn minting_is_deterministic() {
+        assert_eq!(RequestId::mint(5, 9), RequestId::mint(5, 9));
+        assert_ne!(RequestId::mint(5, 9), RequestId::mint(9, 5));
+    }
+}

@@ -1,0 +1,482 @@
+//! Structured logging on `std` alone.
+//!
+//! One record per call, rendered as a single line and written to
+//! stderr with one `write_all` (so concurrent threads never interleave
+//! mid-line). Two formats:
+//!
+//! * `json` — one JSON object per line (`{"ts":…,"level":"info",
+//!   "event":"access",…}`), the default when stderr is not a TTY so
+//!   collectors can ingest it directly.
+//! * `pretty` — `2026-08-08T02:11:22.123Z INFO  access key=value …`,
+//!   the default on interactive terminals.
+//!
+//! The active level comes from `IRF_LOG`
+//! (`off|error|warn|info|debug|trace`, default `info`) and the format
+//! from `IRF_LOG_FORMAT` (`pretty|json`); both can be overridden
+//! programmatically via [`configure`] (the `irf-serve` CLI flags).
+//!
+//! # Cost model
+//!
+//! A call below the active level is one relaxed atomic load and a
+//! compare — no formatting, no allocation, no lock. Callers that must
+//! *compute* a field value should gate on [`enabled`] first; the
+//! `&[(&str, Value)]` field slice itself lives on the caller's stack.
+
+use std::fmt::Write as _;
+use std::io::{IsTerminal, Write};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most to least severe. `Off` is only meaningful as a
+/// filter level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Nothing is logged.
+    Off = 0,
+    /// The process is in trouble (bind failures, checkpoint errors).
+    Error = 1,
+    /// Something degraded but handled (queue shedding, fallbacks).
+    Warn = 2,
+    /// One line per notable unit of work (the access log lives here).
+    Info = 3,
+    /// Per-subsystem detail (batch composition, cache churn).
+    Debug = 4,
+    /// Everything.
+    Trace = 5,
+}
+
+impl Level {
+    /// Parses `off|error|warn|info|debug|trace` (case-insensitive).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// Output format for rendered records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// One JSON object per line.
+    Json,
+    /// Human-readable single line.
+    Pretty,
+}
+
+impl Format {
+    /// Parses `json|pretty` (case-insensitive).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Format> {
+        match s.to_ascii_lowercase().as_str() {
+            "json" => Some(Format::Json),
+            "pretty" | "text" => Some(Format::Pretty),
+            _ => None,
+        }
+    }
+}
+
+/// A field value. Borrowed strings keep record emission
+/// allocation-free for callers that already hold the text.
+#[derive(Debug, Clone, Copy)]
+pub enum Value<'a> {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (non-finite values render as JSON `null`).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Str(&'a str),
+}
+
+impl<'a> From<u64> for Value<'a> {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl<'a> From<usize> for Value<'a> {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl<'a> From<i64> for Value<'a> {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl<'a> From<f64> for Value<'a> {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl<'a> From<bool> for Value<'a> {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl<'a> From<&'a str> for Value<'a> {
+    fn from(v: &'a str) -> Self {
+        Value::Str(v)
+    }
+}
+
+const LEVEL_UNSET: u8 = u8::MAX;
+
+/// Active filter level; `LEVEL_UNSET` until first use or
+/// [`configure`].
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+struct SinkState {
+    format: Option<Format>,
+    /// Test/bench override; `None` writes to stderr.
+    writer: Option<Box<dyn Write + Send>>,
+}
+
+fn sink() -> &'static Mutex<SinkState> {
+    static SINK: std::sync::OnceLock<Mutex<SinkState>> = std::sync::OnceLock::new();
+    SINK.get_or_init(|| {
+        Mutex::new(SinkState {
+            format: None,
+            writer: None,
+        })
+    })
+}
+
+fn init_level_from_env() -> u8 {
+    let level = std::env::var("IRF_LOG")
+        .ok()
+        .and_then(|s| Level::parse(&s))
+        .unwrap_or(Level::Info) as u8;
+    // First writer wins if configure() raced us; either value is a
+    // coherent choice.
+    let _ = LEVEL.compare_exchange(LEVEL_UNSET, level, Ordering::Relaxed, Ordering::Relaxed);
+    LEVEL.load(Ordering::Relaxed)
+}
+
+fn env_format() -> Format {
+    std::env::var("IRF_LOG_FORMAT")
+        .ok()
+        .and_then(|s| Format::parse(&s))
+        .unwrap_or_else(|| {
+            if std::io::stderr().is_terminal() {
+                Format::Pretty
+            } else {
+                Format::Json
+            }
+        })
+}
+
+/// Overrides the env-derived level and/or format (CLI flags). Fields
+/// left `None` keep their env/default resolution.
+pub fn configure(level: Option<Level>, format: Option<Format>) {
+    if let Some(level) = level {
+        LEVEL.store(level as u8, Ordering::Relaxed);
+    }
+    if let Some(format) = format {
+        sink().lock().expect("log sink poisoned").format = Some(format);
+    }
+}
+
+/// Redirects output (tests and the overhead bench). `None` restores
+/// stderr.
+pub fn set_writer(writer: Option<Box<dyn Write + Send>>) {
+    sink().lock().expect("log sink poisoned").writer = writer;
+}
+
+/// `true` when a record at `level` would be written. Gate expensive
+/// field construction on this.
+#[must_use]
+pub fn enabled(level: Level) -> bool {
+    let mut active = LEVEL.load(Ordering::Relaxed);
+    if active == LEVEL_UNSET {
+        active = init_level_from_env();
+    }
+    (level as u8) <= active
+}
+
+fn escape_json(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn render_value_json(out: &mut String, value: &Value<'_>) {
+    match value {
+        Value::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::F64(v) if v.is_finite() => {
+            let _ = write!(out, "{v}");
+        }
+        Value::F64(_) => out.push_str("null"),
+        Value::Bool(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::Str(s) => {
+            out.push('"');
+            escape_json(out, s);
+            out.push('"');
+        }
+    }
+}
+
+/// Renders `unix_ms` as `YYYY-MM-DDTHH:MM:SS.mmmZ` (proleptic
+/// Gregorian, the civil-from-days construction).
+fn render_timestamp(out: &mut String, unix_ms: u64) {
+    let secs = unix_ms / 1000;
+    let ms = unix_ms % 1000;
+    let days = (secs / 86_400) as i64;
+    let tod = secs % 86_400;
+    let (h, m, s) = (tod / 3600, (tod / 60) % 60, tod % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { year + 1 } else { year };
+    let _ = write!(
+        out,
+        "{year:04}-{month:02}-{day:02}T{h:02}:{m:02}:{s:02}.{ms:03}Z"
+    );
+}
+
+fn unix_ms_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Renders one record in `format` without writing it (used by the
+/// overhead bench to price formatting alone).
+#[must_use]
+pub fn render(format: Format, level: Level, event: &str, fields: &[(&str, Value<'_>)]) -> String {
+    render_at(format, unix_ms_now(), level, event, fields)
+}
+
+fn render_at(
+    format: Format,
+    unix_ms: u64,
+    level: Level,
+    event: &str,
+    fields: &[(&str, Value<'_>)],
+) -> String {
+    let mut out = String::with_capacity(96 + fields.len() * 24);
+    match format {
+        Format::Json => {
+            out.push_str("{\"ts\":\"");
+            render_timestamp(&mut out, unix_ms);
+            let _ = write!(out, "\",\"level\":\"{}\",\"event\":\"", level.as_str());
+            escape_json(&mut out, event);
+            out.push('"');
+            for (key, value) in fields {
+                out.push_str(",\"");
+                escape_json(&mut out, key);
+                out.push_str("\":");
+                render_value_json(&mut out, value);
+            }
+            out.push_str("}\n");
+        }
+        Format::Pretty => {
+            render_timestamp(&mut out, unix_ms);
+            let _ = write!(out, " {:5} {event}", level.as_str().to_ascii_uppercase());
+            for (key, value) in fields {
+                let _ = write!(out, " {key}=");
+                match value {
+                    Value::Str(s) if s.contains(' ') => {
+                        let _ = write!(out, "{s:?}");
+                    }
+                    Value::Str(s) => out.push_str(s),
+                    other => render_value_json(&mut out, other),
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Writes one record (a no-op below the active level).
+pub fn emit(level: Level, event: &str, fields: &[(&str, Value<'_>)]) {
+    if !enabled(level) {
+        return;
+    }
+    let mut sink = sink().lock().expect("log sink poisoned");
+    let format = sink.format.unwrap_or_else(env_format);
+    let line = render_at(format, unix_ms_now(), level, event, fields);
+    match &mut sink.writer {
+        Some(w) => {
+            let _ = w.write_all(line.as_bytes());
+            let _ = w.flush();
+        }
+        None => {
+            let _ = std::io::stderr().write_all(line.as_bytes());
+        }
+    }
+}
+
+/// Emits at [`Level::Error`].
+pub fn error(event: &str, fields: &[(&str, Value<'_>)]) {
+    emit(Level::Error, event, fields);
+}
+
+/// Emits at [`Level::Warn`].
+pub fn warn(event: &str, fields: &[(&str, Value<'_>)]) {
+    emit(Level::Warn, event, fields);
+}
+
+/// Emits at [`Level::Info`].
+pub fn info(event: &str, fields: &[(&str, Value<'_>)]) {
+    emit(Level::Info, event, fields);
+}
+
+/// Emits at [`Level::Debug`].
+pub fn debug(event: &str, fields: &[(&str, Value<'_>)]) {
+    emit(Level::Debug, event, fields);
+}
+
+/// Emits at [`Level::Trace`].
+pub fn trace(event: &str, fields: &[(&str, Value<'_>)]) {
+    emit(Level::Trace, event, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_and_format_parse() {
+        assert_eq!(Level::parse("INFO"), Some(Level::Info));
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("bogus"), None);
+        assert_eq!(Format::parse("json"), Some(Format::Json));
+        assert_eq!(Format::parse("Pretty"), Some(Format::Pretty));
+        assert_eq!(Format::parse(""), None);
+        assert!(Level::Error < Level::Trace);
+    }
+
+    #[test]
+    fn json_records_are_single_escaped_lines() {
+        let line = render_at(
+            Format::Json,
+            1_754_618_400_123, // 2025-08-08T02:00:00.123Z
+            Level::Info,
+            "access",
+            &[
+                ("endpoint", Value::Str("predict")),
+                ("status", Value::U64(200)),
+                ("duration_seconds", Value::F64(0.25)),
+                ("cached", Value::Bool(true)),
+                ("note", Value::Str("a \"quoted\"\nthing")),
+                ("nan", Value::F64(f64::NAN)),
+            ],
+        );
+        assert!(line.ends_with('\n'));
+        assert_eq!(line.matches('\n').count(), 1);
+        assert!(line.contains("\"ts\":\"2025-08-08T02:00:00.123Z\""));
+        assert!(line.contains("\"level\":\"info\""));
+        assert!(line.contains("\"event\":\"access\""));
+        assert!(line.contains("\"endpoint\":\"predict\""));
+        assert!(line.contains("\"status\":200"));
+        assert!(line.contains("\"duration_seconds\":0.25"));
+        assert!(line.contains("\"cached\":true"));
+        assert!(line.contains("\\\"quoted\\\"\\n"));
+        assert!(line.contains("\"nan\":null"));
+    }
+
+    #[test]
+    fn pretty_records_read_as_key_value_pairs() {
+        let line = render_at(
+            Format::Pretty,
+            0,
+            Level::Warn,
+            "queue_full",
+            &[("depth", Value::U64(64)), ("msg", Value::Str("shed load"))],
+        );
+        assert!(line.starts_with("1970-01-01T00:00:00.000Z WARN  queue_full"));
+        assert!(line.contains(" depth=64"));
+        assert!(line.contains(" msg=\"shed load\""));
+    }
+
+    #[test]
+    fn timestamps_cover_month_boundaries() {
+        let mut out = String::new();
+        render_timestamp(&mut out, 0);
+        assert_eq!(out, "1970-01-01T00:00:00.000Z");
+        out.clear();
+        // 2024-02-29T23:59:59.999Z (leap day).
+        render_timestamp(&mut out, 1_709_251_199_999);
+        assert_eq!(out, "2024-02-29T23:59:59.999Z");
+        out.clear();
+        // 2026-12-31T00:00:00.000Z.
+        render_timestamp(&mut out, 1_798_675_200_000);
+        assert_eq!(out, "2026-12-31T00:00:00.000Z");
+    }
+
+    #[test]
+    fn disabled_levels_do_not_reach_the_writer() {
+        struct Probe(std::sync::Arc<std::sync::atomic::AtomicUsize>);
+        impl Write for Probe {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.fetch_add(buf.len(), Ordering::Relaxed);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let written = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        configure(Some(Level::Warn), Some(Format::Json));
+        set_writer(Some(Box::new(Probe(written.clone()))));
+        info("suppressed", &[]);
+        debug("suppressed", &[]);
+        assert_eq!(written.load(Ordering::Relaxed), 0);
+        warn("emitted", &[("k", Value::U64(1))]);
+        assert!(written.load(Ordering::Relaxed) > 0);
+        set_writer(None);
+        configure(Some(Level::Info), None);
+    }
+}

@@ -1,0 +1,368 @@
+//! The flight recorder: a fixed-capacity ring of completed request
+//! records, always on.
+//!
+//! Every finished HTTP request lands one [`RequestRecord`] here —
+//! timings, batch placement, per-request stage-cache and solver
+//! counts — and requests slower than the server's slow-request
+//! threshold additionally snapshot their full span tree. The server
+//! dumps the ring via `GET /debug/requests` (most recent first) and
+//! `GET /debug/requests/{id}`, so the last N requests are inspectable
+//! after the fact without any log scraping.
+//!
+//! Capacity is fixed at construction: slot assignment is one
+//! `fetch_add`, each slot holds an `Arc<RequestRecord>` behind its own
+//! (uncontended) mutex, and record N+capacity overwrites record N —
+//! memory is bounded no matter the traffic.
+
+use irf_trace::request::RequestStats;
+use irf_trace::{AttrValue, Trace};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One completed request, as retained by the recorder.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// The minted request id (see [`crate::id::RequestId`]).
+    pub id: u64,
+    /// Completion sequence number (process-wide, assigned by
+    /// [`FlightRecorder::record`]; newer is larger).
+    pub seq: u64,
+    /// Endpoint label (the `/metrics` route label: `predict`,
+    /// `whatif`, ...).
+    pub endpoint: &'static str,
+    /// HTTP status returned.
+    pub status: u16,
+    /// Wall-clock start, milliseconds since the Unix epoch.
+    pub start_unix_ms: u64,
+    /// End-to-end handling time in seconds.
+    pub duration_seconds: f64,
+    /// Time the request's inference job waited in the batch queue
+    /// (0 when the request never reached the batcher).
+    pub queue_seconds: f64,
+    /// Size of the forward-pass batch the request rode in (0 when it
+    /// never reached the batcher).
+    pub batch_size: u64,
+    /// Per-request stage-cache and solver counts accumulated while the
+    /// request was being served.
+    pub stats: RequestStats,
+    /// The endpoint's declared latency objective in seconds.
+    pub slo_objective_seconds: f64,
+    /// `true` when `duration_seconds` exceeded the objective.
+    pub slo_breached: bool,
+    /// Full span tree, snapshotted only for slow requests (the ring
+    /// stays small for healthy traffic).
+    pub spans: Option<Vec<SpanNode>>,
+}
+
+/// One span in a snapshotted tree.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: &'static str,
+    /// Recording thread id.
+    pub tid: u64,
+    /// Start offset from collector installation, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Attributes, rendered to text.
+    pub args: Vec<(&'static str, String)>,
+    /// Child spans.
+    pub children: Vec<SpanNode>,
+}
+
+fn render_attr(value: &AttrValue) -> String {
+    match value {
+        AttrValue::U64(v) => v.to_string(),
+        AttrValue::F64(v) => v.to_string(),
+        AttrValue::Bool(v) => v.to_string(),
+        AttrValue::Str(s) => s.clone(),
+        AttrValue::F64List(values) => {
+            let mut out = String::from("[");
+            for (i, v) in values.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{v}");
+            }
+            out.push(']');
+            out
+        }
+    }
+}
+
+/// Builds the span tree of the events tagged with `request` in
+/// `trace`. Events keep their recorded order; parent/child structure
+/// follows each thread's depth stack (the trace is sorted with parents
+/// before children at equal starts).
+#[must_use]
+pub fn span_tree(trace: &Trace, request: u64) -> Vec<SpanNode> {
+    let mut arena: Vec<SpanNode> = Vec::new();
+    // Per-event parent arena index (or usize::MAX for roots).
+    let mut parents: Vec<usize> = Vec::new();
+    // One open-span stack per thread: (depth, arena index).
+    let mut stacks: Vec<(u64, Vec<(u32, usize)>)> = Vec::new();
+    for event in trace.events.iter().filter(|e| e.request == request) {
+        let stack = match stacks.iter_mut().find(|(tid, _)| *tid == event.tid) {
+            Some((_, stack)) => stack,
+            None => {
+                stacks.push((event.tid, Vec::new()));
+                &mut stacks.last_mut().expect("just pushed").1
+            }
+        };
+        while stack.last().is_some_and(|&(depth, _)| depth >= event.depth) {
+            stack.pop();
+        }
+        let parent = stack.last().map_or(usize::MAX, |&(_, idx)| idx);
+        let idx = arena.len();
+        arena.push(SpanNode {
+            name: event.name,
+            tid: event.tid,
+            start_ns: event.start_ns,
+            dur_ns: event.dur_ns,
+            args: event
+                .args
+                .iter()
+                .map(|(k, v)| (*k, render_attr(v)))
+                .collect(),
+            children: Vec::new(),
+        });
+        parents.push(parent);
+        stack.push((event.depth, idx));
+    }
+    // Materialize children bottom-up: walking in reverse arena order
+    // guarantees a node's children are complete before it moves into
+    // its own parent.
+    let mut roots = Vec::new();
+    for idx in (0..arena.len()).rev() {
+        let mut node = std::mem::replace(
+            &mut arena[idx],
+            SpanNode {
+                name: "",
+                tid: 0,
+                start_ns: 0,
+                dur_ns: 0,
+                args: Vec::new(),
+                children: Vec::new(),
+            },
+        );
+        node.children.reverse();
+        if parents[idx] == usize::MAX {
+            roots.push(node);
+        } else {
+            arena[parents[idx]].children.push(node);
+        }
+    }
+    roots.reverse();
+    roots
+}
+
+/// The fixed-capacity ring of completed requests.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Vec<Mutex<Option<Arc<RequestRecord>>>>,
+    next: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` requests
+    /// (`capacity >= 1` enforced).
+    #[must_use]
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Stores `record` (stamping its completion sequence), evicting
+    /// the oldest entry once full.
+    pub fn record(&self, mut record: RequestRecord) -> Arc<RequestRecord> {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed);
+        record.seq = seq;
+        let record = Arc::new(record);
+        let slot = (seq % self.slots.len() as u64) as usize;
+        *self.slots[slot].lock().expect("recorder slot poisoned") = Some(record.clone());
+        record
+    }
+
+    /// Every retained record, most recent first.
+    #[must_use]
+    pub fn recent(&self) -> Vec<Arc<RequestRecord>> {
+        let mut records: Vec<Arc<RequestRecord>> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().expect("recorder slot poisoned").clone())
+            .collect();
+        records.sort_by_key(|r| std::cmp::Reverse(r.seq));
+        records
+    }
+
+    /// The most recent retained record for request `id`, if still in
+    /// the ring.
+    #[must_use]
+    pub fn find(&self, id: u64) -> Option<Arc<RequestRecord>> {
+        self.recent().into_iter().find(|r| r.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irf_trace::Event;
+
+    fn record(id: u64) -> RequestRecord {
+        RequestRecord {
+            id,
+            seq: 0,
+            endpoint: "predict",
+            status: 200,
+            start_unix_ms: 0,
+            duration_seconds: 0.01,
+            queue_seconds: 0.0,
+            batch_size: 1,
+            stats: RequestStats::default(),
+            slo_objective_seconds: 0.5,
+            slo_breached: false,
+            spans: None,
+        }
+    }
+
+    #[test]
+    fn ring_retains_most_recent_within_capacity() {
+        let recorder = FlightRecorder::new(4);
+        for id in 1..=10u64 {
+            recorder.record(record(id));
+        }
+        let recent = recorder.recent();
+        assert_eq!(recent.len(), 4);
+        let ids: Vec<u64> = recent.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![10, 9, 8, 7]);
+        assert!(recorder.find(10).is_some());
+        assert!(recorder.find(6).is_none(), "evicted");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let recorder = FlightRecorder::new(0);
+        assert_eq!(recorder.capacity(), 1);
+        recorder.record(record(1));
+        recorder.record(record(2));
+        assert_eq!(recorder.recent().len(), 1);
+        assert_eq!(recorder.recent()[0].id, 2);
+    }
+
+    #[test]
+    fn concurrent_records_stay_within_capacity() {
+        let recorder = Arc::new(FlightRecorder::new(8));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let recorder = recorder.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    recorder.record(record(t * 1000 + i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("recorder thread");
+        }
+        let recent = recorder.recent();
+        assert_eq!(recent.len(), 8);
+        // Sequences are unique and the retained ones are the last 8.
+        let seqs: Vec<u64> = recent.iter().map(|r| r.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] > w[1]));
+        assert_eq!(seqs[0], 399);
+        assert_eq!(seqs[7], 392);
+    }
+
+    fn event(
+        name: &'static str,
+        tid: u64,
+        depth: u32,
+        start_ns: u64,
+        dur_ns: u64,
+        request: u64,
+    ) -> Event {
+        Event {
+            name,
+            tid,
+            depth,
+            start_ns,
+            dur_ns,
+            request,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn span_tree_filters_and_nests() {
+        let trace = Trace {
+            events: vec![
+                event("other_request", 0, 0, 0, 50, 99),
+                event("whatif", 0, 0, 10, 1_000, 7),
+                event("prepare", 0, 1, 20, 400, 7),
+                event("stage_cache", 0, 2, 30, 100, 7),
+                event("solve", 0, 1, 500, 300, 7),
+                // Same request on a second (batcher) thread.
+                event("forward", 1, 0, 600, 200, 7),
+                // Untagged background noise.
+                event("untagged", 2, 0, 0, 10, 0),
+            ],
+            thread_labels: Vec::new(),
+        };
+        let roots = span_tree(&trace, 7);
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[0].name, "whatif");
+        assert_eq!(roots[0].children.len(), 2);
+        assert_eq!(roots[0].children[0].name, "prepare");
+        assert_eq!(roots[0].children[0].children[0].name, "stage_cache");
+        assert_eq!(roots[0].children[1].name, "solve");
+        assert_eq!(roots[1].name, "forward");
+        assert_eq!(roots[1].tid, 1);
+    }
+
+    #[test]
+    fn span_tree_handles_sibling_spans_at_equal_depth() {
+        let trace = Trace {
+            events: vec![
+                event("root", 0, 0, 0, 1_000, 1),
+                event("a", 0, 1, 10, 100, 1),
+                event("b", 0, 1, 200, 100, 1),
+                event("b_child", 0, 2, 210, 50, 1),
+            ],
+            thread_labels: Vec::new(),
+        };
+        let roots = span_tree(&trace, 1);
+        assert_eq!(roots.len(), 1);
+        let root = &roots[0];
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].name, "a");
+        assert!(root.children[0].children.is_empty());
+        assert_eq!(root.children[1].children[0].name, "b_child");
+    }
+
+    #[test]
+    fn span_tree_renders_attrs() {
+        let mut e = event("pcg_solve", 0, 0, 0, 100, 3);
+        e.args = vec![
+            ("iterations", AttrValue::U64(2)),
+            ("history", AttrValue::F64List(vec![1.0, 0.25])),
+        ];
+        let trace = Trace {
+            events: vec![e],
+            thread_labels: Vec::new(),
+        };
+        let roots = span_tree(&trace, 3);
+        assert_eq!(roots[0].args[0], ("iterations", "2".to_string()));
+        assert_eq!(roots[0].args[1], ("history", "[1,0.25]".to_string()));
+    }
+}

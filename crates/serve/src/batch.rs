@@ -79,8 +79,27 @@ impl Default for BatchConfig {
 pub struct PredictJob {
     /// Prepared features + rough map (label-free).
     pub stack: Arc<PreparedStack>,
-    /// Where the prediction is delivered.
-    pub reply: mpsc::Sender<GridMap>,
+    /// Id of the originating HTTP request (`0` when none). Carried
+    /// explicitly: the batcher thread never inherits the handler's
+    /// thread-local `irf_trace::request` scope.
+    pub request: u64,
+    /// When the job was queued; the batcher derives queue wait from it.
+    pub submitted: Instant,
+    /// Where the prediction (plus its accounting) is delivered.
+    pub reply: mpsc::Sender<PredictReply>,
+}
+
+/// What the batcher delivers for one job: the prediction and the
+/// accounting the access log and flight recorder attribute to the
+/// originating request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictReply {
+    /// The predicted IR-drop map.
+    pub map: GridMap,
+    /// How long the job sat queued before its batch's forward started.
+    pub queue_seconds: f64,
+    /// Number of jobs fused into the same forward pass.
+    pub batch_size: usize,
 }
 
 /// Why a submission was not queued.
@@ -179,13 +198,36 @@ fn run_batcher(
         // Resolve the model once per batch: a concurrent reload takes
         // effect on the NEXT batch, never mid-forward.
         let model = slot.get();
+        let batch_started = Instant::now();
         let (maps, seconds) = Timer::time(|| pipeline.predict_batch(&model, &stacks));
         metrics.observe_batch(jobs.len());
         metrics.observe_stage("forward", seconds);
-        for (job, map) in jobs.iter().zip(maps) {
+        let batch_size = jobs.len();
+        if irf_obs::log::enabled(irf_obs::log::Level::Debug) {
+            // The per-batch detail record names every fused request so
+            // a slow forward can be pinned to its co-batched peers.
+            let ids: Vec<String> = jobs.iter().map(|j| format!("{:016x}", j.request)).collect();
+            let ids = ids.join(",");
+            irf_obs::debug(
+                "forward_batch",
+                &[
+                    ("batch_size", batch_size.into()),
+                    ("forward_seconds", seconds.into()),
+                    ("requests", ids.as_str().into()),
+                ],
+            );
+        }
+        for (job, map) in jobs.into_iter().zip(maps) {
+            let queue_seconds = batch_started
+                .saturating_duration_since(job.submitted)
+                .as_secs_f64();
             // A handler that gave up (client disconnect) just drops
             // its receiver; that is not the batcher's problem.
-            let _ = job.reply.send(map);
+            let _ = job.reply.send(PredictReply {
+                map,
+                queue_seconds,
+                batch_size,
+            });
         }
     }
 }
@@ -223,12 +265,14 @@ mod tests {
         );
         let tx = batcher.sender();
         let mut replies = Vec::new();
-        for _ in 0..3 {
+        for seq in 0..3u64 {
             let (reply_tx, reply_rx) = mpsc::channel();
             try_submit(
                 &tx,
                 PredictJob {
                     stack: Arc::clone(&stack),
+                    request: seq + 1,
+                    submitted: Instant::now(),
                     reply: reply_tx,
                 },
             )
@@ -236,8 +280,13 @@ mod tests {
             replies.push(reply_rx);
         }
         for rx in replies {
-            let map = rx.recv().expect("batcher replies");
-            assert_eq!(map, expected, "batched result must equal solo predict");
+            let reply = rx.recv().expect("batcher replies");
+            assert_eq!(
+                reply.map, expected,
+                "batched result must equal solo predict"
+            );
+            assert!(reply.batch_size >= 1 && reply.batch_size <= 3);
+            assert!(reply.queue_seconds >= 0.0);
         }
         drop(tx);
         batcher.shutdown();
@@ -272,11 +321,13 @@ mod tests {
                 tx,
                 PredictJob {
                     stack: Arc::clone(&stack),
+                    request: 0,
+                    submitted: Instant::now(),
                     reply: reply_tx,
                 },
             )
             .expect("queue has room");
-            reply_rx.recv().expect("batcher replies")
+            reply_rx.recv().expect("batcher replies").map
         };
 
         assert_eq!(predict_once(&tx), from_first);

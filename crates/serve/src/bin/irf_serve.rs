@@ -5,6 +5,8 @@
 //!           [--batch-deadline-ms T] [--queue N] [--cache N]
 //!           [--read-timeout-ms T] [--model CKPT | --no-model]
 //!           [--full] [--threads N]
+//!           [--log LEVEL] [--log-format json|pretty]
+//!           [--slow-ms T] [--recorder N]
 //! ```
 //!
 //! Without `--model`, a tiny IR-Fusion model is trained at startup on
@@ -13,12 +15,20 @@
 //! rough numerical maps. `--full` uses the full-resolution pipeline
 //! configuration instead of the test-scale one.
 //!
+//! Observability: all diagnostics are structured log records on stderr
+//! (`pretty` on a TTY, JSON lines otherwise; override with `--log`
+//! `--log-format` or `IRF_LOG` / `IRF_LOG_FORMAT`). Requests slower
+//! than `--slow-ms` (or `IRF_SLOW_MS`) snapshot their span tree into
+//! the flight recorder (`GET /debug/requests`), which retains the last
+//! `--recorder` completed requests.
+//!
 //! Stop the server with `POST /shutdown` (the dependency-free build
 //! cannot trap SIGTERM; see the crate docs).
 
 use ir_fusion::{load_model, train, FusionConfig, TrainedModel};
 use irf_data::Dataset;
 use irf_models::ModelKind;
+use irf_obs::log::{Format, Level};
 use irf_serve::{Server, ServerConfig};
 use std::time::Duration;
 
@@ -35,7 +45,9 @@ fn usage() -> ! {
         "usage: irf-serve [--addr HOST:PORT] [--workers N] [--batch-size B]\n\
          \x20                [--batch-deadline-ms T] [--queue N] [--cache N]\n\
          \x20                [--read-timeout-ms T] [--model CKPT | --no-model]\n\
-         \x20                [--full] [--threads N]"
+         \x20                [--full] [--threads N]\n\
+         \x20                [--log off|error|warn|info|debug|trace]\n\
+         \x20                [--log-format json|pretty] [--slow-ms T] [--recorder N]"
     );
     std::process::exit(2);
 }
@@ -48,6 +60,13 @@ fn parse_args() -> Args {
         full: false,
         threads: 0,
     };
+    // The env knobs apply first so flags can override them.
+    if let Some(ms) = std::env::var("IRF_SLOW_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        args.server.slow_threshold = Duration::from_millis(ms);
+    }
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
@@ -69,9 +88,39 @@ fn parse_args() -> Args {
             "--no-model" => args.no_model = true,
             "--full" => args.full = true,
             "--threads" => args.threads = parse_num(&value("--threads")),
+            "--log" => {
+                let raw = value("--log");
+                let Some(level) = Level::parse(&raw) else {
+                    irf_obs::error(
+                        "bad_flag",
+                        &[("flag", "--log".into()), ("value", raw.as_str().into())],
+                    );
+                    usage();
+                };
+                irf_obs::log::configure(Some(level), None);
+            }
+            "--log-format" => {
+                let raw = value("--log-format");
+                let Some(format) = Format::parse(&raw) else {
+                    irf_obs::error(
+                        "bad_flag",
+                        &[
+                            ("flag", "--log-format".into()),
+                            ("value", raw.as_str().into()),
+                        ],
+                    );
+                    usage();
+                };
+                irf_obs::log::configure(None, Some(format));
+            }
+            "--slow-ms" => {
+                args.server.slow_threshold =
+                    Duration::from_millis(parse_num(&value("--slow-ms")) as u64);
+            }
+            "--recorder" => args.server.recorder_capacity = parse_num(&value("--recorder")),
             "--help" | "-h" => usage(),
             other => {
-                eprintln!("unknown flag: {other}");
+                irf_obs::error("unknown_flag", &[("flag", other.into())]);
                 usage();
             }
         }
@@ -81,7 +130,7 @@ fn parse_args() -> Args {
 
 fn parse_num(s: &str) -> usize {
     s.parse().unwrap_or_else(|_| {
-        eprintln!("not a number: {s}");
+        irf_obs::error("not_a_number", &[("value", s.into())]);
         usage();
     })
 }
@@ -92,20 +141,47 @@ fn startup_model(args: &Args, config: &FusionConfig) -> Option<TrainedModel> {
     }
     if let Some(path) = &args.model_path {
         let file = std::fs::File::open(path).unwrap_or_else(|e| {
-            eprintln!("cannot open {path}: {e}");
+            irf_obs::error(
+                "checkpoint_open_failed",
+                &[
+                    ("path", path.as_str().into()),
+                    ("error", e.to_string().as_str().into()),
+                ],
+            );
             std::process::exit(1);
         });
         let trained = load_model(std::io::BufReader::new(file)).unwrap_or_else(|e| {
-            eprintln!("cannot load checkpoint {path}: {e}");
+            irf_obs::error(
+                "checkpoint_load_failed",
+                &[
+                    ("path", path.as_str().into()),
+                    ("error", e.to_string().as_str().into()),
+                ],
+            );
             std::process::exit(1);
         });
-        eprintln!("loaded checkpoint {path}: {trained:?}");
+        irf_obs::info(
+            "checkpoint_loaded",
+            &[
+                ("path", path.as_str().into()),
+                ("model", format!("{trained:?}").as_str().into()),
+            ],
+        );
         return Some(trained);
     }
-    eprintln!("training startup model (pass --model CKPT or --no-model to skip)...");
+    irf_obs::info(
+        "startup_training",
+        &[(
+            "hint",
+            "pass --model CKPT or --no-model to skip startup training".into(),
+        )],
+    );
     let dataset = Dataset::generate(2, 2, 1, 7);
     let trained = train(ModelKind::IrFusion, &dataset, config);
-    eprintln!("startup model ready: {trained:?}");
+    irf_obs::info(
+        "startup_model_ready",
+        &[("model", format!("{trained:?}").as_str().into())],
+    );
     Some(trained)
 }
 
@@ -119,10 +195,30 @@ fn main() {
     config.num_threads = args.threads;
     let model = startup_model(&args, &config);
     let server = Server::start(&args.server, config, model).unwrap_or_else(|e| {
-        eprintln!("cannot bind {}: {e}", args.server.addr);
+        irf_obs::error(
+            "bind_failed",
+            &[
+                ("addr", args.server.addr.as_str().into()),
+                ("error", e.to_string().as_str().into()),
+            ],
+        );
         std::process::exit(1);
     });
     println!("listening on http://{}", server.addr());
+    irf_obs::info(
+        "listening",
+        &[
+            ("addr", server.addr().to_string().as_str().into()),
+            ("workers", args.server.workers.into()),
+            ("recorder_capacity", args.server.recorder_capacity.into()),
+            (
+                "slow_threshold_ms",
+                u64::try_from(args.server.slow_threshold.as_millis())
+                    .unwrap_or(u64::MAX)
+                    .into(),
+            ),
+        ],
+    );
     server.wait();
-    eprintln!("server drained, exiting");
+    irf_obs::info("drained", &[]);
 }

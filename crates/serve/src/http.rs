@@ -202,7 +202,9 @@ pub fn status_reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -224,14 +226,39 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    write_response_with_headers(stream, status, content_type, body, keep_alive, &[])
+}
+
+/// Like [`write_response`], with extra response headers appended after
+/// the standard ones. Header names and values must already be valid
+/// HTTP token/text — they are written verbatim.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_response_with_headers(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
         status_reason(status),
         content_type,
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
@@ -349,8 +376,27 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_served_codes() {
-        for code in [200, 400, 404, 405, 408, 413, 429, 500, 503] {
+        for code in [200, 400, 404, 405, 408, 409, 413, 422, 429, 500, 503] {
             assert_ne!(status_reason(code), "Unknown", "{code}");
         }
+    }
+
+    #[test]
+    fn extra_headers_are_appended_before_the_body() {
+        let mut out = Vec::new();
+        write_response_with_headers(
+            &mut out,
+            200,
+            "application/json",
+            b"{}",
+            true,
+            &[("X-Irf-Request-Id", "00000000deadbeef")],
+        )
+        .expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("X-Irf-Request-Id: 00000000deadbeef\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        let head_end = text.find("\r\n\r\n").expect("head/body split");
+        assert!(text.find("X-Irf-Request-Id").expect("header") < head_end);
     }
 }

@@ -10,6 +10,7 @@
 //! `irf_stage_seconds_total{stage="pcg_solve"}`, ...).
 
 use ir_fusion::{Stage, StageStore};
+use irf_obs::slo::{SloPolicy, LATENCY_BUCKETS};
 use irf_trace::{MetricKind, MetricsRegistry};
 use std::sync::Arc;
 
@@ -159,6 +160,21 @@ impl ServerMetrics {
             "Candidate analyses evaluated across all POST /optimize calls.",
         );
         r.counter_add("irf_opt_evaluations_total", &[], 0.0);
+        r.describe_histogram(
+            "irf_http_request_seconds",
+            "End-to-end request latency by endpoint.",
+            LATENCY_BUCKETS,
+        );
+        r.describe(
+            "irf_slo_breaches_total",
+            MetricKind::Counter,
+            "Requests that finished over their endpoint's latency objective.",
+        );
+        r.describe(
+            "irf_slo_objective_seconds",
+            MetricKind::Gauge,
+            "Declared latency objective per endpoint.",
+        );
         r.describe(
             "irf_pcg_iterations",
             MetricKind::Gauge,
@@ -179,6 +195,31 @@ impl ServerMetrics {
             MetricKind::Gauge,
             "AMG operator complexity of the most recent setup.",
         );
+    }
+
+    /// Zero-initializes the per-endpoint SLO series so every endpoint
+    /// is scrapeable (with zeroed buckets and breach counters) from
+    /// the first `/metrics` render, and publishes each declared
+    /// objective as a gauge.
+    pub fn init_http(&self, policy: &SloPolicy) {
+        let r = self.registry();
+        for (endpoint, objective) in policy.endpoints() {
+            let labels = [("endpoint", *endpoint)];
+            r.touch_histogram("irf_http_request_seconds", &labels);
+            r.counter_add("irf_slo_breaches_total", &labels, 0.0);
+            r.gauge_set("irf_slo_objective_seconds", &labels, *objective);
+        }
+    }
+
+    /// Records one finished request's end-to-end latency against its
+    /// endpoint's SLO.
+    pub fn observe_http(&self, endpoint: &'static str, seconds: f64, breached: bool) {
+        let r = self.registry();
+        let labels = [("endpoint", endpoint)];
+        r.observe("irf_http_request_seconds", &labels, seconds);
+        if breached {
+            r.counter_inc("irf_slo_breaches_total", &labels);
+        }
     }
 
     /// Counts one finished request.
@@ -329,6 +370,42 @@ mod tests {
         let cache = StageStore::new(1);
         assert!(a.render(&cache).contains("irf_requests_total"));
         assert!(!b.render(&cache).contains("route=\"predict\""));
+    }
+
+    #[test]
+    fn http_slo_series_start_zeroed_and_accumulate() {
+        let m = isolated(2);
+        m.init_http(&SloPolicy::new());
+        let cache = StageStore::new(1);
+        let text = m.render(&cache);
+        assert!(
+            text.contains("irf_http_request_seconds_bucket{endpoint=\"predict\",le=\"+Inf\"} 0"),
+            "every endpoint must be scrapeable before traffic"
+        );
+        assert!(text.contains("irf_slo_breaches_total{endpoint=\"predict\"} 0"));
+        assert!(text.contains("irf_slo_breaches_total{endpoint=\"healthz\"} 0"));
+        assert!(text.contains("irf_slo_objective_seconds{endpoint=\"predict\"} 0.5"));
+        m.observe_http("predict", 0.3, false);
+        m.observe_http("predict", 0.7, true);
+        let text = m.render(&cache);
+        assert!(text.contains("irf_http_request_seconds_count{endpoint=\"predict\"} 2"));
+        assert!(text.contains("irf_slo_breaches_total{endpoint=\"predict\"} 1"));
+    }
+
+    #[test]
+    fn rendered_exposition_passes_promlint() {
+        let m = isolated(4);
+        m.init_http(&SloPolicy::new());
+        m.observe_request("predict", 200);
+        m.observe_request("healthz", 200);
+        m.observe_batch(2);
+        m.observe_stage("prepare", 0.5);
+        m.observe_http("predict", 0.3, false);
+        m.observe_http("optimize", 11.0, true);
+        let cache = StageStore::new(4);
+        assert!(cache.get(Stage::Stack, 1).is_none());
+        let problems = irf_obs::promlint::lint(&m.render(&cache));
+        assert!(problems.is_empty(), "promlint: {problems:?}");
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! - `GET /metrics` — Prometheus text exposition.
 //! - `GET /trace` — Chrome trace-event JSON of the most recent
 //!   `/predict` (load it in Perfetto / `chrome://tracing`).
+//! - `GET /debug/requests` — the flight recorder: the last N
+//!   completed requests (ids, timings, batch placement, per-request
+//!   stage-cache and solver counts), most recent first.
+//! - `GET /debug/requests/{id}` — one recorded request in full,
+//!   including its span tree when it ran at or over the configured
+//!   slow-request threshold.
 //! - `POST /predict` — run one design through the pipeline.
 //! - `POST /whatif` — incremental re-analysis: a base design
 //!   fingerprint (as reported by `/predict`) plus a list of deltas.
@@ -48,8 +54,10 @@
 //! [`Server::shutdown`] handle instead. Both stop accepting, drain
 //! queued batches, and join every thread.
 
-use crate::batch::{try_submit, BatchConfig, Batcher, ModelSlot, PredictJob, SubmitError};
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::batch::{
+    try_submit, BatchConfig, Batcher, ModelSlot, PredictJob, PredictReply, SubmitError,
+};
+use crate::http::{read_request, write_response, write_response_with_headers, HttpError, Request};
 use crate::json::{obj, parse, Json};
 use crate::metrics::ServerMetrics;
 use ir_fusion::{
@@ -57,13 +65,17 @@ use ir_fusion::{
     TrainedModel,
 };
 use irf_metrics::Timer;
+use irf_obs::recorder::SpanNode;
+use irf_obs::{FlightRecorder, RequestId, RequestIdMinter, RequestRecord, SloPolicy};
 use irf_pg::{GridMap, PowerGrid};
+use irf_trace::request::RequestStats;
+use std::cell::{Cell, RefCell};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -82,6 +94,14 @@ pub struct ServerConfig {
     /// closed silently when it expires; a connection that timed out
     /// mid-request gets a 408 first.
     pub read_timeout: Duration,
+    /// Requests at or above this duration snapshot their full span
+    /// tree into the flight recorder (inspect via
+    /// `GET /debug/requests/{id}`). `Duration::ZERO` snapshots every
+    /// request.
+    pub slow_threshold: Duration,
+    /// Completed requests retained by the flight recorder
+    /// (`GET /debug/requests`).
+    pub recorder_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +112,8 @@ impl Default for ServerConfig {
             batch: BatchConfig::default(),
             cache_capacity: 32,
             read_timeout: Duration::from_secs(30),
+            slow_threshold: Duration::from_millis(500),
+            recorder_capacity: 256,
         }
     }
 }
@@ -115,6 +137,14 @@ struct State {
     /// singleton, so under concurrent predicts only one request at a
     /// time records.
     last_trace: Mutex<Option<String>>,
+    /// Ring of completed request records (`GET /debug/requests`).
+    recorder: FlightRecorder,
+    /// Per-endpoint latency objectives in force.
+    slo: SloPolicy,
+    /// Requests at or above this duration snapshot their span tree.
+    slow_threshold: Duration,
+    /// Accept counter; each connection's request ids derive from it.
+    connections: AtomicU64,
 }
 
 /// A running server; dropping the handle does NOT stop it — call
@@ -143,6 +173,10 @@ impl Server {
         let addr = listener.local_addr()?;
         let cache = Arc::new(StageStore::new(config.cache_capacity));
         let metrics = Arc::new(ServerMetrics::new(config.batch.max_batch));
+        let slo = SloPolicy::from_env();
+        // Zero-init the per-endpoint SLO series so `/metrics` exposes
+        // every endpoint from the first scrape.
+        metrics.init_http(&slo);
         let pipeline = IrFusionPipeline::new(fusion).with_cache(Arc::clone(&cache));
         let has_model = model.is_some();
         let model_slot = model.map(|trained| Arc::new(ModelSlot::new(trained)));
@@ -165,6 +199,10 @@ impl Server {
             addr,
             read_timeout: config.read_timeout,
             last_trace: Mutex::new(None),
+            recorder: FlightRecorder::new(config.recorder_capacity),
+            slo,
+            slow_threshold: config.slow_threshold,
+            connections: AtomicU64::new(0),
         });
 
         // Accepted connections flow to the handler pool over a channel;
@@ -270,9 +308,15 @@ fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, state: &Arc<State>) {
 
 /// Serves one connection: requests are handled in a loop until the
 /// client asks for `Connection: close`, hangs up, errors, or stays
-/// idle past the read timeout.
+/// idle past the read timeout. Every parsed request is minted a
+/// request id, served under a thread-local `irf_trace::request` scope
+/// (so spans, stage-cache events and solver telemetry recorded while
+/// handling it carry the id), echoed back as `X-Irf-Request-Id`, and
+/// lands one record in the flight recorder plus one access-log line.
 fn handle_connection(stream: TcpStream, state: &Arc<State>) {
     let _ = stream.set_read_timeout(Some(state.read_timeout));
+    let conn = state.connections.fetch_add(1, Ordering::Relaxed);
+    let mut minter = RequestIdMinter::new(conn);
     let mut reader = BufReader::new(stream);
     loop {
         let request = match read_request(&mut reader) {
@@ -286,7 +330,8 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) {
                     HttpError::Timeout { mid_request: true } => 408,
                     _ => 400,
                 };
-                let body = error_body(&error.to_string());
+                let message = error.to_string();
+                let body = error_body(&message);
                 let _ = write_response(
                     reader.get_mut(),
                     status,
@@ -295,23 +340,117 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) {
                     false,
                 );
                 state.metrics.observe_request("other", status);
+                irf_obs::warn(
+                    "request_error",
+                    &[
+                        ("error", message.as_str().into()),
+                        ("status", u64::from(status).into()),
+                    ],
+                );
                 return;
             }
         };
+        let id = minter.mint();
+        let started = Instant::now();
+        let start_unix_ms = unix_ms_now();
+        let ctx = RequestCtx::new(id);
         // Don't hold connections open across a shutdown.
         let keep_alive = request.keep_alive && !state.shutting_down.load(Ordering::SeqCst);
-        let (route, status, content_type, body) = route_request(&request, state);
-        let written = write_response(
+        // Everything recorded on this thread until `finish` — spans,
+        // stage-cache events, PCG telemetry — is tagged with this id.
+        let scope = irf_trace::request::scope(id.as_u64());
+        let (route, status, content_type, body) = route_request(&request, state, &ctx);
+        let stats = scope.finish();
+        let duration_seconds = started.elapsed().as_secs_f64();
+        let id_text = id.to_string();
+        let written = write_response_with_headers(
             reader.get_mut(),
             status,
             content_type,
             body.as_bytes(),
             keep_alive,
+            &[("X-Irf-Request-Id", &id_text)],
         );
-        state.metrics.observe_request(route, status);
+        finish_request(
+            state,
+            &ctx,
+            route,
+            status,
+            start_unix_ms,
+            duration_seconds,
+            stats,
+        );
         if written.is_err() || !keep_alive {
             return;
         }
+    }
+}
+
+fn unix_ms_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// SLO accounting, flight-recorder entry and access-log line for one
+/// finished request.
+fn finish_request(
+    state: &State,
+    ctx: &RequestCtx,
+    route: &'static str,
+    status: u16,
+    start_unix_ms: u64,
+    duration_seconds: f64,
+    stats: RequestStats,
+) {
+    state.metrics.observe_request(route, status);
+    let objective = state.slo.objective_seconds(route);
+    let breached = duration_seconds > objective;
+    state
+        .metrics
+        .observe_http(route, duration_seconds, breached);
+    // Slow requests keep their full span tree; healthy ones keep the
+    // ring cheap (the record alone).
+    let spans = if duration_seconds >= state.slow_threshold.as_secs_f64() {
+        ctx.trace
+            .borrow()
+            .as_ref()
+            .map(|trace| irf_obs::recorder::span_tree(trace, ctx.id.as_u64()))
+    } else {
+        None
+    };
+    state.recorder.record(RequestRecord {
+        id: ctx.id.as_u64(),
+        seq: 0, // stamped by the recorder
+        endpoint: route,
+        status,
+        start_unix_ms,
+        duration_seconds,
+        queue_seconds: ctx.queue_seconds.get(),
+        batch_size: ctx.batch_size.get(),
+        stats,
+        slo_objective_seconds: objective,
+        slo_breached: breached,
+        spans,
+    });
+    if irf_obs::log::enabled(irf_obs::log::Level::Info) {
+        let id_text = ctx.id.to_string();
+        irf_obs::info(
+            "access",
+            &[
+                ("request", id_text.as_str().into()),
+                ("endpoint", route.into()),
+                ("status", u64::from(status).into()),
+                ("duration_seconds", duration_seconds.into()),
+                ("queue_seconds", ctx.queue_seconds.get().into()),
+                ("batch_size", ctx.batch_size.get().into()),
+                ("cache_hits", stats.cache_hits.into()),
+                ("cache_misses", stats.cache_misses.into()),
+                ("pcg_iterations", stats.pcg_iterations.into()),
+                ("slo_breached", breached.into()),
+            ],
+        );
     }
 }
 
@@ -322,6 +461,7 @@ fn error_body(message: &str) -> String {
 fn route_request(
     request: &Request,
     state: &Arc<State>,
+    ctx: &RequestCtx,
 ) -> (&'static str, u16, &'static str, String) {
     match (request.method.as_str(), request.target.as_str()) {
         ("GET", "/healthz") => ("healthz", 200, "text/plain", "ok\n".to_string()),
@@ -340,20 +480,24 @@ fn route_request(
                 error_body("no trace captured yet; POST /predict first"),
             ),
         },
+        ("GET", path) if path == "/debug/requests" || path.starts_with("/debug/requests/") => {
+            let (status, body) = handle_debug_requests(path, state);
+            ("debug", status, "application/json", body)
+        }
         ("POST", "/predict") => {
-            let (status, body) = handle_predict(request, state);
+            let (status, body) = handle_predict(request, state, ctx);
             ("predict", status, "application/json", body)
         }
         ("POST", "/whatif") => {
-            let (status, body) = handle_whatif(request, state);
+            let (status, body) = handle_whatif(request, state, ctx);
             ("whatif", status, "application/json", body)
         }
         ("POST", "/sweep") => {
-            let (status, body) = handle_sweep(request, state);
+            let (status, body) = handle_sweep(request, state, ctx);
             ("sweep", status, "application/json", body)
         }
         ("POST", "/optimize") => {
-            let (status, body) = handle_optimize(request, state);
+            let (status, body) = handle_optimize(request, state, ctx);
             ("optimize", status, "application/json", body)
         }
         ("POST", "/reload") => {
@@ -407,20 +551,150 @@ fn resolve_grid(body: &Json) -> Result<PowerGrid, String> {
     PowerGrid::from_netlist(&netlist).map_err(|e| format!("invalid power grid: {e}"))
 }
 
+/// Per-request accounting threaded through the handlers: the
+/// inference helpers fill in queue/batch placement, the trace scope
+/// deposits the finished trace, and the connection loop reads it all
+/// back when it builds the flight-recorder entry and the access-log
+/// line.
+struct RequestCtx {
+    /// The minted id, echoed as `X-Irf-Request-Id`.
+    id: RequestId,
+    /// Longest batch-queue wait among the request's inference jobs.
+    queue_seconds: Cell<f64>,
+    /// Largest forward batch any of the request's jobs rode in.
+    batch_size: Cell<u64>,
+    /// The finished span trace (handlers that install the collector).
+    trace: RefCell<Option<irf_trace::Trace>>,
+}
+
+impl RequestCtx {
+    fn new(id: RequestId) -> RequestCtx {
+        RequestCtx {
+            id,
+            queue_seconds: Cell::new(0.0),
+            batch_size: Cell::new(0),
+            trace: RefCell::new(None),
+        }
+    }
+
+    /// Folds one batcher reply's placement into the request's totals.
+    fn observe_reply(&self, reply: &PredictReply) {
+        self.queue_seconds
+            .set(self.queue_seconds.get().max(reply.queue_seconds));
+        self.batch_size
+            .set(self.batch_size.get().max(reply.batch_size as u64));
+    }
+}
+
+/// `GET /debug/requests` — the flight recorder's retained requests,
+/// most recent first (summaries only). `GET /debug/requests/{id}` —
+/// one request in full, including its span tree when the request was
+/// slow enough to snapshot one.
+fn handle_debug_requests(path: &str, state: &Arc<State>) -> (u16, String) {
+    match path.strip_prefix("/debug/requests/") {
+        None => {
+            let records: Vec<Json> = state
+                .recorder
+                .recent()
+                .iter()
+                .map(|record| render_request_record(record, false))
+                .collect();
+            (
+                200,
+                obj(vec![
+                    ("capacity", Json::Num(state.recorder.capacity() as f64)),
+                    ("count", Json::Num(records.len() as f64)),
+                    ("requests", Json::Arr(records)),
+                ])
+                .render(),
+            )
+        }
+        Some(id) => {
+            let Some(id) = RequestId::parse(id) else {
+                return (400, error_body("request id must be 16 hex digits"));
+            };
+            match state.recorder.find(id.as_u64()) {
+                Some(record) => (200, render_request_record(&record, true).render()),
+                None => (404, error_body("request not recorded (or already evicted)")),
+            }
+        }
+    }
+}
+
+fn render_request_record(record: &RequestRecord, include_spans: bool) -> Json {
+    let mut members = vec![
+        ("request", Json::Str(format!("{:016x}", record.id))),
+        ("seq", Json::Num(record.seq as f64)),
+        ("endpoint", Json::Str(record.endpoint.to_string())),
+        ("status", Json::Num(f64::from(record.status))),
+        ("start_unix_ms", Json::Num(record.start_unix_ms as f64)),
+        ("duration_seconds", Json::Num(record.duration_seconds)),
+        ("queue_seconds", Json::Num(record.queue_seconds)),
+        ("batch_size", Json::Num(record.batch_size as f64)),
+        ("cache_hits", Json::Num(record.stats.cache_hits as f64)),
+        ("cache_misses", Json::Num(record.stats.cache_misses as f64)),
+        (
+            "pcg_iterations",
+            Json::Num(record.stats.pcg_iterations as f64),
+        ),
+        ("pcg_solves", Json::Num(record.stats.pcg_solves as f64)),
+        (
+            "slo_objective_seconds",
+            Json::Num(record.slo_objective_seconds),
+        ),
+        ("slo_breached", Json::Bool(record.slo_breached)),
+        ("has_spans", Json::Bool(record.spans.is_some())),
+    ];
+    if include_spans {
+        if let Some(spans) = &record.spans {
+            members.push((
+                "spans",
+                Json::Arr(spans.iter().map(render_span_node).collect()),
+            ));
+        }
+    }
+    obj(members)
+}
+
+fn render_span_node(node: &SpanNode) -> Json {
+    obj(vec![
+        ("name", Json::Str(node.name.to_string())),
+        ("tid", Json::Num(node.tid as f64)),
+        ("start_ns", Json::Num(node.start_ns as f64)),
+        ("dur_ns", Json::Num(node.dur_ns as f64)),
+        (
+            "args",
+            obj(node
+                .args
+                .iter()
+                .map(|(k, v)| (*k, Json::Str(v.clone())))
+                .collect()),
+        ),
+        (
+            "children",
+            Json::Arr(node.children.iter().map(render_span_node).collect()),
+        ),
+    ])
+}
+
 /// Records the spans of one `/predict` into `state.last_trace` when it
-/// drops (even on early error returns). The collector is a process
-/// singleton, so `install` yields `None` while another request is
-/// already recording — that request's trace wins.
+/// drops (even on early error returns), and deposits the raw trace in
+/// the request's [`RequestCtx`] so a slow request can snapshot its
+/// span tree. The collector is a process singleton, so `install`
+/// yields `None` while another request is already recording — that
+/// request's trace wins.
 struct TraceScope<'a> {
     collector: Option<irf_trace::Collector>,
     state: &'a State,
+    ctx: &'a RequestCtx,
 }
 
 impl Drop for TraceScope<'_> {
     fn drop(&mut self) {
         if let Some(collector) = self.collector.take() {
-            let json = collector.finish().to_chrome_json();
-            *self.state.last_trace.lock().expect("trace poisoned") = Some(json);
+            let trace = collector.finish();
+            *self.state.last_trace.lock().expect("trace poisoned") = Some(trace.to_chrome_json());
+            *self.ctx.trace.borrow_mut() = Some(trace);
         }
     }
 }
@@ -474,13 +748,14 @@ fn handle_reload(request: &Request, state: &Arc<State>) -> (u16, String) {
     )
 }
 
-fn handle_predict(request: &Request, state: &Arc<State>) -> (u16, String) {
+fn handle_predict(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u16, String) {
     if state.shutting_down.load(Ordering::SeqCst) {
         return (503, error_body("shutting down"));
     }
     let _trace = TraceScope {
         collector: irf_trace::Collector::install(),
         state,
+        ctx,
     };
     // Dropped before `_trace` (reverse declaration order), so the
     // request-level span is flushed into the collector it belongs to.
@@ -517,7 +792,7 @@ fn handle_predict(request: &Request, state: &Arc<State>) -> (u16, String) {
         .cache
         .insert_parsed(stack.fingerprint, Arc::clone(&grid));
 
-    let (map, source) = match run_inference(state, &stack) {
+    let (map, source) = match run_inference(state, &stack, ctx) {
         Ok(ok) => ok,
         Err(err) => return err,
     };
@@ -547,13 +822,14 @@ fn handle_predict(request: &Request, state: &Arc<State>) -> (u16, String) {
 /// references a layer / layer pair / segment the base does not have is
 /// rejected with a structured 400 body (`{"error", "code", ...}`) and
 /// nothing is applied.
-fn handle_whatif(request: &Request, state: &Arc<State>) -> (u16, String) {
+fn handle_whatif(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u16, String) {
     if state.shutting_down.load(Ordering::SeqCst) {
         return (503, error_body("shutting down"));
     }
     let _trace = TraceScope {
         collector: irf_trace::Collector::install(),
         state,
+        ctx,
     };
     let _span = irf_trace::span("whatif_request");
     let text = match std::str::from_utf8(&request.body) {
@@ -595,7 +871,7 @@ fn handle_whatif(request: &Request, state: &Arc<State>) -> (u16, String) {
         .cache
         .insert_parsed(stack.fingerprint, Arc::clone(session.grid()));
 
-    let (map, source) = match run_inference(state, &stack) {
+    let (map, source) = match run_inference(state, &stack, ctx) {
         Ok(ok) => ok,
         Err(err) => return err,
     };
@@ -807,13 +1083,14 @@ fn edit_error_body(error: &EditError) -> String {
 /// delta, then submission order). Because every prepared map is
 /// bitwise deterministic and the ranking key is total, the ranking is
 /// identical at any thread count and any batch slicing.
-fn handle_sweep(request: &Request, state: &Arc<State>) -> (u16, String) {
+fn handle_sweep(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u16, String) {
     if state.shutting_down.load(Ordering::SeqCst) {
         return (503, error_body("shutting down"));
     }
     let _trace = TraceScope {
         collector: irf_trace::Collector::install(),
         state,
+        ctx,
     };
     let _span = irf_trace::span("sweep_request");
     let text = match std::str::from_utf8(&request.body) {
@@ -973,7 +1250,7 @@ fn handle_sweep(request: &Request, state: &Arc<State>) -> (u16, String) {
         }
     }
 
-    let (maps, source) = match run_inference_batch(state, &stacks) {
+    let (maps, source) = match run_inference_batch(state, &stacks, ctx) {
         Ok(ok) => ok,
         Err(err) => return err,
     };
@@ -1187,13 +1464,14 @@ fn render_topology_delta(delta: &TopologyDelta) -> Json {
 /// registered under its design fingerprint for follow-up `/whatif` /
 /// `/sweep` calls, and the full per-iteration trajectory is returned.
 /// Deterministic for a fixed base and tunables at any thread count.
-fn handle_optimize(request: &Request, state: &Arc<State>) -> (u16, String) {
+fn handle_optimize(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u16, String) {
     if state.shutting_down.load(Ordering::SeqCst) {
         return (503, error_body("shutting down"));
     }
     let _trace = TraceScope {
         collector: irf_trace::Collector::install(),
         state,
+        ctx,
     };
     let _span = irf_trace::span("optimize_request");
     let text = match std::str::from_utf8(&request.body) {
@@ -1290,7 +1568,7 @@ fn handle_optimize(request: &Request, state: &Arc<State>) -> (u16, String) {
     let http_error: std::cell::RefCell<Option<(u16, String)>> = std::cell::RefCell::new(None);
     let source: std::cell::Cell<&'static str> = std::cell::Cell::new("rough");
     let predictor = |stacks: &[Arc<ir_fusion::PreparedStack>]| -> Result<Vec<GridMap>, String> {
-        match run_inference_batch(state, stacks) {
+        match run_inference_batch(state, stacks, ctx) {
             Ok((maps, src)) => {
                 source.set(src);
                 Ok(maps)
@@ -1408,6 +1686,7 @@ fn handle_optimize(request: &Request, state: &Arc<State>) -> (u16, String) {
 fn run_inference(
     state: &Arc<State>,
     stack: &Arc<ir_fusion::PreparedStack>,
+    ctx: &RequestCtx,
 ) -> Result<(GridMap, &'static str), (u16, String)> {
     let sender = state
         .predict_tx
@@ -1419,6 +1698,8 @@ fn run_inference(
             let (reply_tx, reply_rx) = mpsc::channel();
             let job = PredictJob {
                 stack: Arc::clone(stack),
+                request: ctx.id.as_u64(),
+                submitted: Instant::now(),
                 reply: reply_tx,
             };
             match try_submit(&tx, job) {
@@ -1428,10 +1709,18 @@ fn run_inference(
                 }
                 Err(SubmitError::Closed) => return Err((503, error_body("shutting down"))),
             }
-            let (received, infer_seconds) = Timer::time(|| reply_rx.recv());
+            let (received, infer_seconds) = Timer::time(|| {
+                // The wait shows up in the request's span tree (the
+                // forward itself runs on the batcher thread).
+                let _span = irf_trace::span("infer_wait");
+                reply_rx.recv()
+            });
             state.metrics.observe_stage("infer", infer_seconds);
             match received {
-                Ok(map) => Ok((map, "fused")),
+                Ok(reply) => {
+                    ctx.observe_reply(&reply);
+                    Ok((reply.map, "fused"))
+                }
                 Err(mpsc::RecvError) => Err((503, error_body("shutting down"))),
             }
         }
@@ -1449,6 +1738,7 @@ fn run_inference(
 fn run_inference_batch(
     state: &Arc<State>,
     stacks: &[Arc<ir_fusion::PreparedStack>],
+    ctx: &RequestCtx,
 ) -> Result<(Vec<GridMap>, &'static str), (u16, String)> {
     let sender = state
         .predict_tx
@@ -1462,6 +1752,8 @@ fn run_inference_batch(
                 let (reply_tx, reply_rx) = mpsc::channel();
                 let job = PredictJob {
                     stack: Arc::clone(stack),
+                    request: ctx.id.as_u64(),
+                    submitted: Instant::now(),
                     reply: reply_tx,
                 };
                 match try_submit(&tx, job) {
@@ -1473,6 +1765,7 @@ fn run_inference_batch(
                 }
             }
             let (received, infer_seconds) = Timer::time(|| {
+                let _span = irf_trace::span("infer_wait");
                 replies
                     .iter()
                     .map(mpsc::Receiver::recv)
@@ -1480,7 +1773,16 @@ fn run_inference_batch(
             });
             state.metrics.observe_stage("infer", infer_seconds);
             match received {
-                Ok(maps) => Ok((maps, "fused")),
+                Ok(received) => {
+                    let maps = received
+                        .into_iter()
+                        .map(|reply| {
+                            ctx.observe_reply(&reply);
+                            reply.map
+                        })
+                        .collect();
+                    Ok((maps, "fused"))
+                }
                 Err(mpsc::RecvError) => Err((503, error_body("shutting down"))),
             }
         }

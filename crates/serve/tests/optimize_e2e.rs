@@ -50,6 +50,7 @@ fn start_server(num_threads: usize) -> Server {
             cache_capacity: 128,
             batch: BatchConfig::default(),
             read_timeout: Duration::from_secs(120),
+            ..ServerConfig::default()
         },
         fusion,
         None,

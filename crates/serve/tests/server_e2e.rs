@@ -102,6 +102,7 @@ fn server_answers_predicts_and_reuses_the_cache() {
             },
             cache_capacity: 8,
             read_timeout: Duration::from_secs(120),
+            ..ServerConfig::default()
         },
         config,
         Some(trained),

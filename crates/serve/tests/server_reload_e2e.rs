@@ -88,6 +88,7 @@ fn reload_swaps_the_model_without_dropping_requests() {
             },
             cache_capacity: 8,
             read_timeout: Duration::from_secs(120),
+            ..ServerConfig::default()
         },
         config,
         Some(first),

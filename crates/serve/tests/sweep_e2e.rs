@@ -51,6 +51,7 @@ fn start_server(num_threads: usize) -> Server {
             // stage, and per-shard LRU must not evict mid-test.
             cache_capacity: 64,
             read_timeout: Duration::from_secs(120),
+            ..ServerConfig::default()
         },
         fusion,
         None,

@@ -59,6 +59,7 @@ fn whatif_rides_warm_artifacts() {
             batch: BatchConfig::default(),
             cache_capacity: 8,
             read_timeout: Duration::from_secs(120),
+            ..ServerConfig::default()
         },
         FusionConfig::tiny(),
         None,
@@ -171,6 +172,7 @@ fn read_timeouts_close_idle_connections_and_408_half_requests() {
             batch: BatchConfig::default(),
             cache_capacity: 2,
             read_timeout: Duration::from_millis(200),
+            ..ServerConfig::default()
         },
         FusionConfig::tiny(),
         None,

@@ -457,6 +457,7 @@ fn record_amg_telemetry(h: &AmgHierarchy, span: &mut irf_trace::Span) {
 /// flag, and the per-iteration residual history.
 fn record_pcg_telemetry(res: &crate::cg::CgResult, span: &mut irf_trace::Span) {
     let iterations = res.trace.iterations();
+    irf_trace::request::note_pcg(iterations as u64);
     if span.is_recording() {
         span.attr("iterations", iterations);
         span.attr("converged", res.converged);

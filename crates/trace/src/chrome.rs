@@ -92,12 +92,18 @@ pub fn to_chrome_json(trace: &Trace) -> String {
              \"ts\":{ts_us:.3},\"dur\":{dur_us:.3}",
             event.name, event.tid
         );
-        if !event.args.is_empty() {
+        if !event.args.is_empty() || event.request != 0 {
             out.push_str(",\"args\":{");
-            for (i, (key, value)) in event.args.iter().enumerate() {
-                if i > 0 {
+            let mut first = true;
+            if event.request != 0 {
+                let _ = write!(out, "\"request\":\"{:016x}\"", event.request);
+                first = false;
+            }
+            for (key, value) in &event.args {
+                if !first {
                     out.push(',');
                 }
+                first = false;
                 out.push('"');
                 escape_json(&mut out, key);
                 out.push_str("\":");
@@ -125,6 +131,7 @@ mod tests {
                     depth: 0,
                     start_ns: 1_500,
                     dur_ns: 2_000_000,
+                    request: 0xabcd,
                     args: vec![
                         ("iterations", AttrValue::U64(2)),
                         ("converged", AttrValue::Bool(false)),
@@ -138,6 +145,7 @@ mod tests {
                     depth: 1,
                     start_ns: 2_000,
                     dur_ns: 500,
+                    request: 0,
                     args: Vec::new(),
                 },
             ],
@@ -158,6 +166,7 @@ mod tests {
         assert!(json.contains("\"iterations\":2"));
         assert!(json.contains("\"converged\":false"));
         assert!(json.contains("\"history\":[1,0.25]"));
+        assert!(json.contains("\"request\":\"000000000000abcd\""));
         assert!(json.contains("AMG-PCG \\\"K\\\""), "{json}");
     }
 

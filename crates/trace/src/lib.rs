@@ -19,6 +19,12 @@
 //!   the inference server, and the bench binaries, so `GET /metrics`
 //!   sees pipeline internals (`irf_pcg_iterations`,
 //!   `irf_stage_seconds_total{stage=...}`) next to server counters.
+//! * [`request`] — thread-local request attribution: a scope guard
+//!   installs a request id that every span opened under it carries
+//!   ([`Event::request`]), and the stage store / PCG solver fold
+//!   per-request cache and convergence counts into it. `irf-obs`
+//!   builds the server-side observability layer (request ids, access
+//!   logs, flight recorder) on top of this.
 //! * [`timer`] — the accumulating [`Timer`] behind the paper's
 //!   Table I / Fig. 7 runtime columns, re-exported by `irf-metrics`
 //!   for compatibility and backed by the same clock as the spans.
@@ -52,9 +58,11 @@
 pub mod chrome;
 pub mod profile;
 pub mod registry;
+pub mod request;
 pub mod span;
 pub mod timer;
 
 pub use registry::{registry, MetricKind, MetricsRegistry};
+pub use request::{RequestScope, RequestStats};
 pub use span::{set_thread_label, span, AttrValue, Collector, Event, Span, Trace};
 pub use timer::Timer;

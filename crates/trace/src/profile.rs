@@ -105,6 +105,7 @@ mod tests {
             depth,
             start_ns,
             dur_ns,
+            request: 0,
             args: Vec::new(),
         }
     }

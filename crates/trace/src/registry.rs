@@ -208,6 +208,28 @@ impl MetricsRegistry {
         }
     }
 
+    /// Creates an empty series for a described histogram family so the
+    /// exposition shows its zeroed buckets before the first
+    /// observation (the histogram counterpart of
+    /// `counter_add(..., 0.0)` zero-initialization). No-op if the
+    /// series already exists or the family was never described.
+    pub fn touch_histogram(&self, name: &str, labels: &[(&str, &str)]) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let Some(family) = inner.families.get(name) else {
+            return;
+        };
+        if family.kind != MetricKind::Histogram {
+            return;
+        }
+        let n_buckets = family.buckets.len();
+        let key = (name.to_string(), own_labels(labels));
+        inner.values.entry(key).or_insert(Value::Histogram {
+            counts: vec![0; n_buckets],
+            sum: 0.0,
+            count: 0,
+        });
+    }
+
     /// Reads back a scalar (counter or gauge) value, or a histogram's
     /// total count. `None` when the series does not exist.
     #[must_use]
@@ -369,6 +391,28 @@ mod tests {
         assert!(text.contains("irf_batch_size_sum 12"));
         assert!(text.contains("irf_batch_size_count 3"));
         assert_eq!(r.get("irf_batch_size", &[]), Some(3.0));
+    }
+
+    #[test]
+    fn touch_histogram_exposes_zeroed_series() {
+        let r = MetricsRegistry::new();
+        r.describe_histogram("irf_http_request_seconds", "Latency.", &[0.1, 1.0]);
+        r.touch_histogram("irf_http_request_seconds", &[("endpoint", "predict")]);
+        // Undeclared family: silently ignored rather than inventing
+        // bucketless garbage.
+        r.touch_histogram("irf_undeclared_seconds", &[]);
+        let text = r.render();
+        assert!(text.contains("irf_http_request_seconds_bucket{endpoint=\"predict\",le=\"0.1\"} 0"));
+        assert!(
+            text.contains("irf_http_request_seconds_bucket{endpoint=\"predict\",le=\"+Inf\"} 0")
+        );
+        assert!(text.contains("irf_http_request_seconds_count{endpoint=\"predict\"} 0"));
+        assert!(!text.contains("irf_undeclared_seconds"));
+        // Observations after the touch land in the same series.
+        r.observe("irf_http_request_seconds", &[("endpoint", "predict")], 0.05);
+        assert!(r
+            .render()
+            .contains("irf_http_request_seconds_count{endpoint=\"predict\"} 1"));
     }
 
     #[test]

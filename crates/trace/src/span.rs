@@ -95,6 +95,9 @@ pub struct Event {
     pub start_ns: u64,
     /// Span duration in nanoseconds.
     pub dur_ns: u64,
+    /// Id of the request active on the recording thread when the span
+    /// opened (see [`crate::request`]); `0` when none.
+    pub request: u64,
     /// Attributes attached with [`Span::attr`].
     pub args: Vec<(&'static str, AttrValue)>,
 }
@@ -213,6 +216,7 @@ pub struct Span {
     /// `u64::MAX` marks an inert span (no collector at creation).
     start_ns: u64,
     depth: u32,
+    request: u64,
     args: Vec<(&'static str, AttrValue)>,
 }
 
@@ -224,6 +228,7 @@ pub fn span(name: &'static str) -> Span {
             name,
             start_ns: u64::MAX,
             depth: 0,
+            request: 0,
             args: Vec::new(),
         };
     }
@@ -238,6 +243,7 @@ pub fn span(name: &'static str) -> Span {
         name,
         start_ns: now_ns(),
         depth,
+        request: crate::request::current(),
         args: Vec::new(),
     }
 }
@@ -281,6 +287,7 @@ impl Drop for Span {
                 depth: self.depth,
                 start_ns: self.start_ns,
                 dur_ns: end_ns.saturating_sub(self.start_ns),
+                request: self.request,
                 args: std::mem::take(&mut self.args),
             };
             t.buf.push(event);
@@ -306,6 +313,7 @@ pub(crate) fn record_interval(name: &'static str, start_ns: u64, end_ns: u64) {
             depth: t.depth,
             start_ns,
             dur_ns: end_ns.saturating_sub(start_ns),
+            request: crate::request::current(),
             args: Vec::new(),
         };
         t.buf.push(event);
