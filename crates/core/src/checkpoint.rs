@@ -3,16 +3,22 @@
 //!
 //! Format (little-endian): magic `IRFM`, version `u32`, model-kind id
 //! `u32`, in-channels `u32`, base-channels `u32`, seed `u64`, residual
-//! flag `u8`, label scale `f32`, followed by the [`irf_nn::serialize`]
-//! parameter stream.
+//! flag `u8`, label scale `f32`, precision tag `u8` (version >= 2),
+//! followed by the [`irf_nn::serialize`] parameter stream.
+//!
+//! Parameters are always stored at full f32 precision; a non-f32
+//! precision tag makes [`load_model`] rebuild the quantization
+//! sidecars deterministically after loading, so quantized checkpoints
+//! cost no extra bytes. Version-1 streams (no tag) load as f32.
 
 use crate::train::TrainedModel;
 use irf_models::{build_model, ModelConfig, ModelKind};
 use irf_nn::serialize::{self, CheckpointError};
+use irf_nn::PrecisionMode;
 use std::io::{Read, Write};
 
 const MAGIC: &[u8; 4] = b"IRFM";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Saves a trained bundle; load it back with [`load_model`].
 /// A `&mut` writer may be passed.
@@ -42,6 +48,7 @@ pub fn save_model<W: Write>(
     w.write_all(&config.seed.to_le_bytes())?;
     w.write_all(&[u8::from(trained.residual)])?;
     w.write_all(&trained.label_scale.to_le_bytes())?;
+    w.write_all(&[trained.precision.id()])?;
     serialize::save(&trained.store, w)
 }
 
@@ -61,7 +68,7 @@ pub fn load_model<R: Read>(mut r: R) -> Result<TrainedModel, CheckpointError> {
         return Err(CheckpointError::BadMagic);
     }
     let version = read_u32(&mut r)?;
-    if version != VERSION {
+    if version == 0 || version > VERSION {
         return Err(CheckpointError::BadVersion(version));
     }
     let kind_id = read_u32(&mut r)?;
@@ -78,6 +85,14 @@ pub fn load_model<R: Read>(mut r: R) -> Result<TrainedModel, CheckpointError> {
     let mut scale_bytes = [0u8; 4];
     r.read_exact(&mut scale_bytes)?;
     let label_scale = f32::from_le_bytes(scale_bytes);
+    let precision = if version >= 2 {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        PrecisionMode::from_id(tag[0])
+            .ok_or_else(|| CheckpointError::Mismatch(format!("unknown precision tag {}", tag[0])))?
+    } else {
+        PrecisionMode::F32
+    };
     let (model, mut store) = build_model(
         kind,
         ModelConfig {
@@ -88,12 +103,16 @@ pub fn load_model<R: Read>(mut r: R) -> Result<TrainedModel, CheckpointError> {
         },
     );
     serialize::load(&mut store, r)?;
+    // Sidecars are derived data: rebuild them from the freshly loaded
+    // f32 weights (deterministic, so two loads agree bitwise).
+    store.quantize(precision);
     Ok(TrainedModel {
         model,
         store,
         label_scale,
         residual,
         loss_history: Vec::new(),
+        precision,
     })
 }
 
@@ -134,6 +153,70 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.mae_volts, y.mae_volts);
         }
+    }
+
+    #[test]
+    fn quantized_bundle_roundtrips_with_identical_predictions() {
+        let ds = Dataset::generate(2, 2, 1, 41);
+        let mut cfg = FusionConfig::tiny();
+        cfg.train.epochs = 1;
+        let trained = train(ModelKind::IrFusion, &ds, &cfg).with_precision(PrecisionMode::Int8);
+        let mut model_cfg = cfg.model;
+        model_cfg.in_channels = 11;
+        model_cfg.linear_head = trained.residual;
+        let mut buf = Vec::new();
+        save_model(&trained, ModelKind::IrFusion, model_cfg, &mut buf).expect("save");
+        let loaded = load_model(buf.as_slice()).expect("load");
+        assert_eq!(loaded.precision, PrecisionMode::Int8);
+        let pipeline = IrFusionPipeline::new(cfg);
+        let a = evaluate_model(&trained, &ds, &pipeline);
+        let b = evaluate_model(&loaded, &ds, &pipeline);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.mae_volts, y.mae_volts, "sidecar rebuild must be exact");
+        }
+    }
+
+    #[test]
+    fn version1_stream_loads_as_f32() {
+        // Build a V2 bundle, then rewrite it as a V1 stream (no
+        // precision tag) and confirm it still loads, defaulting to f32.
+        let ds = Dataset::generate(1, 1, 1, 43);
+        let mut cfg = FusionConfig::tiny();
+        cfg.train.epochs = 0;
+        let trained = train(ModelKind::IrFusion, &ds, &cfg);
+        let mut model_cfg = cfg.model;
+        model_cfg.in_channels = 11;
+        model_cfg.linear_head = trained.residual;
+        let mut buf = Vec::new();
+        save_model(&trained, ModelKind::IrFusion, model_cfg, &mut buf).expect("save");
+        // Header: magic(4) version(4) kind(4) in_ch(4) base_ch(4)
+        // seed(8) residual(1) scale(4) tag(1).
+        let mut v1 = Vec::with_capacity(buf.len() - 1);
+        v1.extend_from_slice(&buf[..4]);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&buf[8..33]);
+        v1.extend_from_slice(&buf[34..]);
+        let loaded = load_model(v1.as_slice()).expect("v1 load");
+        assert_eq!(loaded.precision, PrecisionMode::F32);
+        assert_eq!(loaded.label_scale, trained.label_scale);
+    }
+
+    #[test]
+    fn unknown_precision_tag_is_rejected() {
+        let ds = Dataset::generate(1, 1, 1, 44);
+        let mut cfg = FusionConfig::tiny();
+        cfg.train.epochs = 0;
+        let trained = train(ModelKind::IrFusion, &ds, &cfg);
+        let mut model_cfg = cfg.model;
+        model_cfg.in_channels = 11;
+        model_cfg.linear_head = trained.residual;
+        let mut buf = Vec::new();
+        save_model(&trained, ModelKind::IrFusion, model_cfg, &mut buf).expect("save");
+        buf[33] = 0xEE; // precision tag byte
+        assert!(matches!(
+            load_model(buf.as_slice()),
+            Err(CheckpointError::Mismatch(_))
+        ));
     }
 
     #[test]

@@ -852,10 +852,12 @@ impl IrFusionPipeline {
         }
         let mut span = irf_trace::span("nn_forward");
         span.attr("batch", stacks.len());
+        span.attr("precision", trained.precision.name());
         let inputs: Vec<Tensor> = stacks.iter().map(|s| s.feature_tensor()).collect();
         let batched = Tensor::concat_batch(&inputs);
         let [_, _, h, w] = batched.shape();
         let mut tape = Tape::new();
+        tape.set_precision(trained.precision);
         let x = tape.input(batched);
         let y = trained.model.forward(&mut tape, &trained.store, x);
         let pred = tape.value(y);

@@ -28,7 +28,11 @@
 //! let y = conv.forward(&mut tape, &store, x);
 //! assert_eq!(tape.value(y).shape(), [2, 4, 8, 8]);
 //! ```
-#![forbid(unsafe_code)]
+// The scalar-only default build carries no unsafe code at all; the
+// `simd` feature admits it solely inside the AVX2 kernel module and
+// its call sites, each carrying a narrow `#[allow]` + SAFETY comment.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod init;
@@ -36,10 +40,13 @@ pub mod layers;
 pub mod loss;
 pub mod optim;
 pub mod param;
+pub mod quant;
 pub mod serialize;
+mod simd;
 pub mod tape;
 pub mod tensor;
 
 pub use param::{ParamId, ParamStore};
+pub use quant::PrecisionMode;
 pub use tape::{NodeId, Tape};
 pub use tensor::Tensor;

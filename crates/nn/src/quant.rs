@@ -1,0 +1,564 @@
+//! Reduced-precision inference: per-channel int8 weight quantization
+//! and f16 activation/weight rounding.
+//!
+//! The training stack stays f32 everywhere; quantization is an
+//! inference-time transform applied to a finished model. A
+//! [`PrecisionMode`] selects the forward-path behaviour:
+//!
+//! * **F32** — the default; nothing changes.
+//! * **F16** — conv/linear weights are round-tripped through IEEE
+//!   binary16 (stored dequantized, so the f32 kernels — including the
+//!   SIMD ones — run unchanged on them) and each conv/linear output is
+//!   rounded to the nearest f16 value, modelling half-precision
+//!   activation storage.
+//! * **Int8** — conv/linear weights are quantized per output channel
+//!   (symmetric, scale `max|w|/127`), activations dynamically per
+//!   sample, and the GEMM inner loop accumulates in `i32` — exact
+//!   integer arithmetic, dequantized once per output with a single
+//!   fused scale. Because the accumulation is exact, int8 results are
+//!   bitwise deterministic at **any** thread count and batch
+//!   composition.
+//!
+//! Quantized sidecars are attached to a [`crate::ParamStore`] by
+//! [`crate::ParamStore::quantize`] and consumed by
+//! [`crate::Tape::conv2d`] / [`crate::Tape::linear`] when the tape's
+//! precision (set via [`crate::Tape::set_precision`]) is not `F32`.
+
+use crate::tensor::Tensor;
+
+/// Numeric precision of an inference forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PrecisionMode {
+    /// Full f32 — the training precision and the default.
+    #[default]
+    F32,
+    /// binary16 weights + activation rounding.
+    F16,
+    /// Per-channel symmetric int8 weights, dynamic per-sample
+    /// activation quantization, exact i32 accumulation.
+    Int8,
+}
+
+impl PrecisionMode {
+    /// Stable wire/checkpoint tag.
+    #[must_use]
+    pub fn id(self) -> u8 {
+        match self {
+            PrecisionMode::F32 => 0,
+            PrecisionMode::F16 => 1,
+            PrecisionMode::Int8 => 2,
+        }
+    }
+
+    /// Inverse of [`PrecisionMode::id`].
+    #[must_use]
+    pub fn from_id(id: u8) -> Option<Self> {
+        match id {
+            0 => Some(PrecisionMode::F32),
+            1 => Some(PrecisionMode::F16),
+            2 => Some(PrecisionMode::Int8),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase name (`"f32"`, `"f16"`, `"int8"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PrecisionMode::F32 => "f32",
+            PrecisionMode::F16 => "f16",
+            PrecisionMode::Int8 => "int8",
+        }
+    }
+
+    /// Parses a canonical name; `None` for anything else.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "f32" => Some(PrecisionMode::F32),
+            "f16" => Some(PrecisionMode::F16),
+            "int8" => Some(PrecisionMode::Int8),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PrecisionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Converts an `f32` to IEEE binary16 bits with round-to-nearest-even.
+#[must_use]
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let b = x.to_bits();
+    let sign = ((b >> 16) & 0x8000) as u16;
+    let abs = b & 0x7fff_ffff;
+    if abs >= 0x7f80_0000 {
+        // Inf / NaN; keep NaNs quiet with a truncated payload.
+        let payload = if abs > 0x7f80_0000 {
+            0x0200 | ((abs >> 13) & 0x03ff) as u16
+        } else {
+            0
+        };
+        return sign | 0x7c00 | payload;
+    }
+    let exp = (abs >> 23) as i32 - 127;
+    if exp >= 16 {
+        return sign | 0x7c00; // overflow -> inf
+    }
+    let mant = abs & 0x007f_ffff;
+    if exp >= -14 {
+        // Normal half; rounding may carry into the exponent (and into
+        // inf at the top), which the plain add handles correctly.
+        let half = (((exp + 15) as u32) << 10) | (mant >> 13);
+        let rem = mant & 0x1fff;
+        let round = rem > 0x1000 || (rem == 0x1000 && half & 1 == 1);
+        return sign | (half as u16).wrapping_add(u16::from(round));
+    }
+    if exp >= -25 {
+        // Subnormal half.
+        let full = mant | 0x0080_0000;
+        let shift = (13 - 14 - exp) as u32; // 13 + (-14 - exp)
+        let half = full >> shift;
+        let rem = full & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let round = rem > halfway || (rem == halfway && half & 1 == 1);
+        return sign | (half as u16 + u16::from(round));
+    }
+    sign // underflow to signed zero
+}
+
+/// Converts IEEE binary16 bits to the exactly-representable `f32`.
+#[must_use]
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = u32::from(h & 0x8000) << 16;
+    let exp = (h >> 10) & 0x1f;
+    let mant = u32::from(h & 0x03ff);
+    let bits = if exp == 0x1f {
+        sign | 0x7f80_0000 | (mant << 13)
+    } else if exp == 0 {
+        if mant == 0 {
+            sign
+        } else {
+            // Subnormal: value = mant * 2^-24; normalize into f32.
+            let p = 31 - mant.leading_zeros(); // MSB position, 0..=9
+            let e = p + 103; // (p - 24) + 127
+            let m = ((mant << (10 - p)) & 0x03ff) << 13;
+            sign | (e << 23) | m
+        }
+    } else {
+        sign | ((u32::from(exp) + 112) << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Rounds a value through binary16 and back.
+#[must_use]
+pub fn f16_round(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+/// Rounds every element of a tensor through binary16 in place.
+pub fn f16_round_tensor(t: &mut Tensor) {
+    for v in t.data_mut() {
+        *v = f16_round(*v);
+    }
+}
+
+/// Per-output-channel symmetric int8 quantization of a weight tensor.
+#[derive(Debug, Clone)]
+pub struct Int8Tensor {
+    shape: [usize; 4],
+    /// Row-major `i8` payload: `shape[0]` rows of
+    /// `shape[1] * shape[2] * shape[3]` values each.
+    data: Vec<i8>,
+    /// Per-row (output-channel) dequantization scales.
+    scales: Vec<f32>,
+}
+
+impl Int8Tensor {
+    /// Quantizes `w` per channel along dim 0: `scale = max|row|/127`,
+    /// `q = round(v / scale)` clamped to `[-127, 127]`. All-zero rows
+    /// get scale `1.0`.
+    #[must_use]
+    pub fn quantize(w: &Tensor) -> Self {
+        let shape = w.shape();
+        let rows = shape[0];
+        let cols = shape[1] * shape[2] * shape[3];
+        let wd = w.data();
+        let mut data = vec![0i8; rows * cols];
+        let mut scales = vec![1.0f32; rows];
+        for r in 0..rows {
+            let row = &wd[r * cols..(r + 1) * cols];
+            let max = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let scale = if max > 0.0 { max / 127.0 } else { 1.0 };
+            scales[r] = scale;
+            for (q, &v) in data[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+                *q = (v / scale).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+        Int8Tensor {
+            shape,
+            data,
+            scales,
+        }
+    }
+
+    /// Logical NCHW shape of the quantized tensor.
+    #[must_use]
+    pub fn shape(&self) -> [usize; 4] {
+        self.shape
+    }
+
+    /// The `i8` payload (row-major).
+    #[must_use]
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Per-channel dequantization scales.
+    #[must_use]
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Dequantizes back to an f32 tensor (`q * scale`), the value the
+    /// int8 forward path effectively computes with.
+    #[must_use]
+    pub fn dequantize(&self) -> Tensor {
+        let cols = self.shape[1] * self.shape[2] * self.shape[3];
+        let data = self
+            .data
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| f32::from(q) * self.scales[i / cols])
+            .collect();
+        Tensor::from_vec(self.shape, data)
+    }
+}
+
+/// A reduced-precision sidecar for one parameter tensor.
+#[derive(Debug, Clone)]
+pub enum QuantizedTensor {
+    /// Weights round-tripped through binary16, stored dequantized so
+    /// the f32 kernels run on them directly.
+    F16(Tensor),
+    /// Per-channel int8 weights for the integer GEMM path.
+    Int8(Int8Tensor),
+}
+
+impl QuantizedTensor {
+    /// Builds the sidecar for `mode`; `None` for [`PrecisionMode::F32`].
+    #[must_use]
+    pub fn build(mode: PrecisionMode, value: &Tensor) -> Option<Self> {
+        match mode {
+            PrecisionMode::F32 => None,
+            PrecisionMode::F16 => {
+                let mut t = value.clone();
+                f16_round_tensor(&mut t);
+                Some(QuantizedTensor::F16(t))
+            }
+            PrecisionMode::Int8 => Some(QuantizedTensor::Int8(Int8Tensor::quantize(value))),
+        }
+    }
+}
+
+/// Quantizes one activation sample to int8 with a symmetric dynamic
+/// scale: `scale = max|x|/127` (1.0 for an all-zero sample). Returns
+/// the scale; writes quantized values into `out`.
+fn quantize_activation(x: &[f32], out: &mut [i8]) -> f32 {
+    let max = x.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    let scale = if max > 0.0 { max / 127.0 } else { 1.0 };
+    for (q, &v) in out.iter_mut().zip(x) {
+        *q = (v / scale).round().clamp(-127.0, 127.0) as i8;
+    }
+    scale
+}
+
+/// Int8 2-D convolution forward: integer taps accumulated in `i32`,
+/// dequantized once per output with the fused `w_scale * x_scale` and
+/// the f32 bias added last.
+///
+/// Activations are quantized **per sample**, so results do not depend
+/// on how requests were batched; the integer accumulation is exact, so
+/// they do not depend on the thread count either.
+///
+/// # Panics
+///
+/// Panics on shape mismatches or zero-sized outputs (mirrors the f32
+/// kernel's contract).
+#[must_use]
+pub fn conv2d_int8_forward(
+    x: &Tensor,
+    w: &Int8Tensor,
+    b: &Tensor,
+    stride: usize,
+    pad_h: usize,
+    pad_w: usize,
+) -> Tensor {
+    let [n, ci, h, ww] = x.shape();
+    let [co, ci_w, kh, kw] = w.shape();
+    assert_eq!(ci, ci_w, "conv2d: input channel mismatch");
+    assert_eq!(b.shape(), [1, co, 1, 1], "conv2d: bias shape");
+    assert!(stride >= 1, "conv2d: stride must be >= 1");
+    let ho = (h + 2 * pad_h - kh) / stride + 1;
+    let wo = (ww + 2 * pad_w - kw) / stride + 1;
+    assert!(ho > 0 && wo > 0, "conv2d: empty output");
+    // Quantize activations once, per sample (scale from the sample's
+    // own max, so batching never changes a sample's result).
+    let xd = x.data();
+    let sample = ci * h * ww;
+    let mut xq = vec![0i8; n * sample];
+    let mut xs = vec![1.0f32; n];
+    for (ni, s) in xs.iter_mut().enumerate() {
+        *s = quantize_activation(
+            &xd[ni * sample..(ni + 1) * sample],
+            &mut xq[ni * sample..(ni + 1) * sample],
+        );
+    }
+    let wd = w.data();
+    let ws = w.scales();
+    let bd = b.data();
+    let mut out = Tensor::zeros([n, co, ho, wo]);
+    let od = out.data_mut();
+    irf_runtime::par_chunks_mut(od, ho * wo, |blk, omap| {
+        let ni = blk / co;
+        let oc = blk % co;
+        let scale = ws[oc] * xs[ni];
+        let bias = bd[oc];
+        let wrow = oc * ci * kh * kw;
+        for oh in 0..ho {
+            for ow in 0..wo {
+                let mut acc = 0i32;
+                for ic in 0..ci {
+                    let xbase = (ni * ci + ic) * h * ww;
+                    let wbase = wrow + ic * kh * kw;
+                    for ky in 0..kh {
+                        let iy = (oh * stride + ky) as isize - pad_h as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let xrowb = xbase + iy as usize * ww;
+                        for kx in 0..kw {
+                            let ix = (ow * stride + kx) as isize - pad_w as isize;
+                            if ix < 0 || ix >= ww as isize {
+                                continue;
+                            }
+                            acc += i32::from(wd[wbase + ky * kw + kx])
+                                * i32::from(xq[xrowb + ix as usize]);
+                        }
+                    }
+                }
+                omap[oh * wo + ow] = acc as f32 * scale + bias;
+            }
+        }
+    });
+    out
+}
+
+/// Int8 dense linear forward on `(N, C, 1, 1)`: exact `i32`
+/// accumulation per output, dequantized with the fused scale, bias
+/// added last. Activation quantization is per sample.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+#[must_use]
+pub fn linear_int8_forward(x: &Tensor, w: &Int8Tensor, b: &Tensor) -> Tensor {
+    let [n, c, h, ww] = x.shape();
+    assert_eq!((h, ww), (1, 1), "linear expects (N, C, 1, 1) input");
+    let [o, ci, _, _] = w.shape();
+    assert_eq!(ci, c, "linear weight input-dim mismatch");
+    assert_eq!(b.shape(), [1, o, 1, 1], "linear bias shape");
+    let xd = x.data();
+    let wd = w.data();
+    let ws = w.scales();
+    let bd = b.data();
+    let mut out = Tensor::zeros([n, o, 1, 1]);
+    let od = out.data_mut();
+    let mut xq = vec![0i8; n * c];
+    let mut xs = vec![1.0f32; n];
+    for ni in 0..n {
+        xs[ni] = quantize_activation(&xd[ni * c..(ni + 1) * c], &mut xq[ni * c..(ni + 1) * c]);
+    }
+    irf_runtime::par_chunks_mut(od, o, |ni, orow| {
+        let xrow = &xq[ni * c..(ni + 1) * c];
+        for (oi, s) in orow.iter_mut().enumerate() {
+            let mut acc = 0i32;
+            let wrow = oi * c;
+            for (cj, &xv) in xrow.iter().enumerate() {
+                acc += i32::from(wd[wrow + cj]) * i32::from(xv);
+            }
+            *s = acc as f32 * (ws[oi] * xs[ni]) + bd[oi];
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_roundtrip_is_identity_on_f16_values() {
+        // Every non-NaN f16 bit pattern must survive f16->f32->f16.
+        for h in 0..=u16::MAX {
+            let exp = (h >> 10) & 0x1f;
+            let mant = h & 0x3ff;
+            if exp == 0x1f && mant != 0 {
+                continue; // NaN payloads need not round-trip bit-exactly
+            }
+            let f = f16_bits_to_f32(h);
+            assert_eq!(f32_to_f16_bits(f), h, "bits {h:#06x} -> {f} diverged");
+        }
+    }
+
+    #[test]
+    fn f16_rounds_to_nearest_even() {
+        // 1.0 + 2^-11 is exactly halfway between 1.0 and the next f16;
+        // RNE picks the even mantissa (1.0).
+        assert_eq!(f16_round(1.0 + 2.0_f32.powi(-11)), 1.0);
+        // Just above halfway rounds up.
+        let up = f16_round(1.0 + 2.0_f32.powi(-11) + 2.0_f32.powi(-20));
+        assert!((up - (1.0 + 2.0_f32.powi(-10))).abs() < 1e-7);
+        // Large values overflow to infinity.
+        assert!(f16_round(70000.0).is_infinite());
+        // Subnormals survive.
+        let tiny = 2.0_f32.powi(-24);
+        assert_eq!(f16_round(tiny), tiny);
+    }
+
+    #[test]
+    fn int8_quantization_roundtrip_error_is_bounded() {
+        let w = Tensor::from_vec(
+            [2, 1, 2, 2],
+            vec![1.0, -0.5, 0.25, 0.7, 10.0, -3.0, 0.0, 5.0],
+        );
+        let q = Int8Tensor::quantize(&w);
+        let dq = q.dequantize();
+        for (i, (a, b)) in w.data().iter().zip(dq.data()).enumerate() {
+            // Error bound: half a quantization step of the element's
+            // channel (channel 0 max 1.0, channel 1 max 10.0).
+            let step = if i < 4 { 1.0 / 127.0 } else { 10.0 / 127.0 };
+            assert!((a - b).abs() <= 0.5 * step + 1e-6, "{a} vs {b}");
+        }
+        assert_eq!(q.scales().len(), 2);
+    }
+
+    #[test]
+    fn int8_all_zero_channel_gets_unit_scale() {
+        let w = Tensor::zeros([1, 1, 2, 2]);
+        let q = Int8Tensor::quantize(&w);
+        assert_eq!(q.scales(), &[1.0]);
+        assert!(q.data().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn conv2d_int8_matches_f32_within_quant_error() {
+        let mut rng = irf_runtime::Xoshiro256pp::seed_from_u64(42);
+        let x = Tensor::from_vec(
+            [2, 3, 6, 6],
+            (0..2 * 3 * 6 * 6)
+                .map(|_| rng.random::<f32>() * 2.0 - 1.0)
+                .collect(),
+        );
+        let w = Tensor::from_vec(
+            [4, 3, 3, 3],
+            (0..4 * 3 * 3 * 3)
+                .map(|_| rng.random::<f32>() - 0.5)
+                .collect(),
+        );
+        let b = Tensor::from_vec([1, 4, 1, 1], vec![0.1, -0.2, 0.3, 0.0]);
+        let q = Int8Tensor::quantize(&w);
+        let yq = conv2d_int8_forward(&x, &q, &b, 1, 1, 1);
+        // Reference: dequantized weights through an exact f64 conv.
+        let dq = q.dequantize();
+        let [n, ci, h, ww2] = x.shape();
+        let [co, _, kh, kw] = w.shape();
+        for ni in 0..n {
+            for oc in 0..co {
+                for oh in 0..h {
+                    for ow in 0..ww2 {
+                        let mut acc = 0.0f64;
+                        for ic in 0..ci {
+                            for ky in 0..kh {
+                                for kx in 0..kw {
+                                    let iy = oh as isize + ky as isize - 1;
+                                    let ix = ow as isize + kx as isize - 1;
+                                    if iy < 0 || iy >= h as isize || ix < 0 || ix >= ww2 as isize {
+                                        continue;
+                                    }
+                                    acc += f64::from(dq.at(oc, ic, ky, kx))
+                                        * f64::from(x.at(ni, ic, iy as usize, ix as usize));
+                                }
+                            }
+                        }
+                        let got = yq.at(ni, oc, oh, ow);
+                        let want = acc as f32 + b.at(0, oc, 0, 0);
+                        // Activation quantization adds ~1% relative noise.
+                        assert!(
+                            (got - want).abs() < 0.25,
+                            "({ni},{oc},{oh},{ow}): {got} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_int8_is_batch_invariant() {
+        let mut rng = irf_runtime::Xoshiro256pp::seed_from_u64(7);
+        let mk = |rng: &mut irf_runtime::Xoshiro256pp| {
+            Tensor::from_vec(
+                [1, 2, 5, 5],
+                (0..2 * 5 * 5)
+                    .map(|_| rng.random::<f32>() * 3.0 - 1.5)
+                    .collect(),
+            )
+        };
+        let a = mk(&mut rng);
+        let c = mk(&mut rng);
+        let w = Tensor::from_vec(
+            [3, 2, 3, 3],
+            (0..3 * 2 * 3 * 3)
+                .map(|_| rng.random::<f32>() - 0.5)
+                .collect(),
+        );
+        let b = Tensor::from_vec([1, 3, 1, 1], vec![0.0, 0.1, -0.1]);
+        let q = Int8Tensor::quantize(&w);
+        let batched = Tensor::concat_batch(&[a.clone(), c.clone()]);
+        let yb = conv2d_int8_forward(&batched, &q, &b, 1, 1, 1);
+        let ya = conv2d_int8_forward(&a, &q, &b, 1, 1, 1);
+        let yc = conv2d_int8_forward(&c, &q, &b, 1, 1, 1);
+        let parts = yb.split_batch();
+        assert_eq!(parts[0].data(), ya.data(), "sample 0 diverged in batch");
+        assert_eq!(parts[1].data(), yc.data(), "sample 1 diverged in batch");
+    }
+
+    #[test]
+    fn linear_int8_matches_f32_within_quant_error() {
+        let x = Tensor::from_vec([1, 4, 1, 1], vec![1.0, -2.0, 0.5, 3.0]);
+        let w = Tensor::from_vec([2, 4, 1, 1], vec![0.1, 0.2, -0.3, 0.4, 1.0, 0.0, -1.0, 0.5]);
+        let b = Tensor::from_vec([1, 2, 1, 1], vec![0.05, -0.05]);
+        let q = Int8Tensor::quantize(&w);
+        let y = linear_int8_forward(&x, &q, &b);
+        // f32 reference with exact weights.
+        let want0 = 0.1 * 1.0 + 0.2 * -2.0 + -0.3 * 0.5 + 0.4 * 3.0 + 0.05;
+        let want1 = 1.0 * 1.0 + 0.0 * -2.0 - 0.5 + 0.5 * 3.0 - 0.05;
+        assert!((y.at(0, 0, 0, 0) - want0).abs() < 0.05);
+        assert!((y.at(0, 1, 0, 0) - want1).abs() < 0.05);
+    }
+
+    #[test]
+    fn precision_mode_ids_and_names_round_trip() {
+        for m in [PrecisionMode::F32, PrecisionMode::F16, PrecisionMode::Int8] {
+            assert_eq!(PrecisionMode::from_id(m.id()), Some(m));
+            assert_eq!(PrecisionMode::parse(m.name()), Some(m));
+        }
+        assert_eq!(PrecisionMode::from_id(9), None);
+        assert_eq!(PrecisionMode::parse("fp64"), None);
+    }
+}

@@ -5,7 +5,10 @@
 //! [`crate::loss`] function) walks the tape in reverse and accumulates
 //! parameter gradients into the [`ParamStore`].
 
+use std::sync::Arc;
+
 use crate::param::{ParamId, ParamStore};
+use crate::quant::{self, PrecisionMode, QuantizedTensor};
 use crate::tensor::Tensor;
 
 /// Handle to a node (an intermediate tensor) on a [`Tape`].
@@ -120,6 +123,13 @@ pub struct Tape {
     values: Vec<Tensor>,
     grads: Vec<Option<Tensor>>,
     needs_grad: Vec<bool>,
+    /// Reduced-precision sidecar per node (populated for `Param` nodes
+    /// whose store carries one); consumed by conv2d/linear when
+    /// `precision != F32`.
+    node_quant: Vec<Option<Arc<QuantizedTensor>>>,
+    /// Forward-pass precision; `F32` unless set by
+    /// [`Tape::set_precision`]. Non-f32 tapes are inference-only.
+    precision: PrecisionMode,
 }
 
 impl Tape {
@@ -164,7 +174,23 @@ impl Tape {
         self.values.push(value);
         self.grads.push(None);
         self.needs_grad.push(needs_grad);
+        self.node_quant.push(None);
         id
+    }
+
+    /// Selects the forward precision for subsequently recorded
+    /// conv2d/linear nodes. Non-f32 modes take effect only where the
+    /// parameter store carries matching sidecars (see
+    /// [`ParamStore::quantize`]); such tapes are **inference-only** —
+    /// [`Tape::backward`] refuses to run on them.
+    pub fn set_precision(&mut self, mode: PrecisionMode) {
+        self.precision = mode;
+    }
+
+    /// The tape's forward precision.
+    #[must_use]
+    pub fn precision(&self) -> PrecisionMode {
+        self.precision
     }
 
     fn ng(&self, id: NodeId) -> bool {
@@ -182,9 +208,14 @@ impl Tape {
         self.push(Op::Input, value, true)
     }
 
-    /// Reads a parameter from the store onto the tape.
+    /// Reads a parameter from the store onto the tape, carrying along
+    /// any reduced-precision sidecar the store holds for it.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
-        self.push(Op::Param(id), store.value(id).clone(), true)
+        let node = self.push(Op::Param(id), store.value(id).clone(), true);
+        if self.precision != PrecisionMode::F32 {
+            self.node_quant[node.0] = store.quant(id).cloned();
+        }
+        node
     }
 
     /// 2-D convolution: `x (N,Ci,H,W) * w (Co,Ci,kh,kw) + b (1,Co,1,1)`.
@@ -223,14 +254,24 @@ impl Tape {
         pad_h: usize,
         pad_w: usize,
     ) -> NodeId {
-        let value = conv2d_forward(
-            self.value(x),
-            self.value(w),
-            self.value(b),
-            stride,
-            pad_h,
-            pad_w,
-        );
+        let value = match (self.precision, self.node_quant[w.0].as_deref()) {
+            (PrecisionMode::Int8, Some(QuantizedTensor::Int8(wq))) => {
+                quant::conv2d_int8_forward(self.value(x), wq, self.value(b), stride, pad_h, pad_w)
+            }
+            (PrecisionMode::F16, Some(QuantizedTensor::F16(wq))) => {
+                let mut v = conv2d_forward(self.value(x), wq, self.value(b), stride, pad_h, pad_w);
+                quant::f16_round_tensor(&mut v);
+                v
+            }
+            _ => conv2d_forward(
+                self.value(x),
+                self.value(w),
+                self.value(b),
+                stride,
+                pad_h,
+                pad_w,
+            ),
+        };
         let needs = self.ng(x) || self.ng(w) || self.ng(b);
         self.push(
             Op::Conv2d {
@@ -616,31 +657,22 @@ impl Tape {
     ///
     /// Panics on shape mismatches.
     pub fn linear(&mut self, x: NodeId, w: NodeId, b: NodeId) -> NodeId {
-        let [n, c, h, ww] = self.value(x).shape();
+        let [_, c, h, ww] = self.value(x).shape();
         assert_eq!((h, ww), (1, 1), "linear expects (N, C, 1, 1) input");
         let [o, ci, _, _] = self.value(w).shape();
         assert_eq!(ci, c, "linear weight input-dim mismatch");
         assert_eq!(self.value(b).shape(), [1, o, 1, 1], "linear bias shape");
-        let mut out = Tensor::zeros([n, o, 1, 1]);
-        {
-            let xd = self.value(x).data();
-            let wd = self.value(w).data();
-            let bd = self.value(b).data();
-            let od = out.data_mut();
-            // Row-parallel: one output row (all O units of one sample)
-            // per work unit, each produced by the same serial loop.
-            irf_runtime::par_chunks_mut(od, o, |ni, orow| {
-                let xrow = ni * c;
-                for (oi, s) in orow.iter_mut().enumerate() {
-                    let mut acc = bd[oi];
-                    let wrow = oi * c;
-                    for cj in 0..c {
-                        acc += wd[wrow + cj] * xd[xrow + cj];
-                    }
-                    *s = acc;
-                }
-            });
-        }
+        let out = match (self.precision, self.node_quant[w.0].as_deref()) {
+            (PrecisionMode::Int8, Some(QuantizedTensor::Int8(wq))) => {
+                quant::linear_int8_forward(self.value(x), wq, self.value(b))
+            }
+            (PrecisionMode::F16, Some(QuantizedTensor::F16(wq))) => {
+                let mut v = linear_forward(self.value(x), wq, self.value(b));
+                quant::f16_round_tensor(&mut v);
+                v
+            }
+            _ => linear_forward(self.value(x), self.value(w), self.value(b)),
+        };
         let needs = self.ng(x) || self.ng(w) || self.ng(b);
         self.push(Op::Linear { x, w, b }, out, needs)
     }
@@ -714,8 +746,16 @@ impl Tape {
     ///
     /// # Panics
     ///
-    /// Panics if `seed`'s shape differs from the output value's shape.
+    /// Panics if `seed`'s shape differs from the output value's shape,
+    /// or if the tape was recorded at a non-f32 precision (quantized
+    /// forwards are inference-only; their recorded ops do not match
+    /// the f32 weights gradients would be taken against).
     pub fn backward(&mut self, output: NodeId, seed: Tensor, store: &mut ParamStore) {
+        assert_eq!(
+            self.precision,
+            PrecisionMode::F32,
+            "backward requires an f32-precision tape"
+        );
         assert_eq!(
             seed.shape(),
             self.values[output.0].shape(),
@@ -1076,6 +1116,43 @@ impl Tensor {
 }
 
 /// Direct 2-D convolution forward pass.
+/// Dense linear forward `y = W x + b` on `(N, C, 1, 1)` input.
+fn linear_forward(x: &Tensor, w: &Tensor, b: &Tensor) -> Tensor {
+    let [n, c, _, _] = x.shape();
+    let [o, _, _, _] = w.shape();
+    let mut out = Tensor::zeros([n, o, 1, 1]);
+    let xd = x.data();
+    let wd = w.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    let use_simd = irf_runtime::simd::enabled() && o * c <= i32::MAX as usize;
+    // Row-parallel: one output row (all O units of one sample)
+    // per work unit, each produced by the same serial loop.
+    irf_runtime::par_chunks_mut(od, o, |ni, orow| {
+        let xrow = ni * c;
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if use_simd {
+            // SAFETY: `simd::enabled()` guarantees AVX2; offsets fit
+            // in i32 (checked above).
+            #[allow(unsafe_code)]
+            unsafe {
+                crate::simd::linear_row(orow, &xd[xrow..xrow + c], wd, bd);
+            }
+            return;
+        }
+        for (oi, s) in orow.iter_mut().enumerate() {
+            let mut acc = bd[oi];
+            let wrow = oi * c;
+            for cj in 0..c {
+                acc += wd[wrow + cj] * xd[xrow + cj];
+            }
+            *s = acc;
+        }
+    });
+    out
+}
+
 fn conv2d_forward(
     x: &Tensor,
     w: &Tensor,
@@ -1097,6 +1174,8 @@ fn conv2d_forward(
     let wd = w.data();
     let bd = b.data();
     let od = out.data_mut();
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    let use_simd = irf_runtime::simd::enabled() && stride == 1;
     // Parallel over (sample, output channel) blocks: each `ho x wo`
     // output map is written by exactly one task running the same serial
     // inner loop, so results are bitwise identical at any thread count.
@@ -1105,6 +1184,50 @@ fn conv2d_forward(
         let oc = blk % co;
         let bias = bd[oc];
         omap.iter_mut().for_each(|v| *v = bias);
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if use_simd {
+            // Stride-1 vector path: per weight tap, the valid output
+            // columns form one contiguous run `[lo, hi)`, updated with
+            // an 8-wide axpy. Element-wise this performs exactly the
+            // adds of the scalar loop below, in the same order.
+            for ic in 0..ci {
+                let xbase = ((ni * ci + ic) * h) * ww;
+                let wbase = ((oc * ci + ic) * kh) * kw;
+                for ky in 0..kh {
+                    let iy0 = ky as isize - pad_h as isize;
+                    for kx in 0..kw {
+                        let wv = wd[wbase + ky * kw + kx];
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        let lo = pad_w.saturating_sub(kx);
+                        let hi =
+                            ((ww + pad_w) as isize - kx as isize).clamp(0, wo as isize) as usize;
+                        if lo >= hi {
+                            continue;
+                        }
+                        for oh in 0..ho {
+                            let iy = oh as isize + iy0;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let xoff = xbase + iy as usize * ww + lo + kx - pad_w;
+                            let orow = oh * wo;
+                            // SAFETY: `simd::enabled()` guarantees AVX2.
+                            #[allow(unsafe_code)]
+                            unsafe {
+                                crate::simd::axpy_f32(
+                                    &mut omap[orow + lo..orow + hi],
+                                    &xd[xoff..xoff + (hi - lo)],
+                                    wv,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            return;
+        }
         for ic in 0..ci {
             let xbase = ((ni * ci + ic) * h) * ww;
             let wbase = ((oc * ci + ic) * kh) * kw;

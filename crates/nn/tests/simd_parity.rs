@@ -1,0 +1,177 @@
+//! Bitwise parity of the AVX2 f32 kernels against the scalar path,
+//! and thread-count determinism of the quantized forward.
+#![cfg(feature = "simd")]
+
+use irf_nn::quant::PrecisionMode;
+use irf_nn::{ParamStore, Tape, Tensor};
+use std::sync::Mutex;
+
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+fn lock_globals() -> std::sync::MutexGuard<'static, ()> {
+    GLOBALS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn rand_tensor(shape: [usize; 4], seed: u64) -> Tensor {
+    let mut rng = irf_runtime::Xoshiro256pp::seed_from_u64(seed);
+    let n = shape.iter().product();
+    Tensor::from_vec(
+        shape,
+        (0..n).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect(),
+    )
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+fn conv_forward(x: &Tensor, w: &Tensor, b: &Tensor, pad: usize) -> Tensor {
+    let mut tape = Tape::new();
+    let xn = tape.input(x.clone());
+    let wn = tape.input(w.clone());
+    let bn = tape.input(b.clone());
+    let y = tape.conv2d(xn, wn, bn, 1, pad);
+    tape.value(y).clone()
+}
+
+#[test]
+fn conv2d_simd_is_bitwise_identical_to_scalar_at_any_thread_count() {
+    let _g = lock_globals();
+    // Odd spatial size + channels exercise the 8-wide tail; include
+    // exact zeros in the weights to hit the skip branch.
+    let x = rand_tensor([3, 5, 19, 23], 1);
+    let mut w = rand_tensor([7, 5, 3, 3], 2);
+    w.data_mut()[4] = 0.0;
+    w.data_mut()[40] = 0.0;
+    let b = rand_tensor([1, 7, 1, 1], 3);
+
+    irf_runtime::simd::set_disabled(true);
+    irf_runtime::set_num_threads(1);
+    let scalar = conv_forward(&x, &w, &b, 1);
+    irf_runtime::simd::set_disabled(false);
+
+    if !irf_runtime::simd::enabled() {
+        eprintln!("skipping: AVX2 unavailable at runtime");
+        return;
+    }
+    for threads in [1usize, 2, 4, 8] {
+        irf_runtime::set_num_threads(threads);
+        let simd = conv_forward(&x, &w, &b, 1);
+        assert_eq!(
+            bits(&scalar),
+            bits(&simd),
+            "conv2d diverged at {threads} threads"
+        );
+    }
+    irf_runtime::set_num_threads(1);
+}
+
+#[test]
+fn linear_simd_is_bitwise_identical_to_scalar_at_any_thread_count() {
+    let _g = lock_globals();
+    // 37 outputs: four 8-wide steps plus a 5-output scalar tail.
+    let x = rand_tensor([6, 29, 1, 1], 4);
+    let w = rand_tensor([37, 29, 1, 1], 5);
+    let b = rand_tensor([1, 37, 1, 1], 6);
+    let fwd = |x: &Tensor| {
+        let mut tape = Tape::new();
+        let xn = tape.input(x.clone());
+        let wn = tape.input(w.clone());
+        let bn = tape.input(b.clone());
+        let y = tape.linear(xn, wn, bn);
+        tape.value(y).clone()
+    };
+
+    irf_runtime::simd::set_disabled(true);
+    irf_runtime::set_num_threads(1);
+    let scalar = fwd(&x);
+    irf_runtime::simd::set_disabled(false);
+
+    if !irf_runtime::simd::enabled() {
+        eprintln!("skipping: AVX2 unavailable at runtime");
+        return;
+    }
+    for threads in [1usize, 2, 4, 8] {
+        irf_runtime::set_num_threads(threads);
+        let simd = fwd(&x);
+        assert_eq!(
+            bits(&scalar),
+            bits(&simd),
+            "linear diverged at {threads} threads"
+        );
+    }
+    irf_runtime::set_num_threads(1);
+}
+
+#[test]
+fn int8_forward_is_deterministic_across_thread_counts() {
+    let _g = lock_globals();
+    let mut store = ParamStore::new();
+    let w = store.register("w", rand_tensor([6, 4, 3, 3], 7));
+    let b = store.register("b", rand_tensor([1, 6, 1, 1], 8));
+    store.quantize(PrecisionMode::Int8);
+    let x = rand_tensor([2, 4, 11, 13], 9);
+    let fwd = || {
+        let mut tape = Tape::new();
+        tape.set_precision(PrecisionMode::Int8);
+        let xn = tape.input(x.clone());
+        let wn = tape.param(&store, w);
+        let bn = tape.param(&store, b);
+        let y = tape.conv2d(xn, wn, bn, 1, 1);
+        tape.value(y).clone()
+    };
+    irf_runtime::set_num_threads(1);
+    let reference = fwd();
+    for threads in [2usize, 4, 8] {
+        irf_runtime::set_num_threads(threads);
+        assert_eq!(
+            bits(&reference),
+            bits(&fwd()),
+            "int8 conv diverged at {threads} threads"
+        );
+    }
+    irf_runtime::set_num_threads(1);
+    // Quantization must actually change something (it's not the f32 path).
+    let mut tape = Tape::new();
+    let xn = tape.input(x.clone());
+    let wn = tape.param(&store, w);
+    let bn = tape.param(&store, b);
+    let y = tape.conv2d(xn, wn, bn, 1, 1);
+    assert_ne!(bits(&reference), bits(tape.value(y)));
+}
+
+#[test]
+fn f16_forward_rounds_activations_deterministically() {
+    let _g = lock_globals();
+    let mut store = ParamStore::new();
+    let w = store.register("w", rand_tensor([5, 3, 3, 3], 10));
+    let b = store.register("b", rand_tensor([1, 5, 1, 1], 11));
+    store.quantize(PrecisionMode::F16);
+    let x = rand_tensor([2, 3, 9, 9], 12);
+    let fwd = || {
+        let mut tape = Tape::new();
+        tape.set_precision(PrecisionMode::F16);
+        let xn = tape.input(x.clone());
+        let wn = tape.param(&store, w);
+        let bn = tape.param(&store, b);
+        let y = tape.conv2d(xn, wn, bn, 1, 1);
+        tape.value(y).clone()
+    };
+    irf_runtime::set_num_threads(1);
+    let reference = fwd();
+    // Every output must be exactly representable in binary16.
+    for &v in reference.data() {
+        assert_eq!(irf_nn::quant::f16_round(v), v, "{v} is not an f16 value");
+    }
+    for threads in [2usize, 4, 8] {
+        irf_runtime::set_num_threads(threads);
+        assert_eq!(
+            bits(&reference),
+            bits(&fwd()),
+            "f16 conv diverged at {threads} threads"
+        );
+    }
+    irf_runtime::set_num_threads(1);
+}

@@ -27,6 +27,7 @@ pub const ENDPOINTS: &[(&str, f64)] = &[
     ("sweep", 2.000),
     ("optimize", 10.000),
     ("reload", 1.000),
+    ("models", 0.050),
     ("shutdown", 0.050),
     ("other", 0.010),
 ];

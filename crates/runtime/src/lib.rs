@@ -29,6 +29,7 @@
 
 pub mod pool;
 pub mod rng;
+pub mod simd;
 
 pub use pool::{
     configured_threads, num_threads, par_chunks_mut, par_for, par_map, par_ragged_chunks_mut,

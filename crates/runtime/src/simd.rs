@@ -1,0 +1,108 @@
+//! Runtime dispatch for the workspace's optional SIMD kernels.
+//!
+//! The numeric crates (`irf-sparse`, `irf-nn`) carry hand-written
+//! AVX2 implementations of their hottest inner loops behind a `simd`
+//! cargo feature. This module is the single switchboard those kernels
+//! consult before taking the vector path:
+//!
+//! * **Compile time** — without the `simd` feature, [`enabled`] is a
+//!   constant `false` and every kernel compiles down to its scalar
+//!   form; the default build stays dependency-free and bitwise
+//!   unchanged.
+//! * **Run time** — with the feature on, the vector path additionally
+//!   requires x86-64 AVX2 support detected on the running CPU, honours
+//!   an `IRF_SIMD=0|off|false` environment kill-switch, and can be
+//!   force-disabled in-process with [`set_disabled`] (used by the
+//!   parity tests and benches to compute scalar and SIMD results in
+//!   the same process).
+//!
+//! Every SIMD kernel gated on this switch upholds the repo's
+//! determinism contract: for f32/f64 kernels the vector path performs
+//! the exact same sequence of roundings per output element as the
+//! scalar path (no FMA, no reassociation), so scalar and SIMD outputs
+//! are **bitwise identical** — the switch selects speed, never values.
+
+#[cfg(feature = "simd")]
+use std::sync::atomic::{AtomicBool, Ordering};
+#[cfg(feature = "simd")]
+use std::sync::OnceLock;
+
+/// In-process kill switch, flipped by [`set_disabled`].
+#[cfg(feature = "simd")]
+static FORCE_DISABLED: AtomicBool = AtomicBool::new(false);
+
+/// Cached `IRF_SIMD` environment override && CPU detection.
+#[cfg(feature = "simd")]
+static DETECTED: OnceLock<bool> = OnceLock::new();
+
+#[cfg(feature = "simd")]
+fn detect() -> bool {
+    if let Ok(v) = std::env::var("IRF_SIMD") {
+        let v = v.trim().to_ascii_lowercase();
+        if v == "0" || v == "off" || v == "false" {
+            return false;
+        }
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// `true` when the vector kernels should run: the `simd` feature is
+/// compiled in, the CPU supports AVX2, `IRF_SIMD` does not disable it,
+/// and [`set_disabled`] has not been called with `true`.
+#[must_use]
+#[inline]
+pub fn enabled() -> bool {
+    #[cfg(feature = "simd")]
+    {
+        !FORCE_DISABLED.load(Ordering::Relaxed) && *DETECTED.get_or_init(detect)
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        false
+    }
+}
+
+/// Force-disables (or re-enables) the vector path in-process.
+///
+/// Used by parity tests and the `kernel_speed` bench to compute both
+/// scalar and SIMD results in one process. A no-op without the `simd`
+/// feature.
+pub fn set_disabled(disabled: bool) {
+    #[cfg(feature = "simd")]
+    FORCE_DISABLED.store(disabled, Ordering::Relaxed);
+    #[cfg(not(feature = "simd"))]
+    let _ = disabled;
+}
+
+/// `true` when the crate was compiled with the `simd` feature,
+/// regardless of runtime CPU support. Benches use this to label runs.
+#[must_use]
+pub fn compiled() -> bool {
+    cfg!(feature = "simd")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_without_feature() {
+        if !compiled() {
+            assert!(!enabled());
+        }
+    }
+
+    #[test]
+    fn force_disable_wins() {
+        set_disabled(true);
+        assert!(!enabled());
+        set_disabled(false);
+    }
+}

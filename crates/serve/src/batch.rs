@@ -47,7 +47,13 @@ impl ModelSlot {
 
     /// Replaces the model. Takes effect from the next collected batch.
     pub fn swap(&self, model: TrainedModel) {
-        *self.model.lock().unwrap_or_else(|e| e.into_inner()) = Arc::new(model);
+        self.swap_arc(Arc::new(model));
+    }
+
+    /// [`ModelSlot::swap`] for an already-shared model (the registry
+    /// moves prepared precision variants between slots this way).
+    pub fn swap_arc(&self, model: Arc<TrainedModel>) {
+        *self.model.lock().unwrap_or_else(|e| e.into_inner()) = model;
     }
 }
 
@@ -74,11 +80,17 @@ impl Default for BatchConfig {
     }
 }
 
-/// One queued inference request: the prepared stack to run and the
-/// channel that receives the predicted map.
+/// One queued inference request: the prepared stack to run, the model
+/// slot to run it through, and the channel that receives the predicted
+/// map.
 pub struct PredictJob {
     /// Prepared features + rough map (label-free).
     pub stack: Arc<PreparedStack>,
+    /// The (model, precision) variant this job runs on, resolved by
+    /// the handler. The batcher groups collected jobs by slot, so
+    /// every executed forward batch is homogeneous in both model and
+    /// precision mode.
+    pub slot: Arc<ModelSlot>,
     /// Id of the originating HTTP request (`0` when none). Carried
     /// explicitly: the batcher thread never inherits the handler's
     /// thread-local `irf_trace::request` scope.
@@ -118,20 +130,20 @@ pub struct Batcher {
 }
 
 impl Batcher {
-    /// Spawns the batcher thread. It reads the model from the shared
-    /// [`ModelSlot`] once per batch; request handlers only prepare
-    /// stacks and queue jobs, and `POST /reload` swaps the slot.
+    /// Spawns the batcher thread. Each job carries the [`ModelSlot`]
+    /// it resolved against (a named model at one precision); the
+    /// batcher reads each distinct slot once per batch and a
+    /// `POST /v1/models/{name}/reload` swaps slots in place.
     #[must_use]
     pub fn start(
         pipeline: IrFusionPipeline,
-        model: Arc<ModelSlot>,
         config: BatchConfig,
         metrics: Arc<ServerMetrics>,
     ) -> Batcher {
         let (tx, rx) = mpsc::sync_channel::<PredictJob>(config.queue_capacity.max(1));
         let handle = std::thread::Builder::new()
             .name("irf-batcher".into())
-            .spawn(move || run_batcher(&rx, &pipeline, &model, config, &metrics))
+            .spawn(move || run_batcher(&rx, &pipeline, config, &metrics))
             .expect("spawn batcher thread");
         Batcher { tx, handle }
     }
@@ -168,7 +180,6 @@ pub fn try_submit(tx: &mpsc::SyncSender<PredictJob>, job: PredictJob) -> Result<
 fn run_batcher(
     rx: &mpsc::Receiver<PredictJob>,
     pipeline: &IrFusionPipeline,
-    slot: &ModelSlot,
     config: BatchConfig,
     metrics: &ServerMetrics,
 ) {
@@ -194,40 +205,61 @@ fn run_batcher(
                 }
             }
         }
-        let stacks: Vec<&PreparedStack> = jobs.iter().map(|j| j.stack.as_ref()).collect();
-        // Resolve the model once per batch: a concurrent reload takes
-        // effect on the NEXT batch, never mid-forward.
-        let model = slot.get();
-        let batch_started = Instant::now();
-        let (maps, seconds) = Timer::time(|| pipeline.predict_batch(&model, &stacks));
-        metrics.observe_batch(jobs.len());
-        metrics.observe_stage("forward", seconds);
-        let batch_size = jobs.len();
-        if irf_obs::log::enabled(irf_obs::log::Level::Debug) {
-            // The per-batch detail record names every fused request so
-            // a slow forward can be pinned to its co-batched peers.
-            let ids: Vec<String> = jobs.iter().map(|j| format!("{:016x}", j.request)).collect();
-            let ids = ids.join(",");
-            irf_obs::debug(
-                "forward_batch",
-                &[
-                    ("batch_size", batch_size.into()),
-                    ("forward_seconds", seconds.into()),
-                    ("requests", ids.as_str().into()),
-                ],
-            );
+        // Partition the collected jobs into homogeneous groups — one
+        // per distinct (model, precision) slot, in arrival order — so
+        // a forward batch never mixes models or precision modes.
+        let mut groups: Vec<(Arc<ModelSlot>, Vec<PredictJob>)> = Vec::new();
+        for job in jobs {
+            match groups
+                .iter_mut()
+                .find(|(slot, _)| Arc::ptr_eq(slot, &job.slot))
+            {
+                Some((_, group)) => group.push(job),
+                None => {
+                    let slot = Arc::clone(&job.slot);
+                    groups.push((slot, vec![job]));
+                }
+            }
         }
-        for (job, map) in jobs.into_iter().zip(maps) {
-            let queue_seconds = batch_started
-                .saturating_duration_since(job.submitted)
-                .as_secs_f64();
-            // A handler that gave up (client disconnect) just drops
-            // its receiver; that is not the batcher's problem.
-            let _ = job.reply.send(PredictReply {
-                map,
-                queue_seconds,
-                batch_size,
-            });
+        for (slot, jobs) in groups {
+            let stacks: Vec<&PreparedStack> = jobs.iter().map(|j| j.stack.as_ref()).collect();
+            // Resolve the model once per group: a concurrent reload
+            // takes effect on the NEXT batch, never mid-forward.
+            let model = slot.get();
+            let batch_started = Instant::now();
+            let (maps, seconds) = Timer::time(|| pipeline.predict_batch(&model, &stacks));
+            metrics.observe_batch(jobs.len());
+            metrics.observe_stage("forward", seconds);
+            let batch_size = jobs.len();
+            if irf_obs::log::enabled(irf_obs::log::Level::Debug) {
+                // The per-batch detail record names every fused request
+                // so a slow forward can be pinned to its co-batched
+                // peers.
+                let ids: Vec<String> = jobs.iter().map(|j| format!("{:016x}", j.request)).collect();
+                let ids = ids.join(",");
+                irf_obs::debug(
+                    "forward_batch",
+                    &[
+                        ("batch_size", batch_size.into()),
+                        ("forward_seconds", seconds.into()),
+                        ("precision", model.precision.name().into()),
+                        ("requests", ids.as_str().into()),
+                    ],
+                );
+            }
+            for (job, map) in jobs.into_iter().zip(maps) {
+                let queue_seconds = batch_started
+                    .saturating_duration_since(job.submitted)
+                    .as_secs_f64();
+                // A handler that gave up (client disconnect) just
+                // drops its receiver; that is not the batcher's
+                // problem.
+                let _ = job.reply.send(PredictReply {
+                    map,
+                    queue_seconds,
+                    batch_size,
+                });
+            }
         }
     }
 }
@@ -253,9 +285,9 @@ mod tests {
         let expected = pipeline.predict(&trained, &stack);
 
         let metrics = Arc::new(ServerMetrics::new(4));
+        let slot = Arc::new(ModelSlot::new(trained));
         let batcher = Batcher::start(
             pipeline,
-            Arc::new(ModelSlot::new(trained)),
             BatchConfig {
                 max_batch: 4,
                 deadline: Duration::from_millis(1),
@@ -271,6 +303,7 @@ mod tests {
                 &tx,
                 PredictJob {
                     stack: Arc::clone(&stack),
+                    slot: Arc::clone(&slot),
                     request: seq + 1,
                     submitted: Instant::now(),
                     reply: reply_tx,
@@ -312,7 +345,7 @@ mod tests {
 
         let slot = Arc::new(ModelSlot::new(first));
         let metrics = Arc::new(ServerMetrics::new(4));
-        let batcher = Batcher::start(pipeline, Arc::clone(&slot), BatchConfig::default(), metrics);
+        let batcher = Batcher::start(pipeline, BatchConfig::default(), metrics);
         let tx = batcher.sender();
 
         let predict_once = |tx: &mpsc::SyncSender<PredictJob>| {
@@ -321,6 +354,7 @@ mod tests {
                 tx,
                 PredictJob {
                     stack: Arc::clone(&stack),
+                    slot: Arc::clone(&slot),
                     request: 0,
                     submitted: Instant::now(),
                     reply: reply_tx,
@@ -333,6 +367,76 @@ mod tests {
         assert_eq!(predict_once(&tx), from_first);
         slot.swap(second);
         assert_eq!(predict_once(&tx), from_second, "swap must be visible");
+        drop(tx);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn mixed_precision_jobs_batch_homogeneously() {
+        let config = FusionConfig::tiny();
+        let dataset = Dataset::generate(2, 2, 1, 7);
+        let trained = ir_fusion::train(ModelKind::IrEdge, &dataset, &config);
+        let int8 = trained.precision_variant(ir_fusion::PrecisionMode::Int8);
+        let pipeline = IrFusionPipeline::new(config);
+        let stack = Arc::new(
+            pipeline
+                .prepare_stack(&dataset.designs[0].grid)
+                .expect("grid has pads"),
+        );
+        let expected_f32 = pipeline.predict(&trained, &stack);
+        let expected_int8 = pipeline.predict(&int8, &stack);
+        assert_ne!(expected_f32, expected_int8, "precisions must differ");
+
+        let slots = [
+            Arc::new(ModelSlot::new(trained)),
+            Arc::new(ModelSlot::new(int8)),
+        ];
+        let metrics = Arc::new(ServerMetrics::new(8));
+        let batcher = Batcher::start(
+            pipeline,
+            BatchConfig {
+                max_batch: 8,
+                deadline: Duration::from_millis(50),
+                queue_capacity: 8,
+            },
+            metrics,
+        );
+        let tx = batcher.sender();
+        // Interleave the two precisions so one collected batch holds
+        // both; the batcher must split it into homogeneous groups.
+        let mut replies = Vec::new();
+        for i in 0..4usize {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            try_submit(
+                &tx,
+                PredictJob {
+                    stack: Arc::clone(&stack),
+                    slot: Arc::clone(&slots[i % 2]),
+                    request: i as u64,
+                    submitted: Instant::now(),
+                    reply: reply_tx,
+                },
+            )
+            .expect("queue has room");
+            replies.push(reply_rx);
+        }
+        for (i, rx) in replies.into_iter().enumerate() {
+            let reply = rx.recv().expect("batcher replies");
+            let expected = if i % 2 == 0 {
+                &expected_f32
+            } else {
+                &expected_int8
+            };
+            assert_eq!(
+                &reply.map, expected,
+                "job {i} must ride its own precision group"
+            );
+            assert!(
+                reply.batch_size <= 2,
+                "groups must not mix slots (got batch of {})",
+                reply.batch_size
+            );
+        }
         drop(tx);
         batcher.shutdown();
     }

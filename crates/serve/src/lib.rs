@@ -41,9 +41,11 @@ pub mod batch;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod registry;
 pub mod server;
 
 pub use batch::{BatchConfig, Batcher, ModelSlot, PredictJob, SubmitError};
 pub use json::Json;
 pub use metrics::ServerMetrics;
+pub use registry::{ModelInfo, ModelRegistry};
 pub use server::{Server, ServerConfig};

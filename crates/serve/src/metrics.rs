@@ -9,10 +9,21 @@
 //! (`irf_pcg_iterations`, `irf_amg_levels`,
 //! `irf_stage_seconds_total{stage="pcg_solve"}`, ...).
 
-use ir_fusion::{Stage, StageStore};
+use ir_fusion::{PrecisionMode, Stage, StageStore};
 use irf_obs::slo::{SloPolicy, LATENCY_BUCKETS};
 use irf_trace::{MetricKind, MetricsRegistry};
 use std::sync::Arc;
+
+/// Legacy (unversioned) routes that answer as deprecated aliases of
+/// their `/v1` successors; their per-endpoint deprecation counters are
+/// zero-initialized so a cold scrape shows every alias.
+pub const DEPRECATED_ENDPOINTS: [&str; 10] = [
+    "healthz", "metrics", "trace", "debug", "predict", "whatif", "sweep", "optimize", "reload",
+    "shutdown",
+];
+
+/// The precision label values of `irf_predict_requests_total`.
+const PRECISION_LABELS: [&str; 3] = ["f32", "f16", "int8"];
 
 /// Which registry a [`ServerMetrics`] publishes into.
 enum Registry {
@@ -160,6 +171,36 @@ impl ServerMetrics {
             "Candidate analyses evaluated across all POST /optimize calls.",
         );
         r.counter_add("irf_opt_evaluations_total", &[], 0.0);
+        r.describe(
+            "irf_model_registry_models",
+            MetricKind::Gauge,
+            "Models currently loaded in the registry.",
+        );
+        r.gauge_set("irf_model_registry_models", &[], 0.0);
+        r.describe(
+            "irf_predict_requests_total",
+            MetricKind::Counter,
+            "Successful predict requests by forward precision.",
+        );
+        for precision in PRECISION_LABELS {
+            r.counter_add(
+                "irf_predict_requests_total",
+                &[("precision", precision)],
+                0.0,
+            );
+        }
+        r.describe(
+            "irf_deprecated_requests_total",
+            MetricKind::Counter,
+            "Requests served through deprecated unversioned route aliases.",
+        );
+        for endpoint in DEPRECATED_ENDPOINTS {
+            r.counter_add(
+                "irf_deprecated_requests_total",
+                &[("endpoint", endpoint)],
+                0.0,
+            );
+        }
         r.describe_histogram(
             "irf_http_request_seconds",
             "End-to-end request latency by endpoint.",
@@ -240,6 +281,27 @@ impl ServerMetrics {
     /// Counts one successful model reload.
     pub fn observe_reload(&self) {
         self.registry().counter_inc("irf_model_reloads_total", &[]);
+    }
+
+    /// Publishes the number of models loaded in the registry.
+    pub fn set_registry_models(&self, count: usize) {
+        self.registry()
+            .gauge_set("irf_model_registry_models", &[], count as f64);
+    }
+
+    /// Counts one successful predict at `precision`.
+    pub fn observe_predict_precision(&self, precision: PrecisionMode) {
+        self.registry().counter_inc(
+            "irf_predict_requests_total",
+            &[("precision", precision.name())],
+        );
+    }
+
+    /// Counts one request that arrived through a deprecated
+    /// unversioned route alias.
+    pub fn observe_deprecated(&self, endpoint: &'static str) {
+        self.registry()
+            .counter_inc("irf_deprecated_requests_total", &[("endpoint", endpoint)]);
     }
 
     /// Counts the candidate plans of one finished `/sweep`.
@@ -390,6 +452,26 @@ mod tests {
         let text = m.render(&cache);
         assert!(text.contains("irf_http_request_seconds_count{endpoint=\"predict\"} 2"));
         assert!(text.contains("irf_slo_breaches_total{endpoint=\"predict\"} 1"));
+    }
+
+    #[test]
+    fn new_series_start_zeroed_and_accumulate() {
+        let m = isolated(2);
+        let cache = StageStore::new(1);
+        let text = m.render(&cache);
+        assert!(text.contains("irf_model_registry_models 0"));
+        assert!(text.contains("irf_predict_requests_total{precision=\"f32\"} 0"));
+        assert!(text.contains("irf_predict_requests_total{precision=\"f16\"} 0"));
+        assert!(text.contains("irf_predict_requests_total{precision=\"int8\"} 0"));
+        assert!(text.contains("irf_deprecated_requests_total{endpoint=\"predict\"} 0"));
+        assert!(text.contains("irf_deprecated_requests_total{endpoint=\"reload\"} 0"));
+        m.set_registry_models(2);
+        m.observe_predict_precision(PrecisionMode::Int8);
+        m.observe_deprecated("predict");
+        let text = m.render(&cache);
+        assert!(text.contains("irf_model_registry_models 2"));
+        assert!(text.contains("irf_predict_requests_total{precision=\"int8\"} 1"));
+        assert!(text.contains("irf_deprecated_requests_total{endpoint=\"predict\"} 1"));
     }
 
     #[test]

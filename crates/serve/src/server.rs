@@ -1,20 +1,47 @@
 //! The HTTP server: a `std::net::TcpListener` accept loop, a small
 //! pool of connection handlers, and the micro-batcher behind them.
 //!
+//! The HTTP surface is versioned under `/v1/`; every route below is
+//! canonical at `/v1/<route>`. The original unversioned paths remain
+//! as thin deprecated aliases: they run the identical handler and
+//! answer with a `Deprecation: true` header, one structured warning
+//! log record, and a bump of
+//! `irf_deprecated_requests_total{endpoint=...}`. (`POST /reload`
+//! aliases `POST /v1/models/default/reload`.)
+//!
+//! Every error response uses one envelope shape:
+//! `{"error": {"code": <machine-readable>, "message": <human>,
+//! "details": {...}}}` — `details` carries the structured context a
+//! caller can branch on (offending value, accepted range, loaded
+//! model names, ...), and is `{}` when there is none.
+//!
 //! Routes:
 //!
-//! - `GET /healthz` — liveness probe, plain `ok`.
-//! - `GET /metrics` — Prometheus text exposition.
-//! - `GET /trace` — Chrome trace-event JSON of the most recent
-//!   `/predict` (load it in Perfetto / `chrome://tracing`).
-//! - `GET /debug/requests` — the flight recorder: the last N
+//! - `GET /v1/healthz` — liveness probe, plain `ok`.
+//! - `GET /v1/metrics` — Prometheus text exposition.
+//! - `GET /v1/trace` — Chrome trace-event JSON of the most recent
+//!   `/v1/predict` (load it in Perfetto / `chrome://tracing`).
+//! - `GET /v1/debug/requests` — the flight recorder: the last N
 //!   completed requests (ids, timings, batch placement, per-request
 //!   stage-cache and solver counts), most recent first.
-//! - `GET /debug/requests/{id}` — one recorded request in full,
+//! - `GET /v1/debug/requests/{id}` — one recorded request in full,
 //!   including its span tree when it ran at or over the configured
 //!   slow-request threshold.
-//! - `POST /predict` — run one design through the pipeline.
-//! - `POST /whatif` — incremental re-analysis: a base design
+//! - `GET /v1/models` — the model registry: every loaded model with
+//!   its architecture, parameter count, checkpoint precision and
+//!   servable precision variants.
+//! - `POST /v1/models/{name}/reload` — load a checkpoint
+//!   (`{"model_path": ...}`) under `name`, hot-swapping an existing
+//!   entry atomically (in-flight batches finish on the model they
+//!   resolved) or creating a new named entry.
+//! - `POST /v1/predict` — run one design through the pipeline.
+//!   Optional `"model"` picks a registry entry (default `default`),
+//!   optional `"precision"` (`"f32"` | `"f16"` | `"int8"`) picks the
+//!   forward-precision variant; both are validated with the error
+//!   envelope. The micro-batcher only fuses requests that resolved to
+//!   the same (model, precision) variant, so every executed batch is
+//!   homogeneous and bitwise deterministic within its mode.
+//! - `POST /v1/whatif` — incremental re-analysis: a base design
 //!   fingerprint (as reported by `/predict`) plus a list of deltas.
 //!   Current deltas (`kind` omitted or `"current"`) ride the stage
 //!   store's warm artifacts — the assembled MNA system, AMG hierarchy
@@ -59,10 +86,11 @@ use crate::batch::{
 };
 use crate::http::{read_request, write_response, write_response_with_headers, HttpError, Request};
 use crate::json::{obj, parse, Json};
-use crate::metrics::ServerMetrics;
+use crate::metrics::{ServerMetrics, DEPRECATED_ENDPOINTS};
+use crate::registry::{valid_model_name, ModelRegistry};
 use ir_fusion::{
-    design_fingerprint, EditError, FusionConfig, IrFusionPipeline, StageStore, TopologyDelta,
-    TrainedModel,
+    design_fingerprint, EditError, FusionConfig, IrFusionPipeline, PrecisionMode, StageStore,
+    TopologyDelta, TrainedModel,
 };
 use irf_metrics::Timer;
 use irf_obs::recorder::SpanNode;
@@ -125,10 +153,10 @@ struct State {
     /// `None` once shutdown started (or when serving without a model
     /// was requested and no batcher exists).
     predict_tx: Mutex<Option<mpsc::SyncSender<PredictJob>>>,
-    /// The swappable model behind the batcher; `None` when serving
-    /// without a model (then `/reload` answers 409).
-    model_slot: Option<Arc<ModelSlot>>,
-    has_model: bool,
+    /// Named models with per-precision variants; `None` when serving
+    /// without a model (then reloads answer 409 and predicts fall back
+    /// to the rough numerical map).
+    registry: Option<Arc<ModelRegistry>>,
     shutting_down: AtomicBool,
     addr: SocketAddr,
     read_timeout: Duration,
@@ -178,23 +206,17 @@ impl Server {
         // every endpoint from the first scrape.
         metrics.init_http(&slo);
         let pipeline = IrFusionPipeline::new(fusion).with_cache(Arc::clone(&cache));
-        let has_model = model.is_some();
-        let model_slot = model.map(|trained| Arc::new(ModelSlot::new(trained)));
-        let batcher = model_slot.as_ref().map(|slot| {
-            Batcher::start(
-                pipeline.clone(),
-                Arc::clone(slot),
-                config.batch,
-                Arc::clone(&metrics),
-            )
-        });
+        let registry = model.map(|trained| Arc::new(ModelRegistry::new(trained)));
+        metrics.set_registry_models(registry.as_ref().map_or(0, |r| r.len()));
+        let batcher = registry
+            .as_ref()
+            .map(|_| Batcher::start(pipeline.clone(), config.batch, Arc::clone(&metrics)));
         let state = Arc::new(State {
             pipeline,
             cache,
             metrics,
             predict_tx: Mutex::new(batcher.as_ref().map(Batcher::sender)),
-            model_slot,
-            has_model,
+            registry,
             shutting_down: AtomicBool::new(false),
             addr,
             read_timeout: config.read_timeout,
@@ -325,13 +347,13 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) {
             // answer, nothing to count.
             Err(HttpError::Closed | HttpError::Timeout { mid_request: false }) => return,
             Err(error) => {
-                let status = match error {
-                    HttpError::TooLarge => 413,
-                    HttpError::Timeout { mid_request: true } => 408,
-                    _ => 400,
+                let (status, code) = match error {
+                    HttpError::TooLarge => (413, "body_too_large"),
+                    HttpError::Timeout { mid_request: true } => (408, "request_timeout"),
+                    _ => (400, "bad_request"),
                 };
                 let message = error.to_string();
-                let body = error_body(&message);
+                let body = envelope(code, &message);
                 let _ = write_response(
                     reader.get_mut(),
                     status,
@@ -359,17 +381,35 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) {
         // Everything recorded on this thread until `finish` — spans,
         // stage-cache events, PCG telemetry — is tagged with this id.
         let scope = irf_trace::request::scope(id.as_u64());
-        let (route, status, content_type, body) = route_request(&request, state, &ctx);
+        let (route, status, content_type, body, deprecated) = route_request(&request, state, &ctx);
         let stats = scope.finish();
         let duration_seconds = started.elapsed().as_secs_f64();
         let id_text = id.to_string();
+        let mut headers: Vec<(&str, &str)> = vec![("X-Irf-Request-Id", &id_text)];
+        if deprecated {
+            // Legacy unversioned alias: same handler, but the response
+            // advertises the deprecation, the hit is counted, and one
+            // structured warning lands in the log.
+            headers.push(("Deprecation", "true"));
+            if DEPRECATED_ENDPOINTS.contains(&route) {
+                state.metrics.observe_deprecated(route);
+            }
+            irf_obs::warn(
+                "deprecated_route",
+                &[
+                    ("endpoint", route.into()),
+                    ("target", request.target.as_str().into()),
+                    ("request", id_text.as_str().into()),
+                ],
+            );
+        }
         let written = write_response_with_headers(
             reader.get_mut(),
             status,
             content_type,
             body.as_bytes(),
             keep_alive,
-            &[("X-Irf-Request-Id", &id_text)],
+            &headers,
         );
         finish_request(
             state,
@@ -454,16 +494,52 @@ fn finish_request(
     }
 }
 
-fn error_body(message: &str) -> String {
-    obj(vec![("error", Json::Str(message.to_string()))]).render()
+/// Renders the unified error envelope:
+/// `{"error": {"code", "message", "details": {...}}}`.
+fn envelope_with(code: &str, message: &str, details: Vec<(&'static str, Json)>) -> String {
+    obj(vec![(
+        "error",
+        obj(vec![
+            ("code", Json::Str(code.to_string())),
+            ("message", Json::Str(message.to_string())),
+            ("details", obj(details)),
+        ]),
+    )])
+    .render()
+}
+
+/// The envelope with empty `details`.
+fn envelope(code: &str, message: &str) -> String {
+    envelope_with(code, message, Vec::new())
+}
+
+/// Maps a request target onto the canonical (unversioned-internal)
+/// path plus a deprecation flag: `/v1/...` is the canonical surface;
+/// the original unversioned paths are deprecated aliases running the
+/// identical handlers (`/reload` aliases `/v1/models/default/reload`).
+/// Unknown targets pass through untouched (they 404 downstream).
+fn canonical_target(target: &str) -> (String, bool) {
+    if let Some(rest) = target.strip_prefix("/v1/") {
+        return (format!("/{rest}"), false);
+    }
+    match target {
+        "/reload" => ("/models/default/reload".to_string(), true),
+        "/healthz" | "/metrics" | "/trace" | "/predict" | "/whatif" | "/sweep" | "/optimize"
+        | "/shutdown" => (target.to_string(), true),
+        path if path == "/debug/requests" || path.starts_with("/debug/requests/") => {
+            (path.to_string(), true)
+        }
+        other => (other.to_string(), false),
+    }
 }
 
 fn route_request(
     request: &Request,
     state: &Arc<State>,
     ctx: &RequestCtx,
-) -> (&'static str, u16, &'static str, String) {
-    match (request.method.as_str(), request.target.as_str()) {
+) -> (&'static str, u16, &'static str, String, bool) {
+    let (path, deprecated) = canonical_target(&request.target);
+    let (route, status, content_type, body) = match (request.method.as_str(), path.as_str()) {
         ("GET", "/healthz") => ("healthz", 200, "text/plain", "ok\n".to_string()),
         ("GET", "/metrics") => (
             "metrics",
@@ -477,12 +553,29 @@ fn route_request(
                 "trace",
                 404,
                 "application/json",
-                error_body("no trace captured yet; POST /predict first"),
+                envelope("no_trace", "no trace captured yet; POST /v1/predict first"),
             ),
         },
         ("GET", path) if path == "/debug/requests" || path.starts_with("/debug/requests/") => {
             let (status, body) = handle_debug_requests(path, state);
             ("debug", status, "application/json", body)
+        }
+        ("GET", "/models") => {
+            let (status, body) = handle_models_list(state);
+            ("models", status, "application/json", body)
+        }
+        ("POST", path)
+            if path
+                .strip_prefix("/models/")
+                .and_then(|rest| rest.strip_suffix("/reload"))
+                .is_some() =>
+        {
+            let name = path
+                .strip_prefix("/models/")
+                .and_then(|rest| rest.strip_suffix("/reload"))
+                .expect("guard matched");
+            let (status, body) = handle_model_reload(name, request, state);
+            ("reload", status, "application/json", body)
         }
         ("POST", "/predict") => {
             let (status, body) = handle_predict(request, state, ctx);
@@ -500,10 +593,6 @@ fn route_request(
             let (status, body) = handle_optimize(request, state, ctx);
             ("optimize", status, "application/json", body)
         }
-        ("POST", "/reload") => {
-            let (status, body) = handle_reload(request, state);
-            ("reload", status, "application/json", body)
-        }
         ("POST", "/shutdown") => {
             initiate_shutdown(state);
             (
@@ -517,15 +606,58 @@ fn route_request(
             "other",
             404,
             "application/json",
-            error_body("no such route"),
+            envelope("unknown_route", "no such route"),
         ),
         _ => (
             "other",
             405,
             "application/json",
-            error_body("method not allowed"),
+            envelope("method_not_allowed", "method not allowed"),
         ),
-    }
+    };
+    (route, status, content_type, body, deprecated)
+}
+
+/// `GET /v1/models` — the registry listing: every loaded model with
+/// its architecture, parameter count, checkpoint precision, servable
+/// precision variants and reload count.
+fn handle_models_list(state: &Arc<State>) -> (u16, String) {
+    let models: Vec<Json> = state
+        .registry
+        .as_ref()
+        .map(|registry| registry.list())
+        .unwrap_or_default()
+        .iter()
+        .map(|info| {
+            obj(vec![
+                ("name", Json::Str(info.name.clone())),
+                ("architecture", Json::Str(info.architecture.clone())),
+                ("params", Json::Num(info.params as f64)),
+                (
+                    "loaded_precision",
+                    Json::Str(info.loaded_precision.name().to_string()),
+                ),
+                (
+                    "precisions",
+                    Json::Arr(
+                        info.precisions
+                            .iter()
+                            .map(|p| Json::Str(p.name().to_string()))
+                            .collect(),
+                    ),
+                ),
+                ("reloads", Json::Num(info.reloads as f64)),
+            ])
+        })
+        .collect();
+    (
+        200,
+        obj(vec![
+            ("count", Json::Num(models.len() as f64)),
+            ("models", Json::Arr(models)),
+        ])
+        .render(),
+    )
 }
 
 /// Resolves the request body into a power grid: an inline `netlist`
@@ -611,11 +743,17 @@ fn handle_debug_requests(path: &str, state: &Arc<State>) -> (u16, String) {
         }
         Some(id) => {
             let Some(id) = RequestId::parse(id) else {
-                return (400, error_body("request id must be 16 hex digits"));
+                return (
+                    400,
+                    envelope("invalid_request_id", "request id must be 16 hex digits"),
+                );
             };
             match state.recorder.find(id.as_u64()) {
                 Some(record) => (200, render_request_record(&record, true).render()),
-                None => (404, error_body("request not recorded (or already evicted)")),
+                None => (
+                    404,
+                    envelope("not_recorded", "request not recorded (or already evicted)"),
+                ),
             }
         }
     }
@@ -699,29 +837,48 @@ impl Drop for TraceScope<'_> {
     }
 }
 
-/// `POST /reload` — loads a checkpoint from the server's filesystem
-/// (`{"model_path": ...}`) and swaps it behind the batcher. Batches
-/// already collected finish on the old model; no request is dropped.
-fn handle_reload(request: &Request, state: &Arc<State>) -> (u16, String) {
+/// `POST /v1/models/{name}/reload` — loads a checkpoint from the
+/// server's filesystem (`{"model_path": ...}`) under `name`: existing
+/// entries are hot-swapped atomically (batches already collected
+/// finish on the model they resolved; no request is dropped), unknown
+/// names become new registry entries. `POST /reload` is the deprecated
+/// alias targeting `default`.
+fn handle_model_reload(name: &str, request: &Request, state: &Arc<State>) -> (u16, String) {
     if state.shutting_down.load(Ordering::SeqCst) {
-        return (503, error_body("shutting down"));
+        return (503, envelope("shutting_down", "shutting down"));
     }
-    let Some(slot) = &state.model_slot else {
+    let Some(registry) = &state.registry else {
         return (
             409,
-            error_body("server is running without a model; reload has nothing to swap"),
+            envelope(
+                "no_model",
+                "server is running without a model; reload has nothing to swap",
+            ),
         );
     };
+    if !valid_model_name(name) {
+        return (
+            400,
+            envelope_with(
+                "invalid_model_name",
+                "model names are 1-64 characters of [A-Za-z0-9._-]",
+                vec![("value", Json::Str(name.to_string()))],
+            ),
+        );
+    }
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
-        Err(_) => return (400, error_body("body is not utf-8")),
+        Err(_) => return (400, envelope("invalid_body", "body is not utf-8")),
     };
     let body = match parse(text) {
         Ok(body) => body,
-        Err(error) => return (400, error_body(&error.to_string())),
+        Err(error) => return (400, envelope("invalid_json", &error.to_string())),
     };
     let Some(path) = body.get("model_path").and_then(Json::as_str) else {
-        return (400, error_body("request needs model_path"));
+        return (
+            400,
+            envelope("missing_model_path", "request needs model_path"),
+        );
     };
     let (loaded, seconds) = Timer::time(|| {
         std::fs::File::open(path)
@@ -733,24 +890,125 @@ fn handle_reload(request: &Request, state: &Arc<State>) -> (u16, String) {
     });
     let model = match loaded {
         Ok(model) => model,
-        Err(message) => return (422, error_body(&message)),
+        Err(message) => {
+            return (
+                422,
+                envelope_with(
+                    "checkpoint_error",
+                    &message,
+                    vec![("model_path", Json::Str(path.to_string()))],
+                ),
+            )
+        }
     };
-    slot.swap(model);
+    let precision = model.precision;
+    let reloads = registry.reload(name, model);
+    state.metrics.set_registry_models(registry.len());
     state.metrics.observe_reload();
     state.metrics.observe_stage("reload", seconds);
     (
         200,
         obj(vec![
             ("reloaded", Json::Bool(true)),
+            ("model", Json::Str(name.to_string())),
             ("model_path", Json::Str(path.to_string())),
+            ("precision", Json::Str(precision.name().to_string())),
+            ("reloads", Json::Num(reloads as f64)),
         ])
         .render(),
     )
 }
 
+/// A resolved predict target: the slot to run on plus the (model
+/// name, precision) echoed in the response.
+type ResolvedModel = (Arc<ModelSlot>, String, PrecisionMode);
+
+/// Resolves the optional `"model"` / `"precision"` request members
+/// against the registry: the slot to run on plus the resolved
+/// (model name, precision) for the response, or a rendered envelope.
+/// `Ok(None)` means no model is loaded and the rough map applies.
+fn resolve_model(
+    body: &Json,
+    state: &Arc<State>,
+) -> Result<Option<ResolvedModel>, (u16, String)> {
+    let name = match body.get("model") {
+        None => "default",
+        Some(value) => match value.as_str() {
+            Some(name) => name,
+            None => {
+                return Err((
+                    400,
+                    envelope("invalid_model_name", "model must be a string"),
+                ))
+            }
+        },
+    };
+    let precision = match body.get("precision") {
+        None => None,
+        Some(value) => match value.as_str().and_then(PrecisionMode::parse) {
+            Some(mode) => Some(mode),
+            None => {
+                return Err((
+                    400,
+                    envelope_with(
+                        "invalid_precision",
+                        "precision must be one of f32, f16, int8",
+                        vec![(
+                            "value",
+                            value
+                                .as_str()
+                                .map_or_else(|| value.clone(), |s| Json::Str(s.to_string())),
+                        )],
+                    ),
+                ))
+            }
+        },
+    };
+    let Some(registry) = &state.registry else {
+        if body.get("model").is_some() || body.get("precision").is_some() {
+            // Serving without a model: an explicit model/precision ask
+            // cannot be honoured, and silently answering with the
+            // rough map would misreport the precision contract.
+            return Err((
+                409,
+                envelope(
+                    "no_model",
+                    "server is running without a model; model/precision selection is unavailable",
+                ),
+            ));
+        }
+        return Ok(None);
+    };
+    match registry.resolve(name, precision) {
+        Ok((slot, mode)) => Ok(Some((slot, name.to_string(), mode))),
+        Err(loaded) => Err((
+            404,
+            envelope_with(
+                "unknown_model",
+                &format!("no model named {name:?}"),
+                vec![(
+                    "loaded",
+                    Json::Arr(loaded.into_iter().map(Json::Str).collect()),
+                )],
+            ),
+        )),
+    }
+}
+
+/// The `default` model's slot at its checkpoint precision — what the
+/// endpoints without model selection (`/whatif`, `/sweep`,
+/// `/optimize`) run on. `None` when serving without a model.
+fn default_slot(state: &Arc<State>) -> Option<Arc<ModelSlot>> {
+    state
+        .registry
+        .as_ref()
+        .and_then(|registry| registry.resolve("default", None).ok())
+        .map(|(slot, _)| slot)
+}
+
 fn handle_predict(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u16, String) {
     if state.shutting_down.load(Ordering::SeqCst) {
-        return (503, error_body("shutting down"));
+        return (503, envelope("shutting_down", "shutting down"));
     }
     let _trace = TraceScope {
         collector: irf_trace::Collector::install(),
@@ -762,15 +1020,19 @@ fn handle_predict(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u
     let _span = irf_trace::span("predict_request");
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
-        Err(_) => return (400, error_body("body is not utf-8")),
+        Err(_) => return (400, envelope("invalid_body", "body is not utf-8")),
     };
-    let ((grid, body), parse_seconds) = match Timer::time(|| {
-        parse(text)
-            .map_err(|e| e.to_string())
-            .and_then(|body| resolve_grid(&body).map(|grid| (grid, body)))
-    }) {
-        (Ok(ok), seconds) => (ok, seconds),
-        (Err(message), _) => return (400, error_body(&message)),
+    let body = match parse(text) {
+        Ok(body) => body,
+        Err(error) => return (400, envelope("invalid_json", &error.to_string())),
+    };
+    let resolved = match resolve_model(&body, state) {
+        Ok(resolved) => resolved,
+        Err(err) => return err,
+    };
+    let (grid, parse_seconds) = match Timer::time(|| resolve_grid(&body)) {
+        (Ok(grid), seconds) => (grid, seconds),
+        (Err(message), _) => return (400, envelope("invalid_design", &message)),
     };
     state.metrics.observe_stage("parse", parse_seconds);
     let grid = Arc::new(grid);
@@ -781,7 +1043,10 @@ fn handle_predict(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u
         Err(error) => {
             return (
                 400,
-                error_body(&format!("cannot prepare features: {error}")),
+                envelope(
+                    "feature_error",
+                    &format!("cannot prepare features: {error}"),
+                ),
             )
         }
     };
@@ -792,13 +1057,20 @@ fn handle_predict(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u
         .cache
         .insert_parsed(stack.fingerprint, Arc::clone(&grid));
 
-    let (map, source) = match run_inference(state, &stack, ctx) {
+    let slot = resolved.as_ref().map(|(slot, ..)| slot);
+    let (map, source) = match run_inference(state, &stack, ctx, slot) {
         Ok(ok) => ok,
         Err(err) => return err,
     };
+    let mut extra = Vec::new();
+    if let Some((_, name, mode)) = &resolved {
+        state.metrics.observe_predict_precision(*mode);
+        extra.push(("model", Json::Str(name.clone())));
+        extra.push(("precision", Json::Str(mode.name().to_string())));
+    }
     (
         200,
-        render_prediction(&grid, state, &map, source, &body, Vec::new()),
+        render_prediction(&grid, state, &map, source, &body, extra),
     )
 }
 
@@ -824,7 +1096,7 @@ fn handle_predict(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u
 /// nothing is applied.
 fn handle_whatif(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u16, String) {
     if state.shutting_down.load(Ordering::SeqCst) {
-        return (503, error_body("shutting down"));
+        return (503, envelope("shutting_down", "shutting down"));
     }
     let _trace = TraceScope {
         collector: irf_trace::Collector::install(),
@@ -834,11 +1106,11 @@ fn handle_whatif(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u1
     let _span = irf_trace::span("whatif_request");
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
-        Err(_) => return (400, error_body("body is not utf-8")),
+        Err(_) => return (400, envelope("invalid_body", "body is not utf-8")),
     };
     let body = match parse(text) {
         Ok(body) => body,
-        Err(error) => return (400, error_body(&error.to_string())),
+        Err(error) => return (400, envelope("invalid_json", &error.to_string())),
     };
     let (fingerprint, grid) = match resolve_base(&body, state) {
         Ok(ok) => ok,
@@ -846,7 +1118,7 @@ fn handle_whatif(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u1
     };
     let edits = match parse_edits(body.get("deltas"), &grid) {
         Ok(edits) => edits,
-        Err(message) => return (400, error_body(&message)),
+        Err(message) => return (400, envelope("invalid_deltas", &message)),
     };
 
     let session = match build_session(state, &grid, &edits) {
@@ -859,7 +1131,10 @@ fn handle_whatif(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u1
         Err(error) => {
             return (
                 400,
-                error_body(&format!("cannot prepare features: {error}")),
+                envelope(
+                    "feature_error",
+                    &format!("cannot prepare features: {error}"),
+                ),
             )
         }
     };
@@ -871,7 +1146,8 @@ fn handle_whatif(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u1
         .cache
         .insert_parsed(stack.fingerprint, Arc::clone(session.grid()));
 
-    let (map, source) = match run_inference(state, &stack, ctx) {
+    let slot = default_slot(state);
+    let (map, source) = match run_inference(state, &stack, ctx, slot.as_ref()) {
         Ok(ok) => ok,
         Err(err) => return err,
     };
@@ -908,16 +1184,29 @@ fn resolve_base(body: &Json, state: &Arc<State>) -> Result<(u64, Arc<PowerGrid>)
     let Some(base) = body.get("base").and_then(Json::as_str) else {
         return Err((
             400,
-            error_body("request needs base (a /predict design fingerprint)"),
+            envelope(
+                "missing_base",
+                "request needs base (a /v1/predict design fingerprint)",
+            ),
         ));
     };
     let Ok(fingerprint) = u64::from_str_radix(base, 16) else {
-        return Err((400, error_body("base must be a hex fingerprint")));
+        return Err((
+            400,
+            envelope_with(
+                "invalid_base",
+                "base must be a hex fingerprint",
+                vec![("value", Json::Str(base.to_string()))],
+            ),
+        ));
     };
     let Some(grid) = state.cache.get_parsed(fingerprint) else {
         return Err((
             404,
-            error_body("unknown base design; POST it to /predict first"),
+            envelope(
+                "unknown_base",
+                "unknown base design; POST it to /v1/predict first",
+            ),
         ));
     };
     Ok((fingerprint, grid))
@@ -1043,26 +1332,21 @@ fn parse_edits(deltas: Option<&Json>, grid: &PowerGrid) -> Result<Edits, String>
     Ok(edits)
 }
 
-/// The structured members of an [`EditError`] body: the human
-/// message plus a machine-readable `code`.
-fn edit_error_members(error: &EditError) -> Vec<(&'static str, Json)> {
-    let code = match error {
+/// The machine-readable `code` of an [`EditError`] envelope.
+fn edit_error_code(error: &EditError) -> &'static str {
+    match error {
         EditError::NoStrapSegments { .. } => "no_strap_segments",
         EditError::NoViaSegments { .. } => "no_via_segments",
         EditError::DegenerateVia { .. } => "degenerate_via",
         EditError::SegmentOutOfRange { .. } => "segment_out_of_range",
         EditError::InvalidValue { .. } => "invalid_value",
-    };
-    vec![
-        ("error", Json::Str(error.to_string())),
-        ("code", Json::Str(code.to_string())),
-    ]
+    }
 }
 
-/// Renders an [`EditError`] as a structured 400 body:
-/// `{"error": <message>, "code": <machine-readable kind>}`.
+/// Renders an [`EditError`] as the 400 envelope with its
+/// machine-readable kind as the code.
 fn edit_error_body(error: &EditError) -> String {
-    obj(edit_error_members(error)).render()
+    envelope(edit_error_code(error), &error.to_string())
 }
 
 /// `POST /sweep` — ranked what-if sweep over candidate edit plans:
@@ -1085,7 +1369,7 @@ fn edit_error_body(error: &EditError) -> String {
 /// identical at any thread count and any batch slicing.
 fn handle_sweep(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u16, String) {
     if state.shutting_down.load(Ordering::SeqCst) {
-        return (503, error_body("shutting down"));
+        return (503, envelope("shutting_down", "shutting down"));
     }
     let _trace = TraceScope {
         collector: irf_trace::Collector::install(),
@@ -1095,11 +1379,11 @@ fn handle_sweep(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u16
     let _span = irf_trace::span("sweep_request");
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
-        Err(_) => return (400, error_body("body is not utf-8")),
+        Err(_) => return (400, envelope("invalid_body", "body is not utf-8")),
     };
     let body = match parse(text) {
         Ok(body) => body,
-        Err(error) => return (400, error_body(&error.to_string())),
+        Err(error) => return (400, envelope("invalid_json", &error.to_string())),
     };
     let (fingerprint, grid) = match resolve_base(&body, state) {
         Ok(ok) => ok,
@@ -1108,41 +1392,40 @@ fn handle_sweep(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u16
     let Some(Json::Arr(items)) = body.get("candidates") else {
         return (
             400,
-            error_body("request needs candidates (an array of {label?, deltas})"),
+            envelope(
+                "missing_candidates",
+                "request needs candidates (an array of {label?, deltas})",
+            ),
         );
     };
     const MAX_CANDIDATES: usize = 64;
     if items.is_empty() {
         return (
             400,
-            obj(vec![
-                (
-                    "error",
-                    Json::Str("candidates must not be empty".to_string()),
-                ),
-                ("code", Json::Str("empty_candidates".to_string())),
-                ("count", Json::Num(0.0)),
-                ("limit", Json::Num(MAX_CANDIDATES as f64)),
-            ])
-            .render(),
+            envelope_with(
+                "empty_candidates",
+                "candidates must not be empty",
+                vec![
+                    ("count", Json::Num(0.0)),
+                    ("limit", Json::Num(MAX_CANDIDATES as f64)),
+                ],
+            ),
         );
     }
     if items.len() > MAX_CANDIDATES {
         return (
             400,
-            obj(vec![
-                (
-                    "error",
-                    Json::Str(format!(
-                        "too many candidates ({}, limit {MAX_CANDIDATES})",
-                        items.len()
-                    )),
+            envelope_with(
+                "too_many_candidates",
+                &format!(
+                    "too many candidates ({}, limit {MAX_CANDIDATES})",
+                    items.len()
                 ),
-                ("code", Json::Str("too_many_candidates".to_string())),
-                ("count", Json::Num(items.len() as f64)),
-                ("limit", Json::Num(MAX_CANDIDATES as f64)),
-            ])
-            .render(),
+                vec![
+                    ("count", Json::Num(items.len() as f64)),
+                    ("limit", Json::Num(MAX_CANDIDATES as f64)),
+                ],
+            ),
         );
     }
 
@@ -1159,17 +1442,31 @@ fn handle_sweep(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u16
             Err(message) => {
                 return (
                     400,
-                    error_body(&format!("candidates[{i}] ({label}): {message}")),
+                    envelope_with(
+                        "invalid_deltas",
+                        &format!("candidates[{i}] ({label}): {message}"),
+                        vec![
+                            ("candidate", Json::Num(i as f64)),
+                            ("label", Json::Str(label)),
+                        ],
+                    ),
                 )
             }
         };
         let session = match build_session(state, &grid, &edits) {
             Ok(session) => session,
             Err(error) => {
-                let mut members = edit_error_members(&error);
-                members.push(("candidate", Json::Num(i as f64)));
-                members.push(("label", Json::Str(label)));
-                return (400, obj(members).render());
+                return (
+                    400,
+                    envelope_with(
+                        edit_error_code(&error),
+                        &error.to_string(),
+                        vec![
+                            ("candidate", Json::Num(i as f64)),
+                            ("label", Json::Str(label)),
+                        ],
+                    ),
+                );
             }
         };
         candidates.push((label, session));
@@ -1194,7 +1491,10 @@ fn handle_sweep(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u16
             Err(error) => {
                 return (
                     400,
-                    error_body(&format!("cannot prepare base features: {error}")),
+                    envelope(
+                        "feature_error",
+                        &format!("cannot prepare base features: {error}"),
+                    ),
                 )
             }
         };
@@ -1233,7 +1533,10 @@ fn handle_sweep(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u16
         Err(error) => {
             return (
                 400,
-                error_body(&format!("cannot prepare base features: {error}")),
+                envelope(
+                    "feature_error",
+                    &format!("cannot prepare base features: {error}"),
+                ),
             )
         }
     };
@@ -1244,13 +1547,17 @@ fn handle_sweep(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u16
             Err(error) => {
                 return (
                     400,
-                    error_body(&format!("cannot prepare candidate {label}: {error}")),
+                    envelope(
+                        "feature_error",
+                        &format!("cannot prepare candidate {label}: {error}"),
+                    ),
                 )
             }
         }
     }
 
-    let (maps, source) = match run_inference_batch(state, &stacks, ctx) {
+    let slot = default_slot(state);
+    let (maps, source) = match run_inference_batch(state, &stacks, ctx, slot.as_ref()) {
         Ok(ok) => ok,
         Err(err) => return err,
     };
@@ -1390,17 +1697,15 @@ fn bounded_param(
         return Ok(default);
     };
     let invalid = |got: f64| {
-        obj(vec![
-            (
-                "error",
-                Json::Str(format!("{key} must be an integer in [{min}, {max}]")),
-            ),
-            ("code", Json::Str(format!("invalid_{key}"))),
-            ("value", Json::Num(got)),
-            ("min", Json::Num(min as f64)),
-            ("max", Json::Num(max as f64)),
-        ])
-        .render()
+        envelope_with(
+            &format!("invalid_{key}"),
+            &format!("{key} must be an integer in [{min}, {max}]"),
+            vec![
+                ("value", Json::Num(got)),
+                ("min", Json::Num(min as f64)),
+                ("max", Json::Num(max as f64)),
+            ],
+        )
     };
     let Some(v) = value.as_u64() else {
         return Err(invalid(value.as_f64().unwrap_or(f64::NAN)));
@@ -1466,7 +1771,7 @@ fn render_topology_delta(delta: &TopologyDelta) -> Json {
 /// Deterministic for a fixed base and tunables at any thread count.
 fn handle_optimize(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u16, String) {
     if state.shutting_down.load(Ordering::SeqCst) {
-        return (503, error_body("shutting down"));
+        return (503, envelope("shutting_down", "shutting down"));
     }
     let _trace = TraceScope {
         collector: irf_trace::Collector::install(),
@@ -1476,11 +1781,11 @@ fn handle_optimize(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (
     let _span = irf_trace::span("optimize_request");
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
-        Err(_) => return (400, error_body("body is not utf-8")),
+        Err(_) => return (400, envelope("invalid_body", "body is not utf-8")),
     };
     let body = match parse(text) {
         Ok(body) => body,
-        Err(error) => return (400, error_body(&error.to_string())),
+        Err(error) => return (400, envelope("invalid_json", &error.to_string())),
     };
     let (fingerprint, grid) = match resolve_base(&body, state) {
         Ok(ok) => ok,
@@ -1489,55 +1794,36 @@ fn handle_optimize(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (
     let Some(target) = body.get("target_max_drop").and_then(Json::as_f64) else {
         return (
             400,
-            obj(vec![
-                (
-                    "error",
-                    Json::Str("request needs a numeric target_max_drop (volts)".to_string()),
-                ),
-                ("code", Json::Str("missing_target".to_string())),
-            ])
-            .render(),
+            envelope(
+                "missing_target",
+                "request needs a numeric target_max_drop (volts)",
+            ),
         );
     };
     if !target.is_finite() || target < 0.0 {
         return (
             400,
-            obj(vec![
-                (
-                    "error",
-                    Json::Str("target_max_drop must be finite and non-negative".to_string()),
-                ),
-                ("code", Json::Str("invalid_target".to_string())),
-                ("value", Json::Num(target)),
-            ])
-            .render(),
+            envelope_with(
+                "invalid_target",
+                "target_max_drop must be finite and non-negative",
+                vec![("value", Json::Num(target))],
+            ),
         );
     }
     let Some(budget) = body.get("metal_budget").and_then(Json::as_f64) else {
         return (
             400,
-            obj(vec![
-                (
-                    "error",
-                    Json::Str("request needs a numeric metal_budget".to_string()),
-                ),
-                ("code", Json::Str("missing_budget".to_string())),
-            ])
-            .render(),
+            envelope("missing_budget", "request needs a numeric metal_budget"),
         );
     };
     if !budget.is_finite() || budget <= 0.0 {
         return (
             400,
-            obj(vec![
-                (
-                    "error",
-                    Json::Str("metal_budget must be finite and positive".to_string()),
-                ),
-                ("code", Json::Str("invalid_budget".to_string())),
-                ("value", Json::Num(budget)),
-            ])
-            .render(),
+            envelope_with(
+                "invalid_budget",
+                "metal_budget must be finite and positive",
+                vec![("value", Json::Num(budget))],
+            ),
         );
     }
     let beam = match bounded_param(&body, "beam", 2, 1, 8) {
@@ -1567,8 +1853,9 @@ fn handle_optimize(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (
     // instead of a generic 500.
     let http_error: std::cell::RefCell<Option<(u16, String)>> = std::cell::RefCell::new(None);
     let source: std::cell::Cell<&'static str> = std::cell::Cell::new("rough");
+    let slot = default_slot(state);
     let predictor = |stacks: &[Arc<ir_fusion::PreparedStack>]| -> Result<Vec<GridMap>, String> {
-        match run_inference_batch(state, stacks, ctx) {
+        match run_inference_batch(state, stacks, ctx, slot.as_ref()) {
             Ok((maps, src)) => {
                 source.set(src);
                 Ok(maps)
@@ -1600,13 +1887,16 @@ fn handle_optimize(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (
             return http_error
                 .borrow_mut()
                 .take()
-                .unwrap_or((500, error_body("prediction failed")))
+                .unwrap_or((500, envelope("predict_failed", "prediction failed")))
         }
         Err(irf_opt::OptimizeError::Edit(error)) => return (400, edit_error_body(&error)),
         Err(irf_opt::OptimizeError::Feature(error)) => {
             return (
                 400,
-                error_body(&format!("cannot prepare features: {error}")),
+                envelope(
+                    "feature_error",
+                    &format!("cannot prepare features: {error}"),
+                ),
             )
         }
     };
@@ -1681,13 +1971,18 @@ fn handle_optimize(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (
     )
 }
 
-/// Queues one prepared stack for the batched forward pass (when a
-/// model is loaded), or falls back to the rough map.
+/// Queues one prepared stack for the batched forward pass on `slot`
+/// (a registry-resolved model+precision variant), or falls back to
+/// the rough map when no model is loaded (`slot` is `None`).
 fn run_inference(
     state: &Arc<State>,
     stack: &Arc<ir_fusion::PreparedStack>,
     ctx: &RequestCtx,
+    slot: Option<&Arc<ModelSlot>>,
 ) -> Result<(GridMap, &'static str), (u16, String)> {
+    let Some(slot) = slot else {
+        return Ok((stack.rough.clone(), "rough"));
+    };
     let sender = state
         .predict_tx
         .lock()
@@ -1698,6 +1993,7 @@ fn run_inference(
             let (reply_tx, reply_rx) = mpsc::channel();
             let job = PredictJob {
                 stack: Arc::clone(stack),
+                slot: Arc::clone(slot),
                 request: ctx.id.as_u64(),
                 submitted: Instant::now(),
                 reply: reply_tx,
@@ -1705,9 +2001,14 @@ fn run_inference(
             match try_submit(&tx, job) {
                 Ok(()) => {}
                 Err(SubmitError::QueueFull) => {
-                    return Err((429, error_body("predict queue is full, retry later")))
+                    return Err((
+                        429,
+                        envelope("queue_full", "predict queue is full, retry later"),
+                    ))
                 }
-                Err(SubmitError::Closed) => return Err((503, error_body("shutting down"))),
+                Err(SubmitError::Closed) => {
+                    return Err((503, envelope("shutting_down", "shutting down")))
+                }
             }
             let (received, infer_seconds) = Timer::time(|| {
                 // The wait shows up in the request's span tree (the
@@ -1721,25 +2022,29 @@ fn run_inference(
                     ctx.observe_reply(&reply);
                     Ok((reply.map, "fused"))
                 }
-                Err(mpsc::RecvError) => Err((503, error_body("shutting down"))),
+                Err(mpsc::RecvError) => Err((503, envelope("shutting_down", "shutting down"))),
             }
         }
-        None if state.has_model => Err((503, error_body("shutting down"))),
-        None => Ok((stack.rough.clone(), "rough")),
+        None => Err((503, envelope("shutting_down", "shutting down"))),
     }
 }
 
-/// Fans `stacks` through the micro-batcher: every job is submitted
-/// before any reply is awaited, so one sweep's forwards coalesce into
-/// as few batches as the batcher's window allows. Output order matches
-/// input order, and because the batched forward is bitwise identical
-/// to serial forwards, the maps do not depend on how the batcher
-/// slices the jobs. Without a model, falls back to the rough maps.
+/// Fans `stacks` through the micro-batcher against `slot`: every job
+/// is submitted before any reply is awaited, so one sweep's forwards
+/// coalesce into as few batches as the batcher's window allows.
+/// Output order matches input order, and because the batched forward
+/// is bitwise identical to serial forwards, the maps do not depend on
+/// how the batcher slices the jobs. Without a model (`slot` `None`),
+/// falls back to the rough maps.
 fn run_inference_batch(
     state: &Arc<State>,
     stacks: &[Arc<ir_fusion::PreparedStack>],
     ctx: &RequestCtx,
+    slot: Option<&Arc<ModelSlot>>,
 ) -> Result<(Vec<GridMap>, &'static str), (u16, String)> {
+    let Some(slot) = slot else {
+        return Ok((stacks.iter().map(|s| s.rough.clone()).collect(), "rough"));
+    };
     let sender = state
         .predict_tx
         .lock()
@@ -1752,6 +2057,7 @@ fn run_inference_batch(
                 let (reply_tx, reply_rx) = mpsc::channel();
                 let job = PredictJob {
                     stack: Arc::clone(stack),
+                    slot: Arc::clone(slot),
                     request: ctx.id.as_u64(),
                     submitted: Instant::now(),
                     reply: reply_tx,
@@ -1759,9 +2065,14 @@ fn run_inference_batch(
                 match try_submit(&tx, job) {
                     Ok(()) => replies.push(reply_rx),
                     Err(SubmitError::QueueFull) => {
-                        return Err((429, error_body("predict queue is full, retry later")))
+                        return Err((
+                            429,
+                            envelope("queue_full", "predict queue is full, retry later"),
+                        ))
                     }
-                    Err(SubmitError::Closed) => return Err((503, error_body("shutting down"))),
+                    Err(SubmitError::Closed) => {
+                        return Err((503, envelope("shutting_down", "shutting down")))
+                    }
                 }
             }
             let (received, infer_seconds) = Timer::time(|| {
@@ -1783,11 +2094,10 @@ fn run_inference_batch(
                         .collect();
                     Ok((maps, "fused"))
                 }
-                Err(mpsc::RecvError) => Err((503, error_body("shutting down"))),
+                Err(mpsc::RecvError) => Err((503, envelope("shutting_down", "shutting down"))),
             }
         }
-        None if state.has_model => Err((503, error_body("shutting down"))),
-        None => Ok((stacks.iter().map(|s| s.rough.clone()).collect(), "rough")),
+        None => Err((503, envelope("shutting_down", "shutting down"))),
     }
 }
 

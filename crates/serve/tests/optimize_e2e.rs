@@ -226,7 +226,9 @@ fn optimize_rejects_bad_inputs_with_structured_bodies() {
         assert_eq!(status, 400, "expected 400 for {code}: {reply}");
         let json = parse(&reply).expect("valid json");
         assert_eq!(
-            json.get("code").and_then(Json::as_str),
+            json.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
             Some(code),
             "wrong code in {reply}"
         );
@@ -251,12 +253,14 @@ fn sweep_rejects_empty_and_oversized_candidate_lists_with_counts() {
     );
     assert_eq!(status, 400, "unexpected: {reply}");
     let json = parse(&reply).expect("valid json");
+    let error = json.get("error").expect("error envelope");
     assert_eq!(
-        json.get("code").and_then(Json::as_str),
+        error.get("code").and_then(Json::as_str),
         Some("empty_candidates")
     );
-    assert_eq!(json.get("count").and_then(Json::as_f64), Some(0.0));
-    assert_eq!(json.get("limit").and_then(Json::as_f64), Some(64.0));
+    let details = error.get("details").expect("details member");
+    assert_eq!(details.get("count").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(details.get("limit").and_then(Json::as_f64), Some(64.0));
 
     // 65 candidates: structured body carrying count and limit.
     let candidate = r#"{"deltas":[{"node":0,"amps":0.0001}]}"#;
@@ -267,12 +271,14 @@ fn sweep_rejects_empty_and_oversized_candidate_lists_with_counts() {
     let (status, reply) = request(addr, "POST", "/sweep", &oversized);
     assert_eq!(status, 400, "unexpected: {reply}");
     let json = parse(&reply).expect("valid json");
+    let error = json.get("error").expect("error envelope");
     assert_eq!(
-        json.get("code").and_then(Json::as_str),
+        error.get("code").and_then(Json::as_str),
         Some("too_many_candidates")
     );
-    assert_eq!(json.get("count").and_then(Json::as_f64), Some(65.0));
-    assert_eq!(json.get("limit").and_then(Json::as_f64), Some(64.0));
+    let details = error.get("details").expect("details member");
+    assert_eq!(details.get("count").and_then(Json::as_f64), Some(65.0));
+    assert_eq!(details.get("limit").and_then(Json::as_f64), Some(64.0));
 
     // A valid sweep is counted on the candidates metric.
     let ok = format!(r#"{{"base":"{base}","candidates":[{candidate},{candidate}]}}"#);

@@ -219,12 +219,13 @@ fn topology_whatif_reuses_geometry_and_rejects_bad_deltas() {
         );
         assert_eq!(status, 400, "{deltas} must be rejected, got: {body}");
         let json = parse(&body).expect("error body is json");
+        let error = json.get("error").expect("error envelope");
         assert_eq!(
-            json.get("code").and_then(Json::as_str),
+            error.get("code").and_then(Json::as_str),
             Some(code),
             "wrong code for {deltas}: {body}"
         );
-        assert!(json.get("error").and_then(Json::as_str).is_some());
+        assert!(error.get("message").and_then(Json::as_str).is_some());
     }
     // Malformed shapes are plain 400s.
     for deltas in [
@@ -282,12 +283,14 @@ fn sweep_ranks_candidates_deterministically() {
     );
     assert_eq!(status, 400, "{body}");
     let json = parse(&body).expect("error body is json");
+    let error = json.get("error").expect("error envelope");
     assert_eq!(
-        json.get("code").and_then(Json::as_str),
+        error.get("code").and_then(Json::as_str),
         Some("no_strap_segments")
     );
-    assert_eq!(json.get("candidate").and_then(Json::as_u64), Some(0));
-    assert_eq!(json.get("label").and_then(Json::as_str), Some("bogus"));
+    let details = error.get("details").expect("details member");
+    assert_eq!(details.get("candidate").and_then(Json::as_u64), Some(0));
+    assert_eq!(details.get("label").and_then(Json::as_str), Some("bogus"));
 
     // The real sweep: eight candidates, ranked best-first.
     let (status, body) = request(addr, "POST", "/sweep", &sweep_body(&base));

@@ -1,0 +1,385 @@
+//! End-to-end tests of the versioned `/v1` surface: the unified error
+//! envelope on every endpoint, legacy-alias parity (same handlers,
+//! `Deprecation: true` header), the named model registry
+//! (list / reload round-trip), and per-precision predicts including
+//! int8 determinism. Kept in its own test binary because the server
+//! publishes into the process-global metrics registry.
+
+use ir_fusion::{FusionConfig, PrecisionMode};
+use irf_data::Dataset;
+use irf_models::ModelKind;
+use irf_serve::json::{parse, Json};
+use irf_serve::{BatchConfig, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Sends one HTTP/1.1 request with `Connection: close` and returns
+/// the raw response text (status line, headers and body).
+fn raw_request(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+/// `raw_request` reduced to `(status, body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let response = raw_request(addr, method, path, body);
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let payload = response
+        .split_once("\r\n\r\n")
+        .expect("header/body separator")
+        .1
+        .to_string();
+    (status, payload)
+}
+
+/// Asserts `body` is the unified envelope and returns its code.
+fn envelope_code(body: &str) -> String {
+    let json = parse(body).expect("error body is json");
+    let error = json.get("error").unwrap_or_else(|| {
+        panic!("missing error envelope in: {body}");
+    });
+    let code = error
+        .get("code")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("missing error.code in: {body}"));
+    assert!(
+        error.get("message").and_then(Json::as_str).is_some(),
+        "missing error.message in: {body}"
+    );
+    assert!(
+        error.get("details").is_some(),
+        "missing error.details in: {body}"
+    );
+    code.to_string()
+}
+
+fn map_values(body: &str) -> Vec<f64> {
+    match parse(body).expect("valid json").get("map") {
+        Some(Json::Arr(values)) => values
+            .iter()
+            .map(|v| v.as_f64().expect("numeric map entry"))
+            .collect(),
+        other => panic!("expected map array, got {other:?}"),
+    }
+}
+
+fn metric_value(metrics: &str, line_prefix: &str) -> f64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(line_prefix))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {line_prefix} missing in:\n{metrics}"))
+}
+
+#[test]
+fn v1_surface_envelope_aliases_registry_and_quantized_predicts() {
+    let config = FusionConfig::tiny();
+    let dataset = Dataset::generate(2, 2, 1, 7);
+    let model = ir_fusion::train(ModelKind::IrEdge, &dataset, &config);
+
+    // An int8-tagged checkpoint for the registry round-trip: loading
+    // it must yield an entry whose unqualified predicts run at int8.
+    let mut longer = config;
+    longer.train.epochs += 2;
+    let second = ir_fusion::train(ModelKind::IrEdge, &dataset, &longer);
+    let int8 = second.precision_variant(PrecisionMode::Int8);
+    let checkpoint = std::env::temp_dir().join(format!("irf-v1-{}.bin", std::process::id()));
+    let mut model_cfg = config.model;
+    model_cfg.in_channels = 11; // 5 shared + 3 layer-current + 3 layer-solution
+    model_cfg.linear_head = int8.residual;
+    let file = std::fs::File::create(&checkpoint).expect("create checkpoint");
+    ir_fusion::save_model(&int8, ModelKind::IrEdge, model_cfg, file).expect("save checkpoint");
+
+    let server = Server::start(
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            batch: BatchConfig {
+                max_batch: 2,
+                deadline: Duration::from_millis(5),
+                queue_capacity: 16,
+            },
+            cache_capacity: 8,
+            read_timeout: Duration::from_secs(120),
+            ..ServerConfig::default()
+        },
+        config,
+        Some(model),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // --- Versioned routes answer without the Deprecation header; the
+    // legacy aliases answer identically WITH it. ---
+    let v1_health = raw_request(addr, "GET", "/v1/healthz", "");
+    assert!(v1_health.starts_with("HTTP/1.1 200"), "{v1_health}");
+    assert!(
+        !v1_health.contains("Deprecation:"),
+        "v1 route must not be deprecated: {v1_health}"
+    );
+    let legacy_health = raw_request(addr, "GET", "/healthz", "");
+    assert!(legacy_health.starts_with("HTTP/1.1 200"), "{legacy_health}");
+    assert!(
+        legacy_health.contains("Deprecation: true\r\n"),
+        "legacy route must carry the Deprecation header: {legacy_health}"
+    );
+
+    let predict_body = r#"{"spec":{"class":"fake","seed":3},"include_map":true}"#;
+    let (status, v1_predict) = request(addr, "POST", "/v1/predict", predict_body);
+    assert_eq!(status, 200, "v1 predict failed: {v1_predict}");
+    let v1_json = parse(&v1_predict).expect("valid json");
+    assert_eq!(
+        v1_json.get("model").and_then(Json::as_str),
+        Some("default"),
+        "predict must echo the resolved model: {v1_predict}"
+    );
+    assert_eq!(
+        v1_json.get("precision").and_then(Json::as_str),
+        Some("f32"),
+        "unqualified predicts run at the checkpoint precision: {v1_predict}"
+    );
+    let legacy_predict = raw_request(addr, "POST", "/predict", predict_body);
+    assert!(legacy_predict.contains("Deprecation: true\r\n"));
+    let legacy_body = legacy_predict
+        .split_once("\r\n\r\n")
+        .expect("separator")
+        .1
+        .to_string();
+    assert_eq!(
+        map_values(&v1_predict),
+        map_values(&legacy_body),
+        "legacy alias must run the identical handler"
+    );
+
+    // --- The unified envelope on every endpoint's error path. ---
+    for (method, path, body, status, code) in [
+        ("POST", "/v1/predict", "{not json", 400, "invalid_json"),
+        (
+            "POST",
+            "/v1/predict",
+            r#"{"spec":{"class":"fake","seed":3},"precision":"fp64"}"#,
+            400,
+            "invalid_precision",
+        ),
+        (
+            "POST",
+            "/v1/predict",
+            r#"{"spec":{"class":"fake","seed":3},"model":"ghost"}"#,
+            404,
+            "unknown_model",
+        ),
+        ("POST", "/v1/whatif", "{}", 400, "missing_base"),
+        (
+            "POST",
+            "/v1/whatif",
+            r#"{"base":"zz"}"#,
+            400,
+            "invalid_base",
+        ),
+        (
+            "POST",
+            "/v1/whatif",
+            r#"{"base":"0000000000000000"}"#,
+            404,
+            "unknown_base",
+        ),
+        ("POST", "/v1/sweep", "{}", 400, "missing_base"),
+        ("POST", "/v1/optimize", "{}", 400, "missing_base"),
+        (
+            "GET",
+            "/v1/debug/requests/zz",
+            "",
+            400,
+            "invalid_request_id",
+        ),
+        (
+            "POST",
+            "/v1/models/bad%20name/reload",
+            "{}",
+            400,
+            "invalid_model_name",
+        ),
+        (
+            "POST",
+            "/v1/models/default/reload",
+            "{}",
+            400,
+            "missing_model_path",
+        ),
+        ("GET", "/v1/nonsense", "", 404, "unknown_route"),
+        ("DELETE", "/v1/predict", "", 405, "method_not_allowed"),
+    ] {
+        let (got, reply) = request(addr, method, path, body);
+        assert_eq!(got, status, "{method} {path}: {reply}");
+        assert_eq!(
+            envelope_code(&reply),
+            code,
+            "{method} {path} wrong code: {reply}"
+        );
+    }
+    // unknown_model reports which models ARE loaded.
+    let (_, reply) = request(
+        addr,
+        "POST",
+        "/v1/predict",
+        r#"{"spec":{"class":"fake","seed":3},"model":"ghost"}"#,
+    );
+    let loaded = parse(&reply)
+        .expect("valid json")
+        .get("error")
+        .and_then(|e| e.get("details"))
+        .and_then(|d| d.get("loaded"))
+        .cloned()
+        .expect("details.loaded");
+    assert_eq!(loaded.render(), r#"["default"]"#, "{reply}");
+
+    // --- Registry: list, named reload, precision variants. ---
+    let (status, listing) = request(addr, "GET", "/v1/models", "");
+    assert_eq!(status, 200, "{listing}");
+    let json = parse(&listing).expect("valid json");
+    assert_eq!(json.get("count").and_then(Json::as_u64), Some(1));
+    let Some(Json::Arr(models)) = json.get("models") else {
+        panic!("missing models array: {listing}");
+    };
+    assert_eq!(
+        models[0].get("name").and_then(Json::as_str),
+        Some("default")
+    );
+    assert_eq!(
+        models[0].get("loaded_precision").and_then(Json::as_str),
+        Some("f32")
+    );
+    assert_eq!(
+        models[0].get("precisions").expect("precisions").render(),
+        r#"["f32","f16","int8"]"#
+    );
+
+    let reload_body = format!(r#"{{"model_path":"{}"}}"#, checkpoint.display());
+    let (status, reply) = request(addr, "POST", "/v1/models/alt/reload", &reload_body);
+    assert_eq!(status, 200, "named reload failed: {reply}");
+    let json = parse(&reply).expect("valid json");
+    assert_eq!(json.get("model").and_then(Json::as_str), Some("alt"));
+    assert_eq!(json.get("precision").and_then(Json::as_str), Some("int8"));
+    assert_eq!(json.get("reloads").and_then(Json::as_u64), Some(0));
+
+    let (_, listing) = request(addr, "GET", "/v1/models", "");
+    let json = parse(&listing).expect("valid json");
+    assert_eq!(
+        json.get("count").and_then(Json::as_u64),
+        Some(2),
+        "{listing}"
+    );
+
+    // The legacy alias targets `default` and bumps its reload count.
+    let legacy_reload = raw_request(addr, "POST", "/reload", &reload_body);
+    assert!(legacy_reload.contains("Deprecation: true\r\n"));
+    assert!(
+        legacy_reload.contains("\"model\":\"default\""),
+        "{legacy_reload}"
+    );
+    let (_, listing) = request(addr, "GET", "/v1/models", "");
+    let Some(Json::Arr(models)) = parse(&listing).expect("valid json").get("models").cloned()
+    else {
+        panic!("missing models array: {listing}");
+    };
+    let default = models
+        .iter()
+        .find(|m| m.get("name").and_then(Json::as_str) == Some("default"))
+        .expect("default entry");
+    assert_eq!(default.get("reloads").and_then(Json::as_u64), Some(1));
+
+    // --- Per-precision predicts: int8 is deterministic end to end,
+    // distinct from f32, and an int8 checkpoint's entry defaults to
+    // int8 without an explicit precision member. ---
+    let int8_body = r#"{"spec":{"class":"fake","seed":3},"precision":"int8","include_map":true}"#;
+    let (status, first) = request(addr, "POST", "/v1/predict", int8_body);
+    assert_eq!(status, 200, "int8 predict failed: {first}");
+    assert_eq!(
+        parse(&first)
+            .expect("valid json")
+            .get("precision")
+            .and_then(Json::as_str),
+        Some("int8")
+    );
+    let (_, second_reply) = request(addr, "POST", "/v1/predict", int8_body);
+    assert_eq!(
+        map_values(&first),
+        map_values(&second_reply),
+        "int8 predicts must be bitwise deterministic"
+    );
+    let (_, f32_reply) = request(
+        addr,
+        "POST",
+        "/v1/predict",
+        r#"{"spec":{"class":"fake","seed":3},"precision":"f32","include_map":true}"#,
+    );
+    assert_ne!(
+        map_values(&first),
+        map_values(&f32_reply),
+        "int8 and f32 forwards must be distinguishable"
+    );
+    let (status, alt_reply) = request(
+        addr,
+        "POST",
+        "/v1/predict",
+        r#"{"spec":{"class":"fake","seed":3},"model":"alt","include_map":true}"#,
+    );
+    assert_eq!(status, 200, "alt predict failed: {alt_reply}");
+    assert_eq!(
+        parse(&alt_reply)
+            .expect("valid json")
+            .get("precision")
+            .and_then(Json::as_str),
+        Some("int8"),
+        "an int8 checkpoint serves int8 by default: {alt_reply}"
+    );
+
+    // --- Metrics: registry gauge, per-precision counters, and the
+    // deprecation counters the legacy hits accumulated. ---
+    let (status, metrics) = request(addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    assert_eq!(metric_value(&metrics, "irf_model_registry_models "), 2.0);
+    assert_eq!(
+        metric_value(&metrics, "irf_predict_requests_total{precision=\"int8\"} "),
+        3.0
+    );
+    assert_eq!(
+        metric_value(&metrics, "irf_predict_requests_total{precision=\"f32\"} "),
+        3.0
+    );
+    assert!(
+        metric_value(
+            &metrics,
+            "irf_deprecated_requests_total{endpoint=\"predict\"} "
+        ) >= 1.0
+    );
+    assert!(
+        metric_value(
+            &metrics,
+            "irf_deprecated_requests_total{endpoint=\"reload\"} "
+        ) >= 1.0
+    );
+
+    let (status, _) = request(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    server.wait();
+    let _ = std::fs::remove_file(&checkpoint);
+}

@@ -1,5 +1,9 @@
 //! Compressed sparse row (CSR) matrix.
 
+use std::sync::{Arc, OnceLock};
+
+use crate::sell::SellPlan;
+
 /// Target cost (non-zeros, plus one per row for the row visit itself)
 /// per parallel work unit in `spmv_into`/`residual_into`. Chunk
 /// boundaries are derived from the matrix structure alone — never the
@@ -46,7 +50,7 @@ fn nnz_balanced_chunks(rows: usize, row_ptr: &[usize]) -> Vec<usize> {
 /// let y = a.spmv(&[1.0, 1.0]);
 /// assert_eq!(y, vec![1.0, 2.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CsrMatrix {
     rows: usize,
     cols: usize,
@@ -60,6 +64,22 @@ pub struct CsrMatrix {
     /// (`row_ptr` style), precomputed from the structure at
     /// construction.
     row_chunks: Vec<usize>,
+    /// Lazily built SELL-4 repacking for the SIMD SpMV path. Clones
+    /// share it (values are immutable); constructors that produce new
+    /// values start empty.
+    sell: OnceLock<Arc<SellPlan>>,
+}
+
+/// Equality is semantic — shape, structure and values — and ignores
+/// the derived SIMD plan cache.
+impl PartialEq for CsrMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
+            && self.values == other.values
+    }
 }
 
 impl CsrMatrix {
@@ -128,6 +148,7 @@ impl CsrMatrix {
             col_idx: out_c,
             values: out_v,
             row_chunks,
+            sell: OnceLock::new(),
         }
     }
 
@@ -177,6 +198,9 @@ impl CsrMatrix {
             col_idx: pattern.col_idx.clone(),
             values,
             row_chunks: pattern.row_chunks.clone(),
+            // The values differ from the pattern's, so its cached SIMD
+            // plan (which embeds values) must not be reused.
+            sell: OnceLock::new(),
         })
     }
 
@@ -202,6 +226,7 @@ impl CsrMatrix {
             col_idx: (0..n).collect(),
             values: vec![1.0; n],
             row_chunks,
+            sell: OnceLock::new(),
         }
     }
 
@@ -295,6 +320,19 @@ impl CsrMatrix {
     pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "spmv: x length mismatch");
         assert_eq!(y.len(), self.rows, "spmv: y length mismatch");
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if irf_runtime::simd::enabled() {
+            let plan = self.sell_plan();
+            irf_runtime::par_ragged_chunks_mut(y, &self.row_chunks, |ci, yc| {
+                // SAFETY: `simd::enabled()` guarantees AVX2; the plan
+                // was built from this matrix's own arrays.
+                #[allow(unsafe_code)]
+                unsafe {
+                    crate::sell::spmv_chunk_avx2(plan, ci, self.row_chunks[ci], x, yc, None);
+                }
+            });
+            return;
+        }
         // Row-parallel over nnz-balanced ragged chunks: each output
         // element is produced by exactly one serial inner loop and the
         // chunk boundaries derive from the structure alone, so the
@@ -322,6 +360,19 @@ impl CsrMatrix {
         assert_eq!(x.len(), self.cols, "residual: x length mismatch");
         assert_eq!(r.len(), self.rows, "residual: r length mismatch");
         assert_eq!(b.len(), self.rows, "residual: b length mismatch");
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if irf_runtime::simd::enabled() {
+            let plan = self.sell_plan();
+            irf_runtime::par_ragged_chunks_mut(r, &self.row_chunks, |ci, rc| {
+                // SAFETY: `simd::enabled()` guarantees AVX2; the plan
+                // was built from this matrix's own arrays.
+                #[allow(unsafe_code)]
+                unsafe {
+                    crate::sell::spmv_chunk_avx2(plan, ci, self.row_chunks[ci], x, rc, Some(b));
+                }
+            });
+            return;
+        }
         irf_runtime::par_ragged_chunks_mut(r, &self.row_chunks, |ci, rc| {
             let base = self.row_chunks[ci];
             for (i, rr) in rc.iter_mut().enumerate() {
@@ -384,6 +435,7 @@ impl CsrMatrix {
             col_idx,
             values,
             row_chunks,
+            sell: OnceLock::new(),
         }
     }
 
@@ -408,6 +460,28 @@ impl CsrMatrix {
     #[must_use]
     pub fn norm_frobenius(&self) -> f64 {
         self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// The lazily built SELL-4 plan for the SIMD kernels.
+    #[cfg_attr(not(all(feature = "simd", target_arch = "x86_64")), allow(dead_code))]
+    fn sell_plan(&self) -> &SellPlan {
+        self.sell.get_or_init(|| {
+            Arc::new(SellPlan::build(
+                &self.row_ptr,
+                &self.col_idx,
+                &self.values,
+                &self.row_chunks,
+            ))
+        })
+    }
+
+    /// `true` when this matrix has already materialised its SELL-4
+    /// SIMD plan (built lazily on the first vector-dispatched SpMV).
+    /// Introspection for tests and benches; always `false` on the
+    /// scalar-only build.
+    #[must_use]
+    pub fn simd_plan_built(&self) -> bool {
+        self.sell.get().is_some()
     }
 
     /// Iterates over all stored entries as `(row, col, value)`.

@@ -95,6 +95,26 @@ pub fn scaled_sweeps(
     for _ in 0..sweeps {
         a.residual_into(b, x, r);
         let r = &*r;
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if irf_runtime::simd::enabled() {
+            irf_runtime::par_chunks_mut(x, SWEEP_CHUNK, |ci, xc| {
+                let base = ci * SWEEP_CHUNK;
+                // SAFETY: `simd::enabled()` guarantees AVX2; r and
+                // diag are full-length vectors, so the chunk slices
+                // starting at `base` cover `xc`.
+                #[allow(unsafe_code)]
+                unsafe {
+                    crate::sell::scaled_update_chunk_avx2(
+                        xc,
+                        &r[base..base + xc.len()],
+                        &diag[base..base + xc.len()],
+                        omega,
+                        base,
+                    );
+                }
+            });
+            continue;
+        }
         irf_runtime::par_chunks_mut(x, SWEEP_CHUNK, |ci, xc| {
             let base = ci * SWEEP_CHUNK;
             for (i, xi) in xc.iter_mut().enumerate() {
