@@ -4,16 +4,31 @@
 //!
 //! ```bash
 //! cargo run -p irf-bench --bin scaling --release -- [--tiny] [--json PATH]
+//! cargo run -p irf-bench --bin scaling --release -- --large 1000000 [--json PATH]
 //! ```
 //!
 //! Emits a human-readable table on stdout and, with `--json PATH`, a
 //! machine-readable report (suitable for `BENCH_scaling.json`). All
 //! kernels are bitwise deterministic, so the checksum column must be
 //! identical across thread counts — the benchmark fails otherwise.
+//!
+//! `--large N` switches to the end-to-end bounded-memory leg: a
+//! scaled synthetic design of roughly `N` nodes is streamed to disk
+//! ([`irf_data::synthesize_to_path`]), then for each thread count the
+//! full prepare path runs from the file — streaming ingest
+//! ([`irf_pg::grid_from_spice_path`]), two-pass MNA assembly, AMG
+//! setup, and a truncated rough solve — with `VmHWM` peak-RSS
+//! recorded after the streaming sweep and again after a
+//! materialize-everything baseline (read the whole file into a
+//! `String`, parse to a full [`irf_spice::Netlist`], then model).
+//! Because the high-water mark is monotone, the streaming sweep runs
+//! first; its peak is an upper bound on what the streaming path
+//! needs. Matrix and solution checksums must be bitwise identical
+//! across thread counts and between the streaming and baseline paths.
 
 use irf_nn::{ParamStore, Tape, Tensor};
 use irf_runtime::Xoshiro256pp;
-use irf_sparse::{CsrMatrix, TripletMatrix};
+use irf_sparse::{CsrMatrix, Solver, SolverKind, TripletMatrix};
 use std::time::Instant;
 
 struct Measurement {
@@ -117,6 +132,8 @@ fn bench_conv2d(shape: [usize; 4], threads: usize, reps: usize) -> Measurement {
 
 fn json_report(rows: &[Measurement], nodes: usize) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"thread-scaling\",\n");
+    let peak_mb = irf_bench::peak_rss_bytes().map_or(0.0, |b| b as f64 / (1024.0 * 1024.0));
+    out.push_str(&format!("  \"peak_rss_mb\": {peak_mb:.1},\n"));
     out.push_str(&format!("  \"grid_nodes\": {nodes},\n  \"results\": [\n"));
     for (i, m) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -135,14 +152,195 @@ fn json_report(rows: &[Measurement], nodes: usize) -> String {
     out
 }
 
+fn bits_checksum<'a>(vals: impl Iterator<Item = &'a f64>) -> u64 {
+    vals.fold(0u64, |h, v| h.rotate_left(7) ^ v.to_bits())
+}
+
+fn matrix_checksum(a: &CsrMatrix) -> u64 {
+    let structure = a
+        .row_ptr()
+        .iter()
+        .chain(a.col_idx())
+        .fold(0u64, |h, &v| h.rotate_left(7) ^ v as u64);
+    structure.rotate_left(13) ^ bits_checksum(a.values().iter())
+}
+
+struct LargeRun {
+    threads: usize,
+    ingest_seconds: f64,
+    assemble_seconds: f64,
+    amg_setup_seconds: f64,
+    solve_seconds: f64,
+    iterations: usize,
+    matrix_checksum: u64,
+    solution_checksum: u64,
+    peak_rss_mb: f64,
+}
+
+/// One streaming end-to-end pass at a fixed thread count: file →
+/// grid → reduced system → AMG setup → truncated rough solve.
+fn large_pass(path: &std::path::Path, threads: usize) -> LargeRun {
+    irf_runtime::set_num_threads(threads);
+    let start = Instant::now();
+    let grid = irf_pg::grid_from_spice_path(path).expect("streaming ingest");
+    let ingest_seconds = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let system = irf_pg::PgSystem::try_build(&grid).expect("assembly");
+    let assemble_seconds = start.elapsed().as_secs_f64();
+    drop(grid);
+
+    let start = Instant::now();
+    let setup = Solver::new(SolverKind::AmgPcg).prepare(&system.matrix);
+    let amg_setup_seconds = start.elapsed().as_secs_f64();
+
+    // Rough solve: the fusion pipeline's "early truncation" regime.
+    let report = setup
+        .with_stopping(1e-3, 24)
+        .solve(&system.matrix, &system.rhs);
+    let peak = irf_bench::peak_rss_bytes().unwrap_or(0);
+    LargeRun {
+        threads,
+        ingest_seconds,
+        assemble_seconds,
+        amg_setup_seconds,
+        solve_seconds: report.solve_seconds,
+        iterations: report.iterations,
+        matrix_checksum: matrix_checksum(&system.matrix),
+        solution_checksum: bits_checksum(report.x.iter()),
+        peak_rss_mb: peak as f64 / (1024.0 * 1024.0),
+    }
+}
+
+fn run_large(target_nodes: usize, json_path: Option<String>) {
+    let spec = irf_data::SynthSpec::scaled_to_nodes(target_nodes, 42);
+    let approx = irf_data::approx_node_count(&spec);
+    let path = irf_bench::bench_out("large_grid.sp");
+    println!("large-grid: target {target_nodes} nodes (approx {approx}), streaming to {path:?}");
+
+    let start = Instant::now();
+    irf_data::synthesize_to_path(&spec, &path).expect("synthesize to file");
+    let synth_seconds = start.elapsed().as_secs_f64();
+    let netlist_bytes = std::fs::metadata(&path).map_or(0, |m| m.len());
+    println!(
+        "synthesized {:.1} MiB in {synth_seconds:.2}s",
+        netlist_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    println!(
+        "{:>7} | {:>8} | {:>8} | {:>8} | {:>8} | {:>4} | {:>16} | {:>9}",
+        "threads", "ingest_s", "asm_s", "amg_s", "solve_s", "it", "solution", "peakRSS"
+    );
+    println!("{}", "-".repeat(88));
+    // Streaming passes first: VmHWM is monotone, so their peak must be
+    // captured before the materialize-everything baseline inflates it.
+    let mut runs = Vec::new();
+    for &threads in &[1usize, 2, 4, 8] {
+        let run = large_pass(&path, threads);
+        println!(
+            "{:>7} | {:>8.2} | {:>8.2} | {:>8.2} | {:>8.2} | {:>4} | {:016x} | {:>7.1}MB",
+            run.threads,
+            run.ingest_seconds,
+            run.assemble_seconds,
+            run.amg_setup_seconds,
+            run.solve_seconds,
+            run.iterations,
+            run.solution_checksum,
+            run.peak_rss_mb
+        );
+        runs.push(run);
+    }
+    assert!(
+        runs.windows(2)
+            .all(|w| w[0].matrix_checksum == w[1].matrix_checksum
+                && w[0].solution_checksum == w[1].solution_checksum),
+        "large-grid results are not deterministic across thread counts"
+    );
+    let streaming_peak_mb = runs.last().map_or(0.0, |r| r.peak_rss_mb);
+
+    // Materialize-everything baseline at 1 thread: whole file in a
+    // String, full Netlist, full PowerGrid — the pre-streaming shape
+    // of the prepare path.
+    irf_runtime::set_num_threads(1);
+    let start = Instant::now();
+    let src = std::fs::read_to_string(&path).expect("read netlist");
+    let netlist = irf_spice::parse(&src).expect("parse netlist");
+    drop(src);
+    let parse_seconds = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let grid = irf_pg::PowerGrid::from_netlist(&netlist).expect("model grid");
+    drop(netlist);
+    let system = irf_pg::PgSystem::try_build(&grid).expect("assembly");
+    let assemble_seconds = start.elapsed().as_secs_f64();
+    let baseline_checksum = matrix_checksum(&system.matrix);
+    let baseline_peak_mb = irf_bench::peak_rss_bytes().unwrap_or(0) as f64 / (1024.0 * 1024.0);
+    assert_eq!(
+        baseline_checksum, runs[0].matrix_checksum,
+        "streaming and materialized assembly disagree"
+    );
+    println!(
+        "baseline (materialized, 1 thread): parse {parse_seconds:.2}s + assemble \
+         {assemble_seconds:.2}s, peak RSS {baseline_peak_mb:.1}MB (streaming sweep peaked \
+         at {streaming_peak_mb:.1}MB)"
+    );
+
+    irf_runtime::set_num_threads(0);
+    let mut out = String::from("{\n  \"benchmark\": \"large-grid-scaling\",\n");
+    out.push_str(&format!(
+        "  \"target_nodes\": {target_nodes},\n  \"grid_nodes\": {},\n  \"unknowns\": {},\n  \
+         \"nnz\": {},\n  \"netlist_bytes\": {netlist_bytes},\n  \
+         \"synth_seconds\": {synth_seconds:.3},\n  \"results\": [\n",
+        grid.nodes.len(),
+        system.matrix.rows(),
+        system.matrix.nnz(),
+    ));
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"ingest_seconds\": {:.3}, \"assemble_seconds\": {:.3}, \
+             \"amg_setup_seconds\": {:.3}, \"solve_seconds\": {:.3}, \"iterations\": {}, \
+             \"matrix_checksum\": \"{:016x}\", \"solution_checksum\": \"{:016x}\", \
+             \"peak_rss_mb\": {:.1}}}{}\n",
+            r.threads,
+            r.ingest_seconds,
+            r.assemble_seconds,
+            r.amg_setup_seconds,
+            r.solve_seconds,
+            r.iterations,
+            r.matrix_checksum,
+            r.solution_checksum,
+            r.peak_rss_mb,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"baseline\": {{\"parse_seconds\": {parse_seconds:.3}, \
+         \"assemble_seconds\": {assemble_seconds:.3}, \"peak_rss_mb\": {baseline_peak_mb:.1}, \
+         \"matrix_checksum\": \"{baseline_checksum:016x}\"}},\n  \
+         \"streaming_peak_rss_mb\": {streaming_peak_mb:.1}\n}}\n"
+    ));
+    if let Some(path) = json_path {
+        std::fs::write(&path, &out).expect("write JSON report");
+        println!("\nwrote {path}");
+    } else {
+        println!("\n{out}");
+    }
+}
+
 fn main() {
-    let tiny = std::env::args().any(|a| a == "--tiny");
-    let json_path = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--json")
-            .and_then(|i| args.get(i + 1).cloned())
-    };
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned());
+    if let Some(i) = args.iter().position(|a| a == "--large") {
+        let target: usize = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1_000_000);
+        run_large(target, json_path);
+        return;
+    }
 
     // >= 100k nodes at full scale so every kernel spans many chunks.
     let side = if tiny { 64 } else { 320 };

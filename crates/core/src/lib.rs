@@ -48,7 +48,7 @@ pub use irf_features::FeatureError;
 pub use irf_nn::PrecisionMode;
 pub use pipeline::{
     Analysis, AnalysisSession, CachePolicy, EditPlan, FeatureStackBuilder, IrFusionPipeline,
-    PreparedSample, PreparedStack,
+    PreparedSample, PreparedStack, StreamPrepareError,
 };
 pub use report::SignoffReport;
 pub use stages::{

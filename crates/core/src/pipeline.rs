@@ -137,6 +137,48 @@ pub enum CachePolicy {
     Bypass,
 }
 
+/// Errors from the streaming preparation front door
+/// ([`FeatureStackBuilder::prepare_spice_path`]): everything the
+/// ingest half can raise (I/O, parse, grid modeling) plus the
+/// downstream feature errors of the shared prepare path.
+#[derive(Debug)]
+pub enum StreamPrepareError {
+    /// Reading, parsing, or modeling the SPICE file failed.
+    Ingest(irf_pg::IngestError),
+    /// The ingested grid was rejected by feature extraction.
+    Feature(FeatureError),
+}
+
+impl std::fmt::Display for StreamPrepareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamPrepareError::Ingest(e) => write!(f, "streaming ingest failed: {e}"),
+            StreamPrepareError::Feature(e) => write!(f, "feature extraction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamPrepareError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamPrepareError::Ingest(e) => Some(e),
+            StreamPrepareError::Feature(e) => Some(e),
+        }
+    }
+}
+
+impl From<irf_pg::IngestError> for StreamPrepareError {
+    fn from(e: irf_pg::IngestError) -> Self {
+        StreamPrepareError::Ingest(e)
+    }
+}
+
+impl From<FeatureError> for StreamPrepareError {
+    fn from(e: FeatureError) -> Self {
+        StreamPrepareError::Feature(e)
+    }
+}
+
 /// The accumulated edits of an [`AnalysisSession`] relative to its
 /// base design, plus the stage keys of the base artifacts a
 /// topology-delta walk can rebuild from.
@@ -340,6 +382,28 @@ impl<'p> FeatureStackBuilder<'p> {
             CachePolicy::Bypass => None,
         };
         self.with_threads(|| self.pipeline.staged_prepare(&config, grid, store, None))
+    }
+
+    /// Prepares the label-free stack straight from a SPICE file on
+    /// disk, streaming cards into the grid model without ever holding
+    /// the netlist text (or an [`irf_spice::Netlist`]) in memory —
+    /// the front door for paper-size designs whose source files dwarf
+    /// the working set of the solve itself. Downstream of ingest this
+    /// is exactly [`FeatureStackBuilder::prepare`]: same stage graph,
+    /// same cache keys, bitwise-identical stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamPrepareError::Ingest`] when the file cannot be
+    /// read, parsed, or modeled as a grid, and
+    /// [`StreamPrepareError::Feature`] for downstream feature errors
+    /// (today only [`FeatureError::NoPads`]).
+    pub fn prepare_spice_path(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Arc<PreparedStack>, StreamPrepareError> {
+        let grid = irf_pg::grid_from_spice_path(path)?;
+        Ok(self.prepare(&grid)?)
     }
 
     /// Prepares a labelled sample (training path): the cached stack

@@ -35,4 +35,7 @@ pub mod real_like;
 pub mod synth;
 
 pub use dataset::{Dataset, Design, DesignClass};
-pub use synth::{synthesize, SynthSpec};
+pub use synth::{
+    approx_node_count, synthesize, synthesize_to_path, synthesize_to_string, synthesize_to_writer,
+    SynthSpec,
+};

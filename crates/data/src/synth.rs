@@ -9,7 +9,8 @@
 
 use irf_runtime::Xoshiro256pp;
 use irf_spice::Netlist;
-use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
 
 /// Specification of one synthetic design.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,14 +86,134 @@ impl Default for SynthSpec {
 /// layer, or zero pads).
 #[must_use]
 pub fn synthesize(spec: &SynthSpec) -> Netlist {
+    let src = synthesize_to_string(spec);
+    irf_spice::parse(&src).expect("synthesized netlist always parses")
+}
+
+/// Synthesizes the SPICE text for the spec without parsing it — the
+/// same bytes [`synthesize`] parses.
+///
+/// # Panics
+///
+/// See [`synthesize`].
+#[must_use]
+pub fn synthesize_to_string(spec: &SynthSpec) -> String {
+    let mut src = String::new();
+    emit_netlist(spec, &mut src).expect("writing to a String cannot fail");
+    src
+}
+
+/// Streams the spec's SPICE text into an [`io::Write`] sink —
+/// writer-side generation with no in-memory netlist or source string,
+/// the million-node front half of the bounded-memory pipeline. The
+/// bytes are identical to [`synthesize_to_string`] for the same spec.
+///
+/// # Errors
+///
+/// Propagates the sink's I/O errors.
+///
+/// # Panics
+///
+/// See [`synthesize`].
+pub fn synthesize_to_writer<W: io::Write>(spec: &SynthSpec, out: W) -> io::Result<()> {
+    struct IoFmt<W: io::Write> {
+        out: W,
+        err: Option<io::Error>,
+    }
+    impl<W: io::Write> std::fmt::Write for IoFmt<W> {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            self.out.write_all(s.as_bytes()).map_err(|e| {
+                self.err = Some(e);
+                std::fmt::Error
+            })
+        }
+    }
+    let mut sink = IoFmt { out, err: None };
+    match emit_netlist(spec, &mut sink) {
+        Ok(()) => Ok(()),
+        Err(_) => Err(sink
+            .err
+            .unwrap_or_else(|| io::Error::other("formatting failed"))),
+    }
+}
+
+/// Streams the spec's SPICE text into a freshly created file at
+/// `path` behind a large write buffer.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+///
+/// # Panics
+///
+/// See [`synthesize`].
+pub fn synthesize_to_path(spec: &SynthSpec, path: impl AsRef<Path>) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut writer = io::BufWriter::with_capacity(1 << 20, file);
+    synthesize_to_writer(spec, &mut writer)?;
+    io::Write::flush(&mut writer)
+}
+
+/// Rough node count the spec will synthesize: crossings on m1, m2 and
+/// m4 (each m1×m2 crossing exists on both layers, plus the coarse m4
+/// grid). Blockages reduce the real count; use this to size specs,
+/// not to allocate exactly.
+#[must_use]
+pub fn approx_node_count(spec: &SynthSpec) -> usize {
+    let m1 = spec.m1_stripes;
+    let m2 = spec.m2_stripes;
+    let m4 = spec.m4_stripes;
+    m1 * m2 + m2 * (m1 + m4) + m2 * m4
+}
+
+impl SynthSpec {
+    /// A spec sized so [`approx_node_count`] lands near
+    /// `target_nodes`: square m1/m2 stripe counts, a proportionally
+    /// coarse m4 grid, pads scaled with the perimeter, and mild
+    /// irregularity (jitter + hotspots) so the grid is "real-like"
+    /// rather than perfectly regular. The die grows with the stripe
+    /// count so segment resistances stay in a realistic range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_nodes < 8`.
+    #[must_use]
+    pub fn scaled_to_nodes(target_nodes: usize, seed: u64) -> SynthSpec {
+        assert!(target_nodes >= 8, "target too small to form a grid");
+        // approx_node_count ≈ 2·s² for s = m1 = m2 (m4 term is minor).
+        let s = (((target_nodes as f64) / 2.0).sqrt().round() as usize).max(2);
+        let m4 = (s / 64).clamp(2, 64);
+        let pads = (s / 16).clamp(4, 256);
+        SynthSpec {
+            die_w: 400 * s as i64,
+            die_h: 400 * s as i64,
+            m1_stripes: s,
+            m2_stripes: s,
+            m4_stripes: m4,
+            pads,
+            total_current: 0.08 * (s as f64 / 32.0),
+            stripe_jitter: 0.05,
+            hotspot_clusters: 4,
+            hotspot_fraction: 0.3,
+            seed,
+            ..SynthSpec::default()
+        }
+    }
+}
+
+/// The single generator behind every `synthesize*` front door: emits
+/// the spec's SPICE text card by card into `out`. All randomness
+/// flows through one seeded RNG in a fixed consumption order, so the
+/// emitted bytes depend only on the spec — never on the sink type.
+fn emit_netlist<W: std::fmt::Write>(spec: &SynthSpec, out: &mut W) -> std::fmt::Result {
     assert!(
         spec.m1_stripes >= 2 && spec.m2_stripes >= 2 && spec.m4_stripes >= 1,
         "spec needs at least 2x2 stripes and one m4 stripe"
     );
     assert!(spec.pads >= 1, "spec needs at least one pad");
     let mut rng = Xoshiro256pp::seed_from_u64(spec.seed);
-    let mut src = String::new();
-    let _ = writeln!(src, "* synthetic PG design (seed {})", spec.seed);
+    let src = out;
+    writeln!(src, "* synthetic PG design (seed {})", spec.seed)?;
 
     // Stripe coordinates with optional jitter.
     let m1_ys = stripe_positions(spec.die_h, spec.m1_stripes, spec.stripe_jitter, &mut rng);
@@ -117,9 +238,9 @@ pub fn synthesize(spec: &SynthSpec) -> Netlist {
 
     let name = |layer: u32, x: i64, y: i64| format!("n1_m{layer}_{x}_{y}");
     let mut r_id = 0usize;
-    let mut emit_r = |src: &mut String, a: &str, b: &str, ohms: f64| {
+    let mut emit_r = |src: &mut W, a: &str, b: &str, ohms: f64| -> std::fmt::Result {
         r_id += 1;
-        let _ = writeln!(src, "R{r_id} {a} {b} {ohms:.6e}");
+        writeln!(src, "R{r_id} {a} {b} {ohms:.6e}")
     };
 
     // m1 horizontal stripes: nodes at crossings with m2, broken by blockages.
@@ -132,7 +253,7 @@ pub fn synthesize(spec: &SynthSpec) -> Netlist {
             }
             if let Some(px) = prev {
                 let ohms = (x - px) as f64 * spec.r_per_dbu.0;
-                emit_r(&mut src, &name(1, px, y), &name(1, x, y), ohms.max(1e-6));
+                emit_r(&mut *src, &name(1, px, y), &name(1, x, y), ohms.max(1e-6))?;
             }
             prev = Some(x);
         }
@@ -147,18 +268,18 @@ pub fn synthesize(spec: &SynthSpec) -> Netlist {
         for &(y, _) in &ys {
             if let Some(py) = prev {
                 let ohms = (y - py) as f64 * spec.r_per_dbu.1;
-                emit_r(&mut src, &name(2, x, py), &name(2, x, y), ohms.max(1e-6));
+                emit_r(&mut *src, &name(2, x, py), &name(2, x, y), ohms.max(1e-6))?;
             }
             prev = Some(y);
         }
         // Vias m1-m2 at m1 crossings (skip blocked), m2-m4 at m4 crossings.
         for &y in &m1_ys {
             if !blocked(x, y) {
-                emit_r(&mut src, &name(1, x, y), &name(2, x, y), spec.via_r.0);
+                emit_r(&mut *src, &name(1, x, y), &name(2, x, y), spec.via_r.0)?;
             }
         }
         for &y in &m4_ys {
-            emit_r(&mut src, &name(2, x, y), &name(4, x, y), spec.via_r.1);
+            emit_r(&mut *src, &name(2, x, y), &name(4, x, y), spec.via_r.1)?;
         }
     }
     // m4 horizontal coarse stripes.
@@ -166,11 +287,11 @@ pub fn synthesize(spec: &SynthSpec) -> Netlist {
         for pair in m2_xs.windows(2) {
             let ohms = (pair[1] - pair[0]) as f64 * spec.r_per_dbu.2;
             emit_r(
-                &mut src,
+                &mut *src,
                 &name(4, pair[0], y),
                 &name(4, pair[1], y),
                 ohms.max(1e-6),
-            );
+            )?;
         }
     }
 
@@ -186,7 +307,7 @@ pub fn synthesize(spec: &SynthSpec) -> Netlist {
     for (i, &(x, y)) in pad_sites.iter().enumerate() {
         if i % step == 0 && pad_count < spec.pads {
             pad_count += 1;
-            let _ = writeln!(src, "V{pad_count} {} 0 {}", name(4, x, y), spec.vdd);
+            writeln!(src, "V{pad_count} {} 0 {}", name(4, x, y), spec.vdd)?;
         }
     }
 
@@ -241,11 +362,10 @@ pub fn synthesize(spec: &SynthSpec) -> Netlist {
     }
     for (i, (&(x, y), w)) in sites.iter().zip(&weights).enumerate() {
         if *w > 0.0 {
-            let _ = writeln!(src, "I{} {} 0 {:.6e}", i + 1, name(1, x, y), w);
+            writeln!(src, "I{} {} 0 {:.6e}", i + 1, name(1, x, y), w)?;
         }
     }
-    let _ = writeln!(src, ".end");
-    irf_spice::parse(&src).expect("synthesized netlist always parses")
+    writeln!(src, ".end")
 }
 
 /// Evenly spaced stripe coordinates with optional relative jitter,
@@ -369,5 +489,54 @@ mod tests {
         let again = irf_spice::parse(&text).expect("reparses");
         assert_eq!(n.resistors().len(), again.resistors().len());
         assert_eq!(n.current_sources().len(), again.current_sources().len());
+    }
+
+    #[test]
+    fn string_and_writer_sinks_emit_identical_bytes() {
+        let spec = SynthSpec {
+            blockages: 2,
+            stripe_jitter: 0.1,
+            seed: 17,
+            ..SynthSpec::default()
+        };
+        let text = synthesize_to_string(&spec);
+        let mut bytes: Vec<u8> = Vec::new();
+        synthesize_to_writer(&spec, &mut bytes).expect("vec sink");
+        assert_eq!(text.as_bytes(), &bytes[..]);
+        // And the parsed netlist matches the materialized front door.
+        let parsed = irf_spice::parse(&text).expect("parses");
+        assert_eq!(parsed, synthesize(&spec));
+        assert_eq!(parsed.content_hash(), synthesize(&spec).content_hash());
+    }
+
+    #[test]
+    fn path_sink_matches_string_sink() {
+        let spec = SynthSpec::default();
+        let dir = std::env::temp_dir().join("irf_synth_path_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("synth.sp");
+        synthesize_to_path(&spec, &path).expect("write file");
+        let from_file = std::fs::read_to_string(&path).expect("read back");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(from_file, synthesize_to_string(&spec));
+    }
+
+    #[test]
+    fn scaled_spec_lands_near_target() {
+        for &target in &[50_000usize, 250_000] {
+            let spec = SynthSpec::scaled_to_nodes(target, 3);
+            let approx = approx_node_count(&spec);
+            let ratio = approx as f64 / target as f64;
+            assert!(
+                (0.7..1.4).contains(&ratio),
+                "target {target}: approx {approx} off by {ratio:.2}x"
+            );
+        }
+        // Small scaled specs must still synthesize a valid grid.
+        let spec = SynthSpec::scaled_to_nodes(5_000, 9);
+        let g = PowerGrid::from_netlist(&synthesize(&spec)).expect("valid grid");
+        assert!(g.is_connected_to_pads());
+        let lo = approx_node_count(&spec) / 2;
+        assert!(g.nodes.len() > lo, "{} nodes vs approx {lo}", g.nodes.len());
     }
 }

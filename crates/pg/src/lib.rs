@@ -41,12 +41,14 @@ pub mod lef;
 pub mod raster;
 pub mod stamp;
 pub mod stats;
+pub mod streaming;
 pub mod transient;
 
 pub use error::ModelError;
 pub use grid::{Load, Pad, PgNode, PowerGrid, Segment};
 pub use raster::{GridMap, Rasterizer};
 pub use stamp::{PgStructure, PgSystem};
+pub use streaming::{grid_from_spice_path, grid_from_spice_reader, IngestError};
 
 /// The power-grid model error type. Alias for [`ModelError`]: malformed
 /// grids and bad simulation parameters surface as `Err(PgError)` rather

@@ -9,7 +9,7 @@
 
 use crate::error::ModelError;
 use crate::grid::{Load, PowerGrid};
-use irf_sparse::{CsrMatrix, TripletMatrix};
+use irf_sparse::{CsrAssembler, CsrMatrix, TripletMatrix};
 
 /// The topology half of the reduced system `G d = I`: the conductance
 /// matrix over non-pad nodes and the grid-node ↔ reduced-row maps.
@@ -72,17 +72,31 @@ impl PgStructure {
             }
         }
         let n = node_of.len();
-        let mut t = TripletMatrix::with_capacity(n, n, 4 * grid.segments.len());
+        // Two-pass, memory-lean assembly: a count pass sizes each row,
+        // then stamps land directly in their row buckets — no triplet
+        // buffer (24 B/entry) at million-node scale. The fill pass
+        // stamps in the exact order the old triplet path pushed, and
+        // both finish through the same sort+merge back half, so the
+        // matrix is bitwise identical to a triplet assembly (and to
+        // what [`PgStructure::restamped`] regenerates).
+        let mut asm = CsrAssembler::new(n, n);
         for s in &grid.segments {
-            let g = s.conductance();
             match (index_of[s.a], index_of[s.b]) {
-                (Some(a), Some(b)) => t.stamp_conductance(a, b, g),
-                (Some(a), None) => t.stamp_grounded_conductance(a, g),
-                (None, Some(b)) => t.stamp_grounded_conductance(b, g),
+                (Some(a), Some(b)) => asm.count_conductance(a, b),
+                (Some(a), None) | (None, Some(a)) => asm.count_grounded(a),
                 (None, None) => {} // pad-to-pad segment carries no unknown
             }
         }
-        let matrix = t.to_csr();
+        asm.begin_fill();
+        for s in &grid.segments {
+            let g = s.conductance();
+            match (index_of[s.a], index_of[s.b]) {
+                (Some(a), Some(b)) => asm.stamp_conductance(a, b, g),
+                (Some(a), None) | (None, Some(a)) => asm.stamp_grounded(a, g),
+                (None, None) => {}
+            }
+        }
+        let matrix = asm.finish();
         if span.is_recording() {
             span.attr("grid_nodes", n_nodes);
             span.attr("unknowns", n);

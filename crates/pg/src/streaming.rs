@@ -1,0 +1,391 @@
+//! Streaming grid ingest: SPICE bytes → [`PowerGrid`] with no
+//! [`Netlist`](irf_spice::Netlist) and no source text in memory.
+//!
+//! The materializing path (`read_to_string` → [`irf_spice::parse`] →
+//! [`PowerGrid::from_netlist`]) holds three full-size artifacts at
+//! once: the source text, the netlist (which stores an owned name
+//! `String` for *every element card*), and the grid. At million-node
+//! scale the first two exist only to be thrown away. This module
+//! subscribes to the card-visitor stream ([`irf_spice::visit_cards`])
+//! instead and builds the grid directly:
+//!
+//! * **R cards** are absorbed immediately: node names intern into the
+//!   grid's node table as they first appear, segments are pushed in
+//!   card order, and non-positive resistances error on the spot.
+//! * **I and V cards** are buffered compactly (a resolved node index
+//!   when the name is already interned, the bare name otherwise —
+//!   never the element name) and replayed after the stream ends.
+//!
+//! # Parity with the materializing path
+//!
+//! [`PowerGrid::from_netlist`] assigns grid node indices in
+//! *element-type-major* order: first appearance while walking all
+//! resistors, then all current sources, then all voltage sources.
+//! The accumulator reproduces that exactly — R cards intern during
+//! streaming (stream order = netlist resistor order), and the
+//! deferred I/V replay interns any still-unseen names in buffered
+//! card order, which is precisely when the type-major walk would have
+//! met them. Sign conventions, pad marking, `layer`/`x`/`y` defaults
+//! and error checks replicate `from_netlist` line for line, and a
+//! test asserts the two paths produce equal grids on the same bytes.
+//!
+//! Two documented differences on *invalid* input only:
+//!
+//! * duplicate element names are not detected (that check needs
+//!   whole-file state the visitor stream deliberately does not keep —
+//!   parse the netlist with [`irf_spice::parse_reader`] when it
+//!   matters);
+//! * errors surface in stream order, so a model error (say `R <= 0`
+//!   on line 3) can win over a parse error later in the file, where
+//!   the two-phase batch path would report the parse error first.
+//!   Valid designs are unaffected.
+
+use crate::error::ModelError;
+use crate::grid::{Load, Pad, PgNode, PowerGrid, Segment};
+use irf_spice::error::{ParseError, ParseErrorKind};
+use irf_spice::{NodeInfo, StreamError, StreamedCard, StreamedCardKind};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader};
+use std::path::Path;
+
+/// Read-buffer capacity for [`grid_from_spice_path`].
+const FILE_BUF_BYTES: usize = 1 << 20;
+
+/// Error from a streaming grid ingest: the reader failed, the SPICE
+/// text was malformed, or the design is electrically invalid.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The underlying reader failed (including non-UTF-8 bytes).
+    Io(io::Error),
+    /// The SPICE text failed to parse.
+    Parse(ParseError),
+    /// The parsed design violates a grid invariant (non-positive
+    /// resistance, ungrounded source, no pads).
+    Model(ModelError),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "i/o error while reading netlist: {e}"),
+            IngestError::Parse(e) => write!(f, "{e}"),
+            IngestError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Io(e) => Some(e),
+            IngestError::Parse(e) => Some(e),
+            IngestError::Model(e) => Some(e),
+        }
+    }
+}
+
+impl From<StreamError> for IngestError {
+    fn from(e: StreamError) -> Self {
+        match e {
+            StreamError::Io(e) => IngestError::Io(e),
+            StreamError::Parse(e) => IngestError::Parse(e),
+        }
+    }
+}
+
+impl From<ModelError> for IngestError {
+    fn from(e: ModelError) -> Self {
+        IngestError::Model(e)
+    }
+}
+
+/// A buffered reference to a grid node: resolved to its final index
+/// when the name was already interned at buffering time, otherwise
+/// the bare name, interned at replay. Indices never change once
+/// assigned, so early resolution is always safe.
+#[derive(Debug)]
+enum NodeRef {
+    Resolved(usize),
+    Named(String),
+}
+
+/// Streaming accumulator; see the [module docs](self) for the parity
+/// argument.
+#[derive(Debug, Default)]
+struct Accumulator {
+    grid: PowerGrid,
+    index: HashMap<String, usize>,
+    /// Buffered I cards: `(chosen node, signed amps)`.
+    loads: Vec<(NodeRef, f64)>,
+    /// Buffered V cards: `(element name, minus-is-ground, plus,
+    /// volts)`.
+    pads: Vec<(String, bool, NodeRef, f64)>,
+}
+
+impl Accumulator {
+    /// Interns `name` into the grid's node table (first-appearance
+    /// order), or returns `None` for ground.
+    fn node_index(&mut self, name: &str) -> Option<usize> {
+        if name == "0" {
+            return None;
+        }
+        if let Some(&idx) = self.index.get(name) {
+            return Some(idx);
+        }
+        let info = NodeInfo::from_name(name);
+        self.grid.nodes.push(PgNode {
+            name: info.name,
+            layer: info.layer.unwrap_or(1),
+            x: info.x.unwrap_or(0),
+            y: info.y.unwrap_or(0),
+            is_pad: false,
+        });
+        let idx = self.grid.nodes.len() - 1;
+        self.index.insert(name.to_string(), idx);
+        Some(idx)
+    }
+
+    /// A deferred reference: resolved now when possible, by name
+    /// otherwise.
+    fn node_ref(&self, name: &str) -> NodeRef {
+        match self.index.get(name) {
+            Some(&idx) => NodeRef::Resolved(idx),
+            None => NodeRef::Named(name.to_string()),
+        }
+    }
+
+    fn resolve(&mut self, r: NodeRef) -> Option<usize> {
+        match r {
+            NodeRef::Resolved(idx) => Some(idx),
+            NodeRef::Named(name) => self.node_index(&name),
+        }
+    }
+
+    fn absorb(&mut self, card: &StreamedCard<'_>) -> Result<(), ModelError> {
+        match card.kind {
+            StreamedCardKind::Resistor => {
+                if card.value <= 0.0 {
+                    return Err(ModelError::NonPositiveResistance {
+                        name: card.name.to_string(),
+                        ohms: card.value,
+                    });
+                }
+                let a = self.node_index(card.a);
+                let b = self.node_index(card.b);
+                if let (Some(a), Some(b)) = (a, b) {
+                    if a != b {
+                        self.grid.segments.push(Segment {
+                            a,
+                            b,
+                            ohms: card.value,
+                        });
+                    }
+                }
+            }
+            StreamedCardKind::CurrentSource => {
+                // Same orientation rule as `PowerGrid::from_netlist`:
+                // a load draws current from the grid node toward
+                // ground; the reversed orientation injects.
+                let (node, sign) = if card.b == "0" {
+                    (card.a, 1.0)
+                } else if card.a == "0" {
+                    (card.b, -1.0)
+                } else {
+                    (card.a, 1.0)
+                };
+                if node != "0" {
+                    let r = self.node_ref(node);
+                    self.loads.push((r, sign * card.value));
+                }
+            }
+            StreamedCardKind::VoltageSource => {
+                self.pads.push((
+                    card.name.to_string(),
+                    card.b == "0",
+                    self.node_ref(card.a),
+                    card.value,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<PowerGrid, ModelError> {
+        let loads = std::mem::take(&mut self.loads);
+        for (r, amps) in loads {
+            if let Some(node) = self.resolve(r) {
+                self.grid.loads.push(Load { node, amps });
+            }
+        }
+        let pads = std::mem::take(&mut self.pads);
+        for (name, minus_is_ground, plus, volts) in pads {
+            if !minus_is_ground {
+                return Err(ModelError::UngroundedSource { name });
+            }
+            if let Some(node) = self.resolve(plus) {
+                self.grid.nodes[node].is_pad = true;
+                self.grid.pads.push(Pad { node, volts });
+            }
+        }
+        if self.grid.pads.is_empty() {
+            return Err(ModelError::NoPads);
+        }
+        Ok(self.grid)
+    }
+}
+
+/// Streams SPICE text from `reader` directly into a [`PowerGrid`],
+/// never materializing the source or a netlist. Produces a grid
+/// **equal** to
+/// `PowerGrid::from_netlist(&irf_spice::parse(&text)?)` on the same
+/// bytes (asserted by tests); see the [module docs](self) for the two
+/// invalid-input caveats.
+///
+/// # Errors
+///
+/// [`IngestError::Io`] / [`IngestError::Parse`] from the stream,
+/// [`IngestError::Model`] for electrically invalid designs.
+pub fn grid_from_spice_reader<R: BufRead>(reader: R) -> Result<PowerGrid, IngestError> {
+    let mut span = irf_trace::span("grid_stream_ingest");
+    let mut acc = Accumulator::default();
+    let mut model_err: Option<ModelError> = None;
+    let result = irf_spice::visit_cards(reader, |card| match acc.absorb(card) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // The visitor contract only carries `ParseError`; park the
+            // model error and abort with a sentinel that is replaced
+            // below.
+            model_err = Some(e);
+            Err(ParseError {
+                line: card.line,
+                kind: ParseErrorKind::InvalidValue(String::new()),
+            })
+        }
+    });
+    if let Some(e) = model_err {
+        return Err(IngestError::Model(e));
+    }
+    result?;
+    let grid = acc.finish()?;
+    if span.is_recording() {
+        span.attr("nodes", grid.nodes.len());
+        span.attr("segments", grid.segments.len());
+        span.attr("loads", grid.loads.len());
+        span.attr("pads", grid.pads.len());
+    }
+    Ok(grid)
+}
+
+/// Opens `path` and streams it through [`grid_from_spice_reader`]
+/// behind a large file buffer — the bounded-memory front door for
+/// on-disk netlists.
+///
+/// # Errors
+///
+/// See [`grid_from_spice_reader`]; opening the file can also fail
+/// with [`IngestError::Io`].
+pub fn grid_from_spice_path(path: impl AsRef<Path>) -> Result<PowerGrid, IngestError> {
+    let file = File::open(path).map_err(IngestError::Io)?;
+    grid_from_spice_reader(BufReader::with_capacity(FILE_BUF_BYTES, file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irf_spice::parse;
+    use std::io::Cursor;
+
+    fn materialized(src: &str) -> Result<PowerGrid, ModelError> {
+        PowerGrid::from_netlist(&parse(src).expect("parses"))
+    }
+
+    fn streamed(src: &str) -> Result<PowerGrid, IngestError> {
+        grid_from_spice_reader(Cursor::new(src))
+    }
+
+    #[test]
+    fn matches_from_netlist_on_valid_designs() {
+        let cases = [
+            // Standard mix with coordinates, comments, continuations.
+            "* hdr\nR1 n1_m1_0_0 n1_m1_2000_0 0.5\nR2 n1_m4_0_0 n1_m1_0_0 0.1\n\
+             I1 n1_m1_2000_0 0 1m\nV1 n1_m4_0_0\n+ 0 1.1\n.end\n",
+            // Reversed + floating current sources, pad-to-pad segment.
+            "V1 p 0 1.0\nV2 q 0 1.0\nR1 p q 1.0\nR2 p a 1.0\nI1 0 a 2m\nI2 a b 1m\n",
+            // Load on a node no resistor touches; grounded resistor leg.
+            "V1 p 0 1.0\nR1 p a 1.0\nR2 a 0 5.0\nI1 zz 0 3m\n",
+            // Self-loop resistor dropped; parallel segments kept.
+            "V1 p 0 1.0\nR1 p a 2.0\nR2 p a 2.0\nR3 a a 9.0\nI1 a 0 1m\n",
+            // Current source where both terminals are grid nodes: only
+            // `from` carries the load.
+            "V1 p 0 1.0\nR1 p a 1.0\nR2 p b 1.0\nI1 a b 4m\n",
+        ];
+        for src in cases {
+            let want = materialized(src).expect("valid");
+            let got = streamed(src).expect("valid");
+            assert_eq!(want, got, "src={src:?}");
+        }
+    }
+
+    #[test]
+    fn node_interning_is_type_major_like_from_netlist() {
+        // V1 names `late` before any resistor does, but from_netlist
+        // interns resistors first — the streaming path must too.
+        let src = "V1 late 0 1.0\nI1 early2 0 1m\nR1 late early 1.0\nR2 early early2 2.0\n";
+        let want = materialized(src).expect("valid");
+        let got = streamed(src).expect("valid");
+        assert_eq!(want, got);
+        let names: Vec<&str> = got.nodes.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["late", "early", "early2"]);
+    }
+
+    #[test]
+    fn model_errors_match() {
+        let cases = [
+            "R1 a b 0\nV1 a 0 1.0\n",   // non-positive resistance
+            "R1 a b -2\nV1 a 0 1.0\n",  // negative resistance
+            "R1 a b 1.0\nV1 a b 1.0\n", // ungrounded source
+            "R1 a b 1.0\nI1 a 0 1m\n",  // no pads
+        ];
+        for src in cases {
+            let want = materialized(src).expect_err("invalid");
+            match streamed(src) {
+                Err(IngestError::Model(got)) => assert_eq!(want, got, "src={src:?}"),
+                other => panic!("expected model error for {src:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_surface_with_line_numbers() {
+        match streamed("V1 p 0 1.0\nR1 p a zz\n") {
+            Err(IngestError::Parse(e)) => assert_eq!(e.line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn path_ingest_roundtrips() {
+        let src = "V1 p 0 1.0\nR1 p a 1.0\nI1 a 0 1m\n";
+        let path = std::env::temp_dir().join("irf_pg_stream_test.sp");
+        std::fs::write(&path, src).expect("writes");
+        let got = grid_from_spice_path(&path).expect("valid");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(got, materialized(src).expect("valid"));
+    }
+
+    #[test]
+    fn streamed_grid_solves_like_materialized() {
+        let src = "\
+V1 n1_m4_0_0 0 1.0
+R1 n1_m4_0_0 n1_m1_0_0 0.2
+R2 n1_m1_0_0 n1_m1_1000_0 0.4
+R3 n1_m1_1000_0 n1_m1_2000_0 0.4
+I1 n1_m1_1000_0 0 2m
+I2 n1_m1_2000_0 0 1m
+";
+        let a = materialized(src).expect("valid").build_system();
+        let b = streamed(src).expect("valid").build_system();
+        assert_eq!(a, b);
+    }
+}

@@ -29,6 +29,7 @@
 
 pub mod pool;
 pub mod rng;
+pub mod sched;
 pub mod simd;
 
 pub use pool::{
@@ -36,6 +37,7 @@ pub use pool::{
     par_reduce, set_num_threads,
 };
 pub use rng::{SplitMix64, Xoshiro256pp};
+pub use sched::{autotuned_chunk_cost, cost_balanced_bounds};
 
 /// Resolves the default thread count: `IRF_THREADS` when set to a
 /// positive integer, otherwise the machine's available parallelism.

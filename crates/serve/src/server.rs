@@ -660,27 +660,56 @@ fn handle_models_list(state: &Arc<State>) -> (u16, String) {
     )
 }
 
+/// Largest on-disk netlist a `netlist_path` request may reference.
+/// Files up to this size stream through [`irf_pg::grid_from_spice_path`]
+/// in bounded memory; anything larger is refused up front with a
+/// structured `payload_too_large` envelope rather than silently
+/// tying a worker to a multi-minute ingest.
+const MAX_NETLIST_FILE_BYTES: u64 = 256 * 1024 * 1024;
+
 /// Resolves the request body into a power grid: an inline `netlist`
-/// (SPICE text), a `netlist_path` on the server's filesystem, or a
-/// synthetic `spec` (`{"class":"fake"|"real","seed":N}`).
-fn resolve_grid(body: &Json) -> Result<PowerGrid, String> {
+/// (SPICE text), a `netlist_path` on the server's filesystem
+/// (streamed — the file is never materialized as a `String` or
+/// `Netlist`), or a synthetic `spec`
+/// (`{"class":"fake"|"real","seed":N}`). Errors come back as a ready
+/// `(status, envelope-body)` response.
+fn resolve_grid(body: &Json) -> Result<PowerGrid, (u16, String)> {
+    let invalid = |message: String| (400, envelope("invalid_design", &message));
     let netlist = if let Some(text) = body.get("netlist").and_then(Json::as_str) {
-        irf_spice::parse(text).map_err(|e| format!("netlist parse error: {e}"))?
+        irf_spice::parse(text).map_err(|e| invalid(format!("netlist parse error: {e}")))?
     } else if let Some(path) = body.get("netlist_path").and_then(Json::as_str) {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        irf_spice::parse(&text).map_err(|e| format!("netlist parse error: {e}"))?
+        let size = std::fs::metadata(path)
+            .map_err(|e| invalid(format!("cannot read {path}: {e}")))?
+            .len();
+        if size > MAX_NETLIST_FILE_BYTES {
+            return Err((
+                413,
+                envelope_with(
+                    "payload_too_large",
+                    &format!("netlist file {path} exceeds the ingest limit"),
+                    vec![
+                        ("limit_bytes", Json::Num(MAX_NETLIST_FILE_BYTES as f64)),
+                        ("actual_bytes", Json::Num(size as f64)),
+                    ],
+                ),
+            ));
+        }
+        return irf_pg::grid_from_spice_path(path)
+            .map_err(|e| invalid(format!("cannot ingest {path}: {e}")));
     } else if let Some(spec) = body.get("spec") {
         let class = spec.get("class").and_then(Json::as_str).unwrap_or("fake");
         let seed = spec.get("seed").and_then(Json::as_u64).unwrap_or(0);
         match class {
             "fake" => irf_data::fake::generate(seed),
             "real" => irf_data::real_like::generate(seed),
-            other => return Err(format!("unknown design class {other:?}")),
+            other => return Err(invalid(format!("unknown design class {other:?}"))),
         }
     } else {
-        return Err("request needs one of: netlist, netlist_path, spec".to_string());
+        return Err(invalid(
+            "request needs one of: netlist, netlist_path, spec".to_string(),
+        ));
     };
-    PowerGrid::from_netlist(&netlist).map_err(|e| format!("invalid power grid: {e}"))
+    PowerGrid::from_netlist(&netlist).map_err(|e| invalid(format!("invalid power grid: {e}")))
 }
 
 /// Per-request accounting threaded through the handlers: the
@@ -927,10 +956,7 @@ type ResolvedModel = (Arc<ModelSlot>, String, PrecisionMode);
 /// against the registry: the slot to run on plus the resolved
 /// (model name, precision) for the response, or a rendered envelope.
 /// `Ok(None)` means no model is loaded and the rough map applies.
-fn resolve_model(
-    body: &Json,
-    state: &Arc<State>,
-) -> Result<Option<ResolvedModel>, (u16, String)> {
+fn resolve_model(body: &Json, state: &Arc<State>) -> Result<Option<ResolvedModel>, (u16, String)> {
     let name = match body.get("model") {
         None => "default",
         Some(value) => match value.as_str() {
@@ -1032,7 +1058,7 @@ fn handle_predict(request: &Request, state: &Arc<State>, ctx: &RequestCtx) -> (u
     };
     let (grid, parse_seconds) = match Timer::time(|| resolve_grid(&body)) {
         (Ok(grid), seconds) => (grid, seconds),
-        (Err(message), _) => return (400, envelope("invalid_design", &message)),
+        (Err((status, response)), _) => return (status, response),
     };
     state.metrics.observe_stage("parse", parse_seconds);
     let grid = Arc::new(grid);

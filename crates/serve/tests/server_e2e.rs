@@ -216,6 +216,67 @@ fn server_answers_predicts_and_reuses_the_cache() {
         other => panic!("expected a trace-event array, got {other:?}"),
     }
 
+    // netlist_path streams the file into the same grid the spec
+    // produced: identical design fingerprint, warm cache hit.
+    let dir = std::env::temp_dir().join("irf_serve_e2e");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let netlist_path = dir.join("design.sp");
+    std::fs::write(
+        &netlist_path,
+        irf_spice::write(&irf_data::fake::generate(11)),
+    )
+    .expect("write netlist file");
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/predict",
+        &format!(r#"{{"netlist_path":"{}"}}"#, netlist_path.display()),
+    );
+    assert_eq!(status, 200, "netlist_path predict failed: {body}");
+    let json = parse(&body).expect("valid json");
+    let by_path = json
+        .get("design")
+        .and_then(Json::as_str)
+        .map(str::to_string);
+    let (_, body) = request(addr, "POST", "/predict", predict_body);
+    let json = parse(&body).expect("valid json");
+    assert_eq!(
+        by_path,
+        json.get("design")
+            .and_then(Json::as_str)
+            .map(str::to_string),
+        "streamed file and inline spec must resolve to the same design"
+    );
+
+    // An oversized netlist file is refused up front with the
+    // structured payload_too_large envelope (sparse file: no disk).
+    let big_path = dir.join("huge.sp");
+    let big = std::fs::File::create(&big_path).expect("create sparse file");
+    big.set_len(257 * 1024 * 1024).expect("set sparse length");
+    drop(big);
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/predict",
+        &format!(r#"{{"netlist_path":"{}"}}"#, big_path.display()),
+    );
+    assert_eq!(status, 413, "oversized file must be refused: {body}");
+    let json = parse(&body).expect("valid json");
+    let error = json.get("error").expect("error envelope");
+    assert_eq!(
+        error.get("code").and_then(Json::as_str),
+        Some("payload_too_large")
+    );
+    assert_eq!(
+        error
+            .get("details")
+            .and_then(|d| d.get("actual_bytes"))
+            .and_then(Json::as_u64),
+        Some(257 * 1024 * 1024)
+    );
+    let _ = std::fs::remove_file(&big_path);
+    let _ = std::fs::remove_file(&netlist_path);
+
     // One keep-alive connection serves several requests.
     let stream = TcpStream::connect(addr).expect("connect");
     stream

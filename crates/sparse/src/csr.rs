@@ -4,27 +4,31 @@ use std::sync::{Arc, OnceLock};
 
 use crate::sell::SellPlan;
 
-/// Target cost (non-zeros, plus one per row for the row visit itself)
-/// per parallel work unit in `spmv_into`/`residual_into`. Chunk
-/// boundaries are derived from the matrix structure alone — never the
-/// thread count — so partitioning cannot affect results; matrices
-/// below one chunk stay on the serial path.
-const SPMV_CHUNK_COST: usize = 8192;
-
 /// Cuts `0..rows` into nnz-balanced chunks: each chunk accumulates at
-/// least [`SPMV_CHUNK_COST`] units of cost (one per stored non-zero
-/// plus one per row) before the next boundary. Returned in `row_ptr`
-/// style (`[0, ..., rows]`), ready for
+/// least an autotuned cost budget (one unit per stored non-zero plus
+/// one per row) before the next boundary. Returned in `row_ptr` style
+/// (`[0, ..., rows]`), ready for
 /// [`irf_runtime::par_ragged_chunks_mut`]. Skewed rows (a few dense
 /// pad rows among thousands of sparse ones) therefore no longer
 /// straggle one worker the way fixed row-count chunks did.
+///
+/// The per-chunk budget comes from
+/// [`irf_runtime::autotuned_chunk_cost`], replacing the old fixed
+/// 8192-unit threshold: million-node grids no longer shatter into
+/// hundreds of thousands of dispatch-bound micro-chunks, and coarse
+/// AMG levels no longer collapse to a single serial chunk. The budget
+/// is a pure function of the matrix structure (total cost), never the
+/// thread count, so chunk boundaries — and with them SELL group
+/// layout and reduction order — stay bitwise stable.
 fn nnz_balanced_chunks(rows: usize, row_ptr: &[usize]) -> Vec<usize> {
-    let mut bounds = Vec::with_capacity(rows / 64 + 2);
+    let total = row_ptr[rows] + rows;
+    let budget = irf_runtime::autotuned_chunk_cost(total);
+    let mut bounds = Vec::with_capacity(total / budget.max(1) + 2);
     bounds.push(0);
     let mut cost = 0usize;
     for r in 0..rows {
         cost += row_ptr[r + 1] - row_ptr[r] + 1;
-        if cost >= SPMV_CHUNK_COST {
+        if cost >= budget {
             bounds.push(r + 1);
             cost = 0;
         }
@@ -107,24 +111,44 @@ impl CsrMatrix {
             entries[cursor[r]] = (c, v);
             cursor[r] += 1;
         }
-        // Sort each row by column in parallel — one ragged piece per
-        // row, each sorted by the same serial routine, so the result is
-        // identical at any thread count. This is the dominant cost of
-        // assembly (and of the AMG Galerkin triple product, which
-        // funnels through here). The sort must be *stable*: duplicate
-        // (row, col) contributions then merge in triplet insertion
-        // order, which is exactly the order
-        // [`CsrMatrix::from_triplets_with_pattern`] scatter-adds them —
-        // the bitwise-identity contract of incremental re-assembly.
-        irf_runtime::par_ragged_chunks_mut(&mut entries, &counts, |_r, row| {
+        Self::from_bucketed(rows, cols, &counts, entries)
+    }
+
+    /// Finishes assembly from already row-bucketed `(col, value)`
+    /// entries: `offsets` is a `rows + 1` prefix array delimiting each
+    /// row's slice of `entries`, with entries in per-row insertion
+    /// order. This is the shared back half of
+    /// [`CsrMatrix::from_triplets`] and the two-pass
+    /// [`crate::CsrAssembler`], so both produce bitwise-identical
+    /// matrices from the same per-row entry sequences.
+    ///
+    /// Each row is sorted by column in parallel — one ragged piece per
+    /// row, each sorted by the same serial routine, so the result is
+    /// identical at any thread count. This is the dominant cost of
+    /// assembly (and of the AMG Galerkin triple product, which funnels
+    /// through here). The sort must be *stable*: duplicate (row, col)
+    /// contributions then merge in insertion order, which is exactly
+    /// the order [`CsrMatrix::from_triplets_with_pattern`]
+    /// scatter-adds them — the bitwise-identity contract of
+    /// incremental re-assembly. Duplicates are summed and exact-zero
+    /// sums dropped.
+    pub(crate) fn from_bucketed(
+        rows: usize,
+        cols: usize,
+        offsets: &[usize],
+        mut entries: Vec<(usize, f64)>,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), rows + 1);
+        debug_assert_eq!(*offsets.last().unwrap_or(&0), entries.len());
+        irf_runtime::par_ragged_chunks_mut(&mut entries, offsets, |_r, row| {
             row.sort_by_key(|&(c, _)| c);
         });
         // Merge duplicates row by row (cheap linear scan).
         let mut row_ptr = vec![0usize; rows + 1];
-        let mut out_c: Vec<usize> = Vec::with_capacity(triplets.len());
-        let mut out_v: Vec<f64> = Vec::with_capacity(triplets.len());
+        let mut out_c: Vec<usize> = Vec::with_capacity(entries.len());
+        let mut out_v: Vec<f64> = Vec::with_capacity(entries.len());
         for r in 0..rows {
-            let row = &entries[counts[r]..counts[r + 1]];
+            let row = &entries[offsets[r]..offsets[r + 1]];
             let mut i = 0;
             while i < row.len() {
                 let c = row[i].0;
@@ -140,6 +164,7 @@ impl CsrMatrix {
             }
             row_ptr[r + 1] = out_c.len();
         }
+        drop(entries);
         let row_chunks = nnz_balanced_chunks(rows, &row_ptr);
         CsrMatrix {
             rows,
@@ -185,15 +210,27 @@ impl CsrMatrix {
             let k = pattern.col_idx[s..e].binary_search(&c).ok()?;
             values[s + k] += v;
         }
-        // `from_triplets` drops exact-zero sums; a zero here means the
-        // true pattern differs from the reused one (including slots no
-        // triplet touched), so the fast path must decline.
+        Self::with_pattern_values(pattern, values)
+    }
+
+    /// Wraps a fully accumulated `values` array (parallel to
+    /// `pattern`'s stored entries) in the pattern's structure. Shared
+    /// tail of every pattern-reuse assembly path
+    /// ([`CsrMatrix::from_triplets_with_pattern`], the AMG
+    /// pattern-reusing Galerkin product).
+    ///
+    /// Returns `None` when any accumulated value is exactly `0.0`: a
+    /// full assembly would have dropped that entry, so the true
+    /// pattern differs (including slots nothing touched) and the fast
+    /// path must decline.
+    pub(crate) fn with_pattern_values(pattern: &CsrMatrix, values: Vec<f64>) -> Option<Self> {
+        debug_assert_eq!(values.len(), pattern.nnz());
         if values.contains(&0.0) {
             return None;
         }
         Some(CsrMatrix {
-            rows,
-            cols,
+            rows: pattern.rows,
+            cols: pattern.cols,
             row_ptr: pattern.row_ptr.clone(),
             col_idx: pattern.col_idx.clone(),
             values,

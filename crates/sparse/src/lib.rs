@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod amg;
+pub mod builder;
 pub mod cg;
 pub mod cholesky;
 pub mod csr;
@@ -60,6 +61,7 @@ pub mod solver;
 pub mod triplet;
 pub mod vector;
 
+pub use builder::CsrAssembler;
 pub use csr::CsrMatrix;
 pub use error::SolveError;
 pub use ic0::Ic0Preconditioner;

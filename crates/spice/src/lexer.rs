@@ -45,7 +45,9 @@ pub struct SourceChunk<'a> {
 
 /// `true` when a raw physical line *starts* a card: non-empty after
 /// comment stripping, not a `*` comment, and not a `+` continuation.
-fn is_card_start(raw: &str) -> bool {
+/// Shared with the streaming chunker in [`crate::stream`], which must
+/// cut chunks at exactly the same boundaries as [`chunk_source`].
+pub(crate) fn is_card_start(raw: &str) -> bool {
     let body = raw.split(['$', ';']).next().unwrap_or("").trim();
     !body.is_empty() && !body.starts_with('*') && !body.starts_with('+')
 }

@@ -39,6 +39,7 @@ pub mod hash;
 pub mod lexer;
 pub mod netlist;
 pub mod parser;
+pub mod stream;
 pub mod value;
 pub mod writer;
 
@@ -46,4 +47,8 @@ pub use error::ParseError;
 pub use hash::{source_hash, Fnv1a};
 pub use netlist::{CurrentSource, Netlist, NodeId, NodeInfo, Resistor, VoltageSource};
 pub use parser::{parse, parse_chunked};
+pub use stream::{
+    parse_path, parse_reader, parse_reader_chunked, visit_cards, ChunkReader, StreamError,
+    StreamedCard, StreamedCardKind,
+};
 pub use writer::write;

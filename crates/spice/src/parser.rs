@@ -19,11 +19,11 @@ use std::collections::HashSet;
 /// Cards per parallel parse chunk. Large enough that chunk overhead
 /// is negligible, small enough that contest-scale netlists (millions
 /// of cards) spread across every worker.
-const CARDS_PER_CHUNK: usize = 1024;
+pub(crate) const CARDS_PER_CHUNK: usize = 1024;
 
 /// What a raw card will become once merged.
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum CardKind {
+pub(crate) enum CardKind {
     Resistor,
     Current,
     Voltage,
@@ -33,26 +33,26 @@ enum CardKind {
 /// value is pre-parsed in the parallel phase; `None` marks a bad
 /// number, surfaced from the merge pass so a duplicate-name error on
 /// the same line wins, exactly as in a serial parse.
-struct RawCard<'a> {
-    kind: CardKind,
-    name: &'a str,
-    a: &'a str,
-    b: &'a str,
-    value: Option<f64>,
-    value_text: &'a str,
-    line: usize,
+pub(crate) struct RawCard<'a> {
+    pub(crate) kind: CardKind,
+    pub(crate) name: &'a str,
+    pub(crate) a: &'a str,
+    pub(crate) b: &'a str,
+    pub(crate) value: Option<f64>,
+    pub(crate) value_text: &'a str,
+    pub(crate) line: usize,
 }
 
 /// Everything one chunk contributes: the cards parsed before the
 /// first chunk-local error (if any). Merge consumes the cards first,
 /// then the error, so an earlier-line error from a previous chunk
 /// still wins overall.
-struct ChunkParse<'a> {
-    cards: Vec<RawCard<'a>>,
-    error: Option<ParseError>,
+pub(crate) struct ChunkParse<'a> {
+    pub(crate) cards: Vec<RawCard<'a>>,
+    pub(crate) error: Option<ParseError>,
 }
 
-fn parse_chunk<'a>(chunk: &SourceChunk<'a>) -> ChunkParse<'a> {
+pub(crate) fn parse_chunk<'a>(chunk: &SourceChunk<'a>) -> ChunkParse<'a> {
     let mut cards = Vec::new();
     for line in logical_line_refs(chunk.text, chunk.first_line) {
         let fields = &line.fields;
@@ -113,16 +113,35 @@ fn parse_chunk<'a>(chunk: &SourceChunk<'a>) -> ChunkParse<'a> {
     ChunkParse { cards, error: None }
 }
 
-/// Serial merge: walks chunks in source order, interning node names
-/// (identical id assignment to a serial parse) and enforcing unique
-/// element names across chunk boundaries.
-fn merge(chunks: Vec<ChunkParse<'_>>) -> Result<Netlist, ParseError> {
-    let mut netlist = Netlist::new();
-    let mut seen_names: HashSet<String> = HashSet::new();
-    for chunk in chunks {
+/// Incremental serial merge state: absorbs chunk parses in source
+/// order, interning node names (identical id assignment to a serial
+/// parse) and enforcing unique element names across chunk boundaries.
+///
+/// The batch [`parse`] path folds every chunk through one `Merger`;
+/// the streaming reader in [`crate::stream`] does exactly the same
+/// over chunks it only holds transiently, which is why both produce
+/// bitwise-identical netlists from the same bytes.
+pub(crate) struct Merger {
+    netlist: Netlist,
+    seen_names: HashSet<String>,
+}
+
+impl Merger {
+    pub(crate) fn new() -> Self {
+        Merger {
+            netlist: Netlist::new(),
+            seen_names: HashSet::new(),
+        }
+    }
+
+    /// Folds one chunk's parse into the netlist. Cards are consumed
+    /// before the chunk's own error, so an earlier-line error from a
+    /// previous chunk still wins overall — the same priority a serial
+    /// scan has.
+    pub(crate) fn absorb(&mut self, chunk: ChunkParse<'_>) -> Result<(), ParseError> {
         for card in chunk.cards {
             let name = card.name.to_string();
-            if !seen_names.insert(name.to_ascii_uppercase()) {
+            if !self.seen_names.insert(name.to_ascii_uppercase()) {
                 return Err(ParseError {
                     line: card.line,
                     kind: ParseErrorKind::DuplicateElement(name),
@@ -134,22 +153,22 @@ fn merge(chunks: Vec<ChunkParse<'_>>) -> Result<Netlist, ParseError> {
                     kind: ParseErrorKind::InvalidValue(card.value_text.to_string()),
                 });
             };
-            let a = netlist.intern(card.a);
-            let b = netlist.intern(card.b);
+            let a = self.netlist.intern(card.a);
+            let b = self.netlist.intern(card.b);
             match card.kind {
-                CardKind::Resistor => netlist.add_resistor(Resistor {
+                CardKind::Resistor => self.netlist.add_resistor(Resistor {
                     name,
                     a,
                     b,
                     ohms: value,
                 }),
-                CardKind::Current => netlist.add_current_source(CurrentSource {
+                CardKind::Current => self.netlist.add_current_source(CurrentSource {
                     name,
                     from: a,
                     to: b,
                     amps: value,
                 }),
-                CardKind::Voltage => netlist.add_voltage_source(VoltageSource {
+                CardKind::Voltage => self.netlist.add_voltage_source(VoltageSource {
                     name,
                     plus: a,
                     minus: b,
@@ -160,8 +179,21 @@ fn merge(chunks: Vec<ChunkParse<'_>>) -> Result<Netlist, ParseError> {
         if let Some(error) = chunk.error {
             return Err(error);
         }
+        Ok(())
     }
-    Ok(netlist)
+
+    pub(crate) fn finish(self) -> Netlist {
+        self.netlist
+    }
+}
+
+/// Serial merge of a fully materialized chunk list; see [`Merger`].
+fn merge(chunks: Vec<ChunkParse<'_>>) -> Result<Netlist, ParseError> {
+    let mut merger = Merger::new();
+    for chunk in chunks {
+        merger.absorb(chunk)?;
+    }
+    Ok(merger.finish())
 }
 
 /// Parses SPICE source into a [`Netlist`].
